@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! REST-style API layer for the Translational Visual Data Platform.
+//!
+//! The paper (Section V) exposes TVDP through simple web-service APIs so
+//! participants without deep programming experience can use the platform:
+//! "Users can create API keys to use TVDP features." This crate provides
+//! that surface as an in-process request router with JSON bodies — the
+//! semantics of the HTTP layer without the transport (see DESIGN.md).
+//!
+//! The seven endpoint families the paper enumerates are all here:
+//!
+//! | paper API | endpoint |
+//! |---|---|
+//! | 1. Add new data | `data/add` |
+//! | 2. Search datasets | `data/search` |
+//! | 3. Download datasets | `data/download` |
+//! | 4. Get visual features | `features/extract` |
+//! | 5. Use machine learning models | `models/apply` |
+//! | 6. Download machine learning models | `models/download` |
+//! | 7. Devise new ML models | `models/devise`, `models/upload` |
+//!
+//! plus scheme registration (`schemes/register`), human annotation
+//! (`annotations/add`), edge dispatch (`edge/dispatch`), and `stats`.
+//!
+//! Every request carries an API key ([`keys::ApiKeyRegistry`]); a token
+//! bucket per key ([`limit::RateLimiter`]) throttles abusive clients.
+
+pub mod keys;
+pub mod limit;
+pub mod router;
+
+pub use keys::ApiKeyRegistry;
+pub use limit::{RateLimitConfig, RateLimiter};
+pub use router::{ApiRequest, ApiResponse, ApiServer};

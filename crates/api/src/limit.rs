@@ -1,0 +1,107 @@
+//! Per-key token-bucket rate limiting.
+//!
+//! Time is passed in explicitly (milliseconds) so tests and simulations
+//! control the clock; a production transport would feed wall-clock time.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Bucket parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimitConfig {
+    /// Maximum burst size (bucket capacity), in requests.
+    pub burst: u32,
+    /// Sustained rate, requests per second.
+    pub per_second: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        Self { burst: 20, per_second: 10.0 }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_ms: i64,
+}
+
+/// A token bucket per API key.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter.
+    pub fn new(config: RateLimitConfig) -> Self {
+        assert!(config.burst >= 1, "zero burst");
+        assert!(config.per_second > 0.0, "non-positive rate");
+        Self { config, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Attempts to take one token for `key` at time `now_ms`; `true`
+    /// means the request may proceed.
+    pub fn allow(&self, key: &str, now_ms: i64) -> bool {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: f64::from(self.config.burst),
+            last_ms: now_ms,
+        });
+        // Refill for elapsed time (clock may not go backwards per key).
+        let elapsed_s = ((now_ms - bucket.last_ms).max(0)) as f64 / 1000.0;
+        bucket.tokens = (bucket.tokens + elapsed_s * self.config.per_second)
+            .min(f64::from(self.config.burst));
+        bucket.last_ms = bucket.last_ms.max(now_ms);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_throttle() {
+        let limiter = RateLimiter::new(RateLimitConfig { burst: 3, per_second: 1.0 });
+        assert!(limiter.allow("k", 0));
+        assert!(limiter.allow("k", 0));
+        assert!(limiter.allow("k", 0));
+        assert!(!limiter.allow("k", 0), "burst exhausted");
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let limiter = RateLimiter::new(RateLimitConfig { burst: 1, per_second: 2.0 });
+        assert!(limiter.allow("k", 0));
+        assert!(!limiter.allow("k", 100));
+        // 500 ms at 2/s refills one token.
+        assert!(limiter.allow("k", 600));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let limiter = RateLimiter::new(RateLimitConfig { burst: 1, per_second: 0.001 });
+        assert!(limiter.allow("a", 0));
+        assert!(limiter.allow("b", 0));
+        assert!(!limiter.allow("a", 1));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let limiter = RateLimiter::new(RateLimitConfig { burst: 2, per_second: 100.0 });
+        assert!(limiter.allow("k", 0));
+        // A long quiet period must not bank more than `burst` tokens.
+        assert!(limiter.allow("k", 1_000_000));
+        assert!(limiter.allow("k", 1_000_000));
+        assert!(!limiter.allow("k", 1_000_000));
+    }
+}

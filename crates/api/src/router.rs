@@ -1,0 +1,474 @@
+//! The endpoint router.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use tvdp_core::models::ModelInterface;
+use tvdp_core::platform::Algorithm;
+use tvdp_core::{PlatformError, Tvdp};
+use tvdp_ml::SerializableModel;
+use tvdp_edge::{DeviceClass, DispatchConstraints};
+use tvdp_geo::{Fov, GeoPoint};
+use tvdp_query::Query;
+use tvdp_storage::{ClassificationId, ImageId, ModelId, UserId};
+use tvdp_vision::{FeatureKind, Image};
+
+use crate::keys::ApiKeyRegistry;
+use crate::limit::{RateLimitConfig, RateLimiter};
+
+/// An API request: key, endpoint path, JSON body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiRequest {
+    /// The caller's API key.
+    pub key: String,
+    /// Endpoint path, e.g. `"data/search"`.
+    pub endpoint: String,
+    /// JSON body (endpoint-specific).
+    pub body: Value,
+}
+
+/// An API response: HTTP-style status plus JSON body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiResponse {
+    /// 200 on success; 4xx on caller errors; 429 when throttled.
+    pub status: u16,
+    /// Response body or `{ "error": ... }`.
+    pub body: Value,
+}
+
+impl ApiResponse {
+    fn ok(body: Value) -> Self {
+        Self { status: 200, body }
+    }
+
+    fn err(status: u16, message: impl std::fmt::Display) -> Self {
+        Self { status, body: json!({ "error": message.to_string() }) }
+    }
+
+    /// Whether the call succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+fn status_for(e: &PlatformError) -> u16 {
+    match e {
+        PlatformError::UnknownUser(_)
+        | PlatformError::UnknownModel(_)
+        | PlatformError::UnknownScheme(_)
+        | PlatformError::UnknownImage(_) => 404,
+        _ => 400,
+    }
+}
+
+#[derive(Debug, Deserialize)]
+struct FovBody {
+    heading_deg: f64,
+    angle_deg: f64,
+    radius_m: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct AddDataBody {
+    width: usize,
+    height: usize,
+    /// Interleaved RGB bytes, length `width * height * 3`.
+    pixels: Vec<u8>,
+    lat: f64,
+    lon: f64,
+    fov: Option<FovBody>,
+    captured_at: i64,
+    uploaded_at: i64,
+    #[serde(default)]
+    keywords: Vec<String>,
+}
+
+#[derive(Debug, Deserialize)]
+struct SearchBody {
+    query: Query,
+}
+
+#[derive(Debug, Deserialize)]
+struct DownloadBody {
+    ids: Vec<u64>,
+    #[serde(default)]
+    include_pixels: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct ExtractBody {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+#[derive(Debug, Deserialize)]
+struct ApplyModelBody {
+    model: u64,
+    images: Vec<u64>,
+}
+
+#[derive(Debug, Deserialize)]
+struct DownloadModelBody {
+    model: u64,
+    /// Include the serialized weights (edge deployment); metadata-only
+    /// responses stay small.
+    #[serde(default)]
+    include_weights: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct UploadModelBody {
+    name: String,
+    scheme: u64,
+    feature_kind: FeatureKind,
+    input_dim: usize,
+    /// A serialized [`SerializableModel`].
+    weights: Value,
+}
+
+#[derive(Debug, Deserialize)]
+struct DeviseModelBody {
+    name: String,
+    scheme: u64,
+    feature_kind: FeatureKind,
+    algorithm: Algorithm,
+}
+
+#[derive(Debug, Deserialize)]
+struct RegisterSchemeBody {
+    name: String,
+    labels: Vec<String>,
+}
+
+#[derive(Debug, Deserialize)]
+struct AnnotateBody {
+    image: u64,
+    scheme: u64,
+    label: usize,
+}
+
+#[derive(Debug, Deserialize)]
+struct DispatchBody {
+    device: String,
+    max_latency_ms: f64,
+    min_accuracy: Option<f64>,
+    #[serde(default)]
+    min_inferences_per_charge: Option<u64>,
+}
+
+/// The TVDP API server: routes authenticated, rate-limited requests to
+/// platform operations.
+pub struct ApiServer {
+    platform: Arc<Tvdp>,
+    keys: ApiKeyRegistry,
+    limiter: RateLimiter,
+}
+
+impl ApiServer {
+    /// Wraps a platform with the default rate limit.
+    pub fn new(platform: Arc<Tvdp>) -> Self {
+        Self::with_rate_limit(platform, RateLimitConfig::default())
+    }
+
+    /// Wraps a platform with an explicit rate limit.
+    pub fn with_rate_limit(platform: Arc<Tvdp>, limit: RateLimitConfig) -> Self {
+        Self { platform, keys: ApiKeyRegistry::new(), limiter: RateLimiter::new(limit) }
+    }
+
+    /// Issues an API key for a registered platform user.
+    pub fn issue_key(&self, user: UserId) -> String {
+        self.keys.issue(user)
+    }
+
+    /// Revokes a key.
+    pub fn revoke_key(&self, key: &str) -> bool {
+        self.keys.revoke(key)
+    }
+
+    /// The wrapped platform.
+    pub fn platform(&self) -> &Arc<Tvdp> {
+        &self.platform
+    }
+
+    /// Handles one request at wall-clock `now_ms`.
+    pub fn handle(&self, request: &ApiRequest, now_ms: i64) -> ApiResponse {
+        let Some(user) = self.keys.validate(&request.key) else {
+            return ApiResponse::err(401, "invalid API key");
+        };
+        if !self.limiter.allow(&request.key, now_ms) {
+            return ApiResponse::err(429, "rate limit exceeded");
+        }
+        match request.endpoint.as_str() {
+            "data/add" => self.add_data(user, &request.body),
+            "data/search" => self.search(&request.body),
+            "data/download" => self.download(&request.body),
+            "features/extract" => self.extract(&request.body),
+            "models/apply" => self.apply_model(&request.body),
+            "models/download" => self.download_model(&request.body),
+            "models/devise" => self.devise_model(user, &request.body),
+            "models/upload" => self.upload_model(user, &request.body),
+            "schemes/register" => self.register_scheme(&request.body),
+            "annotations/add" => self.annotate(user, &request.body),
+            "edge/dispatch" => self.dispatch(&request.body),
+            "stats" => {
+                let s = self.platform.stats();
+                ApiResponse::ok(json!({
+                    "images": s.images,
+                    "annotations": s.annotations,
+                    "models": s.models,
+                    "users": s.users,
+                }))
+            }
+            other => ApiResponse::err(404, format!("unknown endpoint {other}")),
+        }
+    }
+
+    fn parse<T: serde::de::DeserializeOwned>(body: &Value) -> Result<T, ApiResponse> {
+        serde_json::from_value(body.clone())
+            .map_err(|e| ApiResponse::err(400, format!("bad request body: {e}")))
+    }
+
+    fn add_data(&self, user: UserId, body: &Value) -> ApiResponse {
+        let b: AddDataBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        if b.pixels.len() != b.width * b.height * 3 {
+            return ApiResponse::err(400, "pixel buffer size mismatch");
+        }
+        let Some(gps) = GeoPoint::try_new(b.lat, b.lon) else {
+            return ApiResponse::err(400, "invalid coordinates");
+        };
+        let fov = b.fov.map(|f| Fov::new(gps, f.heading_deg, f.angle_deg, f.radius_m));
+        let image = Image::from_raw(b.width, b.height, b.pixels);
+        match self.platform.ingest(
+            user,
+            image,
+            tvdp_core::IngestRequest {
+                gps,
+                fov,
+                captured_at: b.captured_at,
+                uploaded_at: b.uploaded_at,
+                keywords: b.keywords,
+            },
+        ) {
+            Ok(id) => ApiResponse::ok(json!({ "image": id.raw() })),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn search(&self, body: &Value) -> ApiResponse {
+        let b: SearchBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let results = self.platform.search(&b.query);
+        let rows: Vec<Value> = results
+            .iter()
+            .map(|r| json!({ "image": r.image.raw(), "score": r.score }))
+            .collect();
+        ApiResponse::ok(json!({ "count": rows.len(), "results": rows }))
+    }
+
+    fn download(&self, body: &Value) -> ApiResponse {
+        let b: DownloadBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let mut rows = Vec::new();
+        for raw in b.ids {
+            let id = ImageId(raw);
+            let Some(record) = self.platform.store().image(id) else {
+                return ApiResponse::err(404, format!("unknown image img-{raw}"));
+            };
+            let mut row = json!({
+                "image": raw,
+                "lat": record.meta.gps.lat,
+                "lon": record.meta.gps.lon,
+                "captured_at": record.meta.captured_at,
+                "uploaded_at": record.meta.uploaded_at,
+                "keywords": record.meta.keywords,
+                "augmented": record.is_augmented(),
+                "width": record.width,
+                "height": record.height,
+            });
+            if b.include_pixels {
+                if let Some(img) = self.platform.store().pixels(id) {
+                    row["pixels"] = json!(img.raw().to_vec());
+                }
+            }
+            rows.push(row);
+        }
+        ApiResponse::ok(json!({ "items": rows }))
+    }
+
+    fn extract(&self, body: &Value) -> ApiResponse {
+        let b: ExtractBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        if b.pixels.len() != b.width * b.height * 3 {
+            return ApiResponse::err(400, "pixel buffer size mismatch");
+        }
+        let image = Image::from_raw(b.width, b.height, b.pixels);
+        let features = self.platform.extract_features(&image);
+        let rows: Vec<Value> = features
+            .into_iter()
+            .map(|(kind, v)| json!({ "kind": kind, "dim": v.len(), "vector": v }))
+            .collect();
+        ApiResponse::ok(json!({ "features": rows }))
+    }
+
+    fn apply_model(&self, body: &Value) -> ApiResponse {
+        let b: ApplyModelBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let images: Vec<ImageId> = b.images.into_iter().map(ImageId).collect();
+        match self.platform.apply_model(ModelId(b.model), &images) {
+            Ok(results) => {
+                let rows: Vec<Value> = results
+                    .into_iter()
+                    .map(|(img, label, conf)| {
+                        json!({ "image": img.raw(), "label": label, "confidence": conf })
+                    })
+                    .collect();
+                ApiResponse::ok(json!({ "predictions": rows }))
+            }
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn download_model(&self, body: &Value) -> ApiResponse {
+        let b: DownloadModelBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let id = ModelId(b.model);
+        let Some(interface) = self.platform.models().interface(id) else {
+            return ApiResponse::err(404, format!("unknown model model-{}", b.model));
+        };
+        let (name, owner, algorithm) =
+            self.platform.models().describe(id).expect("interface implies entry");
+        let mut body = json!({
+            "model": b.model,
+            "name": name,
+            "owner": owner.raw(),
+            "algorithm": algorithm,
+            "interface": {
+                "feature_kind": interface.feature_kind,
+                "input_dim": interface.input_dim,
+                "scheme": interface.scheme.raw(),
+            },
+        });
+        if b.include_weights {
+            match self.platform.models().export(id) {
+                Some(model) => match serde_json::to_value(&model) {
+                    Ok(weights) => body["weights"] = weights,
+                    Err(e) => return ApiResponse::err(500, format!("serialization: {e}")),
+                },
+                None => {
+                    return ApiResponse::err(
+                        409,
+                        "model is a custom in-process classifier and cannot be downloaded",
+                    )
+                }
+            }
+        }
+        ApiResponse::ok(body)
+    }
+
+    fn upload_model(&self, user: UserId, body: &Value) -> ApiResponse {
+        let b: UploadModelBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let model: SerializableModel = match serde_json::from_value(b.weights) {
+            Ok(m) => m,
+            Err(e) => return ApiResponse::err(400, format!("bad model weights: {e}")),
+        };
+        let interface = ModelInterface {
+            feature_kind: b.feature_kind,
+            input_dim: b.input_dim,
+            scheme: ClassificationId(b.scheme),
+        };
+        match self.platform.upload_model(user, b.name, interface, model) {
+            Ok(id) => ApiResponse::ok(json!({ "model": id.raw() })),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn devise_model(&self, user: UserId, body: &Value) -> ApiResponse {
+        let b: DeviseModelBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        match self.platform.train_model(
+            user,
+            b.name,
+            ClassificationId(b.scheme),
+            b.feature_kind,
+            b.algorithm,
+        ) {
+            Ok(id) => ApiResponse::ok(json!({ "model": id.raw() })),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn register_scheme(&self, body: &Value) -> ApiResponse {
+        let b: RegisterSchemeBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        match self.platform.register_scheme(b.name, b.labels) {
+            Ok(id) => ApiResponse::ok(json!({ "scheme": id.raw() })),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn annotate(&self, user: UserId, body: &Value) -> ApiResponse {
+        let b: AnnotateBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        match self.platform.annotate_human(
+            user,
+            ImageId(b.image),
+            ClassificationId(b.scheme),
+            b.label,
+        ) {
+            Ok(id) => ApiResponse::ok(json!({ "annotation": id.raw() })),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    fn dispatch(&self, body: &Value) -> ApiResponse {
+        let b: DispatchBody = match Self::parse(body) {
+            Ok(b) => b,
+            Err(r) => return r,
+        };
+        let device = match b.device.to_lowercase().as_str() {
+            "desktop" => DeviceClass::Desktop,
+            "smartphone" | "phone" => DeviceClass::Smartphone,
+            "rpi" | "raspberrypi" | "raspberry_pi" => DeviceClass::RaspberryPi,
+            other => return ApiResponse::err(400, format!("unknown device {other}")),
+        };
+        let constraints = DispatchConstraints {
+            max_latency_ms: b.max_latency_ms,
+            min_accuracy: b.min_accuracy,
+            min_inferences_per_charge: b.min_inferences_per_charge,
+        };
+        match self.platform.dispatch_to_device(&device.profile(), &constraints) {
+            Some(model) => ApiResponse::ok(json!({
+                "model": model.name,
+                "mflops": model.mflops,
+                "download_bytes": model.download_bytes(),
+                "accuracy": model.accuracy,
+            })),
+            None => ApiResponse::err(409, "no model satisfies the constraints"),
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! End-to-end API-layer tests: the paper's seven endpoint families over
+//! a live platform.
+
+use std::sync::Arc;
+
+use serde_json::json;
+
+use tvdp_api::{ApiRequest, ApiServer, RateLimitConfig};
+use tvdp_core::{PlatformConfig, Role, Tvdp};
+use tvdp_vision::{CnnConfig, Image};
+
+fn fast_platform() -> Arc<Tvdp> {
+    Arc::new(Tvdp::new(PlatformConfig {
+        cnn: CnnConfig { input_size: 16, stage_channels: vec![4, 8], pool_grid: 2, seed: 1 },
+        min_training_samples: 6,
+        ..Default::default()
+    }))
+}
+
+fn scene(class: usize, seed: usize) -> Image {
+    Image::from_fn(24, 24, |x, y| {
+        let v = ((x * 3 + y * 5 + seed) % 17) as u8 * 3;
+        if class == 0 {
+            [200, v, v]
+        } else {
+            [v, v, 220]
+        }
+    })
+}
+
+fn add_body(class: usize, seed: usize, lat: f64) -> serde_json::Value {
+    let img = scene(class, seed);
+    json!({
+        "width": img.width(),
+        "height": img.height(),
+        "pixels": img.raw().to_vec(),
+        "lat": lat,
+        "lon": -118.25,
+        "fov": { "heading_deg": 90.0, "angle_deg": 60.0, "radius_m": 80.0 },
+        "captured_at": 1000 + seed,
+        "uploaded_at": 1100 + seed,
+        "keywords": ["street", if class == 0 { "red" } else { "blue" }],
+    })
+}
+
+fn call(server: &ApiServer, key: &str, endpoint: &str, body: serde_json::Value) -> tvdp_api::ApiResponse {
+    server.handle(
+        &ApiRequest { key: key.into(), endpoint: endpoint.into(), body },
+        0,
+    )
+}
+
+#[test]
+fn full_workflow_through_the_api() {
+    let platform = fast_platform();
+    let gov = platform.register_user("LASAN", Role::Government);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig { burst: 1000, per_second: 1000.0 },
+    );
+    let key = server.issue_key(gov);
+
+    // (paper API 1) Add data: 12 labelled uploads.
+    let scheme = {
+        let r = call(
+            &server,
+            &key,
+            "schemes/register",
+            json!({ "name": "binary", "labels": ["red", "blue"] }),
+        );
+        assert!(r.is_ok(), "{r:?}");
+        r.body["scheme"].as_u64().unwrap()
+    };
+    let mut ids = Vec::new();
+    for i in 0..12 {
+        let class = i % 2;
+        let r = call(&server, &key, "data/add", add_body(class, i, 34.0 + i as f64 * 1e-4));
+        assert!(r.is_ok(), "{r:?}");
+        let id = r.body["image"].as_u64().unwrap();
+        let a = call(
+            &server,
+            &key,
+            "annotations/add",
+            json!({ "image": id, "scheme": scheme, "label": class }),
+        );
+        assert!(a.is_ok(), "{a:?}");
+        ids.push(id);
+    }
+
+    // (2) Search: textual query finds the red uploads.
+    let r = call(
+        &server,
+        &key,
+        "data/search",
+        json!({ "query": { "Textual": { "text": "red", "mode": "All" } } }),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.body["count"].as_u64().unwrap(), 6);
+
+    // (3) Download: metadata plus pixels round-trip.
+    let r = call(
+        &server,
+        &key,
+        "data/download",
+        json!({ "ids": [ids[0]], "include_pixels": true }),
+    );
+    assert!(r.is_ok());
+    let item = &r.body["items"][0];
+    assert_eq!(item["width"].as_u64().unwrap(), 24);
+    assert_eq!(item["pixels"].as_array().unwrap().len(), 24 * 24 * 3);
+    assert_eq!(item["keywords"][0], "street");
+
+    // (4) Get visual features for a new image without storing it.
+    let img = scene(0, 99);
+    let r = call(
+        &server,
+        &key,
+        "features/extract",
+        json!({ "width": img.width(), "height": img.height(), "pixels": img.raw().to_vec() }),
+    );
+    assert!(r.is_ok());
+    let feats = r.body["features"].as_array().unwrap();
+    assert_eq!(feats.len(), 2, "color histogram + CNN");
+    let stats_before = call(&server, &key, "stats", json!({}));
+    assert_eq!(stats_before.body["images"].as_u64().unwrap(), 12, "extract does not store");
+
+    // (7) Devise a model.
+    let r = call(
+        &server,
+        &key,
+        "models/devise",
+        json!({ "name": "red-vs-blue", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "Svm" }),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let model = r.body["model"].as_u64().unwrap();
+
+    // (6) Download the model's interface.
+    let r = call(&server, &key, "models/download", json!({ "model": model }));
+    assert!(r.is_ok());
+    assert_eq!(r.body["algorithm"], "SVM");
+    assert_eq!(r.body["interface"]["feature_kind"], "Cnn");
+
+    // (5) Use the model: upload two fresh images and classify them.
+    let fresh: Vec<u64> = (0..2)
+        .map(|class| {
+            let r = call(&server, &key, "data/add", add_body(class, 50 + class, 34.01));
+            r.body["image"].as_u64().unwrap()
+        })
+        .collect();
+    let r = call(
+        &server,
+        &key,
+        "models/apply",
+        json!({ "model": model, "images": fresh }),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let preds = r.body["predictions"].as_array().unwrap();
+    assert_eq!(preds.len(), 2);
+    assert_eq!(preds[0]["label"].as_u64().unwrap(), 0);
+    assert_eq!(preds[1]["label"].as_u64().unwrap(), 1);
+
+    // Edge dispatch.
+    let r = call(
+        &server,
+        &key,
+        "edge/dispatch",
+        json!({ "device": "rpi", "max_latency_ms": 700.0 }),
+    );
+    assert!(r.is_ok());
+    assert!(r.body["model"].as_str().unwrap().starts_with("MobileNet"));
+
+    // Final stats reflect everything.
+    let r = call(&server, &key, "stats", json!({}));
+    assert_eq!(r.body["images"].as_u64().unwrap(), 14);
+    assert_eq!(r.body["models"].as_u64().unwrap(), 1);
+    assert!(r.body["annotations"].as_u64().unwrap() >= 14);
+}
+
+#[test]
+fn auth_and_rate_limits_enforced() {
+    let platform = fast_platform();
+    let user = platform.register_user("u", Role::Academic);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig { burst: 2, per_second: 1.0 },
+    );
+    // Bad key.
+    let r = call(&server, "tvdp_nope", "stats", json!({}));
+    assert_eq!(r.status, 401);
+    // Rate limit after the burst.
+    let key = server.issue_key(user);
+    assert!(call(&server, &key, "stats", json!({})).is_ok());
+    assert!(call(&server, &key, "stats", json!({})).is_ok());
+    let r = call(&server, &key, "stats", json!({}));
+    assert_eq!(r.status, 429);
+    // Refill after a second.
+    let r = server.handle(
+        &ApiRequest { key: key.clone(), endpoint: "stats".into(), body: json!({}) },
+        1_500,
+    );
+    assert!(r.is_ok());
+    // Revoked key stops working.
+    assert!(server.revoke_key(&key));
+    let r = server.handle(
+        &ApiRequest { key, endpoint: "stats".into(), body: json!({}) },
+        10_000,
+    );
+    assert_eq!(r.status, 401);
+}
+
+#[test]
+fn error_paths_return_proper_statuses() {
+    let platform = fast_platform();
+    let user = platform.register_user("u", Role::Researcher);
+    let server = ApiServer::new(Arc::clone(&platform));
+    let key = server.issue_key(user);
+
+    // Unknown endpoint.
+    assert_eq!(call(&server, &key, "nope/nope", json!({})).status, 404);
+    // Malformed body.
+    assert_eq!(call(&server, &key, "data/add", json!({ "width": 4 })).status, 400);
+    // Pixel size mismatch.
+    let r = call(
+        &server,
+        &key,
+        "data/add",
+        json!({ "width": 4, "height": 4, "pixels": [0, 0], "lat": 34.0, "lon": -118.0,
+                 "captured_at": 0, "uploaded_at": 1 }),
+    );
+    assert_eq!(r.status, 400);
+    // Bad coordinates.
+    let img = scene(0, 0);
+    let r = call(
+        &server,
+        &key,
+        "data/add",
+        json!({ "width": img.width(), "height": img.height(), "pixels": img.raw().to_vec(),
+                 "lat": 99.0, "lon": 0.0, "captured_at": 0, "uploaded_at": 1 }),
+    );
+    assert_eq!(r.status, 400);
+    // Unknown model.
+    assert_eq!(call(&server, &key, "models/download", json!({ "model": 77 })).status, 404);
+    // Unknown image download.
+    assert_eq!(call(&server, &key, "data/download", json!({ "ids": [123] })).status, 404);
+    // Devise with no data.
+    let scheme = call(
+        &server,
+        &key,
+        "schemes/register",
+        json!({ "name": "s", "labels": ["a", "b"] }),
+    )
+    .body["scheme"]
+        .as_u64()
+        .unwrap();
+    let r = call(
+        &server,
+        &key,
+        "models/devise",
+        json!({ "name": "m", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "NaiveBayes" }),
+    );
+    assert_eq!(r.status, 400);
+    // Impossible dispatch.
+    let r = call(
+        &server,
+        &key,
+        "edge/dispatch",
+        json!({ "device": "rpi", "max_latency_ms": 0.01 }),
+    );
+    assert_eq!(r.status, 409);
+    // Unknown device.
+    let r = call(
+        &server,
+        &key,
+        "edge/dispatch",
+        json!({ "device": "toaster", "max_latency_ms": 100.0 }),
+    );
+    assert_eq!(r.status, 400);
+}
+
+#[test]
+fn model_weights_download_and_upload_roundtrip() {
+    use tvdp_ml::{Classifier, SerializableModel};
+
+    let platform = fast_platform();
+    let gov = platform.register_user("LASAN", Role::Government);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig { burst: 10_000, per_second: 10_000.0 },
+    );
+    let key = server.issue_key(gov);
+
+    // Train a model through the API.
+    let scheme = call(
+        &server,
+        &key,
+        "schemes/register",
+        json!({ "name": "binary", "labels": ["red", "blue"] }),
+    )
+    .body["scheme"]
+        .as_u64()
+        .unwrap();
+    for i in 0..12 {
+        let class = i % 2;
+        let r = call(&server, &key, "data/add", add_body(class, i, 34.0 + i as f64 * 1e-4));
+        let id = r.body["image"].as_u64().unwrap();
+        call(
+            &server,
+            &key,
+            "annotations/add",
+            json!({ "image": id, "scheme": scheme, "label": class }),
+        );
+    }
+    let model = call(
+        &server,
+        &key,
+        "models/devise",
+        json!({ "name": "m", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "Svm" }),
+    )
+    .body["model"]
+        .as_u64()
+        .unwrap();
+
+    // Edge device downloads the weights...
+    let r = call(
+        &server,
+        &key,
+        "models/download",
+        json!({ "model": model, "include_weights": true }),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let weights = r.body["weights"].clone();
+    assert!(!weights.is_null());
+    let input_dim = r.body["interface"]["input_dim"].as_u64().unwrap() as usize;
+
+    // ...and runs it locally, off-platform.
+    let local: SerializableModel = serde_json::from_value(weights.clone()).unwrap();
+    let probe_features = {
+        let img = scene(0, 77);
+        let r = call(
+            &server,
+            &key,
+            "features/extract",
+            json!({ "width": img.width(), "height": img.height(),
+                     "pixels": img.raw().to_vec() }),
+        );
+        let feats = r.body["features"].as_array().unwrap();
+        let cnn = feats.iter().find(|f| f["kind"] == "Cnn").unwrap();
+        cnn["vector"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap() as f32)
+            .collect::<Vec<f32>>()
+    };
+    assert_eq!(probe_features.len(), input_dim);
+    assert_eq!(local.predict_one(&probe_features), 0, "red scene on the edge");
+
+    // A collaborator uploads the same weights as a new shared model.
+    let r = call(
+        &server,
+        &key,
+        "models/upload",
+        json!({ "name": "uploaded-copy", "scheme": scheme, "feature_kind": "Cnn",
+                 "input_dim": input_dim, "weights": weights }),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    let uploaded = r.body["model"].as_u64().unwrap();
+    assert_ne!(uploaded, model);
+
+    // The uploaded copy predicts identically through the API.
+    let img_id = call(&server, &key, "data/add", add_body(1, 88, 34.01)).body["image"]
+        .as_u64()
+        .unwrap();
+    let p1 = call(&server, &key, "models/apply", json!({ "model": model, "images": [img_id] }));
+    let p2 =
+        call(&server, &key, "models/apply", json!({ "model": uploaded, "images": [img_id] }));
+    assert_eq!(
+        p1.body["predictions"][0]["label"],
+        p2.body["predictions"][0]["label"]
+    );
+
+    // Garbage weights are rejected cleanly.
+    let r = server.handle(
+        &ApiRequest {
+            key: key.clone(),
+            endpoint: "models/upload".into(),
+            body: json!({ "name": "x", "scheme": scheme, "feature_kind": "Cnn",
+                           "input_dim": 4, "weights": {"Bogus": 1} }),
+        },
+        0,
+    );
+    assert_eq!(r.status, 400);
+}

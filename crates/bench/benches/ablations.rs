@@ -1,0 +1,99 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * **Oriented R-tree** (direction-augmented nodes) vs plain R-tree with
+//!   direction post-filtering,
+//! * **Visual R*-tree** (one hybrid traversal) vs the two chained plans:
+//!   spatial-first + feature post-filter and visual-first + spatial
+//!   post-filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvdp_bench::index_workload::{build_indexes, build_workload};
+
+const N: usize = 20_000;
+const DIM: usize = 64;
+const QUERIES: usize = 32;
+const VISUAL_THRESHOLD: f32 = 1.0;
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+fn bench_oriented(c: &mut Criterion) {
+    let w = build_workload(N, DIM, QUERIES, 11);
+    let idx = build_indexes(&w);
+    let mut group = c.benchmark_group("directed_query");
+    group.bench_function("oriented_rtree", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let (q, d) = (&w.query_boxes[qi % QUERIES], &w.query_dirs[qi % QUERIES]);
+            qi += 1;
+            idx.oriented.range_directed(q, d).len()
+        })
+    });
+    group.bench_function("rtree_plus_postfilter", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let (q, d) = (&w.query_boxes[qi % QUERIES], &w.query_dirs[qi % QUERIES]);
+            qi += 1;
+            // Plain spatial index, then re-resolve the FOV and filter by
+            // direction.
+            idx.rtree
+                .range(q)
+                .into_iter()
+                .filter(|&&id| w.fovs[id].0.direction_range().overlaps(d))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hybrid_regime(c: &mut Criterion, name: &str, boxes: fn(&tvdp_bench::index_workload::IndexWorkload) -> &Vec<tvdp_geo::BBox>) {
+    let w = build_workload(N, DIM, QUERIES, 12);
+    let idx = build_indexes(&w);
+    let mut group = c.benchmark_group(name);
+    let boxes = boxes(&w).clone();
+    group.bench_function("visual_rtree_hybrid", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let (q, f) = (&boxes[qi % QUERIES], &w.query_features[qi % QUERIES]);
+            qi += 1;
+            idx.hybrid.range_visual(q, f, VISUAL_THRESHOLD).len()
+        })
+    });
+    group.bench_function("spatial_first_then_visual_filter", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let (q, f) = (&boxes[qi % QUERIES], &w.query_features[qi % QUERIES]);
+            qi += 1;
+            idx.rtree
+                .range(q)
+                .into_iter()
+                .filter(|&&id| l2(&w.features[id], f) <= VISUAL_THRESHOLD)
+                .count()
+        })
+    });
+    group.bench_function("visual_first_then_spatial_filter", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let (q, f) = (&boxes[qi % QUERIES], &w.query_features[qi % QUERIES]);
+            qi += 1;
+            idx.lsh
+                .within_radius(f, VISUAL_THRESHOLD)
+                .into_iter()
+                .filter(|&(_, id)| w.fovs[id].0.scene_location().intersects(q))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hybrid_selective(c: &mut Criterion) {
+    bench_hybrid_regime(c, "spatial_visual_selective", |w| &w.query_boxes);
+}
+
+fn bench_hybrid_broad(c: &mut Criterion) {
+    bench_hybrid_regime(c, "spatial_visual_broad", |w| &w.query_boxes_broad);
+}
+
+criterion_group!(benches, bench_oriented, bench_hybrid_selective, bench_hybrid_broad);
+criterion_main!(benches);

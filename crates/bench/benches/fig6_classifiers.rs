@@ -1,0 +1,29 @@
+//! Criterion wrapper for the Fig. 6 experiment (scaled down so the
+//! benchmark suite stays fast; run the `fig6` binary for full tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvdp_bench::{run_fig6, ClassificationConfig};
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = ClassificationConfig {
+        n_images: 150,
+        image_size: 32,
+        bow_vocabulary: 16,
+        head_hidden: 16,
+        head_epochs: 10,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("feature_classifier_matrix_150imgs", |b| {
+        b.iter(|| {
+            let result = run_fig6(&config);
+            assert_eq!(result.cells.len(), 15);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion wrapper for the Fig. 7 experiment (per-category F1 of the
+//! winning SVM + CNN combination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvdp_bench::{run_fig7, ClassificationConfig};
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = ClassificationConfig {
+        n_images: 150,
+        image_size: 32,
+        bow_vocabulary: 16,
+        head_hidden: 16,
+        head_epochs: 10,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("svm_cnn_per_category_150imgs", |b| {
+        b.iter(|| {
+            let result = run_fig7(&config);
+            assert_eq!(result.per_class.len(), 5);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

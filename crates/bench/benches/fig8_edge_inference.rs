@@ -1,0 +1,20 @@
+//! Criterion wrapper for the Fig. 8 experiment: the (model × device)
+//! inference-latency grid on the edge simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvdp_bench::{run_fig8, Fig8Config};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.bench_function("latency_grid_200runs", |b| {
+        b.iter(|| {
+            let result = run_fig8(&Fig8Config { runs: 200, seed: 7 });
+            assert_eq!(result.cells.len(), 9);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

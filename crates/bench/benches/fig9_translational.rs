@@ -1,0 +1,22 @@
+//! Criterion wrapper for the Fig. 9 translational scenario (scaled down;
+//! run the `fig9` binary for the full report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvdp_bench::{run_fig9, Fig9Config};
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = Fig9Config { n_images: 150, image_size: 32, ..Default::default() };
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("translational_scenario_150imgs", |b| {
+        b.iter(|| {
+            let result = run_fig9(&config);
+            assert!(result.hotspot_cells > 0);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

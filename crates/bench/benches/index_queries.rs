@@ -1,0 +1,73 @@
+//! Section IV-C benchmarks: every index against the linear scan it
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tvdp_bench::index_workload::{build_indexes, build_workload};
+
+const N: usize = 20_000;
+const DIM: usize = 16;
+const QUERIES: usize = 32;
+
+fn bench_spatial(c: &mut Criterion) {
+    let w = build_workload(N, DIM, QUERIES, 1);
+    let idx = build_indexes(&w);
+    let mut group = c.benchmark_group("spatial_range");
+    group.bench_function("rtree", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &w.query_boxes[qi % QUERIES];
+            qi += 1;
+            idx.rtree.range(q).len()
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &w.query_boxes[qi % QUERIES];
+            qi += 1;
+            w.fovs.iter().filter(|(f, _)| f.scene_location().intersects(q)).count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_visual(c: &mut Criterion) {
+    let w = build_workload(N, DIM, QUERIES, 2);
+    let idx = build_indexes(&w);
+    let mut group = c.benchmark_group("visual_knn10");
+    group.bench_function("lsh_candidates", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &w.query_features[qi % QUERIES];
+            qi += 1;
+            idx.lsh.knn(q, 10).len()
+        })
+    });
+    group.bench_function("exact_scan", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &w.query_features[qi % QUERIES];
+            qi += 1;
+            idx.lsh.knn_exact(q, 10).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_temporal_build(c: &mut Criterion) {
+    // Ingestion cost: building each index from scratch.
+    let w = build_workload(4_000, DIM, 1, 3);
+    let mut group = c.benchmark_group("index_build_4k");
+    group.sample_size(10);
+    group.bench_function("all_indexes", |b| {
+        b.iter_batched(
+            || (),
+            |()| build_indexes(&w),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial, bench_visual, bench_temporal_build);
+criterion_main!(benches);

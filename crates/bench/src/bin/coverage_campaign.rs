@@ -1,0 +1,26 @@
+//! Section III experiment: iterative spatial crowdsourcing driven by the
+//! direction-aware coverage model, with the greedy-vs-matching assignment
+//! ablation.
+
+use tvdp_bench::{run_coverage, CoverageConfig};
+
+fn main() {
+    let config = CoverageConfig::default();
+    eprintln!(
+        "coverage_campaign: {}m region, {}m cells, goal {} sectors/cell, {} workers",
+        config.region_m, config.cell_m, config.min_sectors, config.n_workers
+    );
+    let result = run_coverage(&config);
+
+    println!("\nIterative Spatial Crowdsourcing — direction coverage per round\n");
+    for outcome in &result.outcomes {
+        println!(
+            "{:<10} issued {:>5}  completed {:>5}  satisfied: {}",
+            outcome.strategy, outcome.tasks_issued, outcome.tasks_completed, outcome.satisfied
+        );
+        let series: Vec<String> =
+            outcome.coverage_per_round.iter().map(|c| format!("{c:.2}")).collect();
+        println!("           coverage: {}", series.join(" -> "));
+    }
+    println!("\npaper shape: coverage rises monotonically; iteration closes the gaps");
+}

@@ -1,0 +1,37 @@
+//! Regenerates the paper's Fig. 8: average inference time (ms, log10
+//! scale) for the three transfer-learning models on the three device
+//! tiers.
+
+use tvdp_bench::{run_fig8, Fig8Config};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .skip_while(|a| a != "--runs")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let result = run_fig8(&Fig8Config { runs, ..Default::default() });
+
+    println!("\nFig. 8 — Inference Time vs Models (mean over {runs} runs)\n");
+    println!(
+        "{:<14} {:>18} {:>18} {:>18}",
+        "model", "Desktop", "Smartphone", "Raspberry PI"
+    );
+    for model in ["MobileNetV2", "MobileNetV1", "InceptionV3"] {
+        let cell = |device: &str| {
+            let ms = result.mean_ms(model, device).unwrap_or(f64::NAN);
+            format!("{ms:>9.1}ms ({:>4.2})", ms.log10())
+        };
+        println!(
+            "{model:<14} {:>18} {:>18} {:>18}",
+            cell("Desktop"),
+            cell("Smartphone"),
+            cell("Raspberry PI")
+        );
+    }
+    println!("\n(parenthesized: log10 ms — the paper's axis)");
+    println!(
+        "RPi vs desktop separation: {:.2} orders of magnitude (paper: ~1.5)",
+        result.rpi_desktop_orders()
+    );
+}

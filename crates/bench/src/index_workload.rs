@@ -1,0 +1,155 @@
+//! Workload builders for the index benchmarks (Section IV-C): data and
+//! queries shared by the Criterion benches so index-vs-linear and
+//! hybrid-vs-chained comparisons run on identical inputs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
+use tvdp_index::{LshConfig, LshIndex, OrientedRTree, RTree, VisualRTree};
+
+/// A synthetic geo-visual corpus.
+pub struct IndexWorkload {
+    /// FOVs with payload ids.
+    pub fovs: Vec<(Fov, usize)>,
+    /// Feature vectors, aligned with `fovs`.
+    pub features: Vec<Vec<f32>>,
+    /// Selective query boxes (~0.1–2% of the region).
+    pub query_boxes: Vec<BBox>,
+    /// Broad query boxes (~25% of the region) — the low-spatial-
+    /// selectivity regime where hybrid pruning pays off.
+    pub query_boxes_broad: Vec<BBox>,
+    /// Query direction arcs.
+    pub query_dirs: Vec<AngularRange>,
+    /// Visual query examples.
+    pub query_features: Vec<Vec<f32>>,
+}
+
+/// Builds a corpus of `n` geo-tagged objects with `dim`-dimensional
+/// clustered features and `q` queries.
+pub fn build_workload(n: usize, dim: usize, q: usize, seed: u64) -> IndexWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fovs = Vec::with_capacity(n);
+    let mut features = Vec::with_capacity(n);
+    for i in 0..n {
+        let lat = 34.0 + rng.gen_range(0.0..0.08);
+        let lon = -118.3 + rng.gen_range(0.0..0.08);
+        // Headings follow the street axis of the block (trucks drive
+        // along streets), with per-capture jitter — the correlation the
+        // oriented R-tree's per-node direction summaries exploit.
+        let street_axis = if location_cluster(lat, lon).is_multiple_of(2) { 0.0 } else { 90.0 };
+        let heading = street_axis
+            + if rng.gen_bool(0.5) { 180.0 } else { 0.0 }
+            + rng.gen_range(-15.0..15.0);
+        let fov = Fov::new(
+            GeoPoint::new(lat, lon),
+            heading,
+            rng.gen_range(40.0..80.0),
+            rng.gen_range(50.0..150.0),
+        );
+        fovs.push((fov, i));
+        // Visual appearance correlates with location (adjacent blocks look
+        // alike), as in real streetscapes — the structure hybrid
+        // spatial-visual indexes exploit.
+        let cluster = location_cluster(lat, lon);
+        features.push(
+            (0..dim)
+                .map(|d| ((cluster * 5 + d) % 7) as f32 + rng.gen_range(-0.2..0.2))
+                .collect(),
+        );
+    }
+    let mut query_boxes = Vec::with_capacity(q);
+    let mut query_boxes_broad = Vec::with_capacity(q);
+    let mut query_dirs = Vec::with_capacity(q);
+    let mut query_features = Vec::with_capacity(q);
+    for _ in 0..q {
+        let lat = 34.0 + rng.gen_range(0.0..0.07);
+        let lon = -118.3 + rng.gen_range(0.0..0.07);
+        let side = rng.gen_range(0.002..0.012);
+        query_boxes.push(BBox::new(lat, lon, lat + side, lon + side));
+        let blat = 34.0 + rng.gen_range(0.0..0.04);
+        let blon = -118.3 + rng.gen_range(0.0..0.04);
+        query_boxes_broad.push(BBox::new(blat, blon, blat + 0.04, blon + 0.04));
+        query_dirs.push(AngularRange::centered(rng.gen_range(0.0..360.0), 60.0));
+        // Query examples look like some location's imagery.
+        let cluster = location_cluster(
+            34.0 + rng.gen_range(0.0..0.08),
+            -118.3 + rng.gen_range(0.0..0.08),
+        );
+        query_features.push(
+            (0..dim)
+                .map(|d| ((cluster * 5 + d) % 7) as f32 + rng.gen_range(-0.2..0.2))
+                .collect(),
+        );
+    }
+    IndexWorkload { fovs, features, query_boxes, query_boxes_broad, query_dirs, query_features }
+}
+
+/// Maps a position to its visual-appearance cluster: a ~1 km block grid,
+/// eight appearance types.
+fn location_cluster(lat: f64, lon: f64) -> usize {
+    let row = ((lat - 34.0) / 0.01) as usize;
+    let col = ((lon + 118.3) / 0.01) as usize;
+    (row * 3 + col) % 8
+}
+
+/// All indexes built over one workload.
+pub struct BuiltIndexes {
+    /// Scene-location R-tree.
+    pub rtree: RTree<usize>,
+    /// Direction-augmented tree.
+    pub oriented: OrientedRTree<usize>,
+    /// Hybrid spatial-visual tree.
+    pub hybrid: VisualRTree<usize>,
+    /// p-stable LSH over the features.
+    pub lsh: LshIndex,
+}
+
+/// Builds every index over the workload.
+pub fn build_indexes(w: &IndexWorkload) -> BuiltIndexes {
+    let dim = w.features[0].len();
+    let mut rtree = RTree::new();
+    let mut oriented = OrientedRTree::new();
+    let mut hybrid = VisualRTree::new(dim);
+    let mut lsh = LshIndex::new(dim, LshConfig::default());
+    for ((fov, id), feat) in w.fovs.iter().zip(&w.features) {
+        let scene = fov.scene_location();
+        rtree.insert(scene, *id);
+        oriented.insert(*fov, *id);
+        hybrid.insert(scene, feat.clone(), *id);
+        lsh.insert(feat.clone());
+    }
+    BuiltIndexes { rtree, oriented, hybrid, lsh }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_and_indexes_consistent() {
+        let w = build_workload(200, 8, 10, 1);
+        assert_eq!(w.fovs.len(), 200);
+        assert_eq!(w.features.len(), 200);
+        assert_eq!(w.query_boxes.len(), 10);
+        assert_eq!(w.query_boxes_broad.len(), 10);
+        let idx = build_indexes(&w);
+        assert_eq!(idx.rtree.len(), 200);
+        assert_eq!(idx.oriented.len(), 200);
+        assert_eq!(idx.hybrid.len(), 200);
+        assert_eq!(idx.lsh.len(), 200);
+        // A spatial query through the index equals the linear scan.
+        let q = &w.query_boxes[0];
+        let mut from_tree: Vec<usize> = idx.rtree.range(q).into_iter().copied().collect();
+        from_tree.sort_unstable();
+        let mut linear: Vec<usize> = w
+            .fovs
+            .iter()
+            .filter(|(f, _)| f.scene_location().intersects(q))
+            .map(|(_, id)| *id)
+            .collect();
+        linear.sort_unstable();
+        assert_eq!(from_tree, linear);
+    }
+}

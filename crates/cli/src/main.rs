@@ -1,0 +1,13 @@
+//! `tvdp` binary entry point; all logic lives in the library so tests can
+//! drive commands in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tvdp_cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

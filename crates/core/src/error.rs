@@ -1,0 +1,78 @@
+//! Platform-level errors.
+
+use tvdp_storage::{ClassificationId, ImageId, ModelId, StorageError, UserId};
+use tvdp_vision::FeatureKind;
+
+/// Errors surfaced by platform operations.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Underlying storage failure (bad foreign keys etc.).
+    Storage(StorageError),
+    /// The user is not registered.
+    UnknownUser(UserId),
+    /// The model is not registered.
+    UnknownModel(ModelId),
+    /// The classification scheme is not registered.
+    UnknownScheme(ClassificationId),
+    /// The image is not stored.
+    UnknownImage(ImageId),
+    /// Training requires labelled data that is not there.
+    NotEnoughTrainingData {
+        /// The scheme lacking annotations.
+        scheme: ClassificationId,
+        /// Annotated samples found.
+        found: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// The image lacks the stored feature a model needs.
+    MissingFeature(ImageId, FeatureKind),
+    /// No pixels stored for an image that needs processing.
+    MissingPixels(ImageId),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Storage(e) => write!(f, "storage: {e}"),
+            PlatformError::UnknownUser(id) => write!(f, "unknown user {id}"),
+            PlatformError::UnknownModel(id) => write!(f, "unknown model {id}"),
+            PlatformError::UnknownScheme(id) => write!(f, "unknown scheme {id}"),
+            PlatformError::UnknownImage(id) => write!(f, "unknown image {id}"),
+            PlatformError::NotEnoughTrainingData { scheme, found, needed } => write!(
+                f,
+                "scheme {scheme}: {found} annotated samples, need at least {needed}"
+            ),
+            PlatformError::MissingFeature(id, kind) => {
+                write!(f, "image {id} lacks a stored {kind:?} feature")
+            }
+            PlatformError::MissingPixels(id) => write!(f, "image {id} has no stored pixels"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<StorageError> for PlatformError {
+    fn from(e: StorageError) -> Self {
+        PlatformError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatformError::NotEnoughTrainingData {
+            scheme: ClassificationId(1),
+            found: 3,
+            needed: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3") && s.contains("10"));
+        let e2: PlatformError = StorageError::UnknownImage(ImageId(5)).into();
+        assert!(e2.to_string().contains("img-5"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! The Translational Visual Data Platform core.
+//!
+//! [`Tvdp`] is the platform facade the paper's Fig. 1 describes: one
+//! object wiring the four core services over shared storage:
+//!
+//! * **Acquisition** — uploads ([`Tvdp::ingest`]), augmentation with
+//!   lineage ([`Tvdp::augment`]), and spatial-crowdsourcing campaigns
+//!   ([`Tvdp::acquire_via_campaign`]),
+//! * **Access** — the full query language ([`Tvdp::search`]) served by
+//!   the indexing substrate,
+//! * **Analysis** — training classifiers over stored features and
+//!   labels ([`Tvdp::train_model`]), applying them to write machine
+//!   annotations back into the store ([`Tvdp::apply_model`]),
+//! * **Action** — capability-aware model dispatch to edge devices
+//!   ([`Tvdp::dispatch_to_device`]).
+//!
+//! The write-back of machine annotations is what makes the platform
+//! *translational*: knowledge produced by one application (street
+//! cleanliness) becomes queryable data for the next (homeless counting,
+//! graffiti studies) — see [`translational`].
+
+pub mod error;
+pub mod models;
+pub mod platform;
+pub mod translational;
+pub mod users;
+pub mod video;
+
+pub use error::PlatformError;
+pub use models::{ModelEntry, ModelInterface, ModelRegistry};
+pub use platform::{IngestRequest, PlatformConfig, Tvdp};
+pub use translational::{count_by_cell, hotspots, CellCount};
+pub use users::{Role, User, UserRegistry};
+pub use video::{select_keyframes, KeyframePolicy, VideoFrame, VideoIngestReport};

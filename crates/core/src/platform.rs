@@ -1,0 +1,936 @@
+//! The platform facade.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use tvdp_crowd::{simulate_campaign, Campaign, SimulationConfig};
+use tvdp_edge::{DispatchConstraints, DeviceProfile, ModelDispatcher, ModelSpec, MODEL_ZOO};
+use tvdp_geo::Fov;
+use tvdp_ml::mlp::MlpParams;
+use tvdp_ml::{
+    Classifier, DecisionTree, GaussianNb, KnnClassifier, LinearSvm, LogisticRegression, Mlp,
+    RandomForest, ScaledClassifier, SerializableModel,
+};
+use tvdp_query::engine::EngineConfig;
+use tvdp_query::{Query, QueryEngine, QueryResult};
+use tvdp_storage::{
+    AnnotationId, AnnotationSource, ClassificationId, ImageId, ImageMeta, ImageOrigin, ModelId,
+    UserId, VisualStore,
+};
+use tvdp_vision::{
+    Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor,
+    FeatureKind, Image,
+};
+
+use crate::error::PlatformError;
+use crate::models::{ModelInterface, ModelRegistry};
+use crate::users::{Role, UserRegistry};
+
+/// Training algorithms a participant can pick when devising a model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// k-nearest neighbours with the given `k`.
+    Knn(usize),
+    /// CART decision tree.
+    DecisionTree,
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+    /// Random forest with the given tree count.
+    RandomForest(usize),
+    /// Linear SVM (the paper's best performer).
+    Svm,
+    /// Multinomial logistic regression.
+    LogisticRegression,
+    /// Single-hidden-layer MLP.
+    Mlp,
+}
+
+impl Algorithm {
+    fn build(self, seed: u64) -> SerializableModel {
+        // Scale-sensitive algorithms train behind a standardization
+        // pipeline fitted on the training split; every variant is
+        // portable (downloadable through the API).
+        match self {
+            Algorithm::Knn(k) => {
+                SerializableModel::Knn(ScaledClassifier::new(KnnClassifier::new(k).weighted()))
+            }
+            Algorithm::DecisionTree => SerializableModel::DecisionTree(DecisionTree::new()),
+            Algorithm::NaiveBayes => SerializableModel::NaiveBayes(GaussianNb::new()),
+            Algorithm::RandomForest(n) => {
+                SerializableModel::RandomForest(RandomForest::new(n, seed))
+            }
+            Algorithm::Svm => SerializableModel::Svm(ScaledClassifier::new(LinearSvm::new())),
+            Algorithm::LogisticRegression => SerializableModel::LogisticRegression(
+                ScaledClassifier::new(LogisticRegression::new()),
+            ),
+            Algorithm::Mlp => {
+                SerializableModel::Mlp(ScaledClassifier::new(Mlp::with_params(MlpParams {
+                    hidden: 96,
+                    epochs: 80,
+                    seed,
+                    ..Default::default()
+                })))
+            }
+        }
+    }
+}
+
+/// Platform construction options.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Query-engine options (visual index feature family etc.).
+    pub engine: EngineConfig,
+    /// CNN extractor architecture.
+    pub cnn: CnnConfig,
+    /// Minimum labelled samples before a model may be trained.
+    pub min_training_samples: usize,
+    /// Seed for stochastic training algorithms.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            cnn: CnnConfig::default(),
+            min_training_samples: 10,
+            seed: 0x7D_1D,
+        }
+    }
+}
+
+/// Outcome of a deduplicating upload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestOutcome {
+    /// The image was new and stored under this id.
+    Stored(ImageId),
+    /// A near-duplicate already existed; nothing was stored.
+    Duplicate {
+        /// The previously stored near-duplicate.
+        existing: ImageId,
+        /// Feature distance to it.
+        feature_distance: f32,
+    },
+}
+
+/// Upload-time metadata for [`Tvdp::ingest`].
+#[derive(Debug, Clone)]
+pub struct IngestRequest {
+    /// Camera GPS position.
+    pub gps: tvdp_geo::GeoPoint,
+    /// FOV descriptor when direction sensors were available.
+    pub fov: Option<Fov>,
+    /// Capture timestamp, Unix seconds.
+    pub captured_at: i64,
+    /// Upload timestamp, Unix seconds.
+    pub uploaded_at: i64,
+    /// Uploader-supplied keywords.
+    pub keywords: Vec<String>,
+}
+
+/// Aggregate platform statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Stored images.
+    pub images: usize,
+    /// Stored annotations.
+    pub annotations: usize,
+    /// Registered models.
+    pub models: usize,
+    /// Registered users.
+    pub users: usize,
+}
+
+/// The Translational Visual Data Platform.
+pub struct Tvdp {
+    config: PlatformConfig,
+    store: Arc<VisualStore>,
+    engine: RwLock<QueryEngine>,
+    users: UserRegistry,
+    models: ModelRegistry,
+    color: ColorHistogramExtractor,
+    cnn: CnnExtractor,
+}
+
+impl Tvdp {
+    /// Creates an empty platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        Self::with_store(Arc::new(VisualStore::new()), config)
+    }
+
+    /// Wraps an existing store (e.g. one reloaded from disk), rebuilding
+    /// every index over its current contents. Users and models are
+    /// runtime state and start empty.
+    pub fn with_store(store: Arc<VisualStore>, config: PlatformConfig) -> Self {
+        let engine = QueryEngine::build(Arc::clone(&store), config.engine.clone());
+        let cnn = CnnExtractor::with_config(config.cnn.clone());
+        Self {
+            config,
+            store,
+            engine: RwLock::new(engine),
+            users: UserRegistry::new(),
+            models: ModelRegistry::new(),
+            color: ColorHistogramExtractor::paper_default(),
+            cnn,
+        }
+    }
+
+    /// The underlying store (read access for analysis pipelines).
+    pub fn store(&self) -> &Arc<VisualStore> {
+        &self.store
+    }
+
+    /// The user registry.
+    pub fn users(&self) -> &UserRegistry {
+        &self.users
+    }
+
+    /// The model registry.
+    pub fn models(&self) -> &ModelRegistry {
+        &self.models
+    }
+
+    /// Registers a participant.
+    pub fn register_user(&self, name: impl Into<String>, role: Role) -> UserId {
+        self.users.register(name, role)
+    }
+
+    /// Registers a classification scheme (a labelling task).
+    pub fn register_scheme(
+        &self,
+        name: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, PlatformError> {
+        Ok(self.store.register_scheme(name, labels)?)
+    }
+
+    fn require_user(&self, user: UserId) -> Result<(), PlatformError> {
+        if self.users.exists(user) {
+            Ok(())
+        } else {
+            Err(PlatformError::UnknownUser(user))
+        }
+    }
+
+    /// **Acquisition**: uploads an image; features (color histogram and
+    /// CNN embedding) are extracted and every index is updated.
+    pub fn ingest(
+        &self,
+        user: UserId,
+        image: Image,
+        request: IngestRequest,
+    ) -> Result<ImageId, PlatformError> {
+        self.require_user(user)?;
+        let meta = ImageMeta {
+            uploader: user,
+            gps: request.gps,
+            fov: request.fov,
+            captured_at: request.captured_at,
+            uploaded_at: request.uploaded_at,
+            keywords: request.keywords,
+        };
+        let color = self.color.extract(&image);
+        let cnn = self.cnn.extract(&image);
+        let id = self.store.add_image(meta, ImageOrigin::Original, Some(image))?;
+        self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+        self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+        self.engine.write().index_image(id);
+        Ok(id)
+    }
+
+    /// **Acquisition**: bulk upload with parallel feature extraction.
+    ///
+    /// Feature extraction dominates ingest cost; this path fans the
+    /// extraction of a batch out over `threads` workers (crossbeam scoped
+    /// threads), then applies storage and index updates serially in input
+    /// order. Ids are returned in input order.
+    pub fn ingest_batch(
+        &self,
+        user: UserId,
+        batch: Vec<(Image, IngestRequest)>,
+        threads: usize,
+    ) -> Result<Vec<ImageId>, PlatformError> {
+        self.require_user(user)?;
+        let threads = threads.clamp(1, 64);
+        // Phase 1: parallel extraction.
+        let mut extracted: Vec<Option<(Vec<f32>, Vec<f32>)>> = Vec::new();
+        extracted.resize_with(batch.len(), || None);
+        let chunk = batch.len().div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (images, out) in batch.chunks(chunk).zip(extracted.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for ((image, _), slot) in images.iter().zip(out.iter_mut()) {
+                        *slot = Some((self.color.extract(image), self.cnn.extract(image)));
+                    }
+                });
+            }
+        })
+        .expect("extraction worker panicked");
+        // Phase 2: serial storage + indexing.
+        let mut ids = Vec::with_capacity(batch.len());
+        let mut engine = self.engine.write();
+        for ((image, request), features) in batch.into_iter().zip(extracted) {
+            let (color, cnn) = features.expect("every slot extracted");
+            let meta = ImageMeta {
+                uploader: user,
+                gps: request.gps,
+                fov: request.fov,
+                captured_at: request.captured_at,
+                uploaded_at: request.uploaded_at,
+                keywords: request.keywords,
+            };
+            let id = self.store.add_image(meta, ImageOrigin::Original, Some(image))?;
+            self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+            self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+            engine.index_image(id);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// **Acquisition**: uploads an image with near-duplicate detection
+    /// (the paper's challenge 2: "visual data is huge in size and many
+    /// times redundant"). When a stored image is visually within
+    /// `max_feature_dist` (CNN feature distance) *and* spatially within
+    /// `max_camera_distance_m`, the upload is rejected as a duplicate and
+    /// the existing row is returned instead.
+    pub fn ingest_dedup(
+        &self,
+        user: UserId,
+        image: Image,
+        request: IngestRequest,
+        max_feature_dist: f32,
+        max_camera_distance_m: f64,
+    ) -> Result<IngestOutcome, PlatformError> {
+        self.require_user(user)?;
+        let cnn = self.cnn.extract(&image);
+        let candidates = self.engine.read().execute(&Query::Visual {
+            example: cnn,
+            kind: FeatureKind::Cnn,
+            mode: tvdp_query::VisualMode::Threshold(max_feature_dist),
+        });
+        for candidate in &candidates {
+            let Some(existing) = self.store.image(candidate.image) else { continue };
+            if existing.meta.gps.fast_distance_m(&request.gps) <= max_camera_distance_m {
+                return Ok(IngestOutcome::Duplicate {
+                    existing: candidate.image,
+                    feature_distance: candidate.score as f32,
+                });
+            }
+        }
+        Ok(IngestOutcome::Stored(self.ingest(user, image, request)?))
+    }
+
+    /// **Acquisition**: ingests a video as a key-frame sequence (paper
+    /// Section IV-B: "a video is represented by a sequence of key frames
+    /// … each one is tagged with various descriptors"). Frames dropped by
+    /// `policy` never hit storage.
+    pub fn ingest_video(
+        &self,
+        user: UserId,
+        frames: &[crate::video::VideoFrame],
+        policy: crate::video::KeyframePolicy,
+        keywords: Vec<String>,
+    ) -> Result<crate::video::VideoIngestReport, PlatformError> {
+        self.require_user(user)?;
+        let kept = crate::video::select_keyframes(frames, policy);
+        let mut keyframes = Vec::with_capacity(kept.len());
+        for &i in &kept {
+            let frame = &frames[i];
+            let id = self.ingest(
+                user,
+                frame.image.clone(),
+                IngestRequest {
+                    gps: frame.fov.camera,
+                    fov: Some(frame.fov),
+                    captured_at: frame.captured_at,
+                    uploaded_at: frame.captured_at + 1,
+                    keywords: keywords.clone(),
+                },
+            )?;
+            keyframes.push(id);
+        }
+        Ok(crate::video::VideoIngestReport {
+            frames_offered: frames.len(),
+            frames_dropped: frames.len() - keyframes.len(),
+            keyframes,
+        })
+    }
+
+    /// **Acquisition**: synthesizes an augmented variant of a stored
+    /// image, recording lineage and extracting fresh features.
+    pub fn augment(
+        &self,
+        user: UserId,
+        parent: ImageId,
+        op: Augmentation,
+    ) -> Result<ImageId, PlatformError> {
+        self.require_user(user)?;
+        let record = self.store.image(parent).ok_or(PlatformError::UnknownImage(parent))?;
+        let pixels = self.store.pixels(parent).ok_or(PlatformError::MissingPixels(parent))?;
+        let augmented = op.apply(&pixels);
+        let color = self.color.extract(&augmented);
+        let cnn = self.cnn.extract(&augmented);
+        let id = self.store.add_image(
+            record.meta.clone(),
+            ImageOrigin::Augmented { parent, op: op.tag() },
+            Some(augmented),
+        )?;
+        self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+        self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+        self.engine.write().index_image(id);
+        Ok(id)
+    }
+
+    /// **Acquisition**: runs a spatial-crowdsourcing campaign. For each
+    /// captured FOV, `capture` synthesizes the photo a worker would take
+    /// (pixels, keywords, capture time); everything is ingested under
+    /// `user` and the resulting image ids returned.
+    pub fn acquire_via_campaign(
+        &self,
+        user: UserId,
+        campaign: &Campaign,
+        sim: &SimulationConfig,
+        mut capture: impl FnMut(&Fov) -> (Image, Vec<String>, i64),
+    ) -> Result<(tvdp_crowd::CampaignReport, Vec<ImageId>), PlatformError> {
+        self.require_user(user)?;
+        let (report, fovs) = simulate_campaign(campaign, sim);
+        let mut ids = Vec::with_capacity(fovs.len());
+        for fov in &fovs {
+            let (image, keywords, captured_at) = capture(fov);
+            let id = self.ingest(
+                user,
+                image,
+                IngestRequest {
+                    gps: fov.camera,
+                    fov: Some(*fov),
+                    captured_at,
+                    uploaded_at: captured_at + 60,
+                    keywords,
+                },
+            )?;
+            ids.push(id);
+        }
+        Ok((report, ids))
+    }
+
+    /// **Access**: executes a query against the indexes.
+    pub fn search(&self, query: &Query) -> Vec<QueryResult> {
+        self.engine.read().execute(query)
+    }
+
+    /// Extracts the platform's feature families from an image *without*
+    /// storing it (the "get visual features" API: edge devices and
+    /// collaborators compute-on-upload).
+    pub fn extract_features(&self, image: &Image) -> Vec<(FeatureKind, Vec<f32>)> {
+        vec![
+            (FeatureKind::ColorHistogram, self.color.extract(image)),
+            (FeatureKind::Cnn, self.cnn.extract(image)),
+        ]
+    }
+
+    /// Records a human annotation (confidence 1.0).
+    pub fn annotate_human(
+        &self,
+        user: UserId,
+        image: ImageId,
+        scheme: ClassificationId,
+        label: usize,
+    ) -> Result<AnnotationId, PlatformError> {
+        self.require_user(user)?;
+        Ok(self.store.annotate(
+            image,
+            scheme,
+            label,
+            1.0,
+            AnnotationSource::Human(user),
+            None,
+        )?)
+    }
+
+    /// Records a human annotation on a sub-region of the image (the
+    /// part-of-image labels of the paper's annotation descriptor: "a
+    /// label … associated with a boundary surrounding a visual part of
+    /// the image"). The region must lie within the stored image bounds.
+    pub fn annotate_human_region(
+        &self,
+        user: UserId,
+        image: ImageId,
+        scheme: ClassificationId,
+        label: usize,
+        region: tvdp_storage::RegionOfInterest,
+    ) -> Result<AnnotationId, PlatformError> {
+        self.require_user(user)?;
+        let record = self.store.image(image).ok_or(PlatformError::UnknownImage(image))?;
+        if record.width > 0
+            && (region.x + region.width > record.width
+                || region.y + region.height > record.height)
+        {
+            return Err(PlatformError::Storage(
+                tvdp_storage::StorageError::UnknownImage(image),
+            ));
+        }
+        Ok(self.store.annotate(
+            image,
+            scheme,
+            label,
+            1.0,
+            AnnotationSource::Human(user),
+            Some(region),
+        )?)
+    }
+
+    /// **Analysis**: trains a classifier on every stored image that has
+    /// both a feature of `feature_kind` and a (sufficiently confident)
+    /// annotation under `scheme`, then registers it.
+    pub fn train_model(
+        &self,
+        user: UserId,
+        name: impl Into<String>,
+        scheme: ClassificationId,
+        feature_kind: FeatureKind,
+        algorithm: Algorithm,
+    ) -> Result<ModelId, PlatformError> {
+        self.require_user(user)?;
+        let scheme_row =
+            self.store.scheme(scheme).ok_or(PlatformError::UnknownScheme(scheme))?;
+        let n_classes = scheme_row.labels.len();
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for image in self.store.images_with_feature(feature_kind) {
+            let anns = self.store.annotations_of(image);
+            // Prefer human labels; fall back to the most confident
+            // machine label for the scheme.
+            let best = anns
+                .iter()
+                .filter(|a| a.classification == scheme)
+                .max_by(|a, b| {
+                    (a.is_human() as u8, a.confidence)
+                        .partial_cmp(&(b.is_human() as u8, b.confidence))
+                        .expect("confidence is finite")
+                });
+            if let Some(ann) = best {
+                features.push(
+                    self.store
+                        .feature(image, feature_kind)
+                        .expect("listed image has the feature"),
+                );
+                labels.push(ann.label);
+            }
+        }
+        if features.len() < self.config.min_training_samples {
+            return Err(PlatformError::NotEnoughTrainingData {
+                scheme,
+                found: features.len(),
+                needed: self.config.min_training_samples,
+            });
+        }
+        let input_dim = features[0].len();
+        let mut classifier = algorithm.build(self.config.seed);
+        classifier.fit(&features, &labels, n_classes);
+        let id = self.models.register_portable(
+            name,
+            user,
+            ModelInterface { feature_kind, input_dim, scheme },
+            classifier,
+        );
+        Ok(id)
+    }
+
+    /// Registers an externally trained portable model under `user` (the
+    /// upload half of the paper's model-sharing APIs). The declared
+    /// scheme must exist.
+    pub fn upload_model(
+        &self,
+        user: UserId,
+        name: impl Into<String>,
+        interface: ModelInterface,
+        model: SerializableModel,
+    ) -> Result<ModelId, PlatformError> {
+        self.require_user(user)?;
+        if self.store.scheme(interface.scheme).is_none() {
+            return Err(PlatformError::UnknownScheme(interface.scheme));
+        }
+        Ok(self.models.register_portable(name, user, interface, model))
+    }
+
+    /// **Analysis → translational write-back**: applies a registered
+    /// model to images, storing each prediction as a machine annotation.
+    /// Returns `(image, label, confidence)` per processed image; images
+    /// lacking the required feature are reported as errors.
+    pub fn apply_model(
+        &self,
+        model: ModelId,
+        images: &[ImageId],
+    ) -> Result<Vec<(ImageId, usize, f32)>, PlatformError> {
+        let interface =
+            self.models.interface(model).ok_or(PlatformError::UnknownModel(model))?;
+        let mut out = Vec::with_capacity(images.len());
+        for &image in images {
+            let feature = self
+                .store
+                .feature(image, interface.feature_kind)
+                .ok_or(PlatformError::MissingFeature(image, interface.feature_kind))?;
+            let (label, confidence) =
+                self.models.predict(model, &feature).expect("model exists");
+            self.store.annotate(
+                image,
+                interface.scheme,
+                label,
+                confidence,
+                AnnotationSource::Machine(model),
+                None,
+            )?;
+            out.push((image, label, confidence));
+        }
+        Ok(out)
+    }
+
+    /// **Action**: chooses the zoo model to deploy on a device.
+    pub fn dispatch_to_device(
+        &self,
+        device: &DeviceProfile,
+        constraints: &DispatchConstraints,
+    ) -> Option<ModelSpec> {
+        ModelDispatcher::new(MODEL_ZOO.to_vec()).dispatch(device, constraints)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> PlatformStats {
+        PlatformStats {
+            images: self.store.len(),
+            annotations: self.store.annotation_count(),
+            models: self.models.ids().len(),
+            users: self.users.all().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+
+    fn fast_config() -> PlatformConfig {
+        PlatformConfig {
+            cnn: CnnConfig {
+                input_size: 16,
+                stage_channels: vec![4, 8],
+                pool_grid: 2,
+                seed: 1,
+            },
+            min_training_samples: 6,
+            ..Default::default()
+        }
+    }
+
+    fn scene(class: usize, seed: usize) -> Image {
+        // Two visually distinct synthetic classes.
+        Image::from_fn(24, 24, |x, y| {
+            let v = ((x * 3 + y * 5 + seed) % 17) as u8 * 3;
+            if class == 0 {
+                [200, v, v]
+            } else if (x / 4 + y / 4) % 2 == 0 {
+                [v, v, 220]
+            } else {
+                [20, 20, 40]
+            }
+        })
+    }
+
+    fn request(i: i64) -> IngestRequest {
+        IngestRequest {
+            gps: GeoPoint::new(34.0 + i as f64 * 1e-4, -118.25),
+            fov: None,
+            captured_at: 1000 + i,
+            uploaded_at: 1100 + i,
+            keywords: vec!["street".into()],
+        }
+    }
+
+    #[test]
+    fn ingest_extracts_features_and_indexes() {
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let id = tvdp.ingest(user, scene(0, 0), request(0)).unwrap();
+        assert!(tvdp.store().feature(id, FeatureKind::Cnn).is_some());
+        assert!(tvdp.store().feature(id, FeatureKind::ColorHistogram).is_some());
+        let hits = tvdp.search(&Query::Textual {
+            text: "street".into(),
+            mode: tvdp_query::TextualMode::All,
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(tvdp.stats().images, 1);
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let tvdp = Tvdp::new(fast_config());
+        let err = tvdp.ingest(UserId(7), scene(0, 0), request(0)).unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownUser(_)));
+    }
+
+    #[test]
+    fn train_and_apply_model_end_to_end() {
+        let tvdp = Tvdp::new(fast_config());
+        let gov = tvdp.register_user("LASAN", Role::Government);
+        let researcher = tvdp.register_user("USC", Role::Researcher);
+        let scheme = tvdp
+            .register_scheme("binary", vec!["red".into(), "blue".into()])
+            .unwrap();
+        // Labelled training uploads.
+        for i in 0..16 {
+            let class = i % 2;
+            let id = tvdp.ingest(gov, scene(class, i), request(i as i64)).unwrap();
+            tvdp.annotate_human(gov, id, scheme, class).unwrap();
+        }
+        let model = tvdp
+            .train_model(researcher, "red-vs-blue", scheme, FeatureKind::Cnn, Algorithm::Svm)
+            .unwrap();
+        // New unlabeled uploads get machine annotations.
+        let new0 = tvdp.ingest(gov, scene(0, 99), request(99)).unwrap();
+        let new1 = tvdp.ingest(gov, scene(1, 98), request(98)).unwrap();
+        let results = tvdp.apply_model(model, &[new0, new1]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1, 0, "red scene misclassified");
+        assert_eq!(results[1].1, 1, "blue scene misclassified");
+        // Write-back happened: annotations are queryable.
+        let anns = tvdp.store().annotations_of(new0);
+        assert_eq!(anns.len(), 1);
+        assert!(!anns[0].is_human());
+    }
+
+    #[test]
+    fn training_requires_enough_data() {
+        let tvdp = Tvdp::new(fast_config());
+        let gov = tvdp.register_user("LASAN", Role::Government);
+        let scheme = tvdp.register_scheme("s", vec!["a".into(), "b".into()]).unwrap();
+        let id = tvdp.ingest(gov, scene(0, 0), request(0)).unwrap();
+        tvdp.annotate_human(gov, id, scheme, 0).unwrap();
+        let err = tvdp
+            .train_model(gov, "m", scheme, FeatureKind::Cnn, Algorithm::NaiveBayes)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::NotEnoughTrainingData { found: 1, .. }));
+    }
+
+    #[test]
+    fn augment_records_lineage_and_is_searchable() {
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("u", Role::CommunityPartner);
+        let parent = tvdp.ingest(user, scene(0, 1), request(1)).unwrap();
+        let child = tvdp.augment(user, parent, Augmentation::FlipHorizontal).unwrap();
+        assert_eq!(tvdp.store().augmented_children(parent), vec![child]);
+        let rec = tvdp.store().image(child).unwrap();
+        assert!(rec.is_augmented());
+        assert!(tvdp.store().feature(child, FeatureKind::Cnn).is_some());
+    }
+
+    #[test]
+    fn dedup_rejects_near_duplicates() {
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("u", Role::CommunityPartner);
+        let first = tvdp.ingest(user, scene(0, 1), request(1)).unwrap();
+        // Same pixels, same place: duplicate.
+        let outcome = tvdp
+            .ingest_dedup(user, scene(0, 1), request(1), 0.05, 50.0)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            IngestOutcome::Duplicate { existing: first, feature_distance: 0.0 }
+        );
+        assert_eq!(tvdp.stats().images, 1);
+        // Same pixels far away: stored.
+        let mut far = request(2);
+        far.gps = GeoPoint::new(34.2, -118.25);
+        let outcome = tvdp.ingest_dedup(user, scene(0, 1), far, 0.05, 50.0).unwrap();
+        assert!(matches!(outcome, IngestOutcome::Stored(_)));
+        // Different pixels nearby: stored.
+        let outcome = tvdp
+            .ingest_dedup(user, scene(1, 9), request(1), 0.05, 50.0)
+            .unwrap();
+        assert!(matches!(outcome, IngestOutcome::Stored(_)));
+        assert_eq!(tvdp.stats().images, 3);
+    }
+
+    #[test]
+    fn video_ingest_keeps_only_keyframes() {
+        use crate::video::{KeyframePolicy, VideoFrame};
+        use tvdp_geo::Fov;
+
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("u", Role::Government);
+        let base = GeoPoint::new(34.0, -118.25);
+        // 12 frames: truck parked for 8, then driving for 4.
+        let frames: Vec<VideoFrame> = (0..12)
+            .map(|i| {
+                let moved = if i < 8 { 0.0 } else { (i - 7) as f64 * 40.0 };
+                VideoFrame {
+                    image: scene(0, i),
+                    fov: Fov::new(base.destination(90.0, moved), 90.0, 60.0, 80.0),
+                    captured_at: 100 + i as i64,
+                }
+            })
+            .collect();
+        let report = tvdp
+            .ingest_video(
+                user,
+                &frames,
+                KeyframePolicy::SpatialNovelty { min_move_m: 20.0, min_turn_deg: 45.0 },
+                vec!["route-7".into()],
+            )
+            .unwrap();
+        assert_eq!(report.frames_offered, 12);
+        assert_eq!(report.keyframes.len(), 5, "1 parked + 4 moving");
+        assert_eq!(report.frames_dropped, 7);
+        assert_eq!(tvdp.stats().images, 5);
+        // Every key frame carries its own FOV and is searchable.
+        for &id in &report.keyframes {
+            assert!(tvdp.store().image(id).unwrap().meta.fov.is_some());
+        }
+        let hits = tvdp.search(&Query::Textual {
+            text: "route 7".into(),
+            mode: tvdp_query::TextualMode::All,
+        });
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn dispatch_respects_device_tier() {
+        let tvdp = Tvdp::new(fast_config());
+        let pick = tvdp
+            .dispatch_to_device(
+                &tvdp_edge::DeviceClass::Desktop.profile(),
+                &DispatchConstraints::default(),
+            )
+            .unwrap();
+        assert_eq!(pick.name, "InceptionV3");
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+
+    fn cfg() -> PlatformConfig {
+        PlatformConfig {
+            cnn: CnnConfig { input_size: 16, stage_channels: vec![4, 8], pool_grid: 2, seed: 1 },
+            ..Default::default()
+        }
+    }
+
+    fn img(i: usize) -> Image {
+        Image::from_fn(20, 20, |x, y| [(x * i) as u8, (y + i) as u8, 7])
+    }
+
+    fn req(i: i64) -> IngestRequest {
+        IngestRequest {
+            gps: GeoPoint::new(34.0 + i as f64 * 1e-4, -118.25),
+            fov: None,
+            captured_at: i,
+            uploaded_at: i + 1,
+            keywords: vec![format!("kw{i}")],
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_ingest() {
+        let seq = Tvdp::new(cfg());
+        let par = Tvdp::new(cfg());
+        let user_s = seq.register_user("u", Role::Government);
+        let user_p = par.register_user("u", Role::Government);
+        let batch: Vec<(Image, IngestRequest)> =
+            (0..17).map(|i| (img(i), req(i as i64))).collect();
+        let seq_ids: Vec<ImageId> = batch
+            .iter()
+            .map(|(im, rq)| seq.ingest(user_s, im.clone(), rq.clone()).unwrap())
+            .collect();
+        let par_ids = par.ingest_batch(user_p, batch, 4).unwrap();
+        assert_eq!(seq_ids, par_ids, "ids in input order");
+        for (&a, &b) in seq_ids.iter().zip(&par_ids) {
+            assert_eq!(
+                seq.store().feature(a, FeatureKind::Cnn),
+                par.store().feature(b, FeatureKind::Cnn),
+                "parallel extraction must be bit-identical"
+            );
+            assert_eq!(seq.store().image(a), par.store().image(b));
+        }
+        // Index sees everything.
+        let hits = par.search(&Query::Textual {
+            text: "kw3".into(),
+            mode: tvdp_query::TextualMode::All,
+        });
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn batch_handles_empty_and_single() {
+        let tvdp = Tvdp::new(cfg());
+        let user = tvdp.register_user("u", Role::Government);
+        assert!(tvdp.ingest_batch(user, vec![], 4).unwrap().is_empty());
+        let one = tvdp.ingest_batch(user, vec![(img(1), req(1))], 8).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn batch_rejects_unknown_user() {
+        let tvdp = Tvdp::new(cfg());
+        let err = tvdp.ingest_batch(UserId(9), vec![(img(1), req(1))], 2).unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownUser(_)));
+    }
+}
+
+#[cfg(test)]
+mod region_annotation_tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+    use tvdp_storage::RegionOfInterest;
+
+    #[test]
+    fn region_annotations_validate_bounds() {
+        let tvdp = Tvdp::new(PlatformConfig {
+            cnn: CnnConfig { input_size: 16, stage_channels: vec![4], pool_grid: 2, seed: 1 },
+            ..Default::default()
+        });
+        let user = tvdp.register_user("u", Role::CommunityPartner);
+        let scheme = tvdp.register_scheme("parts", vec!["tent".into(), "bag".into()]).unwrap();
+        let img = Image::from_fn(32, 24, |_, _| [50, 50, 50]);
+        let id = tvdp
+            .ingest(
+                user,
+                img,
+                IngestRequest {
+                    gps: GeoPoint::new(34.0, -118.25),
+                    fov: None,
+                    captured_at: 0,
+                    uploaded_at: 1,
+                    keywords: vec![],
+                },
+            )
+            .unwrap();
+        // In-bounds region works.
+        let ann = tvdp
+            .annotate_human_region(
+                user,
+                id,
+                scheme,
+                0,
+                RegionOfInterest { x: 4, y: 4, width: 10, height: 10 },
+            )
+            .unwrap();
+        let rows = tvdp.store().annotations_of(id);
+        assert_eq!(rows[0].id, ann);
+        assert_eq!(rows[0].region.unwrap().width, 10);
+        // Out-of-bounds region rejected.
+        let err = tvdp.annotate_human_region(
+            user,
+            id,
+            scheme,
+            0,
+            RegionOfInterest { x: 30, y: 0, width: 10, height: 5 },
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Synthetic LASAN-style dataset generator.
+//!
+//! The paper's evaluation uses 22K real geo-tagged street images labelled
+//! by the Los Angeles Sanitation Department with five cleanliness classes
+//! (Fig. 5): *bulky item*, *illegal dumping*, *encampment*, *overgrown
+//! vegetation*, and *clean*. That dataset is not public, so this crate
+//! procedurally renders street scenes whose classes differ in the *kind*
+//! of pixel statistics they exhibit:
+//!
+//! * bulky item — one large box-shaped object on the sidewalk,
+//! * illegal dumping — a scatter of small dark bags/debris blobs,
+//! * encampment — tent silhouettes with tarp-blue panels,
+//! * overgrown vegetation — high-frequency green texture regions,
+//! * clean — bare street, nothing added.
+//!
+//! Illumination, color cast, viewpoint, and noise vary per image, so no
+//! trivial single-pixel rule separates the classes; the relative power of
+//! color vs gradient vs spatial-structure features (paper Fig. 6) is
+//! decided by genuine feature extraction downstream, not by construction.
+//!
+//! Each image also carries realistic acquisition metadata — GPS position
+//! on a street grid, a camera FOV aligned with the street, capture/upload
+//! timestamps, keywords, an uploader — plus a hidden graffiti co-label
+//! used by the translational-data experiment (Fig. 9).
+
+pub mod classes;
+pub mod generate;
+pub mod scene;
+pub mod streets;
+
+pub use classes::CleanlinessClass;
+pub use generate::{generate, DatasetConfig, SyntheticImage};
+pub use streets::StreetGrid;

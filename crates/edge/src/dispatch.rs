@@ -1,0 +1,211 @@
+//! Capability-aware model dispatch.
+//!
+//! "A high-end device can run a more complex version of the model which
+//! potentially can provide more accurate results; a low-end device can
+//! run a simpler version much faster but with less accurate results"
+//! (paper Section VI). The dispatcher picks, per device, the most
+//! accurate zoo model that fits the device's memory and meets the
+//! requested latency budget.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProfile;
+use crate::energy::{inferences_per_charge, PowerProfile};
+use crate::latency::nominal_latency_ms;
+use crate::model::ModelSpec;
+
+/// Requirements a dispatched model must satisfy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DispatchConstraints {
+    /// Upper bound on per-inference latency, ms.
+    pub max_latency_ms: f64,
+    /// Lower bound on model accuracy (proxy), if any.
+    pub min_accuracy: Option<f64>,
+    /// For battery-powered devices: the model must sustain at least this
+    /// many inferences per charge. Ignored on mains power.
+    pub min_inferences_per_charge: Option<u64>,
+}
+
+impl Default for DispatchConstraints {
+    fn default() -> Self {
+        Self { max_latency_ms: 1_000.0, min_accuracy: None, min_inferences_per_charge: None }
+    }
+}
+
+/// Chooses models from a zoo for heterogeneous devices.
+///
+/// ```
+/// use tvdp_edge::{DeviceClass, DispatchConstraints, ModelDispatcher, MODEL_ZOO};
+///
+/// let dispatcher = ModelDispatcher::new(MODEL_ZOO.to_vec());
+/// let constraints = DispatchConstraints { max_latency_ms: 700.0, ..Default::default() };
+/// // A desktop affords InceptionV3 within 700 ms; a Raspberry Pi cannot.
+/// let desktop = dispatcher.dispatch(&DeviceClass::Desktop.profile(), &constraints).unwrap();
+/// let rpi = dispatcher.dispatch(&DeviceClass::RaspberryPi.profile(), &constraints).unwrap();
+/// assert_eq!(desktop.name, "InceptionV3");
+/// assert!(rpi.name.starts_with("MobileNet"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelDispatcher {
+    zoo: Vec<ModelSpec>,
+}
+
+impl ModelDispatcher {
+    /// A dispatcher over the given model variants.
+    pub fn new(zoo: Vec<ModelSpec>) -> Self {
+        assert!(!zoo.is_empty(), "empty model zoo");
+        Self { zoo }
+    }
+
+    /// The most accurate model that fits `device` under `constraints`;
+    /// `None` when nothing qualifies (caller should fall back to server-
+    /// side inference).
+    pub fn dispatch(
+        &self,
+        device: &DeviceProfile,
+        constraints: &DispatchConstraints,
+    ) -> Option<ModelSpec> {
+        let power = PowerProfile::for_device(device);
+        self.zoo
+            .iter()
+            .filter(|m| m.memory_mb() <= device.memory_mb)
+            .filter(|m| nominal_latency_ms(m, device) <= constraints.max_latency_ms)
+            .filter(|m| constraints.min_accuracy.is_none_or(|a| m.accuracy >= a))
+            .filter(|m| match (constraints.min_inferences_per_charge,
+                               inferences_per_charge(m, device, &power)) {
+                (Some(need), Some(have)) => have >= need,
+                _ => true, // mains power or no energy constraint
+            })
+            .max_by(|a, b| {
+                a.accuracy
+                    .total_cmp(&b.accuracy)
+                    // Ties: prefer the cheaper model.
+                    .then(b.mflops.total_cmp(&a.mflops))
+            })
+            .copied()
+    }
+
+    /// Dispatch decisions for a whole fleet, in input order.
+    pub fn dispatch_fleet(
+        &self,
+        devices: &[DeviceProfile],
+        constraints: &DispatchConstraints,
+    ) -> Vec<Option<ModelSpec>> {
+        devices.iter().map(|d| self.dispatch(d, constraints)).collect()
+    }
+
+    /// Seconds for `device` to download `model`'s weights.
+    pub fn download_seconds(device: &DeviceProfile, model: &ModelSpec) -> f64 {
+        device.upload_seconds(model.download_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceClass;
+    use crate::model::MODEL_ZOO;
+
+    fn dispatcher() -> ModelDispatcher {
+        ModelDispatcher::new(MODEL_ZOO.to_vec())
+    }
+
+    #[test]
+    fn desktop_gets_the_big_model() {
+        let m = dispatcher()
+            .dispatch(&DeviceClass::Desktop.profile(), &DispatchConstraints::default())
+            .unwrap();
+        assert_eq!(m.name, "InceptionV3");
+    }
+
+    #[test]
+    fn rpi_gets_a_mobile_model_under_tight_latency() {
+        let constraints = DispatchConstraints { max_latency_ms: 700.0, min_accuracy: None, ..Default::default() };
+        let m = dispatcher()
+            .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
+            .unwrap();
+        assert!(m.name.starts_with("MobileNet"), "got {}", m.name);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_none() {
+        let constraints = DispatchConstraints { max_latency_ms: 0.1, min_accuracy: None, ..Default::default() };
+        assert!(dispatcher()
+            .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
+            .is_none());
+        // Accuracy floor nothing meets.
+        let constraints = DispatchConstraints { max_latency_ms: 1e9, min_accuracy: Some(0.99), ..Default::default() };
+        assert!(dispatcher()
+            .dispatch(&DeviceClass::Desktop.profile(), &constraints)
+            .is_none());
+    }
+
+    #[test]
+    fn accuracy_floor_excludes_weak_models() {
+        let constraints =
+            DispatchConstraints { max_latency_ms: 1e9, min_accuracy: Some(0.75), ..Default::default() };
+        let m = dispatcher()
+            .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
+            .unwrap();
+        assert_eq!(m.name, "InceptionV3", "only Inception meets 0.75");
+    }
+
+    #[test]
+    fn fleet_dispatch_is_per_device() {
+        let devices: Vec<_> = DeviceClass::ALL.iter().map(|c| c.profile()).collect();
+        let constraints = DispatchConstraints { max_latency_ms: 200.0, min_accuracy: None, ..Default::default() };
+        let picks = dispatcher().dispatch_fleet(&devices, &constraints);
+        // Desktop can afford Inception within 200 ms; RPi cannot.
+        assert_eq!(picks[0].unwrap().name, "InceptionV3");
+        assert!(picks[2].is_none_or(|m| m.name != "InceptionV3"));
+    }
+
+    #[test]
+    fn download_time_positive_and_ordered() {
+        let d = DeviceClass::Smartphone.profile();
+        let small = ModelDispatcher::download_seconds(&d, &MODEL_ZOO[0]);
+        let big = ModelDispatcher::download_seconds(&d, &MODEL_ZOO[2]);
+        assert!(small > 0.0);
+        assert!(big > small);
+    }
+}
+
+#[cfg(test)]
+mod energy_dispatch_tests {
+    use super::*;
+    use crate::device::DeviceClass;
+    use crate::energy::{inferences_per_charge, PowerProfile};
+    use crate::model::MODEL_ZOO;
+
+    #[test]
+    fn battery_budget_downgrades_the_phone_model() {
+        let phone = DeviceClass::Smartphone.profile();
+        let power = PowerProfile::for_device(&phone);
+        // Find a budget Inception cannot sustain but MobileNetV2 can.
+        let inception =
+            inferences_per_charge(&MODEL_ZOO[2], &phone, &power).expect("battery");
+        let constraints = DispatchConstraints {
+            max_latency_ms: 1e9,
+            min_accuracy: None,
+            min_inferences_per_charge: Some(inception + 1),
+        };
+        let pick = ModelDispatcher::new(MODEL_ZOO.to_vec())
+            .dispatch(&phone, &constraints)
+            .expect("a mobile net qualifies");
+        assert!(pick.name.starts_with("MobileNet"), "got {}", pick.name);
+    }
+
+    #[test]
+    fn energy_constraint_ignored_on_mains_power() {
+        let desktop = DeviceClass::Desktop.profile();
+        let constraints = DispatchConstraints {
+            max_latency_ms: 1e9,
+            min_accuracy: None,
+            min_inferences_per_charge: Some(u64::MAX),
+        };
+        let pick = ModelDispatcher::new(MODEL_ZOO.to_vec())
+            .dispatch(&desktop, &constraints)
+            .expect("desktop unconstrained by battery");
+        assert_eq!(pick.name, "InceptionV3");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Edge-computing substrate for the Translational Visual Data Platform.
+//!
+//! Implements the paper's *Action* layer (Section VI and Fig. 4): a
+//! crowd-based learning framework that
+//!
+//! 1. keeps a zoo of models at different complexities
+//!    ([`model::ModelSpec`]: MobileNetV1/V2 and InceptionV3 analogues),
+//! 2. dispatches the right model per device capability
+//!    ([`dispatch::ModelDispatcher`] over [`device::DeviceProfile`]s),
+//! 3. simulates on-device inference latency ([`latency`]) — the
+//!    substrate behind the paper's Fig. 8 (desktop vs Raspberry Pi vs
+//!    smartphone),
+//! 4. improves the server model from edge-collected data under a
+//!    bandwidth budget ([`learning`]): each edge ranks its samples by
+//!    prediction margin, extracts features locally, and uploads only the
+//!    most informative ones — the distributed selection algorithm of the
+//!    paper's ref \[34\].
+//!
+//! Physical devices are not available in this environment, so latency is
+//! an analytical cost model (FLOPs / effective throughput + overhead,
+//! with seeded jitter); see DESIGN.md for the substitution argument.
+
+pub mod device;
+pub mod dispatch;
+pub mod energy;
+pub mod latency;
+pub mod learning;
+pub mod model;
+
+pub use device::{DeviceClass, DeviceProfile};
+pub use dispatch::{DispatchConstraints, ModelDispatcher};
+pub use energy::{energy_per_inference_j, inferences_per_charge, PowerProfile};
+pub use latency::{nominal_latency_ms, simulate_inference, LatencyStats};
+pub use learning::{CrowdLearningConfig, CrowdLearningReport, EdgeNode, SelectionStrategy};
+pub use model::{ModelSpec, MODEL_ZOO};

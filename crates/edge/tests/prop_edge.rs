@@ -1,0 +1,112 @@
+//! Property-based tests of the edge substrate: the dispatcher never
+//! violates its constraints and never leaves a better model on the table.
+
+use proptest::prelude::*;
+use tvdp_edge::{
+    inferences_per_charge, nominal_latency_ms, DeviceClass, DispatchConstraints,
+    ModelDispatcher, ModelSpec, PowerProfile,
+};
+
+fn arb_model(i: usize) -> impl Strategy<Value = ModelSpec> {
+    (50.0f64..8_000.0, 0.5f64..40.0, 0.5f64..0.95).prop_map(move |(mflops, params, accuracy)| {
+        // Leak a unique name: ModelSpec carries &'static str; fine in tests.
+        let name: &'static str = Box::leak(format!("model-{i}").into_boxed_str());
+        ModelSpec { name, mflops, params_millions: params, input_px: 224, accuracy }
+    })
+}
+
+fn arb_zoo() -> impl Strategy<Value = Vec<ModelSpec>> {
+    (1usize..6).prop_flat_map(|n| {
+        let mut strategies = Vec::new();
+        for i in 0..n {
+            strategies.push(arb_model(i));
+        }
+        strategies
+    })
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceClass> {
+    prop_oneof![
+        Just(DeviceClass::Desktop),
+        Just(DeviceClass::Smartphone),
+        Just(DeviceClass::RaspberryPi),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dispatch_honours_every_constraint(
+        zoo in arb_zoo(),
+        class in arb_device(),
+        max_latency in 1.0f64..20_000.0,
+        min_accuracy in proptest::option::of(0.4f64..0.99),
+        min_charge in proptest::option::of(1_000u64..1_000_000),
+    ) {
+        let device = class.profile();
+        let power = PowerProfile::for_device(&device);
+        let constraints = DispatchConstraints {
+            max_latency_ms: max_latency,
+            min_accuracy,
+            min_inferences_per_charge: min_charge,
+        };
+        let dispatcher = ModelDispatcher::new(zoo.clone());
+        match dispatcher.dispatch(&device, &constraints) {
+            Some(picked) => {
+                prop_assert!(nominal_latency_ms(&picked, &device) <= max_latency);
+                if let Some(floor) = min_accuracy {
+                    prop_assert!(picked.accuracy >= floor);
+                }
+                prop_assert!(picked.memory_mb() <= device.memory_mb);
+                if let (Some(need), Some(have)) =
+                    (min_charge, inferences_per_charge(&picked, &device, &power))
+                {
+                    prop_assert!(have >= need);
+                }
+                // Optimality: no qualifying model is strictly more accurate.
+                for m in &zoo {
+                    let qualifies = m.memory_mb() <= device.memory_mb
+                        && nominal_latency_ms(m, &device) <= max_latency
+                        && min_accuracy.is_none_or(|a| m.accuracy >= a)
+                        && match (min_charge, inferences_per_charge(m, &device, &power)) {
+                            (Some(need), Some(have)) => have >= need,
+                            _ => true,
+                        };
+                    if qualifies {
+                        prop_assert!(
+                            m.accuracy <= picked.accuracy,
+                            "{} ({}) beats picked {} ({})",
+                            m.name, m.accuracy, picked.name, picked.accuracy
+                        );
+                    }
+                }
+            }
+            None => {
+                // Nothing in the zoo qualifies.
+                for m in &zoo {
+                    let qualifies = m.memory_mb() <= device.memory_mb
+                        && nominal_latency_ms(m, &device) <= max_latency
+                        && min_accuracy.is_none_or(|a| m.accuracy >= a)
+                        && match (min_charge, inferences_per_charge(m, &device, &power)) {
+                            (Some(need), Some(have)) => have >= need,
+                            _ => true,
+                        };
+                    prop_assert!(!qualifies, "{} qualifies but dispatch returned None", m.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_model_size(class in arb_device(), mflops in 10.0f64..10_000.0) {
+        let device = class.profile();
+        let small = ModelSpec {
+            name: "small", mflops, params_millions: 1.0, input_px: 224, accuracy: 0.5,
+        };
+        let big = ModelSpec {
+            name: "big", mflops: mflops * 2.0, params_millions: 2.0, input_px: 224, accuracy: 0.6,
+        };
+        prop_assert!(nominal_latency_ms(&big, &device) > nominal_latency_ms(&small, &device));
+    }
+}

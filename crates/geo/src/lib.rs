@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Geospatial substrate for the Translational Visual Data Platform (TVDP).
+//!
+//! This crate implements the spatial descriptors of the TVDP data model
+//! (ICDE 2019, Section IV-A):
+//!
+//! * [`GeoPoint`] — the GPS camera-location descriptor,
+//! * [`Fov`] — the field-of-view descriptor (camera location `L`, viewing
+//!   direction `θ`, viewable angle `α`, maximum visible distance `R`;
+//!   paper Fig. 3),
+//! * [`Fov::scene_location`] — the scene-location descriptor, i.e. the
+//!   minimum bounding box of the geographical region depicted by an image,
+//! * [`coverage`] — the sector-based spatial coverage measurement model used
+//!   to evaluate the adequacy of a collected dataset and to drive iterative
+//!   spatial-crowdsourcing campaigns (paper Section III).
+//!
+//! All geometry is computed on a local equirectangular projection, which is
+//! accurate to well under a metre at the city scales TVDP targets (tens of
+//! kilometres).
+
+pub mod angle;
+pub mod bbox;
+pub mod coverage;
+pub mod fov;
+pub mod point;
+pub mod polygon;
+pub mod projection;
+
+pub use angle::{angular_diff_deg, normalize_deg, AngularRange};
+pub use bbox::BBox;
+pub use coverage::{CoverageGrid, CoverageReport, CoverageSpec};
+pub use fov::Fov;
+pub use point::GeoPoint;
+pub use polygon::GeoPolygon;
+pub use projection::LocalProjection;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Metres per degree of latitude (approximately constant).
+pub const METERS_PER_DEG_LAT: f64 = 111_320.0;

@@ -1,0 +1,457 @@
+//! Visual R*-tree: the hybrid spatial-visual index (paper ref [28]).
+//!
+//! Hybrid spatial-visual queries ("images near this corner that look like
+//! this example") are served poorly by chaining single-modal indexes: a
+//! spatial-first plan post-filters many features, a visual-first plan
+//! post-filters many locations. The Visual R*-tree augments every R-tree
+//! node with a *feature-space bounding ball* — the centroid of all feature
+//! vectors beneath it and a radius covering them — so a single traversal
+//! prunes in both spaces: a subtree is skipped when its MBR misses the
+//! query region **or** when `‖q − centroid‖ − radius` exceeds the
+//! similarity threshold.
+
+use tvdp_geo::BBox;
+
+use crate::rtree::{choose_subtree, split_entries, HasBBox, NODE_MAX};
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    bbox: BBox,
+    feature: Vec<f32>,
+    value: T,
+}
+
+impl<T> HasBBox for Entry<T> {
+    fn bbox(&self) -> BBox {
+        self.bbox
+    }
+}
+
+/// Feature-space bounding ball: every feature below lies within
+/// `radius` of `centroid`.
+#[derive(Debug, Clone)]
+struct Ball {
+    centroid: Vec<f32>,
+    radius: f32,
+    count: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Child<T> {
+    bbox: BBox,
+    ball: Ball,
+    node: Box<Node<T>>,
+}
+
+impl<T> HasBBox for Child<T> {
+    fn bbox(&self) -> BBox {
+        self.bbox
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { entries: Vec<Entry<T>> },
+    Internal { children: Vec<Child<T>> },
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+impl<T> Node<T> {
+    /// Recomputes (MBR, ball) from immediate children/entries only.
+    fn summary(&self, dim: usize) -> Option<(BBox, Ball)> {
+        match self {
+            Node::Leaf { entries } => {
+                let first = entries.first()?;
+                let mut bbox = first.bbox;
+                let mut centroid = vec![0.0f32; dim];
+                for e in entries {
+                    bbox = bbox.union(&e.bbox);
+                    for (c, &f) in centroid.iter_mut().zip(&e.feature) {
+                        *c += f;
+                    }
+                }
+                let n = entries.len() as f32;
+                for c in &mut centroid {
+                    *c /= n;
+                }
+                let radius = entries
+                    .iter()
+                    .map(|e| l2(&centroid, &e.feature))
+                    .fold(0.0f32, f32::max);
+                Some((bbox, Ball { centroid, radius, count: entries.len() }))
+            }
+            Node::Internal { children } => {
+                let first = children.first()?;
+                let mut bbox = first.bbox;
+                let mut centroid = vec![0.0f32; dim];
+                let mut total = 0usize;
+                for c in children {
+                    bbox = bbox.union(&c.bbox);
+                    total += c.ball.count;
+                    for (acc, &f) in centroid.iter_mut().zip(&c.ball.centroid) {
+                        *acc += f * c.ball.count as f32;
+                    }
+                }
+                for c in &mut centroid {
+                    *c /= total as f32;
+                }
+                // Triangle inequality: features under child c lie within
+                // dist(centroid, child centroid) + child radius.
+                let radius = children
+                    .iter()
+                    .map(|c| l2(&centroid, &c.ball.centroid) + c.ball.radius)
+                    .fold(0.0f32, f32::max);
+                Some((bbox, Ball { centroid, radius, count: total }))
+            }
+        }
+    }
+}
+
+/// The hybrid spatial-visual index.
+#[derive(Debug, Clone)]
+pub struct VisualRTree<T> {
+    root: Node<T>,
+    dim: usize,
+    len: usize,
+}
+
+impl<T: Clone> VisualRTree<T> {
+    /// An empty tree over `dim`-dimensional feature vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "zero-dimensional features");
+        Self { root: Node::Leaf { entries: Vec::new() }, dim, len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Inserts an object with spatial extent `bbox` and visual feature
+    /// vector `feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature dimensionality mismatch.
+    pub fn insert(&mut self, bbox: BBox, feature: Vec<f32>, value: T) {
+        assert_eq!(feature.len(), self.dim, "feature dimension mismatch");
+        self.len += 1;
+        let entry = Entry { bbox, feature, value };
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, entry, self.dim) {
+            let mk = |n: Node<T>, dim: usize| {
+                let (bbox, ball) = n.summary(dim).expect("split node non-empty");
+                Child { bbox, ball, node: Box::new(n) }
+            };
+            self.root = Node::Internal { children: vec![mk(left, self.dim), mk(right, self.dim)] };
+        }
+    }
+
+    fn insert_rec(node: &mut Node<T>, entry: Entry<T>, dim: usize) -> Option<(Node<T>, Node<T>)> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push(entry);
+                if entries.len() > NODE_MAX {
+                    let (a, b) = split_entries(std::mem::take(entries));
+                    return Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }));
+                }
+                None
+            }
+            Node::Internal { children } => {
+                let idx = choose_subtree(children, &entry.bbox);
+                match Self::insert_rec(&mut children[idx].node, entry, dim) {
+                    None => {
+                        let (bbox, ball) =
+                            children[idx].node.summary(dim).expect("child non-empty");
+                        children[idx].bbox = bbox;
+                        children[idx].ball = ball;
+                    }
+                    Some((left, right)) => {
+                        let mk = |n: Node<T>| {
+                            let (bbox, ball) = n.summary(dim).expect("split node non-empty");
+                            Child { bbox, ball, node: Box::new(n) }
+                        };
+                        children[idx] = mk(left);
+                        children.push(mk(right));
+                        if children.len() > NODE_MAX {
+                            let (a, b) = split_entries(std::mem::take(children));
+                            return Some((
+                                Node::Internal { children: a },
+                                Node::Internal { children: b },
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Spatial-visual range query: entries intersecting `region` whose
+    /// feature distance to `query` is at most `max_dist`. Returns
+    /// `(distance, payload)` sorted by distance.
+    pub fn range_visual(&self, region: &BBox, query: &[f32], max_dist: f32) -> Vec<(f32, &T)> {
+        assert_eq!(query.len(), self.dim, "feature dimension mismatch");
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, region, query, max_dist, &mut out);
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    fn range_rec<'a>(
+        node: &'a Node<T>,
+        region: &BBox,
+        query: &[f32],
+        max_dist: f32,
+        out: &mut Vec<(f32, &'a T)>,
+    ) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    if e.bbox.intersects(region) {
+                        let d = l2(&e.feature, query);
+                        if d <= max_dist {
+                            out.push((d, &e.value));
+                        }
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for c in children {
+                    let feat_lb = (l2(&c.ball.centroid, query) - c.ball.radius).max(0.0);
+                    if c.bbox.intersects(region) && feat_lb <= max_dist {
+                        Self::range_rec(&c.node, region, query, max_dist, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spatial-visual top-k: the `k` entries intersecting `region` most
+    /// similar to `query`, via best-first traversal on the feature-distance
+    /// lower bound.
+    pub fn knn_visual(&self, region: &BBox, query: &[f32], k: usize) -> Vec<(f32, &T)> {
+        assert_eq!(query.len(), self.dim, "feature dimension mismatch");
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        struct Item<'a, T> {
+            dist: f32,
+            kind: Kind<'a, T>,
+        }
+        enum Kind<'a, T> {
+            Node(&'a Node<T>),
+            Entry(&'a T),
+        }
+        impl<T> PartialEq for Item<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl<T> Eq for Item<'_, T> {}
+        impl<T> PartialOrd for Item<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for Item<'_, T> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.dist.total_cmp(&other.dist)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(Item { dist: 0.0, kind: Kind::Node(&self.root) }));
+        let mut out = Vec::with_capacity(k);
+        while let Some(Reverse(item)) = heap.pop() {
+            match item.kind {
+                Kind::Entry(v) => {
+                    out.push((item.dist, v));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Kind::Node(Node::Leaf { entries }) => {
+                    for e in entries {
+                        if e.bbox.intersects(region) {
+                            heap.push(Reverse(Item {
+                                dist: l2(&e.feature, query),
+                                kind: Kind::Entry(&e.value),
+                            }));
+                        }
+                    }
+                }
+                Kind::Node(Node::Internal { children }) => {
+                    for c in children {
+                        if c.bbox.intersects(region) {
+                            let lb = (l2(&c.ball.centroid, query) - c.ball.radius).max(0.0);
+                            heap.push(Reverse(Item { dist: lb, kind: Kind::Node(&c.node) }));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies the bounding-ball invariant: every entry's feature lies
+    /// within its ancestors' balls (test helper).
+    pub fn check_invariants(&self) {
+        fn features_under<T>(node: &Node<T>, out: &mut Vec<Vec<f32>>) {
+            match node {
+                Node::Leaf { entries } => out.extend(entries.iter().map(|e| e.feature.clone())),
+                Node::Internal { children } => {
+                    for c in children {
+                        features_under(&c.node, out);
+                    }
+                }
+            }
+        }
+        fn walk<T>(node: &Node<T>) {
+            if let Node::Internal { children } = node {
+                for c in children {
+                    let mut feats = Vec::new();
+                    features_under(&c.node, &mut feats);
+                    assert_eq!(feats.len(), c.ball.count, "count mismatch");
+                    for f in &feats {
+                        let d = l2(f, &c.ball.centroid);
+                        assert!(
+                            d <= c.ball.radius + 1e-4,
+                            "feature escapes ball: {d} > {}",
+                            c.ball.radius
+                        );
+                    }
+                    walk(&c.node);
+                }
+            }
+        }
+        walk(&self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+
+    type RawEntry = (BBox, Vec<f32>, usize);
+
+    /// Entries on a spatial grid; feature = one-hot-ish vector by group so
+    /// visual similarity is controlled.
+    fn build(n: usize) -> (VisualRTree<usize>, Vec<RawEntry>) {
+        let mut tree = VisualRTree::new(4);
+        let mut raw = Vec::new();
+        for i in 0..n {
+            let lat = 34.0 + (i / 12) as f64 * 0.001;
+            let lon = -118.3 + (i % 12) as f64 * 0.001;
+            let b = BBox::from_point(GeoPoint::new(lat, lon));
+            let group = i % 4;
+            let mut f = vec![0.1f32; 4];
+            f[group] = 1.0 + (i as f32 * 0.001);
+            tree.insert(b, f.clone(), i);
+            raw.push((b, f, i));
+        }
+        (tree, raw)
+    }
+
+    #[test]
+    fn range_visual_matches_linear_scan() {
+        let (tree, raw) = build(200);
+        tree.check_invariants();
+        let region = BBox::new(34.0, -118.3, 34.01, -118.292);
+        let query = {
+            let mut f = vec![0.1f32; 4];
+            f[2] = 1.0;
+            f
+        };
+        let got: Vec<usize> = tree
+            .range_visual(&region, &query, 0.3)
+            .into_iter()
+            .map(|(_, id)| *id)
+            .collect();
+        let mut expected: Vec<(f32, usize)> = raw
+            .iter()
+            .filter(|(b, f, _)| {
+                b.intersects(&region) && l2(f, &query) <= 0.3
+            })
+            .map(|(_, f, id)| (l2(f, &query), *id))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let expected_ids: Vec<usize> = expected.into_iter().map(|(_, id)| id).collect();
+        assert_eq!(got, expected_ids);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn knn_visual_matches_linear_scan() {
+        let (tree, raw) = build(200);
+        let region = BBox::new(33.99, -118.31, 34.05, -118.27);
+        let query = {
+            let mut f = vec![0.1f32; 4];
+            f[1] = 1.05;
+            f
+        };
+        let got: Vec<f32> = tree.knn_visual(&region, &query, 10).iter().map(|(d, _)| *d).collect();
+        let mut lin: Vec<f32> = raw
+            .iter()
+            .filter(|(b, _, _)| b.intersects(&region))
+            .map(|(_, f, _)| l2(f, &query))
+            .collect();
+        lin.sort_by(f32::total_cmp);
+        for (g, e) in got.iter().zip(&lin[..10]) {
+            assert!((g - e).abs() < 1e-6, "{g} vs {e}");
+        }
+        // Distances sorted ascending.
+        for w in got.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn spatial_constraint_respected() {
+        let (tree, _) = build(100);
+        // Region far away from all data.
+        let empty_region = BBox::new(35.0, -117.0, 35.1, -116.9);
+        let query = vec![1.0, 0.1, 0.1, 0.1];
+        assert!(tree.range_visual(&empty_region, &query, 100.0).is_empty());
+        assert!(tree.knn_visual(&empty_region, &query, 5).is_empty());
+    }
+
+    #[test]
+    fn visual_threshold_respected() {
+        let (tree, _) = build(100);
+        let region = BBox::new(33.9, -118.4, 34.1, -118.2);
+        let query = vec![0.0; 4];
+        for (d, _) in tree.range_visual(&region, &query, 0.9) {
+            assert!(d <= 0.9);
+        }
+    }
+
+    #[test]
+    fn empty_tree_and_dim_checks() {
+        let tree: VisualRTree<u8> = VisualRTree::new(3);
+        assert!(tree.is_empty());
+        assert_eq!(tree.dim(), 3);
+        let region = BBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(tree.range_visual(&region, &[0.0; 3], 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dim_rejected() {
+        let mut tree: VisualRTree<u8> = VisualRTree::new(3);
+        tree.insert(BBox::new(0.0, 0.0, 1.0, 1.0), vec![0.0; 4], 1);
+    }
+}

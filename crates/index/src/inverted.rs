@@ -1,0 +1,234 @@
+//! Inverted file index for textual keyword queries.
+//!
+//! The paper's textual descriptors (manual keywords and event
+//! descriptions) are served by a classic inverted index (Zobel & Moffat,
+//! ref \[27\]): per-term postings lists with term frequencies, tf-idf
+//! ranked retrieval, plus boolean AND/OR modes.
+
+use std::collections::HashMap;
+
+/// Document handles are dense `usize` values assigned by the caller.
+///
+/// ```
+/// use tvdp_index::InvertedIndex;
+///
+/// let mut idx = InvertedIndex::new();
+/// idx.index_document(0, "homeless encampment under the overpass");
+/// idx.index_document(1, "clean street");
+/// assert_eq!(idx.search_and("encampment overpass"), vec![0]);
+/// assert_eq!(idx.search_or("street overpass"), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// term -> postings (doc, term frequency), sorted by doc.
+    postings: HashMap<String, Vec<(usize, u32)>>,
+    /// Number of terms per document (for length normalization).
+    doc_lengths: HashMap<usize, u32>,
+    n_docs: usize,
+}
+
+/// Lowercases and splits text into alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Indexes a document's text under handle `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `doc` was already indexed (documents are immutable).
+    pub fn index_document(&mut self, doc: usize, text: &str) {
+        assert!(
+            !self.doc_lengths.contains_key(&doc),
+            "document {doc} already indexed"
+        );
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (term, count) in tf {
+            let list = self.postings.entry(term).or_default();
+            // Handles arrive in any order; keep postings sorted by doc.
+            let pos = list.partition_point(|&(d, _)| d < doc);
+            list.insert(pos, (doc, count));
+        }
+        self.doc_lengths.insert(doc, tokens.len() as u32);
+        self.n_docs += 1;
+    }
+
+    /// Documents containing *every* query term (boolean AND), sorted.
+    pub fn search_and(&self, query: &str) -> Vec<usize> {
+        let terms = tokenize(query);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&Vec<(usize, u32)>> = Vec::with_capacity(terms.len());
+        for t in &terms {
+            match self.postings.get(t) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect starting from the shortest list.
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<usize> = lists[0].iter().map(|&(d, _)| d).collect();
+        for list in &lists[1..] {
+            result.retain(|d| list.binary_search_by_key(d, |&(doc, _)| doc).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Documents containing *any* query term (boolean OR), sorted.
+    pub fn search_or(&self, query: &str) -> Vec<usize> {
+        let mut docs: Vec<usize> = tokenize(query)
+            .iter()
+            .filter_map(|t| self.postings.get(t))
+            .flat_map(|l| l.iter().map(|&(d, _)| d))
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        docs
+    }
+
+    /// tf-idf ranked retrieval: returns `(score, doc)` sorted by
+    /// descending score, at most `k` results. Documents must match at
+    /// least one term.
+    pub fn search_ranked(&self, query: &str, k: usize) -> Vec<(f64, usize)> {
+        let terms = tokenize(query);
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in &terms {
+            let Some(list) = self.postings.get(term) else { continue };
+            let idf = ((self.n_docs as f64 + 1.0) / (list.len() as f64 + 1.0)).ln() + 1.0;
+            for &(doc, tf) in list {
+                let len = f64::from(self.doc_lengths[&doc]).max(1.0);
+                *scores.entry(doc).or_insert(0.0) += (f64::from(tf) / len) * idf;
+            }
+        }
+        let mut out: Vec<(f64, usize)> = scores.into_iter().map(|(d, s)| (s, d)).collect();
+        out.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.truncate(k);
+        out
+    }
+
+    /// Document frequency of a term (diagnostics).
+    pub fn doc_frequency(&self, term: &str) -> usize {
+        self.postings.get(&term.to_lowercase()).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.index_document(0, "illegal dumping near the overpass");
+        idx.index_document(1, "homeless encampment under overpass bridge");
+        idx.index_document(2, "clean street after sweep");
+        idx.index_document(3, "bulky item: abandoned couch, street corner");
+        idx.index_document(4, "Overpass graffiti and dumping, dumping again");
+        idx
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("Hello, World-42!"), vec!["hello", "world", "42"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn and_search_intersects() {
+        let idx = sample_index();
+        assert_eq!(idx.search_and("overpass dumping"), vec![0, 4]);
+        assert_eq!(idx.search_and("overpass"), vec![0, 1, 4]);
+        assert!(idx.search_and("overpass missingterm").is_empty());
+        assert!(idx.search_and("").is_empty());
+    }
+
+    #[test]
+    fn or_search_unions() {
+        let idx = sample_index();
+        assert_eq!(idx.search_or("couch sweep"), vec![2, 3]);
+        assert_eq!(idx.search_or("overpass street"), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let idx = sample_index();
+        assert_eq!(idx.search_and("OVERPASS"), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn ranked_prefers_higher_tf() {
+        let idx = sample_index();
+        let ranked = idx.search_ranked("dumping", 10);
+        // Doc 4 says "dumping" twice; must rank above doc 0.
+        assert_eq!(ranked[0].1, 4);
+        assert_eq!(ranked[1].1, 0);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn ranked_idf_downweights_common_terms() {
+        let mut idx = InvertedIndex::new();
+        // "street" in every doc; "graffiti" rare.
+        idx.index_document(0, "street graffiti");
+        idx.index_document(1, "street");
+        idx.index_document(2, "street");
+        let ranked = idx.search_ranked("street graffiti", 10);
+        assert_eq!(ranked[0].1, 0, "doc with rare term must rank first");
+    }
+
+    #[test]
+    fn ranked_respects_k() {
+        let idx = sample_index();
+        let ranked = idx.search_ranked("street overpass dumping", 2);
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn doc_frequency_counts() {
+        let idx = sample_index();
+        assert_eq!(idx.doc_frequency("overpass"), 3);
+        assert_eq!(idx.doc_frequency("OVERPASS"), 3);
+        assert_eq!(idx.doc_frequency("nothing"), 0);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.vocabulary_size() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn duplicate_doc_rejected() {
+        let mut idx = InvertedIndex::new();
+        idx.index_document(1, "a");
+        idx.index_document(1, "b");
+    }
+}

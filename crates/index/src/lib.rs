@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Indexing substrate for the Translational Visual Data Platform.
+//!
+//! The paper's access layer (Section IV-C) serves five query families —
+//! spatial, visual, categorical, textual, temporal — plus hybrid
+//! combinations, backed by:
+//!
+//! * [`rtree::RTree`] — an R*-style spatial tree for range and k-NN
+//!   queries over points and scene-location rectangles,
+//! * [`oriented::OrientedRTree`] — the direction-augmented R-tree of
+//!   Lu et al. (GeoInformatica 2016, paper ref \[25\]) for FOV queries with
+//!   viewing-direction constraints,
+//! * [`lsh::LshIndex`] — locality-sensitive hashing with p-stable
+//!   projections (Datar et al., SoCG 2004, ref \[26\]) for high-dimensional
+//!   visual-feature similarity search,
+//! * [`inverted::InvertedIndex`] — a tf-idf inverted file (Zobel & Moffat,
+//!   ref \[27\]) for textual keyword queries,
+//! * [`temporal::TemporalIndex`] — an ordered index over capture /
+//!   upload timestamps,
+//! * [`hybrid::VisualRTree`] — the hybrid spatial-visual index of
+//!   Alfarrarjeh et al. (ACM MM Workshops 2017, ref \[28\]): an R-tree whose
+//!   nodes carry feature-space summaries so one traversal prunes in both
+//!   spaces at once.
+
+pub mod hybrid;
+pub mod inverted;
+pub mod lsh;
+pub mod oriented;
+pub mod rtree;
+pub mod temporal;
+
+pub use hybrid::VisualRTree;
+pub use inverted::InvertedIndex;
+pub use lsh::{LshConfig, LshIndex};
+pub use oriented::OrientedRTree;
+pub use rtree::RTree;
+pub use temporal::TemporalIndex;

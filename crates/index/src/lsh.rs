@@ -1,0 +1,304 @@
+//! Locality-sensitive hashing with p-stable (Gaussian) projections.
+//!
+//! Implements the E2LSH scheme of Datar et al. (SoCG 2004, paper ref
+//! \[26\]): each of `tables` hash tables hashes a vector with `hashes_per_table`
+//! functions `h(v) = ⌊(a·v + b) / w⌋` where `a` has i.i.d. standard normal
+//! entries and `b ~ U[0, w)`. Vectors colliding with the query in any
+//! table become candidates; exact distances re-rank the candidates.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// LSH tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LshConfig {
+    /// Number of hash tables `L`; more tables raise recall and memory.
+    pub tables: usize,
+    /// Hash functions per table `k`; more hashes sharpen buckets.
+    pub hashes_per_table: usize,
+    /// Quantization width `w`; should be on the order of typical
+    /// nearest-neighbour distances.
+    pub bucket_width: f32,
+    /// Seed for projection directions and offsets.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self { tables: 12, hashes_per_table: 8, bucket_width: 1.0, seed: 0x154 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HashFamily {
+    /// `hashes_per_table` projection vectors, flattened.
+    projections: Vec<f32>,
+    offsets: Vec<f32>,
+    k: usize,
+    dim: usize,
+    width: f32,
+}
+
+impl HashFamily {
+    fn new(dim: usize, k: usize, width: f32, rng: &mut StdRng) -> Self {
+        let projections = (0..k * dim)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        let offsets = (0..k).map(|_| rng.gen_range(0.0..width)).collect();
+        Self { projections, offsets, k, dim, width }
+    }
+
+    fn hash(&self, v: &[f32]) -> Vec<i32> {
+        debug_assert_eq!(v.len(), self.dim);
+        (0..self.k)
+            .map(|h| {
+                let proj: f32 = self.projections[h * self.dim..(h + 1) * self.dim]
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum();
+                ((proj + self.offsets[h]) / self.width).floor() as i32
+            })
+            .collect()
+    }
+}
+
+/// An LSH index over dense `f32` vectors with `usize` handles.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    config: LshConfig,
+    dim: usize,
+    families: Vec<HashFamily>,
+    tables: Vec<HashMap<Vec<i32>, Vec<usize>>>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl LshIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, config: LshConfig) -> Self {
+        assert!(dim > 0, "zero-dimensional vectors");
+        assert!(config.tables >= 1 && config.hashes_per_table >= 1, "degenerate config");
+        assert!(config.bucket_width > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let families = (0..config.tables)
+            .map(|_| HashFamily::new(dim, config.hashes_per_table, config.bucket_width, &mut rng))
+            .collect();
+        let tables = vec![HashMap::new(); config.tables];
+        Self { config, dim, families, tables, vectors: Vec::new() }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LshConfig {
+        &self.config
+    }
+
+    /// Inserts a vector, returning its handle (dense, starting at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, v: Vec<f32>) -> usize {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let id = self.vectors.len();
+        for (family, table) in self.families.iter().zip(&mut self.tables) {
+            table.entry(family.hash(&v)).or_default().push(id);
+        }
+        self.vectors.push(v);
+        id
+    }
+
+    /// The stored vector for a handle.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.vectors[id]
+    }
+
+    /// Candidate handles colliding with `q` in at least one table
+    /// (deduplicated, unordered).
+    pub fn candidates(&self, q: &[f32]) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "dimension mismatch");
+        let mut seen = vec![false; self.vectors.len()];
+        let mut out = Vec::new();
+        for (family, table) in self.families.iter().zip(&self.tables) {
+            if let Some(bucket) = table.get(&family.hash(q)) {
+                for &id in bucket {
+                    if !seen[id] {
+                        seen[id] = true;
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Approximate k-NN: exact re-ranking of the LSH candidate set.
+    /// Returns `(distance, handle)` sorted ascending; may return fewer
+    /// than `k` when the candidate set is small.
+    pub fn knn(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
+        let mut cands: Vec<(f32, usize)> = self
+            .candidates(q)
+            .into_iter()
+            .map(|id| (l2(q, &self.vectors[id]), id))
+            .collect();
+        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        cands.truncate(k);
+        cands
+    }
+
+    /// All handles within `radius` of `q` among the candidates.
+    pub fn within_radius(&self, q: &[f32], radius: f32) -> Vec<(f32, usize)> {
+        let mut out: Vec<(f32, usize)> = self
+            .candidates(q)
+            .into_iter()
+            .filter_map(|id| {
+                let d = l2(q, &self.vectors[id]);
+                (d <= radius).then_some((d, id))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Exact linear-scan k-NN over all stored vectors (the brute-force
+    /// baseline the benchmarks compare against).
+    pub fn knn_exact(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
+        let mut all: Vec<(f32, usize)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(id, v)| (l2(q, v), id))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_vectors(n_clusters: usize, per_cluster: usize, dim: usize) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut out = Vec::new();
+        for c in 0..n_clusters {
+            let center: Vec<f32> = (0..dim).map(|d| ((c * 7 + d) % 5) as f32 * 2.0).collect();
+            for _ in 0..per_cluster {
+                out.push(center.iter().map(|&v| v + rng.gen_range(-0.1..0.1)).collect());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exact_duplicate_always_found() {
+        let mut idx = LshIndex::new(8, LshConfig::default());
+        let vectors = clustered_vectors(4, 10, 8);
+        for v in &vectors {
+            idx.insert(v.clone());
+        }
+        // A stored vector must collide with itself in every table.
+        let cands = idx.candidates(&vectors[5]);
+        assert!(cands.contains(&5));
+        let knn = idx.knn(&vectors[5], 1);
+        assert_eq!(knn[0].1, 5);
+        assert!(knn[0].0 < 1e-6);
+    }
+
+    #[test]
+    fn knn_recall_on_clustered_data() {
+        let mut idx = LshIndex::new(8, LshConfig::default());
+        let vectors = clustered_vectors(5, 20, 8);
+        for v in &vectors {
+            idx.insert(v.clone());
+        }
+        // For each cluster representative, at least 8 of the true top-10
+        // must appear in the approximate top-10 (recall >= 0.8).
+        let mut total_recall = 0.0;
+        let mut queries = 0;
+        for q in (0..vectors.len()).step_by(20) {
+            let approx: Vec<usize> = idx.knn(&vectors[q], 10).iter().map(|&(_, i)| i).collect();
+            let exact: Vec<usize> =
+                idx.knn_exact(&vectors[q], 10).iter().map(|&(_, i)| i).collect();
+            let hit = exact.iter().filter(|i| approx.contains(i)).count();
+            total_recall += hit as f64 / exact.len() as f64;
+            queries += 1;
+        }
+        let recall = total_recall / queries as f64;
+        assert!(recall >= 0.8, "recall {recall}");
+    }
+
+    #[test]
+    fn within_radius_returns_only_close_vectors() {
+        let mut idx = LshIndex::new(4, LshConfig::default());
+        idx.insert(vec![0.0; 4]);
+        idx.insert(vec![0.05, 0.0, 0.0, 0.0]);
+        idx.insert(vec![10.0, 10.0, 10.0, 10.0]);
+        let hits = idx.within_radius(&[0.0; 4], 0.5);
+        let ids: Vec<usize> = hits.iter().map(|&(_, i)| i).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&1));
+        assert!(!ids.contains(&2));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut idx = LshIndex::new(6, LshConfig { seed: 7, ..Default::default() });
+            for v in clustered_vectors(3, 5, 6) {
+                idx.insert(v);
+            }
+            idx
+        };
+        let a = mk();
+        let b = mk();
+        let q = vec![1.0; 6];
+        assert_eq!(a.candidates(&q), b.candidates(&q));
+    }
+
+    #[test]
+    fn candidates_far_smaller_than_corpus_for_sharp_config() {
+        // With clustered data, a query should only collide with its own
+        // cluster (plus stragglers), not the whole corpus.
+        let mut idx = LshIndex::new(8, LshConfig::default());
+        let vectors = clustered_vectors(10, 30, 8);
+        for v in &vectors {
+            idx.insert(v.clone());
+        }
+        let cands = idx.candidates(&vectors[0]);
+        assert!(
+            cands.len() < vectors.len() / 2,
+            "candidate set too large: {} of {}",
+            cands.len(),
+            vectors.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_rejects_wrong_dim() {
+        let mut idx = LshIndex::new(4, LshConfig::default());
+        idx.insert(vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Oriented R-tree: a direction-augmented spatial index over FOVs.
+//!
+//! Plain R-trees over scene locations answer "which images show this
+//! area?" but cannot prune by *viewing direction* ("images looking north
+//! at this corner"). Following Lu et al. (paper ref \[25\]), each node of
+//! the oriented R-tree stores, alongside the spatial MBR, the union of the
+//! viewing-direction arcs of all FOVs beneath it; a directional query can
+//! then discard whole subtrees whose direction summary misses the query
+//! arc.
+
+use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
+
+use crate::rtree::{choose_subtree, split_entries, HasBBox, NODE_MAX};
+
+/// A leaf entry: scene-location box, the FOV itself, and the payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    bbox: BBox,
+    fov: Fov,
+    value: T,
+}
+
+impl<T> HasBBox for Entry<T> {
+    fn bbox(&self) -> BBox {
+        self.bbox
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Child<T> {
+    bbox: BBox,
+    dirs: AngularRange,
+    node: Box<Node<T>>,
+}
+
+impl<T> HasBBox for Child<T> {
+    fn bbox(&self) -> BBox {
+        self.bbox
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { entries: Vec<Entry<T>> },
+    Internal { children: Vec<Child<T>> },
+}
+
+impl<T> Node<T> {
+    fn summary(&self) -> Option<(BBox, AngularRange)> {
+        match self {
+            Node::Leaf { entries } => {
+                let first = entries.first()?;
+                let mut bbox = first.bbox;
+                let mut dirs = first.fov.direction_range();
+                for e in &entries[1..] {
+                    bbox = bbox.union(&e.bbox);
+                    dirs = dirs.union(&e.fov.direction_range());
+                }
+                Some((bbox, dirs))
+            }
+            Node::Internal { children } => {
+                let first = children.first()?;
+                let mut bbox = first.bbox;
+                let mut dirs = first.dirs;
+                for c in &children[1..] {
+                    bbox = bbox.union(&c.bbox);
+                    dirs = dirs.union(&c.dirs);
+                }
+                Some((bbox, dirs))
+            }
+        }
+    }
+}
+
+/// An R-tree over FOVs with per-node viewing-direction summaries.
+#[derive(Debug, Clone)]
+pub struct OrientedRTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T: Clone> Default for OrientedRTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> OrientedRTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self { root: Node::Leaf { entries: Vec::new() }, len: 0 }
+    }
+
+    /// Number of stored FOVs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an FOV with payload; the spatial key is the FOV's scene
+    /// location.
+    pub fn insert(&mut self, fov: Fov, value: T) {
+        self.len += 1;
+        let entry = Entry { bbox: fov.scene_location(), fov, value };
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, entry) {
+            let mk_child = |n: Node<T>| {
+                let (bbox, dirs) = n.summary().expect("split node non-empty");
+                Child { bbox, dirs, node: Box::new(n) }
+            };
+            self.root = Node::Internal { children: vec![mk_child(left), mk_child(right)] };
+        }
+    }
+
+    fn insert_rec(node: &mut Node<T>, entry: Entry<T>) -> Option<(Node<T>, Node<T>)> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push(entry);
+                if entries.len() > NODE_MAX {
+                    let (a, b) = split_entries(std::mem::take(entries));
+                    return Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }));
+                }
+                None
+            }
+            Node::Internal { children } => {
+                let idx = choose_subtree(children, &entry.bbox);
+                match Self::insert_rec(&mut children[idx].node, entry) {
+                    None => {
+                        let (bbox, dirs) =
+                            children[idx].node.summary().expect("child non-empty");
+                        children[idx].bbox = bbox;
+                        children[idx].dirs = dirs;
+                    }
+                    Some((left, right)) => {
+                        let mk_child = |n: Node<T>| {
+                            let (bbox, dirs) = n.summary().expect("split node non-empty");
+                            Child { bbox, dirs, node: Box::new(n) }
+                        };
+                        children[idx] = mk_child(left);
+                        children.push(mk_child(right));
+                        if children.len() > NODE_MAX {
+                            let (a, b) = split_entries(std::mem::take(children));
+                            return Some((
+                                Node::Internal { children: a },
+                                Node::Internal { children: b },
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// FOVs whose scene location intersects `region` and whose viewing
+    /// direction overlaps `directions`. Pass [`AngularRange::FULL`] for a
+    /// purely spatial query.
+    pub fn range_directed(&self, region: &BBox, directions: &AngularRange) -> Vec<(&Fov, &T)> {
+        let mut out = Vec::new();
+        Self::query_rec(&self.root, region, directions, &mut out);
+        out
+    }
+
+    fn query_rec<'a>(
+        node: &'a Node<T>,
+        region: &BBox,
+        directions: &AngularRange,
+        out: &mut Vec<(&'a Fov, &'a T)>,
+    ) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    if e.bbox.intersects(region)
+                        && e.fov.direction_range().overlaps(directions)
+                    {
+                        out.push((&e.fov, &e.value));
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for c in children {
+                    if c.bbox.intersects(region) && c.dirs.overlaps(directions) {
+                        Self::query_rec(&c.node, region, directions, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// FOVs that actually *see* point `p` (exact sector test after index
+    /// pruning), optionally restricted to a viewing-direction arc.
+    pub fn covering_point(&self, p: &GeoPoint, directions: Option<&AngularRange>) -> Vec<(&Fov, &T)> {
+        let region = BBox::from_point(*p);
+        let dirs = directions.copied().unwrap_or(AngularRange::FULL);
+        self.range_directed(&region, &dirs)
+            .into_iter()
+            .filter(|(fov, _)| fov.contains(p))
+            .collect()
+    }
+
+    /// Verifies per-node summaries cover their subtrees (test helper).
+    pub fn check_invariants(&self) {
+        fn walk<T>(node: &Node<T>) {
+            if let Node::Internal { children } = node {
+                for c in children {
+                    let (bbox, dirs) = c.node.summary().expect("child non-empty");
+                    assert!(c.bbox.contains_bbox(&bbox), "bbox summary too small");
+                    // Every direction covered below must be inside the
+                    // stored summary: test a dense sample.
+                    for step in 0..72 {
+                        let deg = step as f64 * 5.0;
+                        if dirs.contains(deg) {
+                            assert!(c.dirs.contains(deg), "direction summary misses {deg}");
+                        }
+                    }
+                    walk(&c.node);
+                }
+            }
+        }
+        walk(&self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_fovs(n: usize) -> Vec<(Fov, usize)> {
+        // FOVs on a grid, heading rotates by index.
+        let mut fovs = Vec::new();
+        for i in 0..n {
+            let lat = 34.0 + (i / 10) as f64 * 0.001;
+            let lon = -118.3 + (i % 10) as f64 * 0.001;
+            let heading = (i * 37 % 360) as f64;
+            fovs.push((Fov::new(GeoPoint::new(lat, lon), heading, 60.0, 80.0), i));
+        }
+        fovs
+    }
+
+    #[test]
+    fn directed_range_matches_linear_scan() {
+        let fovs = make_fovs(150);
+        let mut tree = OrientedRTree::new();
+        for (f, id) in &fovs {
+            tree.insert(*f, *id);
+        }
+        tree.check_invariants();
+        let region = BBox::new(34.002, -118.297, 34.008, -118.291);
+        let dirs = AngularRange::centered(0.0, 90.0);
+        let mut got: Vec<usize> =
+            tree.range_directed(&region, &dirs).into_iter().map(|(_, id)| *id).collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = fovs
+            .iter()
+            .filter(|(f, _)| {
+                f.scene_location().intersects(&region) && f.direction_range().overlaps(&dirs)
+            })
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn direction_filter_reduces_results() {
+        let fovs = make_fovs(150);
+        let mut tree = OrientedRTree::new();
+        for (f, id) in &fovs {
+            tree.insert(*f, *id);
+        }
+        let region = BBox::new(33.99, -118.31, 34.03, -118.27);
+        let all = tree.range_directed(&region, &AngularRange::FULL).len();
+        let north_only = tree.range_directed(&region, &AngularRange::centered(0.0, 30.0)).len();
+        assert!(north_only < all, "direction constraint must prune ({north_only} vs {all})");
+        assert!(north_only > 0);
+    }
+
+    #[test]
+    fn covering_point_is_exact() {
+        let cam = GeoPoint::new(34.01, -118.29);
+        let mut tree = OrientedRTree::new();
+        tree.insert(Fov::new(cam, 0.0, 60.0, 100.0), "north");
+        tree.insert(Fov::new(cam, 180.0, 60.0, 100.0), "south");
+        let ahead = cam.destination(0.0, 50.0);
+        let hits = tree.covering_point(&ahead, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(*hits[0].1, "north");
+        // Direction-constrained: ask for south-facing cameras seeing the
+        // north point — none.
+        let south_dirs = AngularRange::centered(180.0, 40.0);
+        assert!(tree.covering_point(&ahead, Some(&south_dirs)).is_empty());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree: OrientedRTree<u8> = OrientedRTree::new();
+        assert!(tree
+            .range_directed(&BBox::new(0.0, 0.0, 1.0, 1.0), &AngularRange::FULL)
+            .is_empty());
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn grows_past_node_capacity() {
+        let fovs = make_fovs(300);
+        let mut tree = OrientedRTree::new();
+        for (f, id) in &fovs {
+            tree.insert(*f, *id);
+        }
+        assert_eq!(tree.len(), 300);
+        tree.check_invariants();
+        // Full-region, full-direction query returns everything.
+        let region = BBox::new(33.9, -118.4, 34.1, -118.2);
+        assert_eq!(tree.range_directed(&region, &AngularRange::FULL).len(), 300);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests: every index must agree with a linear scan.
+
+use proptest::prelude::*;
+use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
+use tvdp_index::{InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree};
+
+fn la_point() -> impl Strategy<Value = GeoPoint> {
+    (33.9f64..34.1, -118.4f64..-118.2).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+fn la_bbox() -> impl Strategy<Value = BBox> {
+    (la_point(), la_point()).prop_map(|(a, b)| BBox::from_points(&[a, b]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_range_equals_linear_scan(
+        points in proptest::collection::vec(la_point(), 1..120),
+        query in la_bbox(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        tree.check_invariants();
+        let mut got: Vec<usize> = tree.range(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_knn_equals_linear_scan(
+        points in proptest::collection::vec(la_point(), 1..100),
+        q in la_point(),
+        k in 1usize..10,
+    ) {
+        let mut tree = RTree::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        let got: Vec<f64> = tree.knn(&q, k).iter().map(|(d, _)| *d).collect();
+        let mut lin: Vec<f64> = points.iter().map(|p| q.fast_distance_m(p)).collect();
+        lin.sort_by(f64::total_cmp);
+        lin.truncate(k);
+        prop_assert_eq!(got.len(), lin.len());
+        for (g, e) in got.iter().zip(&lin) {
+            prop_assert!((g - e).abs() < 1e-6, "knn distance {} vs linear {}", g, e);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_linear_scan(
+        points in proptest::collection::vec(la_point(), 0..150),
+        query in la_bbox(),
+    ) {
+        let tree = RTree::bulk_load(
+            points.iter().enumerate().map(|(i, p)| (BBox::from_point(*p), i)).collect(),
+        );
+        if !points.is_empty() {
+            tree.check_invariants();
+        }
+        let mut got: Vec<usize> = tree.range(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn remove_then_range_equals_filtered_scan(
+        points in proptest::collection::vec(la_point(), 1..100),
+        removals in proptest::collection::vec(0usize..100, 0..40),
+        query in la_bbox(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        let mut removed = std::collections::HashSet::new();
+        for r in removals {
+            let idx = r % points.len();
+            if removed.contains(&idx) {
+                continue;
+            }
+            let got = tree.remove(&BBox::from_point(points[idx]), |&v| v == idx);
+            prop_assert_eq!(got, Some(idx), "live entry must be removable");
+            removed.insert(idx);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), points.len() - removed.len());
+        let mut got: Vec<usize> = tree.range(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !removed.contains(i) && query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn oriented_rtree_equals_linear_scan(
+        cams in proptest::collection::vec((la_point(), 0.0f64..360.0), 1..80),
+        query in la_bbox(),
+        dir_start in 0.0f64..360.0,
+        dir_width in 10.0f64..180.0,
+    ) {
+        let fovs: Vec<Fov> =
+            cams.iter().map(|(p, h)| Fov::new(*p, *h, 60.0, 100.0)).collect();
+        let mut tree = OrientedRTree::new();
+        for (i, f) in fovs.iter().enumerate() {
+            tree.insert(*f, i);
+        }
+        tree.check_invariants();
+        let dirs = AngularRange::new(dir_start, dir_width);
+        let mut got: Vec<usize> =
+            tree.range_directed(&query, &dirs).into_iter().map(|(_, i)| *i).collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = fovs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.scene_location().intersects(&query) && f.direction_range().overlaps(&dirs)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn visual_rtree_range_equals_linear_scan(
+        entries in proptest::collection::vec(
+            (la_point(), proptest::collection::vec(-1.0f32..1.0, 4)), 1..80),
+        query_region in la_bbox(),
+        query_feat in proptest::collection::vec(-1.0f32..1.0, 4),
+        threshold in 0.1f32..2.0,
+    ) {
+        let mut tree = VisualRTree::new(4);
+        for (i, (p, f)) in entries.iter().enumerate() {
+            tree.insert(BBox::from_point(*p), f.clone(), i);
+        }
+        tree.check_invariants();
+        let l2 = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let mut got: Vec<usize> = tree
+            .range_visual(&query_region, &query_feat, threshold)
+            .into_iter()
+            .map(|(_, i)| *i)
+            .collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, f))| {
+                query_region.contains(p) && l2(f, &query_feat) <= threshold
+            })
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lsh_self_query_always_hits(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 6), 1..60),
+        probe in 0usize..60,
+    ) {
+        let mut idx = LshIndex::new(6, LshConfig::default());
+        for v in &vectors {
+            idx.insert(v.clone());
+        }
+        let probe = probe % vectors.len();
+        // A stored vector hashes identically to itself in every table.
+        prop_assert!(idx.candidates(&vectors[probe]).contains(&probe));
+        let knn = idx.knn(&vectors[probe], 1);
+        prop_assert!(knn[0].0 < 1e-6);
+    }
+
+    #[test]
+    fn inverted_and_subset_of_or(
+        docs in proptest::collection::vec("[a-d ]{0,24}", 1..30),
+        query in "[a-d]( [a-d])?",
+    ) {
+        let mut idx = InvertedIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            idx.index_document(i, d);
+        }
+        let and = idx.search_and(&query);
+        let or = idx.search_or(&query);
+        for d in &and {
+            prop_assert!(or.contains(d), "AND result {} missing from OR", d);
+        }
+        // Ranked results cover exactly the OR set when k is large.
+        let ranked: Vec<usize> =
+            idx.search_ranked(&query, docs.len()).into_iter().map(|(_, d)| d).collect();
+        let mut ranked_sorted = ranked.clone();
+        ranked_sorted.sort_unstable();
+        prop_assert_eq!(ranked_sorted, or);
+    }
+
+    #[test]
+    fn temporal_range_equals_filter(
+        stamps in proptest::collection::vec(-1000i64..1000, 1..80),
+        from in -1000i64..1000,
+        width in 0i64..500,
+    ) {
+        let mut idx = TemporalIndex::new();
+        for (i, &t) in stamps.iter().enumerate() {
+            idx.insert(t, i);
+        }
+        let to = from + width;
+        let mut got = idx.range(from, to);
+        got.sort_unstable();
+        let mut expected: Vec<usize> = stamps
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= from && t <= to)
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

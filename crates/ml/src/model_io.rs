@@ -1,0 +1,140 @@
+//! Serializable trained models — the platform's model exchange format.
+//!
+//! The paper's API lets edge devices *download* trained models and lets
+//! collaborators *upload* models they devised elsewhere (Section V, APIs
+//! 6 and 7). [`SerializableModel`] is the exchange format: every built-in
+//! algorithm (optionally behind its scaling pipeline) in one serde enum,
+//! still usable as a [`Classifier`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::bayes::GaussianNb;
+use crate::forest::RandomForest;
+use crate::knn::KnnClassifier;
+use crate::logreg::LogisticRegression;
+use crate::mlp::Mlp;
+use crate::pipeline::ScaledClassifier;
+use crate::svm::LinearSvm;
+use crate::tree::DecisionTree;
+use crate::Classifier;
+
+/// A trained model in portable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names mirror the wrapped classifiers
+pub enum SerializableModel {
+    Knn(ScaledClassifier<KnnClassifier>),
+    DecisionTree(DecisionTree),
+    NaiveBayes(GaussianNb),
+    RandomForest(RandomForest),
+    Svm(ScaledClassifier<LinearSvm>),
+    LogisticRegression(ScaledClassifier<LogisticRegression>),
+    Mlp(ScaledClassifier<Mlp>),
+}
+
+impl SerializableModel {
+    fn inner(&self) -> &dyn Classifier {
+        match self {
+            SerializableModel::Knn(m) => m,
+            SerializableModel::DecisionTree(m) => m,
+            SerializableModel::NaiveBayes(m) => m,
+            SerializableModel::RandomForest(m) => m,
+            SerializableModel::Svm(m) => m,
+            SerializableModel::LogisticRegression(m) => m,
+            SerializableModel::Mlp(m) => m,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Classifier {
+        match self {
+            SerializableModel::Knn(m) => m,
+            SerializableModel::DecisionTree(m) => m,
+            SerializableModel::NaiveBayes(m) => m,
+            SerializableModel::RandomForest(m) => m,
+            SerializableModel::Svm(m) => m,
+            SerializableModel::LogisticRegression(m) => m,
+            SerializableModel::Mlp(m) => m,
+        }
+    }
+
+    /// Short algorithm tag for provenance records.
+    pub fn algorithm_tag(&self) -> &'static str {
+        self.inner().name()
+    }
+}
+
+impl Classifier for SerializableModel {
+    fn fit(&mut self, x: &[Vec<f32>], y: &[usize], n_classes: usize) {
+        self.inner_mut().fit(x, y, n_classes);
+    }
+
+    fn decision_scores(&self, x: &[f32]) -> Vec<f32> {
+        self.inner().decision_scores(x)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = (i % 10) as f32 * 0.05;
+            x.push(vec![j, j]);
+            y.push(0);
+            x.push(vec![4.0 + j, 4.0 - j]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    fn all_variants() -> Vec<SerializableModel> {
+        vec![
+            SerializableModel::Knn(ScaledClassifier::new(KnnClassifier::new(3))),
+            SerializableModel::DecisionTree(DecisionTree::new()),
+            SerializableModel::NaiveBayes(GaussianNb::new()),
+            SerializableModel::RandomForest(RandomForest::new(5, 1)),
+            SerializableModel::Svm(ScaledClassifier::new(LinearSvm::new())),
+            SerializableModel::LogisticRegression(ScaledClassifier::new(
+                LogisticRegression::new(),
+            )),
+            SerializableModel::Mlp(ScaledClassifier::new(Mlp::new())),
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_json_with_identical_predictions() {
+        let (x, y) = blobs();
+        for mut model in all_variants() {
+            model.fit(&x, &y, 2);
+            let json = serde_json::to_string(&model).expect("serialize");
+            let restored: SerializableModel = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(restored.algorithm_tag(), model.algorithm_tag());
+            for row in &x {
+                assert_eq!(
+                    restored.predict_one(row),
+                    model.predict_one(row),
+                    "{} diverged after roundtrip",
+                    model.name()
+                );
+                // Scores match bit-for-bit (pure weight structures).
+                assert_eq!(restored.decision_scores(row), model.decision_scores(row));
+            }
+        }
+    }
+
+    #[test]
+    fn variants_classify_blobs() {
+        let (x, y) = blobs();
+        for mut model in all_variants() {
+            model.fit(&x, &y, 2);
+            assert_eq!(model.predict_one(&[0.1, 0.1]), 0, "{}", model.name());
+            assert_eq!(model.predict_one(&[4.0, 4.0]), 1, "{}", model.name());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of ML substrate invariants.
+
+use proptest::prelude::*;
+use tvdp_ml::{
+    argmax, cosine, ConfusionMatrix, GaussianNb, KnnClassifier, LinearSvm, StandardScaler,
+};
+use tvdp_ml::{kfold_indices, train_test_split, Classifier};
+
+fn labels_and_preds() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (1usize..100).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..4, n),
+            proptest::collection::vec(0usize..4, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn confusion_metrics_in_unit_interval((truth, pred) in labels_and_preds()) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 4);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        for c in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+        }
+        prop_assert_eq!(cm.total() as usize, truth.len());
+    }
+
+    #[test]
+    fn f1_between_min_and_max_of_p_r((truth, pred) in labels_and_preds()) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 4);
+        for c in 0..4 {
+            let p = cm.precision(c);
+            let r = cm.recall(c);
+            let f = cm.f1(c);
+            prop_assert!(f <= p.max(r) + 1e-12);
+            prop_assert!(f >= 0.0);
+            // Harmonic mean never exceeds arithmetic mean.
+            prop_assert!(f <= (p + r) / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_partitions(n in 2usize..500, frac in 0.1f64..0.9, seed in 0u64..1000) {
+        let (train, test) = train_test_split(n, frac, seed);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kfold_validation_sets_partition(n in 10usize..200, k in 2usize..8, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = kfold_indices(n, k, seed);
+        let mut all: Vec<usize> = folds.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cosine_bounded(a in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
+        let b: Vec<f32> = a.iter().rev().copied().collect();
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        // Self-similarity is 1 for non-zero vectors.
+        if a.iter().any(|&v| v != 0.0) {
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaler_output_is_finite(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0f32..100.0, 4), 2..30)) {
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&rows);
+        prop_assert!(t.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn classifiers_predict_within_label_space(seed in 0u64..50) {
+        // Two tight blobs; every classifier must emit labels in range and
+        // classify its own training data mostly correctly.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = ((i * 31 + seed as usize) % 11) as f32 * 0.01;
+            x.push(vec![jitter, jitter]);
+            y.push(0);
+            x.push(vec![5.0 + jitter, 5.0 - jitter]);
+            y.push(1);
+        }
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(KnnClassifier::new(3)),
+            Box::new(GaussianNb::new()),
+            Box::new(LinearSvm::new()),
+        ];
+        for mut m in models {
+            m.fit(&x, &y, 2);
+            for row in &x {
+                let p = m.predict_one(row);
+                prop_assert!(p < 2);
+            }
+            let scores = m.decision_scores(&x[0]);
+            prop_assert_eq!(scores.len(), 2);
+            prop_assert_eq!(argmax(&scores), m.predict_one(&x[0]));
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The index-backed query engine.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use tvdp_geo::BBox;
+use tvdp_index::{
+    InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree,
+};
+use tvdp_storage::{ImageId, VisualStore};
+use tvdp_vision::FeatureKind;
+
+use crate::types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Which feature family the visual indexes are built over.
+    pub visual_kind: FeatureKind,
+    /// LSH tuning for the approximate visual path.
+    pub lsh: LshConfig,
+    /// When `true` (default), visual queries run exactly on the hybrid
+    /// Visual R*-tree; when `false`, top-k visual queries use the LSH
+    /// candidate path (approximate, faster at scale).
+    pub exact_visual: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { visual_kind: FeatureKind::Cnn, lsh: LshConfig::default(), exact_visual: true }
+    }
+}
+
+/// The whole-planet region used when a visual query has no spatial
+/// constraint.
+fn world() -> BBox {
+    BBox::new(-90.0, -180.0, 90.0, 180.0)
+}
+
+/// An index-backed executor over a [`VisualStore`] snapshot.
+///
+/// Built once from the store; images ingested afterwards are indexed via
+/// [`QueryEngine::index_image`].
+pub struct QueryEngine {
+    store: Arc<VisualStore>,
+    config: EngineConfig,
+    scene_tree: RTree<ImageId>,
+    fov_tree: OrientedRTree<ImageId>,
+    hybrid: Option<VisualRTree<ImageId>>,
+    lsh: Option<LshIndex>,
+    lsh_ids: Vec<ImageId>,
+    text: InvertedIndex,
+    captured: TemporalIndex,
+    uploaded: TemporalIndex,
+    /// Dense doc handle -> image id (text/temporal indexes).
+    docs: Vec<ImageId>,
+    indexed: HashSet<ImageId>,
+}
+
+impl QueryEngine {
+    /// Builds the engine, indexing every image currently in `store`.
+    pub fn build(store: Arc<VisualStore>, config: EngineConfig) -> Self {
+        let mut engine = Self {
+            store: Arc::clone(&store),
+            config,
+            scene_tree: RTree::new(),
+            fov_tree: OrientedRTree::new(),
+            hybrid: None,
+            lsh: None,
+            lsh_ids: Vec::new(),
+            text: InvertedIndex::new(),
+            captured: TemporalIndex::new(),
+            uploaded: TemporalIndex::new(),
+            docs: Vec::new(),
+            indexed: HashSet::new(),
+        };
+        for id in store.image_ids() {
+            engine.index_image(id);
+        }
+        engine
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &VisualStore {
+        &self.store
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.indexed.len()
+    }
+
+    /// Whether nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.indexed.is_empty()
+    }
+
+    /// Indexes one image from the store into every applicable index.
+    /// Idempotent per image id; unknown ids are ignored.
+    pub fn index_image(&mut self, id: ImageId) {
+        if self.indexed.contains(&id) {
+            return;
+        }
+        let Some(record) = self.store.image(id) else { return };
+        self.indexed.insert(id);
+        self.scene_tree.insert(record.scene_location, id);
+        if let Some(fov) = record.meta.fov {
+            self.fov_tree.insert(fov, id);
+        }
+        let doc = self.docs.len();
+        self.docs.push(id);
+        self.text.index_document(doc, &record.meta.keywords.join(" "));
+        self.captured.insert(record.meta.captured_at, doc);
+        self.uploaded.insert(record.meta.uploaded_at, doc);
+        if let Some(feature) = self.store.feature(id, self.config.visual_kind) {
+            let dim = feature.len();
+            let hybrid = self
+                .hybrid
+                .get_or_insert_with(|| VisualRTree::new(dim));
+            hybrid.insert(record.scene_location, feature.clone(), id);
+            let lsh = self
+                .lsh
+                .get_or_insert_with(|| LshIndex::new(dim, self.config.lsh));
+            lsh.insert(feature);
+            self.lsh_ids.push(id);
+        }
+    }
+
+    /// Executes a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a visual example's dimensionality does not match the
+    /// indexed features (caller error).
+    pub fn execute(&self, query: &Query) -> Vec<QueryResult> {
+        match query {
+            Query::Spatial(sq) => self.execute_spatial(sq),
+            Query::Visual { example, kind, mode } => {
+                assert_eq!(
+                    *kind, self.config.visual_kind,
+                    "engine indexes {:?}, query uses {:?}",
+                    self.config.visual_kind, kind
+                );
+                self.execute_visual(example, *mode, None)
+            }
+            Query::Categorical { scheme, label, min_confidence } => {
+                let mut ids: Vec<ImageId> = self
+                    .store
+                    .annotations_with_label(*scheme, *label)
+                    .into_iter()
+                    .filter(|a| a.confidence >= *min_confidence)
+                    .map(|a| a.image)
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids.into_iter().map(|id| QueryResult::new(id, 0.0)).collect()
+            }
+            Query::Textual { text, mode } => self.execute_textual(text, *mode),
+            Query::Temporal { field, from, to } => {
+                let idx = match field {
+                    TemporalField::Captured => &self.captured,
+                    TemporalField::Uploaded => &self.uploaded,
+                };
+                idx.range(*from, *to)
+                    .into_iter()
+                    .map(|doc| QueryResult::new(self.docs[doc], 0.0))
+                    .collect()
+            }
+            Query::And(subs) => self.execute_and(subs),
+            Query::Or(subs) => self.execute_or(subs),
+        }
+    }
+
+    /// Disjunction: union of the branches, keeping each image's best
+    /// (lowest) score; output ordered by score then id.
+    fn execute_or(&self, subs: &[Query]) -> Vec<QueryResult> {
+        let mut best: HashMap<ImageId, f64> = HashMap::new();
+        for q in subs {
+            for r in self.execute(q) {
+                best.entry(r.image)
+                    .and_modify(|s| *s = s.min(r.score))
+                    .or_insert(r.score);
+            }
+        }
+        let mut out: Vec<QueryResult> =
+            best.into_iter().map(|(id, s)| QueryResult::new(id, s)).collect();
+        out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
+        out
+    }
+
+    fn execute_spatial(&self, sq: &SpatialQuery) -> Vec<QueryResult> {
+        match sq {
+            SpatialQuery::Range(bbox) => self
+                .scene_tree
+                .range(bbox)
+                .into_iter()
+                .map(|id| QueryResult::new(*id, 0.0))
+                .collect(),
+            SpatialQuery::Nearest { point, k } => self
+                .scene_tree
+                .knn(point, *k)
+                .into_iter()
+                .map(|(d, id)| QueryResult::new(*id, d))
+                .collect(),
+            SpatialQuery::Within(polygon) => {
+                // Index pre-filter on the polygon's bounding box, then the
+                // exact polygon-rectangle test.
+                self.scene_tree
+                    .range(&polygon.bbox())
+                    .into_iter()
+                    .filter(|id| {
+                        let record = self.store.image(**id).expect("indexed image exists");
+                        polygon.intersects_bbox(&record.scene_location)
+                    })
+                    .map(|id| QueryResult::new(*id, 0.0))
+                    .collect()
+            }
+            SpatialQuery::Covering(p) => {
+                // FOV-backed visibility plus degenerate matches from
+                // images without direction metadata.
+                let mut ids: Vec<ImageId> = self
+                    .fov_tree
+                    .covering_point(p, None)
+                    .into_iter()
+                    .map(|(_, id)| *id)
+                    .collect();
+                for id in self.scene_tree.containing(p) {
+                    let record = self.store.image(*id).expect("indexed image exists");
+                    if record.meta.fov.is_none() {
+                        ids.push(*id);
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                ids.into_iter().map(|id| QueryResult::new(id, 0.0)).collect()
+            }
+            SpatialQuery::Directed { region, directions } => self
+                .fov_tree
+                .range_directed(region, directions)
+                .into_iter()
+                .map(|(_, id)| QueryResult::new(*id, 0.0))
+                .collect(),
+        }
+    }
+
+    /// Visual query, optionally restricted to a spatial region (the
+    /// hybrid spatial-visual plan).
+    fn execute_visual(
+        &self,
+        example: &[f32],
+        mode: VisualMode,
+        region: Option<&BBox>,
+    ) -> Vec<QueryResult> {
+        let Some(hybrid) = &self.hybrid else { return Vec::new() };
+        let region = region.copied().unwrap_or_else(world);
+        match mode {
+            VisualMode::Threshold(max_dist) => hybrid
+                .range_visual(&region, example, max_dist)
+                .into_iter()
+                .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
+                .collect(),
+            VisualMode::TopK(k) => {
+                if self.config.exact_visual {
+                    hybrid
+                        .knn_visual(&region, example, k)
+                        .into_iter()
+                        .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
+                        .collect()
+                } else {
+                    // Approximate: LSH candidates, exact re-rank, then
+                    // spatial post-filter.
+                    let lsh = self.lsh.as_ref().expect("lsh built with hybrid");
+                    lsh.knn(example, k * 4)
+                        .into_iter()
+                        .map(|(d, handle)| (d, self.lsh_ids[handle]))
+                        .filter(|(_, id)| {
+                            let record = self.store.image(*id).expect("indexed");
+                            record.scene_location.intersects(&region)
+                        })
+                        .take(k)
+                        .map(|(d, id)| QueryResult::new(id, f64::from(d)))
+                        .collect()
+                }
+            }
+        }
+    }
+
+    fn execute_textual(&self, text: &str, mode: TextualMode) -> Vec<QueryResult> {
+        match mode {
+            TextualMode::All => self
+                .text
+                .search_and(text)
+                .into_iter()
+                .map(|doc| QueryResult::new(self.docs[doc], 0.0))
+                .collect(),
+            TextualMode::Any => self
+                .text
+                .search_or(text)
+                .into_iter()
+                .map(|doc| QueryResult::new(self.docs[doc], 0.0))
+                .collect(),
+            TextualMode::Ranked(k) => self
+                .text
+                .search_ranked(text, k)
+                .into_iter()
+                .map(|(score, doc)| QueryResult::new(self.docs[doc], score))
+                .collect(),
+        }
+    }
+
+    /// Conjunction planner. The spatial-range + visual pattern runs on
+    /// the hybrid index in one traversal; everything else evaluates the
+    /// sub-queries independently and intersects, keeping the score of the
+    /// first scored component.
+    fn execute_and(&self, subs: &[Query]) -> Vec<QueryResult> {
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        // Hybrid fast path: exactly one spatial range + one visual leaf
+        // (any extra filters applied afterwards).
+        let ranges: Vec<&BBox> = subs
+            .iter()
+            .filter_map(|q| match q {
+                Query::Spatial(SpatialQuery::Range(b)) => Some(b),
+                _ => None,
+            })
+            .collect();
+        let visuals: Vec<(&Vec<f32>, VisualMode)> = subs
+            .iter()
+            .filter_map(|q| match q {
+                // Only visual leaves of the indexed feature family take
+                // the hybrid path; other kinds fall through to the
+                // general plan (where the standalone assert fires).
+                Query::Visual { example, kind, mode } if *kind == self.config.visual_kind => {
+                    Some((example, *mode))
+                }
+                _ => None,
+            })
+            .collect();
+        if ranges.len() == 1 && visuals.len() == 1 {
+            let (example, mode) = visuals[0];
+            let mut results = self.execute_visual(example, mode, Some(ranges[0]));
+            // Apply the remaining predicates as post-filters.
+            let rest: Vec<&Query> = subs
+                .iter()
+                .filter(|q| {
+                    !matches!(q, Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. })
+                })
+                .collect();
+            if !rest.is_empty() {
+                let mut allowed: Option<HashSet<ImageId>> = None;
+                for q in rest {
+                    let ids: HashSet<ImageId> =
+                        self.execute(q).into_iter().map(|r| r.image).collect();
+                    allowed = Some(match allowed {
+                        None => ids,
+                        Some(prev) => prev.intersection(&ids).copied().collect(),
+                    });
+                }
+                let allowed = allowed.expect("rest non-empty");
+                results.retain(|r| allowed.contains(&r.image));
+            }
+            return results;
+        }
+
+        // General plan: evaluate all, intersect.
+        let mut scored: HashMap<ImageId, f64> = HashMap::new();
+        let mut allowed: Option<HashSet<ImageId>> = None;
+        for q in subs {
+            let results = self.execute(q);
+            let ids: HashSet<ImageId> = results.iter().map(|r| r.image).collect();
+            for r in &results {
+                scored.entry(r.image).or_insert(r.score);
+            }
+            allowed = Some(match allowed {
+                None => ids,
+                Some(prev) => prev.intersection(&ids).copied().collect(),
+            });
+        }
+        let mut out: Vec<QueryResult> = allowed
+            .unwrap_or_default()
+            .into_iter()
+            .map(|id| QueryResult::new(id, scored.get(&id).copied().unwrap_or(0.0)))
+            .collect();
+        out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
+        out
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Query layer for the Translational Visual Data Platform.
+//!
+//! Exposes the five query families of the paper's access layer (Section
+//! IV-C) plus hybrid combinations:
+//!
+//! * **Spatial** — range / k-nearest / point-coverage / direction-
+//!   constrained queries over scene locations and FOVs,
+//! * **Visual** — example-image similarity (top-k or threshold) over
+//!   stored feature vectors,
+//! * **Categorical** — annotation-label filters,
+//! * **Textual** — keyword search over manual keywords,
+//! * **Temporal** — capture/upload time ranges,
+//! * **Hybrid** — conjunctions, with a planner that routes
+//!   spatial+visual conjunctions to the hybrid Visual R*-tree instead of
+//!   chaining single-modal indexes.
+//!
+//! [`QueryEngine`] serves queries from the indexing substrate;
+//! [`linear::LinearExecutor`] is the brute-force reference the tests and
+//! benchmarks compare against.
+
+pub mod engine;
+pub mod localize;
+pub mod linear;
+pub mod types;
+
+pub use engine::QueryEngine;
+pub use localize::{localize, LocalizationEstimate};
+pub use linear::LinearExecutor;
+pub use types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};

@@ -1,0 +1,161 @@
+//! Query and result types.
+
+use serde::{Deserialize, Serialize};
+use tvdp_geo::{AngularRange, BBox, GeoPoint, GeoPolygon};
+use tvdp_storage::{ClassificationId, ImageId};
+use tvdp_vision::FeatureKind;
+
+/// Spatial sub-queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SpatialQuery {
+    /// Images whose scene location intersects the box.
+    Range(BBox),
+    /// The `k` images whose scene location is nearest to the point.
+    Nearest {
+        /// Query point.
+        point: GeoPoint,
+        /// Result count.
+        k: usize,
+    },
+    /// Images whose FOV actually sees the point.
+    Covering(GeoPoint),
+    /// Images whose scene location intersects a district polygon.
+    Within(GeoPolygon),
+    /// Images in a region looking along certain compass directions.
+    Directed {
+        /// Spatial region.
+        region: BBox,
+        /// Allowed viewing directions.
+        directions: AngularRange,
+    },
+}
+
+/// Visual similarity modes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VisualMode {
+    /// The `k` most similar images.
+    TopK(usize),
+    /// All images within a feature-distance threshold.
+    Threshold(f32),
+}
+
+/// Textual retrieval modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextualMode {
+    /// Every query term must match.
+    All,
+    /// Any query term may match.
+    Any,
+    /// tf-idf ranked, top `k`.
+    Ranked(usize),
+}
+
+/// Which timestamp a temporal filter applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemporalField {
+    /// Capture time.
+    Captured,
+    /// Upload time.
+    Uploaded,
+}
+
+/// A TVDP query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Query {
+    /// Spatial search.
+    Spatial(SpatialQuery),
+    /// Example-based visual similarity search.
+    Visual {
+        /// Example feature vector.
+        example: Vec<f32>,
+        /// Which feature family the example belongs to.
+        kind: FeatureKind,
+        /// Top-k or threshold.
+        mode: VisualMode,
+    },
+    /// Annotation-label search.
+    Categorical {
+        /// Classification scheme.
+        scheme: ClassificationId,
+        /// Label index within the scheme.
+        label: usize,
+        /// Keep annotations at or above this confidence.
+        min_confidence: f32,
+    },
+    /// Keyword search over manual keywords.
+    Textual {
+        /// Query text.
+        text: String,
+        /// Retrieval mode.
+        mode: TextualMode,
+    },
+    /// Timestamp range filter (inclusive).
+    Temporal {
+        /// Which timestamp.
+        field: TemporalField,
+        /// Range start, Unix seconds.
+        from: i64,
+        /// Range end, Unix seconds.
+        to: i64,
+    },
+    /// Conjunction: images satisfying every sub-query (hybrid queries such
+    /// as spatial-visual and spatial-textual).
+    And(Vec<Query>),
+    /// Disjunction: images satisfying any sub-query; each image keeps its
+    /// best (lowest) score among the branches that matched it.
+    Or(Vec<Query>),
+}
+
+/// A scored result row. Score semantics depend on the query: feature
+/// distance for visual queries (lower = better), metres for nearest
+/// queries, tf-idf score for ranked text (higher = better), `0.0` for
+/// pure filters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Matching image.
+    pub image: ImageId,
+    /// Query-dependent score.
+    pub score: f64,
+}
+
+impl QueryResult {
+    /// Convenience constructor.
+    pub fn new(image: ImageId, score: f64) -> Self {
+        Self { image, score }
+    }
+}
+
+/// Extracts just the ids, preserving order.
+pub fn result_ids(results: &[QueryResult]) -> Vec<ImageId> {
+    results.iter().map(|r| r.image).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_serde_roundtrip() {
+        let q = Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.1, -118.2))),
+            Query::Visual {
+                example: vec![0.1, 0.2],
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(5),
+            },
+            Query::Textual { text: "tent".into(), mode: TextualMode::All },
+        ]);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        match back {
+            Query::And(subs) => assert_eq!(subs.len(), 3),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_ids_preserve_order() {
+        let rs = vec![QueryResult::new(ImageId(3), 0.1), QueryResult::new(ImageId(1), 0.2)];
+        assert_eq!(result_ids(&rs), vec![ImageId(3), ImageId(1)]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The index-backed engine must agree with the linear-scan reference on
+//! every query family.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
+use tvdp_query::types::result_ids;
+use tvdp_query::{
+    LinearExecutor, Query, QueryEngine, QueryResult, SpatialQuery, TemporalField, TextualMode,
+    VisualMode,
+};
+use tvdp_storage::{AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore};
+use tvdp_vision::FeatureKind;
+
+const DIM: usize = 8;
+
+fn build_store(n: usize, seed: u64) -> Arc<VisualStore> {
+    let store = VisualStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cls = store
+        .register_scheme(
+            "cleanliness",
+            vec!["clean".into(), "dirty".into(), "encampment".into()],
+        )
+        .unwrap();
+    const WORDS: [&str; 6] = ["street", "tent", "trash", "corner", "downtown", "alley"];
+    for i in 0..n {
+        let lat = 34.0 + rng.gen_range(0.0..0.05);
+        let lon = -118.3 + rng.gen_range(0.0..0.05);
+        let gps = GeoPoint::new(lat, lon);
+        let fov = if rng.gen_bool(0.8) {
+            Some(Fov::new(
+                gps,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(40.0..80.0),
+                rng.gen_range(50.0..150.0),
+            ))
+        } else {
+            None
+        };
+        let captured = 1_000 + rng.gen_range(0..10_000);
+        let n_words = rng.gen_range(1..4);
+        let keywords: Vec<String> = (0..n_words)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_string())
+            .collect();
+        let meta = ImageMeta {
+            uploader: UserId(rng.gen_range(0..5)),
+            gps,
+            fov,
+            captured_at: captured,
+            uploaded_at: captured + rng.gen_range(1..500),
+            keywords,
+        };
+        let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
+        // Clustered features: class c centred at 2c.
+        let class = i % 3;
+        let feature: Vec<f32> =
+            (0..DIM).map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3)).collect();
+        store.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+        store
+            .annotate(
+                id,
+                cls,
+                class,
+                rng.gen_range(0.5..1.0),
+                AnnotationSource::Human(UserId(0)),
+                None,
+            )
+            .unwrap();
+    }
+    Arc::new(store)
+}
+
+fn sorted_ids(results: &[QueryResult]) -> Vec<u64> {
+    let mut ids: Vec<u64> = results.iter().map(|r| r.image.raw()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn check_agreement(query: &Query, n: usize, seed: u64) {
+    let store = build_store(n, seed);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let e = engine.execute(query);
+    let l = linear.execute(query);
+    assert_eq!(sorted_ids(&e), sorted_ids(&l), "mismatch on {query:?}");
+}
+
+#[test]
+fn spatial_range_agrees() {
+    let q = Query::Spatial(SpatialQuery::Range(BBox::new(34.01, -118.29, 34.03, -118.27)));
+    check_agreement(&q, 150, 1);
+}
+
+#[test]
+fn spatial_covering_agrees() {
+    let q = Query::Spatial(SpatialQuery::Covering(GeoPoint::new(34.02, -118.28)));
+    check_agreement(&q, 200, 2);
+}
+
+#[test]
+fn spatial_directed_agrees() {
+    let q = Query::Spatial(SpatialQuery::Directed {
+        region: BBox::new(34.0, -118.3, 34.05, -118.25),
+        directions: AngularRange::centered(90.0, 60.0),
+    });
+    check_agreement(&q, 150, 3);
+}
+
+#[test]
+fn spatial_nearest_matches_distances() {
+    let store = build_store(120, 4);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let q = Query::Spatial(SpatialQuery::Nearest {
+        point: GeoPoint::new(34.025, -118.275),
+        k: 7,
+    });
+    let e = engine.execute(&q);
+    let l = linear.execute(&q);
+    assert_eq!(e.len(), 7);
+    for (a, b) in e.iter().zip(&l) {
+        assert!((a.score - b.score).abs() < 1e-6, "{} vs {}", a.score, b.score);
+    }
+}
+
+#[test]
+fn visual_threshold_agrees() {
+    let q = Query::Visual {
+        example: vec![2.0; DIM],
+        kind: FeatureKind::Cnn,
+        mode: VisualMode::Threshold(1.5),
+    };
+    check_agreement(&q, 150, 5);
+}
+
+#[test]
+fn visual_topk_matches_distances() {
+    let store = build_store(150, 6);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let q = Query::Visual {
+        example: vec![0.0; DIM],
+        kind: FeatureKind::Cnn,
+        mode: VisualMode::TopK(10),
+    };
+    let e = engine.execute(&q);
+    let l = linear.execute(&q);
+    assert_eq!(e.len(), 10);
+    for (a, b) in e.iter().zip(&l) {
+        assert!((a.score - b.score).abs() < 1e-5, "{} vs {}", a.score, b.score);
+    }
+}
+
+#[test]
+fn categorical_agrees() {
+    let store = build_store(100, 7);
+    let scheme = store.scheme_by_name("cleanliness").unwrap().id;
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let q = Query::Categorical { scheme, label: 2, min_confidence: 0.7 };
+    assert_eq!(sorted_ids(&engine.execute(&q)), sorted_ids(&linear.execute(&q)));
+    assert!(!engine.execute(&q).is_empty());
+}
+
+#[test]
+fn textual_modes_agree() {
+    for mode in [TextualMode::All, TextualMode::Any] {
+        let q = Query::Textual { text: "tent street".into(), mode };
+        check_agreement(&q, 150, 8);
+    }
+    // Ranked mode: same membership at large k.
+    let store = build_store(150, 8);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let q = Query::Textual { text: "tent".into(), mode: TextualMode::Ranked(1000) };
+    assert_eq!(sorted_ids(&engine.execute(&q)), sorted_ids(&linear.execute(&q)));
+}
+
+#[test]
+fn temporal_agrees_for_both_fields() {
+    for field in [TemporalField::Captured, TemporalField::Uploaded] {
+        let q = Query::Temporal { field, from: 3_000, to: 7_000 };
+        check_agreement(&q, 150, 9);
+    }
+}
+
+#[test]
+fn hybrid_spatial_visual_agrees() {
+    let q = Query::And(vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.03, -118.26))),
+        Query::Visual {
+            example: vec![2.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(1.2),
+        },
+    ]);
+    check_agreement(&q, 200, 10);
+}
+
+#[test]
+fn hybrid_spatial_textual_agrees() {
+    let q = Query::And(vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.25))),
+        Query::Textual { text: "trash".into(), mode: TextualMode::Any },
+    ]);
+    check_agreement(&q, 200, 11);
+}
+
+#[test]
+fn triple_hybrid_agrees() {
+    let q = Query::And(vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.05, -118.25))),
+        Query::Visual {
+            example: vec![4.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(1.5),
+        },
+        Query::Temporal { field: TemporalField::Captured, from: 1_000, to: 9_000 },
+    ]);
+    check_agreement(&q, 200, 12);
+}
+
+#[test]
+fn empty_and_returns_nothing() {
+    let store = build_store(20, 13);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    assert!(engine.execute(&Query::And(vec![])).is_empty());
+}
+
+#[test]
+fn approximate_visual_path_has_high_recall() {
+    let store = build_store(300, 14);
+    let exact = QueryEngine::build(Arc::clone(&store), Default::default());
+    // Bucket width tuned to the test data's nearest-neighbour distances,
+    // as E2LSH deployments do.
+    let approx = QueryEngine::build(
+        Arc::clone(&store),
+        tvdp_query::engine::EngineConfig {
+            exact_visual: false,
+            lsh: tvdp_index::LshConfig { bucket_width: 2.0, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let q = Query::Visual {
+        example: vec![2.0; DIM],
+        kind: FeatureKind::Cnn,
+        mode: VisualMode::TopK(10),
+    };
+    let exact_ids: Vec<_> = result_ids(&exact.execute(&q));
+    let approx_ids: Vec<_> = result_ids(&approx.execute(&q));
+    let hit = exact_ids.iter().filter(|id| approx_ids.contains(id)).count();
+    assert!(hit >= 8, "LSH recall too low: {hit}/10");
+}
+
+#[test]
+fn incremental_indexing_picks_up_new_images() {
+    let store = build_store(50, 15);
+    let mut engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let before = engine.len();
+    let gps = GeoPoint::new(34.02, -118.28);
+    let id = store
+        .add_image(
+            ImageMeta {
+                uploader: UserId(1),
+                gps,
+                fov: None,
+                captured_at: 5_000,
+                uploaded_at: 5_100,
+                keywords: vec!["uniquekeyword".into()],
+            },
+            ImageOrigin::Original,
+            None,
+        )
+        .unwrap();
+    store.put_feature(id, FeatureKind::Cnn, vec![9.0; DIM]).unwrap();
+    engine.index_image(id);
+    assert_eq!(engine.len(), before + 1);
+    let hits = engine.execute(&Query::Textual {
+        text: "uniquekeyword".into(),
+        mode: TextualMode::All,
+    });
+    assert_eq!(result_ids(&hits), vec![id]);
+    // Re-indexing is idempotent.
+    engine.index_image(id);
+    assert_eq!(engine.len(), before + 1);
+}
+
+#[test]
+fn or_union_agrees_and_keeps_best_score() {
+    let q = Query::Or(vec![
+        Query::Textual { text: "tent".into(), mode: TextualMode::Any },
+        Query::Temporal { field: TemporalField::Captured, from: 2_000, to: 4_000 },
+        Query::Visual {
+            example: vec![0.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(0.8),
+        },
+    ]);
+    check_agreement(&q, 200, 16);
+
+    // Union semantics: no sub-query result is lost.
+    let store = build_store(200, 16);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let union = engine.execute(&q);
+    for sub in [
+        Query::Textual { text: "tent".into(), mode: TextualMode::Any },
+        Query::Temporal { field: TemporalField::Captured, from: 2_000, to: 4_000 },
+    ] {
+        for r in engine.execute(&sub) {
+            assert!(union.iter().any(|u| u.image == r.image), "lost {:?}", r.image);
+        }
+    }
+    // Ordered by score.
+    for w in union.windows(2) {
+        assert!(w[0].score <= w[1].score);
+    }
+}
+
+#[test]
+fn nested_and_or_composition() {
+    // (tent OR trash) AND in-region.
+    let q = Query::And(vec![
+        Query::Or(vec![
+            Query::Textual { text: "tent".into(), mode: TextualMode::Any },
+            Query::Textual { text: "trash".into(), mode: TextualMode::Any },
+        ]),
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.26))),
+    ]);
+    check_agreement(&q, 250, 17);
+}
+
+#[test]
+fn polygon_within_agrees() {
+    use tvdp_geo::GeoPolygon;
+    // A triangular district over the data region.
+    let a = GeoPoint::new(34.0, -118.3);
+    let polygon = GeoPolygon::new(vec![
+        a,
+        a.destination(90.0, 4_000.0),
+        a.destination(0.0, 4_000.0),
+    ]);
+    let q = Query::Spatial(SpatialQuery::Within(polygon));
+    check_agreement(&q, 250, 18);
+    // The polygon must select a proper, non-empty subset of its bbox.
+    let store = build_store(250, 18);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let tri = match &q {
+        Query::Spatial(SpatialQuery::Within(p)) => p.clone(),
+        _ => unreachable!(),
+    };
+    let in_tri = engine.execute(&q).len();
+    let in_box = engine
+        .execute(&Query::Spatial(SpatialQuery::Range(tri.bbox())))
+        .len();
+    assert!(in_tri > 0);
+    assert!(in_tri < in_box, "triangle ({in_tri}) must prune vs its bbox ({in_box})");
+}

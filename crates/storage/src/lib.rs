@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Data-management substrate for the Translational Visual Data Platform.
+//!
+//! Implements the comprehensive data model of the paper's Fig. 2:
+//!
+//! * `Images` — [`ImageRecord`]: GPS location, capture/upload timestamps,
+//!   uploader, original-vs-augmented lineage,
+//! * `Image_FOV` / `Image_Scene_Location` — spatial descriptors attached
+//!   to each image,
+//! * `Image_Visual_Features` — per-image feature vectors keyed by feature
+//!   family,
+//! * `Image_Content_Classification` / `..._Types` /
+//!   `..._Annotation` — classification schemes (e.g. *street
+//!   cleanliness*), their label vocabularies, and per-image annotations
+//!   with confidence and human/machine provenance,
+//! * `Image_Manual_Keywords` — textual descriptors.
+//!
+//! The store ([`VisualStore`]) is concurrency-safe (readers-writer locks
+//! per table) and persists as a JSON-lines snapshot ([`persist`]). Videos
+//! follow the paper's convention: a video is a sequence of key frames,
+//! each stored as an image carrying its own FOV.
+
+pub mod annotation;
+pub mod ids;
+pub mod persist;
+pub mod record;
+pub mod store;
+
+pub use annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
+pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
+pub use record::{ImageMeta, ImageOrigin, ImageRecord};
+pub use store::{StorageError, VisualStore};

@@ -1,0 +1,217 @@
+//! JSON-lines persistence for the visual store.
+//!
+//! The snapshot format is line-oriented: a header line followed by one
+//! JSON object per row, each tagged with its table. Line orientation
+//! keeps partial corruption local (a damaged trailing line loses one row,
+//! not the file) and makes dumps greppable during operations.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use tvdp_vision::FeatureKind;
+
+use crate::annotation::{Annotation, ClassificationScheme};
+use crate::ids::ImageId;
+use crate::record::ImageRecord;
+use crate::store::{Snapshot, VisualStore};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+enum Row {
+    Header { version: u32 },
+    Image(ImageRecord),
+    Blob { id: ImageId, width: usize, height: usize, raw: Vec<u8> },
+    Feature { id: ImageId, kind: FeatureKind, vector: Vec<f32> },
+    Scheme(ClassificationScheme),
+    Annotation(Annotation),
+}
+
+/// Errors from loading a snapshot file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Corrupt {
+        /// 1-based line number of the bad row.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Missing or wrong-version header.
+    BadHeader,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Corrupt { line, message } => {
+                write!(f, "corrupt snapshot at line {line}: {message}")
+            }
+            PersistError::BadHeader => write!(f, "missing or incompatible snapshot header"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes a full snapshot of `store` to `path` (overwrites).
+pub fn save(store: &VisualStore, path: &Path) -> Result<(), PersistError> {
+    let snap = store.snapshot();
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut emit = |row: &Row| -> Result<(), PersistError> {
+        let line = serde_json::to_string(row)
+            .map_err(|e| PersistError::Corrupt { line: 0, message: e.to_string() })?;
+        writeln!(w, "{line}")?;
+        Ok(())
+    };
+    emit(&Row::Header { version: FORMAT_VERSION })?;
+    for rec in snap.images {
+        emit(&Row::Image(rec))?;
+    }
+    for (id, width, height, raw) in snap.blobs {
+        emit(&Row::Blob { id, width, height, raw })?;
+    }
+    for (id, kind, vector) in snap.features {
+        emit(&Row::Feature { id, kind, vector })?;
+    }
+    for s in snap.schemes {
+        emit(&Row::Scheme(s))?;
+    }
+    for a in snap.annotations {
+        emit(&Row::Annotation(a))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a snapshot file into a fresh store.
+pub fn load(path: &Path) -> Result<VisualStore, PersistError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut snap = Snapshot::default();
+    let mut saw_header = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Row = serde_json::from_str(&line)
+            .map_err(|e| PersistError::Corrupt { line: i + 1, message: e.to_string() })?;
+        match row {
+            Row::Header { version } => {
+                if version != FORMAT_VERSION {
+                    return Err(PersistError::BadHeader);
+                }
+                saw_header = true;
+            }
+            Row::Image(rec) => snap.images.push(rec),
+            Row::Blob { id, width, height, raw } => snap.blobs.push((id, width, height, raw)),
+            Row::Feature { id, kind, vector } => snap.features.push((id, kind, vector)),
+            Row::Scheme(s) => snap.schemes.push(s),
+            Row::Annotation(a) => snap.annotations.push(a),
+        }
+    }
+    if !saw_header {
+        return Err(PersistError::BadHeader);
+    }
+    Ok(VisualStore::from_snapshot(snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::AnnotationSource;
+    use crate::ids::UserId;
+    use crate::record::{ImageMeta, ImageOrigin};
+    use tvdp_geo::GeoPoint;
+    use tvdp_vision::Image;
+
+    fn populated_store() -> VisualStore {
+        let store = VisualStore::new();
+        let meta = ImageMeta {
+            uploader: UserId(1),
+            gps: GeoPoint::new(34.0, -118.25),
+            fov: None,
+            captured_at: 100,
+            uploaded_at: 110,
+            keywords: vec!["street".into(), "corner".into()],
+        };
+        let img = store
+            .add_image(
+                meta.clone(),
+                ImageOrigin::Original,
+                Some(Image::from_fn(4, 4, |x, y| [x as u8, y as u8, 9])),
+            )
+            .unwrap();
+        let cls = store
+            .register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])
+            .unwrap();
+        store.put_feature(img, FeatureKind::Cnn, vec![0.1, 0.2, 0.3]).unwrap();
+        store
+            .annotate(img, cls, 1, 0.7, AnnotationSource::Human(UserId(1)), None)
+            .unwrap();
+        store.add_image(meta, ImageOrigin::Original, None).unwrap();
+        store
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tvdp-persist-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = populated_store();
+        let path = temp_path("roundtrip");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.annotation_count(), 1);
+        let ids = loaded.image_ids();
+        assert_eq!(loaded.feature(ids[0], FeatureKind::Cnn).unwrap(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(loaded.pixels(ids[0]).unwrap().get(1, 2), [1, 2, 9]);
+        assert!(loaded.scheme_by_name("cleanliness").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let path = temp_path("noheader");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_line_reported_with_number() {
+        let store = populated_store();
+        let path = temp_path("corrupt");
+        save(&store, &path).unwrap();
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{not json\n");
+        std::fs::write(&path, contents).unwrap();
+        match load(&path) {
+            Err(PersistError::Corrupt { line, .. }) => assert!(line > 1),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = temp_path("missing-file-never-created");
+        assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+}

@@ -1,0 +1,518 @@
+//! The concurrency-safe visual data store.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use tvdp_vision::{FeatureKind, Image};
+
+use crate::annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
+use crate::ids::{AnnotationId, ClassificationId, ImageId};
+use crate::record::{ImageMeta, ImageOrigin, ImageRecord};
+
+/// Errors surfaced by store operations on bad references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The referenced image does not exist.
+    UnknownImage(ImageId),
+    /// The referenced classification scheme does not exist.
+    UnknownClassification(ClassificationId),
+    /// The label index exceeds the scheme's vocabulary.
+    LabelOutOfRange {
+        /// Scheme whose vocabulary was exceeded.
+        classification: ClassificationId,
+        /// Offending label index.
+        label: usize,
+        /// Vocabulary size.
+        vocabulary: usize,
+    },
+    /// A scheme with this name already exists.
+    DuplicateScheme(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownImage(id) => write!(f, "unknown image {id}"),
+            StorageError::UnknownClassification(id) => write!(f, "unknown classification {id}"),
+            StorageError::LabelOutOfRange { classification, label, vocabulary } => write!(
+                f,
+                "label {label} out of range for {classification} (vocabulary size {vocabulary})"
+            ),
+            StorageError::DuplicateScheme(name) => write!(f, "duplicate scheme name {name}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Serializable dump of every table (used by [`crate::persist`]).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub(crate) images: Vec<ImageRecord>,
+    pub(crate) blobs: Vec<(ImageId, usize, usize, Vec<u8>)>,
+    pub(crate) features: Vec<(ImageId, FeatureKind, Vec<f32>)>,
+    pub(crate) schemes: Vec<ClassificationScheme>,
+    pub(crate) annotations: Vec<Annotation>,
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    next_image: u64,
+    next_annotation: u64,
+    next_classification: u64,
+    images: BTreeMap<ImageId, ImageRecord>,
+    blobs: HashMap<ImageId, Image>,
+    features: HashMap<(ImageId, FeatureKind), Vec<f32>>,
+    schemes: BTreeMap<ClassificationId, ClassificationScheme>,
+    annotations: BTreeMap<AnnotationId, Annotation>,
+    annotations_by_image: HashMap<ImageId, Vec<AnnotationId>>,
+}
+
+/// The TVDP visual data store: all Fig. 2 tables behind one
+/// readers-writer lock. Clone-out semantics: getters return owned copies
+/// so readers never hold the lock across user code.
+///
+/// ```
+/// use tvdp_storage::{AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore};
+/// use tvdp_geo::GeoPoint;
+///
+/// let store = VisualStore::new();
+/// let scheme = store.register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])?;
+/// let id = store.add_image(
+///     ImageMeta {
+///         uploader: UserId(1),
+///         gps: GeoPoint::new(34.05, -118.25),
+///         fov: None,
+///         captured_at: 1_546_300_800,
+///         uploaded_at: 1_546_300_900,
+///         keywords: vec!["corner".into()],
+///     },
+///     ImageOrigin::Original,
+///     None,
+/// )?;
+/// store.annotate(id, scheme, 1, 0.9, AnnotationSource::Human(UserId(1)), None)?;
+/// assert_eq!(store.annotations_with_label(scheme, 1).len(), 1);
+/// # Ok::<(), tvdp_storage::StorageError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct VisualStore {
+    inner: RwLock<Tables>,
+}
+
+impl VisualStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.inner.read().images.len()
+    }
+
+    /// Whether the store holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ingests an image row; `pixels` may be omitted for metadata-only
+    /// rows (e.g. when only features were uploaded from an edge device).
+    ///
+    /// Returns the new row's id. Fails when an augmented origin
+    /// references a missing parent.
+    pub fn add_image(
+        &self,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, StorageError> {
+        let mut t = self.inner.write();
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if !t.images.contains_key(parent) {
+                return Err(StorageError::UnknownImage(*parent));
+            }
+        }
+        let id = ImageId(t.next_image);
+        t.next_image += 1;
+        let (width, height) = pixels
+            .as_ref()
+            .map_or((0, 0), |img| (img.width(), img.height()));
+        let record = ImageRecord::new(id, meta, origin, width, height);
+        t.images.insert(id, record);
+        if let Some(img) = pixels {
+            t.blobs.insert(id, img);
+        }
+        Ok(id)
+    }
+
+    /// The image row, if present.
+    pub fn image(&self, id: ImageId) -> Option<ImageRecord> {
+        self.inner.read().images.get(&id).cloned()
+    }
+
+    /// The pixel data, if stored.
+    pub fn pixels(&self, id: ImageId) -> Option<Image> {
+        self.inner.read().blobs.get(&id).cloned()
+    }
+
+    /// All image ids in insertion order.
+    pub fn image_ids(&self) -> Vec<ImageId> {
+        self.inner.read().images.keys().copied().collect()
+    }
+
+    /// Runs `f` over every image record (under the read lock; keep `f`
+    /// cheap).
+    pub fn for_each_image(&self, mut f: impl FnMut(&ImageRecord)) {
+        for record in self.inner.read().images.values() {
+            f(record);
+        }
+    }
+
+    /// Ids of images derived from `parent` by augmentation.
+    pub fn augmented_children(&self, parent: ImageId) -> Vec<ImageId> {
+        self.inner
+            .read()
+            .images
+            .values()
+            .filter(|r| {
+                matches!(&r.origin, ImageOrigin::Augmented { parent: p, .. } if *p == parent)
+            })
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Stores (or replaces) a feature vector for an image.
+    pub fn put_feature(
+        &self,
+        image: ImageId,
+        kind: FeatureKind,
+        vector: Vec<f32>,
+    ) -> Result<(), StorageError> {
+        let mut t = self.inner.write();
+        if !t.images.contains_key(&image) {
+            return Err(StorageError::UnknownImage(image));
+        }
+        t.features.insert((image, kind), vector);
+        Ok(())
+    }
+
+    /// The stored feature vector, if any.
+    pub fn feature(&self, image: ImageId, kind: FeatureKind) -> Option<Vec<f32>> {
+        self.inner.read().features.get(&(image, kind)).cloned()
+    }
+
+    /// Images that have a stored feature of `kind`.
+    pub fn images_with_feature(&self, kind: FeatureKind) -> Vec<ImageId> {
+        let t = self.inner.read();
+        let mut ids: Vec<ImageId> = t
+            .features
+            .keys()
+            .filter(|(_, k)| *k == kind)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Registers a classification scheme with a unique name.
+    pub fn register_scheme(
+        &self,
+        name: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, StorageError> {
+        let name = name.into();
+        let mut t = self.inner.write();
+        if t.schemes.values().any(|s| s.name == name) {
+            return Err(StorageError::DuplicateScheme(name));
+        }
+        let id = ClassificationId(t.next_classification);
+        t.next_classification += 1;
+        t.schemes.insert(id, ClassificationScheme::new(id, name, labels));
+        Ok(id)
+    }
+
+    /// The scheme row, if present.
+    pub fn scheme(&self, id: ClassificationId) -> Option<ClassificationScheme> {
+        self.inner.read().schemes.get(&id).cloned()
+    }
+
+    /// Looks a scheme up by name.
+    pub fn scheme_by_name(&self, name: &str) -> Option<ClassificationScheme> {
+        self.inner.read().schemes.values().find(|s| s.name == name).cloned()
+    }
+
+    /// All registered schemes.
+    pub fn schemes(&self) -> Vec<ClassificationScheme> {
+        self.inner.read().schemes.values().cloned().collect()
+    }
+
+    /// Adds an annotation, validating every foreign key.
+    pub fn annotate(
+        &self,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        confidence: f32,
+        source: AnnotationSource,
+        region: Option<RegionOfInterest>,
+    ) -> Result<AnnotationId, StorageError> {
+        let mut t = self.inner.write();
+        if !t.images.contains_key(&image) {
+            return Err(StorageError::UnknownImage(image));
+        }
+        let vocabulary = match t.schemes.get(&classification) {
+            None => return Err(StorageError::UnknownClassification(classification)),
+            Some(s) => s.labels.len(),
+        };
+        if label >= vocabulary {
+            return Err(StorageError::LabelOutOfRange { classification, label, vocabulary });
+        }
+        let id = AnnotationId(t.next_annotation);
+        t.next_annotation += 1;
+        let ann = Annotation::new(id, image, classification, label, confidence, source, region);
+        t.annotations.insert(id, ann);
+        t.annotations_by_image.entry(image).or_default().push(id);
+        Ok(id)
+    }
+
+    /// All annotations on one image.
+    pub fn annotations_of(&self, image: ImageId) -> Vec<Annotation> {
+        let t = self.inner.read();
+        t.annotations_by_image
+            .get(&image)
+            .map(|ids| ids.iter().map(|id| t.annotations[id].clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// All annotations carrying a given (scheme, label) pair — the
+    /// translational-query primitive ("all encampment images").
+    pub fn annotations_with_label(
+        &self,
+        classification: ClassificationId,
+        label: usize,
+    ) -> Vec<Annotation> {
+        self.inner
+            .read()
+            .annotations
+            .values()
+            .filter(|a| a.classification == classification && a.label == label)
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of annotations.
+    pub fn annotation_count(&self) -> usize {
+        self.inner.read().annotations.len()
+    }
+
+    /// Serializable dump of every table.
+    pub fn snapshot(&self) -> Snapshot {
+        let t = self.inner.read();
+        Snapshot {
+            images: t.images.values().cloned().collect(),
+            blobs: t
+                .blobs
+                .iter()
+                .map(|(id, img)| (*id, img.width(), img.height(), img.raw().to_vec()))
+                .collect(),
+            features: t
+                .features
+                .iter()
+                .map(|((id, kind), v)| (*id, *kind, v.clone()))
+                .collect(),
+            schemes: t.schemes.values().cloned().collect(),
+            annotations: t.annotations.values().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a store from a snapshot.
+    pub fn from_snapshot(snap: Snapshot) -> Self {
+        let mut t = Tables::default();
+        for rec in snap.images {
+            t.next_image = t.next_image.max(rec.id.raw() + 1);
+            t.images.insert(rec.id, rec);
+        }
+        for (id, w, h, raw) in snap.blobs {
+            t.blobs.insert(id, Image::from_raw(w, h, raw));
+        }
+        for (id, kind, v) in snap.features {
+            t.features.insert((id, kind), v);
+        }
+        for s in snap.schemes {
+            t.next_classification = t.next_classification.max(s.id.raw() + 1);
+            t.schemes.insert(s.id, s);
+        }
+        for a in snap.annotations {
+            t.next_annotation = t.next_annotation.max(a.id.raw() + 1);
+            t.annotations_by_image.entry(a.image).or_default().push(a.id);
+            t.annotations.insert(a.id, a);
+        }
+        Self { inner: RwLock::new(t) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use tvdp_geo::GeoPoint;
+
+    fn meta() -> ImageMeta {
+        ImageMeta {
+            uploader: UserId(1),
+            gps: GeoPoint::new(34.0, -118.25),
+            fov: None,
+            captured_at: 100,
+            uploaded_at: 110,
+            keywords: vec!["test".into()],
+        }
+    }
+
+    fn tiny_image() -> Image {
+        Image::from_fn(4, 4, |x, y| [x as u8, y as u8, 0])
+    }
+
+    #[test]
+    fn add_and_fetch_image() {
+        let store = VisualStore::new();
+        let id = store.add_image(meta(), ImageOrigin::Original, Some(tiny_image())).unwrap();
+        assert_eq!(store.len(), 1);
+        let rec = store.image(id).unwrap();
+        assert_eq!(rec.width, 4);
+        assert_eq!(store.pixels(id).unwrap(), tiny_image());
+        assert!(store.image(ImageId(99)).is_none());
+    }
+
+    #[test]
+    fn augmented_requires_parent() {
+        let store = VisualStore::new();
+        let bad = store.add_image(
+            meta(),
+            ImageOrigin::Augmented { parent: ImageId(5), op: "flip_h".into() },
+            None,
+        );
+        assert_eq!(bad.unwrap_err(), StorageError::UnknownImage(ImageId(5)));
+        let parent = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        let child = store
+            .add_image(
+                meta(),
+                ImageOrigin::Augmented { parent, op: "flip_h".into() },
+                None,
+            )
+            .unwrap();
+        assert_eq!(store.augmented_children(parent), vec![child]);
+    }
+
+    #[test]
+    fn features_keyed_by_kind() {
+        let store = VisualStore::new();
+        let id = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        store.put_feature(id, FeatureKind::Cnn, vec![1.0, 2.0]).unwrap();
+        store.put_feature(id, FeatureKind::ColorHistogram, vec![3.0]).unwrap();
+        assert_eq!(store.feature(id, FeatureKind::Cnn).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(store.feature(id, FeatureKind::SiftBow), None);
+        assert_eq!(store.images_with_feature(FeatureKind::Cnn), vec![id]);
+        assert!(store.put_feature(ImageId(9), FeatureKind::Cnn, vec![]).is_err());
+    }
+
+    #[test]
+    fn scheme_registration_and_lookup() {
+        let store = VisualStore::new();
+        let id = store
+            .register_scheme("street-cleanliness", vec!["clean".into(), "dirty".into()])
+            .unwrap();
+        assert_eq!(store.scheme(id).unwrap().labels.len(), 2);
+        assert_eq!(store.scheme_by_name("street-cleanliness").unwrap().id, id);
+        let dup = store.register_scheme("street-cleanliness", vec!["x".into()]);
+        assert!(matches!(dup, Err(StorageError::DuplicateScheme(_))));
+        assert_eq!(store.schemes().len(), 1);
+    }
+
+    #[test]
+    fn annotate_validates_foreign_keys() {
+        let store = VisualStore::new();
+        let img = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        let cls = store.register_scheme("c", vec!["a".into(), "b".into()]).unwrap();
+        let src = AnnotationSource::Human(UserId(1));
+        assert!(matches!(
+            store.annotate(ImageId(50), cls, 0, 1.0, src, None),
+            Err(StorageError::UnknownImage(_))
+        ));
+        assert!(matches!(
+            store.annotate(img, ClassificationId(50), 0, 1.0, src, None),
+            Err(StorageError::UnknownClassification(_))
+        ));
+        assert!(matches!(
+            store.annotate(img, cls, 7, 1.0, src, None),
+            Err(StorageError::LabelOutOfRange { .. })
+        ));
+        let ann = store.annotate(img, cls, 1, 0.9, src, None).unwrap();
+        assert_eq!(store.annotations_of(img).len(), 1);
+        assert_eq!(store.annotations_of(img)[0].id, ann);
+        assert_eq!(store.annotation_count(), 1);
+    }
+
+    #[test]
+    fn annotations_with_label_filters() {
+        let store = VisualStore::new();
+        let cls = store.register_scheme("c", vec!["a".into(), "b".into()]).unwrap();
+        let src = AnnotationSource::Human(UserId(1));
+        let mut b_images = Vec::new();
+        for i in 0..6 {
+            let img = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+            let label = i % 2;
+            store.annotate(img, cls, label, 1.0, src, None).unwrap();
+            if label == 1 {
+                b_images.push(img);
+            }
+        }
+        let hits = store.annotations_with_label(cls, 1);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|a| b_images.contains(&a.image)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let store = VisualStore::new();
+        let img = store.add_image(meta(), ImageOrigin::Original, Some(tiny_image())).unwrap();
+        let cls = store.register_scheme("c", vec!["a".into()]).unwrap();
+        store.put_feature(img, FeatureKind::Cnn, vec![0.5; 4]).unwrap();
+        store
+            .annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(1)), None)
+            .unwrap();
+        let snap = store.snapshot();
+        let restored = VisualStore::from_snapshot(snap);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.pixels(img).unwrap(), tiny_image());
+        assert_eq!(restored.feature(img, FeatureKind::Cnn).unwrap(), vec![0.5; 4]);
+        assert_eq!(restored.annotations_of(img).len(), 1);
+        // Id allocation continues past restored rows.
+        let next = restored.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        assert!(next.raw() > img.raw());
+    }
+
+    #[test]
+    fn concurrent_ingest_is_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(VisualStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    s.add_image(meta(), ImageOrigin::Original, None).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 200);
+        // Ids are unique.
+        let ids = store.image_ids();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+}

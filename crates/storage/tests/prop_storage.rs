@@ -1,0 +1,142 @@
+//! Property-based tests: arbitrary store contents survive the snapshot
+//! and persistence round trips intact.
+
+use proptest::prelude::*;
+use tvdp_geo::GeoPoint;
+use tvdp_storage::{
+    AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore,
+};
+use tvdp_vision::{FeatureKind, Image};
+
+#[derive(Debug, Clone)]
+struct Row {
+    lat: f64,
+    lon: f64,
+    captured: i64,
+    keywords: Vec<String>,
+    label: usize,
+    confidence: f32,
+    feature: Vec<f32>,
+    with_pixels: bool,
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        33.5f64..34.5,
+        -119.0f64..-118.0,
+        0i64..1_000_000,
+        proptest::collection::vec("[a-z]{1,8}", 0..3),
+        0usize..3,
+        0.0f32..=1.0,
+        proptest::collection::vec(-10.0f32..10.0, 4),
+        any::<bool>(),
+    )
+        .prop_map(|(lat, lon, captured, keywords, label, confidence, feature, with_pixels)| Row {
+            lat,
+            lon,
+            captured,
+            keywords,
+            label,
+            confidence,
+            feature,
+            with_pixels,
+        })
+}
+
+fn populate(rows: &[Row]) -> VisualStore {
+    let store = VisualStore::new();
+    let scheme = store
+        .register_scheme("s", vec!["a".into(), "b".into(), "c".into()])
+        .unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let meta = ImageMeta {
+            uploader: UserId(i as u64 % 4),
+            gps: GeoPoint::new(row.lat, row.lon),
+            fov: None,
+            captured_at: row.captured,
+            uploaded_at: row.captured + 1,
+            keywords: row.keywords.clone(),
+        };
+        let pixels = row.with_pixels.then(|| {
+            Image::from_fn(4, 4, |x, y| [(x + i) as u8, y as u8, row.label as u8])
+        });
+        let id = store.add_image(meta, ImageOrigin::Original, pixels).unwrap();
+        store.put_feature(id, FeatureKind::Cnn, row.feature.clone()).unwrap();
+        store
+            .annotate(
+                id,
+                scheme,
+                row.label,
+                row.confidence,
+                AnnotationSource::Human(UserId(0)),
+                None,
+            )
+            .unwrap();
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything(rows in proptest::collection::vec(arb_row(), 1..20)) {
+        let store = populate(&rows);
+        let restored = VisualStore::from_snapshot(store.snapshot());
+        prop_assert_eq!(restored.len(), store.len());
+        prop_assert_eq!(restored.annotation_count(), store.annotation_count());
+        for id in store.image_ids() {
+            prop_assert_eq!(restored.image(id), store.image(id));
+            prop_assert_eq!(restored.pixels(id), store.pixels(id));
+            prop_assert_eq!(
+                restored.feature(id, FeatureKind::Cnn),
+                store.feature(id, FeatureKind::Cnn)
+            );
+            prop_assert_eq!(restored.annotations_of(id), store.annotations_of(id));
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_everything(rows in proptest::collection::vec(arb_row(), 1..12)) {
+        let store = populate(&rows);
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "tvdp-prop-{}-{}.jsonl",
+            std::process::id(),
+            rows.len() * 1000 + rows.first().map_or(0, |r| r.label)
+        ));
+        tvdp_storage::persist::save(&store, &path).unwrap();
+        let restored = tvdp_storage::persist::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(restored.len(), store.len());
+        for id in store.image_ids() {
+            prop_assert_eq!(restored.image(id), store.image(id));
+            prop_assert_eq!(restored.pixels(id), store.pixels(id));
+        }
+        // Label queries agree.
+        let scheme = store.scheme_by_name("s").unwrap().id;
+        for label in 0..3 {
+            prop_assert_eq!(
+                restored.annotations_with_label(scheme, label).len(),
+                store.annotations_with_label(scheme, label).len()
+            );
+        }
+    }
+
+    #[test]
+    fn id_allocation_never_collides_after_restore(rows in proptest::collection::vec(arb_row(), 1..10)) {
+        let store = populate(&rows);
+        let restored = VisualStore::from_snapshot(store.snapshot());
+        let before = restored.image_ids();
+        let meta = ImageMeta {
+            uploader: UserId(0),
+            gps: GeoPoint::new(34.0, -118.5),
+            fov: None,
+            captured_at: 0,
+            uploaded_at: 1,
+            keywords: vec![],
+        };
+        let new_id = restored.add_image(meta, ImageOrigin::Original, None).unwrap();
+        prop_assert!(!before.contains(&new_id), "fresh id {new_id} collides");
+    }
+}

@@ -1,0 +1,164 @@
+//! HSV color space and color-histogram features.
+//!
+//! The paper's evaluation extracts color features in HSV with the histogram
+//! "divided into 20, 20, and 10 bins in H, S, and V respectively"; the
+//! default [`ColorHistogramExtractor`] reproduces exactly that layout
+//! (concatenated marginal histograms, L1-normalized).
+
+use crate::image::Image;
+use crate::{FeatureExtractor, FeatureKind};
+
+/// Converts an RGB pixel (0–255) to HSV: hue in `[0, 360)`, saturation and
+/// value in `[0, 1]`.
+pub fn rgb_to_hsv(rgb: [u8; 3]) -> (f32, f32, f32) {
+    let r = rgb[0] as f32 / 255.0;
+    let g = rgb[1] as f32 / 255.0;
+    let b = rgb[2] as f32 / 255.0;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let h = if delta == 0.0 {
+        0.0
+    } else if max == r {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if max == g {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let s = if max == 0.0 { 0.0 } else { delta / max };
+    (h.rem_euclid(360.0), s, max)
+}
+
+/// HSV marginal color-histogram extractor.
+#[derive(Debug, Clone)]
+pub struct ColorHistogramExtractor {
+    h_bins: usize,
+    s_bins: usize,
+    v_bins: usize,
+}
+
+impl ColorHistogramExtractor {
+    /// The paper's configuration: 20 hue, 20 saturation, 10 value bins.
+    pub fn paper_default() -> Self {
+        Self::new(20, 20, 10)
+    }
+
+    /// Custom bin counts; each must be positive.
+    pub fn new(h_bins: usize, s_bins: usize, v_bins: usize) -> Self {
+        assert!(h_bins > 0 && s_bins > 0 && v_bins > 0, "zero bins");
+        Self { h_bins, s_bins, v_bins }
+    }
+}
+
+impl FeatureExtractor for ColorHistogramExtractor {
+    fn dim(&self) -> usize {
+        self.h_bins + self.s_bins + self.v_bins
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::ColorHistogram
+    }
+
+    fn extract(&self, image: &Image) -> Vec<f32> {
+        let mut hist = vec![0.0f32; self.dim()];
+        let (hb, sb, vb) = (self.h_bins, self.s_bins, self.v_bins);
+        for y in 0..image.height() {
+            for x in 0..image.width() {
+                let (h, s, v) = rgb_to_hsv(image.get(x, y));
+                let hi = ((h / 360.0 * hb as f32) as usize).min(hb - 1);
+                let si = ((s * sb as f32) as usize).min(sb - 1);
+                let vi = ((v * vb as f32) as usize).min(vb - 1);
+                hist[hi] += 1.0;
+                hist[hb + si] += 1.0;
+                hist[hb + sb + vi] += 1.0;
+            }
+        }
+        // Each marginal sums to the pixel count; L1-normalize the whole
+        // vector so images of different sizes are comparable.
+        let total: f32 = hist.iter().sum();
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_hsv_conversions() {
+        // Pure red.
+        let (h, s, v) = rgb_to_hsv([255, 0, 0]);
+        assert!((h - 0.0).abs() < 1e-3 && (s - 1.0).abs() < 1e-6 && (v - 1.0).abs() < 1e-6);
+        // Pure green.
+        let (h, _, _) = rgb_to_hsv([0, 255, 0]);
+        assert!((h - 120.0).abs() < 1e-3);
+        // Pure blue.
+        let (h, _, _) = rgb_to_hsv([0, 0, 255]);
+        assert!((h - 240.0).abs() < 1e-3);
+        // Gray: zero saturation.
+        let (_, s, v) = rgb_to_hsv([128, 128, 128]);
+        assert_eq!(s, 0.0);
+        assert!((v - 128.0 / 255.0).abs() < 1e-3);
+        // Black.
+        let (_, s, v) = rgb_to_hsv([0, 0, 0]);
+        assert_eq!((s, v), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hsv_ranges_hold_for_all_corners() {
+        for r in [0u8, 127, 255] {
+            for g in [0u8, 127, 255] {
+                for b in [0u8, 127, 255] {
+                    let (h, s, v) = rgb_to_hsv([r, g, b]);
+                    assert!((0.0..360.0).contains(&h), "h={h}");
+                    assert!((0.0..=1.0).contains(&s));
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_dim() {
+        let e = ColorHistogramExtractor::paper_default();
+        assert_eq!(e.dim(), 50);
+        assert_eq!(e.kind(), FeatureKind::ColorHistogram);
+    }
+
+    #[test]
+    fn histogram_normalized_and_localized() {
+        let e = ColorHistogramExtractor::paper_default();
+        // All-red image: hue bin 0 gets every pixel.
+        let img = Image::from_fn(8, 8, |_, _| [255, 0, 0]);
+        let h = e.extract(&img);
+        assert!((h.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!((h[0] - 1.0 / 3.0).abs() < 1e-5, "hue bin share {}", h[0]);
+        // Saturation 1.0 lands in the last S bin, value 1.0 in the last V bin.
+        assert!((h[20 + 19] - 1.0 / 3.0).abs() < 1e-5);
+        assert!((h[40 + 9] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn different_colors_produce_different_histograms() {
+        let e = ColorHistogramExtractor::paper_default();
+        let red = e.extract(&Image::from_fn(4, 4, |_, _| [255, 0, 0]));
+        let green = e.extract(&Image::from_fn(4, 4, |_, _| [0, 255, 0]));
+        assert_ne!(red, green);
+    }
+
+    #[test]
+    fn histogram_size_invariant() {
+        let e = ColorHistogramExtractor::new(5, 5, 5);
+        let small = e.extract(&Image::from_fn(4, 4, |_, _| [10, 200, 60]));
+        let big = e.extract(&Image::from_fn(32, 32, |_, _| [10, 200, 60]));
+        for (a, b) in small.iter().zip(&big) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

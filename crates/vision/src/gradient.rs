@@ -1,0 +1,177 @@
+//! Grayscale buffers, Gaussian smoothing, and Sobel gradients.
+//!
+//! Shared plumbing for the SIFT-style detector and the CNN extractor.
+
+/// A row-major grayscale image with `f32` samples.
+#[derive(Debug, Clone)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Samples, row-major, length `width * height`.
+    pub data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height`.
+    pub fn new(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "buffer size mismatch");
+        Self { width, height, data }
+    }
+
+    /// A zero-filled buffer.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Sample at `(x, y)` with clamped coordinates.
+    #[inline]
+    pub fn get(&self, x: isize, y: isize) -> f32 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Sets sample at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+}
+
+/// 1-D Gaussian kernel with the given sigma, truncated at 3σ, normalized.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut k: Vec<f32> = (-radius..=radius)
+        .map(|i| (-(i as f32).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Separable Gaussian blur.
+pub fn gaussian_blur(src: &GrayImage, sigma: f32) -> GrayImage {
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    // Horizontal pass.
+    let mut tmp = GrayImage::zeros(src.width, src.height);
+    for y in 0..src.height {
+        for x in 0..src.width {
+            let mut acc = 0.0;
+            for (i, &w) in kernel.iter().enumerate() {
+                acc += w * src.get(x as isize + i as isize - radius, y as isize);
+            }
+            tmp.set(x, y, acc);
+        }
+    }
+    // Vertical pass.
+    let mut out = GrayImage::zeros(src.width, src.height);
+    for y in 0..src.height {
+        for x in 0..src.width {
+            let mut acc = 0.0;
+            for (i, &w) in kernel.iter().enumerate() {
+                acc += w * tmp.get(x as isize, y as isize + i as isize - radius);
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Sobel gradients: returns `(gx, gy)` buffers.
+pub fn sobel(src: &GrayImage) -> (GrayImage, GrayImage) {
+    let mut gx = GrayImage::zeros(src.width, src.height);
+    let mut gy = GrayImage::zeros(src.width, src.height);
+    for y in 0..src.height {
+        for x in 0..src.width {
+            let (xi, yi) = (x as isize, y as isize);
+            let tl = src.get(xi - 1, yi - 1);
+            let tc = src.get(xi, yi - 1);
+            let tr = src.get(xi + 1, yi - 1);
+            let ml = src.get(xi - 1, yi);
+            let mr = src.get(xi + 1, yi);
+            let bl = src.get(xi - 1, yi + 1);
+            let bc = src.get(xi, yi + 1);
+            let br = src.get(xi + 1, yi + 1);
+            gx.set(x, y, (tr + 2.0 * mr + br) - (tl + 2.0 * ml + bl));
+            gy.set(x, y, (bl + 2.0 * bc + br) - (tl + 2.0 * tc + tr));
+        }
+    }
+    (gx, gy)
+}
+
+/// Gradient magnitude and orientation (radians, `[-π, π]`) at one pixel.
+#[inline]
+pub fn mag_ori(gx: f32, gy: f32) -> (f32, f32) {
+    ((gx * gx + gy * gy).sqrt(), gy.atan2(gx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.5);
+        assert!((k.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let n = k.len();
+        for i in 0..n / 2 {
+            assert!((k[i] - k[n - 1 - i]).abs() < 1e-6);
+        }
+        // Peak at centre.
+        assert!(k[n / 2] >= *k.iter().fold(&0.0f32, |a, b| if b > a { b } else { a }) - 1e-6);
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = GrayImage::new(8, 8, vec![0.5; 64]);
+        let b = gaussian_blur(&img, 1.2);
+        for v in &b.data {
+            assert!((v - 0.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_peak() {
+        let mut img = GrayImage::zeros(9, 9);
+        img.set(4, 4, 1.0);
+        let b = gaussian_blur(&img, 1.0);
+        assert!(b.get(4, 4) < 0.5);
+        assert!(b.get(4, 4) > b.get(0, 0));
+        // Mass roughly preserved (interior impulse, truncation loss small).
+        let sum: f32 = b.data.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "sum {sum}");
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        // Left half dark, right half bright: strong gx, zero gy.
+        let img = GrayImage::new(
+            8,
+            8,
+            (0..64).map(|i| if i % 8 < 4 { 0.0 } else { 1.0 }).collect(),
+        );
+        let (gx, gy) = sobel(&img);
+        assert!(gx.get(3, 4).abs() > 1.0);
+        assert!(gy.get(3, 4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mag_ori_basics() {
+        let (m, o) = mag_ori(1.0, 0.0);
+        assert!((m - 1.0).abs() < 1e-6);
+        assert!(o.abs() < 1e-6);
+        let (m2, o2) = mag_ori(0.0, 2.0);
+        assert!((m2 - 2.0).abs() < 1e-6);
+        assert!((o2 - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+}

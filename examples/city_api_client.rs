@@ -1,0 +1,138 @@
+//! A non-technical partner using TVDP purely through the JSON API
+//! (paper Section V: "API users without deep programming experience
+//! easily have access to APIs").
+//!
+//! Everything below goes through `ApiServer::handle` with JSON bodies —
+//! no direct platform calls.
+//!
+//! Run with: `cargo run --release --example city_api_client`
+
+use std::sync::Arc;
+
+use serde_json::json;
+
+use tvdp::api::{ApiRequest, ApiServer, RateLimitConfig};
+use tvdp::datagen::{generate, DatasetConfig};
+use tvdp::platform::{PlatformConfig, Role, Tvdp};
+
+fn main() {
+    // Platform side: stand up the service and issue a key.
+    let platform = Arc::new(Tvdp::new(PlatformConfig::default()));
+    let dept = platform.register_user("Bureau of Street Services", Role::Government);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig { burst: 10_000, per_second: 10_000.0 },
+    );
+    let key = server.issue_key(dept);
+    println!("issued API key {key}\n");
+
+    let mut now_ms = 0i64;
+    let mut call = |endpoint: &str, body: serde_json::Value| {
+        now_ms += 7;
+        let response = server.handle(
+            &ApiRequest { key: key.clone(), endpoint: endpoint.into(), body },
+            now_ms,
+        );
+        assert!(response.is_ok(), "{endpoint} failed: {:?}", response.body);
+        response.body
+    };
+
+    // Register the labelling task.
+    let scheme = call(
+        "schemes/register",
+        json!({ "name": "street-cleanliness",
+                 "labels": ["Bulky Item", "Illegal Dumping", "Encampment",
+                            "Overgrown Vegetation", "Clean"] }),
+    )["scheme"]
+        .as_u64()
+        .unwrap();
+    println!("registered scheme cls-{scheme}");
+
+    // Upload 120 images with metadata, labelling 100 of them.
+    let data = generate(&DatasetConfig { n_images: 120, image_size: 48, ..Default::default() });
+    let mut image_ids = Vec::new();
+    for (i, d) in data.iter().enumerate() {
+        let body = json!({
+            "width": d.image.width(),
+            "height": d.image.height(),
+            "pixels": d.image.raw().to_vec(),
+            "lat": d.fov.camera.lat,
+            "lon": d.fov.camera.lon,
+            "fov": { "heading_deg": d.fov.heading_deg, "angle_deg": d.fov.angle_deg,
+                      "radius_m": d.fov.radius_m },
+            "captured_at": d.captured_at,
+            "uploaded_at": d.uploaded_at,
+            "keywords": d.keywords,
+        });
+        let id = call("data/add", body)["image"].as_u64().unwrap();
+        if i < 100 {
+            call(
+                "annotations/add",
+                json!({ "image": id, "scheme": scheme, "label": d.cleanliness.index() }),
+            );
+        }
+        image_ids.push(id);
+    }
+    println!("uploaded {} images, labelled 100", image_ids.len());
+
+    // Devise a model over the uploads (paper API 7).
+    let model = call(
+        "models/devise",
+        json!({ "name": "cleanliness", "scheme": scheme,
+                 "feature_kind": "Cnn", "algorithm": "Mlp" }),
+    )["model"]
+        .as_u64()
+        .unwrap();
+    println!("devised model model-{model}");
+
+    // Apply it to the unlabelled tail (paper API 5).
+    let tail: Vec<u64> = image_ids[100..].to_vec();
+    let preds = call("models/apply", json!({ "model": model, "images": tail }));
+    println!(
+        "applied model to {} images",
+        preds["predictions"].as_array().unwrap().len()
+    );
+
+    // Search by keyword and by region (paper API 2).
+    let by_word = call(
+        "data/search",
+        json!({ "query": { "Textual": { "text": "tent", "mode": "Any" } } }),
+    );
+    println!("keyword 'tent' matches    : {}", by_word["count"]);
+    let by_region = call(
+        "data/search",
+        json!({ "query": { "Spatial": { "Range": {
+            "min_lat": 34.04, "min_lon": -118.26, "max_lat": 34.053, "max_lon": -118.238
+        } } } }),
+    );
+    println!("north-half region matches : {}", by_region["count"]);
+
+    // Download a record with pixels (paper API 3).
+    let item = call(
+        "data/download",
+        json!({ "ids": [image_ids[0]], "include_pixels": true }),
+    );
+    println!(
+        "downloaded image {} ({} keyword(s), {} pixel bytes)",
+        image_ids[0],
+        item["items"][0]["keywords"].as_array().unwrap().len(),
+        item["items"][0]["pixels"].as_array().unwrap().len(),
+    );
+
+    // Which model should a Raspberry Pi in the field run? (edge dispatch)
+    let pick = call(
+        "edge/dispatch",
+        json!({ "device": "rpi", "max_latency_ms": 800.0 }),
+    );
+    println!(
+        "edge dispatch for an RPi  : {} ({} MB download)",
+        pick["model"].as_str().unwrap(),
+        pick["download_bytes"].as_u64().unwrap() / 1_000_000
+    );
+
+    let stats = call("stats", json!({}));
+    println!(
+        "\nfinal stats over the API  : {} images, {} annotations, {} models",
+        stats["images"], stats["annotations"], stats["models"]
+    );
+}

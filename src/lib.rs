@@ -1,0 +1,16 @@
+//! Umbrella crate for the Translational Visual Data Platform (TVDP).
+//!
+//! Re-exports every TVDP subsystem under one namespace. See the README for
+//! an architecture overview and `DESIGN.md` for the system inventory.
+
+pub use tvdp_api as api;
+pub use tvdp_core as platform;
+pub use tvdp_crowd as crowd;
+pub use tvdp_datagen as datagen;
+pub use tvdp_edge as edge;
+pub use tvdp_geo as geo;
+pub use tvdp_index as index;
+pub use tvdp_ml as ml;
+pub use tvdp_query as query;
+pub use tvdp_storage as storage;
+pub use tvdp_vision as vision;
