@@ -8,15 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tvdp_bench::index_workload::{build_indexes, build_workload};
+use tvdp_kernel::l2;
 
 const N: usize = 20_000;
 const DIM: usize = 64;
 const QUERIES: usize = 32;
 const VISUAL_THRESHOLD: f32 = 1.0;
-
-fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
-}
 
 fn bench_oriented(c: &mut Criterion) {
     let w = build_workload(N, DIM, QUERIES, 11);

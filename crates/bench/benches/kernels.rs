@@ -1,0 +1,147 @@
+//! Kernel and work-pool benchmarks backing `BENCH_kernels.json`:
+//!
+//! * scalar loops vs the chunked `tvdp_kernel` kernels (`l2_sq`, `dot`)
+//!   at feature dimensions 64 (color histogram), 512 (CNN embedding),
+//!   and 4096 (stacked descriptors),
+//! * serial vs pooled k-means fitting,
+//! * per-query loop vs `QueryEngine::execute_batch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use tvdp_kernel::{dot, l2_sq, Pool};
+use tvdp_ml::KMeans;
+
+const DIMS: [usize; 3] = [64, 512, 4096];
+
+fn scalar_sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..a.len().min(b.len()) {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..a.len().min(b.len()) {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+fn random_vec(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut group = c.benchmark_group("l2_sq");
+    for dim in DIMS {
+        let a = random_vec(&mut rng, dim);
+        let b = random_vec(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bch, _| {
+            bch.iter(|| scalar_sq_dist(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", dim), &dim, |bch, _| {
+            bch.iter(|| l2_sq(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dot");
+    for dim in DIMS {
+        let a = random_vec(&mut rng, dim);
+        let b = random_vec(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |bch, _| {
+            bch.iter(|| scalar_dot(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", dim), &dim, |bch, _| {
+            bch.iter(|| dot(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans_pool(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<Vec<f32>> = (0..2048).map(|_| random_vec(&mut rng, 32)).collect();
+    let mut group = c.benchmark_group("kmeans_fit");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, _| {
+            bch.iter(|| KMeans::fit_with_pool(&data, 16, 10, 3, &pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_batch(c: &mut Criterion) {
+    use std::sync::Arc;
+    use tvdp_bench::index_workload::build_workload;
+    use tvdp_query::engine::EngineConfig;
+    use tvdp_query::{Query, QueryEngine, VisualMode};
+    use tvdp_storage::{ImageMeta, ImageOrigin, VisualStore};
+    use tvdp_vision::FeatureKind;
+
+    let w = build_workload(4096, 64, 64, 5);
+    let store = Arc::new(VisualStore::new());
+    for (i, feature) in w.features.iter().enumerate() {
+        let (fov, _) = &w.fovs[i];
+        let id = store
+            .add_image(
+                ImageMeta {
+                    uploader: tvdp_storage::UserId(0),
+                    gps: fov.camera,
+                    fov: Some(*fov),
+                    captured_at: i as i64,
+                    uploaded_at: i as i64,
+                    keywords: Vec::new(),
+                },
+                ImageOrigin::Original,
+                None,
+            )
+            .expect("insert");
+        store.put_feature(id, FeatureKind::Cnn, feature.clone()).expect("feature");
+    }
+    let engine = QueryEngine::build(store, EngineConfig::default());
+    let queries: Vec<Query> = w
+        .query_features
+        .iter()
+        .map(|f| Query::Visual {
+            example: f.clone(),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(10),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("query_batch");
+    group.sample_size(10);
+    group.bench_function("per_query_loop", |bch| {
+        bch.iter(|| queries.iter().map(|q| engine.execute(q).len()).sum::<usize>())
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        group.bench_with_input(BenchmarkId::new("batch_threads", threads), &threads, |bch, _| {
+            bch.iter(|| {
+                engine
+                    .execute_batch_with_pool(&queries, &pool)
+                    .iter()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_distance_kernels,
+    bench_kmeans_pool,
+    bench_query_batch
+);
+criterion_main!(kernels);

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use tvdp_crowd::{simulate_campaign, Campaign, SimulationConfig};
 use tvdp_edge::{DispatchConstraints, DeviceProfile, ModelDispatcher, ModelSpec, MODEL_ZOO};
 use tvdp_geo::Fov;
+use tvdp_kernel::Pool;
 use tvdp_ml::mlp::MlpParams;
 use tvdp_ml::{
     Classifier, DecisionTree, GaussianNb, KnnClassifier, LinearSvm, LogisticRegression, Mlp,
@@ -243,9 +244,10 @@ impl Tvdp {
     /// **Acquisition**: bulk upload with parallel feature extraction.
     ///
     /// Feature extraction dominates ingest cost; this path fans the
-    /// extraction of a batch out over `threads` workers (crossbeam scoped
-    /// threads), then applies storage and index updates serially in input
-    /// order. Ids are returned in input order.
+    /// extraction of a batch out over `threads` workers on a
+    /// [`tvdp_kernel::Pool`], then applies storage and index updates
+    /// serially in input order. Ids are returned in input order, and the
+    /// extracted features are bit-identical to sequential ingest.
     pub fn ingest_batch(
         &self,
         user: UserId,
@@ -253,26 +255,15 @@ impl Tvdp {
         threads: usize,
     ) -> Result<Vec<ImageId>, PlatformError> {
         self.require_user(user)?;
-        let threads = threads.clamp(1, 64);
         // Phase 1: parallel extraction.
-        let mut extracted: Vec<Option<(Vec<f32>, Vec<f32>)>> = Vec::new();
-        extracted.resize_with(batch.len(), || None);
-        let chunk = batch.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for (images, out) in batch.chunks(chunk).zip(extracted.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
-                    for ((image, _), slot) in images.iter().zip(out.iter_mut()) {
-                        *slot = Some((self.color.extract(image), self.cnn.extract(image)));
-                    }
-                });
-            }
-        })
-        .expect("extraction worker panicked");
+        let extracted: Vec<(Vec<f32>, Vec<f32>)> = Pool::new(threads)
+            .map(&batch, |_, (image, _)| {
+                (self.color.extract(image), self.cnn.extract(image))
+            });
         // Phase 2: serial storage + indexing.
         let mut ids = Vec::with_capacity(batch.len());
         let mut engine = self.engine.write();
-        for ((image, request), features) in batch.into_iter().zip(extracted) {
-            let (color, cnn) = features.expect("every slot extracted");
+        for ((image, request), (color, cnn)) in batch.into_iter().zip(extracted) {
             let meta = ImageMeta {
                 uploader: user,
                 gps: request.gps,
@@ -306,17 +297,19 @@ impl Tvdp {
     ) -> Result<IngestOutcome, PlatformError> {
         self.require_user(user)?;
         let cnn = self.cnn.extract(&image);
-        let candidates = self.engine.read().execute(&Query::Visual {
-            example: cnn,
-            kind: FeatureKind::Cnn,
-            mode: tvdp_query::VisualMode::Threshold(max_feature_dist),
-        });
-        for candidate in &candidates {
-            let Some(existing) = self.store.image(candidate.image) else { continue };
+        // Compare in squared-distance space: candidate enumeration and the
+        // threshold check never take a square root; only the reported
+        // distance of an actual duplicate does.
+        let candidates = self
+            .engine
+            .read()
+            .visual_within_sq(&cnn, max_feature_dist * max_feature_dist);
+        for &(d_sq, image_id) in &candidates {
+            let Some(existing) = self.store.image(image_id) else { continue };
             if existing.meta.gps.fast_distance_m(&request.gps) <= max_camera_distance_m {
                 return Ok(IngestOutcome::Duplicate {
-                    existing: candidate.image,
-                    feature_distance: candidate.score as f32,
+                    existing: image_id,
+                    feature_distance: d_sq.sqrt(),
                 });
             }
         }
@@ -419,6 +412,13 @@ impl Tvdp {
     /// **Access**: executes a query against the indexes.
     pub fn search(&self, query: &Query) -> Vec<QueryResult> {
         self.engine.read().execute(query)
+    }
+
+    /// **Access**: executes independent queries concurrently on the global
+    /// worker pool. Results are in query order and identical to calling
+    /// [`Tvdp::search`] per query.
+    pub fn search_batch(&self, queries: &[Query]) -> Vec<Vec<QueryResult>> {
+        self.engine.read().execute_batch(queries)
     }
 
     /// Extracts the platform's feature families from an image *without*
@@ -755,6 +755,52 @@ mod tests {
     }
 
     #[test]
+    fn dedup_threshold_matches_brute_force_distance() {
+        // Regression test for the squared-distance dedup path: the
+        // duplicate decision must be exactly `distance <= max_feature_dist`
+        // where distance is the plain scalar Euclidean feature distance —
+        // ranking on d² must not move the threshold boundary.
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("u", Role::CommunityPartner);
+        let first_img = scene(0, 1);
+        let first = tvdp.ingest(user, first_img.clone(), request(1)).unwrap();
+        let stored = tvdp.store().feature(first, FeatureKind::Cnn).unwrap();
+
+        let probe = scene(0, 3);
+        let probe_feature = tvdp
+            .extract_features(&probe)
+            .into_iter()
+            .find(|(k, _)| *k == FeatureKind::Cnn)
+            .unwrap()
+            .1;
+        let brute_force: f32 = stored
+            .iter()
+            .zip(&probe_feature)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(brute_force > 0.0, "probe must differ from the stored image");
+
+        // Thresholds straddling the true distance flip the outcome.
+        let above = brute_force * 1.01;
+        let below = brute_force * 0.99;
+        match tvdp.ingest_dedup(user, probe.clone(), request(1), above, 50.0).unwrap() {
+            IngestOutcome::Duplicate { existing, feature_distance } => {
+                assert_eq!(existing, first);
+                assert!(
+                    (feature_distance - brute_force).abs() <= 1e-5 * brute_force.max(1.0),
+                    "reported {feature_distance} vs brute-force {brute_force}"
+                );
+            }
+            other => panic!("expected duplicate at threshold {above}, got {other:?}"),
+        }
+        assert!(matches!(
+            tvdp.ingest_dedup(user, probe, request(1), below, 50.0).unwrap(),
+            IngestOutcome::Stored(_)
+        ));
+    }
+
+    #[test]
     fn video_ingest_keeps_only_keyframes() {
         use crate::video::{KeyframePolicy, VideoFrame};
         use tvdp_geo::Fov;
@@ -863,6 +909,26 @@ mod batch_tests {
             mode: tvdp_query::TextualMode::All,
         });
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn search_batch_matches_per_query_search() {
+        let tvdp = Tvdp::new(cfg());
+        let user = tvdp.register_user("u", Role::Government);
+        let batch: Vec<(Image, IngestRequest)> =
+            (0..12).map(|i| (img(i), req(i as i64))).collect();
+        tvdp.ingest_batch(user, batch, 4).unwrap();
+        let queries: Vec<Query> = (0..12)
+            .map(|i| Query::Textual {
+                text: format!("kw{i}"),
+                mode: tvdp_query::TextualMode::All,
+            })
+            .collect();
+        let batched = tvdp.search_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, results) in queries.iter().zip(&batched) {
+            assert_eq!(&tvdp.search(q), results, "diverged on {q:?}");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! similarity threshold.
 
 use tvdp_geo::BBox;
+use tvdp_kernel::{l2, l2_sq};
 
 use crate::rtree::{choose_subtree, split_entries, HasBBox, NODE_MAX};
 
@@ -53,10 +54,6 @@ impl<T> HasBBox for Child<T> {
 enum Node<T> {
     Leaf { entries: Vec<Entry<T>> },
     Internal { children: Vec<Child<T>> },
-}
-
-fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
 impl<T> Node<T> {
@@ -203,9 +200,26 @@ impl<T: Clone> VisualRTree<T> {
     /// feature distance to `query` is at most `max_dist`. Returns
     /// `(distance, payload)` sorted by distance.
     pub fn range_visual(&self, region: &BBox, query: &[f32], max_dist: f32) -> Vec<(f32, &T)> {
+        self.range_visual_sq(region, query, max_dist * max_dist)
+            .into_iter()
+            .map(|(d_sq, v)| (d_sq.sqrt(), v))
+            .collect()
+    }
+
+    /// [`VisualRTree::range_visual`] in squared-distance space: entries
+    /// intersecting `region` with `l2_sq(feature, query) <= max_dist_sq`,
+    /// as `(squared_distance, payload)` sorted ascending. The compare-only
+    /// form every thresholding path (dedup, visual filters) should use —
+    /// no square root is taken anywhere.
+    pub fn range_visual_sq(
+        &self,
+        region: &BBox,
+        query: &[f32],
+        max_dist_sq: f32,
+    ) -> Vec<(f32, &T)> {
         assert_eq!(query.len(), self.dim, "feature dimension mismatch");
         let mut out = Vec::new();
-        Self::range_rec(&self.root, region, query, max_dist, &mut out);
+        Self::range_rec(&self.root, region, query, max_dist_sq, &mut out);
         out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
@@ -214,25 +228,28 @@ impl<T: Clone> VisualRTree<T> {
         node: &'a Node<T>,
         region: &BBox,
         query: &[f32],
-        max_dist: f32,
+        max_dist_sq: f32,
         out: &mut Vec<(f32, &'a T)>,
     ) {
         match node {
             Node::Leaf { entries } => {
                 for e in entries {
                     if e.bbox.intersects(region) {
-                        let d = l2(&e.feature, query);
-                        if d <= max_dist {
-                            out.push((d, &e.value));
+                        let d_sq = l2_sq(&e.feature, query);
+                        if d_sq <= max_dist_sq {
+                            out.push((d_sq, &e.value));
                         }
                     }
                 }
             }
             Node::Internal { children } => {
                 for c in children {
+                    // Ball pruning needs the true centroid distance (the
+                    // lower bound subtracts a radius), but it runs once
+                    // per child node, not once per candidate entry.
                     let feat_lb = (l2(&c.ball.centroid, query) - c.ball.radius).max(0.0);
-                    if c.bbox.intersects(region) && feat_lb <= max_dist {
-                        Self::range_rec(&c.node, region, query, max_dist, out);
+                    if c.bbox.intersects(region) && feat_lb * feat_lb <= max_dist_sq {
+                        Self::range_rec(&c.node, region, query, max_dist_sq, out);
                     }
                 }
             }

@@ -11,6 +11,13 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use tvdp_kernel::{l2_sq, Pool};
+
+/// Below this many candidate-distance multiplications the re-rank runs
+/// serially; above it, the work fans out over the global [`Pool`].
+/// Serial and pooled paths are bit-identical, so the gate is purely a
+/// latency knob.
+const PARALLEL_RERANK_FLOPS: usize = 1 << 17;
 
 /// LSH tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -148,51 +155,66 @@ impl LshIndex {
         out
     }
 
+    /// Squared distances from `q` to each handle in `ids`, in order.
+    /// Fans out over the global pool when the work is large enough to
+    /// amortize it; the pooled path is bit-identical to the serial one.
+    fn rerank_sq(&self, q: &[f32], ids: &[usize]) -> Vec<f32> {
+        if ids.len() * self.dim < PARALLEL_RERANK_FLOPS {
+            ids.iter().map(|&id| l2_sq(q, &self.vectors[id])).collect()
+        } else {
+            Pool::global().map(ids, |_, &id| l2_sq(q, &self.vectors[id]))
+        }
+    }
+
     /// Approximate k-NN: exact re-ranking of the LSH candidate set.
     /// Returns `(distance, handle)` sorted ascending; may return fewer
     /// than `k` when the candidate set is small.
+    ///
+    /// Candidates are ranked on squared distances (monotonic, so the
+    /// order is the same); the square root is taken only for the `k`
+    /// survivors.
     pub fn knn(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
-        let mut cands: Vec<(f32, usize)> = self
-            .candidates(q)
-            .into_iter()
-            .map(|id| (l2(q, &self.vectors[id]), id))
-            .collect();
+        let ids = self.candidates(q);
+        let mut cands: Vec<(f32, usize)> =
+            self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
         cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         cands.truncate(k);
+        for c in &mut cands {
+            c.0 = c.0.sqrt();
+        }
         cands
     }
 
     /// All handles within `radius` of `q` among the candidates.
     pub fn within_radius(&self, q: &[f32], radius: f32) -> Vec<(f32, usize)> {
+        let ids = self.candidates(q);
+        let radius_sq = radius * radius;
         let mut out: Vec<(f32, usize)> = self
-            .candidates(q)
+            .rerank_sq(q, &ids)
             .into_iter()
-            .filter_map(|id| {
-                let d = l2(q, &self.vectors[id]);
-                (d <= radius).then_some((d, id))
-            })
+            .zip(ids)
+            .filter_map(|(d_sq, id)| (d_sq <= radius_sq).then_some((d_sq, id)))
             .collect();
         out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for o in &mut out {
+            o.0 = o.0.sqrt();
+        }
         out
     }
 
     /// Exact linear-scan k-NN over all stored vectors (the brute-force
     /// baseline the benchmarks compare against).
     pub fn knn_exact(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
-        let mut all: Vec<(f32, usize)> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(id, v)| (l2(q, v), id))
-            .collect();
+        let ids: Vec<usize> = (0..self.vectors.len()).collect();
+        let mut all: Vec<(f32, usize)> =
+            self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
         all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         all.truncate(k);
+        for c in &mut all {
+            c.0 = c.0.sqrt();
+        }
         all
     }
-}
-
-fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
 #[cfg(test)]

@@ -6,8 +6,15 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use tvdp_kernel::Pool;
 
 use crate::sq_l2;
+
+/// Below this many distance evaluations per Lloyd iteration
+/// (`rows * k * dim`), the assignment step runs inline: thread spawn
+/// overhead would dominate. The cut-over is a latency knob only — the
+/// parallel assignment is bitwise identical to the serial one.
+const PARALLEL_ASSIGN_FLOPS: usize = 1 << 15;
 
 /// A fitted k-means model.
 #[derive(Debug, Clone)]
@@ -18,18 +25,34 @@ pub struct KMeans {
 }
 
 impl KMeans {
-    /// Clusters `data` into `k` groups. Deterministic under `seed`.
+    /// Clusters `data` into `k` groups. Deterministic under `seed`
+    /// regardless of thread count — see [`KMeans::fit_with_pool`].
     ///
     /// # Panics
     ///
     /// Panics when `data` is empty, `k == 0`, or `k > data.len()`.
     pub fn fit(data: &[Vec<f32>], k: usize, max_iter: usize, seed: u64) -> Self {
+        Self::fit_with_pool(data, k, max_iter, seed, Pool::global())
+    }
+
+    /// [`KMeans::fit`] with an explicit worker pool for the assignment
+    /// step. Only the per-row nearest-centroid search is parallel; the
+    /// inertia sum and centroid updates accumulate serially in row order,
+    /// so the result is bit-identical for every thread count.
+    pub fn fit_with_pool(
+        data: &[Vec<f32>],
+        k: usize,
+        max_iter: usize,
+        seed: u64,
+        pool: &Pool,
+    ) -> Self {
         assert!(!data.is_empty(), "empty input");
         assert!(k >= 1, "k must be positive");
         assert!(k <= data.len(), "k {k} > samples {}", data.len());
         let dim = data[0].len();
         assert!(data.iter().all(|r| r.len() == dim), "ragged rows");
 
+        let parallel = data.len() * k * dim >= PARALLEL_ASSIGN_FLOPS;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut centroids = Self::kmeanspp_init(data, k, &mut rng);
         let mut assignment = vec![0usize; data.len()];
@@ -38,10 +61,15 @@ impl KMeans {
 
         for it in 0..max_iter {
             iterations = it + 1;
-            // Assign.
+            // Assign: each row's nearest centroid is an independent pure
+            // computation; the f64 inertia accumulation stays in row order.
+            let nearest: Vec<(usize, f32)> = if parallel {
+                pool.map(data, |_, row| Self::nearest(&centroids, row))
+            } else {
+                data.iter().map(|row| Self::nearest(&centroids, row)).collect()
+            };
             let mut new_inertia = 0.0f64;
-            for (i, row) in data.iter().enumerate() {
-                let (best, d) = Self::nearest(&centroids, row);
+            for (i, &(best, d)) in nearest.iter().enumerate() {
                 assignment[i] = best;
                 new_inertia += d as f64;
             }

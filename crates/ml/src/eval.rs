@@ -4,6 +4,7 @@
 //! 10-fold cross-validation and reports F1.
 
 use serde::{Deserialize, Serialize};
+use tvdp_kernel::Pool;
 
 use crate::data::{kfold_indices, Dataset};
 use crate::metrics::ConfusionMatrix;
@@ -50,24 +51,42 @@ fn mean(v: &[f64]) -> f64 {
 
 /// Runs `k`-fold cross-validation: for each fold, trains a fresh classifier
 /// from `make_model` on the training part and scores the validation part.
+/// Folds run on the global pool; see [`cross_validate_with_pool`].
 pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, make_model: F) -> CvResult
 where
-    C: Classifier,
-    F: Fn() -> C,
+    C: Classifier + Send,
+    F: Fn() -> C + Sync,
+{
+    cross_validate_with_pool(data, k, seed, make_model, Pool::global())
+}
+
+/// [`cross_validate`] with an explicit worker pool. Every fold is an
+/// independent train/score job (fold splits are fixed up front by
+/// `kfold_indices`, and each fold builds its own model and RNG state), so
+/// per-fold scores are bit-identical for every thread count; fold order in
+/// the result always matches the fold index order.
+pub fn cross_validate_with_pool<C, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    make_model: F,
+    pool: &Pool,
+) -> CvResult
+where
+    C: Classifier + Send,
+    F: Fn() -> C + Sync,
 {
     let folds = kfold_indices(data.len(), k, seed);
-    let mut fold_f1 = Vec::with_capacity(k);
-    let mut fold_accuracy = Vec::with_capacity(k);
-    for (train_idx, val_idx) in folds {
-        let train = data.subset(&train_idx);
-        let val = data.subset(&val_idx);
+    let scores: Vec<(f64, f64)> = pool.map(&folds, |_, (train_idx, val_idx)| {
+        let train = data.subset(train_idx);
+        let val = data.subset(val_idx);
         let mut model = make_model();
         model.fit(&train.features, &train.labels, data.n_classes);
         let preds = model.predict(&val.features);
         let cm = ConfusionMatrix::from_predictions(&val.labels, &preds, data.n_classes);
-        fold_f1.push(cm.macro_f1());
-        fold_accuracy.push(cm.accuracy());
-    }
+        (cm.macro_f1(), cm.accuracy())
+    });
+    let (fold_f1, fold_accuracy) = scores.into_iter().unzip();
     CvResult { fold_f1, fold_accuracy }
 }
 

@@ -4,9 +4,15 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use tvdp_kernel::Pool;
 
 use crate::tree::{DecisionTree, TreeParams};
 use crate::{validate_fit_input, Classifier};
+
+/// Golden-ratio increment (splitmix64); decorrelates per-tree bootstrap
+/// seeds so every tree's resample is independent of the others and of
+/// training order.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A random forest of [`DecisionTree`]s.
 ///
@@ -20,6 +26,10 @@ pub struct RandomForest {
     seed: u64,
     trees: Vec<DecisionTree>,
     n_classes: usize,
+    /// Worker count for per-tree training; `None` uses the global pool.
+    /// Not part of the model, so excluded from serialization.
+    #[serde(skip)]
+    pool_threads: Option<usize>,
 }
 
 impl RandomForest {
@@ -27,13 +37,28 @@ impl RandomForest {
     /// parameters, deterministic under `seed`.
     pub fn new(n_trees: usize, seed: u64) -> Self {
         assert!(n_trees >= 1, "need at least one tree");
-        Self { n_trees, params: TreeParams::default(), seed, trees: Vec::new(), n_classes: 0 }
+        Self {
+            n_trees,
+            params: TreeParams::default(),
+            seed,
+            trees: Vec::new(),
+            n_classes: 0,
+            pool_threads: None,
+        }
     }
 
     /// Overrides the per-tree parameters (the forest still forces feature
     /// subsampling to `sqrt(dim)` unless already set).
     pub fn with_tree_params(mut self, params: TreeParams) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Trains trees on a pool of `threads` workers instead of the global
+    /// pool. Each tree derives its bootstrap RNG from the forest seed and
+    /// its own index, so the fitted model is identical for any count.
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = Some(threads);
         self
     }
 
@@ -51,24 +76,28 @@ impl Classifier for RandomForest {
         if params.features_per_split.is_none() {
             params.features_per_split = Some(((dim as f64).sqrt().ceil() as usize).max(1));
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees = (0..self.n_trees)
-            .map(|t| {
-                // Bootstrap resample.
-                let n = x.len();
-                let mut bx = Vec::with_capacity(n);
-                let mut by = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let i = rng.gen_range(0..n);
-                    bx.push(x[i].clone());
-                    by.push(y[i]);
-                }
-                let mut tree =
-                    DecisionTree::with_params(params, self.seed.wrapping_add(t as u64 + 1));
-                tree.fit(&bx, &by, n_classes);
-                tree
-            })
-            .collect();
+        let pool = match self.pool_threads {
+            Some(t) => Pool::new(t),
+            None => *Pool::global(),
+        };
+        // Each tree seeds its own bootstrap RNG from (forest seed, tree
+        // index) — no RNG state is shared across trees, so training is
+        // embarrassingly parallel and thread-count independent.
+        let seed = self.seed;
+        self.trees = pool.map_index(self.n_trees, |t| {
+            let n = x.len();
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64 + 1).wrapping_mul(SEED_MIX));
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTree::with_params(params, seed.wrapping_add(t as u64 + 1));
+            tree.fit(&bx, &by, n_classes);
+            tree
+        });
     }
 
     fn decision_scores(&self, x: &[f32]) -> Vec<f32> {

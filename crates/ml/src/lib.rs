@@ -39,7 +39,7 @@ pub mod tree;
 pub use bayes::GaussianNb;
 pub use cluster::KMeans;
 pub use data::{kfold_indices, stratified_split, train_test_split, Dataset};
-pub use eval::{cross_validate, CvResult};
+pub use eval::{cross_validate, cross_validate_with_pool, CvResult};
 pub use forest::RandomForest;
 pub use knn::KnnClassifier;
 pub use logreg::LogisticRegression;
@@ -123,28 +123,12 @@ pub(crate) fn validate_fit_input(x: &[Vec<f32>], y: &[usize], n_classes: usize) 
     dim
 }
 
-/// Squared Euclidean distance between equal-length vectors.
-#[inline]
-pub fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
-    }
-    acc
-}
-
-/// Dot product of equal-length vectors.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
-}
+// Vector primitives come from the shared kernel crate (the workspace's
+// single SIMD-friendly implementation); re-exported under the names this
+// crate has always used.
+pub use tvdp_kernel::dot;
+#[doc(inline)]
+pub use tvdp_kernel::l2_sq as sq_l2;
 
 /// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {

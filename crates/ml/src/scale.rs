@@ -70,12 +70,7 @@ pub struct L2Normalizer;
 impl L2Normalizer {
     /// Normalizes one row in place.
     pub fn transform_row(row: &mut [f32]) {
-        let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
-        if norm > 0.0 {
-            for v in row {
-                *v /= norm;
-            }
-        }
+        tvdp_kernel::normalize(row);
     }
 
     /// Normalizes a copy of the dataset.
@@ -116,7 +111,7 @@ mod tests {
     }
 
     #[test]
-    fn l2_normalizer_unit_norm() {
+    fn normalizer_scales_rows_to_unit_norm() {
         let data = vec![vec![3.0, 4.0], vec![0.0, 0.0]];
         let t = L2Normalizer::transform(&data);
         let norm: f32 = t[0].iter().map(|v| v * v).sum::<f32>().sqrt();

@@ -7,6 +7,7 @@ use tvdp_geo::BBox;
 use tvdp_index::{
     InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree,
 };
+use tvdp_kernel::Pool;
 use tvdp_storage::{ImageId, VisualStore};
 use tvdp_vision::FeatureKind;
 
@@ -169,6 +170,33 @@ impl QueryEngine {
             Query::And(subs) => self.execute_and(subs),
             Query::Or(subs) => self.execute_or(subs),
         }
+    }
+
+    /// Executes a batch of independent queries, fanning them out across
+    /// the given pool. Results arrive in input order and are identical to
+    /// calling [`QueryEngine::execute`] per query — the engine is
+    /// read-only during execution, so the queries share every index.
+    pub fn execute_batch_with_pool(&self, queries: &[Query], pool: &Pool) -> Vec<Vec<QueryResult>> {
+        pool.map(queries, |_, q| self.execute(q))
+    }
+
+    /// [`QueryEngine::execute_batch_with_pool`] on the global
+    /// (one-worker-per-CPU) pool.
+    pub fn execute_batch(&self, queries: &[Query]) -> Vec<Vec<QueryResult>> {
+        self.execute_batch_with_pool(queries, Pool::global())
+    }
+
+    /// All images whose indexed feature lies within squared distance
+    /// `max_dist_sq` of `example`, as `(squared_distance, id)` sorted
+    /// ascending. The sqrt-free thresholding path (near-duplicate
+    /// detection); no spatial constraint.
+    pub fn visual_within_sq(&self, example: &[f32], max_dist_sq: f32) -> Vec<(f32, ImageId)> {
+        let Some(hybrid) = &self.hybrid else { return Vec::new() };
+        hybrid
+            .range_visual_sq(&world(), example, max_dist_sq)
+            .into_iter()
+            .map(|(d_sq, id)| (d_sq, *id))
+            .collect()
     }
 
     /// Disjunction: union of the branches, keeping each image's best

@@ -8,6 +8,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use tvdp_geo::BBox;
+use tvdp_kernel::l2_sq;
 use tvdp_storage::{ImageId, ImageRecord, VisualStore};
 
 use crate::types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};
@@ -15,10 +16,6 @@ use crate::types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode,
 /// Linear-scan executor over a store.
 pub struct LinearExecutor {
     store: Arc<VisualStore>,
-}
-
-fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
 impl LinearExecutor {
@@ -136,20 +133,25 @@ impl LinearExecutor {
         mode: VisualMode,
         region: Option<&BBox>,
     ) -> Vec<QueryResult> {
+        // Rank and threshold on squared distances (same order, no sqrt
+        // per record); take the root only for the reported scores.
         let mut scored: Vec<(f32, ImageId)> = self
             .records()
             .into_iter()
             .filter(|r| region.is_none_or(|b| r.scene_location.intersects(b)))
             .filter_map(|r| {
-                self.store.feature(r.id, kind).map(|f| (l2(&f, example), r.id))
+                self.store.feature(r.id, kind).map(|f| (l2_sq(&f, example), r.id))
             })
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         match mode {
             VisualMode::TopK(k) => scored.truncate(k),
-            VisualMode::Threshold(t) => scored.retain(|(d, _)| *d <= t),
+            VisualMode::Threshold(t) => scored.retain(|(d_sq, _)| *d_sq <= t * t),
         }
-        scored.into_iter().map(|(d, id)| QueryResult::new(id, f64::from(d))).collect()
+        scored
+            .into_iter()
+            .map(|(d_sq, id)| QueryResult::new(id, f64::from(d_sq.sqrt())))
+            .collect()
     }
 
     fn textual(&self, text: &str, mode: TextualMode) -> Vec<QueryResult> {

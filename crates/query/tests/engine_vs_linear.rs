@@ -335,6 +335,57 @@ fn nested_and_or_composition() {
 }
 
 #[test]
+fn execute_batch_matches_per_query_and_linear() {
+    let store = build_store(200, 19);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let queries = vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.03, -118.26))),
+        Query::Visual {
+            example: vec![2.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(1.5),
+        },
+        Query::Visual {
+            example: vec![0.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(10),
+        },
+        Query::Textual { text: "tent street".into(), mode: TextualMode::Any },
+        Query::Temporal { field: TemporalField::Captured, from: 3_000, to: 7_000 },
+        Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.25))),
+            Query::Visual {
+                example: vec![4.0; DIM],
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::Threshold(1.2),
+            },
+        ]),
+    ];
+    let batched = engine.execute_batch(&queries);
+    assert_eq!(batched.len(), queries.len(), "one result set per query, in order");
+    for (q, batch_results) in queries.iter().zip(&batched) {
+        // Batch == per-query on the engine, including scores and order.
+        let single = engine.execute(q);
+        assert_eq!(&single, batch_results, "batch diverged on {q:?}");
+        // …and both agree with the linear-scan reference on membership
+        // (top-k boundary ties may legitimately differ, so skip those).
+        if !matches!(q, Query::Visual { mode: VisualMode::TopK(_), .. }) {
+            assert_eq!(
+                sorted_ids(batch_results),
+                sorted_ids(&linear.execute(q)),
+                "linear mismatch on {q:?}"
+            );
+        }
+    }
+    // Thread count is a latency knob only.
+    for threads in [1, 4] {
+        let pooled = engine.execute_batch_with_pool(&queries, &tvdp_kernel::Pool::new(threads));
+        assert_eq!(pooled, batched, "{threads} threads");
+    }
+}
+
+#[test]
 fn polygon_within_agrees() {
     use tvdp_geo::GeoPolygon;
     // A triangular district over the data region.

@@ -237,13 +237,7 @@ impl FeatureExtractor for CnnExtractor {
             }
             out[c * per_chan + g * g] = global_max;
         }
-        // L2 normalize.
-        let norm: f32 = out.iter().map(|v| v * v).sum::<f32>().sqrt();
-        if norm > 0.0 {
-            for v in &mut out {
-                *v /= norm;
-            }
-        }
+        tvdp_kernel::normalize(&mut out);
         out
     }
 }

@@ -251,14 +251,7 @@ impl SiftExtractor {
     }
 }
 
-fn normalize(v: &mut [f32]) {
-    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
-    if norm > 0.0 {
-        for x in v {
-            *x /= norm;
-        }
-    }
-}
+use tvdp_kernel::normalize;
 
 #[cfg(test)]
 mod tests {

@@ -10,6 +10,7 @@ pub use tvdp_datagen as datagen;
 pub use tvdp_edge as edge;
 pub use tvdp_geo as geo;
 pub use tvdp_index as index;
+pub use tvdp_kernel as kernel;
 pub use tvdp_ml as ml;
 pub use tvdp_query as query;
 pub use tvdp_storage as storage;
