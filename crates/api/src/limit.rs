@@ -18,7 +18,10 @@ pub struct RateLimitConfig {
 
 impl Default for RateLimitConfig {
     fn default() -> Self {
-        Self { burst: 20, per_second: 10.0 }
+        Self {
+            burst: 20,
+            per_second: 10.0,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl RateLimiter {
     pub fn new(config: RateLimitConfig) -> Self {
         assert!(config.burst >= 1, "zero burst");
         assert!(config.per_second > 0.0, "non-positive rate");
-        Self { config, buckets: Mutex::new(HashMap::new()) }
+        Self {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Attempts to take one token for `key` at time `now_ms`; `true`
@@ -53,8 +59,8 @@ impl RateLimiter {
         });
         // Refill for elapsed time (clock may not go backwards per key).
         let elapsed_s = ((now_ms - bucket.last_ms).max(0)) as f64 / 1000.0;
-        bucket.tokens = (bucket.tokens + elapsed_s * self.config.per_second)
-            .min(f64::from(self.config.burst));
+        bucket.tokens =
+            (bucket.tokens + elapsed_s * self.config.per_second).min(f64::from(self.config.burst));
         bucket.last_ms = bucket.last_ms.max(now_ms);
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
@@ -71,7 +77,10 @@ mod tests {
 
     #[test]
     fn burst_then_throttle() {
-        let limiter = RateLimiter::new(RateLimitConfig { burst: 3, per_second: 1.0 });
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 3,
+            per_second: 1.0,
+        });
         assert!(limiter.allow("k", 0));
         assert!(limiter.allow("k", 0));
         assert!(limiter.allow("k", 0));
@@ -80,7 +89,10 @@ mod tests {
 
     #[test]
     fn refills_over_time() {
-        let limiter = RateLimiter::new(RateLimitConfig { burst: 1, per_second: 2.0 });
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 1,
+            per_second: 2.0,
+        });
         assert!(limiter.allow("k", 0));
         assert!(!limiter.allow("k", 100));
         // 500 ms at 2/s refills one token.
@@ -89,7 +101,10 @@ mod tests {
 
     #[test]
     fn keys_are_independent() {
-        let limiter = RateLimiter::new(RateLimitConfig { burst: 1, per_second: 0.001 });
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 1,
+            per_second: 0.001,
+        });
         assert!(limiter.allow("a", 0));
         assert!(limiter.allow("b", 0));
         assert!(!limiter.allow("a", 1));
@@ -97,7 +112,10 @@ mod tests {
 
     #[test]
     fn capacity_never_exceeded() {
-        let limiter = RateLimiter::new(RateLimitConfig { burst: 2, per_second: 100.0 });
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 2,
+            per_second: 100.0,
+        });
         assert!(limiter.allow("k", 0));
         // A long quiet period must not bank more than `burst` tokens.
         assert!(limiter.allow("k", 1_000_000));

@@ -8,9 +8,9 @@ use serde_json::{json, Value};
 use tvdp_core::models::ModelInterface;
 use tvdp_core::platform::Algorithm;
 use tvdp_core::{PlatformError, Tvdp};
-use tvdp_ml::SerializableModel;
 use tvdp_edge::{DeviceClass, DispatchConstraints};
 use tvdp_geo::{Fov, GeoPoint};
+use tvdp_ml::SerializableModel;
 use tvdp_query::Query;
 use tvdp_storage::{ClassificationId, ImageId, ModelId, UserId};
 use tvdp_vision::{FeatureKind, Image};
@@ -44,7 +44,10 @@ impl ApiResponse {
     }
 
     fn err(status: u16, message: impl std::fmt::Display) -> Self {
-        Self { status, body: json!({ "error": message.to_string() }) }
+        Self {
+            status,
+            body: json!({ "error": message.to_string() }),
+        }
     }
 
     /// Whether the call succeeded.
@@ -175,7 +178,11 @@ impl ApiServer {
 
     /// Wraps a platform with an explicit rate limit.
     pub fn with_rate_limit(platform: Arc<Tvdp>, limit: RateLimitConfig) -> Self {
-        Self { platform, keys: ApiKeyRegistry::new(), limiter: RateLimiter::new(limit) }
+        Self {
+            platform,
+            keys: ApiKeyRegistry::new(),
+            limiter: RateLimiter::new(limit),
+        }
     }
 
     /// Issues an API key for a registered platform user.
@@ -242,7 +249,9 @@ impl ApiServer {
         let Some(gps) = GeoPoint::try_new(b.lat, b.lon) else {
             return ApiResponse::err(400, "invalid coordinates");
         };
-        let fov = b.fov.map(|f| Fov::new(gps, f.heading_deg, f.angle_deg, f.radius_m));
+        let fov = b
+            .fov
+            .map(|f| Fov::new(gps, f.heading_deg, f.angle_deg, f.radius_m));
         let image = Image::from_raw(b.width, b.height, b.pixels);
         match self.platform.ingest(
             user,
@@ -351,8 +360,11 @@ impl ApiServer {
         let Some(interface) = self.platform.models().interface(id) else {
             return ApiResponse::err(404, format!("unknown model model-{}", b.model));
         };
-        let (name, owner, algorithm) =
-            self.platform.models().describe(id).expect("interface implies entry");
+        let (name, owner, algorithm) = self
+            .platform
+            .models()
+            .describe(id)
+            .expect("interface implies entry");
         let mut body = json!({
             "model": b.model,
             "name": name,
@@ -461,7 +473,10 @@ impl ApiServer {
             min_accuracy: b.min_accuracy,
             min_inferences_per_charge: b.min_inferences_per_charge,
         };
-        match self.platform.dispatch_to_device(&device.profile(), &constraints) {
+        match self
+            .platform
+            .dispatch_to_device(&device.profile(), &constraints)
+        {
             Some(model) => ApiResponse::ok(json!({
                 "model": model.name,
                 "mflops": model.mflops,

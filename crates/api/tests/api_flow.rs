@@ -11,7 +11,12 @@ use tvdp_vision::{CnnConfig, Image};
 
 fn fast_platform() -> Arc<Tvdp> {
     Arc::new(Tvdp::new(PlatformConfig {
-        cnn: CnnConfig { input_size: 16, stage_channels: vec![4, 8], pool_grid: 2, seed: 1 },
+        cnn: CnnConfig {
+            input_size: 16,
+            stage_channels: vec![4, 8],
+            pool_grid: 2,
+            seed: 1,
+        },
         min_training_samples: 6,
         ..Default::default()
     }))
@@ -43,9 +48,18 @@ fn add_body(class: usize, seed: usize, lat: f64) -> serde_json::Value {
     })
 }
 
-fn call(server: &ApiServer, key: &str, endpoint: &str, body: serde_json::Value) -> tvdp_api::ApiResponse {
+fn call(
+    server: &ApiServer,
+    key: &str,
+    endpoint: &str,
+    body: serde_json::Value,
+) -> tvdp_api::ApiResponse {
     server.handle(
-        &ApiRequest { key: key.into(), endpoint: endpoint.into(), body },
+        &ApiRequest {
+            key: key.into(),
+            endpoint: endpoint.into(),
+            body,
+        },
         0,
     )
 }
@@ -56,7 +70,10 @@ fn full_workflow_through_the_api() {
     let gov = platform.register_user("LASAN", Role::Government);
     let server = ApiServer::with_rate_limit(
         Arc::clone(&platform),
-        RateLimitConfig { burst: 1000, per_second: 1000.0 },
+        RateLimitConfig {
+            burst: 1000,
+            per_second: 1000.0,
+        },
     );
     let key = server.issue_key(gov);
 
@@ -74,7 +91,12 @@ fn full_workflow_through_the_api() {
     let mut ids = Vec::new();
     for i in 0..12 {
         let class = i % 2;
-        let r = call(&server, &key, "data/add", add_body(class, i, 34.0 + i as f64 * 1e-4));
+        let r = call(
+            &server,
+            &key,
+            "data/add",
+            add_body(class, i, 34.0 + i as f64 * 1e-4),
+        );
         assert!(r.is_ok(), "{r:?}");
         let id = r.body["image"].as_u64().unwrap();
         let a = call(
@@ -122,7 +144,11 @@ fn full_workflow_through_the_api() {
     let feats = r.body["features"].as_array().unwrap();
     assert_eq!(feats.len(), 2, "color histogram + CNN");
     let stats_before = call(&server, &key, "stats", json!({}));
-    assert_eq!(stats_before.body["images"].as_u64().unwrap(), 12, "extract does not store");
+    assert_eq!(
+        stats_before.body["images"].as_u64().unwrap(),
+        12,
+        "extract does not store"
+    );
 
     // (7) Devise a model.
     let r = call(
@@ -143,7 +169,12 @@ fn full_workflow_through_the_api() {
     // (5) Use the model: upload two fresh images and classify them.
     let fresh: Vec<u64> = (0..2)
         .map(|class| {
-            let r = call(&server, &key, "data/add", add_body(class, 50 + class, 34.01));
+            let r = call(
+                &server,
+                &key,
+                "data/add",
+                add_body(class, 50 + class, 34.01),
+            );
             r.body["image"].as_u64().unwrap()
         })
         .collect();
@@ -182,7 +213,10 @@ fn auth_and_rate_limits_enforced() {
     let user = platform.register_user("u", Role::Academic);
     let server = ApiServer::with_rate_limit(
         Arc::clone(&platform),
-        RateLimitConfig { burst: 2, per_second: 1.0 },
+        RateLimitConfig {
+            burst: 2,
+            per_second: 1.0,
+        },
     );
     // Bad key.
     let r = call(&server, "tvdp_nope", "stats", json!({}));
@@ -195,14 +229,22 @@ fn auth_and_rate_limits_enforced() {
     assert_eq!(r.status, 429);
     // Refill after a second.
     let r = server.handle(
-        &ApiRequest { key: key.clone(), endpoint: "stats".into(), body: json!({}) },
+        &ApiRequest {
+            key: key.clone(),
+            endpoint: "stats".into(),
+            body: json!({}),
+        },
         1_500,
     );
     assert!(r.is_ok());
     // Revoked key stops working.
     assert!(server.revoke_key(&key));
     let r = server.handle(
-        &ApiRequest { key, endpoint: "stats".into(), body: json!({}) },
+        &ApiRequest {
+            key,
+            endpoint: "stats".into(),
+            body: json!({}),
+        },
         10_000,
     );
     assert_eq!(r.status, 401);
@@ -218,7 +260,10 @@ fn error_paths_return_proper_statuses() {
     // Unknown endpoint.
     assert_eq!(call(&server, &key, "nope/nope", json!({})).status, 404);
     // Malformed body.
-    assert_eq!(call(&server, &key, "data/add", json!({ "width": 4 })).status, 400);
+    assert_eq!(
+        call(&server, &key, "data/add", json!({ "width": 4 })).status,
+        400
+    );
     // Pixel size mismatch.
     let r = call(
         &server,
@@ -239,9 +284,15 @@ fn error_paths_return_proper_statuses() {
     );
     assert_eq!(r.status, 400);
     // Unknown model.
-    assert_eq!(call(&server, &key, "models/download", json!({ "model": 77 })).status, 404);
+    assert_eq!(
+        call(&server, &key, "models/download", json!({ "model": 77 })).status,
+        404
+    );
     // Unknown image download.
-    assert_eq!(call(&server, &key, "data/download", json!({ "ids": [123] })).status, 404);
+    assert_eq!(
+        call(&server, &key, "data/download", json!({ "ids": [123] })).status,
+        404
+    );
     // Devise with no data.
     let scheme = call(
         &server,
@@ -285,7 +336,10 @@ fn model_weights_download_and_upload_roundtrip() {
     let gov = platform.register_user("LASAN", Role::Government);
     let server = ApiServer::with_rate_limit(
         Arc::clone(&platform),
-        RateLimitConfig { burst: 10_000, per_second: 10_000.0 },
+        RateLimitConfig {
+            burst: 10_000,
+            per_second: 10_000.0,
+        },
     );
     let key = server.issue_key(gov);
 
@@ -301,7 +355,12 @@ fn model_weights_download_and_upload_roundtrip() {
         .unwrap();
     for i in 0..12 {
         let class = i % 2;
-        let r = call(&server, &key, "data/add", add_body(class, i, 34.0 + i as f64 * 1e-4));
+        let r = call(
+            &server,
+            &key,
+            "data/add",
+            add_body(class, i, 34.0 + i as f64 * 1e-4),
+        );
         let id = r.body["image"].as_u64().unwrap();
         call(
             &server,
@@ -353,7 +412,11 @@ fn model_weights_download_and_upload_roundtrip() {
             .collect::<Vec<f32>>()
     };
     assert_eq!(probe_features.len(), input_dim);
-    assert_eq!(local.predict_one(&probe_features), 0, "red scene on the edge");
+    assert_eq!(
+        local.predict_one(&probe_features),
+        0,
+        "red scene on the edge"
+    );
 
     // A collaborator uploads the same weights as a new shared model.
     let r = call(
@@ -371,9 +434,18 @@ fn model_weights_download_and_upload_roundtrip() {
     let img_id = call(&server, &key, "data/add", add_body(1, 88, 34.01)).body["image"]
         .as_u64()
         .unwrap();
-    let p1 = call(&server, &key, "models/apply", json!({ "model": model, "images": [img_id] }));
-    let p2 =
-        call(&server, &key, "models/apply", json!({ "model": uploaded, "images": [img_id] }));
+    let p1 = call(
+        &server,
+        &key,
+        "models/apply",
+        json!({ "model": model, "images": [img_id] }),
+    );
+    let p2 = call(
+        &server,
+        &key,
+        "models/apply",
+        json!({ "model": uploaded, "images": [img_id] }),
+    );
     assert_eq!(
         p1.body["predictions"][0]["label"],
         p2.body["predictions"][0]["label"]

@@ -44,7 +44,11 @@ fn bench_oriented(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_hybrid_regime(c: &mut Criterion, name: &str, boxes: fn(&tvdp_bench::index_workload::IndexWorkload) -> &Vec<tvdp_geo::BBox>) {
+fn bench_hybrid_regime(
+    c: &mut Criterion,
+    name: &str,
+    boxes: fn(&tvdp_bench::index_workload::IndexWorkload) -> &Vec<tvdp_geo::BBox>,
+) {
     let w = build_workload(N, DIM, QUERIES, 12);
     let idx = build_indexes(&w);
     let mut group = c.benchmark_group(name);
@@ -92,5 +96,10 @@ fn bench_hybrid_broad(c: &mut Criterion) {
     bench_hybrid_regime(c, "spatial_visual_broad", |w| &w.query_boxes_broad);
 }
 
-criterion_group!(benches, bench_oriented, bench_hybrid_selective, bench_hybrid_broad);
+criterion_group!(
+    benches,
+    bench_oriented,
+    bench_hybrid_selective,
+    bench_hybrid_broad
+);
 criterion_main!(benches);

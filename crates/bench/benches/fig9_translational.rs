@@ -5,7 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tvdp_bench::{run_fig9, Fig9Config};
 
 fn bench_fig9(c: &mut Criterion) {
-    let config = Fig9Config { n_images: 150, image_size: 32, ..Default::default() };
+    let config = Fig9Config {
+        n_images: 150,
+        image_size: 32,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("fig9");
     group.sample_size(10);
     group.bench_function("translational_scenario_150imgs", |b| {

@@ -25,7 +25,10 @@ fn bench_spatial(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.query_boxes[qi % QUERIES];
             qi += 1;
-            w.fovs.iter().filter(|(f, _)| f.scene_location().intersects(q)).count()
+            w.fovs
+                .iter()
+                .filter(|(f, _)| f.scene_location().intersects(q))
+                .count()
         })
     });
     group.finish();
@@ -60,11 +63,7 @@ fn bench_temporal_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_build_4k");
     group.sample_size(10);
     group.bench_function("all_indexes", |b| {
-        b.iter_batched(
-            || (),
-            |()| build_indexes(&w),
-            BatchSize::PerIteration,
-        )
+        b.iter_batched(|| (), |()| build_indexes(&w), BatchSize::PerIteration)
     });
     group.finish();
 }

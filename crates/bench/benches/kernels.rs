@@ -105,7 +105,9 @@ fn bench_query_batch(c: &mut Criterion) {
                 None,
             )
             .expect("insert");
-        store.put_feature(id, FeatureKind::Cnn, feature.clone()).expect("feature");
+        store
+            .put_feature(id, FeatureKind::Cnn, feature.clone())
+            .expect("feature");
     }
     let engine = QueryEngine::build(store, EngineConfig::default());
     let queries: Vec<Query> = w
@@ -121,19 +123,28 @@ fn bench_query_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_batch");
     group.sample_size(10);
     group.bench_function("per_query_loop", |bch| {
-        bch.iter(|| queries.iter().map(|q| engine.execute(q).len()).sum::<usize>())
+        bch.iter(|| {
+            queries
+                .iter()
+                .map(|q| engine.execute(q).len())
+                .sum::<usize>()
+        })
     });
     for threads in [1usize, 2, 4, 8] {
         let pool = Pool::new(threads);
-        group.bench_with_input(BenchmarkId::new("batch_threads", threads), &threads, |bch, _| {
-            bch.iter(|| {
-                engine
-                    .execute_batch_with_pool(&queries, &pool)
-                    .iter()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("batch_threads", threads),
+            &threads,
+            |bch, _| {
+                bch.iter(|| {
+                    engine
+                        .execute_batch_with_pool(&queries, &pool)
+                        .iter()
+                        .map(Vec::len)
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,8 +18,11 @@ fn main() {
             "{:<10} issued {:>5}  completed {:>5}  satisfied: {}",
             outcome.strategy, outcome.tasks_issued, outcome.tasks_completed, outcome.satisfied
         );
-        let series: Vec<String> =
-            outcome.coverage_per_round.iter().map(|c| format!("{c:.2}")).collect();
+        let series: Vec<String> = outcome
+            .coverage_per_round
+            .iter()
+            .map(|c| format!("{c:.2}"))
+            .collect();
         println!("           coverage: {}", series.join(" -> "));
     }
     println!("\npaper shape: coverage rises monotonically; iteration closes the gaps");

@@ -16,8 +16,11 @@ fn main() {
 
     println!("\nCrowd-Based Learning — test F1 per retraining round\n");
     for outcome in &result.outcomes {
-        let series: Vec<String> =
-            outcome.f1_per_round.iter().map(|f| format!("{f:.3}")).collect();
+        let series: Vec<String> = outcome
+            .f1_per_round
+            .iter()
+            .map(|f| format!("{f:.3}"))
+            .collect();
         println!("{:<8} {}", outcome.strategy, series.join(" -> "));
     }
     println!(

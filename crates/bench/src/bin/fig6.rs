@@ -26,8 +26,17 @@ fn main() {
     eprintln!("fig6: done in {:.1}s", t0.elapsed().as_secs_f64());
 
     println!("\nFig. 6 — Various Classifiers and Image Features (macro F1)\n");
-    println!("{:<18} {:>8} {:>14} {:>8}", "classifier", "Color", "SIFT-BoW", "CNN");
-    for clf in ["kNN", "Decision Tree", "Naive Bayes", "Random Forest", "SVM"] {
+    println!(
+        "{:<18} {:>8} {:>14} {:>8}",
+        "classifier", "Color", "SIFT-BoW", "CNN"
+    );
+    for clf in [
+        "kNN",
+        "Decision Tree",
+        "Naive Bayes",
+        "Random Forest",
+        "SVM",
+    ] {
         let get = |f: &str| result.f1(f, clf).unwrap_or(f64::NAN);
         println!(
             "{:<18} {:>8.3} {:>14.3} {:>8.3}",
@@ -53,8 +62,10 @@ fn main() {
         // The paper's protocol: 10-fold CV on the 80% training split.
         eprintln!("fig6: running the 10-fold CV protocol (SVM per feature family)...");
         let cv = run_cv_protocol(&config, 10);
-        println!("
-10-fold CV on the training split (SVM):");
+        println!(
+            "
+10-fold CV on the training split (SVM):"
+        );
         for (feature, mean, std) in &cv.rows {
             println!("  {feature:<16} F1 = {mean:.3} ± {std:.3}");
         }

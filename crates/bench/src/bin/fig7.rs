@@ -18,7 +18,10 @@ fn main() {
     let result = run_fig7(&config);
 
     println!("\nFig. 7 — SVM + CNN per cleanliness category\n");
-    println!("{:<22} {:>10} {:>8} {:>8}", "category", "precision", "recall", "F1");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8}",
+        "category", "precision", "recall", "F1"
+    );
     for (label, p, r, f1) in &result.per_class {
         println!("{label:<22} {p:>10.3} {r:>8.3} {f1:>8.3}");
     }

@@ -10,7 +10,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let result = run_fig8(&Fig8Config { runs, ..Default::default() });
+    let result = run_fig8(&Fig8Config {
+        runs,
+        ..Default::default()
+    });
 
     println!("\nFig. 8 — Inference Time vs Models (mean over {runs} runs)\n");
     println!(

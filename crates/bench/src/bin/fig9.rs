@@ -10,7 +10,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    let config = Fig9Config { n_images: 900 * scale, ..Default::default() };
+    let config = Fig9Config {
+        n_images: 900 * scale,
+        ..Default::default()
+    };
     eprintln!(
         "fig9: {} images, {}% human-labelled, seed {:#x}",
         config.n_images,
@@ -23,10 +26,19 @@ fn main() {
 
     println!("\nFig. 9 — Translational Data Scenario\n");
     println!("LASAN uploads + labels        -> USC trains cleanliness model");
-    println!("  cleanliness macro F1 on new images : {:.3}", r.cleanliness_f1);
+    println!(
+        "  cleanliness macro F1 on new images : {:.3}",
+        r.cleanliness_f1
+    );
     println!("\nHomeless Coordinator reuses 'encampment' annotations (no new learning):");
-    println!("  encampment precision               : {:.3}", r.encampment_precision);
-    println!("  encampment recall                  : {:.3}", r.encampment_recall);
+    println!(
+        "  encampment precision               : {:.3}",
+        r.encampment_precision
+    );
+    println!(
+        "  encampment recall                  : {:.3}",
+        r.encampment_recall
+    );
     println!(
         "  tents counted / ground truth       : {} / {}",
         r.tents_counted, r.tents_ground_truth
@@ -35,7 +47,13 @@ fn main() {
         "  hotspot cells (densest holds {:>3})  : {}",
         r.top_hotspot_count, r.hotspot_cells
     );
-    println!("\nGraffiti study over the SAME {} stored images:", r.images_reused);
-    println!("  graffiti macro F1                  : {:.3}", r.graffiti_f1);
+    println!(
+        "\nGraffiti study over the SAME {} stored images:",
+        r.images_reused
+    );
+    println!(
+        "  graffiti macro F1                  : {:.3}",
+        r.graffiti_f1
+    );
     println!("\npaper shape: one dataset, three studies — zero additional collection");
 }

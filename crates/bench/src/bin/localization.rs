@@ -14,10 +14,16 @@ fn main() {
     eprintln!("localization: done in {:.1}s", t0.elapsed().as_secs_f64());
 
     println!("\nScene Localization (data-centric, ref [23])\n");
-    println!("localized                : {} / {}", r.localized, config.test_size);
+    println!(
+        "localized                : {} / {}",
+        r.localized, config.test_size
+    );
     println!("median error             : {:>7.0} m", r.median_error_m);
     println!("mean error               : {:>7.0} m", r.mean_error_m);
-    println!("baseline (centroid guess): {:>7.0} m median", r.baseline_median_m);
+    println!(
+        "baseline (centroid guess): {:>7.0} m median",
+        r.baseline_median_m
+    );
     println!("within 250 m             : {:>6.1}%", r.within_250m * 100.0);
     println!("\npaper shape: visual neighbours localize far better than a blind guess");
 }

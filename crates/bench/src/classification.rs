@@ -18,8 +18,7 @@ use tvdp_ml::{
     MlpParams, RandomForest, StandardScaler,
 };
 use tvdp_vision::{
-    BowEncoder, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind,
-    SiftExtractor,
+    BowEncoder, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind, SiftExtractor,
 };
 
 /// Configuration shared by the Fig. 6 and Fig. 7 experiments.
@@ -94,8 +93,12 @@ impl Fig6Result {
 
     /// Mean F1 across classifiers for one feature family.
     pub fn mean_f1_for_feature(&self, feature: &str) -> f64 {
-        let xs: Vec<f64> =
-            self.cells.iter().filter(|c| c.feature == feature).map(|c| c.f1).collect();
+        let xs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.feature == feature)
+            .map(|c| c.f1)
+            .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     }
 }
@@ -131,7 +134,11 @@ pub fn run_cv_protocol(config: &ClassificationConfig, folds: usize) -> CvProtoco
         let train_x = scaler.transform(&split.train_x);
         let data = Dataset::new(train_x, train_y.clone(), 5);
         let result = cross_validate(&data, folds, config.seed, LinearSvm::new);
-        rows.push((split.kind.label().to_string(), result.mean_f1(), result.std_f1()));
+        rows.push((
+            split.kind.label().to_string(),
+            result.mean_f1(),
+            result.std_f1(),
+        ));
     }
     CvProtocolResult { rows, folds }
 }
@@ -192,8 +199,14 @@ fn prepare(config: &ClassificationConfig) -> (Vec<FeatureSplit>, Vec<usize>, Vec
     head.fit(&train_scaled, &train_y_tmp, 5);
     splits.push(FeatureSplit {
         kind: FeatureKind::Cnn,
-        train_x: train_scaled.iter().map(|r| head.hidden_activations(r)).collect(),
-        test_x: test_scaled.iter().map(|r| head.hidden_activations(r)).collect(),
+        train_x: train_scaled
+            .iter()
+            .map(|r| head.hidden_activations(r))
+            .collect(),
+        test_x: test_scaled
+            .iter()
+            .map(|r| head.hidden_activations(r))
+            .collect(),
     });
 
     let train_y: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
@@ -207,11 +220,19 @@ fn extract_split(
     test_idx: &[usize],
     extractor: &dyn FeatureExtractor,
 ) -> FeatureSplit {
-    let train_x: Vec<Vec<f32>> =
-        train_idx.iter().map(|&i| extractor.extract(&data[i].image)).collect();
-    let test_x: Vec<Vec<f32>> =
-        test_idx.iter().map(|&i| extractor.extract(&data[i].image)).collect();
-    FeatureSplit { kind: extractor.kind(), train_x, test_x }
+    let train_x: Vec<Vec<f32>> = train_idx
+        .iter()
+        .map(|&i| extractor.extract(&data[i].image))
+        .collect();
+    let test_x: Vec<Vec<f32>> = test_idx
+        .iter()
+        .map(|&i| extractor.extract(&data[i].image))
+        .collect();
+    FeatureSplit {
+        kind: extractor.kind(),
+        train_x,
+        test_x,
+    }
 }
 
 fn classifier_roster(seed: u64) -> Vec<Box<dyn Classifier>> {
@@ -265,10 +286,18 @@ pub fn run_fig7(config: &ClassificationConfig) -> Fig7Result {
         .iter()
         .map(|c| {
             let i = c.index();
-            (c.label().to_string(), cm.precision(i), cm.recall(i), cm.f1(i))
+            (
+                c.label().to_string(),
+                cm.precision(i),
+                cm.recall(i),
+                cm.f1(i),
+            )
         })
         .collect();
-    Fig7Result { per_class, macro_f1: cm.macro_f1() }
+    Fig7Result {
+        per_class,
+        macro_f1: cm.macro_f1(),
+    }
 }
 
 #[cfg(test)]

@@ -70,8 +70,7 @@ fn build_campaign(config: &CoverageConfig) -> Campaign {
     let sw = GeoPoint::new(34.02, -118.29);
     let ne = sw.destination(0.0, config.region_m);
     let e = sw.destination(90.0, config.region_m);
-    let spec =
-        CoverageSpec::new(BBox::new(sw.lat, sw.lon, ne.lat, e.lon), config.cell_m, 8);
+    let spec = CoverageSpec::new(BBox::new(sw.lat, sw.lon, ne.lat, e.lon), config.cell_m, 8);
     Campaign::new("coverage-experiment", spec, config.min_sectors, 1)
 }
 
@@ -93,11 +92,7 @@ pub fn run_coverage(config: &CoverageConfig) -> CoverageResult {
             let (report, _) = simulate_campaign(&campaign, &sim);
             StrategyOutcome {
                 strategy: format!("{strategy:?}"),
-                coverage_per_round: report
-                    .rounds
-                    .iter()
-                    .map(|r| r.direction_coverage)
-                    .collect(),
+                coverage_per_round: report.rounds.iter().map(|r| r.direction_coverage).collect(),
                 tasks_issued: report.tasks_issued,
                 tasks_completed: report.tasks_completed,
                 satisfied: report.satisfied,

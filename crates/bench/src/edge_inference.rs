@@ -21,7 +21,10 @@ pub struct Fig8Config {
 
 impl Default for Fig8Config {
     fn default() -> Self {
-        Self { runs: 200, seed: 0xF18 }
+        Self {
+            runs: 200,
+            seed: 0xF18,
+        }
     }
 }
 

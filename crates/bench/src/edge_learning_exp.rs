@@ -5,9 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use tvdp_datagen::{generate, DatasetConfig};
-use tvdp_edge::{
-    learning::run_crowd_learning, CrowdLearningConfig, EdgeNode, SelectionStrategy,
-};
+use tvdp_edge::{learning::run_crowd_learning, CrowdLearningConfig, EdgeNode, SelectionStrategy};
 use tvdp_ml::data::stratified_split;
 use tvdp_ml::{Dataset, LinearSvm, StandardScaler};
 use tvdp_vision::{CnnExtractor, FeatureExtractor};
@@ -98,7 +96,9 @@ pub fn run_edge_learning(config: &EdgeLearningConfig) -> EdgeLearningResult {
         1.0 - config.test_size as f64 / config.n_images as f64,
         config.seed,
     );
-    let seed_idx: Vec<usize> = rest.drain(..config.server_seed_size.min(rest.len())).collect();
+    let seed_idx: Vec<usize> = rest
+        .drain(..config.server_seed_size.min(rest.len()))
+        .collect();
 
     let pick = |idx: &[usize]| -> Dataset {
         Dataset::new(
@@ -147,7 +147,11 @@ pub fn run_edge_learning(config: &EdgeLearningConfig) -> EdgeLearningResult {
         })
         .collect();
 
-    EdgeLearningResult { outcomes, raw_image_bytes, feature_bytes }
+    EdgeLearningResult {
+        outcomes,
+        raw_image_bytes,
+        feature_bytes,
+    }
 }
 
 #[cfg(test)]

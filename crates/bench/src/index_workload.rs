@@ -38,10 +38,13 @@ pub fn build_workload(n: usize, dim: usize, q: usize, seed: u64) -> IndexWorkloa
         // Headings follow the street axis of the block (trucks drive
         // along streets), with per-capture jitter — the correlation the
         // oriented R-tree's per-node direction summaries exploit.
-        let street_axis = if location_cluster(lat, lon).is_multiple_of(2) { 0.0 } else { 90.0 };
-        let heading = street_axis
-            + if rng.gen_bool(0.5) { 180.0 } else { 0.0 }
-            + rng.gen_range(-15.0..15.0);
+        let street_axis = if location_cluster(lat, lon).is_multiple_of(2) {
+            0.0
+        } else {
+            90.0
+        };
+        let heading =
+            street_axis + if rng.gen_bool(0.5) { 180.0 } else { 0.0 } + rng.gen_range(-15.0..15.0);
         let fov = Fov::new(
             GeoPoint::new(lat, lon),
             heading,
@@ -83,7 +86,14 @@ pub fn build_workload(n: usize, dim: usize, q: usize, seed: u64) -> IndexWorkloa
                 .collect(),
         );
     }
-    IndexWorkload { fovs, features, query_boxes, query_boxes_broad, query_dirs, query_features }
+    IndexWorkload {
+        fovs,
+        features,
+        query_boxes,
+        query_boxes_broad,
+        query_dirs,
+        query_features,
+    }
 }
 
 /// Maps a position to its visual-appearance cluster: a ~1 km block grid,
@@ -120,7 +130,12 @@ pub fn build_indexes(w: &IndexWorkload) -> BuiltIndexes {
         hybrid.insert(scene, feat.clone(), *id);
         lsh.insert(feat.clone());
     }
-    BuiltIndexes { rtree, oriented, hybrid, lsh }
+    BuiltIndexes {
+        rtree,
+        oriented,
+        hybrid,
+        lsh,
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,13 @@ pub struct LocalizationConfig {
 
 impl Default for LocalizationConfig {
     fn default() -> Self {
-        Self { corpus_size: 900, test_size: 80, image_size: 48, k: 9, seed: 0x10C }
+        Self {
+            corpus_size: 900,
+            test_size: 80,
+            image_size: 48,
+            k: 9,
+            seed: 0x10C,
+        }
     }
 }
 
@@ -92,7 +98,10 @@ pub fn run_localization(config: &LocalizationConfig) -> LocalizationResult {
     }
     let engine = QueryEngine::build(
         Arc::clone(&store),
-        EngineConfig { visual_kind: FeatureKind::ColorHistogram, ..Default::default() },
+        EngineConfig {
+            visual_kind: FeatureKind::ColorHistogram,
+            ..Default::default()
+        },
     );
 
     // Baseline: guess the corpus centroid for everything.
@@ -103,7 +112,10 @@ pub fn run_localization(config: &LocalizationConfig) -> LocalizationResult {
             lat += d.fov.camera.lat;
             lon += d.fov.camera.lon;
         }
-        GeoPoint::new(lat / config.corpus_size as f64, lon / config.corpus_size as f64)
+        GeoPoint::new(
+            lat / config.corpus_size as f64,
+            lon / config.corpus_size as f64,
+        )
     };
 
     let mut errors = Vec::new();
@@ -113,16 +125,26 @@ pub fn run_localization(config: &LocalizationConfig) -> LocalizationResult {
         let truth = d.fov.camera;
         baseline.push(centroid.fast_distance_m(&truth));
         let features = extractor.extract(&d.image);
-        if let Some(est) =
-            localize(&engine, &store, &features, FeatureKind::ColorHistogram, config.k)
-        {
+        if let Some(est) = localize(
+            &engine,
+            &store,
+            &features,
+            FeatureKind::ColorHistogram,
+            config.k,
+        ) {
             errors.push(est.center.fast_distance_m(&truth));
             localized += 1;
         }
     }
     errors.sort_by(f64::total_cmp);
     baseline.sort_by(f64::total_cmp);
-    let median = |v: &[f64]| if v.is_empty() { f64::NAN } else { v[v.len() / 2] };
+    let median = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v[v.len() / 2]
+        }
+    };
     LocalizationResult {
         median_error_m: median(&errors),
         mean_error_m: errors.iter().sum::<f64>() / errors.len().max(1) as f64,

@@ -14,8 +14,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use tvdp_core::{count_by_cell, hotspots, PlatformConfig, Role, Tvdp};
 use tvdp_core::platform::{Algorithm, IngestRequest};
+use tvdp_core::{count_by_cell, hotspots, PlatformConfig, Role, Tvdp};
 use tvdp_datagen::{generate, CleanlinessClass, DatasetConfig, StreetGrid};
 use tvdp_ml::ConfusionMatrix;
 use tvdp_storage::ImageId;
@@ -82,7 +82,10 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
     let cleanliness = platform
         .register_scheme(
             "street-cleanliness",
-            CleanlinessClass::ALL.iter().map(|c| c.label().to_string()).collect(),
+            CleanlinessClass::ALL
+                .iter()
+                .map(|c| c.label().to_string())
+                .collect(),
         )
         .expect("fresh scheme");
     let graffiti = platform
@@ -111,7 +114,9 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
             )
         })
         .collect();
-    let ids: Vec<ImageId> = platform.ingest_batch(lasan, batch, 8).expect("ingest succeeds");
+    let ids: Vec<ImageId> = platform
+        .ingest_batch(lasan, batch, 8)
+        .expect("ingest succeeds");
 
     // 2. LASAN labels the first portion; USC trains and applies.
     let cut = ((data.len() as f64) * config.labelled_fraction) as usize;
@@ -121,7 +126,13 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
             .expect("annotate succeeds");
     }
     let model = platform
-        .train_model(usc, "cleanliness-mlp", cleanliness, FeatureKind::Cnn, Algorithm::Mlp)
+        .train_model(
+            usc,
+            "cleanliness-mlp",
+            cleanliness,
+            FeatureKind::Cnn,
+            Algorithm::Mlp,
+        )
         .expect("training succeeds");
     let predictions = platform
         .apply_model(model, &ids[cut..])
@@ -135,13 +146,33 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
 
     // 3. The Homeless Coordinator reuses encampment annotations directly.
     let region = *StreetGrid::downtown_la().region();
-    let cells = count_by_cell(platform.store(), cleanliness, enc, &region, config.cell_size_m, 0.0);
-    let top = hotspots(platform.store(), cleanliness, enc, &region, config.cell_size_m, 0.0, 1);
+    let cells = count_by_cell(
+        platform.store(),
+        cleanliness,
+        enc,
+        &region,
+        config.cell_size_m,
+        0.0,
+    );
+    let top = hotspots(
+        platform.store(),
+        cleanliness,
+        enc,
+        &region,
+        config.cell_size_m,
+        0.0,
+        1,
+    );
     // Counting only machine annotations (the new knowledge): human labels
     // came from LASAN's own study.
-    let tents_counted = predictions.iter().filter(|(_, label, _)| *label == enc).count();
-    let tents_ground_truth =
-        data[cut..].iter().filter(|d| d.cleanliness == CleanlinessClass::Encampment).count();
+    let tents_counted = predictions
+        .iter()
+        .filter(|(_, label, _)| *label == enc)
+        .count();
+    let tents_ground_truth = data[cut..]
+        .iter()
+        .filter(|d| d.cleanliness == CleanlinessClass::Encampment)
+        .count();
 
     // 4. Graffiti study over the same images: label the training portion
     //    with graffiti ground truth, train, apply — zero new collection.
@@ -151,12 +182,21 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
             .expect("annotate succeeds");
     }
     let graffiti_model = platform
-        .train_model(usc, "graffiti-mlp", graffiti, FeatureKind::Cnn, Algorithm::Mlp)
+        .train_model(
+            usc,
+            "graffiti-mlp",
+            graffiti,
+            FeatureKind::Cnn,
+            Algorithm::Mlp,
+        )
         .expect("training succeeds");
     let gpred = platform
         .apply_model(graffiti_model, &ids[cut..])
         .expect("apply succeeds");
-    let gtruth: Vec<usize> = data[cut..].iter().map(|d| usize::from(d.graffiti)).collect();
+    let gtruth: Vec<usize> = data[cut..]
+        .iter()
+        .map(|d| usize::from(d.graffiti))
+        .collect();
     let gpredicted: Vec<usize> = gpred.iter().map(|(_, label, _)| *label).collect();
     let gcm = ConfusionMatrix::from_predictions(&gtruth, &gpredicted, 2);
 

@@ -79,7 +79,8 @@ impl<'a> Flags<'a> {
     }
 }
 
-const USAGE: &str = "usage: tvdp <init|demo-data|stats|search|train|apply|hotspots> <store> [flags]\n\
+const USAGE: &str =
+    "usage: tvdp <init|demo-data|stats|search|train|apply|hotspots> <store> [flags]\n\
 run `tvdp help` for details";
 
 const HELP: &str = "TVDP — Translational Visual Data Platform CLI\n\
@@ -129,8 +130,7 @@ fn load_store(path: &str) -> Result<Arc<VisualStore>, CliError> {
 }
 
 fn save_store(store: &VisualStore, path: &str) -> Result<(), CliError> {
-    persist::save(store, Path::new(path))
-        .map_err(|e| err(format!("cannot save store {path}: {e}")))
+    persist::save(store, Path::new(path)).map_err(|e| err(format!("cannot save store {path}: {e}")))
 }
 
 fn init(path: &str) -> Result<String, CliError> {
@@ -160,12 +160,20 @@ fn demo_data(path: &str, rest: &[String]) -> Result<String, CliError> {
         None => platform
             .register_scheme(
                 "street-cleanliness",
-                CleanlinessClass::ALL.iter().map(|c| c.label().to_string()).collect(),
+                CleanlinessClass::ALL
+                    .iter()
+                    .map(|c| c.label().to_string())
+                    .collect(),
             )
             .map_err(|e| err(e.to_string()))?,
     };
 
-    let data = generate(&DatasetConfig { n_images: count, image_size: size, seed, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: count,
+        image_size: size,
+        seed,
+        ..Default::default()
+    });
     let batch: Vec<_> = data
         .iter()
         .map(|d| {
@@ -207,9 +215,18 @@ fn stats(path: &str) -> Result<String, CliError> {
     let schemes = store.schemes();
     out.push_str(&format!("schemes     : {}\n", schemes.len()));
     for s in schemes {
-        out.push_str(&format!("  {} ({}): {}\n", s.name, s.id, s.labels.join(", ")));
+        out.push_str(&format!(
+            "  {} ({}): {}\n",
+            s.name,
+            s.id,
+            s.labels.join(", ")
+        ));
     }
-    for kind in [FeatureKind::ColorHistogram, FeatureKind::Cnn, FeatureKind::SiftBow] {
+    for kind in [
+        FeatureKind::ColorHistogram,
+        FeatureKind::Cnn,
+        FeatureKind::SiftBow,
+    ] {
         let n = store.images_with_feature(kind).len();
         if n > 0 {
             out.push_str(&format!("features    : {n} x {kind:?}\n"));
@@ -243,14 +260,12 @@ fn resolve_label(
     let scheme = store
         .scheme_by_name(scheme_name)
         .ok_or_else(|| err(format!("unknown scheme `{scheme_name}`")))?;
-    let label = scheme
-        .label_index(label_name)
-        .ok_or_else(|| {
-            err(format!(
-                "unknown label `{label_name}` in `{scheme_name}` (has: {})",
-                scheme.labels.join(", ")
-            ))
-        })?;
+    let label = scheme.label_index(label_name).ok_or_else(|| {
+        err(format!(
+            "unknown label `{label_name}` in `{scheme_name}` (has: {})",
+            scheme.labels.join(", ")
+        ))
+    })?;
     Ok((scheme.id, label))
 }
 
@@ -261,7 +276,10 @@ fn search(path: &str, rest: &[String]) -> Result<String, CliError> {
 
     let mut subs: Vec<Query> = Vec::new();
     if let Some(word) = flags.get("--keyword") {
-        subs.push(Query::Textual { text: word.to_string(), mode: TextualMode::All });
+        subs.push(Query::Textual {
+            text: word.to_string(),
+            mode: TextualMode::All,
+        });
     }
     if let Some(region) = flags.get("--region") {
         subs.push(Query::Spatial(SpatialQuery::Range(parse_region(region)?)));
@@ -284,19 +302,31 @@ fn search(path: &str, rest: &[String]) -> Result<String, CliError> {
                 let (lat, lon) = pair
                     .split_once(',')
                     .ok_or_else(|| err(format!("bad polygon vertex `{pair}`")))?;
-                let lat: f64 = lat.trim().parse().map_err(|_| err("bad polygon latitude"))?;
-                let lon: f64 = lon.trim().parse().map_err(|_| err("bad polygon longitude"))?;
+                let lat: f64 = lat
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("bad polygon latitude"))?;
+                let lon: f64 = lon
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("bad polygon longitude"))?;
                 GeoPoint::try_new(lat, lon).ok_or_else(|| err("polygon vertex out of range"))
             })
             .collect::<Result<_, _>>()?;
         if vertices.len() < 3 {
             return Err(err("--polygon needs at least 3 vertices"));
         }
-        subs.push(Query::Spatial(SpatialQuery::Within(GeoPolygon::new(vertices))));
+        subs.push(Query::Spatial(SpatialQuery::Within(GeoPolygon::new(
+            vertices,
+        ))));
     }
     if let Some(spec) = flags.get("--label") {
         let (scheme, label) = resolve_label(&store, spec)?;
-        subs.push(Query::Categorical { scheme, label, min_confidence: 0.0 });
+        subs.push(Query::Categorical {
+            scheme,
+            label,
+            min_confidence: 0.0,
+        });
     }
     let since: Option<i64> = flags.parse("--since")?;
     let until: Option<i64> = flags.parse("--until")?;
@@ -310,7 +340,11 @@ fn search(path: &str, rest: &[String]) -> Result<String, CliError> {
     if subs.is_empty() {
         return Err(err("search needs at least one filter; see `tvdp help`"));
     }
-    let query = if subs.len() == 1 { subs.pop().expect("one element") } else { Query::And(subs) };
+    let query = if subs.len() == 1 {
+        subs.pop().expect("one element")
+    } else {
+        Query::And(subs)
+    };
     let results = platform.search(&query);
     let mut out = format!("{} hits\n", results.len());
     for r in results.iter().take(20) {
@@ -345,9 +379,13 @@ fn parse_algorithm(raw: &str) -> Result<Algorithm, CliError> {
 
 fn train(path: &str, rest: &[String]) -> Result<String, CliError> {
     let flags = Flags::new(rest);
-    let scheme_name = flags.get("--scheme").ok_or_else(|| err("--scheme required"))?;
+    let scheme_name = flags
+        .get("--scheme")
+        .ok_or_else(|| err("--scheme required"))?;
     let algorithm = parse_algorithm(flags.get("--algorithm").unwrap_or("svm"))?;
-    let model_out = flags.get("--model-out").ok_or_else(|| err("--model-out required"))?;
+    let model_out = flags
+        .get("--model-out")
+        .ok_or_else(|| err("--model-out required"))?;
 
     let store = load_store(path)?;
     let platform = Tvdp::with_store(Arc::clone(&store), PlatformConfig::default());
@@ -356,9 +394,18 @@ fn train(path: &str, rest: &[String]) -> Result<String, CliError> {
         .scheme_by_name(scheme_name)
         .ok_or_else(|| err(format!("unknown scheme `{scheme_name}`")))?;
     let model = platform
-        .train_model(operator, scheme_name, scheme.id, FeatureKind::Cnn, algorithm)
+        .train_model(
+            operator,
+            scheme_name,
+            scheme.id,
+            FeatureKind::Cnn,
+            algorithm,
+        )
         .map_err(|e| err(e.to_string()))?;
-    let portable = platform.models().export(model).expect("built-in model exports");
+    let portable = platform
+        .models()
+        .export(model)
+        .expect("built-in model exports");
     let interface = platform.models().interface(model).expect("model exists");
     let doc = serde_json::json!({
         "scheme": scheme_name,
@@ -366,8 +413,11 @@ fn train(path: &str, rest: &[String]) -> Result<String, CliError> {
         "input_dim": interface.input_dim,
         "weights": portable,
     });
-    std::fs::write(model_out, serde_json::to_string(&doc).expect("serializable"))
-        .map_err(|e| err(format!("cannot write {model_out}: {e}")))?;
+    std::fs::write(
+        model_out,
+        serde_json::to_string(&doc).expect("serializable"),
+    )
+    .map_err(|e| err(format!("cannot write {model_out}: {e}")))?;
     Ok(format!(
         "trained {} on {} annotated images; weights written to {model_out}",
         portable.algorithm_tag(),
@@ -377,8 +427,12 @@ fn train(path: &str, rest: &[String]) -> Result<String, CliError> {
 
 fn apply(path: &str, rest: &[String]) -> Result<String, CliError> {
     let flags = Flags::new(rest);
-    let model_path = flags.get("--model").ok_or_else(|| err("--model required"))?;
-    let scheme_name = flags.get("--scheme").ok_or_else(|| err("--scheme required"))?;
+    let model_path = flags
+        .get("--model")
+        .ok_or_else(|| err("--model required"))?;
+    let scheme_name = flags
+        .get("--scheme")
+        .ok_or_else(|| err("--scheme required"))?;
 
     let store = load_store(path)?;
     let platform = Tvdp::with_store(Arc::clone(&store), PlatformConfig::default());
@@ -416,7 +470,11 @@ fn apply(path: &str, rest: &[String]) -> Result<String, CliError> {
         .upload_model(
             operator,
             "cli-import",
-            ModelInterface { feature_kind, input_dim, scheme: scheme.id },
+            ModelInterface {
+                feature_kind,
+                input_dim,
+                scheme: scheme.id,
+            },
             weights,
         )
         .map_err(|e| err(e.to_string()))?;
@@ -426,10 +484,15 @@ fn apply(path: &str, rest: &[String]) -> Result<String, CliError> {
         .image_ids()
         .into_iter()
         .filter(|&id| {
-            store.annotations_of(id).iter().all(|a| a.classification != scheme.id)
+            store
+                .annotations_of(id)
+                .iter()
+                .all(|a| a.classification != scheme.id)
         })
         .collect();
-    let results = platform.apply_model(model, &targets).map_err(|e| err(e.to_string()))?;
+    let results = platform
+        .apply_model(model, &targets)
+        .map_err(|e| err(e.to_string()))?;
     save_store(platform.store(), path)?;
     let mut counts = vec![0usize; scheme.labels.len()];
     for (_, label, _) in &results {
@@ -444,8 +507,12 @@ fn apply(path: &str, rest: &[String]) -> Result<String, CliError> {
 
 fn hotspots_cmd(path: &str, rest: &[String]) -> Result<String, CliError> {
     let flags = Flags::new(rest);
-    let scheme_name = flags.get("--scheme").ok_or_else(|| err("--scheme required"))?;
-    let label_name = flags.get("--label").ok_or_else(|| err("--label required"))?;
+    let scheme_name = flags
+        .get("--scheme")
+        .ok_or_else(|| err("--scheme required"))?;
+    let label_name = flags
+        .get("--label")
+        .ok_or_else(|| err("--label required"))?;
     let cell: f64 = flags.parse("--cell")?.unwrap_or(200.0);
     let top: usize = flags.parse("--top")?.unwrap_or(5);
 
@@ -461,7 +528,12 @@ fn hotspots_cmd(path: &str, rest: &[String]) -> Result<String, CliError> {
     if cells.is_empty() {
         return Ok(format!("no `{label_name}` sightings in {path}"));
     }
-    let mut out = format!("top {} `{}` hotspots ({}m cells):\n", cells.len(), label_name, cell);
+    let mut out = format!(
+        "top {} `{}` hotspots ({}m cells):\n",
+        cells.len(),
+        label_name,
+        cell
+    );
     for (i, c) in cells.iter().enumerate() {
         let center = c.cell.center();
         out.push_str(&format!(

@@ -43,7 +43,14 @@ fn full_cli_workflow() {
 
     // demo-data
     let out = call(&[
-        "demo-data", &store, "--count", "120", "--size", "32", "--labelled", "0.75",
+        "demo-data",
+        &store,
+        "--count",
+        "120",
+        "--size",
+        "32",
+        "--labelled",
+        "0.75",
     ])
     .unwrap();
     assert!(out.contains("ingested 120 images (90 labelled)"), "{out}");
@@ -72,31 +79,55 @@ fn full_cli_workflow() {
 
     // combined filters
     let out = call(&[
-        "search", &store, "--keyword", "street", "--region", "34.0,-118.3,34.1,-118.2",
+        "search",
+        &store,
+        "--keyword",
+        "street",
+        "--region",
+        "34.0,-118.3,34.1,-118.2",
     ])
     .unwrap();
     assert!(out.contains("hits"), "{out}");
 
     // train
     let out = call(&[
-        "train", &store, "--scheme", "street-cleanliness", "--algorithm", "forest",
-        "--model-out", &model,
+        "train",
+        &store,
+        "--scheme",
+        "street-cleanliness",
+        "--algorithm",
+        "forest",
+        "--model-out",
+        &model,
     ])
     .unwrap();
     assert!(out.contains("Random Forest"), "{out}");
     assert!(std::path::Path::new(&model).exists());
 
     // apply to the 30 unlabelled images; store is re-persisted
-    let out = call(&["apply", &store, "--model", &model, "--scheme", "street-cleanliness"])
-        .unwrap();
+    let out = call(&[
+        "apply",
+        &store,
+        "--model",
+        &model,
+        "--scheme",
+        "street-cleanliness",
+    ])
+    .unwrap();
     assert!(out.contains("classified 30 images"), "{out}");
     let out = call(&["stats", &store]).unwrap();
     assert!(out.contains("annotations : 120"), "{out}");
 
     // hotspots over the now-complete annotations
     let out = call(&[
-        "hotspots", &store, "--scheme", "street-cleanliness", "--label", "Encampment",
-        "--top", "3",
+        "hotspots",
+        &store,
+        "--scheme",
+        "street-cleanliness",
+        "--label",
+        "Encampment",
+        "--top",
+        "3",
     ])
     .unwrap();
     assert!(out.contains("hotspots"), "{out}");
@@ -107,30 +138,46 @@ fn errors_are_helpful() {
     let dir = TempDir::new("errors");
     let store = dir.path("s.tvdp");
     // Missing store.
-    assert!(call(&["stats", &store]).unwrap_err().contains("cannot load"));
+    assert!(call(&["stats", &store])
+        .unwrap_err()
+        .contains("cannot load"));
     call(&["init", &store]).unwrap();
     call(&["demo-data", &store, "--count", "30", "--size", "32"]).unwrap();
     // Unknown command.
-    assert!(call(&["frobnicate", &store]).unwrap_err().contains("unknown command"));
+    assert!(call(&["frobnicate", &store])
+        .unwrap_err()
+        .contains("unknown command"));
     // Bad region.
-    assert!(call(&["search", &store, "--region", "1,2,3"]).unwrap_err().contains("region"));
+    assert!(call(&["search", &store, "--region", "1,2,3"])
+        .unwrap_err()
+        .contains("region"));
     // Inverted region.
     assert!(call(&["search", &store, "--region", "35,0,34,1"])
         .unwrap_err()
         .contains("min exceeds max"));
     // No filters.
-    assert!(call(&["search", &store]).unwrap_err().contains("at least one filter"));
+    assert!(call(&["search", &store])
+        .unwrap_err()
+        .contains("at least one filter"));
     // Unknown scheme / label.
     assert!(call(&["search", &store, "--label", "nope:Clean"])
         .unwrap_err()
         .contains("unknown scheme"));
-    assert!(call(&["search", &store, "--label", "street-cleanliness:Gold"])
-        .unwrap_err()
-        .contains("unknown label"));
+    assert!(
+        call(&["search", &store, "--label", "street-cleanliness:Gold"])
+            .unwrap_err()
+            .contains("unknown label")
+    );
     // Bad algorithm.
     assert!(call(&[
-        "train", &store, "--scheme", "street-cleanliness", "--algorithm", "quantum",
-        "--model-out", &dir.path("m.json"),
+        "train",
+        &store,
+        "--scheme",
+        "street-cleanliness",
+        "--algorithm",
+        "quantum",
+        "--model-out",
+        &dir.path("m.json"),
     ])
     .unwrap_err()
     .contains("unknown algorithm"));
@@ -158,7 +205,9 @@ fn polygon_search() {
     call(&["demo-data", &store, "--count", "60", "--size", "32"]).unwrap();
     // A triangle over the western half of downtown.
     let out = call(&[
-        "search", &store, "--polygon",
+        "search",
+        &store,
+        "--polygon",
         "34.035,-118.26;34.053,-118.26;34.053,-118.248",
     ])
     .unwrap();
@@ -173,7 +222,9 @@ fn polygon_search() {
         .unwrap();
     assert!(hits > 0 && hits < all, "triangle {hits} vs all {all}");
     // Bad vertex errors cleanly.
-    assert!(call(&["search", &store, "--polygon", "1,2;3"]).unwrap_err().contains("vertex"));
+    assert!(call(&["search", &store, "--polygon", "1,2;3"])
+        .unwrap_err()
+        .contains("vertex"));
     assert!(call(&["search", &store, "--polygon", "1,2;3,4"])
         .unwrap_err()
         .contains("at least 3"));
@@ -201,7 +252,14 @@ fn apply_rejects_mismatched_model_dimensions() {
         .to_string(),
     )
     .unwrap();
-    let msg = call(&["apply", &store, "--model", &bogus, "--scheme", "street-cleanliness"])
-        .unwrap_err();
+    let msg = call(&[
+        "apply",
+        &store,
+        "--model",
+        &bogus,
+        "--scheme",
+        "street-cleanliness",
+    ])
+    .unwrap_err();
     assert!(msg.contains("7-dim"), "{msg}");
 }

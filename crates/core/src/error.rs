@@ -39,7 +39,11 @@ impl std::fmt::Display for PlatformError {
             PlatformError::UnknownModel(id) => write!(f, "unknown model {id}"),
             PlatformError::UnknownScheme(id) => write!(f, "unknown scheme {id}"),
             PlatformError::UnknownImage(id) => write!(f, "unknown image {id}"),
-            PlatformError::NotEnoughTrainingData { scheme, found, needed } => write!(
+            PlatformError::NotEnoughTrainingData {
+                scheme,
+                found,
+                needed,
+            } => write!(
                 f,
                 "scheme {scheme}: {found} annotated samples, need at least {needed}"
             ),

@@ -86,7 +86,9 @@ struct Inner {
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Inner").field("count", &self.models.len()).finish()
+        f.debug_struct("Inner")
+            .field("count", &self.models.len())
+            .finish()
     }
 }
 
@@ -96,11 +98,26 @@ impl ModelRegistry {
         Self::default()
     }
 
-    fn insert(&self, name: String, owner: UserId, interface: ModelInterface, implementation: ModelImpl) -> ModelId {
+    fn insert(
+        &self,
+        name: String,
+        owner: UserId,
+        interface: ModelInterface,
+        implementation: ModelImpl,
+    ) -> ModelId {
         let mut inner = self.inner.write();
         let id = ModelId(inner.next);
         inner.next += 1;
-        inner.models.insert(id, ModelEntry { id, name, owner, interface, implementation });
+        inner.models.insert(
+            id,
+            ModelEntry {
+                id,
+                name,
+                owner,
+                interface,
+                implementation,
+            },
+        );
         id
     }
 
@@ -134,16 +151,22 @@ impl ModelRegistry {
 
     /// The model's declared interface.
     pub fn interface(&self, id: ModelId) -> Option<ModelInterface> {
-        self.inner.read().models.get(&id).map(|m| m.interface.clone())
-    }
-
-    /// Model metadata: `(name, owner, algorithm)`.
-    pub fn describe(&self, id: ModelId) -> Option<(String, UserId, &'static str)> {
         self.inner
             .read()
             .models
             .get(&id)
-            .map(|m| (m.name.clone(), m.owner, m.implementation.classifier().name()))
+            .map(|m| m.interface.clone())
+    }
+
+    /// Model metadata: `(name, owner, algorithm)`.
+    pub fn describe(&self, id: ModelId) -> Option<(String, UserId, &'static str)> {
+        self.inner.read().models.get(&id).map(|m| {
+            (
+                m.name.clone(),
+                m.owner,
+                m.implementation.classifier().name(),
+            )
+        })
     }
 
     /// A portable copy of the trained model, when it is a built-in
@@ -203,7 +226,12 @@ mod tests {
 
     fn trained_svm_portable() -> SerializableModel {
         let mut m = SerializableModel::Svm(ScaledClassifier::new(LinearSvm::new()));
-        let x = vec![vec![0.0, 0.0], vec![0.2, 0.1], vec![5.0, 5.0], vec![5.1, 4.9]];
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+        ];
         m.fit(&x, &[0, 0, 1, 1], 2);
         m
     }

@@ -6,7 +6,7 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use tvdp_crowd::{simulate_campaign, Campaign, SimulationConfig};
-use tvdp_edge::{DispatchConstraints, DeviceProfile, ModelDispatcher, ModelSpec, MODEL_ZOO};
+use tvdp_edge::{DeviceProfile, DispatchConstraints, ModelDispatcher, ModelSpec, MODEL_ZOO};
 use tvdp_geo::Fov;
 use tvdp_kernel::Pool;
 use tvdp_ml::mlp::MlpParams;
@@ -21,8 +21,8 @@ use tvdp_storage::{
     UserId, VisualStore,
 };
 use tvdp_vision::{
-    Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor,
-    FeatureKind, Image,
+    Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind,
+    Image,
 };
 
 use crate::error::PlatformError;
@@ -234,8 +234,11 @@ impl Tvdp {
         };
         let color = self.color.extract(&image);
         let cnn = self.cnn.extract(&image);
-        let id = self.store.add_image(meta, ImageOrigin::Original, Some(image))?;
-        self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+        let id = self
+            .store
+            .add_image(meta, ImageOrigin::Original, Some(image))?;
+        self.store
+            .put_feature(id, FeatureKind::ColorHistogram, color)?;
         self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
         self.engine.write().index_image(id);
         Ok(id)
@@ -272,8 +275,11 @@ impl Tvdp {
                 uploaded_at: request.uploaded_at,
                 keywords: request.keywords,
             };
-            let id = self.store.add_image(meta, ImageOrigin::Original, Some(image))?;
-            self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+            let id = self
+                .store
+                .add_image(meta, ImageOrigin::Original, Some(image))?;
+            self.store
+                .put_feature(id, FeatureKind::ColorHistogram, color)?;
             self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
             engine.index_image(id);
             ids.push(id);
@@ -305,7 +311,9 @@ impl Tvdp {
             .read()
             .visual_within_sq(&cnn, max_feature_dist * max_feature_dist);
         for &(d_sq, image_id) in &candidates {
-            let Some(existing) = self.store.image(image_id) else { continue };
+            let Some(existing) = self.store.image(image_id) else {
+                continue;
+            };
             if existing.meta.gps.fast_distance_m(&request.gps) <= max_camera_distance_m {
                 return Ok(IngestOutcome::Duplicate {
                     existing: image_id,
@@ -361,17 +369,27 @@ impl Tvdp {
         op: Augmentation,
     ) -> Result<ImageId, PlatformError> {
         self.require_user(user)?;
-        let record = self.store.image(parent).ok_or(PlatformError::UnknownImage(parent))?;
-        let pixels = self.store.pixels(parent).ok_or(PlatformError::MissingPixels(parent))?;
+        let record = self
+            .store
+            .image(parent)
+            .ok_or(PlatformError::UnknownImage(parent))?;
+        let pixels = self
+            .store
+            .pixels(parent)
+            .ok_or(PlatformError::MissingPixels(parent))?;
         let augmented = op.apply(&pixels);
         let color = self.color.extract(&augmented);
         let cnn = self.cnn.extract(&augmented);
         let id = self.store.add_image(
             record.meta.clone(),
-            ImageOrigin::Augmented { parent, op: op.tag() },
+            ImageOrigin::Augmented {
+                parent,
+                op: op.tag(),
+            },
             Some(augmented),
         )?;
-        self.store.put_feature(id, FeatureKind::ColorHistogram, color)?;
+        self.store
+            .put_feature(id, FeatureKind::ColorHistogram, color)?;
         self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
         self.engine.write().index_image(id);
         Ok(id)
@@ -463,10 +481,12 @@ impl Tvdp {
         region: tvdp_storage::RegionOfInterest,
     ) -> Result<AnnotationId, PlatformError> {
         self.require_user(user)?;
-        let record = self.store.image(image).ok_or(PlatformError::UnknownImage(image))?;
+        let record = self
+            .store
+            .image(image)
+            .ok_or(PlatformError::UnknownImage(image))?;
         if record.width > 0
-            && (region.x + region.width > record.width
-                || region.y + region.height > record.height)
+            && (region.x + region.width > record.width || region.y + region.height > record.height)
         {
             return Err(PlatformError::Storage(
                 tvdp_storage::StorageError::UnknownImage(image),
@@ -494,8 +514,10 @@ impl Tvdp {
         algorithm: Algorithm,
     ) -> Result<ModelId, PlatformError> {
         self.require_user(user)?;
-        let scheme_row =
-            self.store.scheme(scheme).ok_or(PlatformError::UnknownScheme(scheme))?;
+        let scheme_row = self
+            .store
+            .scheme(scheme)
+            .ok_or(PlatformError::UnknownScheme(scheme))?;
         let n_classes = scheme_row.labels.len();
         let mut features = Vec::new();
         let mut labels = Vec::new();
@@ -533,7 +555,11 @@ impl Tvdp {
         let id = self.models.register_portable(
             name,
             user,
-            ModelInterface { feature_kind, input_dim, scheme },
+            ModelInterface {
+                feature_kind,
+                input_dim,
+                scheme,
+            },
             classifier,
         );
         Ok(id)
@@ -565,16 +591,17 @@ impl Tvdp {
         model: ModelId,
         images: &[ImageId],
     ) -> Result<Vec<(ImageId, usize, f32)>, PlatformError> {
-        let interface =
-            self.models.interface(model).ok_or(PlatformError::UnknownModel(model))?;
+        let interface = self
+            .models
+            .interface(model)
+            .ok_or(PlatformError::UnknownModel(model))?;
         let mut out = Vec::with_capacity(images.len());
         for &image in images {
             let feature = self
                 .store
                 .feature(image, interface.feature_kind)
                 .ok_or(PlatformError::MissingFeature(image, interface.feature_kind))?;
-            let (label, confidence) =
-                self.models.predict(model, &feature).expect("model exists");
+            let (label, confidence) = self.models.predict(model, &feature).expect("model exists");
             self.store.annotate(
                 image,
                 interface.scheme,
@@ -656,7 +683,10 @@ mod tests {
         let user = tvdp.register_user("LASAN", Role::Government);
         let id = tvdp.ingest(user, scene(0, 0), request(0)).unwrap();
         assert!(tvdp.store().feature(id, FeatureKind::Cnn).is_some());
-        assert!(tvdp.store().feature(id, FeatureKind::ColorHistogram).is_some());
+        assert!(tvdp
+            .store()
+            .feature(id, FeatureKind::ColorHistogram)
+            .is_some());
         let hits = tvdp.search(&Query::Textual {
             text: "street".into(),
             mode: tvdp_query::TextualMode::All,
@@ -683,11 +713,19 @@ mod tests {
         // Labelled training uploads.
         for i in 0..16 {
             let class = i % 2;
-            let id = tvdp.ingest(gov, scene(class, i), request(i as i64)).unwrap();
+            let id = tvdp
+                .ingest(gov, scene(class, i), request(i as i64))
+                .unwrap();
             tvdp.annotate_human(gov, id, scheme, class).unwrap();
         }
         let model = tvdp
-            .train_model(researcher, "red-vs-blue", scheme, FeatureKind::Cnn, Algorithm::Svm)
+            .train_model(
+                researcher,
+                "red-vs-blue",
+                scheme,
+                FeatureKind::Cnn,
+                Algorithm::Svm,
+            )
             .unwrap();
         // New unlabeled uploads get machine annotations.
         let new0 = tvdp.ingest(gov, scene(0, 99), request(99)).unwrap();
@@ -706,13 +744,18 @@ mod tests {
     fn training_requires_enough_data() {
         let tvdp = Tvdp::new(fast_config());
         let gov = tvdp.register_user("LASAN", Role::Government);
-        let scheme = tvdp.register_scheme("s", vec!["a".into(), "b".into()]).unwrap();
+        let scheme = tvdp
+            .register_scheme("s", vec!["a".into(), "b".into()])
+            .unwrap();
         let id = tvdp.ingest(gov, scene(0, 0), request(0)).unwrap();
         tvdp.annotate_human(gov, id, scheme, 0).unwrap();
         let err = tvdp
             .train_model(gov, "m", scheme, FeatureKind::Cnn, Algorithm::NaiveBayes)
             .unwrap_err();
-        assert!(matches!(err, PlatformError::NotEnoughTrainingData { found: 1, .. }));
+        assert!(matches!(
+            err,
+            PlatformError::NotEnoughTrainingData { found: 1, .. }
+        ));
     }
 
     #[test]
@@ -720,7 +763,9 @@ mod tests {
         let tvdp = Tvdp::new(fast_config());
         let user = tvdp.register_user("u", Role::CommunityPartner);
         let parent = tvdp.ingest(user, scene(0, 1), request(1)).unwrap();
-        let child = tvdp.augment(user, parent, Augmentation::FlipHorizontal).unwrap();
+        let child = tvdp
+            .augment(user, parent, Augmentation::FlipHorizontal)
+            .unwrap();
         assert_eq!(tvdp.store().augmented_children(parent), vec![child]);
         let rec = tvdp.store().image(child).unwrap();
         assert!(rec.is_augmented());
@@ -738,13 +783,18 @@ mod tests {
             .unwrap();
         assert_eq!(
             outcome,
-            IngestOutcome::Duplicate { existing: first, feature_distance: 0.0 }
+            IngestOutcome::Duplicate {
+                existing: first,
+                feature_distance: 0.0
+            }
         );
         assert_eq!(tvdp.stats().images, 1);
         // Same pixels far away: stored.
         let mut far = request(2);
         far.gps = GeoPoint::new(34.2, -118.25);
-        let outcome = tvdp.ingest_dedup(user, scene(0, 1), far, 0.05, 50.0).unwrap();
+        let outcome = tvdp
+            .ingest_dedup(user, scene(0, 1), far, 0.05, 50.0)
+            .unwrap();
         assert!(matches!(outcome, IngestOutcome::Stored(_)));
         // Different pixels nearby: stored.
         let outcome = tvdp
@@ -784,8 +834,14 @@ mod tests {
         // Thresholds straddling the true distance flip the outcome.
         let above = brute_force * 1.01;
         let below = brute_force * 0.99;
-        match tvdp.ingest_dedup(user, probe.clone(), request(1), above, 50.0).unwrap() {
-            IngestOutcome::Duplicate { existing, feature_distance } => {
+        match tvdp
+            .ingest_dedup(user, probe.clone(), request(1), above, 50.0)
+            .unwrap()
+        {
+            IngestOutcome::Duplicate {
+                existing,
+                feature_distance,
+            } => {
                 assert_eq!(existing, first);
                 assert!(
                     (feature_distance - brute_force).abs() <= 1e-5 * brute_force.max(1.0),
@@ -795,7 +851,8 @@ mod tests {
             other => panic!("expected duplicate at threshold {above}, got {other:?}"),
         }
         assert!(matches!(
-            tvdp.ingest_dedup(user, probe, request(1), below, 50.0).unwrap(),
+            tvdp.ingest_dedup(user, probe, request(1), below, 50.0)
+                .unwrap(),
             IngestOutcome::Stored(_)
         ));
     }
@@ -823,7 +880,10 @@ mod tests {
             .ingest_video(
                 user,
                 &frames,
-                KeyframePolicy::SpatialNovelty { min_move_m: 20.0, min_turn_deg: 45.0 },
+                KeyframePolicy::SpatialNovelty {
+                    min_move_m: 20.0,
+                    min_turn_deg: 45.0,
+                },
                 vec!["route-7".into()],
             )
             .unwrap();
@@ -862,7 +922,12 @@ mod batch_tests {
 
     fn cfg() -> PlatformConfig {
         PlatformConfig {
-            cnn: CnnConfig { input_size: 16, stage_channels: vec![4, 8], pool_grid: 2, seed: 1 },
+            cnn: CnnConfig {
+                input_size: 16,
+                stage_channels: vec![4, 8],
+                pool_grid: 2,
+                seed: 1,
+            },
             ..Default::default()
         }
     }
@@ -887,8 +952,7 @@ mod batch_tests {
         let par = Tvdp::new(cfg());
         let user_s = seq.register_user("u", Role::Government);
         let user_p = par.register_user("u", Role::Government);
-        let batch: Vec<(Image, IngestRequest)> =
-            (0..17).map(|i| (img(i), req(i as i64))).collect();
+        let batch: Vec<(Image, IngestRequest)> = (0..17).map(|i| (img(i), req(i as i64))).collect();
         let seq_ids: Vec<ImageId> = batch
             .iter()
             .map(|(im, rq)| seq.ingest(user_s, im.clone(), rq.clone()).unwrap())
@@ -915,8 +979,7 @@ mod batch_tests {
     fn search_batch_matches_per_query_search() {
         let tvdp = Tvdp::new(cfg());
         let user = tvdp.register_user("u", Role::Government);
-        let batch: Vec<(Image, IngestRequest)> =
-            (0..12).map(|i| (img(i), req(i as i64))).collect();
+        let batch: Vec<(Image, IngestRequest)> = (0..12).map(|i| (img(i), req(i as i64))).collect();
         tvdp.ingest_batch(user, batch, 4).unwrap();
         let queries: Vec<Query> = (0..12)
             .map(|i| Query::Textual {
@@ -943,7 +1006,9 @@ mod batch_tests {
     #[test]
     fn batch_rejects_unknown_user() {
         let tvdp = Tvdp::new(cfg());
-        let err = tvdp.ingest_batch(UserId(9), vec![(img(1), req(1))], 2).unwrap_err();
+        let err = tvdp
+            .ingest_batch(UserId(9), vec![(img(1), req(1))], 2)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::UnknownUser(_)));
     }
 }
@@ -957,11 +1022,18 @@ mod region_annotation_tests {
     #[test]
     fn region_annotations_validate_bounds() {
         let tvdp = Tvdp::new(PlatformConfig {
-            cnn: CnnConfig { input_size: 16, stage_channels: vec![4], pool_grid: 2, seed: 1 },
+            cnn: CnnConfig {
+                input_size: 16,
+                stage_channels: vec![4],
+                pool_grid: 2,
+                seed: 1,
+            },
             ..Default::default()
         });
         let user = tvdp.register_user("u", Role::CommunityPartner);
-        let scheme = tvdp.register_scheme("parts", vec!["tent".into(), "bag".into()]).unwrap();
+        let scheme = tvdp
+            .register_scheme("parts", vec!["tent".into(), "bag".into()])
+            .unwrap();
         let img = Image::from_fn(32, 24, |_, _| [50, 50, 50]);
         let id = tvdp
             .ingest(
@@ -983,7 +1055,12 @@ mod region_annotation_tests {
                 id,
                 scheme,
                 0,
-                RegionOfInterest { x: 4, y: 4, width: 10, height: 10 },
+                RegionOfInterest {
+                    x: 4,
+                    y: 4,
+                    width: 10,
+                    height: 10,
+                },
             )
             .unwrap();
         let rows = tvdp.store().annotations_of(id);
@@ -995,7 +1072,12 @@ mod region_annotation_tests {
             id,
             scheme,
             0,
-            RegionOfInterest { x: 30, y: 0, width: 10, height: 5 },
+            RegionOfInterest {
+                x: 30,
+                y: 0,
+                width: 10,
+                height: 5,
+            },
         );
         assert!(err.is_err());
     }

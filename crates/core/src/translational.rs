@@ -42,7 +42,9 @@ pub fn count_by_cell(
         if ann.confidence < min_confidence {
             continue;
         }
-        let Some(record) = store.image(ann.image) else { continue };
+        let Some(record) = store.image(ann.image) else {
+            continue;
+        };
         let p: GeoPoint = record.meta.gps;
         if !region.contains(&p) {
             continue;
@@ -63,8 +65,10 @@ pub fn count_by_cell(
                 cell: BBox::new(
                     region.min_lat + row as f64 * dlat,
                     region.min_lon + col as f64 * dlon,
-                    (region.min_lat + (row + 1) as f64 * dlat).min(region.max_lat.max(region.min_lat + rows as f64 * dlat)),
-                    (region.min_lon + (col + 1) as f64 * dlon).min(region.max_lon.max(region.min_lon + cols as f64 * dlon)),
+                    (region.min_lat + (row + 1) as f64 * dlat)
+                        .min(region.max_lat.max(region.min_lat + rows as f64 * dlat)),
+                    (region.min_lon + (col + 1) as f64 * dlon)
+                        .min(region.max_lon.max(region.min_lon + cols as f64 * dlon)),
                 ),
                 count,
             });
@@ -121,7 +125,14 @@ mod tests {
                 )
                 .unwrap();
             store
-                .annotate(id, scheme, label, confidence, AnnotationSource::Human(UserId(0)), None)
+                .annotate(
+                    id,
+                    scheme,
+                    label,
+                    confidence,
+                    AnnotationSource::Human(UserId(0)),
+                    None,
+                )
                 .unwrap();
         };
         for i in 0..5 {
@@ -158,11 +169,19 @@ mod tests {
     #[test]
     fn confidence_threshold_filters() {
         let (store, scheme) = store_with_clusters();
-        let strict: usize =
-            count_by_cell(&store, scheme, 1, &region(), 200.0, 0.5).iter().map(|c| c.count).sum();
-        let loose: usize =
-            count_by_cell(&store, scheme, 1, &region(), 200.0, 0.0).iter().map(|c| c.count).sum();
-        assert_eq!(loose, strict + 1, "low-confidence row included only when allowed");
+        let strict: usize = count_by_cell(&store, scheme, 1, &region(), 200.0, 0.5)
+            .iter()
+            .map(|c| c.count)
+            .sum();
+        let loose: usize = count_by_cell(&store, scheme, 1, &region(), 200.0, 0.0)
+            .iter()
+            .map(|c| c.count)
+            .sum();
+        assert_eq!(
+            loose,
+            strict + 1,
+            "low-confidence row included only when allowed"
+        );
     }
 
     #[test]

@@ -58,7 +58,14 @@ impl UserRegistry {
         let mut inner = self.inner.write();
         let id = UserId(inner.next);
         inner.next += 1;
-        inner.users.insert(id, User { id, name: name.into(), role });
+        inner.users.insert(
+            id,
+            User {
+                id,
+                name: name.into(),
+                role,
+            },
+        );
         id
     }
 

@@ -50,13 +50,15 @@ pub fn select_keyframes(frames: &[VideoFrame], policy: KeyframePolicy) -> Vec<us
             let n = n.max(1);
             (0..frames.len()).step_by(n).collect()
         }
-        KeyframePolicy::SpatialNovelty { min_move_m, min_turn_deg } => {
+        KeyframePolicy::SpatialNovelty {
+            min_move_m,
+            min_turn_deg,
+        } => {
             let mut kept = vec![0usize];
             let mut last = &frames[0].fov;
             for (i, frame) in frames.iter().enumerate().skip(1) {
                 let moved = last.camera.fast_distance_m(&frame.fov.camera);
-                let turned =
-                    tvdp_geo::angular_diff_deg(last.heading_deg, frame.fov.heading_deg);
+                let turned = tvdp_geo::angular_diff_deg(last.heading_deg, frame.fov.heading_deg);
                 if moved >= min_move_m || turned >= min_turn_deg {
                     kept.push(i);
                     last = &frame.fov;
@@ -94,11 +96,19 @@ mod tests {
 
     #[test]
     fn every_nth_keeps_stride() {
-        let frames: Vec<VideoFrame> =
-            (0..10).map(|i| frame(i as f64, 0.0, i as i64)).collect();
-        assert_eq!(select_keyframes(&frames, KeyframePolicy::EveryNth(3)), vec![0, 3, 6, 9]);
-        assert_eq!(select_keyframes(&frames, KeyframePolicy::EveryNth(1)).len(), 10);
-        assert_eq!(select_keyframes(&[], KeyframePolicy::EveryNth(2)), Vec::<usize>::new());
+        let frames: Vec<VideoFrame> = (0..10).map(|i| frame(i as f64, 0.0, i as i64)).collect();
+        assert_eq!(
+            select_keyframes(&frames, KeyframePolicy::EveryNth(3)),
+            vec![0, 3, 6, 9]
+        );
+        assert_eq!(
+            select_keyframes(&frames, KeyframePolicy::EveryNth(1)).len(),
+            10
+        );
+        assert_eq!(
+            select_keyframes(&[], KeyframePolicy::EveryNth(2)),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -110,7 +120,10 @@ mod tests {
         }
         let kept = select_keyframes(
             &frames,
-            KeyframePolicy::SpatialNovelty { min_move_m: 15.0, min_turn_deg: 30.0 },
+            KeyframePolicy::SpatialNovelty {
+                min_move_m: 15.0,
+                min_turn_deg: 30.0,
+            },
         );
         assert_eq!(kept.len(), 6, "first frame + 5 moving frames: {kept:?}");
         assert_eq!(kept[0], 0);
@@ -119,11 +132,15 @@ mod tests {
     #[test]
     fn spatial_novelty_keeps_turns() {
         // Stationary but panning camera.
-        let frames: Vec<VideoFrame> =
-            (0..8).map(|i| frame(0.0, i as f64 * 45.0, i as i64)).collect();
+        let frames: Vec<VideoFrame> = (0..8)
+            .map(|i| frame(0.0, i as f64 * 45.0, i as i64))
+            .collect();
         let kept = select_keyframes(
             &frames,
-            KeyframePolicy::SpatialNovelty { min_move_m: 1000.0, min_turn_deg: 40.0 },
+            KeyframePolicy::SpatialNovelty {
+                min_move_m: 1000.0,
+                min_turn_deg: 40.0,
+            },
         );
         assert_eq!(kept.len(), 8, "every 45-degree turn is novel");
     }

@@ -57,7 +57,11 @@ pub fn assign_greedy(workers: &[Worker], tasks: &[SpatialTask]) -> Assignment {
             None => unassigned.push(task.id),
         }
     }
-    Assignment { pairs, unassigned, total_travel_m: total_travel }
+    Assignment {
+        pairs,
+        unassigned,
+        total_travel_m: total_travel,
+    }
 }
 
 /// Maximum task assignment: expands each worker into `capacity` slots and
@@ -130,7 +134,11 @@ pub fn assign_matching(workers: &[Worker], tasks: &[SpatialTask]) -> Assignment 
             None => unassigned.push(task.id),
         }
     }
-    Assignment { pairs, unassigned, total_travel_m: total_travel }
+    Assignment {
+        pairs,
+        unassigned,
+        total_travel_m: total_travel,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +169,7 @@ mod tests {
         // (task order 1 then 2) sends A to task 1 (closer), stranding
         // task 2; matching serves both.
         let workers = vec![
-            Worker::new(WorkerId(1), p(0.0), 2000.0, 1), // A
+            Worker::new(WorkerId(1), p(0.0), 2000.0, 1),   // A
             Worker::new(WorkerId(2), p(-200.0), 300.0, 1), // B: only near task 1
         ];
         let tasks = vec![
@@ -178,9 +186,13 @@ mod tests {
     #[test]
     fn capacity_respected() {
         let workers = vec![Worker::new(WorkerId(1), p(0.0), 5000.0, 2)];
-        let tasks: Vec<SpatialTask> =
-            (0..4).map(|i| SpatialTask::anywhere(TaskId(i), p(i as f64 * 100.0), 1)).collect();
-        for a in [assign_greedy(&workers, &tasks), assign_matching(&workers, &tasks)] {
+        let tasks: Vec<SpatialTask> = (0..4)
+            .map(|i| SpatialTask::anywhere(TaskId(i), p(i as f64 * 100.0), 1))
+            .collect();
+        for a in [
+            assign_greedy(&workers, &tasks),
+            assign_matching(&workers, &tasks),
+        ] {
             assert_eq!(a.assigned_count(), 2);
             assert_eq!(a.unassigned.len(), 2);
         }
@@ -190,7 +202,10 @@ mod tests {
     fn unreachable_tasks_unassigned() {
         let workers = vec![Worker::new(WorkerId(1), p(0.0), 100.0, 5)];
         let tasks = vec![SpatialTask::anywhere(TaskId(1), p(5000.0), 1)];
-        for a in [assign_greedy(&workers, &tasks), assign_matching(&workers, &tasks)] {
+        for a in [
+            assign_greedy(&workers, &tasks),
+            assign_matching(&workers, &tasks),
+        ] {
             assert_eq!(a.assigned_count(), 0);
             assert_eq!(a.unassigned, vec![TaskId(1)]);
         }

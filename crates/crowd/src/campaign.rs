@@ -40,13 +40,23 @@ pub struct Campaign {
 
 impl Campaign {
     /// Creates a campaign; `min_sectors` must not exceed the sector count.
-    pub fn new(name: impl Into<String>, spec: CoverageSpec, min_sectors: usize, reward: u32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        spec: CoverageSpec,
+        min_sectors: usize,
+        reward: u32,
+    ) -> Self {
         assert!(
             (1..=spec.sectors).contains(&min_sectors),
             "min_sectors {min_sectors} out of range 1..={}",
             spec.sectors
         );
-        Self { name: name.into(), spec, min_sectors, reward }
+        Self {
+            name: name.into(),
+            spec,
+            min_sectors,
+            reward,
+        }
     }
 
     /// Plans the next round against the current coverage state: one task
@@ -84,7 +94,10 @@ impl Campaign {
                 }
             }
         }
-        CampaignRound { tasks, cells_below_goal: under.len() }
+        CampaignRound {
+            tasks,
+            cells_below_goal: under.len(),
+        }
     }
 
     /// Whether the coverage goal is met: no cell below `min_sectors`.
@@ -127,7 +140,10 @@ mod tests {
         assert!(!campaign.satisfied(&grid));
         // Task ids are sequential from 0.
         assert_eq!(round.tasks[0].id, TaskId(0));
-        assert_eq!(round.tasks.last().unwrap().id, TaskId(round.tasks.len() as u64 - 1));
+        assert_eq!(
+            round.tasks.last().unwrap().id,
+            TaskId(round.tasks.len() as u64 - 1)
+        );
     }
 
     #[test]
@@ -148,7 +164,9 @@ mod tests {
         let (rows, cols) = grid.dims();
         for r in 0..rows {
             for c in 0..cols {
-                let center = grid.cell_bbox(tvdp_geo::coverage::CellId { row: r, col: c }).center();
+                let center = grid
+                    .cell_bbox(tvdp_geo::coverage::CellId { row: r, col: c })
+                    .center();
                 grid.add_fov(&Fov::new(center, 0.0, 360.0, 80.0));
             }
         }
@@ -167,7 +185,9 @@ mod tests {
         let (rows, cols) = grid.dims();
         for r in 0..rows {
             for c in 0..cols {
-                let center = grid.cell_bbox(tvdp_geo::coverage::CellId { row: r, col: c }).center();
+                let center = grid
+                    .cell_bbox(tvdp_geo::coverage::CellId { row: r, col: c })
+                    .center();
                 grid.add_fov(&Fov::new(center, grid.sector_heading(0), 40.0, 60.0));
             }
         }

@@ -131,9 +131,16 @@ pub fn simulate_campaign(
             let pos = task
                 .location
                 .destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..12.0));
-            let heading = task.required_heading.unwrap_or_else(|| rng.gen_range(0.0..360.0))
+            let heading = task
+                .required_heading
+                .unwrap_or_else(|| rng.gen_range(0.0..360.0))
                 + rng.gen_range(-10.0..10.0);
-            let fov = Fov::new(pos, heading, rng.gen_range(50.0..70.0), rng.gen_range(60.0..120.0));
+            let fov = Fov::new(
+                pos,
+                heading,
+                rng.gen_range(50.0..70.0),
+                rng.gen_range(60.0..120.0),
+            );
             grid.add_fov(&fov);
             captured.push(fov);
             report.tasks_completed += 1;
@@ -170,14 +177,24 @@ mod tests {
 
     #[test]
     fn easy_goal_gets_satisfied() {
-        let config = SimulationConfig { max_rounds: 20, ..Default::default() };
+        let config = SimulationConfig {
+            max_rounds: 20,
+            ..Default::default()
+        };
         let (report, _) = simulate_campaign(&campaign(1), &config);
-        assert!(report.satisfied, "goal of 1 sector/cell should be reachable: {report:?}");
+        assert!(
+            report.satisfied,
+            "goal of 1 sector/cell should be reachable: {report:?}"
+        );
     }
 
     #[test]
     fn zero_completion_rate_never_covers() {
-        let config = SimulationConfig { completion_rate: 0.0, max_rounds: 3, ..Default::default() };
+        let config = SimulationConfig {
+            completion_rate: 0.0,
+            max_rounds: 3,
+            ..Default::default()
+        };
         let (report, fovs) = simulate_campaign(&campaign(1), &config);
         assert!(!report.satisfied);
         assert!(fovs.is_empty());
@@ -198,7 +215,11 @@ mod tests {
     #[test]
     fn iterative_rounds_beat_single_round() {
         // With a small per-round budget, later rounds must add coverage.
-        let config = SimulationConfig { round_budget: 30, max_rounds: 6, ..Default::default() };
+        let config = SimulationConfig {
+            round_budget: 30,
+            max_rounds: 6,
+            ..Default::default()
+        };
         let (report, _) = simulate_campaign(&campaign(4), &config);
         assert!(report.rounds.len() > 1);
         let first = report.rounds[0].direction_coverage;

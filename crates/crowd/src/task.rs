@@ -41,7 +41,12 @@ impl SpatialTask {
 
     /// Creates a direction-free task.
     pub fn anywhere(id: TaskId, location: GeoPoint, reward: u32) -> Self {
-        Self { id, location, required_heading: None, reward }
+        Self {
+            id,
+            location,
+            required_heading: None,
+            reward,
+        }
     }
 }
 

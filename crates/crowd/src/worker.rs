@@ -33,7 +33,12 @@ impl Worker {
     pub fn new(id: WorkerId, location: GeoPoint, range_m: f64, capacity: usize) -> Self {
         assert!(range_m > 0.0, "non-positive range");
         assert!(capacity >= 1, "zero capacity");
-        Self { id, location, range_m, capacity }
+        Self {
+            id,
+            location,
+            range_m,
+            capacity,
+        }
     }
 
     /// Whether this worker can reach `p`.

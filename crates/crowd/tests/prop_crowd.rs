@@ -9,14 +9,12 @@ fn la_point() -> impl Strategy<Value = GeoPoint> {
 }
 
 fn workers() -> impl Strategy<Value = Vec<Worker>> {
-    proptest::collection::vec((la_point(), 100.0f64..2_000.0, 1usize..4), 1..12).prop_map(
-        |rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (p, range, cap))| Worker::new(WorkerId(i as u64), p, range, cap))
-                .collect()
-        },
-    )
+    proptest::collection::vec((la_point(), 100.0f64..2_000.0, 1usize..4), 1..12).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (p, range, cap))| Worker::new(WorkerId(i as u64), p, range, cap))
+            .collect()
+    })
 }
 
 fn tasks() -> impl Strategy<Value = Vec<SpatialTask>> {

@@ -29,7 +29,10 @@ impl CleanlinessClass {
 
     /// Canonical label index (matches [`Self::ALL`]).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// Class from a label index.
@@ -76,7 +79,10 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         assert_eq!(CleanlinessClass::Encampment.label(), "Encampment");
-        assert_eq!(CleanlinessClass::OvergrownVegetation.label(), "Overgrown Vegetation");
+        assert_eq!(
+            CleanlinessClass::OvergrownVegetation.label(),
+            "Overgrown Vegetation"
+        );
     }
 
     #[test]
@@ -84,6 +90,8 @@ mod tests {
         for c in CleanlinessClass::ALL {
             assert!(!c.keyword_pool().is_empty());
         }
-        assert!(CleanlinessClass::Encampment.keyword_pool().contains(&"tent"));
+        assert!(CleanlinessClass::Encampment
+            .keyword_pool()
+            .contains(&"tent"));
     }
 }

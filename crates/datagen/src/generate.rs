@@ -121,7 +121,10 @@ pub fn generate(config: &DatasetConfig) -> Vec<SyntheticImage> {
                 60.0 + ((z >> 24) & 0xFF) as f32 / 255.0 * 160.0,
                 60.0 + ((z >> 40) & 0xFF) as f32 / 255.0 * 160.0,
             ];
-            (render_styled(class, graffiti, &params, &mut rng, Some(wall)), fov)
+            (
+                render_styled(class, graffiti, &params, &mut rng, Some(wall)),
+                fov,
+            )
         } else {
             let image = render(class, graffiti, &params, &mut rng);
             (image, grid.sample_fov(&mut rng))
@@ -163,7 +166,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> DatasetConfig {
-        DatasetConfig { n_images: 120, image_size: 32, ..Default::default() }
+        DatasetConfig {
+            n_images: 120,
+            image_size: 32,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -188,7 +195,10 @@ mod tests {
             assert_eq!(x.cleanliness, y.cleanliness);
             assert_eq!(x.captured_at, y.captured_at);
         }
-        let c = generate(&DatasetConfig { seed: 1, ..small_config() });
+        let c = generate(&DatasetConfig {
+            seed: 1,
+            ..small_config()
+        });
         assert!(a.iter().zip(&c).any(|(x, y)| x.image != y.image));
     }
 
@@ -201,7 +211,9 @@ mod tests {
             ..Default::default()
         };
         let data = generate(&config);
-        assert!(data.iter().all(|d| d.cleanliness == CleanlinessClass::Clean));
+        assert!(data
+            .iter()
+            .all(|d| d.cleanliness == CleanlinessClass::Clean));
     }
 
     #[test]
@@ -232,19 +244,26 @@ mod tests {
         };
         let data = generate(&config);
         assert!(data.iter().all(|d| d.graffiti));
-        let config0 = DatasetConfig { graffiti_rates: [0.0; 5], ..config };
+        let config0 = DatasetConfig {
+            graffiti_rates: [0.0; 5],
+            ..config
+        };
         assert!(generate(&config0).iter().all(|d| !d.graffiti));
     }
 
     #[test]
     fn keywords_sometimes_match_class() {
-        let data = generate(&DatasetConfig { n_images: 300, image_size: 16, ..Default::default() });
+        let data = generate(&DatasetConfig {
+            n_images: 300,
+            image_size: 16,
+            ..Default::default()
+        });
         let with_class_word = data
             .iter()
             .filter(|d| {
-                d.keywords.iter().any(|k| {
-                    d.cleanliness.keyword_pool().contains(&k.as_str())
-                })
+                d.keywords
+                    .iter()
+                    .any(|k| d.cleanliness.keyword_pool().contains(&k.as_str()))
             })
             .count();
         // Around 60% carry a class keyword.
@@ -258,14 +277,27 @@ mod block_appearance_tests {
     use super::*;
 
     fn district(lat: f64, lon: f64) -> (i64, i64) {
-        (((lat - 34.0) / 0.006) as i64, ((lon + 118.3) / 0.006) as i64)
+        (
+            ((lat - 34.0) / 0.006) as i64,
+            ((lon + 118.3) / 0.006) as i64,
+        )
     }
 
     #[test]
     fn district_mode_is_deterministic_and_distinct() {
-        let base = DatasetConfig { n_images: 60, image_size: 16, ..Default::default() };
-        let styled = generate(&DatasetConfig { appearance_by_block: true, ..base.clone() });
-        let styled2 = generate(&DatasetConfig { appearance_by_block: true, ..base.clone() });
+        let base = DatasetConfig {
+            n_images: 60,
+            image_size: 16,
+            ..Default::default()
+        };
+        let styled = generate(&DatasetConfig {
+            appearance_by_block: true,
+            ..base.clone()
+        });
+        let styled2 = generate(&DatasetConfig {
+            appearance_by_block: true,
+            ..base.clone()
+        });
         for (a, b) in styled.iter().zip(&styled2) {
             assert_eq!(a.image, b.image);
             assert_eq!(a.fov.camera, b.fov.camera);
@@ -287,7 +319,11 @@ mod block_appearance_tests {
         // than across districts (persistent facade paint).
         let rgb: Vec<[f32; 3]> = styled.iter().map(|d| d.image.mean_rgb()).collect();
         let dist = |a: [f32; 3], b: [f32; 3]| -> f64 {
-            a.iter().zip(b.iter()).map(|(x, y)| f64::from((x - y) * (x - y))).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| f64::from((x - y) * (x - y)))
+                .sum::<f64>()
+                .sqrt()
         };
         let mut within = (0.0, 0usize);
         let mut across = (0.0, 0usize);

@@ -50,7 +50,10 @@ struct Canvas {
 
 impl Canvas {
     fn new(size: usize) -> Self {
-        Self { size, data: vec![[0.0; 3]; size * size] }
+        Self {
+            size,
+            data: vec![[0.0; 3]; size * size],
+        }
     }
 
     #[inline]
@@ -183,7 +186,13 @@ pub fn render_styled(
     let street = [92.0 + rng.gen_range(-10.0f32..10.0); 3];
     canvas.fill_rect(0.0, wall_h + sidewalk_h, 1.0, 1.0, street);
     // Curb line.
-    canvas.fill_rect(0.0, wall_h + sidewalk_h - 0.015, 1.0, wall_h + sidewalk_h, shade(sidewalk, 0.6));
+    canvas.fill_rect(
+        0.0,
+        wall_h + sidewalk_h - 0.015,
+        1.0,
+        wall_h + sidewalk_h,
+        shade(sidewalk, 0.6),
+    );
 
     // --- Class-independent street clutter ----------------------------------
     // Parked cars, posters, and cast shadows appear in every class. They
@@ -201,7 +210,13 @@ pub fn render_styled(
             rng.gen_range(20.0f32..235.0),
         ];
         canvas.fill_rect(x, car_top, x + w, (car_top + 0.12).min(1.0), car);
-        canvas.fill_rect(x + w * 0.1, car_top - 0.05, x + w * 0.9, car_top, shade(car, 0.8));
+        canvas.fill_rect(
+            x + w * 0.1,
+            car_top - 0.05,
+            x + w * 0.9,
+            car_top,
+            shade(car, 0.8),
+        );
     }
     if rng.gen_bool(0.45) {
         // Poster / storefront sign on the wall.
@@ -303,7 +318,13 @@ pub fn render_styled(
                 };
                 canvas.fill_tent(cx, base_y, half_w, h, tarp);
                 // Shaded right panel gives the tent its 3-D silhouette.
-                canvas.fill_tent(cx + half_w * 0.45, base_y, half_w * 0.55, h * 0.96, shade(tarp, 0.6));
+                canvas.fill_tent(
+                    cx + half_w * 0.45,
+                    base_y,
+                    half_w * 0.55,
+                    h * 0.96,
+                    shade(tarp, 0.6),
+                );
             }
         }
         CleanlinessClass::OvergrownVegetation => {
@@ -395,7 +416,12 @@ mod tests {
     fn graffiti_changes_the_wall() {
         let mut rng1 = StdRng::seed_from_u64(5);
         let mut rng2 = StdRng::seed_from_u64(5);
-        let params = SceneParams { size: 48, illumination: 1.0, color_cast: [1.0; 3], noise_sigma: 0.0 };
+        let params = SceneParams {
+            size: 48,
+            illumination: 1.0,
+            color_cast: [1.0; 3],
+            noise_sigma: 0.0,
+        };
         let plain = render(CleanlinessClass::Clean, false, &params, &mut rng1);
         let tagged = render(CleanlinessClass::Clean, true, &params, &mut rng2);
         assert_ne!(plain, tagged);
@@ -418,7 +444,12 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_scene_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let params = SceneParams { size: 8, illumination: 1.0, color_cast: [1.0; 3], noise_sigma: 0.0 };
+        let params = SceneParams {
+            size: 8,
+            illumination: 1.0,
+            color_cast: [1.0; 3],
+            noise_sigma: 0.0,
+        };
         let _ = render(CleanlinessClass::Clean, false, &params, &mut rng);
     }
 }

@@ -39,7 +39,12 @@ impl StreetGrid {
             ew_lats.push(lat);
             lat += dlat;
         }
-        Self { region, spacing_m, ns_lons, ew_lats }
+        Self {
+            region,
+            spacing_m,
+            ns_lons,
+            ew_lats,
+        }
     }
 
     /// Downtown-LA default: a ~2 km x 2 km region with 150 m blocks.
@@ -101,7 +106,12 @@ impl StreetGrid {
     /// aperture, 60–120 m visible range).
     pub fn sample_fov(&self, rng: &mut StdRng) -> Fov {
         let (camera, heading) = self.sample_camera(rng);
-        Fov::new(camera, heading, rng.gen_range(50.0..70.0), rng.gen_range(60.0..120.0))
+        Fov::new(
+            camera,
+            heading,
+            rng.gen_range(50.0..70.0),
+            rng.gen_range(60.0..120.0),
+        )
     }
 }
 
@@ -145,7 +155,10 @@ mod tests {
                 near_axis += 1;
             }
         }
-        assert_eq!(near_axis, n, "all headings within 20 degrees of a street axis");
+        assert_eq!(
+            near_axis, n,
+            "all headings within 20 degrees of a street axis"
+        );
     }
 
     #[test]

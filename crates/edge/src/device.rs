@@ -15,8 +15,11 @@ pub enum DeviceClass {
 
 impl DeviceClass {
     /// All classes, fastest first.
-    pub const ALL: [DeviceClass; 3] =
-        [DeviceClass::Desktop, DeviceClass::Smartphone, DeviceClass::RaspberryPi];
+    pub const ALL: [DeviceClass; 3] = [
+        DeviceClass::Desktop,
+        DeviceClass::Smartphone,
+        DeviceClass::RaspberryPi,
+    ];
 
     /// Display name matching the paper's figure.
     pub fn label(self) -> &'static str {

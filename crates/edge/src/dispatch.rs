@@ -28,7 +28,11 @@ pub struct DispatchConstraints {
 
 impl Default for DispatchConstraints {
     fn default() -> Self {
-        Self { max_latency_ms: 1_000.0, min_accuracy: None, min_inferences_per_charge: None }
+        Self {
+            max_latency_ms: 1_000.0,
+            min_accuracy: None,
+            min_inferences_per_charge: None,
+        }
     }
 }
 
@@ -71,10 +75,14 @@ impl ModelDispatcher {
             .filter(|m| m.memory_mb() <= device.memory_mb)
             .filter(|m| nominal_latency_ms(m, device) <= constraints.max_latency_ms)
             .filter(|m| constraints.min_accuracy.is_none_or(|a| m.accuracy >= a))
-            .filter(|m| match (constraints.min_inferences_per_charge,
-                               inferences_per_charge(m, device, &power)) {
-                (Some(need), Some(have)) => have >= need,
-                _ => true, // mains power or no energy constraint
+            .filter(|m| {
+                match (
+                    constraints.min_inferences_per_charge,
+                    inferences_per_charge(m, device, &power),
+                ) {
+                    (Some(need), Some(have)) => have >= need,
+                    _ => true, // mains power or no energy constraint
+                }
             })
             .max_by(|a, b| {
                 a.accuracy
@@ -91,7 +99,10 @@ impl ModelDispatcher {
         devices: &[DeviceProfile],
         constraints: &DispatchConstraints,
     ) -> Vec<Option<ModelSpec>> {
-        devices.iter().map(|d| self.dispatch(d, constraints)).collect()
+        devices
+            .iter()
+            .map(|d| self.dispatch(d, constraints))
+            .collect()
     }
 
     /// Seconds for `device` to download `model`'s weights.
@@ -113,14 +124,21 @@ mod tests {
     #[test]
     fn desktop_gets_the_big_model() {
         let m = dispatcher()
-            .dispatch(&DeviceClass::Desktop.profile(), &DispatchConstraints::default())
+            .dispatch(
+                &DeviceClass::Desktop.profile(),
+                &DispatchConstraints::default(),
+            )
             .unwrap();
         assert_eq!(m.name, "InceptionV3");
     }
 
     #[test]
     fn rpi_gets_a_mobile_model_under_tight_latency() {
-        let constraints = DispatchConstraints { max_latency_ms: 700.0, min_accuracy: None, ..Default::default() };
+        let constraints = DispatchConstraints {
+            max_latency_ms: 700.0,
+            min_accuracy: None,
+            ..Default::default()
+        };
         let m = dispatcher()
             .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
             .unwrap();
@@ -129,12 +147,20 @@ mod tests {
 
     #[test]
     fn impossible_constraints_yield_none() {
-        let constraints = DispatchConstraints { max_latency_ms: 0.1, min_accuracy: None, ..Default::default() };
+        let constraints = DispatchConstraints {
+            max_latency_ms: 0.1,
+            min_accuracy: None,
+            ..Default::default()
+        };
         assert!(dispatcher()
             .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
             .is_none());
         // Accuracy floor nothing meets.
-        let constraints = DispatchConstraints { max_latency_ms: 1e9, min_accuracy: Some(0.99), ..Default::default() };
+        let constraints = DispatchConstraints {
+            max_latency_ms: 1e9,
+            min_accuracy: Some(0.99),
+            ..Default::default()
+        };
         assert!(dispatcher()
             .dispatch(&DeviceClass::Desktop.profile(), &constraints)
             .is_none());
@@ -142,8 +168,11 @@ mod tests {
 
     #[test]
     fn accuracy_floor_excludes_weak_models() {
-        let constraints =
-            DispatchConstraints { max_latency_ms: 1e9, min_accuracy: Some(0.75), ..Default::default() };
+        let constraints = DispatchConstraints {
+            max_latency_ms: 1e9,
+            min_accuracy: Some(0.75),
+            ..Default::default()
+        };
         let m = dispatcher()
             .dispatch(&DeviceClass::RaspberryPi.profile(), &constraints)
             .unwrap();
@@ -153,7 +182,11 @@ mod tests {
     #[test]
     fn fleet_dispatch_is_per_device() {
         let devices: Vec<_> = DeviceClass::ALL.iter().map(|c| c.profile()).collect();
-        let constraints = DispatchConstraints { max_latency_ms: 200.0, min_accuracy: None, ..Default::default() };
+        let constraints = DispatchConstraints {
+            max_latency_ms: 200.0,
+            min_accuracy: None,
+            ..Default::default()
+        };
         let picks = dispatcher().dispatch_fleet(&devices, &constraints);
         // Desktop can afford Inception within 200 ms; RPi cannot.
         assert_eq!(picks[0].unwrap().name, "InceptionV3");
@@ -182,8 +215,7 @@ mod energy_dispatch_tests {
         let phone = DeviceClass::Smartphone.profile();
         let power = PowerProfile::for_device(&phone);
         // Find a budget Inception cannot sustain but MobileNetV2 can.
-        let inception =
-            inferences_per_charge(&MODEL_ZOO[2], &phone, &power).expect("battery");
+        let inception = inferences_per_charge(&MODEL_ZOO[2], &phone, &power).expect("battery");
         let constraints = DispatchConstraints {
             max_latency_ms: 1e9,
             min_accuracy: None,

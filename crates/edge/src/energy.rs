@@ -26,16 +26,23 @@ impl PowerProfile {
     /// phone, mains-or-powerbank RPi).
     pub fn for_device(device: &DeviceProfile) -> Self {
         match device.class {
-            crate::device::DeviceClass::Desktop => {
-                Self { active_w: 120.0, battery_wh: None }
-            }
+            crate::device::DeviceClass::Desktop => Self {
+                active_w: 120.0,
+                battery_wh: None,
+            },
             crate::device::DeviceClass::Smartphone => {
                 // ~4000 mAh at 3.85 V ≈ 15.4 Wh.
-                Self { active_w: 4.5, battery_wh: Some(15.4) }
+                Self {
+                    active_w: 4.5,
+                    battery_wh: Some(15.4),
+                }
             }
             crate::device::DeviceClass::RaspberryPi => {
                 // Often deployed on a 20 Wh power bank in the field.
-                Self { active_w: 5.5, battery_wh: Some(20.0) }
+                Self {
+                    active_w: 5.5,
+                    battery_wh: Some(20.0),
+                }
             }
         }
     }
@@ -74,7 +81,10 @@ mod tests {
         let power = PowerProfile::for_device(&phone);
         let small = energy_per_inference_j(&zoo_model("MobileNetV2").unwrap(), &phone, &power);
         let big = energy_per_inference_j(&zoo_model("InceptionV3").unwrap(), &phone, &power);
-        assert!(big > small * 5.0, "Inception ({big} J) vs MobileNetV2 ({small} J)");
+        assert!(
+            big > small * 5.0,
+            "Inception ({big} J) vs MobileNetV2 ({small} J)"
+        );
         assert!(small > 0.0);
     }
 

@@ -48,7 +48,8 @@ pub fn simulate_inference(
 ) -> LatencyStats {
     assert!(runs >= 1, "need at least one run");
     let nominal = nominal_latency_ms(model, device);
-    let mut rng = StdRng::seed_from_u64(seed ^ model.mflops.to_bits() ^ device.effective_gflops.to_bits());
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ model.mflops.to_bits() ^ device.effective_gflops.to_bits());
     let mut sum = 0.0;
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
@@ -56,13 +57,22 @@ pub fn simulate_inference(
         // Multiplicative jitter: mostly small, occasional 1.5x stalls
         // (GC, thermal throttling, background load).
         let base: f64 = rng.gen_range(0.92..1.12);
-        let stall = if rng.gen_bool(0.05) { rng.gen_range(1.2..1.6) } else { 1.0 };
+        let stall = if rng.gen_bool(0.05) {
+            rng.gen_range(1.2..1.6)
+        } else {
+            1.0
+        };
         let t = nominal * base * stall;
         sum += t;
         min = min.min(t);
         max = max.max(t);
     }
-    LatencyStats { mean_ms: sum / runs as f64, min_ms: min, max_ms: max, runs }
+    LatencyStats {
+        mean_ms: sum / runs as f64,
+        min_ms: min,
+        max_ms: max,
+        runs,
+    }
 }
 
 #[cfg(test)]

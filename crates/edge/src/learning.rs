@@ -118,7 +118,11 @@ where
 
     // Round 0: the initial model.
     let mut model = make_model();
-    model.fit(&accumulated.features, &accumulated.labels, accumulated.n_classes);
+    model.fit(
+        &accumulated.features,
+        &accumulated.labels,
+        accumulated.n_classes,
+    );
     let cm = ConfusionMatrix::from_predictions(
         &test.labels,
         &model.predict(&test.features),
@@ -180,7 +184,11 @@ where
         }
         // Retrain on the grown set and evaluate.
         let mut retrained = make_model();
-        retrained.fit(&accumulated.features, &accumulated.labels, accumulated.n_classes);
+        retrained.fit(
+            &accumulated.features,
+            &accumulated.labels,
+            accumulated.n_classes,
+        );
         model = retrained;
         let cm = ConfusionMatrix::from_predictions(
             &test.labels,
@@ -201,7 +209,10 @@ where
     } else {
         1.0 - total_bytes as f64 / total_raw as f64
     };
-    CrowdLearningReport { rounds, bandwidth_saving }
+    CrowdLearningReport {
+        rounds,
+        bandwidth_saving,
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +311,11 @@ mod tests {
             LinearSvm::new,
         );
         // 8 bytes instead of 6912 per sample: saving well above 99%.
-        assert!(report.bandwidth_saving > 0.99, "saving {}", report.bandwidth_saving);
+        assert!(
+            report.bandwidth_saving > 0.99,
+            "saving {}",
+            report.bandwidth_saving
+        );
     }
 
     #[test]

@@ -3,15 +3,21 @@
 
 use proptest::prelude::*;
 use tvdp_edge::{
-    inferences_per_charge, nominal_latency_ms, DeviceClass, DispatchConstraints,
-    ModelDispatcher, ModelSpec, PowerProfile,
+    inferences_per_charge, nominal_latency_ms, DeviceClass, DispatchConstraints, ModelDispatcher,
+    ModelSpec, PowerProfile,
 };
 
 fn arb_model(i: usize) -> impl Strategy<Value = ModelSpec> {
     (50.0f64..8_000.0, 0.5f64..40.0, 0.5f64..0.95).prop_map(move |(mflops, params, accuracy)| {
         // Leak a unique name: ModelSpec carries &'static str; fine in tests.
         let name: &'static str = Box::leak(format!("model-{i}").into_boxed_str());
-        ModelSpec { name, mflops, params_millions: params, input_px: 224, accuracy }
+        ModelSpec {
+            name,
+            mflops,
+            params_millions: params,
+            input_px: 224,
+            accuracy,
+        }
     })
 }
 

@@ -38,12 +38,18 @@ pub struct AngularRange {
 
 impl AngularRange {
     /// The full circle.
-    pub const FULL: AngularRange = AngularRange { start: 0.0, width: 360.0 };
+    pub const FULL: AngularRange = AngularRange {
+        start: 0.0,
+        width: 360.0,
+    };
 
     /// An arc beginning at `start` degrees, spanning `width` degrees
     /// clockwise. `width` is clamped to `[0, 360]`.
     pub fn new(start: f64, width: f64) -> Self {
-        Self { start: normalize_deg(start), width: width.clamp(0.0, 360.0) }
+        Self {
+            start: normalize_deg(start),
+            width: width.clamp(0.0, 360.0),
+        }
     }
 
     /// An arc centred on `center` with total `width` degrees.

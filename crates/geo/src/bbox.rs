@@ -30,12 +30,20 @@ impl BBox {
     /// Panics if `min > max` on either axis or any edge is non-finite.
     pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
         assert!(
-            min_lat.is_finite() && min_lon.is_finite() && max_lat.is_finite() && max_lon.is_finite(),
+            min_lat.is_finite()
+                && min_lon.is_finite()
+                && max_lat.is_finite()
+                && max_lon.is_finite(),
             "non-finite bbox edge"
         );
         assert!(min_lat <= max_lat, "min_lat {min_lat} > max_lat {max_lat}");
         assert!(min_lon <= max_lon, "min_lon {min_lon} > max_lon {max_lon}");
-        Self { min_lat, min_lon, max_lat, max_lon }
+        Self {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
     }
 
     /// The degenerate box covering a single point.
@@ -63,7 +71,10 @@ impl BBox {
 
     /// Whether `p` lies inside or on the boundary.
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Whether `other` lies entirely inside `self`.

@@ -35,7 +35,11 @@ impl CoverageSpec {
     pub fn new(region: BBox, cell_size_m: f64, sectors: usize) -> Self {
         assert!(cell_size_m > 0.0, "cell size must be positive");
         assert!((1..=64).contains(&sectors), "sectors must be in 1..=64");
-        Self { region, cell_size_m, sectors }
+        Self {
+            region,
+            cell_size_m,
+            sectors,
+        }
     }
 }
 
@@ -84,7 +88,13 @@ impl CoverageGrid {
             (spec.region.max_lon - spec.region.min_lon) * METERS_PER_DEG_LAT * mean_lat.cos();
         let rows = (height_m / spec.cell_size_m).ceil().max(1.0) as u32;
         let cols = (width_m / spec.cell_size_m).ceil().max(1.0) as u32;
-        Self { spec, rows, cols, cells: vec![0; (rows * cols) as usize], fov_count: 0 }
+        Self {
+            spec,
+            rows,
+            cols,
+            cells: vec![0; (rows * cols) as usize],
+            fov_count: 0,
+        }
     }
 
     /// Grid dimensions `(rows, cols)`.
@@ -145,7 +155,9 @@ impl CoverageGrid {
         }
         // Restrict the scan to cells under the scene-location MBR.
         let mbr = fov.scene_location();
-        let Some(lo) = self.clamped_cell(mbr.min_lat, mbr.min_lon) else { return };
+        let Some(lo) = self.clamped_cell(mbr.min_lat, mbr.min_lon) else {
+            return;
+        };
         let hi = self
             .clamped_cell(mbr.max_lat, mbr.max_lon)
             .expect("clamped cell is always valid");
@@ -197,8 +209,9 @@ impl CoverageGrid {
                 let cell = CellId { row, col };
                 let mask = self.cell_mask(cell);
                 if (mask.count_ones() as usize) < min_sectors {
-                    let missing =
-                        (0..self.spec.sectors).filter(|s| mask & (1 << s) == 0).collect();
+                    let missing = (0..self.spec.sectors)
+                        .filter(|s| mask & (1 << s) == 0)
+                        .collect();
                     out.push((cell, missing));
                 }
             }
@@ -278,7 +291,10 @@ mod tests {
         g.add_fov(&Fov::new(cam, 0.0, 46.0, 120.0));
         let cell = g.cell_of(&cam).unwrap();
         let under = g.undercovered(8);
-        let entry = under.iter().find(|(c, _)| *c == cell).expect("cell is undercovered");
+        let entry = under
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .expect("cell is undercovered");
         assert!(entry.1.len() < 8, "some sector must be covered");
         assert!(!entry.1.is_empty());
         // Fully uncovered cells miss all 8.

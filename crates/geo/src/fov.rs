@@ -56,7 +56,12 @@ impl Fov {
             radius_m.is_finite() && radius_m > 0.0,
             "visible distance out of range: {radius_m}"
         );
-        Self { camera, heading_deg: normalize_deg(heading_deg), angle_deg, radius_m }
+        Self {
+            camera,
+            heading_deg: normalize_deg(heading_deg),
+            angle_deg,
+            radius_m,
+        }
     }
 
     /// The arc of compass directions this FOV looks toward.
@@ -83,8 +88,14 @@ impl Fov {
         let mut pts = vec![self.camera];
         let half = self.angle_deg / 2.0;
         // Sector arc endpoints.
-        pts.push(self.camera.destination(self.heading_deg - half, self.radius_m));
-        pts.push(self.camera.destination(self.heading_deg + half, self.radius_m));
+        pts.push(
+            self.camera
+                .destination(self.heading_deg - half, self.radius_m),
+        );
+        pts.push(
+            self.camera
+                .destination(self.heading_deg + half, self.radius_m),
+        );
         // Cardinal extremes of the arc, when the sector sweeps past them.
         let range = self.direction_range();
         for cardinal in [0.0, 90.0, 180.0, 270.0] {
@@ -133,11 +144,24 @@ impl Fov {
         let poly = self.polygon_xy(&proj);
         let rect_xy: Vec<XY> = rect.corners().iter().map(|c| proj.to_xy(c)).collect();
         // Any sector vertex inside the rectangle?
-        let (min_x, max_x) = (rect_xy.iter().map(|p| p.x).fold(f64::INFINITY, f64::min),
-                              rect_xy.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max));
-        let (min_y, max_y) = (rect_xy.iter().map(|p| p.y).fold(f64::INFINITY, f64::min),
-                              rect_xy.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max));
-        if poly.iter().any(|p| p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y) {
+        let (min_x, max_x) = (
+            rect_xy.iter().map(|p| p.x).fold(f64::INFINITY, f64::min),
+            rect_xy
+                .iter()
+                .map(|p| p.x)
+                .fold(f64::NEG_INFINITY, f64::max),
+        );
+        let (min_y, max_y) = (
+            rect_xy.iter().map(|p| p.y).fold(f64::INFINITY, f64::min),
+            rect_xy
+                .iter()
+                .map(|p| p.y)
+                .fold(f64::NEG_INFINITY, f64::max),
+        );
+        if poly
+            .iter()
+            .any(|p| p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y)
+        {
             return true;
         }
         // Any rectangle corner inside the sector polygon?
@@ -170,7 +194,8 @@ impl Fov {
         let proj = LocalProjection::new(self.camera);
         let a = self.polygon_xy(&proj);
         let b = other.polygon_xy(&proj);
-        if a.iter().any(|p| point_in_polygon(*p, &b)) || b.iter().any(|p| point_in_polygon(*p, &a)) {
+        if a.iter().any(|p| point_in_polygon(*p, &b)) || b.iter().any(|p| point_in_polygon(*p, &a))
+        {
             return true;
         }
         for i in 0..a.len() {
@@ -241,7 +266,10 @@ mod tests {
         let mbr = f.scene_location();
         // For a 60° north-facing sector the northern edge is R from camera.
         let north_extent = (mbr.max_lat - f.camera.lat) * crate::METERS_PER_DEG_LAT;
-        assert!((north_extent - 100.0).abs() < 1.0, "north extent {north_extent}");
+        assert!(
+            (north_extent - 100.0).abs() < 1.0,
+            "north extent {north_extent}"
+        );
         // Southern edge is the camera itself.
         assert!((mbr.min_lat - f.camera.lat).abs() < 1e-9);
     }
@@ -262,17 +290,32 @@ mod tests {
         let f = north_fov();
         // Box fully ahead within the sector.
         let target = f.camera.destination(0.0, 60.0);
-        let inside = BBox::new(target.lat - 1e-4, target.lon - 1e-4, target.lat + 1e-4, target.lon + 1e-4);
+        let inside = BBox::new(
+            target.lat - 1e-4,
+            target.lon - 1e-4,
+            target.lat + 1e-4,
+            target.lon + 1e-4,
+        );
         assert!(f.intersects_bbox(&inside));
         // Box behind the camera.
         let behind_pt = f.camera.destination(180.0, 60.0);
-        let behind = BBox::new(behind_pt.lat - 1e-4, behind_pt.lon - 1e-4, behind_pt.lat + 1e-4, behind_pt.lon + 1e-4);
+        let behind = BBox::new(
+            behind_pt.lat - 1e-4,
+            behind_pt.lon - 1e-4,
+            behind_pt.lat + 1e-4,
+            behind_pt.lon + 1e-4,
+        );
         assert!(!f.intersects_bbox(&behind));
         // Huge box containing everything.
         let world = BBox::new(33.0, -119.0, 35.0, -117.0);
         assert!(f.intersects_bbox(&world));
         // Box that contains only the camera vertex.
-        let at_cam = BBox::new(f.camera.lat - 1e-5, f.camera.lon - 1e-5, f.camera.lat + 1e-5, f.camera.lon + 1e-5);
+        let at_cam = BBox::new(
+            f.camera.lat - 1e-5,
+            f.camera.lon - 1e-5,
+            f.camera.lat + 1e-5,
+            f.camera.lon + 1e-5,
+        );
         assert!(f.intersects_bbox(&at_cam));
     }
 

@@ -54,8 +54,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -88,8 +87,8 @@ impl GeoPoint {
         let lon1 = self.lon.to_radians();
         let d = distance_m / EARTH_RADIUS_M;
         let lat2 = (lat1.sin() * d.cos() + lat1.cos() * d.sin() * brg.cos()).asin();
-        let lon2 = lon1
-            + (brg.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (brg.sin() * d.sin() * lat1.cos()).atan2(d.cos() - lat1.sin() * lat2.sin());
         let lon_deg = lon2.to_degrees();
         // Re-wrap longitude into [-180, 180].
         let lon_deg = if lon_deg > 180.0 {
@@ -107,8 +106,14 @@ impl GeoPoint {
 mod tests {
     use super::*;
 
-    const LA_CITY_HALL: GeoPoint = GeoPoint { lat: 34.0537, lon: -118.2427 };
-    const USC: GeoPoint = GeoPoint { lat: 34.0224, lon: -118.2851 };
+    const LA_CITY_HALL: GeoPoint = GeoPoint {
+        lat: 34.0537,
+        lon: -118.2427,
+    };
+    const USC: GeoPoint = GeoPoint {
+        lat: 34.0224,
+        lon: -118.2851,
+    };
 
     #[test]
     fn haversine_known_distance() {

@@ -64,13 +64,22 @@ impl GeoPolygon {
         // Any polygon vertex inside the rectangle?
         let (min_x, max_x) = (
             corners.iter().map(|p| p.x).fold(f64::INFINITY, f64::min),
-            corners.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max),
+            corners
+                .iter()
+                .map(|p| p.x)
+                .fold(f64::NEG_INFINITY, f64::max),
         );
         let (min_y, max_y) = (
             corners.iter().map(|p| p.y).fold(f64::INFINITY, f64::min),
-            corners.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max),
+            corners
+                .iter()
+                .map(|p| p.y)
+                .fold(f64::NEG_INFINITY, f64::max),
         );
-        if poly.iter().any(|p| p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y) {
+        if poly
+            .iter()
+            .any(|p| p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y)
+        {
             return true;
         }
         // Any rectangle corner inside the polygon?
@@ -157,17 +166,30 @@ mod tests {
         assert!(t.intersects_bbox(&big));
         // Rect crossing one edge.
         let edge_pt = a.destination(90.0, 500.0);
-        let crossing =
-            BBox::new(edge_pt.lat - 1e-4, edge_pt.lon - 1e-4, edge_pt.lat + 1e-4, edge_pt.lon + 1e-4);
+        let crossing = BBox::new(
+            edge_pt.lat - 1e-4,
+            edge_pt.lon - 1e-4,
+            edge_pt.lat + 1e-4,
+            edge_pt.lon + 1e-4,
+        );
         assert!(t.intersects_bbox(&crossing));
         // Far rect.
         let far_pt = a.destination(270.0, 5_000.0);
-        let far = BBox::new(far_pt.lat - 1e-4, far_pt.lon - 1e-4, far_pt.lat + 1e-4, far_pt.lon + 1e-4);
+        let far = BBox::new(
+            far_pt.lat - 1e-4,
+            far_pt.lon - 1e-4,
+            far_pt.lat + 1e-4,
+            far_pt.lon + 1e-4,
+        );
         assert!(!t.intersects_bbox(&far));
         // Near but outside the hypotenuse: a rect just past the diagonal.
         let diag_out = a.destination(45.0, 1100.0);
-        let out =
-            BBox::new(diag_out.lat - 1e-5, diag_out.lon - 1e-5, diag_out.lat + 1e-5, diag_out.lon + 1e-5);
+        let out = BBox::new(
+            diag_out.lat - 1e-5,
+            diag_out.lon - 1e-5,
+            diag_out.lat + 1e-5,
+            diag_out.lon + 1e-5,
+        );
         assert!(!t.intersects_bbox(&out));
     }
 

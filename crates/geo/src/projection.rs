@@ -126,7 +126,10 @@ mod tests {
         let proj = LocalProjection::new(a);
         let planar = proj.to_xy(&a).dist(&proj.to_xy(&b));
         let sphere = a.haversine_m(&b);
-        assert!((planar - sphere).abs() / sphere < 0.002, "{planar} vs {sphere}");
+        assert!(
+            (planar - sphere).abs() / sphere < 0.002,
+            "{planar} vs {sphere}"
+        );
     }
 
     #[test]

@@ -78,7 +78,14 @@ impl<T> Node<T> {
                     .iter()
                     .map(|e| l2(&centroid, &e.feature))
                     .fold(0.0f32, f32::max);
-                Some((bbox, Ball { centroid, radius, count: entries.len() }))
+                Some((
+                    bbox,
+                    Ball {
+                        centroid,
+                        radius,
+                        count: entries.len(),
+                    },
+                ))
             }
             Node::Internal { children } => {
                 let first = children.first()?;
@@ -101,7 +108,14 @@ impl<T> Node<T> {
                     .iter()
                     .map(|c| l2(&centroid, &c.ball.centroid) + c.ball.radius)
                     .fold(0.0f32, f32::max);
-                Some((bbox, Ball { centroid, radius, count: total }))
+                Some((
+                    bbox,
+                    Ball {
+                        centroid,
+                        radius,
+                        count: total,
+                    },
+                ))
             }
         }
     }
@@ -119,7 +133,13 @@ impl<T: Clone> VisualRTree<T> {
     /// An empty tree over `dim`-dimensional feature vectors.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "zero-dimensional features");
-        Self { root: Node::Leaf { entries: Vec::new() }, dim, len: 0 }
+        Self {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            dim,
+            len: 0,
+        }
     }
 
     /// Number of stored entries.
@@ -146,13 +166,23 @@ impl<T: Clone> VisualRTree<T> {
     pub fn insert(&mut self, bbox: BBox, feature: Vec<f32>, value: T) {
         assert_eq!(feature.len(), self.dim, "feature dimension mismatch");
         self.len += 1;
-        let entry = Entry { bbox, feature, value };
+        let entry = Entry {
+            bbox,
+            feature,
+            value,
+        };
         if let Some((left, right)) = Self::insert_rec(&mut self.root, entry, self.dim) {
             let mk = |n: Node<T>, dim: usize| {
                 let (bbox, ball) = n.summary(dim).expect("split node non-empty");
-                Child { bbox, ball, node: Box::new(n) }
+                Child {
+                    bbox,
+                    ball,
+                    node: Box::new(n),
+                }
             };
-            self.root = Node::Internal { children: vec![mk(left, self.dim), mk(right, self.dim)] };
+            self.root = Node::Internal {
+                children: vec![mk(left, self.dim), mk(right, self.dim)],
+            };
         }
     }
 
@@ -178,7 +208,11 @@ impl<T: Clone> VisualRTree<T> {
                     Some((left, right)) => {
                         let mk = |n: Node<T>| {
                             let (bbox, ball) = n.summary(dim).expect("split node non-empty");
-                            Child { bbox, ball, node: Box::new(n) }
+                            Child {
+                                bbox,
+                                ball,
+                                node: Box::new(n),
+                            }
                         };
                         children[idx] = mk(left);
                         children.push(mk(right));
@@ -290,7 +324,10 @@ impl<T: Clone> VisualRTree<T> {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Item { dist: 0.0, kind: Kind::Node(&self.root) }));
+        heap.push(Reverse(Item {
+            dist: 0.0,
+            kind: Kind::Node(&self.root),
+        }));
         let mut out = Vec::with_capacity(k);
         while let Some(Reverse(item)) = heap.pop() {
             match item.kind {
@@ -314,7 +351,10 @@ impl<T: Clone> VisualRTree<T> {
                     for c in children {
                         if c.bbox.intersects(region) {
                             let lb = (l2(&c.ball.centroid, query) - c.ball.radius).max(0.0);
-                            heap.push(Reverse(Item { dist: lb, kind: Kind::Node(&c.node) }));
+                            heap.push(Reverse(Item {
+                                dist: lb,
+                                kind: Kind::Node(&c.node),
+                            }));
                         }
                     }
                 }
@@ -400,9 +440,7 @@ mod tests {
             .collect();
         let mut expected: Vec<(f32, usize)> = raw
             .iter()
-            .filter(|(b, f, _)| {
-                b.intersects(&region) && l2(f, &query) <= 0.3
-            })
+            .filter(|(b, f, _)| b.intersects(&region) && l2(f, &query) <= 0.3)
             .map(|(_, f, id)| (l2(f, &query), *id))
             .collect();
         expected.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -420,7 +458,11 @@ mod tests {
             f[1] = 1.05;
             f
         };
-        let got: Vec<f32> = tree.knn_visual(&region, &query, 10).iter().map(|(d, _)| *d).collect();
+        let got: Vec<f32> = tree
+            .knn_visual(&region, &query, 10)
+            .iter()
+            .map(|(d, _)| *d)
+            .collect();
         let mut lin: Vec<f32> = raw
             .iter()
             .filter(|(b, _, _)| b.intersects(&region))

@@ -125,7 +125,9 @@ impl InvertedIndex {
         let terms = tokenize(query);
         let mut scores: HashMap<usize, f64> = HashMap::new();
         for term in &terms {
-            let Some(list) = self.postings.get(term) else { continue };
+            let Some(list) = self.postings.get(term) else {
+                continue;
+            };
             let idf = ((self.n_docs as f64 + 1.0) / (list.len() as f64 + 1.0)).ln() + 1.0;
             for &(doc, tf) in list {
                 let len = f64::from(self.doc_lengths[&doc]).max(1.0);

@@ -35,7 +35,12 @@ pub struct LshConfig {
 
 impl Default for LshConfig {
     fn default() -> Self {
-        Self { tables: 12, hashes_per_table: 8, bucket_width: 1.0, seed: 0x154 }
+        Self {
+            tables: 12,
+            hashes_per_table: 8,
+            bucket_width: 1.0,
+            seed: 0x154,
+        }
     }
 }
 
@@ -59,7 +64,13 @@ impl HashFamily {
             })
             .collect();
         let offsets = (0..k).map(|_| rng.gen_range(0.0..width)).collect();
-        Self { projections, offsets, k, dim, width }
+        Self {
+            projections,
+            offsets,
+            k,
+            dim,
+            width,
+        }
     }
 
     fn hash(&self, v: &[f32]) -> Vec<i32> {
@@ -91,14 +102,23 @@ impl LshIndex {
     /// Creates an empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, config: LshConfig) -> Self {
         assert!(dim > 0, "zero-dimensional vectors");
-        assert!(config.tables >= 1 && config.hashes_per_table >= 1, "degenerate config");
+        assert!(
+            config.tables >= 1 && config.hashes_per_table >= 1,
+            "degenerate config"
+        );
         assert!(config.bucket_width > 0.0, "bucket width must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let families = (0..config.tables)
             .map(|_| HashFamily::new(dim, config.hashes_per_table, config.bucket_width, &mut rng))
             .collect();
         let tables = vec![HashMap::new(); config.tables];
-        Self { config, dim, families, tables, vectors: Vec::new() }
+        Self {
+            config,
+            dim,
+            families,
+            tables,
+            vectors: Vec::new(),
+        }
     }
 
     /// Number of indexed vectors.
@@ -175,8 +195,7 @@ impl LshIndex {
     /// survivors.
     pub fn knn(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
         let ids = self.candidates(q);
-        let mut cands: Vec<(f32, usize)> =
-            self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
+        let mut cands: Vec<(f32, usize)> = self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
         cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         cands.truncate(k);
         for c in &mut cands {
@@ -206,8 +225,7 @@ impl LshIndex {
     /// baseline the benchmarks compare against).
     pub fn knn_exact(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
         let ids: Vec<usize> = (0..self.vectors.len()).collect();
-        let mut all: Vec<(f32, usize)> =
-            self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
+        let mut all: Vec<(f32, usize)> = self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
         all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         all.truncate(k);
         for c in &mut all {
@@ -227,7 +245,12 @@ mod tests {
         for c in 0..n_clusters {
             let center: Vec<f32> = (0..dim).map(|d| ((c * 7 + d) % 5) as f32 * 2.0).collect();
             for _ in 0..per_cluster {
-                out.push(center.iter().map(|&v| v + rng.gen_range(-0.1..0.1)).collect());
+                out.push(
+                    center
+                        .iter()
+                        .map(|&v| v + rng.gen_range(-0.1..0.1))
+                        .collect(),
+                );
             }
         }
         out
@@ -261,8 +284,11 @@ mod tests {
         let mut queries = 0;
         for q in (0..vectors.len()).step_by(20) {
             let approx: Vec<usize> = idx.knn(&vectors[q], 10).iter().map(|&(_, i)| i).collect();
-            let exact: Vec<usize> =
-                idx.knn_exact(&vectors[q], 10).iter().map(|&(_, i)| i).collect();
+            let exact: Vec<usize> = idx
+                .knn_exact(&vectors[q], 10)
+                .iter()
+                .map(|&(_, i)| i)
+                .collect();
             let hit = exact.iter().filter(|i| approx.contains(i)).count();
             total_recall += hit as f64 / exact.len() as f64;
             queries += 1;
@@ -287,7 +313,13 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let mk = || {
-            let mut idx = LshIndex::new(6, LshConfig { seed: 7, ..Default::default() });
+            let mut idx = LshIndex::new(
+                6,
+                LshConfig {
+                    seed: 7,
+                    ..Default::default()
+                },
+            );
             for v in clustered_vectors(3, 5, 6) {
                 idx.insert(v);
             }

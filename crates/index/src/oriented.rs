@@ -88,7 +88,12 @@ impl<T: Clone> Default for OrientedRTree<T> {
 impl<T: Clone> OrientedRTree<T> {
     /// An empty tree.
     pub fn new() -> Self {
-        Self { root: Node::Leaf { entries: Vec::new() }, len: 0 }
+        Self {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
     }
 
     /// Number of stored FOVs.
@@ -105,13 +110,23 @@ impl<T: Clone> OrientedRTree<T> {
     /// location.
     pub fn insert(&mut self, fov: Fov, value: T) {
         self.len += 1;
-        let entry = Entry { bbox: fov.scene_location(), fov, value };
+        let entry = Entry {
+            bbox: fov.scene_location(),
+            fov,
+            value,
+        };
         if let Some((left, right)) = Self::insert_rec(&mut self.root, entry) {
             let mk_child = |n: Node<T>| {
                 let (bbox, dirs) = n.summary().expect("split node non-empty");
-                Child { bbox, dirs, node: Box::new(n) }
+                Child {
+                    bbox,
+                    dirs,
+                    node: Box::new(n),
+                }
             };
-            self.root = Node::Internal { children: vec![mk_child(left), mk_child(right)] };
+            self.root = Node::Internal {
+                children: vec![mk_child(left), mk_child(right)],
+            };
         }
     }
 
@@ -129,15 +144,18 @@ impl<T: Clone> OrientedRTree<T> {
                 let idx = choose_subtree(children, &entry.bbox);
                 match Self::insert_rec(&mut children[idx].node, entry) {
                     None => {
-                        let (bbox, dirs) =
-                            children[idx].node.summary().expect("child non-empty");
+                        let (bbox, dirs) = children[idx].node.summary().expect("child non-empty");
                         children[idx].bbox = bbox;
                         children[idx].dirs = dirs;
                     }
                     Some((left, right)) => {
                         let mk_child = |n: Node<T>| {
                             let (bbox, dirs) = n.summary().expect("split node non-empty");
-                            Child { bbox, dirs, node: Box::new(n) }
+                            Child {
+                                bbox,
+                                dirs,
+                                node: Box::new(n),
+                            }
                         };
                         children[idx] = mk_child(left);
                         children.push(mk_child(right));
@@ -173,9 +191,7 @@ impl<T: Clone> OrientedRTree<T> {
         match node {
             Node::Leaf { entries } => {
                 for e in entries {
-                    if e.bbox.intersects(region)
-                        && e.fov.direction_range().overlaps(directions)
-                    {
+                    if e.bbox.intersects(region) && e.fov.direction_range().overlaps(directions) {
                         out.push((&e.fov, &e.value));
                     }
                 }
@@ -192,7 +208,11 @@ impl<T: Clone> OrientedRTree<T> {
 
     /// FOVs that actually *see* point `p` (exact sector test after index
     /// pruning), optionally restricted to a viewing-direction arc.
-    pub fn covering_point(&self, p: &GeoPoint, directions: Option<&AngularRange>) -> Vec<(&Fov, &T)> {
+    pub fn covering_point(
+        &self,
+        p: &GeoPoint,
+        directions: Option<&AngularRange>,
+    ) -> Vec<(&Fov, &T)> {
         let region = BBox::from_point(*p);
         let dirs = directions.copied().unwrap_or(AngularRange::FULL);
         self.range_directed(&region, &dirs)
@@ -250,8 +270,11 @@ mod tests {
         tree.check_invariants();
         let region = BBox::new(34.002, -118.297, 34.008, -118.291);
         let dirs = AngularRange::centered(0.0, 90.0);
-        let mut got: Vec<usize> =
-            tree.range_directed(&region, &dirs).into_iter().map(|(_, id)| *id).collect();
+        let mut got: Vec<usize> = tree
+            .range_directed(&region, &dirs)
+            .into_iter()
+            .map(|(_, id)| *id)
+            .collect();
         got.sort_unstable();
         let mut expected: Vec<usize> = fovs
             .iter()
@@ -274,8 +297,13 @@ mod tests {
         }
         let region = BBox::new(33.99, -118.31, 34.03, -118.27);
         let all = tree.range_directed(&region, &AngularRange::FULL).len();
-        let north_only = tree.range_directed(&region, &AngularRange::centered(0.0, 30.0)).len();
-        assert!(north_only < all, "direction constraint must prune ({north_only} vs {all})");
+        let north_only = tree
+            .range_directed(&region, &AngularRange::centered(0.0, 30.0))
+            .len();
+        assert!(
+            north_only < all,
+            "direction constraint must prune ({north_only} vs {all})"
+        );
         assert!(north_only > 0);
     }
 

@@ -31,7 +31,6 @@ impl<T> Node<T> {
             }
         }
     }
-
 }
 
 /// A spatial index mapping bounding boxes to payloads.
@@ -64,7 +63,13 @@ impl<T: Clone> Default for RTree<T> {
 impl<T: Clone> RTree<T> {
     /// An empty tree.
     pub fn new() -> Self {
-        Self { root: Node::Leaf { entries: Vec::new() }, len: 0, height: 1 }
+        Self {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+            height: 1,
+        }
     }
 
     /// Bulk construction by repeated insertion (baseline; prefer
@@ -105,7 +110,11 @@ impl<T: Clone> RTree<T> {
                 .collect();
             height += 1;
         }
-        Self { root: leaves.pop().expect("one root remains"), len, height }
+        Self {
+            root: leaves.pop().expect("one root remains"),
+            len,
+            height,
+        }
     }
 
     /// Removes one entry matching `bbox` whose payload satisfies `pred`.
@@ -174,8 +183,7 @@ impl<T: Clone> RTree<T> {
                             let (_, child) = children.remove(i);
                             collect_entries(*child, orphans);
                         } else if child_len > 0 {
-                            children[i].0 =
-                                children[i].1.mbr().expect("non-empty child");
+                            children[i].0 = children[i].1.mbr().expect("non-empty child");
                         }
                         return Some(v);
                     }
@@ -205,7 +213,12 @@ impl<T: Clone> RTree<T> {
         self.len += 1;
         if let Some((left, right)) = Self::insert_rec(&mut self.root, bbox, value) {
             // Root split: grow the tree by one level.
-            let old = std::mem::replace(&mut self.root, Node::Internal { children: Vec::new() });
+            let old = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    children: Vec::new(),
+                },
+            );
             drop(old);
             self.root = Node::Internal {
                 children: vec![
@@ -241,8 +254,7 @@ impl<T: Clone> RTree<T> {
                     }
                     Some((left, right)) => {
                         // The old child was drained by the split; replace it.
-                        children[idx] =
-                            (left.mbr().expect("split node non-empty"), Box::new(left));
+                        children[idx] = (left.mbr().expect("split node non-empty"), Box::new(left));
                         children
                             .push((right.mbr().expect("split node non-empty"), Box::new(right)));
                         if children.len() > MAX_ENTRIES {
@@ -323,7 +335,10 @@ impl<T: Clone> RTree<T> {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Reverse(Item { dist: 0.0, kind: ItemKind::Node(&self.root) }));
+        heap.push(Reverse(Item {
+            dist: 0.0,
+            kind: ItemKind::Node(&self.root),
+        }));
         let mut out = Vec::with_capacity(k);
         while let Some(Reverse(item)) = heap.pop() {
             match item.kind {
@@ -379,7 +394,10 @@ impl<T: Clone> RTree<T> {
         fn walk<T>(node: &Node<T>, is_root: bool, depth: usize, leaf_depth: &mut Option<usize>) {
             match node {
                 Node::Leaf { entries } => {
-                    assert!(is_root || entries.len() >= MIN_ENTRIES.min(1), "underfull leaf");
+                    assert!(
+                        is_root || entries.len() >= MIN_ENTRIES.min(1),
+                        "underfull leaf"
+                    );
                     assert!(entries.len() <= MAX_ENTRIES, "overfull leaf");
                     match leaf_depth {
                         None => *leaf_depth = Some(depth),
@@ -461,9 +479,7 @@ pub(crate) fn split_entries<E: HasBBox>(mut entries: Vec<E>) -> (Vec<E>, Vec<E>)
             let right = mbr_of(&entries[at..]);
             let overlap = left.intersection(&right).map_or(0.0, |i| i.area_deg2());
             let area = left.area_deg2() + right.area_deg2();
-            if best.is_none_or(|(_, _, o, a)| {
-                overlap < o || (overlap == o && area < a)
-            }) {
+            if best.is_none_or(|(_, _, o, a)| overlap < o || (overlap == o && area < a)) {
                 best = Some((axis, at, overlap, area));
             }
         }
@@ -600,8 +616,10 @@ mod tests {
             assert!(w[0].0 <= w[1].0, "knn not sorted");
         }
         // Verify against linear scan.
-        let mut lin: Vec<(f64, usize)> =
-            pts.iter().map(|(p, id)| (q.fast_distance_m(p), *id)).collect();
+        let mut lin: Vec<(f64, usize)> = pts
+            .iter()
+            .map(|(p, id)| (q.fast_distance_m(p), *id))
+            .collect();
         lin.sort_by(|a, b| a.0.total_cmp(&b.0));
         let got: Vec<usize> = knn.iter().map(|(_, id)| **id).collect();
         let expect: Vec<usize> = lin[..5].iter().map(|(_, id)| *id).collect();
@@ -649,7 +667,9 @@ mod tests {
         let pts = grid_points(18); // 324 entries, multiple levels
         let incremental = RTree::bulk(pts.iter().map(|(p, id)| (BBox::from_point(*p), *id)));
         let packed = RTree::bulk_load(
-            pts.iter().map(|(p, id)| (BBox::from_point(*p), *id)).collect(),
+            pts.iter()
+                .map(|(p, id)| (BBox::from_point(*p), *id))
+                .collect(),
         );
         packed.check_invariants();
         assert_eq!(packed.len(), 324);
@@ -690,7 +710,10 @@ mod tests {
         tree.check_invariants();
         assert!(tree.containing(&target_p).is_empty());
         // Removing again finds nothing.
-        assert_eq!(tree.remove(&BBox::from_point(target_p), |&id| id == target_id), None);
+        assert_eq!(
+            tree.remove(&BBox::from_point(target_p), |&id| id == target_id),
+            None
+        );
         // Everything else is still there.
         let world = BBox::new(33.0, -119.0, 35.0, -117.0);
         assert_eq!(tree.range(&world).len(), 99);
@@ -711,8 +734,11 @@ mod tests {
         let world = BBox::new(33.0, -119.0, 35.0, -117.0);
         let mut left: Vec<usize> = tree.range(&world).into_iter().copied().collect();
         left.sort_unstable();
-        let expected: Vec<usize> =
-            pts.iter().map(|(_, id)| *id).filter(|id| id % 3 != 0).collect();
+        let expected: Vec<usize> = pts
+            .iter()
+            .map(|(_, id)| *id)
+            .filter(|id| id % 3 != 0)
+            .collect();
         assert_eq!(left, expected);
         assert_eq!(tree.len(), expected.len());
     }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
-use tvdp_index::{InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree};
+use tvdp_index::{
+    InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree,
+};
 
 fn la_point() -> impl Strategy<Value = GeoPoint> {
     (33.9f64..34.1, -118.4f64..-118.2).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))

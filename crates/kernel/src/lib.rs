@@ -133,7 +133,9 @@ mod tests {
         // Tiny deterministic LCG; no external RNG in this crate.
         let mut state = seed as u64 * 2 + 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         let a = (0..dim).map(|_| next()).collect();

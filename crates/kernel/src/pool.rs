@@ -31,7 +31,9 @@ pub struct Pool {
 impl Pool {
     /// A pool running `threads` workers (clamped to `1..=64`).
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.clamp(1, MAX_THREADS) }
+        Self {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
     }
 
     /// A single-threaded pool: every map runs inline on the caller.
@@ -50,7 +52,9 @@ impl Pool {
                 .and_then(|v| v.parse::<usize>().ok())
                 .filter(|&t| t >= 1)
                 .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+                    std::thread::available_parallelism()
+                        .map(NonZeroUsize::get)
+                        .unwrap_or(1)
                 });
             Pool::new(threads)
         })
@@ -96,7 +100,9 @@ impl Pool {
                 });
             }
         });
-        out.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+        out.into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
     }
 
     /// Applies `f` to every item of `items`, returning results in input
@@ -155,7 +161,11 @@ mod tests {
         };
         let one = compute(1);
         for threads in [2, 5, 8, 64] {
-            assert_eq!(one, compute(threads), "thread count {threads} changed results");
+            assert_eq!(
+                one,
+                compute(threads),
+                "thread count {threads} changed results"
+            );
         }
     }
 

@@ -23,7 +23,10 @@ struct ClassStats {
 impl GaussianNb {
     /// Creates an unfitted model with scikit-learn's default smoothing.
     pub fn new() -> Self {
-        Self { classes: Vec::new(), var_smoothing: 1e-6 }
+        Self {
+            classes: Vec::new(),
+            var_smoothing: 1e-6,
+        }
     }
 }
 
@@ -43,15 +46,23 @@ impl Classifier for GaussianNb {
         }
         let mut global_var_max = 0.0f32;
         for d in 0..dim {
-            let v: f32 = x.iter().map(|r| (r[d] - global_mean[d]).powi(2)).sum::<f32>() / n;
+            let v: f32 = x
+                .iter()
+                .map(|r| (r[d] - global_mean[d]).powi(2))
+                .sum::<f32>()
+                / n;
             global_var_max = global_var_max.max(v);
         }
         let floor = self.var_smoothing * global_var_max.max(1e-9);
 
         self.classes = (0..n_classes)
             .map(|class| {
-                let rows: Vec<&Vec<f32>> =
-                    x.iter().zip(y).filter(|(_, &l)| l == class).map(|(r, _)| r).collect();
+                let rows: Vec<&Vec<f32>> = x
+                    .iter()
+                    .zip(y)
+                    .filter(|(_, &l)| l == class)
+                    .map(|(r, _)| r)
+                    .collect();
                 if rows.is_empty() {
                     // Unseen class: uniform-ish fallback with -inf prior.
                     return ClassStats {
@@ -79,7 +90,11 @@ impl Classifier for GaussianNb {
                 for v in &mut var {
                     *v = *v / m + floor;
                 }
-                ClassStats { log_prior: (m / n).ln(), mean, var }
+                ClassStats {
+                    log_prior: (m / n).ln(),
+                    mean,
+                    var,
+                }
             })
             .collect();
     }
@@ -146,7 +161,12 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_does_not_nan() {
-        let x = vec![vec![1.0, 5.0], vec![1.0, 6.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let x = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 6.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNb::new();
         nb.fit(&x, &y, 2);

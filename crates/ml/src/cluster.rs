@@ -66,7 +66,9 @@ impl KMeans {
             let nearest: Vec<(usize, f32)> = if parallel {
                 pool.map(data, |_, row| Self::nearest(&centroids, row))
             } else {
-                data.iter().map(|row| Self::nearest(&centroids, row)).collect()
+                data.iter()
+                    .map(|row| Self::nearest(&centroids, row))
+                    .collect()
             };
             let mut new_inertia = 0.0f64;
             for (i, &(best, d)) in nearest.iter().enumerate() {
@@ -98,7 +100,11 @@ impl KMeans {
                 break;
             }
         }
-        Self { centroids, inertia, iterations }
+        Self {
+            centroids,
+            inertia,
+            iterations,
+        }
     }
 
     fn kmeanspp_init(data: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {

@@ -19,13 +19,24 @@ pub struct Dataset {
 impl Dataset {
     /// Builds a dataset, validating shape invariants.
     pub fn new(features: Vec<Vec<f32>>, labels: Vec<usize>, n_classes: usize) -> Self {
-        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         if let Some(first) = features.first() {
             let dim = first.len();
-            assert!(features.iter().all(|r| r.len() == dim), "ragged feature rows");
+            assert!(
+                features.iter().all(|r| r.len() == dim),
+                "ragged feature rows"
+            );
         }
         assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
-        Self { features, labels, n_classes }
+        Self {
+            features,
+            labels,
+            n_classes,
+        }
     }
 
     /// Number of samples.
@@ -75,7 +86,10 @@ impl Dataset {
 /// Splits `n` samples into shuffled (train, test) index sets with
 /// `train_fraction` of samples in train. Deterministic under `seed`.
 pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&train_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "fraction out of range"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
@@ -93,13 +107,20 @@ pub fn stratified_split(
     train_fraction: f64,
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&train_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "fraction out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut train = Vec::new();
     let mut test = Vec::new();
     for class in 0..n_classes {
-        let mut members: Vec<usize> =
-            labels.iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect();
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
         members.shuffle(&mut rng);
         let cut = ((members.len() as f64) * train_fraction).round() as usize;
         let rest = members.split_off(cut.min(members.len()));
@@ -124,8 +145,7 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
         let lo = n * f / k;
         let hi = n * (f + 1) / k;
         let val: Vec<usize> = idx[lo..hi].to_vec();
-        let train: Vec<usize> =
-            idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+        let train: Vec<usize> = idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
         folds.push((train, val));
     }
     folds
@@ -137,7 +157,12 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::new(
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
             vec![0, 0, 1, 1],
             2,
         )
@@ -194,8 +219,9 @@ mod tests {
     #[test]
     fn stratified_preserves_class_balance() {
         // 30 of class 0, 10 of class 1.
-        let labels: Vec<usize> =
-            std::iter::repeat_n(0, 30).chain(std::iter::repeat_n(1, 10)).collect();
+        let labels: Vec<usize> = std::iter::repeat_n(0, 30)
+            .chain(std::iter::repeat_n(1, 10))
+            .collect();
         let (train, test) = stratified_split(&labels, 2, 0.8, 3);
         assert_eq!(train.len() + test.len(), 40);
         let train_c1 = train.iter().filter(|&&i| labels[i] == 1).count();

@@ -87,7 +87,10 @@ where
         (cm.macro_f1(), cm.accuracy())
     });
     let (fold_f1, fold_accuracy) = scores.into_iter().unzip();
-    CvResult { fold_f1, fold_accuracy }
+    CvResult {
+        fold_f1,
+        fold_accuracy,
+    }
 }
 
 /// Trains on `train` and evaluates on `test`, returning the confusion
@@ -118,7 +121,10 @@ mod tests {
         for c in 0..3usize {
             let cx = c as f32 * 5.0;
             for _ in 0..n_per_class {
-                features.push(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+                features.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]);
                 labels.push(c);
             }
         }
@@ -144,7 +150,10 @@ mod tests {
 
     #[test]
     fn std_f1_zero_for_single_fold_list() {
-        let r = CvResult { fold_f1: vec![0.8], fold_accuracy: vec![0.8] };
+        let r = CvResult {
+            fold_f1: vec![0.8],
+            fold_accuracy: vec![0.8],
+        };
         assert_eq!(r.std_f1(), 0.0);
     }
 

@@ -176,7 +176,9 @@ mod tests {
         a.fit(&x, &y, 2);
         b.fit(&x, &y, 2);
         // Scores (not necessarily argmax) should differ on at least one input.
-        let differs = x.iter().any(|r| a.decision_scores(r) != b.decision_scores(r));
+        let differs = x
+            .iter()
+            .any(|r| a.decision_scores(r) != b.decision_scores(r));
         assert!(differs);
     }
 

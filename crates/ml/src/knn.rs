@@ -21,7 +21,13 @@ impl KnnClassifier {
     /// Creates an unfitted classifier with `k` neighbours and uniform votes.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be positive");
-        Self { k, weighted: false, x: Vec::new(), y: Vec::new(), n_classes: 0 }
+        Self {
+            k,
+            weighted: false,
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// Enables inverse-distance-weighted voting.
@@ -57,7 +63,11 @@ impl Classifier for KnnClassifier {
         }
         let mut votes = vec![0.0f32; self.n_classes];
         for &(d, label) in &nearest {
-            let w = if self.weighted { 1.0 / (d.sqrt() + 1e-6) } else { 1.0 };
+            let w = if self.weighted {
+                1.0 / (d.sqrt() + 1e-6)
+            } else {
+                1.0
+            };
             votes[label] += w;
         }
         // Normalize to a vote fraction so scores are in [0, 1].

@@ -115,10 +115,18 @@ pub(crate) fn validate_fit_input(x: &[Vec<f32>], y: &[usize], n_classes: usize) 
     let dim = x[0].len();
     assert!(dim > 0, "zero-dimensional features");
     for (i, row) in x.iter().enumerate() {
-        assert_eq!(row.len(), dim, "row {i} has dimension {} != {dim}", row.len());
+        assert_eq!(
+            row.len(),
+            dim,
+            "row {i} has dimension {} != {dim}",
+            row.len()
+        );
     }
     for (i, &label) in y.iter().enumerate() {
-        assert!(label < n_classes, "label {label} at row {i} >= n_classes {n_classes}");
+        assert!(
+            label < n_classes,
+            "label {label} at row {i} >= n_classes {n_classes}"
+        );
     }
     dim
 }

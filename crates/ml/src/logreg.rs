@@ -26,7 +26,12 @@ pub struct LogRegParams {
 
 impl Default for LogRegParams {
     fn default() -> Self {
-        Self { learning_rate: 0.1, l2: 1e-5, epochs: 40, seed: 0 }
+        Self {
+            learning_rate: 0.1,
+            l2: 1e-5,
+            epochs: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl LogisticRegression {
     /// Creates an unfitted model with explicit parameters.
     pub fn with_params(params: LogRegParams) -> Self {
         assert!(params.learning_rate > 0.0, "learning rate must be positive");
-        Self { params, weights: Vec::new() }
+        Self {
+            params,
+            weights: Vec::new(),
+        }
     }
 
     fn softmax(logits: &[f32]) -> Vec<f32> {
@@ -126,7 +134,10 @@ mod tests {
         for _ in 0..80 {
             x.push(vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
             y.push(0);
-            x.push(vec![4.0 + rng.gen_range(-1.0..1.0), 4.0 + rng.gen_range(-1.0..1.0)]);
+            x.push(vec![
+                4.0 + rng.gen_range(-1.0..1.0),
+                4.0 + rng.gen_range(-1.0..1.0),
+            ]);
             y.push(1);
         }
         let mut lr = LogisticRegression::new();
@@ -150,7 +161,12 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![5.0, 5.0], vec![6.0, 4.0]];
+        let x = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![5.0, 5.0],
+            vec![6.0, 4.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut a = LogisticRegression::new();
         let mut b = LogisticRegression::new();

@@ -17,7 +17,10 @@ impl ConfusionMatrix {
     /// An empty matrix for `n_classes` classes.
     pub fn new(n_classes: usize) -> Self {
         assert!(n_classes >= 2, "need at least two classes");
-        Self { n_classes, counts: vec![0; n_classes * n_classes] }
+        Self {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
     }
 
     /// Builds the matrix from parallel truth/prediction slices.
@@ -32,7 +35,10 @@ impl ConfusionMatrix {
 
     /// Records one observation.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.n_classes && predicted < self.n_classes, "class out of range");
+        assert!(
+            truth < self.n_classes && predicted < self.n_classes,
+            "class out of range"
+        );
         self.counts[truth * self.n_classes + predicted] += 1;
     }
 

@@ -34,7 +34,13 @@ pub struct MlpParams {
 
 impl Default for MlpParams {
     fn default() -> Self {
-        Self { hidden: 64, epochs: 40, learning_rate: 0.01, l2: 1e-5, seed: 0 }
+        Self {
+            hidden: 64,
+            epochs: 40,
+            learning_rate: 0.01,
+            l2: 1e-5,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +68,15 @@ impl Mlp {
     pub fn with_params(params: MlpParams) -> Self {
         assert!(params.hidden >= 1, "need at least one hidden unit");
         assert!(params.learning_rate > 0.0, "learning rate must be positive");
-        Self { params, dim: 0, n_classes: 0, w1: Vec::new(), b1: Vec::new(), w2: Vec::new(), b2: Vec::new() }
+        Self {
+            params,
+            dim: 0,
+            n_classes: 0,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: Vec::new(),
+        }
     }
 
     /// Hidden-layer width.
@@ -213,9 +227,18 @@ mod tests {
     #[test]
     fn learns_xor_unlike_linear_models() {
         let (x, y) = xor_data(300, 1);
-        let mut mlp = Mlp::with_params(MlpParams { hidden: 16, epochs: 120, ..Default::default() });
+        let mut mlp = Mlp::with_params(MlpParams {
+            hidden: 16,
+            epochs: 120,
+            ..Default::default()
+        });
         mlp.fit(&x, &y, 2);
-        let acc = mlp.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+        let acc = mlp
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.9, "MLP XOR accuracy {acc}");
     }

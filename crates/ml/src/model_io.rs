@@ -100,9 +100,7 @@ mod tests {
             SerializableModel::NaiveBayes(GaussianNb::new()),
             SerializableModel::RandomForest(RandomForest::new(5, 1)),
             SerializableModel::Svm(ScaledClassifier::new(LinearSvm::new())),
-            SerializableModel::LogisticRegression(ScaledClassifier::new(
-                LogisticRegression::new(),
-            )),
+            SerializableModel::LogisticRegression(ScaledClassifier::new(LogisticRegression::new())),
             SerializableModel::Mlp(ScaledClassifier::new(Mlp::new())),
         ]
     }

@@ -20,7 +20,10 @@ pub struct ScaledClassifier<C> {
 impl<C: Classifier> ScaledClassifier<C> {
     /// Wraps an unfitted classifier.
     pub fn new(inner: C) -> Self {
-        Self { inner, scaler: None }
+        Self {
+            inner,
+            scaler: None,
+        }
     }
 
     /// The wrapped classifier.
@@ -74,7 +77,12 @@ mod tests {
         let (x, y) = badly_scaled();
         let mut scaled = ScaledClassifier::new(LinearSvm::new());
         scaled.fit(&x, &y, 2);
-        let acc = scaled.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+        let acc = scaled
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.95, "scaled pipeline accuracy {acc}");
         assert_eq!(scaled.name(), "SVM");

@@ -24,7 +24,11 @@ pub struct SvmParams {
 
 impl Default for SvmParams {
     fn default() -> Self {
-        Self { lambda: 1e-5, epochs: 200, seed: 0 }
+        Self {
+            lambda: 1e-5,
+            epochs: 200,
+            seed: 0,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ impl LinearSvm {
     pub fn with_params(params: SvmParams) -> Self {
         assert!(params.lambda > 0.0, "lambda must be positive");
         assert!(params.epochs >= 1, "need at least one epoch");
-        Self { params, weights: Vec::new() }
+        Self {
+            params,
+            weights: Vec::new(),
+        }
     }
 
     /// Trains one binary Pegasos machine: labels +1 for `positive_class`.
@@ -182,7 +189,12 @@ mod tests {
         let (x, y) = linearly_separable(1, 50);
         let mut svm = LinearSvm::new();
         svm.fit(&x, &y, 3);
-        let acc = svm.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+        let acc = svm
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.95, "train accuracy {acc}");
     }
@@ -203,8 +215,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (x, y) = linearly_separable(3, 30);
-        let mut a = LinearSvm::with_params(SvmParams { seed: 9, ..Default::default() });
-        let mut b = LinearSvm::with_params(SvmParams { seed: 9, ..Default::default() });
+        let mut a = LinearSvm::with_params(SvmParams {
+            seed: 9,
+            ..Default::default()
+        });
+        let mut b = LinearSvm::with_params(SvmParams {
+            seed: 9,
+            ..Default::default()
+        });
         a.fit(&x, &y, 3);
         b.fit(&x, &y, 3);
         assert_eq!(a.weights, b.weights);
@@ -221,7 +239,10 @@ mod tests {
             x.push(vec![12.0 + (i % 10) as f32 * 0.1]);
             y.push(1);
         }
-        let mut svm = LinearSvm::with_params(SvmParams { epochs: 80, ..Default::default() });
+        let mut svm = LinearSvm::with_params(SvmParams {
+            epochs: 80,
+            ..Default::default()
+        });
         svm.fit(&x, &y, 2);
         assert_eq!(svm.predict_one(&[8.5]), 0);
         assert_eq!(svm.predict_one(&[12.5]), 1);

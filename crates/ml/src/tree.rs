@@ -25,7 +25,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 4, max_thresholds: 24, features_per_split: None }
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            max_thresholds: 24,
+            features_per_split: None,
+        }
     }
 }
 
@@ -63,7 +68,12 @@ impl DecisionTree {
     pub fn with_params(params: TreeParams, seed: u64) -> Self {
         assert!(params.max_depth >= 1, "max_depth must be >= 1");
         assert!(params.max_thresholds >= 1, "max_thresholds must be >= 1");
-        Self { params, seed, root: None, n_classes: 0 }
+        Self {
+            params,
+            seed,
+            root: None,
+            n_classes: 0,
+        }
     }
 
     /// Number of decision nodes plus leaves (model complexity diagnostic).
@@ -116,10 +126,7 @@ impl DecisionTree {
         let total = indices.len();
         let parent_gini = Self::gini(&counts, total);
         let pure = counts.contains(&total);
-        if depth >= self.params.max_depth
-            || total < self.params.min_samples_split
-            || pure
-        {
+        if depth >= self.params.max_depth || total < self.params.min_samples_split || pure {
             return Self::leaf_from(indices, y, n_classes);
         }
 
@@ -157,8 +164,11 @@ impl DecisionTree {
                 if left_total == 0 || left_total == total {
                     continue;
                 }
-                let right_counts: Vec<usize> =
-                    counts.iter().zip(&left_counts).map(|(&a, &b)| a - b).collect();
+                let right_counts: Vec<usize> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&a, &b)| a - b)
+                    .collect();
                 let right_total = total - left_total;
                 let weighted = (left_total as f64 * Self::gini(&left_counts, left_total)
                     + right_total as f64 * Self::gini(&right_counts, right_total))
@@ -181,7 +191,12 @@ impl DecisionTree {
             indices.iter().partition(|&&i| x[i][feature] <= threshold);
         let left = self.build(x, y, &mut left_idx, depth + 1, n_classes, rng);
         let right = self.build(x, y, &mut right_idx, depth + 1, n_classes, rng);
-        Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 }
 
@@ -205,8 +220,17 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { dist } => return dist.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -243,13 +267,20 @@ mod tests {
         t.fit(&x, &y, 2);
         let preds = t.predict(&x);
         let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
-        assert!(correct as f64 / y.len() as f64 > 0.95, "accuracy too low: {correct}/{}", y.len());
+        assert!(
+            correct as f64 / y.len() as f64 > 0.95,
+            "accuracy too low: {correct}/{}",
+            y.len()
+        );
     }
 
     #[test]
     fn depth_one_stump_cannot_learn_xor() {
         let (x, y) = xor_data();
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let mut t = DecisionTree::with_params(params, 0);
         t.fit(&x, &y, 2);
         let preds = t.predict(&x);

@@ -18,7 +18,9 @@ fn clustered(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     (0..n)
         .map(|i| {
             let centre = (i % 4) as f32 * 3.0;
-            (0..dim).map(|_| centre + rng.gen_range(-0.5..0.5)).collect()
+            (0..dim)
+                .map(|_| centre + rng.gen_range(-0.5..0.5))
+                .collect()
         })
         .collect()
 }
@@ -64,16 +66,10 @@ fn random_forest_identical_across_thread_counts() {
 fn cross_validate_identical_across_thread_counts() {
     let (x, y) = labelled(400, 5, 8);
     let data = Dataset::new(x, y, 4);
-    let serial =
-        cross_validate_with_pool(&data, 8, 21, || KnnClassifier::new(3), &Pool::serial());
+    let serial = cross_validate_with_pool(&data, 8, 21, || KnnClassifier::new(3), &Pool::serial());
     for threads in [2, 5] {
-        let pooled = cross_validate_with_pool(
-            &data,
-            8,
-            21,
-            || KnnClassifier::new(3),
-            &Pool::new(threads),
-        );
+        let pooled =
+            cross_validate_with_pool(&data, 8, 21, || KnnClassifier::new(3), &Pool::new(threads));
         assert_eq!(serial.fold_f1, pooled.fold_f1, "{threads} threads");
         assert_eq!(serial.fold_accuracy, pooled.fold_accuracy);
     }

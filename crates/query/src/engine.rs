@@ -28,7 +28,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { visual_kind: FeatureKind::Cnn, lsh: LshConfig::default(), exact_visual: true }
+        Self {
+            visual_kind: FeatureKind::Cnn,
+            lsh: LshConfig::default(),
+            exact_visual: true,
+        }
     }
 }
 
@@ -102,7 +106,9 @@ impl QueryEngine {
         if self.indexed.contains(&id) {
             return;
         }
-        let Some(record) = self.store.image(id) else { return };
+        let Some(record) = self.store.image(id) else {
+            return;
+        };
         self.indexed.insert(id);
         self.scene_tree.insert(record.scene_location, id);
         if let Some(fov) = record.meta.fov {
@@ -110,14 +116,13 @@ impl QueryEngine {
         }
         let doc = self.docs.len();
         self.docs.push(id);
-        self.text.index_document(doc, &record.meta.keywords.join(" "));
+        self.text
+            .index_document(doc, &record.meta.keywords.join(" "));
         self.captured.insert(record.meta.captured_at, doc);
         self.uploaded.insert(record.meta.uploaded_at, doc);
         if let Some(feature) = self.store.feature(id, self.config.visual_kind) {
             let dim = feature.len();
-            let hybrid = self
-                .hybrid
-                .get_or_insert_with(|| VisualRTree::new(dim));
+            let hybrid = self.hybrid.get_or_insert_with(|| VisualRTree::new(dim));
             hybrid.insert(record.scene_location, feature.clone(), id);
             let lsh = self
                 .lsh
@@ -136,7 +141,11 @@ impl QueryEngine {
     pub fn execute(&self, query: &Query) -> Vec<QueryResult> {
         match query {
             Query::Spatial(sq) => self.execute_spatial(sq),
-            Query::Visual { example, kind, mode } => {
+            Query::Visual {
+                example,
+                kind,
+                mode,
+            } => {
                 assert_eq!(
                     *kind, self.config.visual_kind,
                     "engine indexes {:?}, query uses {:?}",
@@ -144,7 +153,11 @@ impl QueryEngine {
                 );
                 self.execute_visual(example, *mode, None)
             }
-            Query::Categorical { scheme, label, min_confidence } => {
+            Query::Categorical {
+                scheme,
+                label,
+                min_confidence,
+            } => {
                 let mut ids: Vec<ImageId> = self
                     .store
                     .annotations_with_label(*scheme, *label)
@@ -154,7 +167,9 @@ impl QueryEngine {
                     .collect();
                 ids.sort_unstable();
                 ids.dedup();
-                ids.into_iter().map(|id| QueryResult::new(id, 0.0)).collect()
+                ids.into_iter()
+                    .map(|id| QueryResult::new(id, 0.0))
+                    .collect()
             }
             Query::Textual { text, mode } => self.execute_textual(text, *mode),
             Query::Temporal { field, from, to } => {
@@ -191,7 +206,9 @@ impl QueryEngine {
     /// ascending. The sqrt-free thresholding path (near-duplicate
     /// detection); no spatial constraint.
     pub fn visual_within_sq(&self, example: &[f32], max_dist_sq: f32) -> Vec<(f32, ImageId)> {
-        let Some(hybrid) = &self.hybrid else { return Vec::new() };
+        let Some(hybrid) = &self.hybrid else {
+            return Vec::new();
+        };
         hybrid
             .range_visual_sq(&world(), example, max_dist_sq)
             .into_iter()
@@ -210,8 +227,10 @@ impl QueryEngine {
                     .or_insert(r.score);
             }
         }
-        let mut out: Vec<QueryResult> =
-            best.into_iter().map(|(id, s)| QueryResult::new(id, s)).collect();
+        let mut out: Vec<QueryResult> = best
+            .into_iter()
+            .map(|(id, s)| QueryResult::new(id, s))
+            .collect();
         out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
         out
     }
@@ -260,7 +279,9 @@ impl QueryEngine {
                 }
                 ids.sort_unstable();
                 ids.dedup();
-                ids.into_iter().map(|id| QueryResult::new(id, 0.0)).collect()
+                ids.into_iter()
+                    .map(|id| QueryResult::new(id, 0.0))
+                    .collect()
             }
             SpatialQuery::Directed { region, directions } => self
                 .fov_tree
@@ -279,7 +300,9 @@ impl QueryEngine {
         mode: VisualMode,
         region: Option<&BBox>,
     ) -> Vec<QueryResult> {
-        let Some(hybrid) = &self.hybrid else { return Vec::new() };
+        let Some(hybrid) = &self.hybrid else {
+            return Vec::new();
+        };
         let region = region.copied().unwrap_or_else(world);
         match mode {
             VisualMode::Threshold(max_dist) => hybrid
@@ -359,9 +382,11 @@ impl QueryEngine {
                 // Only visual leaves of the indexed feature family take
                 // the hybrid path; other kinds fall through to the
                 // general plan (where the standalone assert fires).
-                Query::Visual { example, kind, mode } if *kind == self.config.visual_kind => {
-                    Some((example, *mode))
-                }
+                Query::Visual {
+                    example,
+                    kind,
+                    mode,
+                } if *kind == self.config.visual_kind => Some((example, *mode)),
                 _ => None,
             })
             .collect();
@@ -372,7 +397,10 @@ impl QueryEngine {
             let rest: Vec<&Query> = subs
                 .iter()
                 .filter(|q| {
-                    !matches!(q, Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. })
+                    !matches!(
+                        q,
+                        Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. }
+                    )
                 })
                 .collect();
             if !rest.is_empty() {

@@ -21,11 +21,11 @@
 //! benchmarks compare against.
 
 pub mod engine;
-pub mod localize;
 pub mod linear;
+pub mod localize;
 pub mod types;
 
 pub use engine::QueryEngine;
-pub use localize::{localize, LocalizationEstimate};
 pub use linear::LinearExecutor;
+pub use localize::{localize, LocalizationEstimate};
 pub use types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};

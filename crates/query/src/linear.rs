@@ -34,10 +34,16 @@ impl LinearExecutor {
     pub fn execute(&self, query: &Query) -> Vec<QueryResult> {
         match query {
             Query::Spatial(sq) => self.spatial(sq),
-            Query::Visual { example, kind, mode } => {
-                self.visual(example, *kind, *mode, None)
-            }
-            Query::Categorical { scheme, label, min_confidence } => {
+            Query::Visual {
+                example,
+                kind,
+                mode,
+            } => self.visual(example, *kind, *mode, None),
+            Query::Categorical {
+                scheme,
+                label,
+                min_confidence,
+            } => {
                 let mut ids: Vec<ImageId> = self
                     .store
                     .annotations_with_label(*scheme, *label)
@@ -47,7 +53,9 @@ impl LinearExecutor {
                     .collect();
                 ids.sort_unstable();
                 ids.dedup();
-                ids.into_iter().map(|id| QueryResult::new(id, 0.0)).collect()
+                ids.into_iter()
+                    .map(|id| QueryResult::new(id, 0.0))
+                    .collect()
             }
             Query::Textual { text, mode } => self.textual(text, *mode),
             Query::Temporal { field, from, to } => self
@@ -76,8 +84,10 @@ impl LinearExecutor {
                     .or_insert(r.score);
             }
         }
-        let mut out: Vec<QueryResult> =
-            best.into_iter().map(|(id, s)| QueryResult::new(id, s)).collect();
+        let mut out: Vec<QueryResult> = best
+            .into_iter()
+            .map(|(id, s)| QueryResult::new(id, s))
+            .collect();
         out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
         out
     }
@@ -97,7 +107,10 @@ impl LinearExecutor {
                     .collect();
                 scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 scored.truncate(*k);
-                scored.into_iter().map(|(d, id)| QueryResult::new(id, d)).collect()
+                scored
+                    .into_iter()
+                    .map(|(d, id)| QueryResult::new(id, d))
+                    .collect()
             }
             SpatialQuery::Within(polygon) => records
                 .into_iter()
@@ -140,7 +153,9 @@ impl LinearExecutor {
             .into_iter()
             .filter(|r| region.is_none_or(|b| r.scene_location.intersects(b)))
             .filter_map(|r| {
-                self.store.feature(r.id, kind).map(|f| (l2_sq(&f, example), r.id))
+                self.store
+                    .feature(r.id, kind)
+                    .map(|f| (l2_sq(&f, example), r.id))
             })
             .collect();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -204,7 +219,11 @@ impl LinearExecutor {
         let visuals: Vec<(&Vec<f32>, tvdp_vision::FeatureKind, VisualMode)> = subs
             .iter()
             .filter_map(|q| match q {
-                Query::Visual { example, kind, mode } => Some((example, *kind, *mode)),
+                Query::Visual {
+                    example,
+                    kind,
+                    mode,
+                } => Some((example, *kind, *mode)),
                 _ => None,
             })
             .collect();
@@ -214,7 +233,10 @@ impl LinearExecutor {
             let rest: Vec<&Query> = subs
                 .iter()
                 .filter(|q| {
-                    !matches!(q, Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. })
+                    !matches!(
+                        q,
+                        Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. }
+                    )
                 })
                 .collect();
             if !rest.is_empty() {

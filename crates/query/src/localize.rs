@@ -83,10 +83,18 @@ pub fn localize(
     let center = points[best];
     let region = BBox::from_points(&points).expect("non-empty neighbour set");
     // Confidence: how tightly the committee clusters. 150 m spread ⇒ ~0.5.
-    let spread_m: f64 = points.iter().map(|p| center.fast_distance_m(p)).sum::<f64>()
+    let spread_m: f64 = points
+        .iter()
+        .map(|p| center.fast_distance_m(p))
+        .sum::<f64>()
         / points.len() as f64;
     let confidence = 1.0 / (1.0 + spread_m / 150.0);
-    Some(LocalizationEstimate { center, region, neighbours, confidence })
+    Some(LocalizationEstimate {
+        center,
+        region,
+        neighbours,
+        confidence,
+    })
 }
 
 #[cfg(test)]
@@ -112,8 +120,9 @@ mod tests {
                 keywords: vec![],
             };
             let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
-            let f: Vec<f32> =
-                (0..DIM).map(|d| cluster as f32 * 3.0 + (d as f32) * 0.01 + (i as f32) * 1e-3).collect();
+            let f: Vec<f32> = (0..DIM)
+                .map(|d| cluster as f32 * 3.0 + (d as f32) * 0.01 + (i as f32) * 1e-3)
+                .collect();
             store.put_feature(id, FeatureKind::Cnn, f).unwrap();
         }
         let engine = QueryEngine::build(Arc::clone(&store), Default::default());
@@ -134,7 +143,11 @@ mod tests {
         );
         assert!(est.region.contains(&est.center));
         assert_eq!(est.neighbours.len(), 8);
-        assert!(est.confidence > 0.5, "tight cluster should be confident: {}", est.confidence);
+        assert!(
+            est.confidence > 0.5,
+            "tight cluster should be confident: {}",
+            est.confidence
+        );
         // Neighbours sorted by similarity.
         for w in est.neighbours.windows(2) {
             assert!(w[0].1 <= w[1].1);

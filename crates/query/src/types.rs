@@ -143,7 +143,10 @@ mod tests {
                 kind: FeatureKind::Cnn,
                 mode: VisualMode::TopK(5),
             },
-            Query::Textual { text: "tent".into(), mode: TextualMode::All },
+            Query::Textual {
+                text: "tent".into(),
+                mode: TextualMode::All,
+            },
         ]);
         let json = serde_json::to_string(&q).unwrap();
         let back: Query = serde_json::from_str(&json).unwrap();
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn result_ids_preserve_order() {
-        let rs = vec![QueryResult::new(ImageId(3), 0.1), QueryResult::new(ImageId(1), 0.2)];
+        let rs = vec![
+            QueryResult::new(ImageId(3), 0.1),
+            QueryResult::new(ImageId(1), 0.2),
+        ];
         assert_eq!(result_ids(&rs), vec![ImageId(3), ImageId(1)]);
     }
 }

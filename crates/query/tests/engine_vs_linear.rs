@@ -58,8 +58,9 @@ fn build_store(n: usize, seed: u64) -> Arc<VisualStore> {
         let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
         // Clustered features: class c centred at 2c.
         let class = i % 3;
-        let feature: Vec<f32> =
-            (0..DIM).map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3)).collect();
+        let feature: Vec<f32> = (0..DIM)
+            .map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3))
+            .collect();
         store.put_feature(id, FeatureKind::Cnn, feature).unwrap();
         store
             .annotate(
@@ -92,7 +93,9 @@ fn check_agreement(query: &Query, n: usize, seed: u64) {
 
 #[test]
 fn spatial_range_agrees() {
-    let q = Query::Spatial(SpatialQuery::Range(BBox::new(34.01, -118.29, 34.03, -118.27)));
+    let q = Query::Spatial(SpatialQuery::Range(BBox::new(
+        34.01, -118.29, 34.03, -118.27,
+    )));
     check_agreement(&q, 150, 1);
 }
 
@@ -124,7 +127,12 @@ fn spatial_nearest_matches_distances() {
     let l = linear.execute(&q);
     assert_eq!(e.len(), 7);
     for (a, b) in e.iter().zip(&l) {
-        assert!((a.score - b.score).abs() < 1e-6, "{} vs {}", a.score, b.score);
+        assert!(
+            (a.score - b.score).abs() < 1e-6,
+            "{} vs {}",
+            a.score,
+            b.score
+        );
     }
 }
 
@@ -152,7 +160,12 @@ fn visual_topk_matches_distances() {
     let l = linear.execute(&q);
     assert_eq!(e.len(), 10);
     for (a, b) in e.iter().zip(&l) {
-        assert!((a.score - b.score).abs() < 1e-5, "{} vs {}", a.score, b.score);
+        assert!(
+            (a.score - b.score).abs() < 1e-5,
+            "{} vs {}",
+            a.score,
+            b.score
+        );
     }
 }
 
@@ -162,29 +175,49 @@ fn categorical_agrees() {
     let scheme = store.scheme_by_name("cleanliness").unwrap().id;
     let engine = QueryEngine::build(Arc::clone(&store), Default::default());
     let linear = LinearExecutor::new(store);
-    let q = Query::Categorical { scheme, label: 2, min_confidence: 0.7 };
-    assert_eq!(sorted_ids(&engine.execute(&q)), sorted_ids(&linear.execute(&q)));
+    let q = Query::Categorical {
+        scheme,
+        label: 2,
+        min_confidence: 0.7,
+    };
+    assert_eq!(
+        sorted_ids(&engine.execute(&q)),
+        sorted_ids(&linear.execute(&q))
+    );
     assert!(!engine.execute(&q).is_empty());
 }
 
 #[test]
 fn textual_modes_agree() {
     for mode in [TextualMode::All, TextualMode::Any] {
-        let q = Query::Textual { text: "tent street".into(), mode };
+        let q = Query::Textual {
+            text: "tent street".into(),
+            mode,
+        };
         check_agreement(&q, 150, 8);
     }
     // Ranked mode: same membership at large k.
     let store = build_store(150, 8);
     let engine = QueryEngine::build(Arc::clone(&store), Default::default());
     let linear = LinearExecutor::new(store);
-    let q = Query::Textual { text: "tent".into(), mode: TextualMode::Ranked(1000) };
-    assert_eq!(sorted_ids(&engine.execute(&q)), sorted_ids(&linear.execute(&q)));
+    let q = Query::Textual {
+        text: "tent".into(),
+        mode: TextualMode::Ranked(1000),
+    };
+    assert_eq!(
+        sorted_ids(&engine.execute(&q)),
+        sorted_ids(&linear.execute(&q))
+    );
 }
 
 #[test]
 fn temporal_agrees_for_both_fields() {
     for field in [TemporalField::Captured, TemporalField::Uploaded] {
-        let q = Query::Temporal { field, from: 3_000, to: 7_000 };
+        let q = Query::Temporal {
+            field,
+            from: 3_000,
+            to: 7_000,
+        };
         check_agreement(&q, 150, 9);
     }
 }
@@ -206,7 +239,10 @@ fn hybrid_spatial_visual_agrees() {
 fn hybrid_spatial_textual_agrees() {
     let q = Query::And(vec![
         Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.25))),
-        Query::Textual { text: "trash".into(), mode: TextualMode::Any },
+        Query::Textual {
+            text: "trash".into(),
+            mode: TextualMode::Any,
+        },
     ]);
     check_agreement(&q, 200, 11);
 }
@@ -220,7 +256,11 @@ fn triple_hybrid_agrees() {
             kind: FeatureKind::Cnn,
             mode: VisualMode::Threshold(1.5),
         },
-        Query::Temporal { field: TemporalField::Captured, from: 1_000, to: 9_000 },
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 1_000,
+            to: 9_000,
+        },
     ]);
     check_agreement(&q, 200, 12);
 }
@@ -242,7 +282,10 @@ fn approximate_visual_path_has_high_recall() {
         Arc::clone(&store),
         tvdp_query::engine::EngineConfig {
             exact_visual: false,
-            lsh: tvdp_index::LshConfig { bucket_width: 2.0, ..Default::default() },
+            lsh: tvdp_index::LshConfig {
+                bucket_width: 2.0,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -253,7 +296,10 @@ fn approximate_visual_path_has_high_recall() {
     };
     let exact_ids: Vec<_> = result_ids(&exact.execute(&q));
     let approx_ids: Vec<_> = result_ids(&approx.execute(&q));
-    let hit = exact_ids.iter().filter(|id| approx_ids.contains(id)).count();
+    let hit = exact_ids
+        .iter()
+        .filter(|id| approx_ids.contains(id))
+        .count();
     assert!(hit >= 8, "LSH recall too low: {hit}/10");
 }
 
@@ -277,7 +323,9 @@ fn incremental_indexing_picks_up_new_images() {
             None,
         )
         .unwrap();
-    store.put_feature(id, FeatureKind::Cnn, vec![9.0; DIM]).unwrap();
+    store
+        .put_feature(id, FeatureKind::Cnn, vec![9.0; DIM])
+        .unwrap();
     engine.index_image(id);
     assert_eq!(engine.len(), before + 1);
     let hits = engine.execute(&Query::Textual {
@@ -293,8 +341,15 @@ fn incremental_indexing_picks_up_new_images() {
 #[test]
 fn or_union_agrees_and_keeps_best_score() {
     let q = Query::Or(vec![
-        Query::Textual { text: "tent".into(), mode: TextualMode::Any },
-        Query::Temporal { field: TemporalField::Captured, from: 2_000, to: 4_000 },
+        Query::Textual {
+            text: "tent".into(),
+            mode: TextualMode::Any,
+        },
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 2_000,
+            to: 4_000,
+        },
         Query::Visual {
             example: vec![0.0; DIM],
             kind: FeatureKind::Cnn,
@@ -308,11 +363,22 @@ fn or_union_agrees_and_keeps_best_score() {
     let engine = QueryEngine::build(Arc::clone(&store), Default::default());
     let union = engine.execute(&q);
     for sub in [
-        Query::Textual { text: "tent".into(), mode: TextualMode::Any },
-        Query::Temporal { field: TemporalField::Captured, from: 2_000, to: 4_000 },
+        Query::Textual {
+            text: "tent".into(),
+            mode: TextualMode::Any,
+        },
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 2_000,
+            to: 4_000,
+        },
     ] {
         for r in engine.execute(&sub) {
-            assert!(union.iter().any(|u| u.image == r.image), "lost {:?}", r.image);
+            assert!(
+                union.iter().any(|u| u.image == r.image),
+                "lost {:?}",
+                r.image
+            );
         }
     }
     // Ordered by score.
@@ -326,8 +392,14 @@ fn nested_and_or_composition() {
     // (tent OR trash) AND in-region.
     let q = Query::And(vec![
         Query::Or(vec![
-            Query::Textual { text: "tent".into(), mode: TextualMode::Any },
-            Query::Textual { text: "trash".into(), mode: TextualMode::Any },
+            Query::Textual {
+                text: "tent".into(),
+                mode: TextualMode::Any,
+            },
+            Query::Textual {
+                text: "trash".into(),
+                mode: TextualMode::Any,
+            },
         ]),
         Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.26))),
     ]);
@@ -351,8 +423,15 @@ fn execute_batch_matches_per_query_and_linear() {
             kind: FeatureKind::Cnn,
             mode: VisualMode::TopK(10),
         },
-        Query::Textual { text: "tent street".into(), mode: TextualMode::Any },
-        Query::Temporal { field: TemporalField::Captured, from: 3_000, to: 7_000 },
+        Query::Textual {
+            text: "tent street".into(),
+            mode: TextualMode::Any,
+        },
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 3_000,
+            to: 7_000,
+        },
         Query::And(vec![
             Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.04, -118.25))),
             Query::Visual {
@@ -363,14 +442,24 @@ fn execute_batch_matches_per_query_and_linear() {
         ]),
     ];
     let batched = engine.execute_batch(&queries);
-    assert_eq!(batched.len(), queries.len(), "one result set per query, in order");
+    assert_eq!(
+        batched.len(),
+        queries.len(),
+        "one result set per query, in order"
+    );
     for (q, batch_results) in queries.iter().zip(&batched) {
         // Batch == per-query on the engine, including scores and order.
         let single = engine.execute(q);
         assert_eq!(&single, batch_results, "batch diverged on {q:?}");
         // …and both agree with the linear-scan reference on membership
         // (top-k boundary ties may legitimately differ, so skip those).
-        if !matches!(q, Query::Visual { mode: VisualMode::TopK(_), .. }) {
+        if !matches!(
+            q,
+            Query::Visual {
+                mode: VisualMode::TopK(_),
+                ..
+            }
+        ) {
             assert_eq!(
                 sorted_ids(batch_results),
                 sorted_ids(&linear.execute(q)),
@@ -409,5 +498,8 @@ fn polygon_within_agrees() {
         .execute(&Query::Spatial(SpatialQuery::Range(tri.bbox())))
         .len();
     assert!(in_tri > 0);
-    assert!(in_tri < in_box, "triangle ({in_tri}) must prune vs its bbox ({in_box})");
+    assert!(
+        in_tri < in_box,
+        "triangle ({in_tri}) must prune vs its bbox ({in_box})"
+    );
 }

@@ -31,7 +31,11 @@ impl ClassificationScheme {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "duplicate labels");
-        Self { id, name: name.into(), labels }
+        Self {
+            id,
+            name: name.into(),
+            labels,
+        }
     }
 
     /// Index of a label by name.
@@ -97,7 +101,15 @@ impl Annotation {
             (0.0..=1.0).contains(&confidence),
             "confidence out of range: {confidence}"
         );
-        Self { id, image, classification, label, confidence, source, region }
+        Self {
+            id,
+            image,
+            classification,
+            label,
+            confidence,
+            source,
+            region,
+        }
     }
 
     /// Whether a human produced this annotation.
@@ -115,7 +127,11 @@ mod tests {
         let s = ClassificationScheme::new(
             ClassificationId(1),
             "street-cleanliness",
-            vec!["bulky item".into(), "illegal dumping".into(), "clean".into()],
+            vec![
+                "bulky item".into(),
+                "illegal dumping".into(),
+                "clean".into(),
+            ],
         );
         assert_eq!(s.label_index("illegal dumping"), Some(1));
         assert_eq!(s.label_index("graffiti"), None);
@@ -124,11 +140,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate labels")]
     fn duplicate_labels_rejected() {
-        let _ = ClassificationScheme::new(
-            ClassificationId(1),
-            "x",
-            vec!["a".into(), "a".into()],
-        );
+        let _ = ClassificationScheme::new(ClassificationId(1), "x", vec!["a".into(), "a".into()]);
     }
 
     #[test]
@@ -149,7 +161,12 @@ mod tests {
             2,
             0.83,
             AnnotationSource::Machine(ModelId(5)),
-            Some(RegionOfInterest { x: 0, y: 0, width: 10, height: 10 }),
+            Some(RegionOfInterest {
+                x: 0,
+                y: 0,
+                width: 10,
+                height: 10,
+            }),
         );
         assert!(human.is_human());
         assert!(!machine.is_human());

@@ -22,10 +22,21 @@ pub const FORMAT_VERSION: u32 = 1;
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Row {
-    Header { version: u32 },
+    Header {
+        version: u32,
+    },
     Image(ImageRecord),
-    Blob { id: ImageId, width: usize, height: usize, raw: Vec<u8> },
-    Feature { id: ImageId, kind: FeatureKind, vector: Vec<f32> },
+    Blob {
+        id: ImageId,
+        width: usize,
+        height: usize,
+        raw: Vec<u8>,
+    },
+    Feature {
+        id: ImageId,
+        kind: FeatureKind,
+        vector: Vec<f32>,
+    },
     Scheme(ClassificationScheme),
     Annotation(Annotation),
 }
@@ -71,17 +82,26 @@ pub fn save(store: &VisualStore, path: &Path) -> Result<(), PersistError> {
     let snap = store.snapshot();
     let mut w = BufWriter::new(File::create(path)?);
     let mut emit = |row: &Row| -> Result<(), PersistError> {
-        let line = serde_json::to_string(row)
-            .map_err(|e| PersistError::Corrupt { line: 0, message: e.to_string() })?;
+        let line = serde_json::to_string(row).map_err(|e| PersistError::Corrupt {
+            line: 0,
+            message: e.to_string(),
+        })?;
         writeln!(w, "{line}")?;
         Ok(())
     };
-    emit(&Row::Header { version: FORMAT_VERSION })?;
+    emit(&Row::Header {
+        version: FORMAT_VERSION,
+    })?;
     for rec in snap.images {
         emit(&Row::Image(rec))?;
     }
     for (id, width, height, raw) in snap.blobs {
-        emit(&Row::Blob { id, width, height, raw })?;
+        emit(&Row::Blob {
+            id,
+            width,
+            height,
+            raw,
+        })?;
     }
     for (id, kind, vector) in snap.features {
         emit(&Row::Feature { id, kind, vector })?;
@@ -106,8 +126,10 @@ pub fn load(path: &Path) -> Result<VisualStore, PersistError> {
         if line.trim().is_empty() {
             continue;
         }
-        let row: Row = serde_json::from_str(&line)
-            .map_err(|e| PersistError::Corrupt { line: i + 1, message: e.to_string() })?;
+        let row: Row = serde_json::from_str(&line).map_err(|e| PersistError::Corrupt {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
         match row {
             Row::Header { version } => {
                 if version != FORMAT_VERSION {
@@ -116,7 +138,12 @@ pub fn load(path: &Path) -> Result<VisualStore, PersistError> {
                 saw_header = true;
             }
             Row::Image(rec) => snap.images.push(rec),
-            Row::Blob { id, width, height, raw } => snap.blobs.push((id, width, height, raw)),
+            Row::Blob {
+                id,
+                width,
+                height,
+                raw,
+            } => snap.blobs.push((id, width, height, raw)),
             Row::Feature { id, kind, vector } => snap.features.push((id, kind, vector)),
             Row::Scheme(s) => snap.schemes.push(s),
             Row::Annotation(a) => snap.annotations.push(a),
@@ -157,7 +184,9 @@ mod tests {
         let cls = store
             .register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])
             .unwrap();
-        store.put_feature(img, FeatureKind::Cnn, vec![0.1, 0.2, 0.3]).unwrap();
+        store
+            .put_feature(img, FeatureKind::Cnn, vec![0.1, 0.2, 0.3])
+            .unwrap();
         store
             .annotate(img, cls, 1, 0.7, AnnotationSource::Human(UserId(1)), None)
             .unwrap();
@@ -180,7 +209,10 @@ mod tests {
         assert_eq!(loaded.len(), store.len());
         assert_eq!(loaded.annotation_count(), 1);
         let ids = loaded.image_ids();
-        assert_eq!(loaded.feature(ids[0], FeatureKind::Cnn).unwrap(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(
+            loaded.feature(ids[0], FeatureKind::Cnn).unwrap(),
+            vec![0.1, 0.2, 0.3]
+        );
         assert_eq!(loaded.pixels(ids[0]).unwrap().get(1, 2), [1, 2, 9]);
         assert!(loaded.scheme_by_name("cleanliness").is_some());
         std::fs::remove_file(&path).ok();

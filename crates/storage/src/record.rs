@@ -70,7 +70,14 @@ impl ImageRecord {
             Some(fov) => fov.scene_location(),
             None => BBox::from_point(meta.gps),
         };
-        Self { id, meta, scene_location, origin, width, height }
+        Self {
+            id,
+            meta,
+            scene_location,
+            origin,
+            width,
+            height,
+        }
     }
 
     /// Whether this row is an augmentation product.
@@ -97,21 +104,38 @@ mod tests {
     #[test]
     fn scene_location_from_fov() {
         let fov = Fov::new(GeoPoint::new(34.0, -118.25), 0.0, 60.0, 100.0);
-        let rec = ImageRecord::new(ImageId(1), meta_with_fov(Some(fov)), ImageOrigin::Original, 64, 48);
+        let rec = ImageRecord::new(
+            ImageId(1),
+            meta_with_fov(Some(fov)),
+            ImageOrigin::Original,
+            64,
+            48,
+        );
         assert_eq!(rec.scene_location, fov.scene_location());
         assert!(!rec.is_augmented());
     }
 
     #[test]
     fn scene_location_degenerate_without_fov() {
-        let rec =
-            ImageRecord::new(ImageId(2), meta_with_fov(None), ImageOrigin::Original, 64, 48);
-        assert_eq!(rec.scene_location, BBox::from_point(GeoPoint::new(34.0, -118.25)));
+        let rec = ImageRecord::new(
+            ImageId(2),
+            meta_with_fov(None),
+            ImageOrigin::Original,
+            64,
+            48,
+        );
+        assert_eq!(
+            rec.scene_location,
+            BBox::from_point(GeoPoint::new(34.0, -118.25))
+        );
     }
 
     #[test]
     fn augmented_origin_tracks_parent() {
-        let origin = ImageOrigin::Augmented { parent: ImageId(1), op: "flip_h".into() };
+        let origin = ImageOrigin::Augmented {
+            parent: ImageId(1),
+            op: "flip_h".into(),
+        };
         let rec = ImageRecord::new(ImageId(3), meta_with_fov(None), origin.clone(), 64, 48);
         assert!(rec.is_augmented());
         assert_eq!(rec.origin, origin);
@@ -120,7 +144,13 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let fov = Fov::new(GeoPoint::new(34.0, -118.25), 45.0, 50.0, 80.0);
-        let rec = ImageRecord::new(ImageId(9), meta_with_fov(Some(fov)), ImageOrigin::Original, 32, 32);
+        let rec = ImageRecord::new(
+            ImageId(9),
+            meta_with_fov(Some(fov)),
+            ImageOrigin::Original,
+            32,
+            32,
+        );
         let json = serde_json::to_string(&rec).unwrap();
         let back: ImageRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);

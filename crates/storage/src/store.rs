@@ -35,7 +35,11 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::UnknownImage(id) => write!(f, "unknown image {id}"),
             StorageError::UnknownClassification(id) => write!(f, "unknown classification {id}"),
-            StorageError::LabelOutOfRange { classification, label, vocabulary } => write!(
+            StorageError::LabelOutOfRange {
+                classification,
+                label,
+                vocabulary,
+            } => write!(
                 f,
                 "label {label} out of range for {classification} (vocabulary size {vocabulary})"
             ),
@@ -175,9 +179,9 @@ impl VisualStore {
             .read()
             .images
             .values()
-            .filter(|r| {
-                matches!(&r.origin, ImageOrigin::Augmented { parent: p, .. } if *p == parent)
-            })
+            .filter(
+                |r| matches!(&r.origin, ImageOrigin::Augmented { parent: p, .. } if *p == parent),
+            )
             .map(|r| r.id)
             .collect()
     }
@@ -228,7 +232,8 @@ impl VisualStore {
         }
         let id = ClassificationId(t.next_classification);
         t.next_classification += 1;
-        t.schemes.insert(id, ClassificationScheme::new(id, name, labels));
+        t.schemes
+            .insert(id, ClassificationScheme::new(id, name, labels));
         Ok(id)
     }
 
@@ -239,7 +244,12 @@ impl VisualStore {
 
     /// Looks a scheme up by name.
     pub fn scheme_by_name(&self, name: &str) -> Option<ClassificationScheme> {
-        self.inner.read().schemes.values().find(|s| s.name == name).cloned()
+        self.inner
+            .read()
+            .schemes
+            .values()
+            .find(|s| s.name == name)
+            .cloned()
     }
 
     /// All registered schemes.
@@ -266,7 +276,11 @@ impl VisualStore {
             Some(s) => s.labels.len(),
         };
         if label >= vocabulary {
-            return Err(StorageError::LabelOutOfRange { classification, label, vocabulary });
+            return Err(StorageError::LabelOutOfRange {
+                classification,
+                label,
+                vocabulary,
+            });
         }
         let id = AnnotationId(t.next_annotation);
         t.next_annotation += 1;
@@ -345,10 +359,15 @@ impl VisualStore {
         }
         for a in snap.annotations {
             t.next_annotation = t.next_annotation.max(a.id.raw() + 1);
-            t.annotations_by_image.entry(a.image).or_default().push(a.id);
+            t.annotations_by_image
+                .entry(a.image)
+                .or_default()
+                .push(a.id);
             t.annotations.insert(a.id, a);
         }
-        Self { inner: RwLock::new(t) }
+        Self {
+            inner: RwLock::new(t),
+        }
     }
 }
 
@@ -376,7 +395,9 @@ mod tests {
     #[test]
     fn add_and_fetch_image() {
         let store = VisualStore::new();
-        let id = store.add_image(meta(), ImageOrigin::Original, Some(tiny_image())).unwrap();
+        let id = store
+            .add_image(meta(), ImageOrigin::Original, Some(tiny_image()))
+            .unwrap();
         assert_eq!(store.len(), 1);
         let rec = store.image(id).unwrap();
         assert_eq!(rec.width, 4);
@@ -389,15 +410,23 @@ mod tests {
         let store = VisualStore::new();
         let bad = store.add_image(
             meta(),
-            ImageOrigin::Augmented { parent: ImageId(5), op: "flip_h".into() },
+            ImageOrigin::Augmented {
+                parent: ImageId(5),
+                op: "flip_h".into(),
+            },
             None,
         );
         assert_eq!(bad.unwrap_err(), StorageError::UnknownImage(ImageId(5)));
-        let parent = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        let parent = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
         let child = store
             .add_image(
                 meta(),
-                ImageOrigin::Augmented { parent, op: "flip_h".into() },
+                ImageOrigin::Augmented {
+                    parent,
+                    op: "flip_h".into(),
+                },
                 None,
             )
             .unwrap();
@@ -407,13 +436,21 @@ mod tests {
     #[test]
     fn features_keyed_by_kind() {
         let store = VisualStore::new();
-        let id = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
-        store.put_feature(id, FeatureKind::Cnn, vec![1.0, 2.0]).unwrap();
-        store.put_feature(id, FeatureKind::ColorHistogram, vec![3.0]).unwrap();
+        let id = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
+        store
+            .put_feature(id, FeatureKind::Cnn, vec![1.0, 2.0])
+            .unwrap();
+        store
+            .put_feature(id, FeatureKind::ColorHistogram, vec![3.0])
+            .unwrap();
         assert_eq!(store.feature(id, FeatureKind::Cnn).unwrap(), vec![1.0, 2.0]);
         assert_eq!(store.feature(id, FeatureKind::SiftBow), None);
         assert_eq!(store.images_with_feature(FeatureKind::Cnn), vec![id]);
-        assert!(store.put_feature(ImageId(9), FeatureKind::Cnn, vec![]).is_err());
+        assert!(store
+            .put_feature(ImageId(9), FeatureKind::Cnn, vec![])
+            .is_err());
     }
 
     #[test]
@@ -432,8 +469,12 @@ mod tests {
     #[test]
     fn annotate_validates_foreign_keys() {
         let store = VisualStore::new();
-        let img = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
-        let cls = store.register_scheme("c", vec!["a".into(), "b".into()]).unwrap();
+        let img = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
+        let cls = store
+            .register_scheme("c", vec!["a".into(), "b".into()])
+            .unwrap();
         let src = AnnotationSource::Human(UserId(1));
         assert!(matches!(
             store.annotate(ImageId(50), cls, 0, 1.0, src, None),
@@ -456,11 +497,15 @@ mod tests {
     #[test]
     fn annotations_with_label_filters() {
         let store = VisualStore::new();
-        let cls = store.register_scheme("c", vec!["a".into(), "b".into()]).unwrap();
+        let cls = store
+            .register_scheme("c", vec!["a".into(), "b".into()])
+            .unwrap();
         let src = AnnotationSource::Human(UserId(1));
         let mut b_images = Vec::new();
         for i in 0..6 {
-            let img = store.add_image(meta(), ImageOrigin::Original, None).unwrap();
+            let img = store
+                .add_image(meta(), ImageOrigin::Original, None)
+                .unwrap();
             let label = i % 2;
             store.annotate(img, cls, label, 1.0, src, None).unwrap();
             if label == 1 {
@@ -475,9 +520,13 @@ mod tests {
     #[test]
     fn snapshot_roundtrip() {
         let store = VisualStore::new();
-        let img = store.add_image(meta(), ImageOrigin::Original, Some(tiny_image())).unwrap();
+        let img = store
+            .add_image(meta(), ImageOrigin::Original, Some(tiny_image()))
+            .unwrap();
         let cls = store.register_scheme("c", vec!["a".into()]).unwrap();
-        store.put_feature(img, FeatureKind::Cnn, vec![0.5; 4]).unwrap();
+        store
+            .put_feature(img, FeatureKind::Cnn, vec![0.5; 4])
+            .unwrap();
         store
             .annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(1)), None)
             .unwrap();
@@ -485,10 +534,15 @@ mod tests {
         let restored = VisualStore::from_snapshot(snap);
         assert_eq!(restored.len(), 1);
         assert_eq!(restored.pixels(img).unwrap(), tiny_image());
-        assert_eq!(restored.feature(img, FeatureKind::Cnn).unwrap(), vec![0.5; 4]);
+        assert_eq!(
+            restored.feature(img, FeatureKind::Cnn).unwrap(),
+            vec![0.5; 4]
+        );
         assert_eq!(restored.annotations_of(img).len(), 1);
         // Id allocation continues past restored rows.
-        let next = restored.add_image(meta(), ImageOrigin::Original, None).unwrap();
+        let next = restored
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
         assert!(next.raw() > img.raw());
     }
 

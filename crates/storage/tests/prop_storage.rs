@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use tvdp_geo::GeoPoint;
-use tvdp_storage::{
-    AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore,
-};
+use tvdp_storage::{AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore};
 use tvdp_vision::{FeatureKind, Image};
 
 #[derive(Debug, Clone)]
@@ -31,16 +29,18 @@ fn arb_row() -> impl Strategy<Value = Row> {
         proptest::collection::vec(-10.0f32..10.0, 4),
         any::<bool>(),
     )
-        .prop_map(|(lat, lon, captured, keywords, label, confidence, feature, with_pixels)| Row {
-            lat,
-            lon,
-            captured,
-            keywords,
-            label,
-            confidence,
-            feature,
-            with_pixels,
-        })
+        .prop_map(
+            |(lat, lon, captured, keywords, label, confidence, feature, with_pixels)| Row {
+                lat,
+                lon,
+                captured,
+                keywords,
+                label,
+                confidence,
+                feature,
+                with_pixels,
+            },
+        )
 }
 
 fn populate(rows: &[Row]) -> VisualStore {
@@ -57,11 +57,15 @@ fn populate(rows: &[Row]) -> VisualStore {
             uploaded_at: row.captured + 1,
             keywords: row.keywords.clone(),
         };
-        let pixels = row.with_pixels.then(|| {
-            Image::from_fn(4, 4, |x, y| [(x + i) as u8, y as u8, row.label as u8])
-        });
-        let id = store.add_image(meta, ImageOrigin::Original, pixels).unwrap();
-        store.put_feature(id, FeatureKind::Cnn, row.feature.clone()).unwrap();
+        let pixels = row
+            .with_pixels
+            .then(|| Image::from_fn(4, 4, |x, y| [(x + i) as u8, y as u8, row.label as u8]));
+        let id = store
+            .add_image(meta, ImageOrigin::Original, pixels)
+            .unwrap();
+        store
+            .put_feature(id, FeatureKind::Cnn, row.feature.clone())
+            .unwrap();
         store
             .annotate(
                 id,

@@ -58,9 +58,7 @@ impl Augmentation {
             Augmentation::FlipHorizontal => Image::from_fn(w, h, |x, y| img.get(w - 1 - x, y)),
             Augmentation::FlipVertical => Image::from_fn(w, h, |x, y| img.get(x, h - 1 - y)),
             Augmentation::Rotate90 => Image::from_fn(h, w, |x, y| img.get(y, h - 1 - x)),
-            Augmentation::Rotate180 => {
-                Image::from_fn(w, h, |x, y| img.get(w - 1 - x, h - 1 - y))
-            }
+            Augmentation::Rotate180 => Image::from_fn(w, h, |x, y| img.get(w - 1 - x, h - 1 - y)),
             Augmentation::Rotate270 => Image::from_fn(h, w, |x, y| img.get(w - 1 - y, x)),
             Augmentation::CenterCropZoom { fraction } => {
                 let f = fraction.clamp(0.05, 1.0);
@@ -80,8 +78,7 @@ impl Augmentation {
             }),
             Augmentation::Contrast { factor } => Image::from_fn(w, h, |x, y| {
                 let px = img.get(x, y);
-                let adjust =
-                    |v: u8| ((v as f32 - 128.0) * factor + 128.0).clamp(0.0, 255.0) as u8;
+                let adjust = |v: u8| ((v as f32 - 128.0) * factor + 128.0).clamp(0.0, 255.0) as u8;
                 [adjust(px[0]), adjust(px[1]), adjust(px[2])]
             }),
             Augmentation::GaussianNoise { sigma, seed } => {
@@ -92,8 +89,7 @@ impl Augmentation {
                     for c in 0..3 {
                         let u1: f32 = rng.gen_range(1e-7..1.0f32);
                         let u2: f32 = rng.gen_range(0.0..1.0f32);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f32::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
                         out[c] = (px[c] as f32 + z * sigma).clamp(0.0, 255.0) as u8;
                     }
                     out
@@ -201,7 +197,10 @@ mod tests {
     #[test]
     fn noise_deterministic_and_bounded() {
         let img = sample();
-        let op = Augmentation::GaussianNoise { sigma: 10.0, seed: 3 };
+        let op = Augmentation::GaussianNoise {
+            sigma: 10.0,
+            seed: 3,
+        };
         let a = op.apply(&img);
         let b = op.apply(&img);
         assert_eq!(a, b);

@@ -35,7 +35,12 @@ pub struct CnnConfig {
 
 impl Default for CnnConfig {
     fn default() -> Self {
-        Self { input_size: 48, stage_channels: vec![12, 24, 48], seed: 0x7dbf, pool_grid: 3 }
+        Self {
+            input_size: 48,
+            stage_channels: vec![12, 24, 48],
+            seed: 0x7dbf,
+            pool_grid: 3,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ impl ConvStage {
                 z * scale
             })
             .collect();
-        Self { in_ch, out_ch, weights }
+        Self {
+            in_ch,
+            out_ch,
+            weights,
+        }
     }
 
     #[inline]
@@ -106,7 +115,12 @@ struct FeatureMap {
 
 impl FeatureMap {
     fn zeros(channels: usize, width: usize, height: usize) -> Self {
-        Self { channels, width, height, data: vec![0.0; channels * width * height] }
+        Self {
+            channels,
+            width,
+            height,
+            data: vec![0.0; channels * width * height],
+        }
     }
 
     #[inline]
@@ -298,7 +312,10 @@ mod tests {
         let a = CnnExtractor::new().extract(&scene(0));
         let b = CnnExtractor::new().extract(&scene(0));
         assert_eq!(a, b);
-        let other_seed = CnnExtractor::with_config(CnnConfig { seed: 99, ..Default::default() });
+        let other_seed = CnnExtractor::with_config(CnnConfig {
+            seed: 99,
+            ..Default::default()
+        });
         assert_ne!(a, other_seed.extract(&scene(0)));
     }
 
@@ -311,7 +328,10 @@ mod tests {
         let v = cnn.extract(&scene(0));
         let h = cnn.extract(&scene(1));
         let cos: f32 = v.iter().zip(&h).map(|(a, b)| a * b).sum();
-        assert!(cos < 0.995, "stripe orientations indistinguishable (cos={cos})");
+        assert!(
+            cos < 0.995,
+            "stripe orientations indistinguishable (cos={cos})"
+        );
         // Same structure is self-similar.
         let v2 = cnn.extract(&scene(0));
         let self_cos: f32 = v.iter().zip(&v2).map(|(a, b)| a * b).sum();
@@ -333,7 +353,10 @@ mod tests {
         let a = cnn.extract(&base);
         let b = cnn.extract(&brighter);
         let cos: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!(cos > 0.95, "brightness shift destroyed embedding: cos={cos}");
+        assert!(
+            cos > 0.95,
+            "brightness shift destroyed embedding: cos={cos}"
+        );
     }
 
     #[test]

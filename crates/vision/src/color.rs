@@ -47,7 +47,11 @@ impl ColorHistogramExtractor {
     /// Custom bin counts; each must be positive.
     pub fn new(h_bins: usize, s_bins: usize, v_bins: usize) -> Self {
         assert!(h_bins > 0 && s_bins > 0 && v_bins > 0, "zero bins");
-        Self { h_bins, s_bins, v_bins }
+        Self {
+            h_bins,
+            s_bins,
+            v_bins,
+        }
     }
 }
 

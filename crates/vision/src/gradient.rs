@@ -21,12 +21,20 @@ impl GrayImage {
     /// Panics when `data.len() != width * height`.
     pub fn new(width: usize, height: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), width * height, "buffer size mismatch");
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// A zero-filled buffer.
     pub fn zeros(width: usize, height: usize) -> Self {
-        Self { width, height, data: vec![0.0; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
     }
 
     /// Sample at `(x, y)` with clamped coordinates.

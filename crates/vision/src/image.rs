@@ -18,7 +18,11 @@ impl Image {
     /// Panics on zero width or height.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "degenerate image {width}x{height}");
-        Self { width, height, data: vec![0; width * height * 3] }
+        Self {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
     }
 
     /// Builds an image by evaluating `f(x, y) -> [r, g, b]` per pixel.
@@ -44,7 +48,11 @@ impl Image {
     pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "degenerate image {width}x{height}");
         assert_eq!(data.len(), width * height * 3, "raw buffer size mismatch");
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -101,9 +109,7 @@ impl Image {
     pub fn to_gray(&self) -> Vec<f32> {
         self.data
             .chunks_exact(3)
-            .map(|px| {
-                (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) / 255.0
-            })
+            .map(|px| (0.299 * px[0] as f32 + 0.587 * px[1] as f32 + 0.114 * px[2] as f32) / 255.0)
             .collect()
     }
 
@@ -146,7 +152,10 @@ impl Image {
     /// Panics when the rectangle exceeds the image bounds.
     pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Image {
         assert!(w > 0 && h > 0, "degenerate crop");
-        assert!(x + w <= self.width && y + h <= self.height, "crop out of bounds");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "crop out of bounds"
+        );
         Image::from_fn(w, h, |cx, cy| self.get(x + cx, y + cy))
     }
 

@@ -63,7 +63,9 @@ pub const DESCRIPTOR_DIM: usize = 128;
 impl SiftExtractor {
     /// Extractor with default configuration.
     pub fn new() -> Self {
-        Self { config: SiftConfig::default() }
+        Self {
+            config: SiftConfig::default(),
+        }
     }
 
     /// Extractor with explicit configuration.
@@ -195,11 +197,12 @@ impl SiftExtractor {
             for dx in -radius..=radius {
                 let (px, py) = (x as isize + dx, y as isize + dy);
                 let (m, o) = mag_ori(gx_img.get(px, py), gy_img.get(px, py));
-                let w = (-((dx * dx + dy * dy) as f32) / (2.0 * (radius as f32 / 2.0).powi(2)))
-                    .exp();
-                let bin = (((o + std::f32::consts::PI) / (2.0 * std::f32::consts::PI)
-                    * BINS as f32) as usize)
-                    .min(BINS - 1);
+                let w =
+                    (-((dx * dx + dy * dy) as f32) / (2.0 * (radius as f32 / 2.0).powi(2))).exp();
+                let bin =
+                    (((o + std::f32::consts::PI) / (2.0 * std::f32::consts::PI) * BINS as f32)
+                        as usize)
+                        .min(BINS - 1);
                 hist[bin] += m * w;
             }
         }
@@ -276,7 +279,11 @@ mod tests {
     fn flat_image_has_no_keypoints() {
         let img = Image::from_fn(48, 48, |_, _| [128, 128, 128]);
         let kps = SiftExtractor::new().detect(&img);
-        assert!(kps.is_empty(), "found {} keypoints on flat image", kps.len());
+        assert!(
+            kps.is_empty(),
+            "found {} keypoints on flat image",
+            kps.len()
+        );
     }
 
     #[test]
@@ -303,7 +310,10 @@ mod tests {
 
     #[test]
     fn keypoints_sorted_by_response_and_capped() {
-        let config = SiftConfig { max_keypoints: 5, ..Default::default() };
+        let config = SiftConfig {
+            max_keypoints: 5,
+            ..Default::default()
+        };
         let kps = SiftExtractor::with_config(config).detect(&blob_image());
         assert!(kps.len() <= 5);
         for w in kps.windows(2) {
@@ -334,9 +344,7 @@ mod tests {
         // The descriptor of the blob centre should resemble the descriptor
         // of the same blob shifted by two pixels.
         let a = blob_image();
-        let b = Image::from_fn(48, 48, |x, y| {
-            a.get_clamped(x as isize - 2, y as isize)
-        });
+        let b = Image::from_fn(48, 48, |x, y| a.get_clamped(x as isize - 2, y as isize));
         let ea = SiftExtractor::new().detect_and_describe(&a);
         let eb = SiftExtractor::new().detect_and_describe(&b);
         let (_, da) = &ea[0];

@@ -1,9 +1,7 @@
 //! Property-based tests of the visual substrate.
 
 use proptest::prelude::*;
-use tvdp_vision::{
-    rgb_to_hsv, Augmentation, ColorHistogramExtractor, FeatureExtractor, Image,
-};
+use tvdp_vision::{rgb_to_hsv, Augmentation, ColorHistogramExtractor, FeatureExtractor, Image};
 
 fn arb_image() -> impl Strategy<Value = Image> {
     (4usize..24, 4usize..24, any::<u64>()).prop_map(|(w, h, seed)| {

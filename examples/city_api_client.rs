@@ -21,7 +21,10 @@ fn main() {
     let dept = platform.register_user("Bureau of Street Services", Role::Government);
     let server = ApiServer::with_rate_limit(
         Arc::clone(&platform),
-        RateLimitConfig { burst: 10_000, per_second: 10_000.0 },
+        RateLimitConfig {
+            burst: 10_000,
+            per_second: 10_000.0,
+        },
     );
     let key = server.issue_key(dept);
     println!("issued API key {key}\n");
@@ -30,7 +33,11 @@ fn main() {
     let mut call = |endpoint: &str, body: serde_json::Value| {
         now_ms += 7;
         let response = server.handle(
-            &ApiRequest { key: key.clone(), endpoint: endpoint.into(), body },
+            &ApiRequest {
+                key: key.clone(),
+                endpoint: endpoint.into(),
+                body,
+            },
             now_ms,
         );
         assert!(response.is_ok(), "{endpoint} failed: {:?}", response.body);
@@ -49,7 +56,11 @@ fn main() {
     println!("registered scheme cls-{scheme}");
 
     // Upload 120 images with metadata, labelling 100 of them.
-    let data = generate(&DatasetConfig { n_images: 120, image_size: 48, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 120,
+        image_size: 48,
+        ..Default::default()
+    });
     let mut image_ids = Vec::new();
     for (i, d) in data.iter().enumerate() {
         let body = json!({

@@ -44,7 +44,10 @@ fn main() {
         4,
         10, // reward points: time-critical tasks pay more
     );
-    println!("wildfire campaign over {:.2} km^2, goal: 4 directions per cell", area.area_m2() / 1e6);
+    println!(
+        "wildfire campaign over {:.2} km^2, goal: 4 directions per cell",
+        area.area_m2() / 1e6
+    );
 
     // 2. Run the iterative campaign; every captured FOV becomes an
     //    ingested drone frame.
@@ -61,7 +64,11 @@ fn main() {
     let (report, ids) = tvdp
         .acquire_via_campaign(agency, &campaign, &sim, |_fov| {
             t += rng.gen_range(5..40);
-            (drone_frame(&mut rng), vec!["wildfire".into(), "drone".into()], t)
+            (
+                drone_frame(&mut rng),
+                vec!["wildfire".into(), "drone".into()],
+                t,
+            )
         })
         .expect("campaign");
     println!(
@@ -86,7 +93,10 @@ fn main() {
         region: area,
         directions: AngularRange::centered(0.0, 45.0),
     }));
-    println!("\nframes looking north over the fire area : {}", north.len());
+    println!(
+        "\nframes looking north over the fire area : {}",
+        north.len()
+    );
 
     // What arrived in the last simulated ten minutes?
     let fresh = tvdp.search(&Query::Temporal {

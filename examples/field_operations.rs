@@ -42,7 +42,10 @@ fn main() {
         .ingest_video(
             dept,
             &frames,
-            KeyframePolicy::SpatialNovelty { min_move_m: 12.0, min_turn_deg: 30.0 },
+            KeyframePolicy::SpatialNovelty {
+                min_move_m: 12.0,
+                min_turn_deg: 30.0,
+            },
             vec!["route-12".into(), "dashcam".into()],
         )
         .expect("video ingest");
@@ -76,7 +79,10 @@ fn main() {
         )
         .expect("dedup ingest");
     match outcome {
-        IngestOutcome::Duplicate { existing, feature_distance } => println!(
+        IngestOutcome::Duplicate {
+            existing,
+            feature_distance,
+        } => println!(
             "re-upload rejected: duplicate of {existing} (feature distance {feature_distance:.3})"
         ),
         IngestOutcome::Stored(id) => println!("unexpectedly stored as {id}"),
@@ -115,7 +121,10 @@ fn main() {
     // A color-appearance engine over the same store.
     let engine = QueryEngine::build(
         Arc::clone(store),
-        EngineConfig { visual_kind: FeatureKind::ColorHistogram, ..Default::default() },
+        EngineConfig {
+            visual_kind: FeatureKind::ColorHistogram,
+            ..Default::default()
+        },
     );
     // Forty photos with stripped EXIF; report the median placement error.
     let mut errors: Vec<f64> = Vec::new();

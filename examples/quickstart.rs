@@ -18,11 +18,18 @@ fn main() {
 
     // 2. Upload 300 geo-tagged street images (synthetic stand-ins for
     //    truck-mounted camera captures).
-    let data = generate(&DatasetConfig { n_images: 300, image_size: 48, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 300,
+        image_size: 48,
+        ..Default::default()
+    });
     let scheme = tvdp
         .register_scheme(
             "street-cleanliness",
-            tvdp::datagen::CleanlinessClass::ALL.iter().map(|c| c.label().into()).collect(),
+            tvdp::datagen::CleanlinessClass::ALL
+                .iter()
+                .map(|c| c.label().into())
+                .collect(),
         )
         .expect("fresh scheme");
     let mut ids = Vec::new();
@@ -42,7 +49,11 @@ fn main() {
             .expect("ingest");
         ids.push(id);
     }
-    println!("ingested {} images ({} indexed features each)", ids.len(), 2);
+    println!(
+        "ingested {} images ({} indexed features each)",
+        ids.len(),
+        2
+    );
 
     // 3. Query the platform five ways.
     let region = BBox::new(34.04, -118.255, 34.05, -118.245);
@@ -55,7 +66,10 @@ fn main() {
     }));
     println!("north-facing FOV query   : {} hits", directed.len());
 
-    let example = tvdp.store().feature(ids[0], FeatureKind::Cnn).expect("stored feature");
+    let example = tvdp
+        .store()
+        .feature(ids[0], FeatureKind::Cnn)
+        .expect("stored feature");
     let similar = tvdp.search(&Query::Visual {
         example,
         kind: FeatureKind::Cnn,
@@ -66,7 +80,10 @@ fn main() {
         similar.iter().map(|r| r.image.raw()).collect::<Vec<_>>()
     );
 
-    let textual = tvdp.search(&Query::Textual { text: "tent".into(), mode: TextualMode::All });
+    let textual = tvdp.search(&Query::Textual {
+        text: "tent".into(),
+        mode: TextualMode::All,
+    });
     println!("keyword query 'tent'     : {} hits", textual.len());
 
     let temporal = tvdp.search(&Query::Temporal {
@@ -80,10 +97,17 @@ fn main() {
     //    classify the rest.
     let labelled = 240;
     for (d, &id) in data[..labelled].iter().zip(&ids[..labelled]) {
-        tvdp.annotate_human(city, id, scheme, d.cleanliness.index()).expect("annotate");
+        tvdp.annotate_human(city, id, scheme, d.cleanliness.index())
+            .expect("annotate");
     }
     let model = tvdp
-        .train_model(city, "cleanliness-mlp", scheme, FeatureKind::Cnn, Algorithm::Mlp)
+        .train_model(
+            city,
+            "cleanliness-mlp",
+            scheme,
+            FeatureKind::Cnn,
+            Algorithm::Mlp,
+        )
         .expect("train");
     let predictions = tvdp.apply_model(model, &ids[labelled..]).expect("apply");
     let correct = predictions
@@ -101,8 +125,14 @@ fn main() {
     // 5. Hybrid query: encampment-labelled images in a region.
     let enc = tvdp::datagen::CleanlinessClass::Encampment.index();
     let hybrid = tvdp.search(&Query::And(vec![
-        Query::Spatial(SpatialQuery::Range(BBox::new(34.035, -118.26, 34.053, -118.238))),
-        Query::Categorical { scheme, label: enc, min_confidence: 0.0 },
+        Query::Spatial(SpatialQuery::Range(BBox::new(
+            34.035, -118.26, 34.053, -118.238,
+        ))),
+        Query::Categorical {
+            scheme,
+            label: enc,
+            min_confidence: 0.0,
+        },
     ]));
     println!("encampments in region    : {} images", hybrid.len());
 

@@ -20,11 +20,18 @@ fn main() {
     println!("participants: LASAN (gov), USC (research), Homeless Coordinator (gov)\n");
 
     // 1. LASAN's garbage trucks record streets while on their routes.
-    let data = generate(&DatasetConfig { n_images: 700, image_size: 48, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 700,
+        image_size: 48,
+        ..Default::default()
+    });
     let cleanliness = tvdp
         .register_scheme(
             "street-cleanliness",
-            CleanlinessClass::ALL.iter().map(|c| c.label().into()).collect(),
+            CleanlinessClass::ALL
+                .iter()
+                .map(|c| c.label().into())
+                .collect(),
         )
         .expect("fresh scheme");
     let batch: Vec<_> = data
@@ -48,19 +55,34 @@ fn main() {
     // 2. LASAN labels a training portion with its cleanliness levels.
     let labelled = 500;
     for (d, &id) in data[..labelled].iter().zip(&ids[..labelled]) {
-        tvdp.annotate_human(lasan, id, cleanliness, d.cleanliness.index()).expect("annotate");
+        tvdp.annotate_human(lasan, id, cleanliness, d.cleanliness.index())
+            .expect("annotate");
     }
     println!("LASAN hand-labelled {labelled} of them");
 
     // 3. USC trains the classifier and machine-annotates the rest.
     let model = tvdp
-        .train_model(usc, "cleanliness", cleanliness, FeatureKind::Cnn, Algorithm::Mlp)
+        .train_model(
+            usc,
+            "cleanliness",
+            cleanliness,
+            FeatureKind::Cnn,
+            Algorithm::Mlp,
+        )
         .expect("train");
     let predictions = tvdp.apply_model(model, &ids[labelled..]).expect("apply");
     let per_class: Vec<usize> = (0..5)
-        .map(|c| predictions.iter().filter(|(_, label, _)| *label == c).count())
+        .map(|c| {
+            predictions
+                .iter()
+                .filter(|(_, label, _)| *label == c)
+                .count()
+        })
         .collect();
-    println!("\nUSC's model classified the remaining {}:", predictions.len());
+    println!(
+        "\nUSC's model classified the remaining {}:",
+        predictions.len()
+    );
     for (c, count) in CleanlinessClass::ALL.iter().zip(&per_class) {
         println!("  {:<22} {count}", c.label());
     }
@@ -73,7 +95,11 @@ fn main() {
     let top = hotspots(tvdp.store(), cleanliness, enc, &region, 200.0, 0.0, 3);
     let tents: usize = cells.iter().map(|c| c.count).sum();
     println!("\nHomeless Coordinator (no new learning, same database):");
-    println!("  {} encampment sightings across {} map cells", tents, cells.len());
+    println!(
+        "  {} encampment sightings across {} map cells",
+        tents,
+        cells.len()
+    );
     println!("  top tent hotspots:");
     for (i, cell) in top.iter().enumerate() {
         let c = cell.cell.center();

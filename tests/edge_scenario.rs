@@ -5,8 +5,8 @@
 use tvdp::edge::learning::run_crowd_learning;
 use tvdp::edge::{
     energy_per_inference_j, inferences_per_charge, simulate_inference, CrowdLearningConfig,
-    DeviceClass, DispatchConstraints, EdgeNode, ModelDispatcher, PowerProfile,
-    SelectionStrategy, MODEL_ZOO,
+    DeviceClass, DispatchConstraints, EdgeNode, ModelDispatcher, PowerProfile, SelectionStrategy,
+    MODEL_ZOO,
 };
 use tvdp::ml::{Dataset, LinearSvm};
 
@@ -35,7 +35,10 @@ fn fleet_dispatch_energy_and_latency_are_consistent() {
         );
         // And the energy constraint, when the device has a battery.
         if let Some(per_charge) = inferences_per_charge(&model, &device, &power) {
-            assert!(per_charge >= 5_000, "{class:?}: only {per_charge} inferences per charge");
+            assert!(
+                per_charge >= 5_000,
+                "{class:?}: only {per_charge} inferences per charge"
+            );
         }
         assert!(energy_per_inference_j(&model, &device, &power) > 0.0);
     }

@@ -32,9 +32,17 @@ fn fig8_latency_ordering_holds() {
 
 #[test]
 fn fig9_translational_flow_produces_usable_knowledge() {
-    let r = run_fig9(&Fig9Config { n_images: 200, image_size: 32, ..Default::default() });
+    let r = run_fig9(&Fig9Config {
+        n_images: 200,
+        image_size: 32,
+        ..Default::default()
+    });
     // The cleanliness model must beat random guessing (5 classes).
-    assert!(r.cleanliness_f1 > 0.25, "cleanliness F1 {}", r.cleanliness_f1);
+    assert!(
+        r.cleanliness_f1 > 0.25,
+        "cleanliness F1 {}",
+        r.cleanliness_f1
+    );
     // The reused encampment knowledge localizes something real.
     assert!(r.tents_ground_truth > 0);
     assert!(r.hotspot_cells > 0);
@@ -53,9 +61,17 @@ fn coverage_campaign_is_monotone_and_terminates() {
     });
     for outcome in &result.outcomes {
         for w in outcome.coverage_per_round.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "{}: coverage decreased", outcome.strategy);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "{}: coverage decreased",
+                outcome.strategy
+            );
         }
-        assert!(outcome.satisfied, "{} did not reach the goal", outcome.strategy);
+        assert!(
+            outcome.satisfied,
+            "{} did not reach the goal",
+            outcome.strategy
+        );
     }
 }
 
@@ -74,7 +90,11 @@ fn edge_learning_improves_and_saves_bandwidth() {
     for outcome in &result.outcomes {
         let first = outcome.f1_per_round[0];
         let best = outcome.f1_per_round.iter().copied().fold(0.0f64, f64::max);
-        assert!(best > first, "{}: no round improved on the seed model", outcome.strategy);
+        assert!(
+            best > first,
+            "{}: no round improved on the seed model",
+            outcome.strategy
+        );
         assert!(outcome.bandwidth_saving > 0.0);
     }
     assert!(result.feature_bytes < result.raw_image_bytes);

@@ -13,7 +13,12 @@ use tvdp::vision::{CnnConfig, FeatureKind};
 
 fn fast_platform() -> Tvdp {
     Tvdp::new(PlatformConfig {
-        cnn: CnnConfig { input_size: 16, stage_channels: vec![4, 8], pool_grid: 2, seed: 1 },
+        cnn: CnnConfig {
+            input_size: 16,
+            stage_channels: vec![4, 8],
+            pool_grid: 2,
+            seed: 1,
+        },
         min_training_samples: 10,
         ..Default::default()
     })
@@ -27,11 +32,18 @@ fn ingest_train_apply_translate() {
     let scheme = tvdp
         .register_scheme(
             "street-cleanliness",
-            CleanlinessClass::ALL.iter().map(|c| c.label().into()).collect(),
+            CleanlinessClass::ALL
+                .iter()
+                .map(|c| c.label().into())
+                .collect(),
         )
         .unwrap();
 
-    let data = generate(&DatasetConfig { n_images: 120, image_size: 32, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 120,
+        image_size: 32,
+        ..Default::default()
+    });
     let mut ids = Vec::new();
     for d in &data {
         ids.push(
@@ -51,10 +63,17 @@ fn ingest_train_apply_translate() {
     }
     // Label 90, machine-annotate 30.
     for (d, &id) in data[..90].iter().zip(&ids[..90]) {
-        tvdp.annotate_human(gov, id, scheme, d.cleanliness.index()).unwrap();
+        tvdp.annotate_human(gov, id, scheme, d.cleanliness.index())
+            .unwrap();
     }
     let model = tvdp
-        .train_model(usc, "m", scheme, FeatureKind::Cnn, Algorithm::RandomForest(10))
+        .train_model(
+            usc,
+            "m",
+            scheme,
+            FeatureKind::Cnn,
+            Algorithm::RandomForest(10),
+        )
         .unwrap();
     let predictions = tvdp.apply_model(model, &ids[90..]).unwrap();
     assert_eq!(predictions.len(), 30);
@@ -64,9 +83,14 @@ fn ingest_train_apply_translate() {
     let region = *StreetGrid::downtown_la().region();
     let cells = count_by_cell(tvdp.store(), scheme, enc, &region, 300.0, 0.0);
     let counted: usize = cells.iter().map(|c| c.count).sum();
-    let human_enc =
-        data[..90].iter().filter(|d| d.cleanliness == CleanlinessClass::Encampment).count();
-    assert!(counted >= human_enc, "human annotations alone guarantee {human_enc}");
+    let human_enc = data[..90]
+        .iter()
+        .filter(|d| d.cleanliness == CleanlinessClass::Encampment)
+        .count();
+    assert!(
+        counted >= human_enc,
+        "human annotations alone guarantee {human_enc}"
+    );
 
     // Every machine annotation is attached to the right scheme.
     for &id in &ids[90..] {
@@ -81,7 +105,11 @@ fn ingest_train_apply_translate() {
 fn persistence_roundtrip_preserves_queryability() {
     let tvdp = fast_platform();
     let user = tvdp.register_user("u", Role::CommunityPartner);
-    let data = generate(&DatasetConfig { n_images: 40, image_size: 32, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 40,
+        image_size: 32,
+        ..Default::default()
+    });
     for d in &data {
         tvdp.ingest(
             user,
@@ -114,8 +142,12 @@ fn persistence_roundtrip_preserves_queryability() {
 
     // Spatial queries agree before and after the round trip.
     let region = *StreetGrid::downtown_la().region();
-    let before = tvdp.search(&Query::Spatial(SpatialQuery::Range(region))).len();
-    let after = engine.execute(&Query::Spatial(SpatialQuery::Range(region))).len();
+    let before = tvdp
+        .search(&Query::Spatial(SpatialQuery::Range(region)))
+        .len();
+    let after = engine
+        .execute(&Query::Spatial(SpatialQuery::Range(region)))
+        .len();
     assert_eq!(before, after);
 
     // Features survive too.
@@ -135,9 +167,11 @@ fn campaign_acquisition_feeds_directed_queries() {
     let ne = sw.destination(0.0, 300.0);
     let e = sw.destination(90.0, 300.0);
     let area = BBox::new(sw.lat, sw.lon, ne.lat, e.lon);
-    let campaign =
-        Campaign::new("c", CoverageSpec::new(area, 100.0, 8), 2, 1);
-    let sim = SimulationConfig { max_rounds: 4, ..Default::default() };
+    let campaign = Campaign::new("c", CoverageSpec::new(area, 100.0, 8), 2, 1);
+    let sim = SimulationConfig {
+        max_rounds: 4,
+        ..Default::default()
+    };
     let mut t = 0i64;
     let (report, ids) = tvdp
         .acquire_via_campaign(agency, &campaign, &sim, |_| {
@@ -171,7 +205,11 @@ fn augmentation_expands_training_data_with_lineage() {
 
     let tvdp = fast_platform();
     let user = tvdp.register_user("u", Role::Academic);
-    let data = generate(&DatasetConfig { n_images: 6, image_size: 32, ..Default::default() });
+    let data = generate(&DatasetConfig {
+        n_images: 6,
+        image_size: 32,
+        ..Default::default()
+    });
     let d = &data[0];
     let parent = tvdp
         .ingest(
@@ -190,10 +228,15 @@ fn augmentation_expands_training_data_with_lineage() {
         Augmentation::FlipHorizontal,
         Augmentation::Rotate180,
         Augmentation::Brightness { delta: 25 },
-        Augmentation::GaussianNoise { sigma: 5.0, seed: 3 },
+        Augmentation::GaussianNoise {
+            sigma: 5.0,
+            seed: 3,
+        },
     ];
-    let children: Vec<_> =
-        ops.iter().map(|op| tvdp.augment(user, parent, *op).unwrap()).collect();
+    let children: Vec<_> = ops
+        .iter()
+        .map(|op| tvdp.augment(user, parent, *op).unwrap())
+        .collect();
     assert_eq!(tvdp.store().augmented_children(parent).len(), 4);
     for &child in &children {
         let rec = tvdp.store().image(child).unwrap();
