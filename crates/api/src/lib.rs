@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! REST-style API layer for the Translational Visual Data Platform.
 //!
 //! The paper (Section V) exposes TVDP through simple web-service APIs so

@@ -360,11 +360,9 @@ impl ApiServer {
         let Some(interface) = self.platform.models().interface(id) else {
             return ApiResponse::err(404, format!("unknown model model-{}", b.model));
         };
-        let (name, owner, algorithm) = self
-            .platform
-            .models()
-            .describe(id)
-            .expect("interface implies entry");
+        let Some((name, owner, algorithm)) = self.platform.models().describe(id) else {
+            return ApiResponse::err(404, format!("unknown model model-{}", b.model));
+        };
         let mut body = json!({
             "model": b.model,
             "name": name,

@@ -88,6 +88,7 @@ impl Fig6Result {
         self.cells
             .iter()
             .max_by(|a, b| a.f1.total_cmp(&b.f1))
+            // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
             .expect("non-empty result")
     }
 
@@ -274,6 +275,7 @@ pub fn run_fig7(config: &ClassificationConfig) -> Fig7Result {
     let cnn = splits
         .iter()
         .find(|s| s.kind == FeatureKind::Cnn)
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("CNN split present");
     let scaler = StandardScaler::fit(&cnn.train_x);
     let train_x = scaler.transform(&cnn.train_x);

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Experiment harness regenerating the paper's evaluation figures.
 //!
 //! Each module implements one experiment as a pure function from a config

@@ -91,9 +91,11 @@ pub fn run_localization(config: &LocalizationConfig) -> LocalizationResult {
                 ImageOrigin::Original,
                 None,
             )
+            // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
             .expect("corpus ingest");
         store
             .put_feature(id, FeatureKind::ColorHistogram, extractor.extract(&d.image))
+            // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
             .expect("store feature");
     }
     let engine = QueryEngine::build(

@@ -87,9 +87,11 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
                 .map(|c| c.label().to_string())
                 .collect(),
         )
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("fresh scheme");
     let graffiti = platform
         .register_scheme("graffiti", vec!["absent".into(), "present".into()])
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("fresh scheme");
 
     // 1. LASAN's trucks collect and upload.
@@ -116,6 +118,7 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
         .collect();
     let ids: Vec<ImageId> = platform
         .ingest_batch(lasan, batch, 8)
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("ingest succeeds");
 
     // 2. LASAN labels the first portion; USC trains and applies.
@@ -123,6 +126,7 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
     for (d, &id) in data[..cut].iter().zip(&ids[..cut]) {
         platform
             .annotate_human(lasan, id, cleanliness, d.cleanliness.index())
+            // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
             .expect("annotate succeeds");
     }
     let model = platform
@@ -133,9 +137,11 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
             FeatureKind::Cnn,
             Algorithm::Mlp,
         )
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("training succeeds");
     let predictions = platform
         .apply_model(model, &ids[cut..])
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("apply succeeds");
 
     // Quality of the machine annotations against hidden ground truth.
@@ -179,6 +185,7 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
     for (d, &id) in data[..cut].iter().zip(&ids[..cut]) {
         platform
             .annotate_human(lasan, id, graffiti, usize::from(d.graffiti))
+            // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
             .expect("annotate succeeds");
     }
     let graffiti_model = platform
@@ -189,9 +196,11 @@ pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
             FeatureKind::Cnn,
             Algorithm::Mlp,
         )
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("training succeeds");
     let gpred = platform
         .apply_model(graffiti_model, &ids[cut..])
+        // tvdp-lint: allow(no_panic, reason = "experiment driver: aborting on a malformed setup is intended")
         .expect("apply succeeds");
     let gtruth: Vec<usize> = data[cut..]
         .iter()

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Command-line interface for the Translational Visual Data Platform.
 //!
 //! Operates on a store file persisted in the JSON-lines format of
@@ -340,15 +338,20 @@ fn search(path: &str, rest: &[String]) -> Result<String, CliError> {
     if subs.is_empty() {
         return Err(err("search needs at least one filter; see `tvdp help`"));
     }
-    let query = if subs.len() == 1 {
-        subs.pop().expect("one element")
-    } else {
-        Query::And(subs)
+    let query = match subs.pop() {
+        Some(only) if subs.is_empty() => only,
+        Some(last) => {
+            subs.push(last);
+            Query::And(subs)
+        }
+        None => return Err(err("search needs at least one filter; see `tvdp help`")),
     };
     let results = platform.search(&query);
     let mut out = format!("{} hits\n", results.len());
     for r in results.iter().take(20) {
-        let record = store.image(r.image).expect("result from store");
+        let Some(record) = store.image(r.image) else {
+            continue;
+        };
         out.push_str(&format!(
             "  {}  ({:.5}, {:.5})  t={}  [{}]\n",
             r.image,
@@ -405,19 +408,21 @@ fn train(path: &str, rest: &[String]) -> Result<String, CliError> {
     let portable = platform
         .models()
         .export(model)
-        .expect("built-in model exports");
-    let interface = platform.models().interface(model).expect("model exists");
+        .ok_or_else(|| err("trained model is not exportable"))?;
+    let interface = platform
+        .models()
+        .interface(model)
+        .ok_or_else(|| err("trained model vanished from the registry"))?;
     let doc = serde_json::json!({
         "scheme": scheme_name,
         "feature_kind": interface.feature_kind,
         "input_dim": interface.input_dim,
         "weights": portable,
     });
-    std::fs::write(
-        model_out,
-        serde_json::to_string(&doc).expect("serializable"),
-    )
-    .map_err(|e| err(format!("cannot write {model_out}: {e}")))?;
+    let encoded =
+        serde_json::to_string(&doc).map_err(|e| err(format!("cannot encode model: {e}")))?;
+    std::fs::write(model_out, encoded)
+        .map_err(|e| err(format!("cannot write {model_out}: {e}")))?;
     Ok(format!(
         "trained {} on {} annotated images; weights written to {model_out}",
         portable.algorithm_tag(),

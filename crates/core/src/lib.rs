@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! The Translational Visual Data Platform core.
 //!
 //! [`Tvdp`] is the platform facade the paper's Fig. 1 describes: one

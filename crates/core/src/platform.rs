@@ -529,16 +529,15 @@ impl Tvdp {
                 .iter()
                 .filter(|a| a.classification == scheme)
                 .max_by(|a, b| {
-                    (a.is_human() as u8, a.confidence)
-                        .partial_cmp(&(b.is_human() as u8, b.confidence))
-                        .expect("confidence is finite")
+                    (a.is_human() as u8)
+                        .cmp(&(b.is_human() as u8))
+                        .then(a.confidence.total_cmp(&b.confidence))
                 });
             if let Some(ann) = best {
-                features.push(
-                    self.store
-                        .feature(image, feature_kind)
-                        .expect("listed image has the feature"),
-                );
+                let Some(feature) = self.store.feature(image, feature_kind) else {
+                    continue;
+                };
+                features.push(feature);
                 labels.push(ann.label);
             }
         }
@@ -601,7 +600,10 @@ impl Tvdp {
                 .store
                 .feature(image, interface.feature_kind)
                 .ok_or(PlatformError::MissingFeature(image, interface.feature_kind))?;
-            let (label, confidence) = self.models.predict(model, &feature).expect("model exists");
+            let (label, confidence) = self
+                .models
+                .predict(model, &feature)
+                .ok_or(PlatformError::UnknownModel(model))?;
             self.store.annotate(
                 image,
                 interface.scheme,

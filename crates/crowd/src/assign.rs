@@ -50,7 +50,9 @@ pub fn assign_greedy(workers: &[Worker], tasks: &[SpatialTask]) -> Assignment {
             });
         match best {
             Some(w) => {
-                *remaining.get_mut(&w.id).expect("worker present") -= 1;
+                if let Some(slots) = remaining.get_mut(&w.id) {
+                    *slots -= 1;
+                }
                 total_travel += w.location.fast_distance_m(&task.location);
                 pairs.push((w.id, task.id));
             }

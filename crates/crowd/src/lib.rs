@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Spatial crowdsourcing substrate for the Translational Visual Data
 //! Platform.
 //!

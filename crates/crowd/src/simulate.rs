@@ -121,11 +121,9 @@ pub fn simulate_campaign(
             if !rng.gen_bool(config.completion_rate) {
                 continue;
             }
-            let task = round
-                .tasks
-                .iter()
-                .find(|t| t.id == *task_id)
-                .expect("assigned task exists");
+            let Some(task) = round.tasks.iter().find(|t| t.id == *task_id) else {
+                continue;
+            };
             // The worker stands a little off the exact spot and aims
             // roughly along the requested heading.
             let pos = task

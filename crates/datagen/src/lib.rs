@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Synthetic LASAN-style dataset generator.
 //!
 //! The paper's evaluation uses 22K real geo-tagged street images labelled

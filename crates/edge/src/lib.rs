@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Edge-computing substrate for the Translational Visual Data Platform.
 //!
 //! Implements the paper's *Action* layer (Section VI and Fig. 4): a

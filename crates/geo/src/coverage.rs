@@ -158,9 +158,9 @@ impl CoverageGrid {
         let Some(lo) = self.clamped_cell(mbr.min_lat, mbr.min_lon) else {
             return;
         };
-        let hi = self
-            .clamped_cell(mbr.max_lat, mbr.max_lon)
-            .expect("clamped cell is always valid");
+        let Some(hi) = self.clamped_cell(mbr.max_lat, mbr.max_lon) else {
+            return;
+        };
         for row in lo.row..=hi.row {
             for col in lo.col..=hi.col {
                 let cell = CellId { row, col };

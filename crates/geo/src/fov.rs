@@ -109,6 +109,7 @@ impl Fov {
             let brg = self.heading_deg - half + self.angle_deg * i as f64 / steps.max(1) as f64;
             pts.push(self.camera.destination(brg, self.radius_m));
         }
+        // tvdp-lint: allow(no_panic, reason = "pts holds the two arc endpoints pushed unconditionally above")
         BBox::from_points(&pts).expect("non-empty point set")
     }
 

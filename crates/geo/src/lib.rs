@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Geospatial substrate for the Translational Visual Data Platform (TVDP).
 //!
 //! This crate implements the spatial descriptors of the TVDP data model

@@ -5,7 +5,7 @@
 //! ref \[27\]): per-term postings lists with term frequencies, tf-idf
 //! ranked retrieval, plus boolean AND/OR modes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Document handles are dense `usize` values assigned by the caller.
 ///
@@ -20,10 +20,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    /// term -> postings (doc, term frequency), sorted by doc.
-    postings: HashMap<String, Vec<(usize, u32)>>,
+    /// term -> postings (doc, term frequency), sorted by doc. An
+    /// ordered map (lint rule L2): postings iteration must never leak
+    /// hash order into ranked results.
+    postings: BTreeMap<String, Vec<(usize, u32)>>,
     /// Number of terms per document (for length normalization).
-    doc_lengths: HashMap<usize, u32>,
+    doc_lengths: BTreeMap<usize, u32>,
     n_docs: usize,
 }
 
@@ -67,7 +69,7 @@ impl InvertedIndex {
             "document {doc} already indexed"
         );
         let tokens = tokenize(text);
-        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut tf: BTreeMap<String, u32> = BTreeMap::new();
         for t in &tokens {
             *tf.entry(t.clone()).or_insert(0) += 1;
         }
@@ -123,7 +125,7 @@ impl InvertedIndex {
     /// least one term.
     pub fn search_ranked(&self, query: &str, k: usize) -> Vec<(f64, usize)> {
         let terms = tokenize(query);
-        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
         for term in &terms {
             let Some(list) = self.postings.get(term) else {
                 continue;

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Indexing substrate for the Translational Visual Data Platform.
 //!
 //! The paper's access layer (Section IV-C) serves five query families —

@@ -6,7 +6,7 @@
 //! entries and `b ~ U[0, w)`. Vectors colliding with the query in any
 //! table become candidates; exact distances re-rank the candidates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -94,7 +94,10 @@ pub struct LshIndex {
     config: LshConfig,
     dim: usize,
     families: Vec<HashFamily>,
-    tables: Vec<HashMap<Vec<i32>, Vec<usize>>>,
+    /// One bucket map per hash table. Ordered maps (lint rule L2) so
+    /// that any future iteration over buckets is reproducible; lookups
+    /// on `Vec<i32>` keys stay O(log n).
+    tables: Vec<BTreeMap<Vec<i32>, Vec<usize>>>,
     vectors: Vec<Vec<f32>>,
 }
 
@@ -111,7 +114,7 @@ impl LshIndex {
         let families = (0..config.tables)
             .map(|_| HashFamily::new(dim, config.hashes_per_table, config.bucket_width, &mut rng))
             .collect();
-        let tables = vec![HashMap::new(); config.tables];
+        let tables = vec![BTreeMap::new(); config.tables];
         Self {
             config,
             dim,

@@ -117,6 +117,7 @@ impl<T: Clone> OrientedRTree<T> {
         };
         if let Some((left, right)) = Self::insert_rec(&mut self.root, entry) {
             let mk_child = |n: Node<T>| {
+                // tvdp-lint: allow(no_panic, reason = "OR-tree structural invariant: the node touched here is non-empty by construction")
                 let (bbox, dirs) = n.summary().expect("split node non-empty");
                 Child {
                     bbox,
@@ -144,12 +145,14 @@ impl<T: Clone> OrientedRTree<T> {
                 let idx = choose_subtree(children, &entry.bbox);
                 match Self::insert_rec(&mut children[idx].node, entry) {
                     None => {
+                        // tvdp-lint: allow(no_panic, reason = "OR-tree structural invariant: the node touched here is non-empty by construction")
                         let (bbox, dirs) = children[idx].node.summary().expect("child non-empty");
                         children[idx].bbox = bbox;
                         children[idx].dirs = dirs;
                     }
                     Some((left, right)) => {
                         let mk_child = |n: Node<T>| {
+                            // tvdp-lint: allow(no_panic, reason = "OR-tree structural invariant: the node touched here is non-empty by construction")
                             let (bbox, dirs) = n.summary().expect("split node non-empty");
                             Child {
                                 bbox,
@@ -226,6 +229,7 @@ impl<T: Clone> OrientedRTree<T> {
         fn walk<T>(node: &Node<T>) {
             if let Node::Internal { children } = node {
                 for c in children {
+                    // tvdp-lint: allow(no_panic, reason = "OR-tree structural invariant: the node touched here is non-empty by construction")
                     let (bbox, dirs) = c.node.summary().expect("child non-empty");
                     assert!(c.bbox.contains_bbox(&bbox), "bbox summary too small");
                     // Every direction covered below must be inside the

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Shared compute substrate for the Translational Visual Data Platform.
 //!
 //! Every latency-critical service in TVDP — LSH candidate re-ranking,

@@ -101,6 +101,7 @@ impl Pool {
             }
         });
         out.into_iter()
+            // tvdp-lint: allow(no_panic, reason = "pool invariant: every slot is written exactly once by its owning worker before join")
             .map(|r| r.expect("worker filled every slot"))
             .collect()
     }

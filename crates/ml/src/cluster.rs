@@ -127,10 +127,11 @@ impl KMeans {
                 }
                 chosen
             };
-            centroids.push(data[next].clone());
+            let newest = data[next].clone();
             for (d, row) in dists.iter_mut().zip(data) {
-                *d = d.min(sq_l2(row, centroids.last().expect("just pushed")));
+                *d = d.min(sq_l2(row, &newest));
             }
+            centroids.push(newest);
         }
         centroids
     }

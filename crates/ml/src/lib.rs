@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Machine-learning substrate for the Translational Visual Data Platform.
 //!
 //! The paper's analysis layer (Section V and the Section VII case study)

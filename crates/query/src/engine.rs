@@ -1,6 +1,6 @@
 //! The index-backed query engine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use tvdp_geo::BBox;
@@ -59,7 +59,8 @@ pub struct QueryEngine {
     uploaded: TemporalIndex,
     /// Dense doc handle -> image id (text/temporal indexes).
     docs: Vec<ImageId>,
-    indexed: HashSet<ImageId>,
+    /// Ordered set (lint rule L2): never leaks hash order into results.
+    indexed: BTreeSet<ImageId>,
 }
 
 impl QueryEngine {
@@ -77,7 +78,7 @@ impl QueryEngine {
             captured: TemporalIndex::new(),
             uploaded: TemporalIndex::new(),
             docs: Vec::new(),
-            indexed: HashSet::new(),
+            indexed: BTreeSet::new(),
         };
         for id in store.image_ids() {
             engine.index_image(id);
@@ -219,7 +220,7 @@ impl QueryEngine {
     /// Disjunction: union of the branches, keeping each image's best
     /// (lowest) score; output ordered by score then id.
     fn execute_or(&self, subs: &[Query]) -> Vec<QueryResult> {
-        let mut best: HashMap<ImageId, f64> = HashMap::new();
+        let mut best: BTreeMap<ImageId, f64> = BTreeMap::new();
         for q in subs {
             for r in self.execute(q) {
                 best.entry(r.image)
@@ -256,8 +257,9 @@ impl QueryEngine {
                     .range(&polygon.bbox())
                     .into_iter()
                     .filter(|id| {
-                        let record = self.store.image(**id).expect("indexed image exists");
-                        polygon.intersects_bbox(&record.scene_location)
+                        self.store
+                            .image(**id)
+                            .is_some_and(|record| polygon.intersects_bbox(&record.scene_location))
                     })
                     .map(|id| QueryResult::new(*id, 0.0))
                     .collect()
@@ -272,8 +274,7 @@ impl QueryEngine {
                     .map(|(_, id)| *id)
                     .collect();
                 for id in self.scene_tree.containing(p) {
-                    let record = self.store.image(*id).expect("indexed image exists");
-                    if record.meta.fov.is_none() {
+                    if self.store.image(*id).is_some_and(|r| r.meta.fov.is_none()) {
                         ids.push(*id);
                     }
                 }
@@ -320,13 +321,16 @@ impl QueryEngine {
                 } else {
                     // Approximate: LSH candidates, exact re-rank, then
                     // spatial post-filter.
-                    let lsh = self.lsh.as_ref().expect("lsh built with hybrid");
+                    let Some(lsh) = self.lsh.as_ref() else {
+                        return Vec::new();
+                    };
                     lsh.knn(example, k * 4)
                         .into_iter()
                         .map(|(d, handle)| (d, self.lsh_ids[handle]))
                         .filter(|(_, id)| {
-                            let record = self.store.image(*id).expect("indexed");
-                            record.scene_location.intersects(&region)
+                            self.store
+                                .image(*id)
+                                .is_some_and(|r| r.scene_location.intersects(&region))
                         })
                         .take(k)
                         .map(|(d, id)| QueryResult::new(id, f64::from(d)))
@@ -404,27 +408,28 @@ impl QueryEngine {
                 })
                 .collect();
             if !rest.is_empty() {
-                let mut allowed: Option<HashSet<ImageId>> = None;
+                let mut allowed: Option<BTreeSet<ImageId>> = None;
                 for q in rest {
-                    let ids: HashSet<ImageId> =
+                    let ids: BTreeSet<ImageId> =
                         self.execute(q).into_iter().map(|r| r.image).collect();
                     allowed = Some(match allowed {
                         None => ids,
                         Some(prev) => prev.intersection(&ids).copied().collect(),
                     });
                 }
-                let allowed = allowed.expect("rest non-empty");
-                results.retain(|r| allowed.contains(&r.image));
+                if let Some(allowed) = allowed {
+                    results.retain(|r| allowed.contains(&r.image));
+                }
             }
             return results;
         }
 
         // General plan: evaluate all, intersect.
-        let mut scored: HashMap<ImageId, f64> = HashMap::new();
-        let mut allowed: Option<HashSet<ImageId>> = None;
+        let mut scored: BTreeMap<ImageId, f64> = BTreeMap::new();
+        let mut allowed: Option<BTreeSet<ImageId>> = None;
         for q in subs {
             let results = self.execute(q);
-            let ids: HashSet<ImageId> = results.iter().map(|r| r.image).collect();
+            let ids: BTreeSet<ImageId> = results.iter().map(|r| r.image).collect();
             for r in &results {
                 scored.entry(r.image).or_insert(r.score);
             }

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Query layer for the Translational Visual Data Platform.
 //!
 //! Exposes the five query families of the paper's access layer (Section
@@ -25,7 +23,7 @@ pub mod linear;
 pub mod localize;
 pub mod types;
 
-pub use engine::QueryEngine;
+pub use engine::{EngineConfig, QueryEngine};
 pub use linear::LinearExecutor;
 pub use localize::{localize, LocalizationEstimate};
 pub use types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};

@@ -4,7 +4,7 @@
 //! scanning every image. Used to verify the index-backed engine and as
 //! the baseline in the index benchmarks.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 use tvdp_geo::BBox;
@@ -76,7 +76,7 @@ impl LinearExecutor {
     }
 
     fn or(&self, subs: &[Query]) -> Vec<QueryResult> {
-        let mut best: HashMap<ImageId, f64> = HashMap::new();
+        let mut best: BTreeMap<ImageId, f64> = BTreeMap::new();
         for q in subs {
             for r in self.execute(q) {
                 best.entry(r.image)
@@ -240,26 +240,27 @@ impl LinearExecutor {
                 })
                 .collect();
             if !rest.is_empty() {
-                let mut allowed: Option<HashSet<ImageId>> = None;
+                let mut allowed: Option<BTreeSet<ImageId>> = None;
                 for q in rest {
-                    let ids: HashSet<ImageId> =
+                    let ids: BTreeSet<ImageId> =
                         self.execute(q).into_iter().map(|r| r.image).collect();
                     allowed = Some(match allowed {
                         None => ids,
                         Some(prev) => prev.intersection(&ids).copied().collect(),
                     });
                 }
-                let allowed = allowed.expect("rest non-empty");
-                results.retain(|r| allowed.contains(&r.image));
+                if let Some(allowed) = allowed {
+                    results.retain(|r| allowed.contains(&r.image));
+                }
             }
             return results;
         }
 
-        let mut scored: HashMap<ImageId, f64> = HashMap::new();
-        let mut allowed: Option<HashSet<ImageId>> = None;
+        let mut scored: BTreeMap<ImageId, f64> = BTreeMap::new();
+        let mut allowed: Option<BTreeSet<ImageId>> = None;
         for q in subs {
             let results = self.execute(q);
-            let ids: HashSet<ImageId> = results.iter().map(|r| r.image).collect();
+            let ids: BTreeSet<ImageId> = results.iter().map(|r| r.image).collect();
             for r in &results {
                 scored.entry(r.image).or_insert(r.score);
             }

@@ -81,7 +81,7 @@ pub fn localize(
         }
     }
     let center = points[best];
-    let region = BBox::from_points(&points).expect("non-empty neighbour set");
+    let region = BBox::from_points(&points)?;
     // Confidence: how tightly the committee clusters. 150 m spread ⇒ ~0.5.
     let spread_m: f64 = points
         .iter()

@@ -1,0 +1,189 @@
+//! Lint rule L2 end-to-end: a mixed hybrid + LSH + inverted-index
+//! workload must produce byte-identical serialized results no matter how
+//! many pool threads execute it.
+//!
+//! The comparison serializes every result row with `Debug` formatting
+//! (exact decimal rendering of `f64` scores), so any nondeterminism —
+//! hash-order iteration, thread-dependent reduction order, floating-point
+//! reassociation — shows up as a byte difference.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tvdp_geo::{BBox, Fov, GeoPoint};
+use tvdp_kernel::Pool;
+use tvdp_query::{
+    EngineConfig, Query, QueryEngine, QueryResult, SpatialQuery, TemporalField, TextualMode,
+    VisualMode,
+};
+use tvdp_storage::{AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore};
+use tvdp_vision::FeatureKind;
+
+const DIM: usize = 8;
+
+fn build_store(n: usize, seed: u64) -> Arc<VisualStore> {
+    let store = VisualStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cls = store
+        .register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])
+        .unwrap();
+    const WORDS: [&str; 6] = ["street", "tent", "trash", "corner", "downtown", "alley"];
+    for i in 0..n {
+        let lat = 34.0 + rng.gen_range(0.0..0.05);
+        let lon = -118.3 + rng.gen_range(0.0..0.05);
+        let gps = GeoPoint::new(lat, lon);
+        let fov = rng.gen_bool(0.8).then(|| {
+            Fov::new(
+                gps,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(40.0..80.0),
+                rng.gen_range(50.0..150.0),
+            )
+        });
+        let captured = 1_000 + rng.gen_range(0..10_000);
+        let n_words = rng.gen_range(1..4);
+        let keywords: Vec<String> = (0..n_words)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_string())
+            .collect();
+        let meta = ImageMeta {
+            uploader: UserId(rng.gen_range(0..5)),
+            gps,
+            fov,
+            captured_at: captured,
+            uploaded_at: captured + rng.gen_range(1..500),
+            keywords,
+        };
+        let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
+        let class = i % 2;
+        let feature: Vec<f32> = (0..DIM)
+            .map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3))
+            .collect();
+        store.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+        store
+            .annotate(
+                id,
+                cls,
+                class,
+                rng.gen_range(0.5..1.0),
+                AnnotationSource::Human(UserId(0)),
+                None,
+            )
+            .unwrap();
+    }
+    Arc::new(store)
+}
+
+/// The mixed workload: exact hybrid visual, textual (boolean + ranked),
+/// spatial, temporal, and conjunctive/disjunctive combinations.
+fn workload() -> Vec<Query> {
+    let example: Vec<f32> = (0..DIM)
+        .map(|d| if d % 2 == 0 { 0.1 } else { 1.9 })
+        .collect();
+    vec![
+        Query::Visual {
+            example: example.clone(),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(10),
+        },
+        Query::Visual {
+            example: example.clone(),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(1.5),
+        },
+        Query::Textual {
+            text: "street trash".into(),
+            mode: TextualMode::Any,
+        },
+        Query::Textual {
+            text: "downtown tent".into(),
+            mode: TextualMode::Ranked(15),
+        },
+        Query::Spatial(SpatialQuery::Range(BBox::new(
+            34.01, -118.29, 34.04, -118.26,
+        ))),
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 2_000,
+            to: 9_000,
+        },
+        Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.05, -118.25))),
+            Query::Textual {
+                text: "street".into(),
+                mode: TextualMode::All,
+            },
+        ]),
+        Query::Or(vec![
+            Query::Textual {
+                text: "alley".into(),
+                mode: TextualMode::Any,
+            },
+            Query::Visual {
+                example,
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(5),
+            },
+        ]),
+    ]
+}
+
+/// Serializes one batch result to bytes. `Debug` prints `f64` scores with
+/// exact round-trip precision, so this is a faithful byte-level witness.
+fn serialize(results: &[Vec<QueryResult>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (qi, rows) in results.iter().enumerate() {
+        out.extend_from_slice(format!("query {qi}:\n").as_bytes());
+        for r in rows {
+            out.extend_from_slice(format!("  {} {:?}\n", r.image.raw(), r.score).as_bytes());
+        }
+    }
+    out
+}
+
+fn run_with_threads(config: &EngineConfig, threads: usize) -> Vec<u8> {
+    let store = build_store(300, 42);
+    let engine = QueryEngine::build(Arc::clone(&store), config.clone());
+    let pool = Pool::new(threads);
+    let results = engine.execute_batch_with_pool(&workload(), &pool);
+    serialize(&results)
+}
+
+#[test]
+fn exact_engine_is_thread_count_invariant() {
+    let config = EngineConfig::default();
+    let serial = run_with_threads(&config, 1);
+    let pooled = run_with_threads(&config, 8);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, pooled,
+        "exact hybrid workload differs between 1 and 8 pool threads"
+    );
+}
+
+#[test]
+fn lsh_engine_is_thread_count_invariant() {
+    let config = EngineConfig {
+        exact_visual: false,
+        ..EngineConfig::default()
+    };
+    let serial = run_with_threads(&config, 1);
+    let pooled = run_with_threads(&config, 8);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, pooled,
+        "LSH workload differs between 1 and 8 pool threads"
+    );
+}
+
+#[test]
+fn rebuilt_engine_reproduces_identical_bytes() {
+    // Same store seed, fresh engine + pool: the whole pipeline (ingest,
+    // index build, batch execution) must be a pure function of the seed.
+    let config = EngineConfig::default();
+    let a = run_with_threads(&config, 4);
+    let b = run_with_threads(&config, 4);
+    assert_eq!(a, b, "identical builds produced different bytes");
+}

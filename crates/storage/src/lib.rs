@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Data-management substrate for the Translational Visual Data Platform.
 //!
 //! Implements the comprehensive data model of the paper's Fig. 2:

@@ -1,6 +1,6 @@
 //! The concurrency-safe visual data store.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -65,12 +65,15 @@ struct Tables {
     next_image: u64,
     next_annotation: u64,
     next_classification: u64,
+    // All tables are ordered maps (never hash maps): table iteration
+    // feeds query results and persisted snapshots, so iteration order
+    // must be reproducible (lint rule L2).
     images: BTreeMap<ImageId, ImageRecord>,
-    blobs: HashMap<ImageId, Image>,
-    features: HashMap<(ImageId, FeatureKind), Vec<f32>>,
+    blobs: BTreeMap<ImageId, Image>,
+    features: BTreeMap<(ImageId, FeatureKind), Vec<f32>>,
     schemes: BTreeMap<ClassificationId, ClassificationScheme>,
     annotations: BTreeMap<AnnotationId, Annotation>,
-    annotations_by_image: HashMap<ImageId, Vec<AnnotationId>>,
+    annotations_by_image: BTreeMap<ImageId, Vec<AnnotationId>>,
 }
 
 /// The TVDP visual data store: all Fig. 2 tables behind one
@@ -209,14 +212,13 @@ impl VisualStore {
     /// Images that have a stored feature of `kind`.
     pub fn images_with_feature(&self, kind: FeatureKind) -> Vec<ImageId> {
         let t = self.inner.read();
-        let mut ids: Vec<ImageId> = t
-            .features
+        // BTreeMap keys iterate sorted by (id, kind), so the filtered
+        // ids are already ascending.
+        t.features
             .keys()
             .filter(|(_, k)| *k == kind)
             .map(|(id, _)| *id)
-            .collect();
-        ids.sort_unstable();
-        ids
+            .collect()
     }
 
     /// Registers a classification scheme with a unique name.

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Visual substrate for the Translational Visual Data Platform.
 //!
 //! Implements the *visual descriptors* of the TVDP data model (paper
@@ -37,7 +35,7 @@ pub use sift::{Keypoint, SiftConfig, SiftExtractor};
 use serde::{Deserialize, Serialize};
 
 /// The feature families of the paper's evaluation (Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FeatureKind {
     /// HSV color histogram.
     ColorHistogram,

@@ -1,0 +1,23 @@
+//! Fixture: a file the linter must pass — conforming code plus
+//! correctly annotated escape hatches.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Ordered collections keep iteration reproducible.
+pub fn totals(by_key: BTreeMap<u64, f64>) -> Vec<(u64, f64)> {
+    by_key.into_iter().collect()
+}
+
+/// Order-insensitive folds over hash maps are sound; the escape hatch
+/// documents why.
+pub fn sum(values: &HashMap<u64, f64>) -> f64 {
+    // tvdp-lint: allow(determinism, reason = "addition order does not reach results after the final sort upstream")
+    values.values().sum()
+}
+
+/// A documented invariant justifies an unwrap.
+pub fn head(xs: &[u64]) -> u64 {
+    let first = xs.first();
+    // tvdp-lint: allow(no_panic, reason = "callers guarantee non-empty input; fixture exercises the escape hatch")
+    *first.unwrap()
+}

@@ -1,0 +1,24 @@
+//! Fixture: L2 determinism violations — iterating hash collections
+//! whose order can leak into results.
+
+use std::collections::{HashMap, HashSet};
+
+/// Iteration order of a `HashMap` is nondeterministic; collecting it
+/// into an output vector leaks that order to callers.
+pub fn scores_to_vec(scores: HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    scores.into_iter().collect()
+}
+
+/// Same bug class through a `for` loop over a `HashSet`.
+pub fn first_ids(ids: HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in ids {
+        out.push(id);
+    }
+    out
+}
+
+/// Lookup-only use is fine and must NOT be flagged.
+pub fn lookup(m: &HashMap<u64, f64>, k: u64) -> Option<f64> {
+    m.get(&k).copied()
+}

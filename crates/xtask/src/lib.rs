@@ -1,0 +1,60 @@
+//! `cargo xtask` — workspace automation for TVDP.
+//!
+//! The only subcommand today is `lint`, a dependency-free static
+//! analysis pass enforcing the platform's four reproducibility
+//! invariants (see [`rules`]): city-scale query serving needs answers
+//! that are crash-free (L1), bit-reproducible across runs and thread
+//! counts (L2, L3), and independent of ambient time/randomness (L4).
+//!
+//! Run as `cargo xtask lint` (whole workspace) or
+//! `cargo xtask lint <file>...` (specific files, strict policy).
+
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use rules::{Finding, Policy, Rule};
+pub use source::SourceModel;
+pub use walk::{lint_file, lint_workspace, policy_for, workspace_sources, FileFinding};
+
+/// Runs the lint over the workspace (no file args) or the given files
+/// (strict policy), printing findings to `out`. Returns the number of
+/// findings.
+pub fn run_lint<W: io::Write>(root: &Path, files: &[String], out: &mut W) -> io::Result<usize> {
+    let findings = if files.is_empty() {
+        lint_workspace(root)?
+    } else {
+        let mut all = Vec::new();
+        for rel in files {
+            all.extend(lint_file(root, rel, policy_for(rel))?);
+        }
+        all
+    };
+    for f in &findings {
+        writeln!(
+            out,
+            "{}:{}:{}: [{}/{}] {}\n    {}",
+            f.path,
+            f.finding.line,
+            f.finding.col,
+            f.finding.rule.id(),
+            f.finding.rule.name(),
+            f.finding.message,
+            f.snippet,
+        )?;
+    }
+    if findings.is_empty() {
+        writeln!(out, "tvdp-lint: clean")?;
+    } else {
+        writeln!(
+            out,
+            "tvdp-lint: {} violation(s); suppress a true positive with \
+             `// tvdp-lint: allow(<rule>, reason = \"...\")`",
+            findings.len()
+        )?;
+    }
+    Ok(findings.len())
+}

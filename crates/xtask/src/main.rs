@@ -1,0 +1,45 @@
+//! CLI entry point: `cargo xtask lint [FILE...]`.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    let _ = writeln!(
+        io::stderr(),
+        "usage: cargo xtask lint [FILE...]\n\
+         \n\
+         Enforces the TVDP invariants over crates/*/src (no args) or the\n\
+         given files: L1 no-panic, L2 determinism, L3 pool-only\n\
+         threading, L4 no ambient time/randomness."
+    );
+    ExitCode::from(2)
+}
+
+/// Workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory.
+fn workspace_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .and_then(|m| m.parent().and_then(|p| p.parent()).map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, files)) if cmd == "lint" => {
+            let root = workspace_root();
+            let mut stdout = io::stdout().lock();
+            match xtask::run_lint(&root, files, &mut stdout) {
+                Ok(0) => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    let _ = writeln!(io::stderr(), "tvdp-lint: error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

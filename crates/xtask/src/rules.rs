@@ -1,0 +1,514 @@
+//! The four TVDP invariant rules.
+//!
+//! | id  | rule                  | what it forbids (outside `#[cfg(test)]`)        |
+//! |-----|-----------------------|--------------------------------------------------|
+//! | L1  | `no_panic`            | `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
+//! | L2  | `determinism`         | iterating a `HashMap`/`HashSet` (order leaks)    |
+//! | L3  | `pool_only_threading` | `std::thread::{spawn,scope,Builder}` outside `tvdp-kernel` |
+//! | L4  | `no_wall_clock`       | `Instant::now` / `SystemTime` / `thread_rng` / entropy RNGs outside allowlisted modules |
+//!
+//! Every rule is suppressible per line with
+//! `// tvdp-lint: allow(<rule>, reason = "...")`.
+
+use crate::source::SourceModel;
+
+/// A rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: panicking calls in library code.
+    NoPanic,
+    /// L2: hash-order iteration that can leak into results.
+    Determinism,
+    /// L3: ad-hoc threads outside the kernel pool.
+    PoolOnlyThreading,
+    /// L4: ambient wall-clock time or randomness.
+    NoWallClock,
+    /// Malformed `tvdp-lint:` escape-hatch comment.
+    BadAllow,
+}
+
+impl Rule {
+    /// Short id shown in reports (`L1`..`L4`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "L1",
+            Rule::Determinism => "L2",
+            Rule::PoolOnlyThreading => "L3",
+            Rule::NoWallClock => "L4",
+            Rule::BadAllow => "L0",
+        }
+    }
+
+    /// Name used in `allow(...)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no_panic",
+            Rule::Determinism => "determinism",
+            Rule::PoolOnlyThreading => "pool_only_threading",
+            Rule::NoWallClock => "no_wall_clock",
+            Rule::BadAllow => "bad_allow",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which rules apply to a given file (derived from its crate/path).
+#[derive(Debug, Clone, Copy)]
+pub struct Policy {
+    /// Enforce L3 (`false` inside `tvdp-kernel`, the one crate allowed
+    /// to own threads).
+    pub check_threading: bool,
+    /// Enforce L4 (`false` for bench code and allowlisted modules such
+    /// as `api::limit`).
+    pub check_wall_clock: bool,
+}
+
+impl Policy {
+    /// All rules on — the default for library code.
+    pub fn strict() -> Self {
+        Policy {
+            check_threading: true,
+            check_wall_clock: true,
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of `needle` in `hay` occurring as a whole word
+/// (not embedded in a larger identifier).
+fn word_occurrences(hay: &str, needle: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(rel) = hay[at..].find(needle) {
+        let s = at + rel;
+        let before_ok = s == 0 || !is_ident_byte(bytes[s - 1]);
+        let after = s + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(s);
+        }
+        at = s + needle.len().max(1);
+    }
+    out
+}
+
+fn next_non_ws(bytes: &[u8], mut i: usize) -> Option<u8> {
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_whitespace() {
+            return Some(bytes[i]);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_non_ws(bytes: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some(bytes[j]);
+        }
+    }
+    None
+}
+
+/// Runs every applicable rule over one parsed file, returning findings
+/// that are not in test code and not suppressed by an allow comment.
+pub fn check(model: &SourceModel, policy: Policy) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    no_panic(model, &mut raw);
+    determinism(model, &mut raw);
+    if policy.check_threading {
+        pool_only_threading(model, &mut raw);
+    }
+    if policy.check_wall_clock {
+        no_wall_clock(model, &mut raw);
+    }
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !model.is_test_line(f.line))
+        .filter(|f| !model.is_allowed(f.line, f.rule.name()))
+        .collect();
+    // Malformed escape hatches are findings themselves: a broken allow
+    // must never silently pass.
+    for bad in &model.bad_allows {
+        findings.push(Finding {
+            rule: Rule::BadAllow,
+            line: bad.line,
+            col: 1,
+            message: format!("malformed tvdp-lint comment: {}", bad.problem),
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    findings
+}
+
+/// L1: panicking method calls and macros.
+fn no_panic(model: &SourceModel, out: &mut Vec<Finding>) {
+    let hay = &model.masked;
+    let bytes = hay.as_bytes();
+    for method in ["unwrap", "expect"] {
+        for s in word_occurrences(hay, method) {
+            // Must be a method call: `.name(` (receiver on the left).
+            if prev_non_ws(bytes, s) != Some(b'.') {
+                continue;
+            }
+            if next_non_ws(bytes, s + method.len()) != Some(b'(') {
+                continue;
+            }
+            let (line, col) = model.line_col(s);
+            out.push(Finding {
+                rule: Rule::NoPanic,
+                line,
+                col,
+                message: format!(
+                    "`.{method}()` can panic in library code; return a typed error instead"
+                ),
+            });
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for s in word_occurrences(hay, mac) {
+            if next_non_ws(bytes, s + mac.len()) != Some(b'!') {
+                continue;
+            }
+            // `core::panic!` still panics; a path prefix is fine to flag,
+            // but `std::panic::catch_unwind` has no `!` and is skipped.
+            let (line, col) = model.line_col(s);
+            out.push(Finding {
+                rule: Rule::NoPanic,
+                line,
+                col,
+                message: format!("`{mac}!` is forbidden in library code"),
+            });
+        }
+    }
+}
+
+/// L2: collect identifiers bound to `HashMap`/`HashSet`, then flag
+/// order-dependent iteration over them.
+fn determinism(model: &SourceModel, out: &mut Vec<Finding>) {
+    let hay = &model.masked;
+
+    // Pass A: names declared with a hash-collection type. Covers
+    // `let x: HashMap<..>`, `let x = HashMap::new()`, struct fields and
+    // fn params (`name: HashMap<..>`), including `Option<HashSet<..>>`.
+    let mut tracked: Vec<String> = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for s in word_occurrences(hay, ty) {
+            if let Some(name) = binding_name_for(hay, s) {
+                if !tracked.contains(&name) {
+                    tracked.push(name);
+                }
+            }
+        }
+    }
+    tracked.sort();
+
+    // Pass B: iteration over a tracked name.
+    const ITER_METHODS: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+    ];
+    let bytes = hay.as_bytes();
+    for name in &tracked {
+        for s in word_occurrences(hay, name) {
+            // rustfmt breaks method chains across lines; skip whitespace
+            // between the receiver and `.method(`.
+            let mut j = s + name.len();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let after = &hay[j..];
+            if let Some(m) = ITER_METHODS.iter().find(|m| after.starts_with(**m)) {
+                let (line, col) = model.line_col(s);
+                out.push(Finding {
+                    rule: Rule::Determinism,
+                    line,
+                    col,
+                    message: format!(
+                        "`{name}{m}` iterates a hash collection: iteration order is \
+                         nondeterministic; use BTreeMap/BTreeSet or sort explicitly"
+                    ),
+                });
+            }
+        }
+    }
+
+    // `for x in name` / `for x in &name` — iteration without a method.
+    for s in word_occurrences(hay, "for") {
+        let Some(in_rel) = hay[s..].find(" in ") else {
+            continue;
+        };
+        let expr_start = s + in_rel + 4;
+        let Some(brace_rel) = hay[expr_start..].find('{') else {
+            continue;
+        };
+        if hay[s..expr_start].contains('\n') || brace_rel > 200 {
+            continue; // not a plausible single `for` header
+        }
+        let expr = &hay[expr_start..expr_start + brace_rel];
+        for name in &tracked {
+            let hits = word_occurrences(expr, name);
+            // Only flag bare iteration of the collection itself, not
+            // e.g. `map.get(..)` chains inside the expression.
+            let bare = hits.iter().any(|&h| {
+                let after = expr[h + name.len()..].trim_start();
+                after.is_empty() || after.starts_with('{')
+            });
+            if bare {
+                let (line, col) = model.line_col(expr_start);
+                out.push(Finding {
+                    rule: Rule::Determinism,
+                    line,
+                    col,
+                    message: format!(
+                        "`for .. in {name}` iterates a hash collection: iteration order \
+                         is nondeterministic; use BTreeMap/BTreeSet or sort explicitly"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L3: ad-hoc threads. Everything must go through `tvdp_kernel::Pool`.
+fn pool_only_threading(model: &SourceModel, out: &mut Vec<Finding>) {
+    let hay = &model.masked;
+    for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+        let mut at = 0;
+        while let Some(rel) = hay[at..].find(needle) {
+            let s = at + rel;
+            let (line, col) = model.line_col(s);
+            out.push(Finding {
+                rule: Rule::PoolOnlyThreading,
+                line,
+                col,
+                message: format!(
+                    "`{needle}` outside tvdp-kernel: use `tvdp_kernel::Pool` so thread \
+                     count stays deterministic and bounded"
+                ),
+            });
+            at = s + needle.len();
+        }
+    }
+}
+
+/// L4: ambient time and randomness.
+fn no_wall_clock(model: &SourceModel, out: &mut Vec<Finding>) {
+    let hay = &model.masked;
+    const NEEDLES: [(&str, &str); 6] = [
+        ("Instant::now", "wall-clock time in a result path"),
+        ("SystemTime::now", "wall-clock time in a result path"),
+        ("UNIX_EPOCH", "wall-clock time in a result path"),
+        ("thread_rng", "ambient randomness (unseeded RNG)"),
+        ("from_entropy", "ambient randomness (entropy-seeded RNG)"),
+        ("OsRng", "ambient randomness (OS RNG)"),
+    ];
+    for (needle, why) in NEEDLES {
+        for s in word_occurrences(hay, needle.split("::").next().unwrap_or(needle)) {
+            // Re-check the full dotted needle at this site.
+            if !hay[s..].starts_with(needle) {
+                continue;
+            }
+            let (line, col) = model.line_col(s);
+            out.push(Finding {
+                rule: Rule::NoWallClock,
+                line,
+                col,
+                message: format!(
+                    "`{needle}`: {why}; take time/seed as an explicit parameter \
+                     (see api::limit) or allowlist the module"
+                ),
+            });
+        }
+    }
+}
+
+/// For a `HashMap`/`HashSet` type token at byte `s`, the identifier the
+/// value is bound to, when the site is a binding (`let x:`, `let x =`,
+/// field `x:`, param `x:`).
+fn binding_name_for(hay: &str, s: usize) -> Option<String> {
+    let line_start = hay[..s].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = hay[s..].find('\n').map_or(hay.len(), |p| s + p);
+    let line = &hay[line_start..line_end];
+    let rel = s - line_start;
+
+    // `= HashMap::new()` style: name is the ident before `=` (skipping
+    // `let`/`mut` and any `: Type` annotation).
+    if let Some(eq) = line[..rel].rfind('=') {
+        let lhs = &line[..eq];
+        let lhs = lhs.split(':').next().unwrap_or(lhs);
+        let name = lhs
+            .split_whitespace()
+            .rev()
+            .find(|w| w.bytes().all(is_ident_byte) && !w.is_empty())?;
+        if name != "let" && name != "mut" {
+            return Some(name.to_string());
+        }
+        return None;
+    }
+    // `name: HashMap<..>` / `name: Option<HashMap<..>>` style: name is
+    // the ident before the first `:` left of the type token.
+    let colon = line[..rel].rfind(':')?;
+    // Reject `::` paths (e.g. `std::collections::HashMap`): scan left
+    // past the whole `path::to::HashMap` chain first.
+    if colon > 0 && line.as_bytes()[colon - 1] == b':' {
+        let path_start = line[..colon]
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+            .map_or(0, |p| p + 1);
+        let before = &line[..path_start];
+        let colon2 = before.rfind(':')?;
+        if colon2 > 0 && before.as_bytes()[colon2 - 1] == b':' {
+            return None;
+        }
+        return name_left_of_colon(before, colon2);
+    }
+    name_left_of_colon(line, colon)
+}
+
+fn name_left_of_colon(line: &str, colon: usize) -> Option<String> {
+    let name = line[..colon].trim_end();
+    let start = name
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let ident = &name[start..];
+    if ident.is_empty() || ident.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceModel;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        check(&SourceModel::parse(src), Policy::strict())
+    }
+
+    #[test]
+    fn l1_flags_unwrap_and_macros() {
+        let f = findings("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoPanic);
+        let f = findings("fn f() { panic!(\"boom\"); }\n");
+        assert_eq!(f.len(), 1);
+        let f = findings("fn f() { todo!() }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn l1_skips_unwrap_or_and_should_panic() {
+        assert!(findings("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n").is_empty());
+        assert!(findings("fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n").is_empty());
+        // `should_panic` is an attribute word, not a call.
+        assert!(findings("#[should_panic(expected = \"x\")]\nfn g() {}\n").is_empty());
+    }
+
+    #[test]
+    fn l1_skips_test_code_and_strings() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(findings(src).is_empty());
+        assert!(findings("const S: &str = \"call .unwrap() later\";\n").is_empty());
+    }
+
+    #[test]
+    fn l2_flags_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) -> Vec<u8> {\n m.values().copied().collect()\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn l2_flags_for_loop_over_hash() {
+        let src = "use std::collections::HashMap;\nfn f() {\n let tf: HashMap<u8, u8> = HashMap::new();\n for (k, v) in tf {\n let _ = (k, v);\n }\n}\n";
+        let f = findings(src);
+        assert!(
+            f.iter().any(|f| f.rule == Rule::Determinism),
+            "for-loop over HashMap must fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn l2_flags_multiline_method_chain() {
+        // rustfmt style: receiver and `.iter()` on different lines.
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) -> Vec<u8> {\n m\n  .values()\n  .copied()\n  .collect()\n}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn l2_allows_lookup_only_use() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) -> Option<u8> {\n m.get(&1).copied()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn l2_btreemap_is_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f(m: BTreeMap<u8, u8>) -> Vec<u8> {\n m.values().copied().collect()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_spawn_unless_kernel_policy() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PoolOnlyThreading);
+        let kernel = Policy {
+            check_threading: false,
+            ..Policy::strict()
+        };
+        assert!(check(&SourceModel::parse(src), kernel).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_instant_now_and_thread_rng() {
+        let f = findings("fn f() -> std::time::Instant { std::time::Instant::now() }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoWallClock);
+        let f = findings("fn f() { let mut r = rand::thread_rng(); }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_with_reason() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n // tvdp-lint: allow(no_panic, reason = \"invariant: filled above\")\n x.unwrap()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_becomes_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n x.unwrap() // tvdp-lint: allow(no_panic)\n}\n";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == Rule::BadAllow), "{f:?}");
+        assert!(f.iter().any(|f| f.rule == Rule::NoPanic), "{f:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Workspace traversal and per-file lint policy.
+//!
+//! Workspace mode walks `crates/*/src/**/*.rs` plus the umbrella crate's
+//! `src/`, in sorted order (the linter obeys its own determinism rule).
+//! Policy is derived from the path:
+//!
+//! * `crates/kernel` — owns the thread pool, so L3 is off there;
+//! * `crates/bench` — exists to measure wall-clock time, so L4 is off;
+//! * `crates/api/src/limit.rs` — the rate limiter is the designated
+//!   place where wall-clock time would be fed in, so L4 is off.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check, Finding, Policy};
+use crate::source::SourceModel;
+
+/// Modules where ambient time/randomness is part of the job.
+const WALL_CLOCK_ALLOWLIST: [&str; 1] = ["crates/api/src/limit.rs"];
+
+/// Crates whose whole `src/` is exempt from L4 (benchmark drivers).
+const WALL_CLOCK_ALLOWLIST_CRATES: [&str; 1] = ["bench"];
+
+/// The one crate allowed to create threads.
+const THREADING_OWNER: &str = "kernel";
+
+/// The lint policy for one file, derived from its workspace-relative
+/// path (separators normalized to `/`).
+pub fn policy_for(rel_path: &str) -> Policy {
+    let rel = rel_path.replace('\\', "/");
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    Policy {
+        check_threading: crate_name != THREADING_OWNER,
+        check_wall_clock: !WALL_CLOCK_ALLOWLIST_CRATES.contains(&crate_name)
+            && !WALL_CLOCK_ALLOWLIST.iter().any(|m| rel.ends_with(m)),
+    }
+}
+
+/// A finding bound to the file it came from.
+#[derive(Debug, Clone)]
+pub struct FileFinding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The finding itself.
+    pub finding: Finding,
+    /// Trimmed source line, for the report.
+    pub snippet: String,
+}
+
+/// Lints one file under an explicit policy.
+pub fn lint_file(root: &Path, rel_path: &str, policy: Policy) -> io::Result<Vec<FileFinding>> {
+    let text = fs::read_to_string(root.join(rel_path))?;
+    let model = SourceModel::parse(&text);
+    Ok(check(&model, policy)
+        .into_iter()
+        .map(|finding| FileFinding {
+            path: rel_path.to_string(),
+            snippet: model.line_text(finding.line).to_string(),
+            finding,
+        })
+        .collect())
+}
+
+/// All library source files in the workspace, sorted.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs(&umbrella, &mut files)?;
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<FileFinding>> {
+    let mut findings = Vec::new();
+    for rel in workspace_sources(root)? {
+        findings.extend(lint_file(root, &rel, policy_for(&rel))?);
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_exempt_from_threading_rule() {
+        assert!(!policy_for("crates/kernel/src/pool.rs").check_threading);
+        assert!(policy_for("crates/storage/src/store.rs").check_threading);
+    }
+
+    #[test]
+    fn bench_and_rate_limiter_exempt_from_wall_clock() {
+        assert!(!policy_for("crates/bench/src/bin/fig6.rs").check_wall_clock);
+        assert!(!policy_for("crates/api/src/limit.rs").check_wall_clock);
+        assert!(policy_for("crates/api/src/router.rs").check_wall_clock);
+        assert!(policy_for("crates/query/src/engine.rs").check_wall_clock);
+    }
+}

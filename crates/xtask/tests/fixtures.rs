@@ -1,0 +1,101 @@
+//! End-to-end tests: the `cargo xtask lint` binary must reject each
+//! committed violation fixture (nonzero exit) and pass the clean one.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint_on(fixture: &str) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg(format!("crates/xtask/fixtures/{fixture}"))
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .current_dir(workspace_root())
+        .output();
+    match out {
+        Ok(o) => o,
+        Err(e) => panic!("failed to run xtask binary: {e}"),
+    }
+}
+
+fn assert_fires(fixture: &str, rule_tag: &str) {
+    let out = run_lint_on(fixture);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "lint must exit nonzero on {fixture}; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(rule_tag),
+        "expected a {rule_tag} finding in {fixture}; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn l1_fixture_rejected() {
+    assert_fires("l1_no_panic.rs", "[L1/no_panic]");
+}
+
+#[test]
+fn l2_fixture_rejected() {
+    assert_fires("l2_hash_iteration.rs", "[L2/determinism]");
+}
+
+#[test]
+fn l3_fixture_rejected() {
+    assert_fires("l3_adhoc_thread.rs", "[L3/pool_only_threading]");
+}
+
+#[test]
+fn l4_fixture_rejected() {
+    assert_fires("l4_wall_clock.rs", "[L4/no_wall_clock]");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_lint_on("clean_with_allows.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "clean fixture must pass; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn l1_fixture_flags_each_violation_once() {
+    let out = run_lint_on("l1_no_panic.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // unwrap + expect + todo!, but not the unwrap inside #[cfg(test)].
+    assert_eq!(
+        stdout.matches("[L1/no_panic]").count(),
+        3,
+        "wrong violation count:\n{stdout}"
+    );
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .current_dir(workspace_root())
+        .output();
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => panic!("failed to run xtask binary: {e}"),
+    };
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean:\n{stdout}"
+    );
+}
