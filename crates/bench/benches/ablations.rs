@@ -58,7 +58,9 @@ fn bench_hybrid_regime(
         b.iter(|| {
             let (q, f) = (&boxes[qi % QUERIES], &w.query_features[qi % QUERIES]);
             qi += 1;
-            idx.hybrid.range_visual(q, f, VISUAL_THRESHOLD).len()
+            idx.hybrid
+                .range_visual(&idx.slab, q, f, VISUAL_THRESHOLD)
+                .len()
         })
     });
     group.bench_function("spatial_first_then_visual_filter", |b| {
@@ -79,7 +81,7 @@ fn bench_hybrid_regime(
             let (q, f) = (&boxes[qi % QUERIES], &w.query_features[qi % QUERIES]);
             qi += 1;
             idx.lsh
-                .within_radius(f, VISUAL_THRESHOLD)
+                .within_radius(&idx.slab, f, VISUAL_THRESHOLD)
                 .into_iter()
                 .filter(|&(_, id)| w.fovs[id].0.scene_location().intersects(q))
                 .count()

@@ -43,7 +43,7 @@ fn bench_visual(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.query_features[qi % QUERIES];
             qi += 1;
-            idx.lsh.knn(q, 10).len()
+            idx.lsh.knn(&idx.slab, q, 10).len()
         })
     });
     group.bench_function("exact_scan", |b| {
@@ -51,7 +51,7 @@ fn bench_visual(c: &mut Criterion) {
         b.iter(|| {
             let q = &w.query_features[qi % QUERIES];
             qi += 1;
-            idx.lsh.knn_exact(q, 10).len()
+            idx.lsh.knn_exact(&idx.slab, q, 10).len()
         })
     });
     group.finish();

@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint};
 use tvdp_index::{LshConfig, LshIndex, OrientedRTree, RTree, VisualRTree};
+use tvdp_kernel::FeatureSlab;
 
 /// A synthetic geo-visual corpus.
 pub struct IndexWorkload {
@@ -114,27 +115,33 @@ pub struct BuiltIndexes {
     pub hybrid: VisualRTree<usize>,
     /// p-stable LSH over the features.
     pub lsh: LshIndex,
+    /// Shared feature arena the visual indexes reference rows of.
+    pub slab: FeatureSlab,
 }
 
-/// Builds every index over the workload.
+/// Builds every index over the workload. Feature vectors go into one
+/// shared arena slab; the visual indexes hold only `u32` row handles.
 pub fn build_indexes(w: &IndexWorkload) -> BuiltIndexes {
     let dim = w.features[0].len();
     let mut rtree = RTree::new();
     let mut oriented = OrientedRTree::new();
     let mut hybrid = VisualRTree::new(dim);
     let mut lsh = LshIndex::new(dim, LshConfig::default());
+    let mut slab = FeatureSlab::new(dim);
     for ((fov, id), feat) in w.fovs.iter().zip(&w.features) {
         let scene = fov.scene_location();
         rtree.insert(scene, *id);
         oriented.insert(*fov, *id);
-        hybrid.insert(scene, feat.clone(), *id);
-        lsh.insert(feat.clone());
+        let row = slab.push(feat);
+        hybrid.insert(&slab, scene, row, *id);
+        lsh.insert(feat, row);
     }
     BuiltIndexes {
         rtree,
         oriented,
         hybrid,
         lsh,
+        slab,
     }
 }
 

@@ -462,7 +462,7 @@ fn apply(path: &str, rest: &[String]) -> Result<String, CliError> {
     if let Some(sample) = store
         .image_ids()
         .first()
-        .and_then(|&id| store.feature(id, feature_kind))
+        .and_then(|&id| store.feature_ref(id, feature_kind))
     {
         if sample.len() != input_dim {
             return Err(err(format!(

@@ -596,9 +596,10 @@ impl Tvdp {
             .ok_or(PlatformError::UnknownModel(model))?;
         let mut out = Vec::with_capacity(images.len());
         for &image in images {
+            // Borrow the feature row from the arena; no per-image clone.
             let feature = self
                 .store
-                .feature(image, interface.feature_kind)
+                .feature_ref(image, interface.feature_kind)
                 .ok_or(PlatformError::MissingFeature(image, interface.feature_kind))?;
             let (label, confidence) = self
                 .models

@@ -9,16 +9,25 @@
 //! prunes in both spaces: a subtree is skipped when its MBR misses the
 //! query region **or** when `‖q − centroid‖ − radius` exceeds the
 //! similarity threshold.
+//!
+//! The tree does not own feature bytes: entries carry `u32` row handles
+//! into a shared [feature arena](tvdp_kernel::arena), and every
+//! operation that touches feature values takes a
+//! [`RowSource`] (the live [`tvdp_kernel::FeatureSlab`] at insert time,
+//! an `Arc`-shared [`tvdp_kernel::SlabView`] snapshot at query time).
+//! Only the per-node ball centroids are owned — they are derived
+//! aggregates, not copies of any row.
 
 use tvdp_geo::BBox;
-use tvdp_kernel::{l2, l2_sq};
+use tvdp_kernel::{l2, l2_sq, RowSource};
 
 use crate::rtree::{choose_subtree, split_entries, HasBBox, NODE_MAX};
 
 #[derive(Debug, Clone)]
 struct Entry<T> {
     bbox: BBox,
-    feature: Vec<f32>,
+    /// Arena row handle of this entry's feature vector.
+    row: u32,
     value: T,
 }
 
@@ -58,7 +67,7 @@ enum Node<T> {
 
 impl<T> Node<T> {
     /// Recomputes (MBR, ball) from immediate children/entries only.
-    fn summary(&self, dim: usize) -> Option<(BBox, Ball)> {
+    fn summary(&self, rows: &impl RowSource, dim: usize) -> Option<(BBox, Ball)> {
         match self {
             Node::Leaf { entries } => {
                 let first = entries.first()?;
@@ -66,7 +75,7 @@ impl<T> Node<T> {
                 let mut centroid = vec![0.0f32; dim];
                 for e in entries {
                     bbox = bbox.union(&e.bbox);
-                    for (c, &f) in centroid.iter_mut().zip(&e.feature) {
+                    for (c, &f) in centroid.iter_mut().zip(rows.row(e.row)) {
                         *c += f;
                     }
                 }
@@ -76,7 +85,7 @@ impl<T> Node<T> {
                 }
                 let radius = entries
                     .iter()
-                    .map(|e| l2(&centroid, &e.feature))
+                    .map(|e| l2(&centroid, rows.row(e.row)))
                     .fold(0.0f32, f32::max);
                 Some((
                     bbox,
@@ -121,7 +130,7 @@ impl<T> Node<T> {
     }
 }
 
-/// The hybrid spatial-visual index.
+/// The hybrid spatial-visual index over arena row handles.
 #[derive(Debug, Clone)]
 pub struct VisualRTree<T> {
     root: Node<T>,
@@ -157,24 +166,22 @@ impl<T: Clone> VisualRTree<T> {
         self.dim
     }
 
-    /// Inserts an object with spatial extent `bbox` and visual feature
-    /// vector `feature`.
+    /// Inserts an object with spatial extent `bbox` whose feature
+    /// vector is arena row `row` of `rows`. The source must resolve
+    /// every previously inserted row too (ball maintenance re-reads
+    /// sibling features on splits).
     ///
     /// # Panics
     ///
     /// Panics on feature dimensionality mismatch.
-    pub fn insert(&mut self, bbox: BBox, feature: Vec<f32>, value: T) {
-        assert_eq!(feature.len(), self.dim, "feature dimension mismatch");
+    pub fn insert(&mut self, rows: &impl RowSource, bbox: BBox, row: u32, value: T) {
+        assert_eq!(rows.dim(), self.dim, "feature dimension mismatch");
         self.len += 1;
-        let entry = Entry {
-            bbox,
-            feature,
-            value,
-        };
-        if let Some((left, right)) = Self::insert_rec(&mut self.root, entry, self.dim) {
+        let entry = Entry { bbox, row, value };
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, rows, entry, self.dim) {
             let mk = |n: Node<T>, dim: usize| {
                 // tvdp-lint: allow(no_panic, reason = "hybrid-tree structural invariant: the node touched here is non-empty by construction")
-                let (bbox, ball) = n.summary(dim).expect("split node non-empty");
+                let (bbox, ball) = n.summary(rows, dim).expect("split node non-empty");
                 Child {
                     bbox,
                     ball,
@@ -187,7 +194,12 @@ impl<T: Clone> VisualRTree<T> {
         }
     }
 
-    fn insert_rec(node: &mut Node<T>, entry: Entry<T>, dim: usize) -> Option<(Node<T>, Node<T>)> {
+    fn insert_rec(
+        node: &mut Node<T>,
+        rows: &impl RowSource,
+        entry: Entry<T>,
+        dim: usize,
+    ) -> Option<(Node<T>, Node<T>)> {
         match node {
             Node::Leaf { entries } => {
                 entries.push(entry);
@@ -199,18 +211,18 @@ impl<T: Clone> VisualRTree<T> {
             }
             Node::Internal { children } => {
                 let idx = choose_subtree(children, &entry.bbox);
-                match Self::insert_rec(&mut children[idx].node, entry, dim) {
+                match Self::insert_rec(&mut children[idx].node, rows, entry, dim) {
                     None => {
                         let (bbox, ball) =
                             // tvdp-lint: allow(no_panic, reason = "hybrid-tree structural invariant: the node touched here is non-empty by construction")
-                            children[idx].node.summary(dim).expect("child non-empty");
+                            children[idx].node.summary(rows, dim).expect("child non-empty");
                         children[idx].bbox = bbox;
                         children[idx].ball = ball;
                     }
                     Some((left, right)) => {
                         let mk = |n: Node<T>| {
                             // tvdp-lint: allow(no_panic, reason = "hybrid-tree structural invariant: the node touched here is non-empty by construction")
-                            let (bbox, ball) = n.summary(dim).expect("split node non-empty");
+                            let (bbox, ball) = n.summary(rows, dim).expect("split node non-empty");
                             Child {
                                 bbox,
                                 ball,
@@ -236,8 +248,14 @@ impl<T: Clone> VisualRTree<T> {
     /// Spatial-visual range query: entries intersecting `region` whose
     /// feature distance to `query` is at most `max_dist`. Returns
     /// `(distance, payload)` sorted by distance.
-    pub fn range_visual(&self, region: &BBox, query: &[f32], max_dist: f32) -> Vec<(f32, &T)> {
-        self.range_visual_sq(region, query, max_dist * max_dist)
+    pub fn range_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        max_dist: f32,
+    ) -> Vec<(f32, &T)> {
+        self.range_visual_sq(rows, region, query, max_dist * max_dist)
             .into_iter()
             .map(|(d_sq, v)| (d_sq.sqrt(), v))
             .collect()
@@ -250,19 +268,21 @@ impl<T: Clone> VisualRTree<T> {
     /// no square root is taken anywhere.
     pub fn range_visual_sq(
         &self,
+        rows: &impl RowSource,
         region: &BBox,
         query: &[f32],
         max_dist_sq: f32,
     ) -> Vec<(f32, &T)> {
         assert_eq!(query.len(), self.dim, "feature dimension mismatch");
         let mut out = Vec::new();
-        Self::range_rec(&self.root, region, query, max_dist_sq, &mut out);
+        Self::range_rec(&self.root, rows, region, query, max_dist_sq, &mut out);
         out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 
     fn range_rec<'a>(
         node: &'a Node<T>,
+        rows: &impl RowSource,
         region: &BBox,
         query: &[f32],
         max_dist_sq: f32,
@@ -272,7 +292,7 @@ impl<T: Clone> VisualRTree<T> {
             Node::Leaf { entries } => {
                 for e in entries {
                     if e.bbox.intersects(region) {
-                        let d_sq = l2_sq(&e.feature, query);
+                        let d_sq = l2_sq(rows.row(e.row), query);
                         if d_sq <= max_dist_sq {
                             out.push((d_sq, &e.value));
                         }
@@ -286,7 +306,7 @@ impl<T: Clone> VisualRTree<T> {
                     // per child node, not once per candidate entry.
                     let feat_lb = (l2(&c.ball.centroid, query) - c.ball.radius).max(0.0);
                     if c.bbox.intersects(region) && feat_lb * feat_lb <= max_dist_sq {
-                        Self::range_rec(&c.node, region, query, max_dist_sq, out);
+                        Self::range_rec(&c.node, rows, region, query, max_dist_sq, out);
                     }
                 }
             }
@@ -296,7 +316,13 @@ impl<T: Clone> VisualRTree<T> {
     /// Spatial-visual top-k: the `k` entries intersecting `region` most
     /// similar to `query`, via best-first traversal on the feature-distance
     /// lower bound.
-    pub fn knn_visual(&self, region: &BBox, query: &[f32], k: usize) -> Vec<(f32, &T)> {
+    pub fn knn_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<(f32, &T)> {
         assert_eq!(query.len(), self.dim, "feature dimension mismatch");
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
@@ -344,7 +370,7 @@ impl<T: Clone> VisualRTree<T> {
                     for e in entries {
                         if e.bbox.intersects(region) {
                             heap.push(Reverse(Item {
-                                dist: l2(&e.feature, query),
+                                dist: l2(rows.row(e.row), query),
                                 kind: Kind::Entry(&e.value),
                             }));
                         }
@@ -368,36 +394,36 @@ impl<T: Clone> VisualRTree<T> {
 
     /// Verifies the bounding-ball invariant: every entry's feature lies
     /// within its ancestors' balls (test helper).
-    pub fn check_invariants(&self) {
-        fn features_under<T>(node: &Node<T>, out: &mut Vec<Vec<f32>>) {
+    pub fn check_invariants(&self, rows: &impl RowSource) {
+        fn rows_under<T>(node: &Node<T>, out: &mut Vec<u32>) {
             match node {
-                Node::Leaf { entries } => out.extend(entries.iter().map(|e| e.feature.clone())),
+                Node::Leaf { entries } => out.extend(entries.iter().map(|e| e.row)),
                 Node::Internal { children } => {
                     for c in children {
-                        features_under(&c.node, out);
+                        rows_under(&c.node, out);
                     }
                 }
             }
         }
-        fn walk<T>(node: &Node<T>) {
+        fn walk<T>(node: &Node<T>, rows: &impl RowSource) {
             if let Node::Internal { children } = node {
                 for c in children {
-                    let mut feats = Vec::new();
-                    features_under(&c.node, &mut feats);
-                    assert_eq!(feats.len(), c.ball.count, "count mismatch");
-                    for f in &feats {
-                        let d = l2(f, &c.ball.centroid);
+                    let mut handles = Vec::new();
+                    rows_under(&c.node, &mut handles);
+                    assert_eq!(handles.len(), c.ball.count, "count mismatch");
+                    for &h in &handles {
+                        let d = l2(rows.row(h), &c.ball.centroid);
                         assert!(
                             d <= c.ball.radius + 1e-4,
                             "feature escapes ball: {d} > {}",
                             c.ball.radius
                         );
                     }
-                    walk(&c.node);
+                    walk(&c.node, rows);
                 }
             }
         }
-        walk(&self.root);
+        walk(&self.root, rows);
     }
 }
 
@@ -405,13 +431,15 @@ impl<T: Clone> VisualRTree<T> {
 mod tests {
     use super::*;
     use tvdp_geo::GeoPoint;
+    use tvdp_kernel::FeatureSlab;
 
     type RawEntry = (BBox, Vec<f32>, usize);
 
     /// Entries on a spatial grid; feature = one-hot-ish vector by group so
     /// visual similarity is controlled.
-    fn build(n: usize) -> (VisualRTree<usize>, Vec<RawEntry>) {
+    fn build(n: usize) -> (VisualRTree<usize>, FeatureSlab, Vec<RawEntry>) {
         let mut tree = VisualRTree::new(4);
+        let mut slab = FeatureSlab::new(4);
         let mut raw = Vec::new();
         for i in 0..n {
             let lat = 34.0 + (i / 12) as f64 * 0.001;
@@ -420,16 +448,17 @@ mod tests {
             let group = i % 4;
             let mut f = vec![0.1f32; 4];
             f[group] = 1.0 + (i as f32 * 0.001);
-            tree.insert(b, f.clone(), i);
+            let row = slab.push(&f);
+            tree.insert(&slab, b, row, i);
             raw.push((b, f, i));
         }
-        (tree, raw)
+        (tree, slab, raw)
     }
 
     #[test]
     fn range_visual_matches_linear_scan() {
-        let (tree, raw) = build(200);
-        tree.check_invariants();
+        let (tree, slab, raw) = build(200);
+        tree.check_invariants(&slab);
         let region = BBox::new(34.0, -118.3, 34.01, -118.292);
         let query = {
             let mut f = vec![0.1f32; 4];
@@ -437,7 +466,7 @@ mod tests {
             f
         };
         let got: Vec<usize> = tree
-            .range_visual(&region, &query, 0.3)
+            .range_visual(&slab, &region, &query, 0.3)
             .into_iter()
             .map(|(_, id)| *id)
             .collect();
@@ -453,8 +482,23 @@ mod tests {
     }
 
     #[test]
+    fn range_visual_works_through_a_detached_view() {
+        let (tree, slab, _) = build(150);
+        let view = slab.view();
+        let region = BBox::new(33.9, -118.4, 34.1, -118.2);
+        let query = vec![0.1f32, 0.1, 1.0, 0.1];
+        let direct = tree.range_visual_sq(&slab, &region, &query, 0.5);
+        let snapped = tree.range_visual_sq(&view, &region, &query, 0.5);
+        assert_eq!(direct.len(), snapped.len());
+        for ((da, ia), (db, ib)) in direct.iter().zip(&snapped) {
+            assert_eq!(da.to_bits(), db.to_bits());
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
     fn knn_visual_matches_linear_scan() {
-        let (tree, raw) = build(200);
+        let (tree, slab, raw) = build(200);
         let region = BBox::new(33.99, -118.31, 34.05, -118.27);
         let query = {
             let mut f = vec![0.1f32; 4];
@@ -462,7 +506,7 @@ mod tests {
             f
         };
         let got: Vec<f32> = tree
-            .knn_visual(&region, &query, 10)
+            .knn_visual(&slab, &region, &query, 10)
             .iter()
             .map(|(d, _)| *d)
             .collect();
@@ -483,20 +527,22 @@ mod tests {
 
     #[test]
     fn spatial_constraint_respected() {
-        let (tree, _) = build(100);
+        let (tree, slab, _) = build(100);
         // Region far away from all data.
         let empty_region = BBox::new(35.0, -117.0, 35.1, -116.9);
         let query = vec![1.0, 0.1, 0.1, 0.1];
-        assert!(tree.range_visual(&empty_region, &query, 100.0).is_empty());
-        assert!(tree.knn_visual(&empty_region, &query, 5).is_empty());
+        assert!(tree
+            .range_visual(&slab, &empty_region, &query, 100.0)
+            .is_empty());
+        assert!(tree.knn_visual(&slab, &empty_region, &query, 5).is_empty());
     }
 
     #[test]
     fn visual_threshold_respected() {
-        let (tree, _) = build(100);
+        let (tree, slab, _) = build(100);
         let region = BBox::new(33.9, -118.4, 34.1, -118.2);
         let query = vec![0.0; 4];
-        for (d, _) in tree.range_visual(&region, &query, 0.9) {
+        for (d, _) in tree.range_visual(&slab, &region, &query, 0.9) {
             assert!(d <= 0.9);
         }
     }
@@ -506,14 +552,17 @@ mod tests {
         let tree: VisualRTree<u8> = VisualRTree::new(3);
         assert!(tree.is_empty());
         assert_eq!(tree.dim(), 3);
+        let slab = FeatureSlab::new(3);
         let region = BBox::new(0.0, 0.0, 1.0, 1.0);
-        assert!(tree.range_visual(&region, &[0.0; 3], 1.0).is_empty());
+        assert!(tree.range_visual(&slab, &region, &[0.0; 3], 1.0).is_empty());
     }
 
     #[test]
     #[should_panic(expected = "feature dimension mismatch")]
     fn wrong_dim_rejected() {
         let mut tree: VisualRTree<u8> = VisualRTree::new(3);
-        tree.insert(BBox::new(0.0, 0.0, 1.0, 1.0), vec![0.0; 4], 1);
+        let mut slab = FeatureSlab::new(4);
+        let row = slab.push(&[0.0; 4]);
+        tree.insert(&slab, BBox::new(0.0, 0.0, 1.0, 1.0), row, 1);
     }
 }

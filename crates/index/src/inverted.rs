@@ -5,7 +5,10 @@
 //! ref \[27\]): per-term postings lists with term frequencies, tf-idf
 //! ranked retrieval, plus boolean AND/OR modes.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
+
+use tvdp_kernel::{TopK, TotalF64};
 
 /// Document handles are dense `usize` values assigned by the caller.
 ///
@@ -122,7 +125,8 @@ impl InvertedIndex {
 
     /// tf-idf ranked retrieval: returns `(score, doc)` sorted by
     /// descending score, at most `k` results. Documents must match at
-    /// least one term.
+    /// least one term. Selection runs through a bounded top-k heap
+    /// (`O(n log k)`) instead of sorting every scored document.
     pub fn search_ranked(&self, query: &str, k: usize) -> Vec<(f64, usize)> {
         let terms = tokenize(query);
         let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
@@ -136,15 +140,44 @@ impl InvertedIndex {
                 *scores.entry(doc).or_insert(0.0) += (f64::from(tf) / len) * idf;
             }
         }
-        let mut out: Vec<(f64, usize)> = scores.into_iter().map(|(d, s)| (s, d)).collect();
-        out.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        out.truncate(k);
-        out
+        // "Smallest k" under (Reverse(score), doc) = highest score first,
+        // ties broken by ascending doc — the published result order.
+        let mut top = TopK::new(k);
+        top.extend(scores.into_iter().map(|(d, s)| (Reverse(TotalF64(s)), d)));
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(Reverse(TotalF64(s)), d)| (s, d))
+            .collect()
     }
 
-    /// Document frequency of a term (diagnostics).
+    /// Document frequency of a term (diagnostics and planner
+    /// selectivity estimates).
     pub fn doc_frequency(&self, term: &str) -> usize {
         self.postings.get(&term.to_lowercase()).map_or(0, Vec::len)
+    }
+
+    /// Whether `doc` contains *every* term of `terms` (pre-tokenized,
+    /// as from [`tokenize`]). Exactly the membership predicate of
+    /// [`InvertedIndex::search_and`]: empty `terms` matches nothing.
+    /// O(terms · log postings) — the planner uses it to post-filter a
+    /// small candidate set instead of materializing the full AND.
+    pub fn doc_matches_all(&self, doc: usize, terms: &[String]) -> bool {
+        !terms.is_empty()
+            && terms.iter().all(|t| {
+                self.postings
+                    .get(t)
+                    .is_some_and(|list| list.binary_search_by_key(&doc, |&(d, _)| d).is_ok())
+            })
+    }
+
+    /// Whether `doc` contains *any* term of `terms` (pre-tokenized) —
+    /// the membership predicate of [`InvertedIndex::search_or`].
+    pub fn doc_matches_any(&self, doc: usize, terms: &[String]) -> bool {
+        terms.iter().any(|t| {
+            self.postings
+                .get(t)
+                .is_some_and(|list| list.binary_search_by_key(&doc, |&(d, _)| d).is_ok())
+        })
     }
 }
 
@@ -226,6 +259,28 @@ mod tests {
         assert_eq!(idx.doc_frequency("nothing"), 0);
         assert_eq!(idx.len(), 5);
         assert!(idx.vocabulary_size() > 10);
+    }
+
+    #[test]
+    fn doc_matches_mirrors_search_membership() {
+        let idx = sample_index();
+        for query in ["overpass dumping", "street", "overpass missingterm", ""] {
+            let terms = tokenize(query);
+            let and_hits = idx.search_and(query);
+            let or_hits = idx.search_or(query);
+            for doc in 0..5 {
+                assert_eq!(
+                    idx.doc_matches_all(doc, &terms),
+                    and_hits.contains(&doc),
+                    "AND membership mismatch for {query:?} doc {doc}"
+                );
+                assert_eq!(
+                    idx.doc_matches_any(doc, &terms),
+                    or_hits.contains(&doc),
+                    "OR membership mismatch for {query:?} doc {doc}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,13 +5,18 @@
 //! functions `h(v) = ⌊(a·v + b) / w⌋` where `a` has i.i.d. standard normal
 //! entries and `b ~ U[0, w)`. Vectors colliding with the query in any
 //! table become candidates; exact distances re-rank the candidates.
+//!
+//! The index stores no vector bytes: each handle maps to a `u32` row in
+//! a shared [feature arena](tvdp_kernel::arena), and re-ranking resolves
+//! rows through a [`RowSource`] (live slab or snapshot view) so exact
+//! distances run on arena memory with zero copies.
 
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use tvdp_kernel::{l2_sq, Pool};
+use tvdp_kernel::{l2_sq, Pool, RowSource, TopK, TotalF32};
 
 /// Below this many candidate-distance multiplications the re-rank runs
 /// serially; above it, the work fans out over the global [`Pool`].
@@ -31,6 +36,12 @@ pub struct LshConfig {
     pub bucket_width: f32,
     /// Seed for projection directions and offsets.
     pub seed: u64,
+    /// Oversampling factor for approximate top-k serving: callers that
+    /// post-filter LSH results (e.g. the query engine restricting to
+    /// indexed images) fetch `k * candidate_multiple` neighbours before
+    /// filtering down to `k`. Higher values trade re-rank work for
+    /// recall.
+    pub candidate_multiple: usize,
 }
 
 impl Default for LshConfig {
@@ -40,6 +51,7 @@ impl Default for LshConfig {
             hashes_per_table: 8,
             bucket_width: 1.0,
             seed: 0x154,
+            candidate_multiple: 4,
         }
     }
 }
@@ -88,7 +100,7 @@ impl HashFamily {
     }
 }
 
-/// An LSH index over dense `f32` vectors with `usize` handles.
+/// An LSH index over arena feature rows with dense `usize` handles.
 #[derive(Debug, Clone)]
 pub struct LshIndex {
     config: LshConfig,
@@ -98,7 +110,8 @@ pub struct LshIndex {
     /// that any future iteration over buckets is reproducible; lookups
     /// on `Vec<i32>` keys stay O(log n).
     tables: Vec<BTreeMap<Vec<i32>, Vec<usize>>>,
-    vectors: Vec<Vec<f32>>,
+    /// Arena row handle per LSH handle (dense, insertion order).
+    rows: Vec<u32>,
 }
 
 impl LshIndex {
@@ -110,6 +123,7 @@ impl LshIndex {
             "degenerate config"
         );
         assert!(config.bucket_width > 0.0, "bucket width must be positive");
+        assert!(config.candidate_multiple >= 1, "degenerate oversampling");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let families = (0..config.tables)
             .map(|_| HashFamily::new(dim, config.hashes_per_table, config.bucket_width, &mut rng))
@@ -120,18 +134,18 @@ impl LshIndex {
             dim,
             families,
             tables,
-            vectors: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.rows.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.rows.is_empty()
     }
 
     /// The configuration in use.
@@ -139,31 +153,33 @@ impl LshIndex {
         &self.config
     }
 
-    /// Inserts a vector, returning its handle (dense, starting at 0).
+    /// Indexes arena row `row` whose values are `v`, returning its
+    /// handle (dense, starting at 0). Only the hash of `v` is retained;
+    /// the bytes stay in the arena.
     ///
     /// # Panics
     ///
     /// Panics on dimensionality mismatch.
-    pub fn insert(&mut self, v: Vec<f32>) -> usize {
+    pub fn insert(&mut self, v: &[f32], row: u32) -> usize {
         assert_eq!(v.len(), self.dim, "dimension mismatch");
-        let id = self.vectors.len();
+        let id = self.rows.len();
         for (family, table) in self.families.iter().zip(&mut self.tables) {
-            table.entry(family.hash(&v)).or_default().push(id);
+            table.entry(family.hash(v)).or_default().push(id);
         }
-        self.vectors.push(v);
+        self.rows.push(row);
         id
     }
 
-    /// The stored vector for a handle.
-    pub fn vector(&self, id: usize) -> &[f32] {
-        &self.vectors[id]
+    /// The arena row a handle points at.
+    pub fn row_of(&self, id: usize) -> u32 {
+        self.rows[id]
     }
 
     /// Candidate handles colliding with `q` in at least one table
     /// (deduplicated, unordered).
     pub fn candidates(&self, q: &[f32]) -> Vec<usize> {
         assert_eq!(q.len(), self.dim, "dimension mismatch");
-        let mut seen = vec![false; self.vectors.len()];
+        let mut seen = vec![false; self.rows.len()];
         let mut out = Vec::new();
         for (family, table) in self.families.iter().zip(&self.tables) {
             if let Some(bucket) = table.get(&family.hash(q)) {
@@ -181,12 +197,26 @@ impl LshIndex {
     /// Squared distances from `q` to each handle in `ids`, in order.
     /// Fans out over the global pool when the work is large enough to
     /// amortize it; the pooled path is bit-identical to the serial one.
-    fn rerank_sq(&self, q: &[f32], ids: &[usize]) -> Vec<f32> {
+    fn rerank_sq(&self, rows: &(impl RowSource + Sync), q: &[f32], ids: &[usize]) -> Vec<f32> {
         if ids.len() * self.dim < PARALLEL_RERANK_FLOPS {
-            ids.iter().map(|&id| l2_sq(q, &self.vectors[id])).collect()
+            ids.iter()
+                .map(|&id| l2_sq(q, rows.row(self.rows[id])))
+                .collect()
         } else {
-            Pool::global().map(ids, |_, &id| l2_sq(q, &self.vectors[id]))
+            Pool::global().map(ids, |_, &id| l2_sq(q, rows.row(self.rows[id])))
         }
+    }
+
+    /// Selects the `k` smallest `(d_sq, id)` pairs — the bounded-heap
+    /// replacement for sort-everything-then-truncate — and converts the
+    /// survivors to reported (rooted) distances.
+    fn select_k(d_sq: Vec<f32>, ids: Vec<usize>, k: usize) -> Vec<(f32, usize)> {
+        let mut top = TopK::new(k);
+        top.extend(d_sq.into_iter().zip(ids).map(|(d, id)| (TotalF32(d), id)));
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(TotalF32(d), id)| (d.sqrt(), id))
+            .collect()
     }
 
     /// Approximate k-NN: exact re-ranking of the LSH candidate set.
@@ -194,25 +224,25 @@ impl LshIndex {
     /// than `k` when the candidate set is small.
     ///
     /// Candidates are ranked on squared distances (monotonic, so the
-    /// order is the same); the square root is taken only for the `k`
-    /// survivors.
-    pub fn knn(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
+    /// order is the same) through a bounded top-k heap; the square root
+    /// is taken only for the `k` survivors.
+    pub fn knn(&self, rows: &(impl RowSource + Sync), q: &[f32], k: usize) -> Vec<(f32, usize)> {
         let ids = self.candidates(q);
-        let mut cands: Vec<(f32, usize)> = self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
-        cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        cands.truncate(k);
-        for c in &mut cands {
-            c.0 = c.0.sqrt();
-        }
-        cands
+        let d_sq = self.rerank_sq(rows, q, &ids);
+        Self::select_k(d_sq, ids, k)
     }
 
     /// All handles within `radius` of `q` among the candidates.
-    pub fn within_radius(&self, q: &[f32], radius: f32) -> Vec<(f32, usize)> {
+    pub fn within_radius(
+        &self,
+        rows: &(impl RowSource + Sync),
+        q: &[f32],
+        radius: f32,
+    ) -> Vec<(f32, usize)> {
         let ids = self.candidates(q);
         let radius_sq = radius * radius;
         let mut out: Vec<(f32, usize)> = self
-            .rerank_sq(q, &ids)
+            .rerank_sq(rows, q, &ids)
             .into_iter()
             .zip(ids)
             .filter_map(|(d_sq, id)| (d_sq <= radius_sq).then_some((d_sq, id)))
@@ -226,21 +256,22 @@ impl LshIndex {
 
     /// Exact linear-scan k-NN over all stored vectors (the brute-force
     /// baseline the benchmarks compare against).
-    pub fn knn_exact(&self, q: &[f32], k: usize) -> Vec<(f32, usize)> {
-        let ids: Vec<usize> = (0..self.vectors.len()).collect();
-        let mut all: Vec<(f32, usize)> = self.rerank_sq(q, &ids).into_iter().zip(ids).collect();
-        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        all.truncate(k);
-        for c in &mut all {
-            c.0 = c.0.sqrt();
-        }
-        all
+    pub fn knn_exact(
+        &self,
+        rows: &(impl RowSource + Sync),
+        q: &[f32],
+        k: usize,
+    ) -> Vec<(f32, usize)> {
+        let ids: Vec<usize> = (0..self.rows.len()).collect();
+        let d_sq = self.rerank_sq(rows, q, &ids);
+        Self::select_k(d_sq, ids, k)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tvdp_kernel::FeatureSlab;
 
     fn clustered_vectors(n_clusters: usize, per_cluster: usize, dim: usize) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(99);
@@ -259,36 +290,44 @@ mod tests {
         out
     }
 
+    fn indexed(vectors: &[Vec<f32>], dim: usize, config: LshConfig) -> (LshIndex, FeatureSlab) {
+        let mut idx = LshIndex::new(dim, config);
+        let mut slab = FeatureSlab::new(dim);
+        for v in vectors {
+            let row = slab.push(v);
+            idx.insert(v, row);
+        }
+        (idx, slab)
+    }
+
     #[test]
     fn exact_duplicate_always_found() {
-        let mut idx = LshIndex::new(8, LshConfig::default());
         let vectors = clustered_vectors(4, 10, 8);
-        for v in &vectors {
-            idx.insert(v.clone());
-        }
+        let (idx, slab) = indexed(&vectors, 8, LshConfig::default());
         // A stored vector must collide with itself in every table.
         let cands = idx.candidates(&vectors[5]);
         assert!(cands.contains(&5));
-        let knn = idx.knn(&vectors[5], 1);
+        let knn = idx.knn(&slab, &vectors[5], 1);
         assert_eq!(knn[0].1, 5);
         assert!(knn[0].0 < 1e-6);
     }
 
     #[test]
     fn knn_recall_on_clustered_data() {
-        let mut idx = LshIndex::new(8, LshConfig::default());
         let vectors = clustered_vectors(5, 20, 8);
-        for v in &vectors {
-            idx.insert(v.clone());
-        }
+        let (idx, slab) = indexed(&vectors, 8, LshConfig::default());
         // For each cluster representative, at least 8 of the true top-10
         // must appear in the approximate top-10 (recall >= 0.8).
         let mut total_recall = 0.0;
         let mut queries = 0;
         for q in (0..vectors.len()).step_by(20) {
-            let approx: Vec<usize> = idx.knn(&vectors[q], 10).iter().map(|&(_, i)| i).collect();
+            let approx: Vec<usize> = idx
+                .knn(&slab, &vectors[q], 10)
+                .iter()
+                .map(|&(_, i)| i)
+                .collect();
             let exact: Vec<usize> = idx
-                .knn_exact(&vectors[q], 10)
+                .knn_exact(&slab, &vectors[q], 10)
                 .iter()
                 .map(|&(_, i)| i)
                 .collect();
@@ -301,12 +340,49 @@ mod tests {
     }
 
     #[test]
+    fn oversampling_multiple_improves_recall_after_post_filter() {
+        // Emulates the engine's approximate visual path: fetch
+        // `k * candidate_multiple` neighbours, post-filter half the
+        // corpus away, keep k. Recall against the filtered exact top-k
+        // must not degrade when the multiple grows.
+        let dim = 8;
+        let k = 10;
+        let vectors = clustered_vectors(6, 25, dim);
+        let (idx, slab) = indexed(&vectors, dim, LshConfig::default());
+        let keep = |id: usize| id % 2 == 0;
+        let exact: Vec<usize> = idx
+            .knn_exact(&slab, &vectors[0], vectors.len())
+            .into_iter()
+            .filter(|&(_, id)| keep(id))
+            .take(k)
+            .map(|(_, id)| id)
+            .collect();
+        let recall_at = |multiple: usize| {
+            let approx: Vec<usize> = idx
+                .knn(&slab, &vectors[0], k * multiple)
+                .into_iter()
+                .filter(|&(_, id)| keep(id))
+                .take(k)
+                .map(|(_, id)| id)
+                .collect();
+            exact.iter().filter(|id| approx.contains(id)).count() as f64 / exact.len() as f64
+        };
+        let low = recall_at(1);
+        let default = recall_at(LshConfig::default().candidate_multiple);
+        assert_eq!(LshConfig::default().candidate_multiple, 4);
+        assert!(default >= low, "recall fell from {low} to {default}");
+        assert!(default >= 0.8, "oversampled recall {default}");
+    }
+
+    #[test]
     fn within_radius_returns_only_close_vectors() {
-        let mut idx = LshIndex::new(4, LshConfig::default());
-        idx.insert(vec![0.0; 4]);
-        idx.insert(vec![0.05, 0.0, 0.0, 0.0]);
-        idx.insert(vec![10.0, 10.0, 10.0, 10.0]);
-        let hits = idx.within_radius(&[0.0; 4], 0.5);
+        let vectors = vec![
+            vec![0.0; 4],
+            vec![0.05, 0.0, 0.0, 0.0],
+            vec![10.0, 10.0, 10.0, 10.0],
+        ];
+        let (idx, slab) = indexed(&vectors, 4, LshConfig::default());
+        let hits = idx.within_radius(&slab, &[0.0; 4], 0.5);
         let ids: Vec<usize> = hits.iter().map(|&(_, i)| i).collect();
         assert!(ids.contains(&0));
         assert!(ids.contains(&1));
@@ -316,20 +392,17 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let mk = || {
-            let mut idx = LshIndex::new(
+            indexed(
+                &clustered_vectors(3, 5, 6),
                 6,
                 LshConfig {
                     seed: 7,
                     ..Default::default()
                 },
-            );
-            for v in clustered_vectors(3, 5, 6) {
-                idx.insert(v);
-            }
-            idx
+            )
         };
-        let a = mk();
-        let b = mk();
+        let (a, _) = mk();
+        let (b, _) = mk();
         let q = vec![1.0; 6];
         assert_eq!(a.candidates(&q), b.candidates(&q));
     }
@@ -338,11 +411,8 @@ mod tests {
     fn candidates_far_smaller_than_corpus_for_sharp_config() {
         // With clustered data, a query should only collide with its own
         // cluster (plus stragglers), not the whole corpus.
-        let mut idx = LshIndex::new(8, LshConfig::default());
         let vectors = clustered_vectors(10, 30, 8);
-        for v in &vectors {
-            idx.insert(v.clone());
-        }
+        let (idx, _) = indexed(&vectors, 8, LshConfig::default());
         let cands = idx.candidates(&vectors[0]);
         assert!(
             cands.len() < vectors.len() / 2,
@@ -353,9 +423,23 @@ mod tests {
     }
 
     #[test]
+    fn knn_matches_view_snapshot_bitwise() {
+        let vectors = clustered_vectors(4, 12, 8);
+        let (idx, slab) = indexed(&vectors, 8, LshConfig::default());
+        let view = slab.view();
+        let direct = idx.knn(&slab, &vectors[3], 7);
+        let snapped = idx.knn(&view, &vectors[3], 7);
+        assert_eq!(direct.len(), snapped.len());
+        for ((da, ia), (db, ib)) in direct.iter().zip(&snapped) {
+            assert_eq!(da.to_bits(), db.to_bits());
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn insert_rejects_wrong_dim() {
         let mut idx = LshIndex::new(4, LshConfig::default());
-        idx.insert(vec![0.0; 5]);
+        idx.insert(&[0.0; 5], 0);
     }
 }

@@ -155,15 +155,17 @@ proptest! {
         threshold in 0.1f32..2.0,
     ) {
         let mut tree = VisualRTree::new(4);
+        let mut slab = tvdp_kernel::FeatureSlab::new(4);
         for (i, (p, f)) in entries.iter().enumerate() {
-            tree.insert(BBox::from_point(*p), f.clone(), i);
+            let row = slab.push(f);
+            tree.insert(&slab, BBox::from_point(*p), row, i);
         }
-        tree.check_invariants();
+        tree.check_invariants(&slab);
         let l2 = |a: &[f32], b: &[f32]| -> f32 {
             a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
         };
         let mut got: Vec<usize> = tree
-            .range_visual(&query_region, &query_feat, threshold)
+            .range_visual(&slab, &query_region, &query_feat, threshold)
             .into_iter()
             .map(|(_, i)| *i)
             .collect();
@@ -187,13 +189,15 @@ proptest! {
         probe in 0usize..60,
     ) {
         let mut idx = LshIndex::new(6, LshConfig::default());
+        let mut slab = tvdp_kernel::FeatureSlab::new(6);
         for v in &vectors {
-            idx.insert(v.clone());
+            let row = slab.push(v);
+            idx.insert(v, row);
         }
         let probe = probe % vectors.len();
         // A stored vector hashes identically to itself in every table.
         prop_assert!(idx.candidates(&vectors[probe]).contains(&probe));
-        let knn = idx.knn(&vectors[probe], 1);
+        let knn = idx.knn(&slab, &vectors[probe], 1);
         prop_assert!(knn[0].0 < 1e-6);
     }
 

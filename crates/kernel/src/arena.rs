@@ -1,0 +1,331 @@
+//! Zero-copy feature arena: contiguous, append-only `f32` row storage.
+//!
+//! Every dense feature vector in TVDP used to live in up to three heap
+//! copies (store table, hybrid-tree leaf, LSH table), and every lookup
+//! cloned a fresh `Vec<f32>`. The arena replaces all of that with one
+//! slab per feature family: rows are appended into fixed-capacity
+//! chunks that never move once written, so indexes store bare `u32`
+//! row handles and distance kernels run directly over arena memory.
+//!
+//! Three access forms, all borrowing instead of cloning:
+//!
+//! * [`FeatureSlab::row`] — direct `&[f32]` while you hold the slab
+//!   (ingest paths, benches, anything under the owner's lock),
+//! * [`SlabView`] — an `Arc`-sharing snapshot detached from the slab;
+//!   chunk pointers are reference-counted, only the partial tail chunk
+//!   is copied once per refresh. Query execution resolves every row
+//!   through a view with pure pointer arithmetic: no locks, no
+//!   allocation, no copies on the hot path,
+//! * [`RowRef`] — an owned handle to a single row (`Deref<Target =
+//!   [f32]>`) for callers that outlive the slab borrow.
+//!
+//! Rows are write-once: replacing a feature appends a new row and
+//! repoints the handle, which is what makes lock-free snapshot reads
+//! safe without any `unsafe` code.
+
+use std::sync::Arc;
+
+/// Rows per storage chunk. Chunks except the last are always exactly
+/// this full, so `row -> (chunk, offset)` is pure arithmetic. 1024 rows
+/// keeps a dim-512 chunk at 2 MiB (hugepage-friendly) and bounds the
+/// tail copy a snapshot refresh may perform.
+pub const ROWS_PER_CHUNK: usize = 1024;
+
+/// Anything that can resolve a row handle to its `f32` slice: both
+/// [`FeatureSlab`] (direct, under the owner's borrow) and [`SlabView`]
+/// (snapshot). Index structures take `&impl RowSource` so inserts can
+/// run against the live slab while queries run against a detached view.
+pub trait RowSource {
+    /// Feature dimensionality of every row.
+    fn dim(&self) -> usize;
+    /// Number of resolvable rows.
+    fn rows(&self) -> usize;
+    /// The row's values; `row` must be `< self.rows()`.
+    fn row(&self, row: u32) -> &[f32];
+}
+
+/// An append-only slab of fixed-dimension `f32` rows.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureSlab {
+    dim: usize,
+    /// Full chunks, each exactly `ROWS_PER_CHUNK * dim` floats, frozen
+    /// (never written again) and shared with snapshots by `Arc`.
+    frozen: Vec<Arc<[f32]>>,
+    /// The chunk currently being filled (< `ROWS_PER_CHUNK` rows).
+    tail: Vec<f32>,
+    len: usize,
+}
+
+impl FeatureSlab {
+    /// An empty slab over `dim`-dimensional rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "zero-dimensional rows");
+        Self {
+            dim,
+            frozen: Vec::new(),
+            tail: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Whether the slab holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a row, returning its stable handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "row dimension mismatch");
+        self.tail.extend_from_slice(v);
+        let row = self.len as u32;
+        self.len += 1;
+        if self.tail.len() == ROWS_PER_CHUNK * self.dim {
+            let full = std::mem::take(&mut self.tail);
+            self.frozen.push(Arc::from(full));
+        }
+        row
+    }
+
+    /// An `Arc`-sharing snapshot of every row pushed so far. Frozen
+    /// chunks are shared by reference count; only the partial tail
+    /// chunk is copied. Snapshots never see rows pushed after they are
+    /// taken.
+    pub fn view(&self) -> SlabView {
+        let mut chunks = self.frozen.clone();
+        if !self.tail.is_empty() {
+            chunks.push(Arc::from(self.tail.clone()));
+        }
+        SlabView {
+            dim: self.dim,
+            len: self.len,
+            chunks,
+        }
+    }
+
+    /// An owned reference to one row, valid independently of the slab
+    /// borrow. Zero-copy for rows in frozen chunks; rows still in the
+    /// tail are copied once (bounded by the most recent
+    /// [`ROWS_PER_CHUNK`] appends).
+    pub fn row_ref(&self, row: u32) -> RowRef {
+        let r = row as usize;
+        let chunk = r / ROWS_PER_CHUNK;
+        if chunk < self.frozen.len() {
+            let start = (r % ROWS_PER_CHUNK) * self.dim;
+            RowRef {
+                chunk: Arc::clone(&self.frozen[chunk]),
+                start,
+                len: self.dim,
+            }
+        } else {
+            let start = (r - self.frozen.len() * ROWS_PER_CHUNK) * self.dim;
+            RowRef {
+                chunk: Arc::from(&self.tail[start..start + self.dim]),
+                start: 0,
+                len: self.dim,
+            }
+        }
+    }
+
+    /// Total floats stored (diagnostics / memory accounting).
+    pub fn float_len(&self) -> usize {
+        self.len * self.dim
+    }
+}
+
+impl RowSource for FeatureSlab {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rows(&self) -> usize {
+        self.len
+    }
+
+    fn row(&self, row: u32) -> &[f32] {
+        let r = row as usize;
+        let chunk = r / ROWS_PER_CHUNK;
+        if chunk < self.frozen.len() {
+            let start = (r % ROWS_PER_CHUNK) * self.dim;
+            &self.frozen[chunk][start..start + self.dim]
+        } else {
+            let start = (r - self.frozen.len() * ROWS_PER_CHUNK) * self.dim;
+            &self.tail[start..start + self.dim]
+        }
+    }
+}
+
+/// A detached, immutable snapshot of a [`FeatureSlab`]. Cheap to clone
+/// (chunk `Arc`s only); row resolution is branch-free arithmetic into
+/// shared chunk memory.
+#[derive(Debug, Clone)]
+pub struct SlabView {
+    dim: usize,
+    len: usize,
+    /// Every chunk except the last holds exactly `ROWS_PER_CHUNK` rows.
+    chunks: Vec<Arc<[f32]>>,
+}
+
+impl SlabView {
+    /// A view over no rows (placeholder before any feature exists).
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            dim,
+            len: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Whether the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl RowSource for SlabView {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rows(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn row(&self, row: u32) -> &[f32] {
+        let r = row as usize;
+        let start = (r % ROWS_PER_CHUNK) * self.dim;
+        &self.chunks[r / ROWS_PER_CHUNK][start..start + self.dim]
+    }
+}
+
+/// An owned, clonable reference to a single arena row.
+#[derive(Debug, Clone)]
+pub struct RowRef {
+    chunk: Arc<[f32]>,
+    start: usize,
+    len: usize,
+}
+
+impl RowRef {
+    /// A reference to a zero-length row (placeholder for empty
+    /// feature vectors, which have no slab).
+    pub fn empty() -> Self {
+        Self {
+            chunk: Arc::from(Vec::new()),
+            start: 0,
+            len: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for RowRef {
+    type Target = [f32];
+
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.chunk[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[f32]> for RowRef {
+    fn as_ref(&self) -> &[f32] {
+        self
+    }
+}
+
+impl PartialEq for RowRef {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_of(i: usize, dim: usize) -> Vec<f32> {
+        (0..dim).map(|d| (i * dim + d) as f32).collect()
+    }
+
+    #[test]
+    fn push_and_read_across_chunk_boundaries() {
+        let dim = 3;
+        let n = ROWS_PER_CHUNK * 2 + 17;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..n {
+            let r = slab.push(&row_of(i, dim));
+            assert_eq!(r as usize, i);
+        }
+        assert_eq!(slab.rows(), n);
+        assert_eq!(slab.float_len(), n * dim);
+        for i in [
+            0,
+            1,
+            ROWS_PER_CHUNK - 1,
+            ROWS_PER_CHUNK,
+            2 * ROWS_PER_CHUNK,
+            n - 1,
+        ] {
+            assert_eq!(slab.row(i as u32), &row_of(i, dim)[..], "slab row {i}");
+        }
+    }
+
+    #[test]
+    fn view_snapshots_are_stable_and_zero_copy() {
+        let dim = 4;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..ROWS_PER_CHUNK + 5 {
+            slab.push(&row_of(i, dim));
+        }
+        let view = slab.view();
+        assert_eq!(view.rows(), ROWS_PER_CHUNK + 5);
+        // Later pushes are invisible to the snapshot.
+        slab.push(&row_of(999_999, dim));
+        assert_eq!(view.rows(), ROWS_PER_CHUNK + 5);
+        for i in [0, ROWS_PER_CHUNK - 1, ROWS_PER_CHUNK, ROWS_PER_CHUNK + 4] {
+            assert_eq!(view.row(i as u32), &row_of(i, dim)[..], "view row {i}");
+        }
+        // Frozen chunks are shared, not copied: same allocation.
+        let view2 = slab.view();
+        assert!(Arc::ptr_eq(&view.chunks[0], &view2.chunks[0]));
+    }
+
+    #[test]
+    fn row_ref_outlives_slab_borrow() {
+        let dim = 2;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..ROWS_PER_CHUNK + 1 {
+            slab.push(&row_of(i, dim));
+        }
+        let frozen = slab.row_ref(7);
+        let tail = slab.row_ref(ROWS_PER_CHUNK as u32);
+        drop(slab);
+        assert_eq!(&*frozen, &row_of(7, dim)[..]);
+        assert_eq!(&*tail, &row_of(ROWS_PER_CHUNK, dim)[..]);
+    }
+
+    #[test]
+    fn empty_view_and_slab() {
+        let slab = FeatureSlab::new(8);
+        assert!(slab.is_empty());
+        let view = slab.view();
+        assert!(view.is_empty());
+        assert_eq!(view.dim(), 8);
+        assert!(SlabView::empty(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimension mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut slab = FeatureSlab::new(4);
+        slab.push(&[0.0; 5]);
+    }
+}

@@ -14,13 +14,23 @@
 //!   with a deterministic chunk→slot mapping, so parallel maps return
 //!   results in input order and per-item values never depend on the
 //!   thread count.
+//! * [`FeatureSlab`] / [`SlabView`] — the zero-copy feature arena:
+//!   append-only chunked row storage with `Arc`-shared snapshots, so
+//!   stores and indexes reference rows by `u32` handle instead of
+//!   owning `Vec<f32>` clones.
+//! * [`TopK`] / [`TotalF32`] — bounded top-k selection over float
+//!   scores, replacing collect-then-sort on every top-k query path.
 //!
-//! The determinism contract both pieces uphold: **thread count and pool
+//! The determinism contract all pieces uphold: **thread count and pool
 //! choice never change any computed value** — only wall-clock time.
 
+pub mod arena;
 pub mod pool;
+pub mod topk;
 
+pub use arena::{FeatureSlab, RowRef, RowSource, SlabView, ROWS_PER_CHUNK};
 pub use pool::Pool;
+pub use topk::{TopK, TotalF32, TotalF64};
 
 /// Accumulator lanes for the chunked kernels. Sixteen `f32` lanes give
 /// the vectorizer two full AVX2 registers (or four SSE registers) of

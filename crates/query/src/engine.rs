@@ -1,17 +1,35 @@
 //! The index-backed query engine.
+//!
+//! Visual features live in the store's shared [feature
+//! arena](tvdp_kernel::arena): the engine indexes `u32` row handles,
+//! inserts run against the live slab under the store's read lock, and
+//! queries resolve rows through a lazily refreshed `Arc`-shared
+//! [`SlabView`] snapshot — no feature vector is cloned on either path.
+//!
+//! Conjunctions are planned by selectivity (see
+//! [`QueryEngine::execute`]): exact-membership leaves (temporal ranges,
+//! keyword filters, annotation labels, spatial boxes, visual
+//! thresholds) are evaluated per candidate instead of materialized,
+//! and candidate sets travel as one sorted `Vec<ImageId>` narrowed by
+//! galloping intersection.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use tvdp_geo::BBox;
+use parking_lot::RwLock;
+use tvdp_geo::{BBox, GeoPolygon};
 use tvdp_index::{
-    InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex, VisualRTree,
+    inverted::tokenize, InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex,
+    VisualRTree,
 };
-use tvdp_kernel::Pool;
-use tvdp_storage::{ImageId, VisualStore};
+use tvdp_kernel::{l2_sq, Pool, RowSource, SlabView};
+use tvdp_storage::{ClassificationId, ImageId, VisualStore};
 use tvdp_vision::FeatureKind;
 
-use crate::types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};
+use crate::plan;
+use crate::types::{
+    Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
+};
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -42,6 +60,33 @@ fn world() -> BBox {
     BBox::new(-90.0, -180.0, 90.0, 180.0)
 }
 
+/// A conjunction leaf evaluated per candidate image (an exact
+/// membership predicate) instead of being materialized. Top-k-like
+/// leaves can never take this form: their result sets depend on the
+/// whole corpus, not on one image at a time.
+enum Filter<'q> {
+    Temporal {
+        field: TemporalField,
+        from: i64,
+        to: i64,
+    },
+    Textual {
+        terms: Vec<String>,
+        all: bool,
+    },
+    Categorical {
+        scheme: ClassificationId,
+        label: usize,
+        min_confidence: f32,
+    },
+    Range(&'q BBox),
+    Within(&'q GeoPolygon),
+    VisualThreshold {
+        example: &'q [f32],
+        max_dist: f32,
+    },
+}
+
 /// An index-backed executor over a [`VisualStore`] snapshot.
 ///
 /// Built once from the store; images ingested afterwards are indexed via
@@ -59,6 +104,25 @@ pub struct QueryEngine {
     uploaded: TemporalIndex,
     /// Dense doc handle -> image id (text/temporal indexes).
     docs: Vec<ImageId>,
+    /// Image id -> doc handle (candidate-side lookups; ordered, L2).
+    doc_of: BTreeMap<ImageId, usize>,
+    /// Per-doc capture/upload timestamps and scene boxes, recorded at
+    /// index time so per-candidate predicates never take the store lock.
+    captured_at: Vec<i64>,
+    uploaded_at: Vec<i64>,
+    scenes: Vec<BBox>,
+    /// Arena row of each visually indexed image (ordered, L2).
+    rows_by_id: BTreeMap<ImageId, u32>,
+    /// Dimensionality of the indexed feature family (fixed by the
+    /// first indexed feature).
+    visual_dim: Option<usize>,
+    /// One past the highest arena row the visual indexes reference;
+    /// the cached view must cover at least this many rows.
+    rows_hi: u32,
+    /// Lazily refreshed arena snapshot shared by every visual query.
+    view_cache: RwLock<Arc<SlabView>>,
+    /// Union of all indexed scene boxes (spatial selectivity model).
+    extent: Option<BBox>,
     /// Ordered set (lint rule L2): never leaks hash order into results.
     indexed: BTreeSet<ImageId>,
 }
@@ -78,6 +142,15 @@ impl QueryEngine {
             captured: TemporalIndex::new(),
             uploaded: TemporalIndex::new(),
             docs: Vec::new(),
+            doc_of: BTreeMap::new(),
+            captured_at: Vec::new(),
+            uploaded_at: Vec::new(),
+            scenes: Vec::new(),
+            rows_by_id: BTreeMap::new(),
+            visual_dim: None,
+            rows_hi: 0,
+            view_cache: RwLock::new(Arc::new(SlabView::empty(1))),
+            extent: None,
             indexed: BTreeSet::new(),
         };
         for id in store.image_ids() {
@@ -117,43 +190,116 @@ impl QueryEngine {
         }
         let doc = self.docs.len();
         self.docs.push(id);
+        self.doc_of.insert(id, doc);
         self.text
             .index_document(doc, &record.meta.keywords.join(" "));
         self.captured.insert(record.meta.captured_at, doc);
         self.uploaded.insert(record.meta.uploaded_at, doc);
-        if let Some(feature) = self.store.feature(id, self.config.visual_kind) {
-            let dim = feature.len();
-            let hybrid = self.hybrid.get_or_insert_with(|| VisualRTree::new(dim));
-            hybrid.insert(record.scene_location, feature.clone(), id);
-            let lsh = self
-                .lsh
-                .get_or_insert_with(|| LshIndex::new(dim, self.config.lsh));
-            lsh.insert(feature);
-            self.lsh_ids.push(id);
+        self.captured_at.push(record.meta.captured_at);
+        self.uploaded_at.push(record.meta.uploaded_at);
+        self.scenes.push(record.scene_location);
+        self.extent = Some(match self.extent {
+            None => record.scene_location,
+            Some(e) => e.union(&record.scene_location),
+        });
+        let kind = self.config.visual_kind;
+        if let Some(handle) = self.store.feature_handle(id, kind) {
+            if handle.dim > 0 {
+                let dim = handle.dim as usize;
+                let store = Arc::clone(&self.store);
+                let config_lsh = self.config.lsh;
+                let hybrid = self.hybrid.get_or_insert_with(|| VisualRTree::new(dim));
+                let lsh = self
+                    .lsh
+                    .get_or_insert_with(|| LshIndex::new(dim, config_lsh));
+                let scene = record.scene_location;
+                // Zero-copy insert: both indexes read the feature row
+                // straight out of the live slab, under the store's read
+                // lock, and keep only the `u32` row handle.
+                let _ = store.with_slab(kind, dim, |slab| {
+                    hybrid.insert(slab, scene, handle.row, id);
+                    lsh.insert(slab.row(handle.row), handle.row);
+                });
+                self.lsh_ids.push(id);
+                self.rows_by_id.insert(id, handle.row);
+                self.visual_dim = Some(dim);
+                self.rows_hi = self.rows_hi.max(handle.row.saturating_add(1));
+            }
         }
+    }
+
+    /// The arena snapshot every visual query path reads rows from.
+    /// Refreshed only when an indexed row is not yet covered, so
+    /// steady-state queries share one `Arc` and allocate nothing.
+    fn visual_view(&self) -> Arc<SlabView> {
+        let needed = self.rows_hi as usize;
+        {
+            let view = self.view_cache.read();
+            if view.rows() >= needed {
+                return Arc::clone(&view);
+            }
+        }
+        let dim = self.visual_dim.unwrap_or(1);
+        let fresh = Arc::new(self.store.slab_view(self.config.visual_kind, dim));
+        let mut slot = self.view_cache.write();
+        // A racing refresh may already have installed a newer snapshot;
+        // keep whichever covers more rows. Snapshots only ever grow and
+        // indexes never reference uncovered rows, so which one wins
+        // cannot change any query result.
+        if fresh.rows() > slot.rows() {
+            *slot = Arc::clone(&fresh);
+        }
+        Arc::clone(&slot)
+    }
+
+    /// Validates a query tree against the engine's configuration
+    /// without executing it.
+    fn validate(&self, query: &Query) -> Result<(), QueryError> {
+        match query {
+            Query::Visual { kind, .. } if *kind != self.config.visual_kind => {
+                Err(QueryError::KindMismatch {
+                    indexed: self.config.visual_kind,
+                    queried: *kind,
+                })
+            }
+            Query::And(subs) | Query::Or(subs) => subs.iter().try_for_each(|q| self.validate(q)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Executes a query, rejecting invalid ones with a typed error: a
+    /// visual leaf anywhere in the tree whose feature family differs
+    /// from the indexed one yields [`QueryError::KindMismatch`] instead
+    /// of silently wrong (or silently dropped) results.
+    pub fn try_execute(&self, query: &Query) -> Result<Vec<QueryResult>, QueryError> {
+        self.validate(query)?;
+        Ok(self.run(query))
     }
 
     /// Executes a query.
     ///
+    /// This is the panicking convenience wrapper over
+    /// [`QueryEngine::try_execute`]; use that method to handle invalid
+    /// queries gracefully.
+    ///
     /// # Panics
     ///
-    /// Panics when a visual example's dimensionality does not match the
-    /// indexed features (caller error).
+    /// Panics when a visual leaf names a feature family other than the
+    /// indexed one (caller error).
     pub fn execute(&self, query: &Query) -> Vec<QueryResult> {
+        match self.try_execute(query) {
+            Ok(results) => results,
+            // tvdp-lint: allow(no_panic, reason = "documented panicking wrapper; try_execute is the fallible API")
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Dispatch after validation. Recursive planner paths call this
+    /// directly so a tree is only validated once.
+    fn run(&self, query: &Query) -> Vec<QueryResult> {
         match query {
             Query::Spatial(sq) => self.execute_spatial(sq),
-            Query::Visual {
-                example,
-                kind,
-                mode,
-            } => {
-                assert_eq!(
-                    *kind, self.config.visual_kind,
-                    "engine indexes {:?}, query uses {:?}",
-                    self.config.visual_kind, kind
-                );
-                self.execute_visual(example, *mode, None)
-            }
+            Query::Visual { example, mode, .. } => self.execute_visual(example, *mode, None),
             Query::Categorical {
                 scheme,
                 label,
@@ -210,28 +356,32 @@ impl QueryEngine {
         let Some(hybrid) = &self.hybrid else {
             return Vec::new();
         };
+        let view = self.visual_view();
         hybrid
-            .range_visual_sq(&world(), example, max_dist_sq)
+            .range_visual_sq(&*view, &world(), example, max_dist_sq)
             .into_iter()
             .map(|(d_sq, id)| (d_sq, *id))
             .collect()
     }
 
     /// Disjunction: union of the branches, keeping each image's best
-    /// (lowest) score; output ordered by score then id.
+    /// (lowest) score; output ordered by score then id. Branch results
+    /// are folded over one sorted pairs vector — the stable sort keeps
+    /// branch order within an image id, so the min-fold visits scores
+    /// in the same order a per-image map would.
     fn execute_or(&self, subs: &[Query]) -> Vec<QueryResult> {
-        let mut best: BTreeMap<ImageId, f64> = BTreeMap::new();
+        let mut pairs: Vec<(ImageId, f64)> = Vec::new();
         for q in subs {
-            for r in self.execute(q) {
-                best.entry(r.image)
-                    .and_modify(|s| *s = s.min(r.score))
-                    .or_insert(r.score);
+            pairs.extend(self.run(q).into_iter().map(|r| (r.image, r.score)));
+        }
+        pairs.sort_by_key(|&(id, _)| id);
+        let mut out: Vec<QueryResult> = Vec::new();
+        for (id, s) in pairs {
+            match out.last_mut() {
+                Some(last) if last.image == id => last.score = last.score.min(s),
+                _ => out.push(QueryResult::new(id, s)),
             }
         }
-        let mut out: Vec<QueryResult> = best
-            .into_iter()
-            .map(|(id, s)| QueryResult::new(id, s))
-            .collect();
         out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
         out
     }
@@ -294,7 +444,8 @@ impl QueryEngine {
     }
 
     /// Visual query, optionally restricted to a spatial region (the
-    /// hybrid spatial-visual plan).
+    /// hybrid spatial-visual plan). Feature rows are read from the
+    /// shared arena snapshot; nothing is cloned per query.
     fn execute_visual(
         &self,
         example: &[f32],
@@ -304,33 +455,35 @@ impl QueryEngine {
         let Some(hybrid) = &self.hybrid else {
             return Vec::new();
         };
+        let view = self.visual_view();
         let region = region.copied().unwrap_or_else(world);
         match mode {
             VisualMode::Threshold(max_dist) => hybrid
-                .range_visual(&region, example, max_dist)
+                .range_visual(&*view, &region, example, max_dist)
                 .into_iter()
                 .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
                 .collect(),
             VisualMode::TopK(k) => {
                 if self.config.exact_visual {
                     hybrid
-                        .knn_visual(&region, example, k)
+                        .knn_visual(&*view, &region, example, k)
                         .into_iter()
                         .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
                         .collect()
                 } else {
-                    // Approximate: LSH candidates, exact re-rank, then
-                    // spatial post-filter.
+                    // Approximate: LSH candidates, exact re-rank on the
+                    // arena rows, then spatial post-filter. Oversampling
+                    // is configurable (LshConfig::candidate_multiple).
                     let Some(lsh) = self.lsh.as_ref() else {
                         return Vec::new();
                     };
-                    lsh.knn(example, k * 4)
+                    lsh.knn(&*view, example, k * self.config.lsh.candidate_multiple)
                         .into_iter()
                         .map(|(d, handle)| (d, self.lsh_ids[handle]))
                         .filter(|(_, id)| {
-                            self.store
-                                .image(*id)
-                                .is_some_and(|r| r.scene_location.intersects(&region))
+                            self.doc_of
+                                .get(id)
+                                .is_some_and(|&doc| self.scenes[doc].intersects(&region))
                         })
                         .take(k)
                         .map(|(d, id)| QueryResult::new(id, f64::from(d)))
@@ -363,16 +516,234 @@ impl QueryEngine {
         }
     }
 
-    /// Conjunction planner. The spatial-range + visual pattern runs on
-    /// the hybrid index in one traversal; everything else evaluates the
-    /// sub-queries independently and intersects, keeping the score of the
-    /// first scored component.
+    /// Classifies a conjunction leaf as a per-candidate membership
+    /// predicate, returning it with a rough unit cost per test (used to
+    /// order the filter chain cheapest-first). `None` means the leaf
+    /// must be materialized: top-k-like modes (visual top-k, nearest,
+    /// ranked text), coverage/direction queries, and nested trees.
+    fn pushdown<'q>(&self, q: &'q Query) -> Option<(Filter<'q>, u32)> {
+        match q {
+            Query::Temporal { field, from, to } => Some((
+                Filter::Temporal {
+                    field: *field,
+                    from: *from,
+                    to: *to,
+                },
+                1,
+            )),
+            Query::Spatial(SpatialQuery::Range(b)) => Some((Filter::Range(b), 2)),
+            Query::Textual { text, mode } => match mode {
+                TextualMode::All => Some((
+                    Filter::Textual {
+                        terms: tokenize(text),
+                        all: true,
+                    },
+                    3,
+                )),
+                TextualMode::Any => Some((
+                    Filter::Textual {
+                        terms: tokenize(text),
+                        all: false,
+                    },
+                    3,
+                )),
+                TextualMode::Ranked(_) => None,
+            },
+            Query::Spatial(SpatialQuery::Within(p)) => Some((Filter::Within(p), 4)),
+            Query::Categorical {
+                scheme,
+                label,
+                min_confidence,
+            } => Some((
+                Filter::Categorical {
+                    scheme: *scheme,
+                    label: *label,
+                    min_confidence: *min_confidence,
+                },
+                5,
+            )),
+            Query::Visual {
+                example,
+                mode: VisualMode::Threshold(t),
+                ..
+            } if self
+                .hybrid
+                .as_ref()
+                .is_some_and(|h| h.dim() == example.len()) =>
+            {
+                Some((
+                    Filter::VisualThreshold {
+                        example,
+                        max_dist: *t,
+                    },
+                    8,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether candidate `id` satisfies a pushed-down predicate.
+    /// Exactly the membership test of the corresponding materialized
+    /// leaf: doc-side lookups use the values recorded at index time,
+    /// and the visual threshold reruns the same `l2_sq` kernel on the
+    /// same arena row the hybrid tree would visit.
+    fn filter_matches(&self, f: &Filter, id: ImageId, view: Option<&SlabView>) -> bool {
+        match f {
+            Filter::Temporal { field, from, to } => self.doc_of.get(&id).is_some_and(|&doc| {
+                let t = match field {
+                    TemporalField::Captured => self.captured_at[doc],
+                    TemporalField::Uploaded => self.uploaded_at[doc],
+                };
+                t >= *from && t <= *to
+            }),
+            Filter::Textual { terms, all } => self.doc_of.get(&id).is_some_and(|&doc| {
+                if *all {
+                    self.text.doc_matches_all(doc, terms)
+                } else {
+                    self.text.doc_matches_any(doc, terms)
+                }
+            }),
+            Filter::Categorical {
+                scheme,
+                label,
+                min_confidence,
+            } => self
+                .store
+                .has_annotation(id, *scheme, *label, *min_confidence),
+            Filter::Range(b) => self
+                .doc_of
+                .get(&id)
+                .is_some_and(|&doc| self.scenes[doc].intersects(b)),
+            Filter::Within(p) => self.doc_of.get(&id).is_some_and(|&doc| {
+                let scene = &self.scenes[doc];
+                scene.intersects(&p.bbox()) && p.intersects_bbox(scene)
+            }),
+            Filter::VisualThreshold { example, max_dist } => self
+                .rows_by_id
+                .get(&id)
+                .zip(view)
+                .is_some_and(|(&row, v)| l2_sq(v.row(row), example) <= max_dist * max_dist),
+        }
+    }
+
+    /// The score a pushed-down leaf would have reported for `id` had it
+    /// been materialized: `0.0` for pure filters, the feature distance
+    /// for a visual threshold.
+    fn filter_score(&self, f: &Filter, id: ImageId, view: Option<&SlabView>) -> f64 {
+        match f {
+            Filter::VisualThreshold { example, .. } => {
+                self.rows_by_id.get(&id).zip(view).map_or(0.0, |(&row, v)| {
+                    f64::from(l2_sq(v.row(row), example).sqrt())
+                })
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated result cardinality of a leaf, from per-index summary
+    /// statistics: temporal range width over the indexed span, term
+    /// posting-list lengths, incremental annotation label counts, and
+    /// query-box area against the union of indexed scene boxes. Used to
+    /// pick the cheapest driver leaf of a conjunction; estimates order
+    /// work, they never change results.
+    fn estimate(&self, q: &Query) -> f64 {
+        let n = self.docs.len() as f64;
+        match q {
+            Query::Temporal { field, from, to } => {
+                let idx = match field {
+                    TemporalField::Captured => &self.captured,
+                    TemporalField::Uploaded => &self.uploaded,
+                };
+                match idx.span() {
+                    None => 0.0,
+                    Some((lo, hi)) => {
+                        let span = (hi - lo) as f64 + 1.0;
+                        let overlap =
+                            ((*to).min(hi) as f64 - (*from).max(lo) as f64 + 1.0).max(0.0);
+                        n * (overlap / span).clamp(0.0, 1.0)
+                    }
+                }
+            }
+            Query::Textual { text, mode } => {
+                let terms = tokenize(text);
+                match mode {
+                    TextualMode::All => terms
+                        .iter()
+                        .map(|t| self.text.doc_frequency(t))
+                        .min()
+                        .unwrap_or(0) as f64,
+                    TextualMode::Any => (terms
+                        .iter()
+                        .map(|t| self.text.doc_frequency(t))
+                        .sum::<usize>() as f64)
+                        .min(n),
+                    TextualMode::Ranked(k) => (*k as f64).min(n),
+                }
+            }
+            Query::Categorical { scheme, label, .. } => {
+                self.store.label_count(*scheme, *label) as f64
+            }
+            Query::Spatial(SpatialQuery::Range(b)) => self.spatial_fraction(b) * n,
+            Query::Spatial(SpatialQuery::Within(p)) => self.spatial_fraction(&p.bbox()) * n,
+            Query::Spatial(SpatialQuery::Nearest { k, .. }) => (*k as f64).min(n),
+            Query::Spatial(_) => n,
+            Query::Visual {
+                mode: VisualMode::TopK(k),
+                ..
+            } => (*k as f64).min(n),
+            Query::Visual { .. } => n,
+            Query::And(subs) => subs.iter().map(|s| self.estimate(s)).fold(n, f64::min),
+            Query::Or(subs) => subs.iter().map(|s| self.estimate(s)).sum::<f64>().min(n),
+        }
+    }
+
+    /// Fraction of the indexed spatial extent a query box covers
+    /// (clamped to `[0, 1]`; degenerate extents count as full overlap
+    /// when they intersect at all).
+    fn spatial_fraction(&self, q: &BBox) -> f64 {
+        match &self.extent {
+            None => 0.0,
+            Some(extent) => match extent.intersection(q) {
+                None => 0.0,
+                Some(overlap) => {
+                    let total = extent.area_deg2();
+                    if total <= 0.0 {
+                        1.0
+                    } else {
+                        (overlap.area_deg2() / total).clamp(0.0, 1.0)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Conjunction planner.
+    ///
+    /// The spatial-range + visual pattern runs on the hybrid index in
+    /// one traversal, with every remaining leaf applied to the (small)
+    /// visual candidate list — predicates per candidate, anything
+    /// top-k-like via one sorted-id intersection.
+    ///
+    /// The general plan materializes only what it must: leaves with
+    /// whole-corpus semantics execute on their indexes and intersect as
+    /// sorted id vectors (galloping, smallest first), while every
+    /// exact-membership leaf is pushed down as a per-candidate filter,
+    /// cheapest first. When nothing requires materialization, the leaf
+    /// with the lowest selectivity estimate is materialized as the
+    /// candidate driver. Scores keep the engine's documented semantics:
+    /// each surviving image reports the score of the first sub-query,
+    /// output ordered by (score, id).
     fn execute_and(&self, subs: &[Query]) -> Vec<QueryResult> {
         if subs.is_empty() {
             return Vec::new();
         }
         // Hybrid fast path: exactly one spatial range + one visual leaf
-        // (any extra filters applied afterwards).
+        // (any extra filters applied afterwards). Validation has already
+        // pinned every visual leaf to the indexed family, so counting
+        // all visual leaves here is what guarantees the post-filter
+        // below never drops one silently: a second visual leaf forces
+        // the general plan instead.
         let ranges: Vec<&BBox> = subs
             .iter()
             .filter_map(|q| match q {
@@ -383,65 +754,131 @@ impl QueryEngine {
         let visuals: Vec<(&Vec<f32>, VisualMode)> = subs
             .iter()
             .filter_map(|q| match q {
-                // Only visual leaves of the indexed feature family take
-                // the hybrid path; other kinds fall through to the
-                // general plan (where the standalone assert fires).
-                Query::Visual {
-                    example,
-                    kind,
-                    mode,
-                } if *kind == self.config.visual_kind => Some((example, *mode)),
+                Query::Visual { example, mode, .. } => Some((example, *mode)),
                 _ => None,
             })
             .collect();
         if ranges.len() == 1 && visuals.len() == 1 {
             let (example, mode) = visuals[0];
             let mut results = self.execute_visual(example, mode, Some(ranges[0]));
-            // Apply the remaining predicates as post-filters.
-            let rest: Vec<&Query> = subs
-                .iter()
-                .filter(|q| {
-                    !matches!(
-                        q,
-                        Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. }
-                    )
-                })
-                .collect();
-            if !rest.is_empty() {
-                let mut allowed: Option<BTreeSet<ImageId>> = None;
-                for q in rest {
-                    let ids: BTreeSet<ImageId> =
-                        self.execute(q).into_iter().map(|r| r.image).collect();
-                    allowed = Some(match allowed {
-                        None => ids,
-                        Some(prev) => prev.intersection(&ids).copied().collect(),
-                    });
+            // Stream the remaining predicates over the visual candidates.
+            let rest = subs.iter().filter(|q| {
+                !matches!(
+                    q,
+                    Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. }
+                )
+            });
+            let mut filters: Vec<(Filter, u32, usize)> = Vec::new();
+            let mut materialize: Vec<&Query> = Vec::new();
+            for (i, q) in rest.enumerate() {
+                match self.pushdown(q) {
+                    Some((f, cost)) => filters.push((f, cost, i)),
+                    None => materialize.push(q),
                 }
-                if let Some(allowed) = allowed {
-                    results.retain(|r| allowed.contains(&r.image));
+            }
+            filters.sort_by_key(|&(_, cost, i)| (cost, i));
+            for (f, _, _) in &filters {
+                if results.is_empty() {
+                    return results;
                 }
+                // No visual leaf can appear in `rest`, so no view is
+                // ever needed here.
+                results.retain(|r| self.filter_matches(f, r.image, None));
+            }
+            for q in materialize {
+                if results.is_empty() {
+                    return results;
+                }
+                let ids = plan::sorted_ids(&self.run(q));
+                results.retain(|r| plan::contains_sorted(&ids, r.image));
             }
             return results;
         }
 
-        // General plan: evaluate all, intersect.
-        let mut scored: BTreeMap<ImageId, f64> = BTreeMap::new();
-        let mut allowed: Option<BTreeSet<ImageId>> = None;
-        for q in subs {
-            let results = self.execute(q);
-            let ids: BTreeSet<ImageId> = results.iter().map(|r| r.image).collect();
-            for r in &results {
-                scored.entry(r.image).or_insert(r.score);
+        // General plan: split into per-candidate predicates and
+        // must-materialize legs.
+        let mut filters: Vec<(Filter, u32, usize)> = Vec::new();
+        let mut mat_idx: Vec<usize> = Vec::new();
+        for (i, q) in subs.iter().enumerate() {
+            match self.pushdown(q) {
+                Some((f, cost)) => filters.push((f, cost, i)),
+                None => mat_idx.push(i),
             }
-            allowed = Some(match allowed {
-                None => ids,
-                Some(prev) => prev.intersection(&ids).copied().collect(),
-            });
         }
-        let mut out: Vec<QueryResult> = allowed
-            .unwrap_or_default()
+        let view = filters
+            .iter()
+            .any(|(f, ..)| matches!(f, Filter::VisualThreshold { .. }))
+            .then(|| self.visual_view());
+
+        let mut materialized: Vec<(usize, Vec<QueryResult>)> = mat_idx
             .into_iter()
-            .map(|id| QueryResult::new(id, scored.get(&id).copied().unwrap_or(0.0)))
+            .map(|i| (i, self.run(&subs[i])))
+            .collect();
+
+        let mut candidates: Vec<ImageId>;
+        if materialized.is_empty() {
+            // Every leaf is a predicate: materialize the one with the
+            // smallest estimated cardinality as the candidate driver.
+            let mut driver = 0usize;
+            let mut best = f64::INFINITY;
+            for (pos, &(_, _, i)) in filters.iter().enumerate() {
+                let est = self.estimate(&subs[i]);
+                if est < best {
+                    best = est;
+                    driver = pos;
+                }
+            }
+            let (_, _, driver_sub) = filters.remove(driver);
+            candidates = plan::sorted_ids(&self.run(&subs[driver_sub]));
+        } else {
+            // Intersect actual result sets, smallest first, galloping
+            // through the larger lists.
+            materialized.sort_by_key(|&(i, ref r)| (r.len(), i));
+            candidates = plan::sorted_ids(&materialized[0].1);
+            for (_, r) in &materialized[1..] {
+                if candidates.is_empty() {
+                    break;
+                }
+                plan::intersect_sorted(&mut candidates, &plan::sorted_ids(r));
+            }
+        }
+
+        // Narrow by the remaining predicates, cheapest per test first.
+        filters.sort_by_key(|&(_, cost, i)| (cost, i));
+        for (f, _, _) in &filters {
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.retain(|&id| self.filter_matches(f, id, view.as_deref()));
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+
+        // Every survivor belongs to the first sub-query's result set;
+        // its score comes from there (0.0 / distance for predicates).
+        let first_scores: Option<Vec<(ImageId, f64)>> = materialized
+            .iter()
+            .find(|(i, _)| *i == 0)
+            .map(|(_, results)| {
+                let mut table: Vec<(ImageId, f64)> =
+                    results.iter().map(|r| (r.image, r.score)).collect();
+                table.sort_by_key(|&(id, _)| id);
+                table
+            });
+        let first_filter = first_scores.is_none().then(|| self.pushdown(&subs[0]));
+        let mut out: Vec<QueryResult> = candidates
+            .into_iter()
+            .map(|id| {
+                let score = match (&first_scores, &first_filter) {
+                    (Some(table), _) => table
+                        .binary_search_by_key(&id, |&(i, _)| i)
+                        .map_or(0.0, |pos| table[pos].1),
+                    (None, Some(Some((f, _)))) => self.filter_score(f, id, view.as_deref()),
+                    _ => 0.0,
+                };
+                QueryResult::new(id, score)
+            })
             .collect();
         out.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
         out

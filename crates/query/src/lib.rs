@@ -21,9 +21,12 @@
 pub mod engine;
 pub mod linear;
 pub mod localize;
+mod plan;
 pub mod types;
 
 pub use engine::{EngineConfig, QueryEngine};
 pub use linear::LinearExecutor;
 pub use localize::{localize, LocalizationEstimate};
-pub use types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};
+pub use types::{
+    Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
+};

@@ -8,7 +8,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 use tvdp_geo::BBox;
-use tvdp_kernel::l2_sq;
+use tvdp_kernel::{l2_sq, TopK, TotalF32};
 use tvdp_storage::{ImageId, ImageRecord, VisualStore};
 
 use crate::types::{Query, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode};
@@ -148,21 +148,33 @@ impl LinearExecutor {
     ) -> Vec<QueryResult> {
         // Rank and threshold on squared distances (same order, no sqrt
         // per record); take the root only for the reported scores.
-        let mut scored: Vec<(f32, ImageId)> = self
+        // Features are borrowed from the arena (`feature_ref`), not
+        // cloned, and top-k selection goes through a bounded heap.
+        let distances = self
             .records()
             .into_iter()
             .filter(|r| region.is_none_or(|b| r.scene_location.intersects(b)))
             .filter_map(|r| {
                 self.store
-                    .feature(r.id, kind)
+                    .feature_ref(r.id, kind)
                     .map(|f| (l2_sq(&f, example), r.id))
-            })
-            .collect();
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        match mode {
-            VisualMode::TopK(k) => scored.truncate(k),
-            VisualMode::Threshold(t) => scored.retain(|(d_sq, _)| *d_sq <= t * t),
-        }
+            });
+        let scored: Vec<(f32, ImageId)> = match mode {
+            VisualMode::TopK(k) => {
+                let mut top = TopK::new(k);
+                top.extend(distances.map(|(d_sq, id)| (TotalF32(d_sq), id)));
+                top.into_sorted_vec()
+                    .into_iter()
+                    .map(|(TotalF32(d_sq), id)| (d_sq, id))
+                    .collect()
+            }
+            VisualMode::Threshold(t) => {
+                let mut hits: Vec<(f32, ImageId)> =
+                    distances.filter(|(d_sq, _)| *d_sq <= t * t).collect();
+                hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                hits
+            }
+        };
         scored
             .into_iter()
             .map(|(d_sq, id)| QueryResult::new(id, f64::from(d_sq.sqrt())))

@@ -106,6 +106,34 @@ pub enum Query {
     Or(Vec<Query>),
 }
 
+/// Errors a query can be rejected with before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// A visual leaf asked for a feature family the engine does not
+    /// index: the engine builds its visual indexes over exactly one
+    /// [`FeatureKind`] (see `EngineConfig::visual_kind`), and silently
+    /// answering from a different family would return wrong distances.
+    KindMismatch {
+        /// The feature family the engine's visual indexes cover.
+        indexed: FeatureKind,
+        /// The feature family the query asked for.
+        queried: FeatureKind,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::KindMismatch { indexed, queried } => write!(
+                f,
+                "visual kind mismatch: engine indexes {indexed:?}, query uses {queried:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// A scored result row. Score semantics depend on the query: feature
 /// distance for visual queries (lower = better), metres for nearest
 /// queries, tf-idf score for ranked text (higher = better), `0.0` for

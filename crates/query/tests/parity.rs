@@ -1,0 +1,338 @@
+//! Randomized parity suite for the selectivity-ordered planner.
+//!
+//! Two guarantees are exercised here, both stronger than the per-family
+//! agreement checks in `engine_vs_linear.rs`:
+//!
+//! 1. **Score-exact parity with the reference.** For seeded random
+//!    query trees mixing every leaf family under `And`/`Or`, the engine
+//!    must return the same image set as [`LinearExecutor`] with
+//!    *bit-identical* scores (compared via `f64::to_bits`), not merely
+//!    the same ids.
+//! 2. **Pool-width determinism.** Batch execution must produce
+//!    byte-identical output under a 1-thread and an 8-thread pool.
+//!
+//! Plus regression tests for the conjunction fast path that used to
+//! silently drop a second visual leaf of a different [`FeatureKind`].
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint, GeoPolygon};
+use tvdp_kernel::Pool;
+use tvdp_query::{
+    LinearExecutor, Query, QueryEngine, QueryError, QueryResult, SpatialQuery, TemporalField,
+    TextualMode, VisualMode,
+};
+use tvdp_storage::{
+    AnnotationSource, ClassificationId, ImageMeta, ImageOrigin, UserId, VisualStore,
+};
+use tvdp_vision::FeatureKind;
+
+const DIM: usize = 8;
+const WORDS: [&str; 6] = ["street", "tent", "trash", "corner", "downtown", "alley"];
+
+fn build_store(n: usize, seed: u64) -> (Arc<VisualStore>, ClassificationId) {
+    let store = VisualStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cls = store
+        .register_scheme(
+            "cleanliness",
+            vec!["clean".into(), "dirty".into(), "encampment".into()],
+        )
+        .unwrap();
+    for i in 0..n {
+        let lat = 34.0 + rng.gen_range(0.0..0.05);
+        let lon = -118.3 + rng.gen_range(0.0..0.05);
+        let gps = GeoPoint::new(lat, lon);
+        let fov = if rng.gen_bool(0.8) {
+            Some(Fov::new(
+                gps,
+                rng.gen_range(0.0..360.0),
+                rng.gen_range(40.0..80.0),
+                rng.gen_range(50.0..150.0),
+            ))
+        } else {
+            None
+        };
+        let captured = 1_000 + rng.gen_range(0..10_000);
+        let n_words = rng.gen_range(1..4);
+        let keywords: Vec<String> = (0..n_words)
+            .map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_string())
+            .collect();
+        let meta = ImageMeta {
+            uploader: UserId(rng.gen_range(0..5)),
+            gps,
+            fov,
+            captured_at: captured,
+            uploaded_at: captured + rng.gen_range(1..500),
+            keywords,
+        };
+        let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
+        // Clustered features: class c centred at 2c, so random examples
+        // drawn the same way produce well-separated distances (no ties).
+        let class = i % 3;
+        let feature: Vec<f32> = (0..DIM)
+            .map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3))
+            .collect();
+        store.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+        store
+            .annotate(
+                id,
+                cls,
+                class,
+                rng.gen_range(0.5..1.0),
+                AnnotationSource::Human(UserId(0)),
+                None,
+            )
+            .unwrap();
+    }
+    (Arc::new(store), cls)
+}
+
+/// A query example drawn from the same clustered distribution as the
+/// stored features.
+fn random_example(rng: &mut StdRng) -> Vec<f32> {
+    let class = rng.gen_range(0..3usize);
+    (0..DIM)
+        .map(|_| class as f32 * 2.0 + rng.gen_range(-0.3..0.3))
+        .collect()
+}
+
+fn random_text(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..3);
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn random_leaf(rng: &mut StdRng, cls: ClassificationId) -> Query {
+    match rng.gen_range(0..11u32) {
+        0 => {
+            let from = 1_000 + rng.gen_range(0..8_000);
+            Query::Temporal {
+                field: if rng.gen_bool(0.5) {
+                    TemporalField::Captured
+                } else {
+                    TemporalField::Uploaded
+                },
+                from,
+                to: from + rng.gen_range(500..4_000),
+            }
+        }
+        1 => Query::Textual {
+            text: random_text(rng),
+            mode: if rng.gen_bool(0.5) {
+                TextualMode::All
+            } else {
+                TextualMode::Any
+            },
+        },
+        2 => Query::Textual {
+            text: random_text(rng),
+            mode: TextualMode::Ranked(rng.gen_range(3..25)),
+        },
+        3 => Query::Categorical {
+            scheme: cls,
+            label: rng.gen_range(0..3),
+            min_confidence: rng.gen_range(0.4..0.9),
+        },
+        4 => {
+            let lat = 34.0 + rng.gen_range(0.0..0.04);
+            let lon = -118.3 + rng.gen_range(0.0..0.04);
+            let side = rng.gen_range(0.005..0.03);
+            Query::Spatial(SpatialQuery::Range(BBox::new(
+                lat,
+                lon,
+                lat + side,
+                lon + side,
+            )))
+        }
+        5 => {
+            let a = GeoPoint::new(
+                34.0 + rng.gen_range(0.0..0.03),
+                -118.3 + rng.gen_range(0.0..0.03),
+            );
+            Query::Spatial(SpatialQuery::Within(GeoPolygon::new(vec![
+                a,
+                a.destination(90.0, rng.gen_range(1_000.0..4_000.0)),
+                a.destination(0.0, rng.gen_range(1_000.0..4_000.0)),
+            ])))
+        }
+        6 => Query::Spatial(SpatialQuery::Nearest {
+            point: GeoPoint::new(
+                34.0 + rng.gen_range(0.0..0.05),
+                -118.3 + rng.gen_range(0.0..0.05),
+            ),
+            k: rng.gen_range(1..30),
+        }),
+        7 => Query::Spatial(SpatialQuery::Covering(GeoPoint::new(
+            34.0 + rng.gen_range(0.0..0.05),
+            -118.3 + rng.gen_range(0.0..0.05),
+        ))),
+        8 => Query::Spatial(SpatialQuery::Directed {
+            region: BBox::new(34.0, -118.3, 34.05, -118.25),
+            directions: AngularRange::centered(rng.gen_range(0.0..360.0), 90.0),
+        }),
+        9 => Query::Visual {
+            example: random_example(rng),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(rng.gen_range(1..40)),
+        },
+        _ => Query::Visual {
+            example: random_example(rng),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(rng.gen_range(0.8..4.0)),
+        },
+    }
+}
+
+fn random_query(rng: &mut StdRng, depth: usize, cls: ClassificationId) -> Query {
+    if depth == 0 {
+        return random_leaf(rng, cls);
+    }
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let subs = (0..rng.gen_range(2..4))
+                .map(|_| random_query(rng, depth - 1, cls))
+                .collect();
+            Query::And(subs)
+        }
+        1 => {
+            let subs = (0..rng.gen_range(2..4))
+                .map(|_| random_query(rng, depth - 1, cls))
+                .collect();
+            Query::Or(subs)
+        }
+        _ => random_leaf(rng, cls),
+    }
+}
+
+/// Canonical form: `(id, score bits)` sorted, so leaf families whose
+/// output order is unspecified (e.g. tree-order range scans) compare
+/// set-wise while scores still have to match bit for bit.
+fn canonical(results: &[QueryResult]) -> Vec<(u64, u64)> {
+    let mut rows: Vec<(u64, u64)> = results
+        .iter()
+        .map(|r| (r.image.raw(), r.score.to_bits()))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn randomized_trees_match_linear_scan() {
+    for store_seed in 0..25u64 {
+        let (store, cls) = build_store(140, 1_000 + store_seed);
+        let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+        let linear = LinearExecutor::new(store);
+        let mut rng = StdRng::seed_from_u64(store_seed * 7 + 3);
+        for _ in 0..6 {
+            let q = random_query(&mut rng, 2, cls);
+            let e = engine.execute(&q);
+            let l = linear.execute(&q);
+            assert_eq!(canonical(&e), canonical(&l), "mismatch on {q:?}");
+        }
+    }
+}
+
+#[test]
+fn batch_output_bytes_identical_across_pool_widths() {
+    let (store, cls) = build_store(160, 99);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let mut rng = StdRng::seed_from_u64(4_242);
+    let queries: Vec<Query> = (0..24).map(|_| random_query(&mut rng, 2, cls)).collect();
+    let one = engine.execute_batch_with_pool(&queries, &Pool::new(1));
+    let eight = engine.execute_batch_with_pool(&queries, &Pool::new(8));
+    assert_eq!(format!("{one:?}"), format!("{eight:?}"));
+}
+
+/// Regression: the conjunction fast path used to treat "one range + one
+/// visual leaf" as its trigger but then filtered the *rest* by kind, so
+/// a second visual leaf of a different [`FeatureKind`] was silently
+/// dropped from the conjunction. It must now be rejected up front.
+#[test]
+fn second_visual_leaf_of_other_kind_is_rejected() {
+    let (store, _) = build_store(60, 7);
+    let engine = QueryEngine::build(store, Default::default());
+    let q = Query::And(vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.05, -118.25))),
+        Query::Visual {
+            example: vec![0.0; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(5),
+        },
+        Query::Visual {
+            example: vec![0.0; DIM],
+            kind: FeatureKind::ColorHistogram,
+            mode: VisualMode::TopK(5),
+        },
+    ]);
+    assert_eq!(
+        engine.try_execute(&q),
+        Err(QueryError::KindMismatch {
+            indexed: FeatureKind::Cnn,
+            queried: FeatureKind::ColorHistogram,
+        })
+    );
+}
+
+#[test]
+fn standalone_wrong_kind_visual_is_rejected() {
+    let (store, _) = build_store(40, 8);
+    let engine = QueryEngine::build(store, Default::default());
+    let q = Query::Visual {
+        example: vec![0.0; DIM],
+        kind: FeatureKind::SiftBow,
+        mode: VisualMode::Threshold(1.0),
+    };
+    assert_eq!(
+        engine.try_execute(&q),
+        Err(QueryError::KindMismatch {
+            indexed: FeatureKind::Cnn,
+            queried: FeatureKind::SiftBow,
+        })
+    );
+}
+
+#[test]
+#[should_panic(expected = "visual kind mismatch")]
+fn execute_panics_on_kind_mismatch() {
+    let (store, _) = build_store(40, 9);
+    let engine = QueryEngine::build(store, Default::default());
+    engine.execute(&Query::Visual {
+        example: vec![0.0; DIM],
+        kind: FeatureKind::ColorHistogram,
+        mode: VisualMode::TopK(3),
+    });
+}
+
+/// Two visual leaves of the *indexed* kind are legal; the conjunction
+/// must route them through the general plan and still match the
+/// reference exactly.
+#[test]
+fn two_same_kind_visual_leaves_take_general_plan_and_agree() {
+    let (store, _) = build_store(130, 11);
+    let engine = QueryEngine::build(Arc::clone(&store), Default::default());
+    let linear = LinearExecutor::new(store);
+    let q = Query::And(vec![
+        Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.05, -118.25))),
+        Query::Visual {
+            example: vec![0.2; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(40),
+        },
+        Query::Visual {
+            example: vec![0.1; DIM],
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::Threshold(3.0),
+        },
+    ]);
+    let e = engine.execute(&q);
+    let l = linear.execute(&q);
+    assert!(!e.is_empty());
+    assert_eq!(canonical(&e), canonical(&l));
+}

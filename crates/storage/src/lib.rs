@@ -28,4 +28,4 @@ pub mod store;
 pub use annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
 pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
 pub use record::{ImageMeta, ImageOrigin, ImageRecord};
-pub use store::{StorageError, VisualStore};
+pub use store::{FeatureHandle, StorageError, VisualStore};

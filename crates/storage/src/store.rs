@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use tvdp_kernel::{FeatureSlab, RowRef, RowSource, SlabView};
 use tvdp_vision::{FeatureKind, Image};
 
 use crate::annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
@@ -60,6 +61,20 @@ pub struct Snapshot {
     pub(crate) annotations: Vec<Annotation>,
 }
 
+/// Stable address of one feature row in the store's arena: the slab is
+/// keyed by `(kind, dim)` and `row` indexes into it. Handles never move
+/// once issued (replacement repoints the handle at a fresh row), so
+/// indexes can hold them across arbitrary later ingests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FeatureHandle {
+    /// Feature family the row belongs to.
+    pub kind: FeatureKind,
+    /// Row dimensionality; `0` marks an empty vector (no slab row).
+    pub dim: u32,
+    /// Row index within the `(kind, dim)` slab.
+    pub row: u32,
+}
+
 #[derive(Debug, Default)]
 struct Tables {
     next_image: u64,
@@ -70,10 +85,51 @@ struct Tables {
     // must be reproducible (lint rule L2).
     images: BTreeMap<ImageId, ImageRecord>,
     blobs: BTreeMap<ImageId, Image>,
-    features: BTreeMap<(ImageId, FeatureKind), Vec<f32>>,
+    /// Per-(image, kind) handle into `slabs`; vector bytes live in the
+    /// arena exactly once.
+    features: BTreeMap<(ImageId, FeatureKind), FeatureHandle>,
+    /// The feature arena: one append-only slab per `(kind, dim)` family.
+    slabs: BTreeMap<(FeatureKind, u32), FeatureSlab>,
     schemes: BTreeMap<ClassificationId, ClassificationScheme>,
     annotations: BTreeMap<AnnotationId, Annotation>,
     annotations_by_image: BTreeMap<ImageId, Vec<AnnotationId>>,
+    /// Incremental count of annotations per (scheme, label), serving
+    /// the planner's selectivity estimates in O(log n).
+    label_counts: BTreeMap<(ClassificationId, usize), usize>,
+}
+
+impl Tables {
+    /// Appends `vector` to the arena and repoints the `(image, kind)`
+    /// handle. Replacement leaves the previous row in place (rows are
+    /// write-once so outstanding snapshots stay valid); the orphaned
+    /// row is reclaimed on the next snapshot/restore cycle.
+    fn put_feature_row(&mut self, image: ImageId, kind: FeatureKind, vector: &[f32]) {
+        let handle = if vector.is_empty() {
+            FeatureHandle {
+                kind,
+                dim: 0,
+                row: 0,
+            }
+        } else {
+            let dim = vector.len() as u32;
+            let slab = self
+                .slabs
+                .entry((kind, dim))
+                .or_insert_with(|| FeatureSlab::new(vector.len()));
+            let row = slab.push(vector);
+            FeatureHandle { kind, dim, row }
+        };
+        self.features.insert((image, kind), handle);
+    }
+
+    /// The feature bytes a handle points at.
+    fn feature_slice(&self, handle: &FeatureHandle) -> &[f32] {
+        if handle.dim == 0 {
+            &[]
+        } else {
+            self.slabs[&(handle.kind, handle.dim)].row(handle.row)
+        }
+    }
 }
 
 /// The TVDP visual data store: all Fig. 2 tables behind one
@@ -189,7 +245,9 @@ impl VisualStore {
             .collect()
     }
 
-    /// Stores (or replaces) a feature vector for an image.
+    /// Stores (or replaces) a feature vector for an image. The bytes
+    /// land in the shared feature arena; replacement appends a fresh
+    /// row and repoints the image's handle.
     pub fn put_feature(
         &self,
         image: ImageId,
@@ -200,13 +258,73 @@ impl VisualStore {
         if !t.images.contains_key(&image) {
             return Err(StorageError::UnknownImage(image));
         }
-        t.features.insert((image, kind), vector);
+        t.put_feature_row(image, kind, &vector);
         Ok(())
     }
 
-    /// The stored feature vector, if any.
+    /// The stored feature vector, if any, as an owned copy. Prefer
+    /// [`VisualStore::feature_ref`] on hot paths — it shares the arena
+    /// allocation instead of cloning.
     pub fn feature(&self, image: ImageId, kind: FeatureKind) -> Option<Vec<f32>> {
-        self.inner.read().features.get(&(image, kind)).cloned()
+        let t = self.inner.read();
+        let handle = t.features.get(&(image, kind))?;
+        Some(t.feature_slice(handle).to_vec())
+    }
+
+    /// A zero-copy reference to the stored feature vector, if any.
+    /// The returned [`RowRef`] keeps the underlying arena chunk alive
+    /// and derefs to `&[f32]`; no bytes are copied for rows in frozen
+    /// chunks.
+    pub fn feature_ref(&self, image: ImageId, kind: FeatureKind) -> Option<RowRef> {
+        let t = self.inner.read();
+        let handle = t.features.get(&(image, kind))?;
+        if handle.dim == 0 {
+            Some(RowRef::empty())
+        } else {
+            Some(t.slabs[&(handle.kind, handle.dim)].row_ref(handle.row))
+        }
+    }
+
+    /// The arena handle for an image's feature of `kind`, if stored.
+    pub fn feature_handle(&self, image: ImageId, kind: FeatureKind) -> Option<FeatureHandle> {
+        self.inner.read().features.get(&(image, kind)).copied()
+    }
+
+    /// An `Arc`-sharing snapshot of the `(kind, dim)` feature slab.
+    /// Row handles issued up to this call resolve against the view
+    /// without taking the store lock again. Returns an empty view when
+    /// no feature of that shape has been stored.
+    pub fn slab_view(&self, kind: FeatureKind, dim: usize) -> SlabView {
+        self.inner
+            .read()
+            .slabs
+            .get(&(kind, dim as u32))
+            .map(FeatureSlab::view)
+            .unwrap_or_else(|| SlabView::empty(dim.max(1)))
+    }
+
+    /// Number of arena rows in the `(kind, dim)` slab (monotonic; used
+    /// to detect stale views cheaply).
+    pub fn slab_rows(&self, kind: FeatureKind, dim: usize) -> usize {
+        self.inner
+            .read()
+            .slabs
+            .get(&(kind, dim as u32))
+            .map_or(0, RowSource::rows)
+    }
+
+    /// Runs `f` against the live `(kind, dim)` slab under the store
+    /// read lock — zero-copy row access for insert-time index
+    /// maintenance. Keep `f` cheap; it blocks writers. Returns `None`
+    /// when the slab does not exist.
+    pub fn with_slab<R>(
+        &self,
+        kind: FeatureKind,
+        dim: usize,
+        f: impl FnOnce(&FeatureSlab) -> R,
+    ) -> Option<R> {
+        let t = self.inner.read();
+        t.slabs.get(&(kind, dim as u32)).map(f)
     }
 
     /// Images that have a stored feature of `kind`.
@@ -289,7 +407,20 @@ impl VisualStore {
         let ann = Annotation::new(id, image, classification, label, confidence, source, region);
         t.annotations.insert(id, ann);
         t.annotations_by_image.entry(image).or_default().push(id);
+        *t.label_counts.entry((classification, label)).or_default() += 1;
         Ok(id)
+    }
+
+    /// Number of annotations carrying a given (scheme, label) pair —
+    /// maintained incrementally so the query planner can estimate
+    /// categorical selectivity without scanning the annotation table.
+    pub fn label_count(&self, classification: ClassificationId, label: usize) -> usize {
+        self.inner
+            .read()
+            .label_counts
+            .get(&(classification, label))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All annotations on one image.
@@ -317,6 +448,31 @@ impl VisualStore {
             .collect()
     }
 
+    /// Whether `image` carries at least one annotation with the given
+    /// (scheme, label) pair at or above `min_confidence` — exactly the
+    /// membership predicate behind a categorical query, evaluated for
+    /// one image without cloning any annotation. The query planner uses
+    /// it to post-filter a small candidate set instead of materializing
+    /// the full label posting.
+    pub fn has_annotation(
+        &self,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        min_confidence: f32,
+    ) -> bool {
+        let t = self.inner.read();
+        t.annotations_by_image.get(&image).is_some_and(|ids| {
+            ids.iter().any(|id| {
+                t.annotations.get(id).is_some_and(|a| {
+                    a.classification == classification
+                        && a.label == label
+                        && a.confidence >= min_confidence
+                })
+            })
+        })
+    }
+
     /// Total number of annotations.
     pub fn annotation_count(&self) -> usize {
         self.inner.read().annotations.len()
@@ -335,7 +491,7 @@ impl VisualStore {
             features: t
                 .features
                 .iter()
-                .map(|((id, kind), v)| (*id, *kind, v.clone()))
+                .map(|((id, kind), handle)| (*id, *kind, t.feature_slice(handle).to_vec()))
                 .collect(),
             schemes: t.schemes.values().cloned().collect(),
             annotations: t.annotations.values().cloned().collect(),
@@ -353,7 +509,7 @@ impl VisualStore {
             t.blobs.insert(id, Image::from_raw(w, h, raw));
         }
         for (id, kind, v) in snap.features {
-            t.features.insert((id, kind), v);
+            t.put_feature_row(id, kind, &v);
         }
         for s in snap.schemes {
             t.next_classification = t.next_classification.max(s.id.raw() + 1);
@@ -365,6 +521,9 @@ impl VisualStore {
                 .entry(a.image)
                 .or_default()
                 .push(a.id);
+            *t.label_counts
+                .entry((a.classification, a.label))
+                .or_default() += 1;
             t.annotations.insert(a.id, a);
         }
         Self {
@@ -453,6 +612,95 @@ mod tests {
         assert!(store
             .put_feature(ImageId(9), FeatureKind::Cnn, vec![])
             .is_err());
+    }
+
+    #[test]
+    fn arena_handles_refs_and_replacement() {
+        let store = VisualStore::new();
+        let a = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
+        let b = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
+        store
+            .put_feature(a, FeatureKind::Cnn, vec![1.0, 2.0])
+            .unwrap();
+        store
+            .put_feature(b, FeatureKind::Cnn, vec![3.0, 4.0])
+            .unwrap();
+
+        let ha = store.feature_handle(a, FeatureKind::Cnn).unwrap();
+        let hb = store.feature_handle(b, FeatureKind::Cnn).unwrap();
+        assert_eq!((ha.dim, ha.row), (2, 0));
+        assert_eq!((hb.dim, hb.row), (2, 1));
+
+        // Zero-copy ref sees the same bytes as the cloning getter.
+        let r = store.feature_ref(a, FeatureKind::Cnn).unwrap();
+        assert_eq!(&*r, &[1.0, 2.0]);
+
+        // A view snapshot resolves issued handles without the lock.
+        let view = store.slab_view(FeatureKind::Cnn, 2);
+        assert_eq!(view.rows(), 2);
+        assert_eq!(view.row(hb.row), &[3.0, 4.0]);
+
+        // Replacement appends a new row and repoints the handle; the
+        // old row (and snapshots over it) stay valid.
+        store
+            .put_feature(a, FeatureKind::Cnn, vec![9.0, 9.0])
+            .unwrap();
+        let ha2 = store.feature_handle(a, FeatureKind::Cnn).unwrap();
+        assert_eq!(ha2.row, 2);
+        assert_eq!(store.feature(a, FeatureKind::Cnn).unwrap(), vec![9.0, 9.0]);
+        assert_eq!(view.row(ha.row), &[1.0, 2.0]);
+        assert_eq!(store.slab_rows(FeatureKind::Cnn, 2), 3);
+
+        // Different dims of the same kind live in separate slabs.
+        store
+            .put_feature(b, FeatureKind::SiftBow, vec![7.0; 5])
+            .unwrap();
+        assert_eq!(store.slab_rows(FeatureKind::SiftBow, 5), 1);
+        assert_eq!(
+            store
+                .with_slab(FeatureKind::SiftBow, 5, |slab| slab.row(0).to_vec())
+                .unwrap(),
+            vec![7.0; 5]
+        );
+        assert!(store.with_slab(FeatureKind::SiftBow, 9, |_| ()).is_none());
+
+        // Empty vectors round-trip without a slab row.
+        store
+            .put_feature(b, FeatureKind::ColorHistogram, vec![])
+            .unwrap();
+        assert_eq!(
+            store.feature(b, FeatureKind::ColorHistogram).unwrap(),
+            Vec::<f32>::new()
+        );
+        assert!(store
+            .feature_ref(b, FeatureKind::ColorHistogram)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn label_counts_track_annotations_and_snapshots() {
+        let store = VisualStore::new();
+        let cls = store
+            .register_scheme("c", vec!["a".into(), "b".into()])
+            .unwrap();
+        let src = AnnotationSource::Human(UserId(1));
+        for i in 0..5 {
+            let img = store
+                .add_image(meta(), ImageOrigin::Original, None)
+                .unwrap();
+            store.annotate(img, cls, i % 2, 1.0, src, None).unwrap();
+        }
+        assert_eq!(store.label_count(cls, 0), 3);
+        assert_eq!(store.label_count(cls, 1), 2);
+        assert_eq!(store.label_count(cls, 9), 0);
+        let restored = VisualStore::from_snapshot(store.snapshot());
+        assert_eq!(restored.label_count(cls, 0), 3);
+        assert_eq!(restored.label_count(cls, 1), 2);
     }
 
     #[test]
