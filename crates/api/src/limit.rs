@@ -2,8 +2,15 @@
 //!
 //! Time is passed in explicitly (milliseconds) so tests and simulations
 //! control the clock; a production transport would feed wall-clock time.
+//!
+//! The bucket table is bounded: an attacker cycling through fresh API
+//! keys can no longer grow it without limit. At capacity the
+//! least-recently-refilled bucket is evicted — the key that has gone
+//! longest without traffic loses its (by then fully refilled) bucket,
+//! so the state discarded is exactly the state that had converged back
+//! to "no history".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -14,6 +21,9 @@ pub struct RateLimitConfig {
     pub burst: u32,
     /// Sustained rate, requests per second.
     pub per_second: f64,
+    /// Maximum distinct keys tracked at once; at capacity the
+    /// least-recently-refilled bucket is evicted to admit a new key.
+    pub max_keys: usize,
 }
 
 impl Default for RateLimitConfig {
@@ -21,6 +31,7 @@ impl Default for RateLimitConfig {
         Self {
             burst: 20,
             per_second: 10.0,
+            max_keys: 4096,
         }
     }
 }
@@ -31,11 +42,12 @@ struct Bucket {
     last_ms: i64,
 }
 
-/// A token bucket per API key.
+/// A token bucket per API key, at most [`RateLimitConfig::max_keys`]
+/// of them.
 #[derive(Debug)]
 pub struct RateLimiter {
     config: RateLimitConfig,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
 }
 
 impl RateLimiter {
@@ -43,9 +55,10 @@ impl RateLimiter {
     pub fn new(config: RateLimitConfig) -> Self {
         assert!(config.burst >= 1, "zero burst");
         assert!(config.per_second > 0.0, "non-positive rate");
+        assert!(config.max_keys >= 1, "zero key capacity");
         Self {
             config,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -53,6 +66,19 @@ impl RateLimiter {
     /// means the request may proceed.
     pub fn allow(&self, key: &str, now_ms: i64) -> bool {
         let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(key) && buckets.len() >= self.config.max_keys {
+            // Evict the bucket whose clock is stalest (ties broken by
+            // key order, so eviction is deterministic). An evicted key
+            // returning later starts over with a full burst — the cost
+            // of bounding memory against unbounded key churn.
+            let stalest = buckets
+                .iter()
+                .min_by_key(|(_, b)| b.last_ms)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = stalest {
+                buckets.remove(&k);
+            }
+        }
         let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
             tokens: f64::from(self.config.burst),
             last_ms: now_ms,
@@ -69,6 +95,11 @@ impl RateLimiter {
             false
         }
     }
+
+    /// Number of keys currently tracked (bounded by `max_keys`).
+    pub fn tracked_keys(&self) -> usize {
+        self.buckets.lock().len()
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +111,7 @@ mod tests {
         let limiter = RateLimiter::new(RateLimitConfig {
             burst: 3,
             per_second: 1.0,
+            ..Default::default()
         });
         assert!(limiter.allow("k", 0));
         assert!(limiter.allow("k", 0));
@@ -92,6 +124,7 @@ mod tests {
         let limiter = RateLimiter::new(RateLimitConfig {
             burst: 1,
             per_second: 2.0,
+            ..Default::default()
         });
         assert!(limiter.allow("k", 0));
         assert!(!limiter.allow("k", 100));
@@ -104,6 +137,7 @@ mod tests {
         let limiter = RateLimiter::new(RateLimitConfig {
             burst: 1,
             per_second: 0.001,
+            ..Default::default()
         });
         assert!(limiter.allow("a", 0));
         assert!(limiter.allow("b", 0));
@@ -115,11 +149,45 @@ mod tests {
         let limiter = RateLimiter::new(RateLimitConfig {
             burst: 2,
             per_second: 100.0,
+            ..Default::default()
         });
         assert!(limiter.allow("k", 0));
         // A long quiet period must not bank more than `burst` tokens.
         assert!(limiter.allow("k", 1_000_000));
         assert!(limiter.allow("k", 1_000_000));
         assert!(!limiter.allow("k", 1_000_000));
+    }
+
+    #[test]
+    fn bucket_table_is_bounded() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 1,
+            per_second: 1.0,
+            max_keys: 8,
+        });
+        // A key-churn attack: 10k distinct keys.
+        for i in 0..10_000i64 {
+            limiter.allow(&format!("attacker-{i}"), i);
+        }
+        assert!(limiter.tracked_keys() <= 8, "{}", limiter.tracked_keys());
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_refilled_key() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 1,
+            per_second: 0.001,
+            max_keys: 2,
+        });
+        assert!(limiter.allow("old", 0));
+        assert!(limiter.allow("warm", 1_000));
+        // Admitting a third key evicts "old" (stalest clock), not "warm".
+        assert!(limiter.allow("new", 2_000));
+        assert_eq!(limiter.tracked_keys(), 2);
+        // "warm" kept its drained bucket: still throttled.
+        assert!(!limiter.allow("warm", 2_001));
+        // "old" was forgotten: it returns with a fresh burst (evicting
+        // the now-stalest "new" to make room).
+        assert!(limiter.allow("old", 2_002));
     }
 }

@@ -73,6 +73,7 @@ fn full_workflow_through_the_api() {
         RateLimitConfig {
             burst: 1000,
             per_second: 1000.0,
+            ..Default::default()
         },
     );
     let key = server.issue_key(gov);
@@ -216,6 +217,7 @@ fn auth_and_rate_limits_enforced() {
         RateLimitConfig {
             burst: 2,
             per_second: 1.0,
+            ..Default::default()
         },
     );
     // Bad key.
@@ -339,6 +341,7 @@ fn model_weights_download_and_upload_roundtrip() {
         RateLimitConfig {
             burst: 10_000,
             per_second: 10_000.0,
+            ..Default::default()
         },
     );
     let key = server.issue_key(gov);

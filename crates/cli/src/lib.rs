@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! tvdp init <store>
+//! tvdp open <dir>
+//! tvdp compact <dir>
 //! tvdp demo-data <store> --count N [--size PX] [--seed S] [--labelled FRAC]
 //! tvdp stats <store>
 //! tvdp search <store> (--keyword W | --region S,W,N,E | --near LAT,LON,K |
@@ -78,13 +80,19 @@ impl<'a> Flags<'a> {
 }
 
 const USAGE: &str =
-    "usage: tvdp <init|demo-data|stats|search|train|apply|hotspots> <store> [flags]\n\
+    "usage: tvdp <init|open|compact|demo-data|stats|search|train|apply|hotspots> <store> [flags]\n\
 run `tvdp help` for details";
 
 const HELP: &str = "TVDP — Translational Visual Data Platform CLI\n\
 \n\
   tvdp init <store>\n\
       Create an empty store file.\n\
+  tvdp open <dir>\n\
+      Open (or create) a crash-safe store directory: recover the\n\
+      snapshot, replay the write-ahead log, report what was repaired.\n\
+  tvdp compact <dir>\n\
+      Fold a crash-safe store's journal into a fresh snapshot and\n\
+      rotate its write-ahead log.\n\
   tvdp demo-data <store> --count N [--size PX] [--seed S] [--labelled FRAC]\n\
       Generate synthetic street imagery, extract features, annotate the\n\
       labelled fraction with ground truth, and persist everything.\n\
@@ -111,6 +119,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command {
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         "init" => init(args.get(1).ok_or_else(|| err(USAGE))?),
+        "open" => open_cmd(args.get(1).ok_or_else(|| err(USAGE))?),
+        "compact" => compact_cmd(args.get(1).ok_or_else(|| err(USAGE))?),
         "demo-data" => demo_data(args.get(1).ok_or_else(|| err(USAGE))?, &args[2..]),
         "stats" => stats(args.get(1).ok_or_else(|| err(USAGE))?),
         "search" => search(args.get(1).ok_or_else(|| err(USAGE))?, &args[2..]),
@@ -138,6 +148,25 @@ fn init(path: &str) -> Result<String, CliError> {
     let store = VisualStore::new();
     save_store(&store, path)?;
     Ok(format!("initialized empty store at {path}"))
+}
+
+fn open_cmd(path: &str) -> Result<String, CliError> {
+    let (platform, report) = Tvdp::open(Path::new(path), PlatformConfig::default())
+        .map_err(|e| err(format!("cannot open durable store {path}: {e}")))?;
+    let stats = platform.stats();
+    Ok(format!(
+        "recovered {path}\n  {report}\n  images      : {}\n  annotations : {}\n",
+        stats.images, stats.annotations
+    ))
+}
+
+fn compact_cmd(path: &str) -> Result<String, CliError> {
+    let (platform, _) = Tvdp::open(Path::new(path), PlatformConfig::default())
+        .map_err(|e| err(format!("cannot open durable store {path}: {e}")))?;
+    let report = platform
+        .flush()
+        .map_err(|e| err(format!("cannot compact {path}: {e}")))?;
+    Ok(format!("compacted {path}\n  {report}\n"))
 }
 
 fn demo_data(path: &str, rest: &[String]) -> Result<String, CliError> {

@@ -263,3 +263,59 @@ fn apply_rejects_mismatched_model_dimensions() {
     .unwrap_err();
     assert!(msg.contains("7-dim"), "{msg}");
 }
+
+#[test]
+fn open_and_compact_durable_directory() {
+    let dir = TempDir::new("durable");
+    let store_dir = dir.path("crash-safe");
+
+    // First open creates an empty crash-safe directory.
+    let out = call(&["open", &store_dir]).unwrap();
+    assert!(out.contains("snapshot absent"), "{out}");
+    assert!(out.contains("images      : 0"), "{out}");
+
+    // Seed it through the durable platform API (the CLI's open/compact
+    // operate on directories written by Tvdp::open, not store files).
+    {
+        use tvdp_core::platform::IngestRequest;
+        use tvdp_core::{PlatformConfig, Role, Tvdp};
+        let (tvdp, _) =
+            Tvdp::open(std::path::Path::new(&store_dir), PlatformConfig::default()).unwrap();
+        let user = tvdp.register_user("cli-test", Role::Government);
+        let image = tvdp_vision::Image::from_fn(24, 24, |x, y| [x as u8, y as u8, 120]);
+        tvdp.ingest(
+            user,
+            image,
+            IngestRequest {
+                gps: tvdp_geo::GeoPoint::new(34.05, -118.25),
+                fov: None,
+                captured_at: 1000,
+                uploaded_at: 1100,
+                keywords: vec!["street".into()],
+            },
+        )
+        .unwrap();
+    }
+
+    // Reopening replays the journal and reports the recovered rows.
+    let out = call(&["open", &store_dir]).unwrap();
+    assert!(out.contains("op(s) replayed"), "{out}");
+    assert!(out.contains("images      : 1"), "{out}");
+
+    // Compaction folds the journal into a snapshot...
+    let out = call(&["compact", &store_dir]).unwrap();
+    assert!(out.contains("folded into"), "{out}");
+
+    // ...after which recovery loads the snapshot and replays nothing.
+    let out = call(&["open", &store_dir]).unwrap();
+    assert!(out.contains("snapshot loaded"), "{out}");
+    assert!(out.contains("0 op(s) replayed"), "{out}");
+    assert!(out.contains("images      : 1"), "{out}");
+
+    // The new commands are documented.
+    let help = call(&["help"]).unwrap();
+    assert!(
+        help.contains("tvdp open") && help.contains("tvdp compact"),
+        "{help}"
+    );
+}

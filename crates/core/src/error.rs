@@ -1,6 +1,6 @@
 //! Platform-level errors.
 
-use tvdp_storage::{ClassificationId, ImageId, ModelId, StorageError, UserId};
+use tvdp_storage::{ClassificationId, DurableError, ImageId, ModelId, StorageError, UserId};
 use tvdp_vision::FeatureKind;
 
 /// Errors surfaced by platform operations.
@@ -29,6 +29,10 @@ pub enum PlatformError {
     MissingFeature(ImageId, FeatureKind),
     /// No pixels stored for an image that needs processing.
     MissingPixels(ImageId),
+    /// Journaling or recovery failure in the durable persistence layer.
+    Durable(DurableError),
+    /// A durability-only operation was invoked on an in-memory platform.
+    NotDurable,
 }
 
 impl std::fmt::Display for PlatformError {
@@ -51,6 +55,13 @@ impl std::fmt::Display for PlatformError {
                 write!(f, "image {id} lacks a stored {kind:?} feature")
             }
             PlatformError::MissingPixels(id) => write!(f, "image {id} has no stored pixels"),
+            PlatformError::Durable(e) => write!(f, "durability: {e}"),
+            PlatformError::NotDurable => {
+                write!(
+                    f,
+                    "platform is in-memory; open it with Tvdp::open for durability"
+                )
+            }
         }
     }
 }
@@ -60,6 +71,18 @@ impl std::error::Error for PlatformError {}
 impl From<StorageError> for PlatformError {
     fn from(e: StorageError) -> Self {
         PlatformError::Storage(e)
+    }
+}
+
+impl From<DurableError> for PlatformError {
+    fn from(e: DurableError) -> Self {
+        // A storage rejection surfaced through the journal is still a
+        // storage rejection; keep the established variant so callers
+        // match one shape whether the platform is durable or not.
+        match e {
+            DurableError::Storage(inner) => PlatformError::Storage(inner),
+            other => PlatformError::Durable(other),
+        }
     }
 }
 

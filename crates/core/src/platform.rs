@@ -1,5 +1,6 @@
 //! The platform facade.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -17,8 +18,8 @@ use tvdp_ml::{
 use tvdp_query::engine::EngineConfig;
 use tvdp_query::{Query, QueryEngine, QueryResult};
 use tvdp_storage::{
-    AnnotationId, AnnotationSource, ClassificationId, ImageId, ImageMeta, ImageOrigin, ModelId,
-    UserId, VisualStore,
+    AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, ImageId,
+    ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore,
 };
 use tvdp_vision::{
     Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind,
@@ -148,6 +149,7 @@ pub struct PlatformStats {
 pub struct Tvdp {
     config: PlatformConfig,
     store: Arc<VisualStore>,
+    durable: Option<DurableStore>,
     engine: RwLock<QueryEngine>,
     users: UserRegistry,
     models: ModelRegistry,
@@ -156,7 +158,7 @@ pub struct Tvdp {
 }
 
 impl Tvdp {
-    /// Creates an empty platform.
+    /// Creates an empty in-memory platform (no persistence).
     pub fn new(config: PlatformConfig) -> Self {
         Self::with_store(Arc::new(VisualStore::new()), config)
     }
@@ -170,11 +172,104 @@ impl Tvdp {
         Self {
             config,
             store,
+            durable: None,
             engine: RwLock::new(engine),
             users: UserRegistry::new(),
             models: ModelRegistry::new(),
             color: ColorHistogramExtractor::paper_default(),
             cnn,
+        }
+    }
+
+    /// Opens (or creates) a crash-safe platform persisted under `dir`.
+    ///
+    /// Recovery replays the snapshot plus the write-ahead log, so every
+    /// mutation that returned `Ok` before a crash is visible again; the
+    /// returned [`RecoveryReport`] says what was replayed or repaired.
+    /// All subsequent mutations are journaled to disk before they are
+    /// applied. Users and models are runtime state and start empty.
+    pub fn open(
+        dir: &Path,
+        config: PlatformConfig,
+    ) -> Result<(Self, RecoveryReport), PlatformError> {
+        let (durable, report) = DurableStore::open(dir)?;
+        let store = durable.store_arc();
+        let mut platform = Self::with_store(store, config);
+        platform.durable = Some(durable);
+        Ok((platform, report))
+    }
+
+    /// Whether mutations are journaled to disk ([`Tvdp::open`]) rather
+    /// than held only in memory ([`Tvdp::new`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Folds the journal into a fresh snapshot and rotates the
+    /// write-ahead log (durable platforms only). Call periodically to
+    /// bound the log and keep reopen cost proportional to store size,
+    /// not mutation history.
+    pub fn flush(&self) -> Result<CompactionReport, PlatformError> {
+        match &self.durable {
+            Some(d) => Ok(d.compact()?),
+            None => Err(PlatformError::NotDurable),
+        }
+    }
+
+    // Mutation dispatch: a durable platform journals each write before
+    // applying it; an in-memory platform hits the store directly.
+
+    fn store_add_image(
+        &self,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, PlatformError> {
+        match &self.durable {
+            Some(d) => Ok(d.add_image(meta, origin, pixels)?),
+            None => Ok(self.store.add_image(meta, origin, pixels)?),
+        }
+    }
+
+    fn store_put_feature(
+        &self,
+        image: ImageId,
+        kind: FeatureKind,
+        vector: Vec<f32>,
+    ) -> Result<(), PlatformError> {
+        match &self.durable {
+            Some(d) => Ok(d.put_feature(image, kind, vector)?),
+            None => Ok(self.store.put_feature(image, kind, vector)?),
+        }
+    }
+
+    fn store_register_scheme(
+        &self,
+        name: String,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, PlatformError> {
+        match &self.durable {
+            Some(d) => Ok(d.register_scheme(name, labels)?),
+            None => Ok(self.store.register_scheme(name, labels)?),
+        }
+    }
+
+    fn store_annotate(
+        &self,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        confidence: f32,
+        source: AnnotationSource,
+        region: Option<RegionOfInterest>,
+    ) -> Result<AnnotationId, PlatformError> {
+        match &self.durable {
+            Some(d) => Ok(d.annotate(image, classification, label, confidence, source, region)?),
+            None => {
+                Ok(self
+                    .store
+                    .annotate(image, classification, label, confidence, source, region)?)
+            }
         }
     }
 
@@ -204,7 +299,7 @@ impl Tvdp {
         name: impl Into<String>,
         labels: Vec<String>,
     ) -> Result<ClassificationId, PlatformError> {
-        Ok(self.store.register_scheme(name, labels)?)
+        self.store_register_scheme(name.into(), labels)
     }
 
     fn require_user(&self, user: UserId) -> Result<(), PlatformError> {
@@ -234,12 +329,9 @@ impl Tvdp {
         };
         let color = self.color.extract(&image);
         let cnn = self.cnn.extract(&image);
-        let id = self
-            .store
-            .add_image(meta, ImageOrigin::Original, Some(image))?;
-        self.store
-            .put_feature(id, FeatureKind::ColorHistogram, color)?;
-        self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+        let id = self.store_add_image(meta, ImageOrigin::Original, Some(image))?;
+        self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
+        self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
         self.engine.write().index_image(id);
         Ok(id)
     }
@@ -275,12 +367,9 @@ impl Tvdp {
                 uploaded_at: request.uploaded_at,
                 keywords: request.keywords,
             };
-            let id = self
-                .store
-                .add_image(meta, ImageOrigin::Original, Some(image))?;
-            self.store
-                .put_feature(id, FeatureKind::ColorHistogram, color)?;
-            self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+            let id = self.store_add_image(meta, ImageOrigin::Original, Some(image))?;
+            self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
+            self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
             engine.index_image(id);
             ids.push(id);
         }
@@ -380,7 +469,7 @@ impl Tvdp {
         let augmented = op.apply(&pixels);
         let color = self.color.extract(&augmented);
         let cnn = self.cnn.extract(&augmented);
-        let id = self.store.add_image(
+        let id = self.store_add_image(
             record.meta.clone(),
             ImageOrigin::Augmented {
                 parent,
@@ -388,9 +477,8 @@ impl Tvdp {
             },
             Some(augmented),
         )?;
-        self.store
-            .put_feature(id, FeatureKind::ColorHistogram, color)?;
-        self.store.put_feature(id, FeatureKind::Cnn, cnn)?;
+        self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
+        self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
         self.engine.write().index_image(id);
         Ok(id)
     }
@@ -458,14 +546,14 @@ impl Tvdp {
         label: usize,
     ) -> Result<AnnotationId, PlatformError> {
         self.require_user(user)?;
-        Ok(self.store.annotate(
+        self.store_annotate(
             image,
             scheme,
             label,
             1.0,
             AnnotationSource::Human(user),
             None,
-        )?)
+        )
     }
 
     /// Records a human annotation on a sub-region of the image (the
@@ -492,14 +580,14 @@ impl Tvdp {
                 tvdp_storage::StorageError::UnknownImage(image),
             ));
         }
-        Ok(self.store.annotate(
+        self.store_annotate(
             image,
             scheme,
             label,
             1.0,
             AnnotationSource::Human(user),
             Some(region),
-        )?)
+        )
     }
 
     /// **Analysis**: trains a classifier on every stored image that has
@@ -605,7 +693,7 @@ impl Tvdp {
                 .models
                 .predict(model, &feature)
                 .ok_or(PlatformError::UnknownModel(model))?;
-            self.store.annotate(
+            self.store_annotate(
                 image,
                 interface.scheme,
                 label,
@@ -1083,5 +1171,115 @@ mod region_annotation_tests {
             },
         );
         assert!(err.is_err());
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+    use tvdp_query::TextualMode;
+
+    fn fast_config() -> PlatformConfig {
+        PlatformConfig {
+            cnn: CnnConfig {
+                input_size: 16,
+                stage_channels: vec![4, 8],
+                pool_grid: 2,
+                seed: 1,
+            },
+            min_training_samples: 6,
+            ..Default::default()
+        }
+    }
+
+    fn scene(class: usize, seed: usize) -> Image {
+        Image::from_fn(24, 24, |x, y| {
+            let v = ((x * 3 + y * 5 + seed) % 17) as u8 * 3;
+            if class == 0 {
+                [200, v, v]
+            } else {
+                [v, v, 220]
+            }
+        })
+    }
+
+    fn request(i: i64) -> IngestRequest {
+        IngestRequest {
+            gps: GeoPoint::new(34.0 + i as f64 * 1e-4, -118.25),
+            fov: None,
+            captured_at: 1000 + i,
+            uploaded_at: 1100 + i,
+            keywords: vec!["street".into()],
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tvdp-platform-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn durable_platform_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let (id, scheme, ann);
+        {
+            let (tvdp, report) = Tvdp::open(&dir, fast_config()).unwrap();
+            assert!(tvdp.is_durable());
+            assert!(!report.snapshot_found);
+            let user = tvdp.register_user("LASAN", Role::Government);
+            scheme = tvdp
+                .register_scheme("binary", vec!["red".into(), "blue".into()])
+                .unwrap();
+            id = tvdp.ingest(user, scene(0, 0), request(0)).unwrap();
+            ann = tvdp.annotate_human(user, id, scheme, 0).unwrap();
+            // No flush: everything below must come back from the WAL alone.
+        }
+        let (tvdp, report) = Tvdp::open(&dir, fast_config()).unwrap();
+        // scheme + image + two features + annotation
+        assert_eq!(report.replayed_ops, 5);
+        assert_eq!(tvdp.stats().images, 1);
+        assert!(tvdp.store().feature(id, FeatureKind::Cnn).is_some());
+        assert_eq!(tvdp.store().annotations_of(id)[0].id, ann);
+        assert_eq!(tvdp.store().scheme(scheme).unwrap().labels.len(), 2);
+        // The query engine was rebuilt over the recovered rows.
+        let hits = tvdp.search(&Query::Textual {
+            text: "street".into(),
+            mode: TextualMode::All,
+        });
+        assert_eq!(hits.len(), 1);
+        // Ids keep advancing from where the journal left off.
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let next = tvdp.ingest(user, scene(1, 1), request(1)).unwrap();
+        assert!(next.0 > id.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_compacts_the_journal() {
+        let dir = temp_dir("flush");
+        {
+            let (tvdp, _) = Tvdp::open(&dir, fast_config()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            tvdp.ingest(user, scene(0, 0), request(0)).unwrap();
+            let report = tvdp.flush().unwrap();
+            assert!(report.ops_compacted >= 3);
+            assert!(report.wal_bytes_before > 0);
+        }
+        // After compaction the state comes back from the snapshot, not a replay.
+        let (tvdp, report) = Tvdp::open(&dir, fast_config()).unwrap();
+        assert!(report.snapshot_found);
+        assert_eq!(report.replayed_ops, 0);
+        assert_eq!(tvdp.stats().images, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_platform_rejects_flush() {
+        let tvdp = Tvdp::new(fast_config());
+        assert!(!tvdp.is_durable());
+        assert!(matches!(tvdp.flush(), Err(PlatformError::NotDurable)));
     }
 }

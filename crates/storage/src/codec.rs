@@ -1,0 +1,855 @@
+//! Self-contained JSON codec for the persistence formats.
+//!
+//! The snapshot and WAL formats are JSON lines, but this workspace must
+//! serialize without any external JSON crate at runtime, so this module
+//! implements the small JSON subset the on-disk formats need: a value
+//! tree ([`Value`]), a renderer, a recursive-descent parser, and typed
+//! encoders/decoders for every persisted row type.
+//!
+//! Numbers are kept as their source token ([`Value::Num`] holds the raw
+//! string) and parsed on demand into the target type, so `u64` ids above
+//! 2^53 and shortest-round-trip floats survive exactly: Rust's float
+//! `Display` prints the shortest decimal that uniquely identifies the
+//! value, and `str::parse` recovers it bit-for-bit.
+//!
+//! Pixel blobs are encoded as lowercase hex strings rather than JSON
+//! byte arrays — half the size and still greppable line-by-line.
+
+use tvdp_geo::{BBox, Fov, GeoPoint};
+use tvdp_vision::FeatureKind;
+
+use crate::annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
+use crate::ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
+use crate::record::{ImageMeta, ImageOrigin, ImageRecord};
+
+/// A decode failure: human-readable message with enough context to
+/// pinpoint the bad field.
+pub type DecodeError = String;
+
+/// A JSON value. Objects preserve insertion order (encoding is
+/// deterministic; lookups are linear, which is fine for the small,
+/// fixed-shape objects the formats use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token to avoid double rounding.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object as an ordered field list.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a number value from anything whose `Display` output
+    /// round-trips through `FromStr` (all primitive ints and floats).
+    pub fn num(n: impl std::fmt::Display) -> Value {
+        Value::Num(n.to_string())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders to compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(tok) => out.push_str(tok),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth the parser accepts; the persisted formats are
+/// at most ~6 levels deep, so this only guards corrupt input from
+/// overflowing the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses one JSON document, requiring it to consume the whole input.
+pub fn parse(text: &str) -> Result<Value, DecodeError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), DecodeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, DecodeError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, DecodeError> {
+        let start = self.pos;
+        // Accept the JSON number grammar plus Rust's `inf`/`NaN` float
+        // Display forms (a documented extension of the format).
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit()
+                || matches!(
+                    b,
+                    b'-' | b'+' | b'.' | b'e' | b'E' | b'i' | b'n' | b'f' | b'N' | b'a'
+                )
+        }) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a value at offset {start}"));
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number token".to_string())?;
+        // Validate now so `Num` tokens always parse as *some* number.
+        tok.parse::<f64>()
+            .map_err(|_| format!("bad number `{tok}` at offset {start}"))?;
+        Ok(Value::Num(tok.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while self
+                .peek()
+                .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
+                            } else {
+                                out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
+                            }
+                        }
+                        other => {
+                            return Err(format!("bad escape `\\{}`", other as char));
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or("truncated \\u escape")?;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")?;
+        self.pos = end;
+        let s = std::str::from_utf8(hex).map_err(|_| "non-utf8 \\u escape".to_string())?;
+        u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape `{s}`"))
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed field helpers.
+// ---------------------------------------------------------------------
+
+/// Fetches a required object field.
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DecodeError> {
+    v.get(name).ok_or_else(|| format!("missing field `{name}`"))
+}
+
+/// Parses a number value into any `FromStr` numeric type.
+pub fn num<T: std::str::FromStr>(v: &Value, what: &str) -> Result<T, DecodeError> {
+    match v {
+        Value::Num(tok) => tok
+            .parse()
+            .map_err(|_| format!("{what}: number `{tok}` out of range")),
+        _ => Err(format!("{what}: expected a number")),
+    }
+}
+
+/// Required numeric object field.
+pub fn num_field<T: std::str::FromStr>(v: &Value, name: &str) -> Result<T, DecodeError> {
+    num(field(v, name)?, name)
+}
+
+/// Required string object field.
+pub fn str_field<'v>(v: &'v Value, name: &str) -> Result<&'v str, DecodeError> {
+    match field(v, name)? {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("{name}: expected a string")),
+    }
+}
+
+/// Required array object field.
+pub fn arr_field<'v>(v: &'v Value, name: &str) -> Result<&'v [Value], DecodeError> {
+    match field(v, name)? {
+        Value::Arr(items) => Ok(items),
+        _ => Err(format!("{name}: expected an array")),
+    }
+}
+
+/// Lowercase hex encoding of a byte slice.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap_or('0'));
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap_or('0'));
+    }
+    out
+}
+
+/// Decodes a lowercase/uppercase hex string.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, DecodeError> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex string".into());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex digit `{}`", pair[0] as char))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex digit `{}`", pair[1] as char))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Row-type encoders/decoders.
+// ---------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Encodes a feature kind as its variant name.
+pub fn encode_kind(kind: FeatureKind) -> Value {
+    Value::str(match kind {
+        FeatureKind::ColorHistogram => "ColorHistogram",
+        FeatureKind::SiftBow => "SiftBow",
+        FeatureKind::Cnn => "Cnn",
+    })
+}
+
+/// Decodes a feature kind.
+pub fn decode_kind(v: &Value) -> Result<FeatureKind, DecodeError> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "ColorHistogram" => Ok(FeatureKind::ColorHistogram),
+            "SiftBow" => Ok(FeatureKind::SiftBow),
+            "Cnn" => Ok(FeatureKind::Cnn),
+            other => Err(format!("unknown feature kind `{other}`")),
+        },
+        _ => Err("feature kind: expected a string".into()),
+    }
+}
+
+fn encode_point(p: &GeoPoint) -> Value {
+    obj(vec![("lat", Value::num(p.lat)), ("lon", Value::num(p.lon))])
+}
+
+fn decode_point(v: &Value) -> Result<GeoPoint, DecodeError> {
+    Ok(GeoPoint {
+        lat: num_field(v, "lat")?,
+        lon: num_field(v, "lon")?,
+    })
+}
+
+fn encode_fov(f: &Fov) -> Value {
+    obj(vec![
+        ("camera", encode_point(&f.camera)),
+        ("heading_deg", Value::num(f.heading_deg)),
+        ("angle_deg", Value::num(f.angle_deg)),
+        ("radius_m", Value::num(f.radius_m)),
+    ])
+}
+
+fn decode_fov(v: &Value) -> Result<Fov, DecodeError> {
+    Ok(Fov {
+        camera: decode_point(field(v, "camera")?)?,
+        heading_deg: num_field(v, "heading_deg")?,
+        angle_deg: num_field(v, "angle_deg")?,
+        radius_m: num_field(v, "radius_m")?,
+    })
+}
+
+fn encode_bbox(b: &BBox) -> Value {
+    obj(vec![
+        ("min_lat", Value::num(b.min_lat)),
+        ("min_lon", Value::num(b.min_lon)),
+        ("max_lat", Value::num(b.max_lat)),
+        ("max_lon", Value::num(b.max_lon)),
+    ])
+}
+
+fn decode_bbox(v: &Value) -> Result<BBox, DecodeError> {
+    Ok(BBox {
+        min_lat: num_field(v, "min_lat")?,
+        min_lon: num_field(v, "min_lon")?,
+        max_lat: num_field(v, "max_lat")?,
+        max_lon: num_field(v, "max_lon")?,
+    })
+}
+
+/// Encodes an image origin (`"Original"` or a tagged `Augmented` object).
+pub fn encode_origin(o: &ImageOrigin) -> Value {
+    match o {
+        ImageOrigin::Original => Value::str("Original"),
+        ImageOrigin::Augmented { parent, op } => obj(vec![(
+            "Augmented",
+            obj(vec![
+                ("parent", Value::num(parent.raw())),
+                ("op", Value::str(op.clone())),
+            ]),
+        )]),
+    }
+}
+
+/// Decodes an image origin.
+pub fn decode_origin(v: &Value) -> Result<ImageOrigin, DecodeError> {
+    match v {
+        Value::Str(s) if s == "Original" => Ok(ImageOrigin::Original),
+        Value::Obj(_) => {
+            let inner = field(v, "Augmented")?;
+            Ok(ImageOrigin::Augmented {
+                parent: ImageId(num_field(inner, "parent")?),
+                op: str_field(inner, "op")?.to_string(),
+            })
+        }
+        _ => Err("origin: expected `Original` or an `Augmented` object".into()),
+    }
+}
+
+/// Encodes upload-time metadata.
+pub fn encode_meta(m: &ImageMeta) -> Value {
+    obj(vec![
+        ("uploader", Value::num(m.uploader.raw())),
+        ("gps", encode_point(&m.gps)),
+        ("fov", m.fov.as_ref().map_or(Value::Null, encode_fov)),
+        ("captured_at", Value::num(m.captured_at)),
+        ("uploaded_at", Value::num(m.uploaded_at)),
+        (
+            "keywords",
+            Value::Arr(m.keywords.iter().map(|k| Value::str(k.clone())).collect()),
+        ),
+    ])
+}
+
+/// Decodes upload-time metadata.
+pub fn decode_meta(v: &Value) -> Result<ImageMeta, DecodeError> {
+    let fov = match field(v, "fov")? {
+        Value::Null => None,
+        f => Some(decode_fov(f)?),
+    };
+    let keywords = arr_field(v, "keywords")?
+        .iter()
+        .map(|k| match k {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err("keywords: expected strings".to_string()),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ImageMeta {
+        uploader: UserId(num_field(v, "uploader")?),
+        gps: decode_point(field(v, "gps")?)?,
+        fov,
+        captured_at: num_field(v, "captured_at")?,
+        uploaded_at: num_field(v, "uploaded_at")?,
+        keywords,
+    })
+}
+
+/// Encodes a full image record.
+pub fn encode_record(r: &ImageRecord) -> Value {
+    obj(vec![
+        ("id", Value::num(r.id.raw())),
+        ("meta", encode_meta(&r.meta)),
+        ("scene_location", encode_bbox(&r.scene_location)),
+        ("origin", encode_origin(&r.origin)),
+        ("width", Value::num(r.width)),
+        ("height", Value::num(r.height)),
+    ])
+}
+
+/// Decodes a full image record.
+pub fn decode_record(v: &Value) -> Result<ImageRecord, DecodeError> {
+    Ok(ImageRecord {
+        id: ImageId(num_field(v, "id")?),
+        meta: decode_meta(field(v, "meta")?)?,
+        scene_location: decode_bbox(field(v, "scene_location")?)?,
+        origin: decode_origin(field(v, "origin")?)?,
+        width: num_field(v, "width")?,
+        height: num_field(v, "height")?,
+    })
+}
+
+/// Encodes a classification scheme.
+pub fn encode_scheme(s: &ClassificationScheme) -> Value {
+    obj(vec![
+        ("id", Value::num(s.id.raw())),
+        ("name", Value::str(s.name.clone())),
+        (
+            "labels",
+            Value::Arr(s.labels.iter().map(|l| Value::str(l.clone())).collect()),
+        ),
+    ])
+}
+
+/// Decodes a classification scheme (structure only; vocabulary
+/// invariants are enforced by snapshot validation).
+pub fn decode_scheme(v: &Value) -> Result<ClassificationScheme, DecodeError> {
+    let labels = arr_field(v, "labels")?
+        .iter()
+        .map(|l| match l {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err("labels: expected strings".to_string()),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ClassificationScheme {
+        id: ClassificationId(num_field(v, "id")?),
+        name: str_field(v, "name")?.to_string(),
+        labels,
+    })
+}
+
+fn encode_source(s: &AnnotationSource) -> Value {
+    match s {
+        AnnotationSource::Human(u) => obj(vec![("Human", Value::num(u.raw()))]),
+        AnnotationSource::Machine(m) => obj(vec![("Machine", Value::num(m.raw()))]),
+    }
+}
+
+fn decode_source(v: &Value) -> Result<AnnotationSource, DecodeError> {
+    if let Some(u) = v.get("Human") {
+        Ok(AnnotationSource::Human(UserId(num(u, "Human")?)))
+    } else if let Some(m) = v.get("Machine") {
+        Ok(AnnotationSource::Machine(ModelId(num(m, "Machine")?)))
+    } else {
+        Err("source: expected `Human` or `Machine`".into())
+    }
+}
+
+fn encode_region(r: &RegionOfInterest) -> Value {
+    obj(vec![
+        ("x", Value::num(r.x)),
+        ("y", Value::num(r.y)),
+        ("width", Value::num(r.width)),
+        ("height", Value::num(r.height)),
+    ])
+}
+
+fn decode_region(v: &Value) -> Result<RegionOfInterest, DecodeError> {
+    Ok(RegionOfInterest {
+        x: num_field(v, "x")?,
+        y: num_field(v, "y")?,
+        width: num_field(v, "width")?,
+        height: num_field(v, "height")?,
+    })
+}
+
+/// Encodes an annotation row.
+pub fn encode_annotation(a: &Annotation) -> Value {
+    obj(vec![
+        ("id", Value::num(a.id.raw())),
+        ("image", Value::num(a.image.raw())),
+        ("classification", Value::num(a.classification.raw())),
+        ("label", Value::num(a.label)),
+        ("confidence", Value::num(a.confidence)),
+        ("source", encode_source(&a.source)),
+        (
+            "region",
+            a.region.as_ref().map_or(Value::Null, encode_region),
+        ),
+    ])
+}
+
+/// Decodes an annotation row (structure only; range invariants are
+/// enforced by snapshot validation).
+pub fn decode_annotation(v: &Value) -> Result<Annotation, DecodeError> {
+    let region = match field(v, "region")? {
+        Value::Null => None,
+        r => Some(decode_region(r)?),
+    };
+    Ok(Annotation {
+        id: AnnotationId(num_field(v, "id")?),
+        image: ImageId(num_field(v, "image")?),
+        classification: ClassificationId(num_field(v, "classification")?),
+        label: num_field(v, "label")?,
+        confidence: num_field(v, "confidence")?,
+        source: decode_source(field(v, "source")?)?,
+        region,
+    })
+}
+
+/// Encodes a feature vector as a JSON number array.
+pub fn encode_vector(v: &[f32]) -> Value {
+    Value::Arr(v.iter().map(Value::num).collect())
+}
+
+/// Decodes a feature vector.
+pub fn decode_vector(v: &Value) -> Result<Vec<f32>, DecodeError> {
+    match v {
+        Value::Arr(items) => items.iter().map(|x| num(x, "vector")).collect(),
+        _ => Err("vector: expected an array".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for src in ["null", "true", "false", "0", "-12.5", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(v.render(), src);
+        }
+    }
+
+    #[test]
+    fn float_tokens_roundtrip_exactly() {
+        for x in [0.1_f64, -1.0 / 3.0, 1e-12, f64::MAX, 34.052_235] {
+            let v = Value::num(x);
+            let back: f64 = num(&parse(&v.render()).unwrap(), "x").unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        for x in [0.1_f32, f32::MIN_POSITIVE, -7.25e-3] {
+            let v = Value::num(x);
+            let back: f32 = num(&parse(&v.render()).unwrap(), "x").unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn u64_beyond_f64_precision_roundtrips() {
+        let big = u64::MAX - 1;
+        let v = Value::num(big);
+        let back: u64 = num(&parse(&v.render()).unwrap(), "id").unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f λ 漢 🚀";
+        let mut out = String::new();
+        render_string(nasty, &mut out);
+        let v = parse(&out).unwrap();
+        assert_eq!(v, Value::Str(nasty.to_string()));
+        // \u escapes (incl. surrogate pairs) parse too.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\\u0041\"").unwrap(),
+            Value::Str("😀A".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":{"d":true}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.render(), src.replace(", ", ","));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nul",
+            "01a",
+            "\"\\q\"",
+            "\"\\ud83d\"", // lone high surrogate
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_overflowed() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = ImageRecord::new(
+            ImageId(42),
+            ImageMeta {
+                uploader: UserId(7),
+                gps: GeoPoint::new(34.052_235, -118.243_683),
+                fov: Some(Fov::new(GeoPoint::new(34.05, -118.24), 123.4, 60.0, 80.5)),
+                captured_at: -5,
+                uploaded_at: 1_546_300_800,
+                keywords: vec!["street \"corner\"".into(), "λ".into()],
+            },
+            ImageOrigin::Augmented {
+                parent: ImageId(41),
+                op: "flip_h".into(),
+            },
+            64,
+            48,
+        );
+        let back = decode_record(&parse(&encode_record(&rec).render()).unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn annotation_and_scheme_roundtrip() {
+        let scheme = ClassificationScheme {
+            id: ClassificationId(3),
+            name: "street-cleanliness".into(),
+            labels: vec!["clean".into(), "dirty".into()],
+        };
+        let back = decode_scheme(&parse(&encode_scheme(&scheme).render()).unwrap()).unwrap();
+        assert_eq!(back, scheme);
+
+        for source in [
+            AnnotationSource::Human(UserId(1)),
+            AnnotationSource::Machine(ModelId(9)),
+        ] {
+            let ann = Annotation {
+                id: AnnotationId(5),
+                image: ImageId(42),
+                classification: ClassificationId(3),
+                label: 1,
+                confidence: 0.75,
+                source,
+                region: Some(RegionOfInterest {
+                    x: 1,
+                    y: 2,
+                    width: 3,
+                    height: 4,
+                }),
+            };
+            let back =
+                decode_annotation(&parse(&encode_annotation(&ann).render()).unwrap()).unwrap();
+            assert_eq!(back, ann);
+        }
+    }
+
+    #[test]
+    fn vector_roundtrip_is_bit_exact() {
+        let v = vec![0.1_f32, -2.5e-7, 1.0, f32::MIN_POSITIVE];
+        let back = decode_vector(&parse(&encode_vector(&v).render()).unwrap()).unwrap();
+        assert_eq!(
+            back.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

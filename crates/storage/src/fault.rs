@@ -1,0 +1,98 @@
+//! Deterministic fault injection for durability tests.
+//!
+//! A crash during a write leaves an arbitrary prefix of the intended
+//! bytes on disk. [`FailingWriter`] reproduces exactly that — it
+//! accepts bytes until a preset budget is exhausted, then fails every
+//! subsequent call — so a torture test can "kill" a snapshot save or a
+//! WAL append at every byte offset and check that reopening the store
+//! lands on the pre- or post-write state, never a torn third one.
+
+use std::io::{Error, Write};
+
+/// A [`Write`] sink that dies after `budget` bytes.
+///
+/// The bytes accepted before death are exactly the prefix a real crash
+/// would have left on disk; the caller materializes them as file
+/// contents and runs recovery against them.
+///
+/// ```
+/// use std::io::Write;
+/// use tvdp_storage::fault::FailingWriter;
+///
+/// let mut w = FailingWriter::new(5);
+/// assert_eq!(w.write(b"hello world").unwrap(), 5); // partial write
+/// assert!(w.write(b"!").is_err()); // budget exhausted
+/// assert_eq!(w.written(), b"hello");
+/// ```
+#[derive(Debug)]
+pub struct FailingWriter {
+    written: Vec<u8>,
+    budget: usize,
+}
+
+impl FailingWriter {
+    /// A writer that accepts exactly `budget` bytes before failing.
+    pub fn new(budget: usize) -> Self {
+        FailingWriter {
+            written: Vec::new(),
+            budget,
+        }
+    }
+
+    /// The bytes accepted so far — the simulated on-disk prefix.
+    pub fn written(&self) -> &[u8] {
+        &self.written
+    }
+
+    /// Consumes the writer, yielding the simulated on-disk prefix.
+    pub fn into_written(self) -> Vec<u8> {
+        self.written
+    }
+}
+
+impl Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.budget == 0 {
+            return Err(Error::other("injected write fault"));
+        }
+        let n = buf.len().min(self.budget);
+        self.written.extend_from_slice(&buf[..n]);
+        self.budget -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dies_exactly_at_budget() {
+        let payload = b"abcdefgh";
+        for budget in 0..=payload.len() {
+            let mut w = FailingWriter::new(budget);
+            let result = w.write_all(payload);
+            if budget >= payload.len() {
+                assert!(result.is_ok());
+            } else {
+                assert!(result.is_err());
+            }
+            assert_eq!(w.written(), &payload[..budget.min(payload.len())]);
+        }
+    }
+
+    #[test]
+    fn partial_then_error_matches_write_contract() {
+        let mut w = FailingWriter::new(3);
+        assert_eq!(w.write(b"abcde").unwrap(), 3);
+        assert!(w.write(b"de").is_err());
+        assert_eq!(w.into_written(), b"abc");
+    }
+}

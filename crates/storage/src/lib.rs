@@ -20,12 +20,19 @@
 //! each stored as an image carrying its own FOV.
 
 pub mod annotation;
+pub mod codec;
+pub mod fault;
 pub mod ids;
 pub mod persist;
 pub mod record;
+pub mod recovery;
 pub mod store;
+pub mod wal;
 
 pub use annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
 pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
+pub use persist::{PersistError, FORMAT_VERSION};
 pub use record::{ImageMeta, ImageOrigin, ImageRecord};
-pub use store::{FeatureHandle, StorageError, VisualStore};
+pub use recovery::{CompactionReport, DurableError, DurableStore, RecoveryReport};
+pub use store::{FeatureHandle, Snapshot, SnapshotError, StorageError, VisualStore};
+pub use wal::WalOp;

@@ -1,60 +1,52 @@
-//! JSON-lines persistence for the visual store.
+//! JSON-lines snapshot persistence for the visual store.
 //!
-//! The snapshot format is line-oriented: a header line followed by one
-//! JSON object per row, each tagged with its table. Line orientation
-//! keeps partial corruption local (a damaged trailing line loses one row,
-//! not the file) and makes dumps greppable during operations.
+//! The snapshot format is line-oriented: a header on line 1 followed by
+//! one JSON object per row, each tagged with its table
+//! (`{"Image":{...}}`, `{"Blob":{...}}`, …). Line orientation keeps
+//! partial corruption local and makes dumps greppable during
+//! operations. Rows are rendered by the self-contained [`crate::codec`]
+//! — persistence works without any external JSON machinery.
+//!
+//! Writing is crash-safe: [`save`] renders the whole snapshot to a
+//! sibling `<name>.tmp` file, flushes, `fsync`s the file, atomically
+//! renames it over the destination, and `fsync`s the parent directory
+//! so the rename itself is durable. A crash at any byte offset leaves
+//! either the complete old snapshot or the complete new one — never a
+//! torn file.
+//!
+//! Reading is strict: the header must be line 1 and appear exactly
+//! once, every row must decode, blob byte counts must match their
+//! declared dimensions, and the assembled snapshot must pass
+//! referential-integrity validation ([`VisualStore::from_snapshot`]).
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
-use tvdp_vision::FeatureKind;
-
-use crate::annotation::{Annotation, ClassificationScheme};
+use crate::codec::{self, Value};
 use crate::ids::ImageId;
-use crate::record::ImageRecord;
-use crate::store::{Snapshot, VisualStore};
+use crate::store::{Snapshot, SnapshotError, VisualStore};
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Version 2 moved the row encoding to
+/// the in-tree codec and added the WAL epoch to the header.
+pub const FORMAT_VERSION: u32 = 2;
 
-#[derive(Debug, Serialize, Deserialize)]
-enum Row {
-    Header {
-        version: u32,
-    },
-    Image(ImageRecord),
-    Blob {
-        id: ImageId,
-        width: usize,
-        height: usize,
-        raw: Vec<u8>,
-    },
-    Feature {
-        id: ImageId,
-        kind: FeatureKind,
-        vector: Vec<f32>,
-    },
-    Scheme(ClassificationScheme),
-    Annotation(Annotation),
-}
-
-/// Errors from loading a snapshot file.
+/// Errors from loading or saving a snapshot file.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A line failed to parse.
+    /// A line failed to decode or carried an impossible row.
     Corrupt {
         /// 1-based line number of the bad row.
         line: usize,
-        /// Parser message.
+        /// Decoder message.
         message: String,
     },
-    /// Missing or wrong-version header.
+    /// Missing, misplaced, duplicated, or wrong-version header.
     BadHeader,
+    /// The snapshot decoded but its tables are mutually inconsistent.
+    Invalid(SnapshotError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -65,6 +57,7 @@ impl std::fmt::Display for PersistError {
                 write!(f, "corrupt snapshot at line {line}: {message}")
             }
             PersistError::BadHeader => write!(f, "missing or incompatible snapshot header"),
+            PersistError::Invalid(e) => write!(f, "inconsistent snapshot: {e}"),
         }
     }
 }
@@ -77,82 +70,214 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Writes a full snapshot of `store` to `path` (overwrites).
-pub fn save(store: &VisualStore, path: &Path) -> Result<(), PersistError> {
-    let snap = store.snapshot();
-    let mut w = BufWriter::new(File::create(path)?);
-    let mut emit = |row: &Row| -> Result<(), PersistError> {
-        let line = serde_json::to_string(row).map_err(|e| PersistError::Corrupt {
-            line: 0,
-            message: e.to_string(),
-        })?;
-        writeln!(w, "{line}")?;
-        Ok(())
+impl From<SnapshotError> for PersistError {
+    fn from(e: SnapshotError) -> Self {
+        PersistError::Invalid(e)
+    }
+}
+
+fn tag(name: &str, payload: Value) -> Value {
+    Value::Obj(vec![(name.to_string(), payload)])
+}
+
+/// Renders a snapshot to the full on-disk file contents (header line
+/// plus one row per line, each `\n`-terminated). Exposed so
+/// fault-injection tests can materialize arbitrary crash prefixes of a
+/// save.
+pub fn render_snapshot(snap: &Snapshot, wal_epoch: u64) -> String {
+    let mut out = String::new();
+    let mut emit = |v: Value| {
+        out.push_str(&v.render());
+        out.push('\n');
     };
-    emit(&Row::Header {
-        version: FORMAT_VERSION,
+    emit(tag(
+        "Header",
+        Value::Obj(vec![
+            ("version".into(), Value::num(FORMAT_VERSION)),
+            ("wal_epoch".into(), Value::num(wal_epoch)),
+        ]),
+    ));
+    for rec in &snap.images {
+        emit(tag("Image", codec::encode_record(rec)));
+    }
+    for (id, width, height, raw) in &snap.blobs {
+        emit(tag(
+            "Blob",
+            Value::Obj(vec![
+                ("id".into(), Value::num(id.raw())),
+                ("width".into(), Value::num(*width)),
+                ("height".into(), Value::num(*height)),
+                ("raw".into(), Value::str(codec::hex_encode(raw))),
+            ]),
+        ));
+    }
+    for (id, kind, vector) in &snap.features {
+        emit(tag(
+            "Feature",
+            Value::Obj(vec![
+                ("id".into(), Value::num(id.raw())),
+                ("kind".into(), codec::encode_kind(*kind)),
+                ("vector".into(), codec::encode_vector(vector)),
+            ]),
+        ));
+    }
+    for s in &snap.schemes {
+        emit(tag("Scheme", codec::encode_scheme(s)));
+    }
+    for a in &snap.annotations {
+        emit(tag("Annotation", codec::encode_annotation(a)));
+    }
+    out
+}
+
+/// The sibling temporary path a save stages its bytes in before the
+/// atomic rename (`<name>.tmp` in the same directory). Exposed so
+/// recovery can clean up after a crash mid-save and so tests can plant
+/// crash debris.
+pub fn staging_path(path: &Path) -> Result<PathBuf, PersistError> {
+    let name = path.file_name().ok_or_else(|| {
+        PersistError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "snapshot path has no file name",
+        ))
     })?;
-    for rec in snap.images {
-        emit(&Row::Image(rec))?;
+    let mut tmp = name.to_os_string();
+    tmp.push(".tmp");
+    Ok(path.with_file_name(tmp))
+}
+
+fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Atomically replaces the snapshot at `path` with `snap`: stage to
+/// `<name>.tmp`, flush, `fsync`, rename over `path`, `fsync` the parent
+/// directory. The previous snapshot survives intact until the rename
+/// commits.
+pub fn save_snapshot(snap: &Snapshot, path: &Path, wal_epoch: u64) -> Result<(), PersistError> {
+    let bytes = render_snapshot(snap, wal_epoch);
+    let tmp = staging_path(path)?;
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes.as_bytes())?;
+        f.flush()?;
+        f.sync_all()?;
     }
-    for (id, width, height, raw) in snap.blobs {
-        emit(&Row::Blob {
-            id,
-            width,
-            height,
-            raw,
-        })?;
-    }
-    for (id, kind, vector) in snap.features {
-        emit(&Row::Feature { id, kind, vector })?;
-    }
-    for s in snap.schemes {
-        emit(&Row::Scheme(s))?;
-    }
-    for a in snap.annotations {
-        emit(&Row::Annotation(a))?;
-    }
-    w.flush()?;
+    std::fs::rename(&tmp, path)?;
+    fsync_parent(path)?;
     Ok(())
 }
 
-/// Loads a snapshot file into a fresh store.
-pub fn load(path: &Path) -> Result<VisualStore, PersistError> {
+/// Writes a full snapshot of `store` to `path` via the atomic staged
+/// rename of [`save_snapshot`].
+pub fn save(store: &VisualStore, path: &Path) -> Result<(), PersistError> {
+    save_snapshot(&store.snapshot(), path, 0)
+}
+
+fn corrupt(line: usize, message: impl Into<String>) -> PersistError {
+    PersistError::Corrupt {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a snapshot file into its table dump plus the WAL epoch the
+/// header recorded. Strict: header on line 1 exactly once, every row
+/// valid, blob shapes consistent.
+pub fn load_snapshot(path: &Path) -> Result<(Snapshot, u64), PersistError> {
     let reader = BufReader::new(File::open(path)?);
     let mut snap = Snapshot::default();
+    let mut wal_epoch = 0u64;
     let mut saw_header = false;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
-        if line.trim().is_empty() {
+        let lineno = i + 1;
+        let v = codec::parse(&line).map_err(|e| corrupt(lineno, e))?;
+        let (name, payload) = match &v {
+            Value::Obj(fields) if fields.len() == 1 => (&fields[0].0, &fields[0].1),
+            _ => return Err(corrupt(lineno, "expected a single-key row object")),
+        };
+        if lineno == 1 {
+            if name != "Header" {
+                return Err(PersistError::BadHeader);
+            }
+            let version: u32 =
+                codec::num_field(payload, "version").map_err(|e| corrupt(lineno, e))?;
+            if version != FORMAT_VERSION {
+                return Err(PersistError::BadHeader);
+            }
+            wal_epoch = codec::num_field(payload, "wal_epoch").map_err(|e| corrupt(lineno, e))?;
+            saw_header = true;
             continue;
         }
-        let row: Row = serde_json::from_str(&line).map_err(|e| PersistError::Corrupt {
-            line: i + 1,
-            message: e.to_string(),
-        })?;
-        match row {
-            Row::Header { version } => {
-                if version != FORMAT_VERSION {
-                    return Err(PersistError::BadHeader);
+        match name.as_str() {
+            // A header anywhere but line 1 means two files were
+            // concatenated or the writer was interrupted mid-swap;
+            // refuse rather than silently merging stores.
+            "Header" => return Err(corrupt(lineno, "duplicate header")),
+            "Image" => snap
+                .images
+                .push(codec::decode_record(payload).map_err(|e| corrupt(lineno, e))?),
+            "Blob" => {
+                let id = ImageId(codec::num_field(payload, "id").map_err(|e| corrupt(lineno, e))?);
+                let width: usize =
+                    codec::num_field(payload, "width").map_err(|e| corrupt(lineno, e))?;
+                let height: usize =
+                    codec::num_field(payload, "height").map_err(|e| corrupt(lineno, e))?;
+                let raw = codec::hex_decode(
+                    codec::str_field(payload, "raw").map_err(|e| corrupt(lineno, e))?,
+                )
+                .map_err(|e| corrupt(lineno, e))?;
+                if width == 0
+                    || height == 0
+                    || raw.len() != width.saturating_mul(height).saturating_mul(3)
+                {
+                    return Err(corrupt(
+                        lineno,
+                        format!(
+                            "blob for {id}: {} bytes does not match {width}x{height}x3",
+                            raw.len()
+                        ),
+                    ));
                 }
-                saw_header = true;
+                snap.blobs.push((id, width, height, raw));
             }
-            Row::Image(rec) => snap.images.push(rec),
-            Row::Blob {
-                id,
-                width,
-                height,
-                raw,
-            } => snap.blobs.push((id, width, height, raw)),
-            Row::Feature { id, kind, vector } => snap.features.push((id, kind, vector)),
-            Row::Scheme(s) => snap.schemes.push(s),
-            Row::Annotation(a) => snap.annotations.push(a),
+            "Feature" => {
+                let id = ImageId(codec::num_field(payload, "id").map_err(|e| corrupt(lineno, e))?);
+                let kind = codec::decode_kind(
+                    codec::field(payload, "kind").map_err(|e| corrupt(lineno, e))?,
+                )
+                .map_err(|e| corrupt(lineno, e))?;
+                let vector = codec::decode_vector(
+                    codec::field(payload, "vector").map_err(|e| corrupt(lineno, e))?,
+                )
+                .map_err(|e| corrupt(lineno, e))?;
+                snap.features.push((id, kind, vector));
+            }
+            "Scheme" => snap
+                .schemes
+                .push(codec::decode_scheme(payload).map_err(|e| corrupt(lineno, e))?),
+            "Annotation" => snap
+                .annotations
+                .push(codec::decode_annotation(payload).map_err(|e| corrupt(lineno, e))?),
+            other => return Err(corrupt(lineno, format!("unknown row tag `{other}`"))),
         }
     }
     if !saw_header {
         return Err(PersistError::BadHeader);
     }
-    Ok(VisualStore::from_snapshot(snap))
+    Ok((snap, wal_epoch))
+}
+
+/// Loads a snapshot file into a fresh store, validating referential
+/// integrity.
+pub fn load(path: &Path) -> Result<VisualStore, PersistError> {
+    let (snap, _) = load_snapshot(path)?;
+    Ok(VisualStore::from_snapshot(snap)?)
 }
 
 #[cfg(test)]
@@ -162,7 +287,7 @@ mod tests {
     use crate::ids::UserId;
     use crate::record::{ImageMeta, ImageOrigin};
     use tvdp_geo::GeoPoint;
-    use tvdp_vision::Image;
+    use tvdp_vision::{FeatureKind, Image};
 
     fn populated_store() -> VisualStore {
         let store = VisualStore::new();
@@ -215,6 +340,21 @@ mod tests {
         );
         assert_eq!(loaded.pixels(ids[0]).unwrap().get(1, 2), [1, 2, 9]);
         assert!(loaded.scheme_by_name("cleanliness").is_some());
+        // Snapshot equality: the restored store is exactly the saved one.
+        assert_eq!(loaded.snapshot(), store.snapshot());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_staging_file() {
+        let store = populated_store();
+        let path = temp_path("atomic");
+        save(&store, &path).unwrap();
+        // Second save over an existing snapshot succeeds and the
+        // staging file is gone after the rename.
+        save(&store, &path).unwrap();
+        assert!(!staging_path(&path).unwrap().exists());
+        assert_eq!(load(&path).unwrap().snapshot(), store.snapshot());
         std::fs::remove_file(&path).ok();
     }
 
@@ -222,6 +362,39 @@ mod tests {
     fn missing_header_rejected() {
         let path = temp_path("noheader");
         std::fs::write(&path, "").unwrap();
+        assert!(matches!(load(&path), Err(PersistError::BadHeader)));
+        // A data row on line 1 is equally a missing header.
+        let store = populated_store();
+        let body = render_snapshot(&store.snapshot(), 0);
+        let without_first = body.split_once('\n').unwrap().1;
+        std::fs::write(&path, without_first).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_or_trailing_header_rejected() {
+        let store = populated_store();
+        let path = temp_path("dupheader");
+        let mut body = render_snapshot(&store.snapshot(), 0);
+        let header = body.split_once('\n').unwrap().0.to_string();
+        body.push_str(&header);
+        body.push('\n');
+        std::fs::write(&path, &body).unwrap();
+        match load(&path) {
+            Err(PersistError::Corrupt { line, message }) => {
+                assert!(line > 1);
+                assert!(message.contains("duplicate header"));
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let path = temp_path("version");
+        std::fs::write(&path, "{\"Header\":{\"version\":1,\"wal_epoch\":0}}\n").unwrap();
         assert!(matches!(load(&path), Err(PersistError::BadHeader)));
         std::fs::remove_file(&path).ok();
     }
@@ -242,8 +415,76 @@ mod tests {
     }
 
     #[test]
+    fn blob_with_wrong_byte_count_rejected_with_line() {
+        let store = populated_store();
+        let path = temp_path("badblob");
+        save(&store, &path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Shrink the blob payload by one pixel without touching the
+        // declared dimensions.
+        let mangled: Vec<String> = contents
+            .lines()
+            .map(|l| {
+                if let Some(pos) = l.find("\"raw\":\"") {
+                    let start = pos + "\"raw\":\"".len();
+                    let mut s = l.to_string();
+                    s.replace_range(start..start + 6, "");
+                    s
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&path, mangled.join("\n") + "\n").unwrap();
+        match load(&path) {
+            Err(PersistError::Corrupt { line, message }) => {
+                assert!(line > 1);
+                assert!(message.contains("does not match"), "got: {message}");
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dangling_reference_rejected_as_invalid() {
+        let store = populated_store();
+        let path = temp_path("dangling");
+        save(&store, &path).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Point the feature row at an image id that does not exist.
+        let mangled: Vec<String> = contents
+            .lines()
+            .map(|l| {
+                if l.starts_with("{\"Feature\"") {
+                    l.replacen("\"id\":0", "\"id\":999", 1)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&path, mangled.join("\n") + "\n").unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(PersistError::Invalid(SnapshotError::DanglingFeature(_)))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_missing_file_is_io_error() {
         let path = temp_path("missing-file-never-created");
         assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn wal_epoch_roundtrips_through_header() {
+        let store = populated_store();
+        let path = temp_path("epoch");
+        save_snapshot(&store.snapshot(), &path, 7).unwrap();
+        let (snap, epoch) = load_snapshot(&path).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(snap, store.snapshot());
+        std::fs::remove_file(&path).ok();
     }
 }

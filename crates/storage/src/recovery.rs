@@ -1,0 +1,668 @@
+//! Crash recovery and the durable store wrapper.
+//!
+//! A durable store directory holds two things:
+//!
+//! * `snapshot.json` — an atomic snapshot ([`crate::persist`]) whose
+//!   header records the WAL epoch it was cut against, and
+//! * `wal-<epoch>.log` — the append-only op journal
+//!   ([`crate::wal`]) for mutations since that snapshot.
+//!
+//! [`DurableStore::open`] is open-or-recover: load the snapshot (if
+//! any), truncate the WAL's torn tail, replay the surviving ops, and
+//! sweep crash debris (a stale `snapshot.json.tmp`, WAL files from
+//! other epochs). [`DurableStore::compact`] folds the journal into a
+//! fresh snapshot and rotates the WAL.
+//!
+//! Epochs make compaction crash-safe. The snapshot names the one WAL
+//! that may be replayed on top of it; rotation creates the next epoch's
+//! empty WAL *before* atomically publishing the snapshot that points at
+//! it. A crash on either side of the publish leaves a snapshot whose
+//! epoch matches an intact WAL — ops are never replayed twice and never
+//! lost.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tvdp_vision::{FeatureKind, Image};
+
+use crate::annotation::{Annotation, AnnotationSource, RegionOfInterest};
+use crate::ids::{AnnotationId, ClassificationId, ImageId};
+use crate::persist::{self, PersistError};
+use crate::record::{ImageMeta, ImageOrigin};
+use crate::store::{SnapshotError, StorageError, VisualStore};
+use crate::wal::{Wal, WalError, WalOp};
+
+/// File name of the snapshot inside a durable store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Errors from opening, mutating, or compacting a durable store.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The snapshot failed to load or save.
+    Persist(PersistError),
+    /// The WAL failed to append or recover.
+    Wal(WalError),
+    /// A mutation was rejected by the store's integrity checks.
+    Storage(StorageError),
+    /// A mutation was rejected before journaling (an invariant the
+    /// store would otherwise enforce by panicking, e.g. an empty label
+    /// vocabulary or a confidence outside `[0, 1]`).
+    Rejected(String),
+    /// WAL replay could not reproduce the journaled state.
+    Replay(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "io error: {e}"),
+            DurableError::Persist(e) => write!(f, "{e}"),
+            DurableError::Wal(e) => write!(f, "{e}"),
+            DurableError::Storage(e) => write!(f, "{e}"),
+            DurableError::Rejected(m) => write!(f, "rejected: {m}"),
+            DurableError::Replay(m) => write!(f, "wal replay failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<PersistError> for DurableError {
+    fn from(e: PersistError) -> Self {
+        DurableError::Persist(e)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(e: SnapshotError) -> Self {
+        DurableError::Persist(PersistError::Invalid(e))
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<StorageError> for DurableError {
+    fn from(e: StorageError) -> Self {
+        DurableError::Storage(e)
+    }
+}
+
+/// What [`DurableStore::open`] found and repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WAL epoch the store is now on.
+    pub epoch: u64,
+    /// Whether a snapshot file existed.
+    pub snapshot_found: bool,
+    /// Ops replayed from the WAL on top of the snapshot.
+    pub replayed_ops: usize,
+    /// Torn trailing bytes truncated from the WAL.
+    pub torn_bytes: u64,
+    /// Crash-debris files swept (stale staging file, WALs from other
+    /// epochs).
+    pub debris_removed: usize,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}: snapshot {}, {} op(s) replayed, {} torn byte(s) truncated, {} debris file(s) removed",
+            self.epoch,
+            if self.snapshot_found { "loaded" } else { "absent" },
+            self.replayed_ops,
+            self.torn_bytes,
+            self.debris_removed,
+        )
+    }
+}
+
+/// What [`DurableStore::compact`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// WAL epoch after rotation.
+    pub epoch: u64,
+    /// Journaled ops folded into the snapshot.
+    pub ops_compacted: usize,
+    /// WAL size before rotation, in bytes.
+    pub wal_bytes_before: u64,
+    /// Snapshot size after the write, in bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl std::fmt::Display for CompactionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}: {} op(s) folded into a {} byte snapshot, wal shrunk {} -> 0 bytes",
+            self.epoch, self.ops_compacted, self.snapshot_bytes, self.wal_bytes_before,
+        )
+    }
+}
+
+struct Journal {
+    wal: Wal,
+    epoch: u64,
+    wal_ops: usize,
+}
+
+/// A [`VisualStore`] whose every mutation is journaled to a
+/// write-ahead log before being applied, making acknowledged writes
+/// crash-durable.
+///
+/// The wrapper must be the directory's sole mutator: mutations
+/// serialize on an internal lock so the id journaled for an op is
+/// exactly the id the store assigns. Reads go straight to the shared
+/// store ([`DurableStore::store`]) without touching the journal.
+pub struct DurableStore {
+    dir: PathBuf,
+    store: Arc<VisualStore>,
+    journal: Mutex<Journal>,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.log"))
+}
+
+/// Applies one journaled op to the store, verifying the store assigns
+/// exactly the journaled ids.
+fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
+    match op {
+        WalOp::AddImage {
+            id,
+            meta,
+            origin,
+            pixels,
+        } => {
+            let img = match pixels {
+                None => None,
+                Some((w, h, raw)) => {
+                    if *w == 0 || *h == 0 || raw.len() != w.saturating_mul(*h).saturating_mul(3) {
+                        return Err(format!(
+                            "blob for {id}: {} bytes does not match {w}x{h}x3",
+                            raw.len()
+                        ));
+                    }
+                    Some(Image::from_raw(*w, *h, raw.clone()))
+                }
+            };
+            let assigned = store
+                .add_image(meta.clone(), origin.clone(), img)
+                .map_err(|e| e.to_string())?;
+            if assigned != *id {
+                return Err(format!("journaled {id} but store assigned {assigned}"));
+            }
+        }
+        WalOp::PutFeature {
+            image,
+            kind,
+            vector,
+        } => {
+            store
+                .put_feature(*image, *kind, vector.clone())
+                .map_err(|e| e.to_string())?;
+        }
+        WalOp::RegisterScheme { id, name, labels } => {
+            check_labels(labels)?;
+            let assigned = store
+                .register_scheme(name.clone(), labels.clone())
+                .map_err(|e| e.to_string())?;
+            if assigned != *id {
+                return Err(format!("journaled {id} but store assigned {assigned}"));
+            }
+        }
+        WalOp::Annotate(a) => {
+            check_confidence(a.confidence)?;
+            let assigned = store
+                .annotate(
+                    a.image,
+                    a.classification,
+                    a.label,
+                    a.confidence,
+                    a.source,
+                    a.region,
+                )
+                .map_err(|e| e.to_string())?;
+            if assigned != a.id {
+                return Err(format!("journaled {} but store assigned {assigned}", a.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_labels(labels: &[String]) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    if labels.is_empty() || !labels.iter().all(|l| seen.insert(l.as_str())) {
+        return Err("label vocabulary must be non-empty and unique".into());
+    }
+    Ok(())
+}
+
+fn check_confidence(confidence: f32) -> Result<(), String> {
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err(format!("confidence {confidence} outside [0, 1]"));
+    }
+    Ok(())
+}
+
+impl DurableStore {
+    /// Opens (or creates) the durable store at `dir`, recovering from
+    /// any crash: loads the newest intact snapshot, truncates the
+    /// WAL's torn tail, replays the surviving ops, and sweeps stale
+    /// staging/WAL files from interrupted saves and compactions.
+    pub fn open(dir: &Path) -> Result<(DurableStore, RecoveryReport), DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let mut debris_removed = 0usize;
+
+        // A staging file is a save that never reached its rename; the
+        // real snapshot (if any) is still intact.
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let staging = persist::staging_path(&snapshot_path)?;
+        if staging.exists() {
+            std::fs::remove_file(&staging)?;
+            debris_removed += 1;
+        }
+
+        let (store, epoch, snapshot_found) = if snapshot_path.exists() {
+            let (snap, epoch) = persist::load_snapshot(&snapshot_path)?;
+            (VisualStore::from_snapshot(snap)?, epoch, true)
+        } else {
+            (VisualStore::new(), 0, false)
+        };
+
+        let (wal, ops, torn_bytes) = Wal::open_recover(&wal_path(dir, epoch))?;
+        let replayed_ops = ops.len();
+        for (i, op) in ops.iter().enumerate() {
+            apply_op(&store, op).map_err(|m| DurableError::Replay(format!("record {i}: {m}")))?;
+        }
+
+        // WAL files from other epochs are debris from a compaction that
+        // crashed before (next epoch's file) or after (previous
+        // epoch's) the snapshot publish; the snapshot header is the
+        // authority on which one is live.
+        let live_name = format!("wal-{epoch}.log");
+        let mut stale = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with("wal-") && name.ends_with(".log") && name != live_name {
+                    stale.push(entry.path());
+                }
+            }
+        }
+        stale.sort();
+        for path in stale {
+            std::fs::remove_file(&path)?;
+            debris_removed += 1;
+        }
+
+        let report = RecoveryReport {
+            epoch,
+            snapshot_found,
+            replayed_ops,
+            torn_bytes,
+            debris_removed,
+        };
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                store: Arc::new(store),
+                journal: Mutex::new(Journal {
+                    wal,
+                    epoch,
+                    wal_ops: replayed_ops,
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// The underlying store, for reads. Mutating it directly bypasses
+    /// the journal and forfeits durability for those writes.
+    pub fn store(&self) -> &VisualStore {
+        &self.store
+    }
+
+    /// A shared handle to the underlying store (e.g. to hand to query
+    /// engines, which only read).
+    pub fn store_arc(&self) -> Arc<VisualStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current WAL epoch.
+    pub fn epoch(&self) -> u64 {
+        self.journal.lock().epoch
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_bytes(&self) -> Result<u64, DurableError> {
+        Ok(self.journal.lock().wal.len_bytes()?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::add_image`]. When this
+    /// returns `Ok`, the image survives a crash.
+    pub fn add_image(
+        &self,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, DurableError> {
+        let mut journal = self.journal.lock();
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if self.store.image(*parent).is_none() {
+                return Err(StorageError::UnknownImage(*parent).into());
+            }
+        }
+        let id = self.store.peek_next_image_id();
+        let op = WalOp::AddImage {
+            id,
+            meta: meta.clone(),
+            origin: origin.clone(),
+            pixels: pixels
+                .as_ref()
+                .map(|p| (p.width(), p.height(), p.raw().to_vec())),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self.store.add_image(meta, origin, pixels)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::put_feature`].
+    pub fn put_feature(
+        &self,
+        image: ImageId,
+        kind: FeatureKind,
+        vector: Vec<f32>,
+    ) -> Result<(), DurableError> {
+        let mut journal = self.journal.lock();
+        if self.store.image(image).is_none() {
+            return Err(StorageError::UnknownImage(image).into());
+        }
+        let op = WalOp::PutFeature {
+            image,
+            kind,
+            vector: vector.clone(),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self.store.put_feature(image, kind, vector)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::register_scheme`].
+    pub fn register_scheme(
+        &self,
+        name: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, DurableError> {
+        let name = name.into();
+        let mut journal = self.journal.lock();
+        check_labels(&labels).map_err(DurableError::Rejected)?;
+        if self.store.scheme_by_name(&name).is_some() {
+            return Err(StorageError::DuplicateScheme(name).into());
+        }
+        let id = self.store.peek_next_classification_id();
+        let op = WalOp::RegisterScheme {
+            id,
+            name: name.clone(),
+            labels: labels.clone(),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self.store.register_scheme(name, labels)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::annotate`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn annotate(
+        &self,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        confidence: f32,
+        source: AnnotationSource,
+        region: Option<RegionOfInterest>,
+    ) -> Result<AnnotationId, DurableError> {
+        let mut journal = self.journal.lock();
+        check_confidence(confidence).map_err(DurableError::Rejected)?;
+        if self.store.image(image).is_none() {
+            return Err(StorageError::UnknownImage(image).into());
+        }
+        let vocabulary = match self.store.scheme(classification) {
+            None => return Err(StorageError::UnknownClassification(classification).into()),
+            Some(s) => s.labels.len(),
+        };
+        if label >= vocabulary {
+            return Err(StorageError::LabelOutOfRange {
+                classification,
+                label,
+                vocabulary,
+            }
+            .into());
+        }
+        let id = self.store.peek_next_annotation_id();
+        let op = WalOp::Annotate(Annotation {
+            id,
+            image,
+            classification,
+            label,
+            confidence,
+            source,
+            region,
+        });
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self
+            .store
+            .annotate(image, classification, label, confidence, source, region)?)
+    }
+
+    /// Folds the journal into a fresh snapshot and rotates the WAL to
+    /// the next epoch. Safe against a crash at any point: the next
+    /// epoch's empty WAL is created *before* the snapshot naming it is
+    /// atomically published, and the superseded WAL is only removed
+    /// after — whichever side of the publish a crash lands on, the
+    /// surviving snapshot pairs with an intact WAL.
+    pub fn compact(&self) -> Result<CompactionReport, DurableError> {
+        let mut journal = self.journal.lock();
+        let wal_bytes_before = journal.wal.len_bytes()?;
+        let ops_compacted = journal.wal_ops;
+        let next_epoch = journal.epoch + 1;
+        let next_wal = Wal::create(&wal_path(&self.dir, next_epoch))?;
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        persist::save_snapshot(&self.store.snapshot(), &snapshot_path, next_epoch)?;
+        // Commit point passed: the snapshot now names the new epoch.
+        let old_path = journal.wal.path().to_path_buf();
+        journal.wal = next_wal;
+        journal.epoch = next_epoch;
+        journal.wal_ops = 0;
+        // Best-effort: if this removal doesn't happen, open() sweeps
+        // the stale file.
+        std::fs::remove_file(old_path).ok();
+        let snapshot_bytes = std::fs::metadata(&snapshot_path)?.len();
+        Ok(CompactionReport {
+            epoch: next_epoch,
+            ops_compacted,
+            wal_bytes_before,
+            snapshot_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use tvdp_geo::GeoPoint;
+
+    fn meta() -> ImageMeta {
+        ImageMeta {
+            uploader: UserId(1),
+            gps: GeoPoint::new(34.0, -118.25),
+            fov: None,
+            captured_at: 100,
+            uploaded_at: 110,
+            keywords: vec!["test".into()],
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tvdp-recovery-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn populate(ds: &DurableStore) -> (ImageId, ClassificationId) {
+        let img = ds
+            .add_image(
+                meta(),
+                ImageOrigin::Original,
+                Some(Image::from_fn(2, 2, |x, y| [x as u8, y as u8, 3])),
+            )
+            .unwrap();
+        let cls = ds
+            .register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])
+            .unwrap();
+        ds.put_feature(img, FeatureKind::Cnn, vec![0.5, 0.25])
+            .unwrap();
+        ds.annotate(img, cls, 1, 0.8, AnnotationSource::Human(UserId(1)), None)
+            .unwrap();
+        (img, cls)
+    }
+
+    #[test]
+    fn acked_mutations_survive_reopen_without_compaction() {
+        let dir = temp_dir("reopen");
+        let (ds, report) = DurableStore::open(&dir).unwrap();
+        assert!(!report.snapshot_found);
+        let (img, cls) = populate(&ds);
+        let live = ds.store().snapshot();
+        drop(ds);
+
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 4);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(ds2.store().snapshot(), live);
+        assert_eq!(ds2.store().annotations_of(img).len(), 1);
+        assert!(ds2.store().scheme(cls).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_log() {
+        let dir = temp_dir("compact");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        populate(&ds);
+        let live = ds.store().snapshot();
+        let before = ds.wal_bytes().unwrap();
+        assert!(before > 0);
+        let report = ds.compact().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.ops_compacted, 4);
+        assert_eq!(report.wal_bytes_before, before);
+        assert_eq!(ds.wal_bytes().unwrap(), 0);
+        assert_eq!(ds.store().snapshot(), live);
+        drop(ds);
+
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert!(report.snapshot_found);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.replayed_ops, 0);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutations_after_compaction_replay_on_top_of_snapshot() {
+        let dir = temp_dir("post-compact");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let (img, cls) = populate(&ds);
+        ds.compact().unwrap();
+        ds.annotate(img, cls, 0, 0.4, AnnotationSource::Human(UserId(2)), None)
+            .unwrap();
+        let live = ds.store().snapshot();
+        drop(ds);
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 1);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_mutations_are_never_journaled() {
+        let dir = temp_dir("rejected");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let wal0 = ds.wal_bytes().unwrap();
+        assert!(ds
+            .put_feature(ImageId(9), FeatureKind::Cnn, vec![1.0])
+            .is_err());
+        assert!(ds
+            .add_image(
+                meta(),
+                ImageOrigin::Augmented {
+                    parent: ImageId(9),
+                    op: "flip".into()
+                },
+                None
+            )
+            .is_err());
+        assert!(ds.register_scheme("bad", vec![]).is_err());
+        assert!(matches!(
+            ds.annotate(
+                ImageId(0),
+                ClassificationId(0),
+                0,
+                1.5,
+                AnnotationSource::Human(UserId(1)),
+                None
+            ),
+            Err(DurableError::Rejected(_))
+        ));
+        assert_eq!(ds.wal_bytes().unwrap(), wal0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_debris_is_swept_on_open() {
+        let dir = temp_dir("debris");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        populate(&ds);
+        drop(ds);
+        // Plant an interrupted save and an interrupted compaction.
+        std::fs::write(dir.join("snapshot.json.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("wal-7.log"), b"stale").unwrap();
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.debris_removed, 2);
+        assert!(!dir.join("snapshot.json.tmp").exists());
+        assert!(!dir.join("wal-7.log").exists());
+        assert_eq!(ds2.store().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -51,8 +51,133 @@ impl std::fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+/// Referential-integrity failures found while rebuilding a store from a
+/// snapshot ([`VisualStore::from_snapshot`]). A snapshot that decodes
+/// structurally can still be inconsistent — rows naming ids that do not
+/// exist, labels outside a scheme's vocabulary, pixel blobs whose byte
+/// count disagrees with their declared dimensions — and loading such a
+/// snapshot must fail loudly instead of panicking or building a corrupt
+/// store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// Two image rows carry the same id.
+    DuplicateImage(ImageId),
+    /// A pixel blob's byte count disagrees with `width * height * 3`,
+    /// or a dimension is zero.
+    BlobShape {
+        /// Image the blob belongs to.
+        image: ImageId,
+        /// Declared width in pixels.
+        width: usize,
+        /// Declared height in pixels.
+        height: usize,
+        /// Actual byte count of the raw payload.
+        len: usize,
+    },
+    /// A pixel blob names an image id with no image row.
+    DanglingBlob(ImageId),
+    /// A feature row names an image id with no image row.
+    DanglingFeature(ImageId),
+    /// Two scheme rows carry the same id.
+    DuplicateSchemeId(ClassificationId),
+    /// A scheme has an empty or duplicated label vocabulary.
+    BadScheme(ClassificationId),
+    /// Two annotation rows carry the same id.
+    DuplicateAnnotation(AnnotationId),
+    /// An annotation names an image id with no image row.
+    DanglingAnnotationImage {
+        /// The offending annotation.
+        annotation: AnnotationId,
+        /// The missing image.
+        image: ImageId,
+    },
+    /// An annotation names a scheme id with no scheme row.
+    DanglingAnnotationScheme {
+        /// The offending annotation.
+        annotation: AnnotationId,
+        /// The missing scheme.
+        classification: ClassificationId,
+    },
+    /// An annotation's label index exceeds its scheme's vocabulary.
+    LabelOutOfRange {
+        /// The offending annotation.
+        annotation: AnnotationId,
+        /// Offending label index.
+        label: usize,
+        /// Vocabulary size of the named scheme.
+        vocabulary: usize,
+    },
+    /// An annotation's confidence is outside `[0, 1]` or not a number.
+    BadConfidence {
+        /// The offending annotation.
+        annotation: AnnotationId,
+        /// The out-of-range value.
+        confidence: f32,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::DuplicateImage(id) => write!(f, "duplicate image id {id}"),
+            SnapshotError::BlobShape {
+                image,
+                width,
+                height,
+                len,
+            } => write!(
+                f,
+                "blob for {image}: {len} bytes does not match {width}x{height}x3"
+            ),
+            SnapshotError::DanglingBlob(id) => write!(f, "blob references missing image {id}"),
+            SnapshotError::DanglingFeature(id) => {
+                write!(f, "feature references missing image {id}")
+            }
+            SnapshotError::DuplicateSchemeId(id) => write!(f, "duplicate scheme id {id}"),
+            SnapshotError::BadScheme(id) => {
+                write!(f, "scheme {id} has an empty or duplicated vocabulary")
+            }
+            SnapshotError::DuplicateAnnotation(id) => write!(f, "duplicate annotation id {id}"),
+            SnapshotError::DanglingAnnotationImage { annotation, image } => {
+                write!(
+                    f,
+                    "annotation {annotation} references missing image {image}"
+                )
+            }
+            SnapshotError::DanglingAnnotationScheme {
+                annotation,
+                classification,
+            } => write!(
+                f,
+                "annotation {annotation} references missing scheme {classification}"
+            ),
+            SnapshotError::LabelOutOfRange {
+                annotation,
+                label,
+                vocabulary,
+            } => write!(
+                f,
+                "annotation {annotation}: label {label} out of range (vocabulary size {vocabulary})"
+            ),
+            SnapshotError::BadConfidence {
+                annotation,
+                confidence,
+            } => write!(
+                f,
+                "annotation {annotation}: confidence {confidence} outside [0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// Serializable dump of every table (used by [`crate::persist`]).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// Equality is structural over every table, which makes snapshots the
+/// ground truth for crash-recovery tests: two stores are "the same
+/// state" exactly when their snapshots compare equal.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
     pub(crate) images: Vec<ImageRecord>,
     pub(crate) blobs: Vec<(ImageId, usize, usize, Vec<u8>)>,
@@ -498,25 +623,81 @@ impl VisualStore {
         }
     }
 
-    /// Rebuilds a store from a snapshot.
-    pub fn from_snapshot(snap: Snapshot) -> Self {
+    /// Rebuilds a store from a snapshot, validating referential
+    /// integrity: blob shapes must match their declared dimensions,
+    /// every blob/feature/annotation must name an existing image,
+    /// annotations must name an existing scheme with the label in
+    /// range, and no table may repeat an id.
+    pub fn from_snapshot(snap: Snapshot) -> Result<Self, SnapshotError> {
         let mut t = Tables::default();
         for rec in snap.images {
-            t.next_image = t.next_image.max(rec.id.raw() + 1);
-            t.images.insert(rec.id, rec);
+            t.next_image = t.next_image.max(rec.id.raw().saturating_add(1));
+            let id = rec.id;
+            if t.images.insert(id, rec).is_some() {
+                return Err(SnapshotError::DuplicateImage(id));
+            }
         }
         for (id, w, h, raw) in snap.blobs {
+            if w == 0 || h == 0 || raw.len() != w.saturating_mul(h).saturating_mul(3) {
+                return Err(SnapshotError::BlobShape {
+                    image: id,
+                    width: w,
+                    height: h,
+                    len: raw.len(),
+                });
+            }
+            if !t.images.contains_key(&id) {
+                return Err(SnapshotError::DanglingBlob(id));
+            }
             t.blobs.insert(id, Image::from_raw(w, h, raw));
         }
         for (id, kind, v) in snap.features {
+            if !t.images.contains_key(&id) {
+                return Err(SnapshotError::DanglingFeature(id));
+            }
             t.put_feature_row(id, kind, &v);
         }
         for s in snap.schemes {
-            t.next_classification = t.next_classification.max(s.id.raw() + 1);
-            t.schemes.insert(s.id, s);
+            t.next_classification = t.next_classification.max(s.id.raw().saturating_add(1));
+            let mut seen = std::collections::BTreeSet::new();
+            if s.labels.is_empty() || !s.labels.iter().all(|l| seen.insert(l.as_str())) {
+                return Err(SnapshotError::BadScheme(s.id));
+            }
+            let id = s.id;
+            if t.schemes.insert(id, s).is_some() {
+                return Err(SnapshotError::DuplicateSchemeId(id));
+            }
         }
         for a in snap.annotations {
-            t.next_annotation = t.next_annotation.max(a.id.raw() + 1);
+            t.next_annotation = t.next_annotation.max(a.id.raw().saturating_add(1));
+            if !t.images.contains_key(&a.image) {
+                return Err(SnapshotError::DanglingAnnotationImage {
+                    annotation: a.id,
+                    image: a.image,
+                });
+            }
+            let vocabulary = match t.schemes.get(&a.classification) {
+                None => {
+                    return Err(SnapshotError::DanglingAnnotationScheme {
+                        annotation: a.id,
+                        classification: a.classification,
+                    })
+                }
+                Some(s) => s.labels.len(),
+            };
+            if a.label >= vocabulary {
+                return Err(SnapshotError::LabelOutOfRange {
+                    annotation: a.id,
+                    label: a.label,
+                    vocabulary,
+                });
+            }
+            if !(0.0..=1.0).contains(&a.confidence) {
+                return Err(SnapshotError::BadConfidence {
+                    annotation: a.id,
+                    confidence: a.confidence,
+                });
+            }
             t.annotations_by_image
                 .entry(a.image)
                 .or_default()
@@ -524,11 +705,34 @@ impl VisualStore {
             *t.label_counts
                 .entry((a.classification, a.label))
                 .or_default() += 1;
-            t.annotations.insert(a.id, a);
+            let id = a.id;
+            if t.annotations.insert(id, a).is_some() {
+                return Err(SnapshotError::DuplicateAnnotation(id));
+            }
         }
-        Self {
+        Ok(Self {
             inner: RwLock::new(t),
-        }
+        })
+    }
+
+    /// The id the next [`VisualStore::add_image`] will assign. Only
+    /// meaningful while the caller holds exclusive mutation rights (the
+    /// WAL wrapper journals the peeked id before applying the op).
+    pub fn peek_next_image_id(&self) -> ImageId {
+        ImageId(self.inner.read().next_image)
+    }
+
+    /// The id the next [`VisualStore::register_scheme`] will assign.
+    /// See [`VisualStore::peek_next_image_id`] for the exclusivity
+    /// caveat.
+    pub fn peek_next_classification_id(&self) -> ClassificationId {
+        ClassificationId(self.inner.read().next_classification)
+    }
+
+    /// The id the next [`VisualStore::annotate`] will assign. See
+    /// [`VisualStore::peek_next_image_id`] for the exclusivity caveat.
+    pub fn peek_next_annotation_id(&self) -> AnnotationId {
+        AnnotationId(self.inner.read().next_annotation)
     }
 }
 
@@ -698,7 +902,7 @@ mod tests {
         assert_eq!(store.label_count(cls, 0), 3);
         assert_eq!(store.label_count(cls, 1), 2);
         assert_eq!(store.label_count(cls, 9), 0);
-        let restored = VisualStore::from_snapshot(store.snapshot());
+        let restored = VisualStore::from_snapshot(store.snapshot()).unwrap();
         assert_eq!(restored.label_count(cls, 0), 3);
         assert_eq!(restored.label_count(cls, 1), 2);
     }
@@ -781,7 +985,7 @@ mod tests {
             .annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(1)), None)
             .unwrap();
         let snap = store.snapshot();
-        let restored = VisualStore::from_snapshot(snap);
+        let restored = VisualStore::from_snapshot(snap).unwrap();
         assert_eq!(restored.len(), 1);
         assert_eq!(restored.pixels(img).unwrap(), tiny_image());
         assert_eq!(
@@ -794,6 +998,125 @@ mod tests {
             .add_image(meta(), ImageOrigin::Original, None)
             .unwrap();
         assert!(next.raw() > img.raw());
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistencies() {
+        let store = VisualStore::new();
+        let img = store
+            .add_image(meta(), ImageOrigin::Original, Some(tiny_image()))
+            .unwrap();
+        let cls = store
+            .register_scheme("c", vec!["a".into(), "b".into()])
+            .unwrap();
+        store
+            .annotate(img, cls, 0, 0.9, AnnotationSource::Human(UserId(1)), None)
+            .unwrap();
+        let good = store.snapshot();
+        assert!(VisualStore::from_snapshot(good.clone()).is_ok());
+
+        // Blob byte count disagreeing with declared dimensions.
+        let mut bad = good.clone();
+        bad.blobs[0].3.pop();
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::BlobShape { .. })
+        ));
+
+        // Zero-sized blob dimensions.
+        let mut bad = good.clone();
+        bad.blobs[0].1 = 0;
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::BlobShape { .. })
+        ));
+
+        // Blob, feature, and annotation naming a missing image.
+        let mut bad = good.clone();
+        bad.blobs[0].0 = ImageId(77);
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DanglingBlob(ImageId(77)))
+        ));
+        let mut bad = good.clone();
+        bad.features
+            .push((ImageId(77), FeatureKind::Cnn, vec![1.0]));
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DanglingFeature(ImageId(77)))
+        ));
+        let mut bad = good.clone();
+        bad.annotations[0].image = ImageId(77);
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DanglingAnnotationImage { .. })
+        ));
+
+        // Annotation naming a missing scheme or an out-of-range label.
+        let mut bad = good.clone();
+        bad.annotations[0].classification = ClassificationId(77);
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DanglingAnnotationScheme { .. })
+        ));
+        let mut bad = good.clone();
+        bad.annotations[0].label = 9;
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::LabelOutOfRange { .. })
+        ));
+        let mut bad = good.clone();
+        bad.annotations[0].confidence = 1.5;
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::BadConfidence { .. })
+        ));
+
+        // Duplicate ids and degenerate vocabularies.
+        let mut bad = good.clone();
+        bad.images.push(bad.images[0].clone());
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DuplicateImage(_))
+        ));
+        let mut bad = good.clone();
+        bad.schemes.push(bad.schemes[0].clone());
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DuplicateSchemeId(_))
+        ));
+        let mut bad = good.clone();
+        bad.schemes[0].labels = vec!["a".into(), "a".into()];
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::BadScheme(_))
+        ));
+        let mut bad = good.clone();
+        bad.annotations.push(bad.annotations[0].clone());
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DuplicateAnnotation(_))
+        ));
+    }
+
+    #[test]
+    fn peeked_ids_match_assigned_ids() {
+        let store = VisualStore::new();
+        let peek_img = store.peek_next_image_id();
+        let img = store
+            .add_image(meta(), ImageOrigin::Original, None)
+            .unwrap();
+        assert_eq!(peek_img, img);
+        let peek_cls = store.peek_next_classification_id();
+        let cls = store.register_scheme("c", vec!["a".into()]).unwrap();
+        assert_eq!(peek_cls, cls);
+        let peek_ann = store.peek_next_annotation_id();
+        let ann = store
+            .annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(1)), None)
+            .unwrap();
+        assert_eq!(peek_ann, ann);
+        // Peeks advance with the store.
+        assert_eq!(store.peek_next_image_id(), ImageId(img.raw() + 1));
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Crash-safety torture suite: kill every write at every byte offset
+//! and prove recovery always lands on the pre- or post-write state.
+//!
+//! The deterministic fault model: a crash during a write leaves an
+//! arbitrary prefix of the intended bytes on disk
+//! ([`FailingWriter`]). For each offset, these tests materialize that
+//! exact prefix as the on-disk file, reopen the store through full
+//! recovery, and compare [`VisualStore::snapshot`] equality against
+//! the enumerated legal states — a torn third state is a failure.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use tvdp_geo::GeoPoint;
+use tvdp_storage::fault::FailingWriter;
+use tvdp_storage::persist::{self, render_snapshot};
+use tvdp_storage::store::Snapshot;
+use tvdp_storage::{AnnotationSource, DurableStore, ImageMeta, ImageOrigin, UserId, VisualStore};
+use tvdp_vision::{FeatureKind, Image};
+
+fn meta(keyword: &str) -> ImageMeta {
+    ImageMeta {
+        uploader: UserId(1),
+        gps: GeoPoint::new(34.05, -118.25),
+        fov: None,
+        captured_at: 100,
+        uploaded_at: 110,
+        keywords: vec![keyword.into()],
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tvdp-durability-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// Lays a durable-store directory down from raw bytes.
+fn write_dir(dir: &Path, snapshot: Option<&[u8]>, wal_epoch: u64, wal: &[u8]) {
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).unwrap();
+    if let Some(s) = snapshot {
+        std::fs::write(dir.join("snapshot.json"), s).unwrap();
+    }
+    std::fs::write(dir.join(format!("wal-{wal_epoch}.log")), wal).unwrap();
+}
+
+/// The crash prefix a write killed after `budget` bytes leaves behind.
+fn crash_prefix(bytes: &[u8], budget: usize) -> Vec<u8> {
+    let mut w = FailingWriter::new(budget);
+    let _ = w.write_all(bytes);
+    w.into_written()
+}
+
+/// Byte offsets at which each WAL record ends (plus leading 0), parsed
+/// from the length prefixes of well-formed records.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![0];
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let sp = bytes[pos..].iter().position(|&c| c == b' ').unwrap();
+        let len: usize = std::str::from_utf8(&bytes[pos..pos + sp])
+            .unwrap()
+            .parse()
+            .unwrap();
+        pos += sp + 1 + 8 + 1 + len + 1;
+        bounds.push(pos);
+    }
+    assert_eq!(pos, bytes.len());
+    bounds
+}
+
+fn base_store() -> VisualStore {
+    let store = VisualStore::new();
+    let img = store
+        .add_image(
+            meta("base"),
+            ImageOrigin::Original,
+            Some(Image::from_fn(1, 1, |_, _| [10, 20, 30])),
+        )
+        .unwrap();
+    let cls = store
+        .register_scheme("cleanliness", vec!["clean".into(), "dirty".into()])
+        .unwrap();
+    store
+        .put_feature(img, FeatureKind::ColorHistogram, vec![0.5, 0.25, 0.125])
+        .unwrap();
+    store
+        .annotate(img, cls, 0, 0.9, AnnotationSource::Human(UserId(1)), None)
+        .unwrap();
+    store
+}
+
+/// Replays a scripted mutation sequence against a fresh durable dir
+/// seeded with the base snapshot, returning the WAL bytes it produced
+/// and the store state after each op (index 0 = pre-mutation state).
+fn scripted_mutations(scratch: &Path) -> (Vec<u8>, Vec<Snapshot>) {
+    let base = base_store().snapshot();
+    write_dir(scratch, Some(render_snapshot(&base, 0).as_bytes()), 0, b"");
+    let (ds, _) = DurableStore::open(scratch).unwrap();
+    let mut states = vec![ds.store().snapshot()];
+    assert_eq!(states[0], base);
+
+    let img = ds
+        .add_image(
+            meta("wal-born"),
+            ImageOrigin::Original,
+            Some(Image::from_fn(1, 1, |_, _| [1, 2, 3])),
+        )
+        .unwrap();
+    states.push(ds.store().snapshot());
+    ds.put_feature(img, FeatureKind::Cnn, vec![0.1, -2.5])
+        .unwrap();
+    states.push(ds.store().snapshot());
+    let cls = ds
+        .register_scheme("graffiti", vec!["none".into(), "tagged".into()])
+        .unwrap();
+    states.push(ds.store().snapshot());
+    ds.annotate(img, cls, 1, 0.7, AnnotationSource::Human(UserId(2)), None)
+        .unwrap();
+    states.push(ds.store().snapshot());
+
+    let wal_bytes = std::fs::read(scratch.join("wal-0.log")).unwrap();
+    (wal_bytes, states)
+}
+
+#[test]
+fn save_killed_at_every_offset_preserves_the_old_snapshot() {
+    let old = base_store().snapshot();
+    let old_bytes = render_snapshot(&old, 0);
+
+    // The new state a crashed save was trying to persist.
+    let store = VisualStore::from_snapshot(old.clone()).unwrap();
+    store
+        .add_image(meta("new"), ImageOrigin::Original, None)
+        .unwrap();
+    let new = store.snapshot();
+    let new_bytes = render_snapshot(&new, 0);
+
+    let dir = temp_dir("save-torture");
+    for cut in 0..=new_bytes.len() {
+        // Crash mid-staging: the real snapshot is untouched, the
+        // staging file holds whatever prefix made it to disk.
+        write_dir(&dir, Some(old_bytes.as_bytes()), 0, b"");
+        std::fs::write(
+            persist::staging_path(&dir.join("snapshot.json")).unwrap(),
+            crash_prefix(new_bytes.as_bytes(), cut),
+        )
+        .unwrap();
+        let (ds, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(ds.store().snapshot(), old, "staging cut at byte {cut}");
+        assert!(report.debris_removed >= 1);
+    }
+
+    // Crash after the rename committed: the new snapshot is complete.
+    write_dir(&dir, Some(new_bytes.as_bytes()), 0, b"");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), new);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_append_killed_at_every_offset_is_pre_or_post_never_torn() {
+    let scratch = temp_dir("wal-torture-scratch");
+    let (wal_bytes, states) = scripted_mutations(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    let bounds = record_boundaries(&wal_bytes);
+    assert_eq!(bounds.len(), states.len());
+
+    let base_bytes = render_snapshot(&states[0], 0);
+    let dir = temp_dir("wal-torture");
+    for cut in 0..=wal_bytes.len() {
+        write_dir(
+            &dir,
+            Some(base_bytes.as_bytes()),
+            0,
+            &crash_prefix(&wal_bytes, cut),
+        );
+        let (ds, report) = DurableStore::open(&dir).unwrap();
+        // The store must equal the state after the last op whose
+        // record fully made it to disk — nothing in between.
+        let intact = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(
+            ds.store().snapshot(),
+            states[intact],
+            "wal cut at byte {cut}: expected state after {intact} op(s)"
+        );
+        assert_eq!(report.replayed_ops, intact);
+        if bounds.binary_search(&cut).is_err() {
+            assert!(report.torn_bytes > 0, "cut at byte {cut} should be torn");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_mutation_that_returned_ok_survives_reopen() {
+    let dir = temp_dir("acked");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    // After each acknowledged mutation, a crash (drop without
+    // compaction or any explicit flush) must not lose it.
+    let img = ds
+        .add_image(
+            meta("acked"),
+            ImageOrigin::Original,
+            Some(Image::from_fn(1, 1, |_, _| [9, 9, 9])),
+        )
+        .unwrap();
+    let after_add = ds.store().snapshot();
+    drop(ds);
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), after_add);
+
+    let cls = ds
+        .register_scheme("acked-scheme", vec!["yes".into(), "no".into()])
+        .unwrap();
+    ds.put_feature(img, FeatureKind::SiftBow, vec![1.0; 8])
+        .unwrap();
+    ds.annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(3)), None)
+        .unwrap();
+    let after_all = ds.store().snapshot();
+    drop(ds);
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), after_all);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_plus_wal_replay_equals_live_store() {
+    let dir = temp_dir("replay-equality");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    let img = ds
+        .add_image(
+            meta("live"),
+            ImageOrigin::Original,
+            Some(Image::from_fn(2, 3, |x, y| [x as u8, y as u8, 7])),
+        )
+        .unwrap();
+    let cls = ds
+        .register_scheme("lighting", vec!["lit".into(), "dark".into()])
+        .unwrap();
+    ds.compact().unwrap();
+    // Post-compaction mutations live only in the WAL.
+    let child = ds
+        .add_image(
+            meta("child"),
+            ImageOrigin::Augmented {
+                parent: img,
+                op: "flip_h".into(),
+            },
+            None,
+        )
+        .unwrap();
+    ds.put_feature(child, FeatureKind::Cnn, vec![0.25; 4])
+        .unwrap();
+    ds.annotate(child, cls, 1, 0.6, AnnotationSource::Human(UserId(1)), None)
+        .unwrap();
+    let live = ds.store().snapshot();
+    drop(ds);
+
+    let (reopened, report) = DurableStore::open(&dir).unwrap();
+    assert_eq!(report.replayed_ops, 3);
+    assert_eq!(reopened.store().snapshot(), live);
+    // Ids keep advancing from where the live store left off.
+    let next = reopened
+        .add_image(meta("next"), ImageOrigin::Original, None)
+        .unwrap();
+    assert!(next.raw() > child.raw());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_preserves_state_and_shrinks_the_log() {
+    let dir = temp_dir("compaction");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    for i in 0..8 {
+        let img = ds
+            .add_image(
+                meta(&format!("img-{i}")),
+                ImageOrigin::Original,
+                Some(Image::from_fn(4, 4, |x, y| [x as u8, y as u8, i])),
+            )
+            .unwrap();
+        ds.put_feature(img, FeatureKind::Cnn, vec![f32::from(i); 16])
+            .unwrap();
+    }
+    let live = ds.store().snapshot();
+    let wal_before = ds.wal_bytes().unwrap();
+    let report = ds.compact().unwrap();
+    assert_eq!(report.wal_bytes_before, wal_before);
+    assert!(wal_before > 0);
+    assert_eq!(ds.wal_bytes().unwrap(), 0);
+    assert_eq!(ds.store().snapshot(), live);
+    drop(ds);
+    let (reopened, recovery) = DurableStore::open(&dir).unwrap();
+    assert_eq!(recovery.epoch, 1);
+    assert_eq!(recovery.replayed_ops, 0);
+    assert_eq!(reopened.store().snapshot(), live);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_crash_windows_never_lose_or_double_apply() {
+    // Reconstruct the three crash windows of compact() by hand and
+    // check each recovers to exactly the live pre-crash state.
+    let scratch = temp_dir("compact-crash-scratch");
+    let (wal_bytes, states) = scripted_mutations(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    let base = &states[0];
+    let live = states.last().unwrap();
+    let base_bytes = render_snapshot(base, 0);
+    let live_bytes_epoch1 = render_snapshot(live, 1);
+
+    let dir = temp_dir("compact-crash");
+
+    // Window 1: next epoch's WAL created, snapshot not yet published.
+    write_dir(&dir, Some(base_bytes.as_bytes()), 0, &wal_bytes);
+    std::fs::write(dir.join("wal-1.log"), b"").unwrap();
+    let (ds, report) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), *live);
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.debris_removed, 1); // the premature wal-1.log
+    drop(ds);
+
+    // Window 2: snapshot published at epoch 1, old WAL not yet
+    // removed. Replaying the old WAL here would double-apply.
+    write_dir(&dir, Some(live_bytes_epoch1.as_bytes()), 1, b"");
+    std::fs::write(dir.join("wal-0.log"), &wal_bytes).unwrap();
+    let (ds, report) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), *live);
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.replayed_ops, 0);
+    assert_eq!(report.debris_removed, 1); // the superseded wal-0.log
+    drop(ds);
+
+    // Window 3: crash mid-publish — staging file partially written,
+    // both old WAL and old snapshot intact.
+    write_dir(&dir, Some(base_bytes.as_bytes()), 0, &wal_bytes);
+    std::fs::write(
+        persist::staging_path(&dir.join("snapshot.json")).unwrap(),
+        crash_prefix(live_bytes_epoch1.as_bytes(), live_bytes_epoch1.len() / 2),
+    )
+    .unwrap();
+    std::fs::write(dir.join("wal-1.log"), b"").unwrap();
+    let (ds, report) = DurableStore::open(&dir).unwrap();
+    assert_eq!(ds.store().snapshot(), *live);
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.debris_removed, 2);
+    drop(ds);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -86,7 +86,7 @@ proptest! {
     #[test]
     fn snapshot_roundtrip_preserves_everything(rows in proptest::collection::vec(arb_row(), 1..20)) {
         let store = populate(&rows);
-        let restored = VisualStore::from_snapshot(store.snapshot());
+        let restored = VisualStore::from_snapshot(store.snapshot()).unwrap();
         prop_assert_eq!(restored.len(), store.len());
         prop_assert_eq!(restored.annotation_count(), store.annotation_count());
         for id in store.image_ids() {
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn id_allocation_never_collides_after_restore(rows in proptest::collection::vec(arb_row(), 1..10)) {
         let store = populate(&rows);
-        let restored = VisualStore::from_snapshot(store.snapshot());
+        let restored = VisualStore::from_snapshot(store.snapshot()).unwrap();
         let before = restored.image_ids();
         let meta = ImageMeta {
             uploader: UserId(0),

@@ -24,6 +24,7 @@ fn main() {
         RateLimitConfig {
             burst: 10_000,
             per_second: 10_000.0,
+            ..Default::default()
         },
     );
     let key = server.issue_key(dept);
