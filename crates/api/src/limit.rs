@@ -65,6 +65,15 @@ impl RateLimiter {
     /// Attempts to take one token for `key` at time `now_ms`; `true`
     /// means the request may proceed.
     pub fn allow(&self, key: &str, now_ms: i64) -> bool {
+        self.check(key, now_ms).is_ok()
+    }
+
+    /// Attempts to take one token for `key` at time `now_ms`. On denial
+    /// returns the number of milliseconds until the bucket will have
+    /// refilled a whole token — the `retry_after_ms` hint a 429 response
+    /// carries so well-behaved clients (the edge transport) can sleep
+    /// exactly as long as needed instead of guessing with backoff.
+    pub fn check(&self, key: &str, now_ms: i64) -> Result<(), u64> {
         let mut buckets = self.buckets.lock();
         if !buckets.contains_key(key) && buckets.len() >= self.config.max_keys {
             // Evict the bucket whose clock is stalest (ties broken by
@@ -90,9 +99,14 @@ impl RateLimiter {
         bucket.last_ms = bucket.last_ms.max(now_ms);
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
-            true
+            Ok(())
         } else {
-            false
+            // Time for the deficit to refill at `per_second`, rounded up
+            // so retrying exactly `retry_after_ms` later always succeeds
+            // (absent competing traffic on the same key).
+            let deficit = 1.0 - bucket.tokens;
+            let ms = (deficit / self.config.per_second * 1000.0).ceil();
+            Err(ms as u64)
         }
     }
 
@@ -156,6 +170,22 @@ mod tests {
         assert!(limiter.allow("k", 1_000_000));
         assert!(limiter.allow("k", 1_000_000));
         assert!(!limiter.allow("k", 1_000_000));
+    }
+
+    #[test]
+    fn denial_reports_exact_refill_time() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 1,
+            per_second: 2.0, // one token per 500 ms
+            ..Default::default()
+        });
+        assert_eq!(limiter.check("k", 0), Ok(()));
+        // Empty bucket: a whole token is 500 ms away.
+        assert_eq!(limiter.check("k", 0), Err(500));
+        // 300 ms later 0.6 tokens have refilled; 0.4 remain = 200 ms.
+        assert_eq!(limiter.check("k", 300), Err(200));
+        // Waiting exactly the hinted time succeeds.
+        assert_eq!(limiter.check("k", 500), Ok(()));
     }
 
     #[test]

@@ -1,36 +1,70 @@
 //! The endpoint router.
+//!
+//! Requests carry their JSON body as a *string* and responses carry a
+//! parsed [`Value`] tree — both sides of the wire format go through the
+//! workspace's own codec ([`tvdp_storage::codec`]), so the API layer
+//! runs without any external JSON machinery. The one exception is model
+//! weights (`models/upload`, `models/download` with `include_weights`),
+//! which still ride the serde exchange format of
+//! [`tvdp_ml::SerializableModel`].
+//!
+//! Mutating uploads may attach an [`ApiRequest::idempotency_key`]: the
+//! platform stores the first outcome per key and replays it verbatim on
+//! retransmission, which is what makes at-least-once edge transports
+//! (see `tvdp-edge`) safe — acked once means ingested exactly once.
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-use serde_json::{json, Value};
-
 use tvdp_core::models::ModelInterface;
 use tvdp_core::platform::Algorithm;
-use tvdp_core::{PlatformError, Tvdp};
+use tvdp_core::{IngestRequest, PlatformError, Tvdp};
 use tvdp_edge::{DeviceClass, DispatchConstraints};
-use tvdp_geo::{Fov, GeoPoint};
+use tvdp_geo::{AngularRange, Fov, GeoPoint, GeoPolygon};
 use tvdp_ml::SerializableModel;
-use tvdp_query::Query;
+use tvdp_query::{Query, SpatialQuery, TemporalField, TextualMode, VisualMode};
+use tvdp_storage::codec::{self, Value};
 use tvdp_storage::{ClassificationId, ImageId, ModelId, UserId};
-use tvdp_vision::{FeatureKind, Image};
+use tvdp_vision::Image;
 
 use crate::keys::ApiKeyRegistry;
 use crate::limit::{RateLimitConfig, RateLimiter};
 
-/// An API request: key, endpoint path, JSON body.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// An API request: key, endpoint path, JSON body text, and an optional
+/// idempotency key for mutating endpoints.
+#[derive(Debug, Clone)]
 pub struct ApiRequest {
     /// The caller's API key.
     pub key: String,
     /// Endpoint path, e.g. `"data/search"`.
     pub endpoint: String,
-    /// JSON body (endpoint-specific).
-    pub body: Value,
+    /// JSON body text (endpoint-specific); an empty string is treated
+    /// as `{}`.
+    pub body: String,
+    /// When set on `data/add`, retransmissions carrying the same key
+    /// are deduplicated server-side and answered with the original
+    /// response, byte for byte.
+    pub idempotency_key: Option<String>,
 }
 
-/// An API response: HTTP-style status plus JSON body.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl ApiRequest {
+    /// Convenience constructor for a request without an idempotency
+    /// key.
+    pub fn new(
+        key: impl Into<String>,
+        endpoint: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Self {
+        Self {
+            key: key.into(),
+            endpoint: endpoint.into(),
+            body: body.into(),
+            idempotency_key: None,
+        }
+    }
+}
+
+/// An API response: HTTP-style status plus parsed JSON body.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApiResponse {
     /// 200 on success; 4xx on caller errors; 429 when throttled.
     pub status: u16,
@@ -46,7 +80,7 @@ impl ApiResponse {
     fn err(status: u16, message: impl std::fmt::Display) -> Self {
         Self {
             status,
-            body: json!({ "error": message.to_string() }),
+            body: obj(vec![("error", Value::str(message.to_string()))]),
         }
     }
 
@@ -54,6 +88,21 @@ impl ApiResponse {
     pub fn is_ok(&self) -> bool {
         self.status == 200
     }
+
+    /// The response body rendered to compact JSON — the exact bytes a
+    /// wire transport would carry.
+    pub fn render_body(&self) -> String {
+        self.body.render()
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn status_for(e: &PlatformError) -> u16 {
@@ -66,100 +115,187 @@ fn status_for(e: &PlatformError) -> u16 {
     }
 }
 
-#[derive(Debug, Deserialize)]
-struct FovBody {
-    heading_deg: f64,
-    angle_deg: f64,
-    radius_m: f64,
+// ---------------------------------------------------------------------
+// Body decoding: hand-written mirrors of the serde shapes the wire
+// format used historically (externally tagged enums, field-for-field
+// structs), so existing client payloads keep working unchanged.
+// ---------------------------------------------------------------------
+
+type ParseError = String;
+
+/// An optional object field: absent or `null` both mean `None`.
+fn opt_field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    v.get(name).filter(|f| !f.is_null())
 }
 
-#[derive(Debug, Deserialize)]
-struct AddDataBody {
-    width: usize,
-    height: usize,
-    /// Interleaved RGB bytes, length `width * height * 3`.
-    pixels: Vec<u8>,
-    lat: f64,
-    lon: f64,
-    fov: Option<FovBody>,
-    captured_at: i64,
-    uploaded_at: i64,
-    #[serde(default)]
-    keywords: Vec<String>,
+/// Pixel payloads arrive either as a JSON byte array (legacy clients)
+/// or as a lowercase hex string (half the size; what the edge transport
+/// sends).
+fn decode_pixels(v: &Value) -> Result<Vec<u8>, ParseError> {
+    match v {
+        Value::Str(hex) => codec::hex_decode(hex),
+        Value::Arr(items) => items.iter().map(|b| codec::num(b, "pixels")).collect(),
+        _ => Err("pixels: expected a hex string or a byte array".into()),
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct SearchBody {
-    query: Query,
+fn decode_strings(items: &[Value], what: &str) -> Result<Vec<String>, ParseError> {
+    items
+        .iter()
+        .map(|s| match s {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(format!("{what}: expected strings")),
+        })
+        .collect()
 }
 
-#[derive(Debug, Deserialize)]
-struct DownloadBody {
-    ids: Vec<u64>,
-    #[serde(default)]
-    include_pixels: bool,
+fn decode_ids(items: &[Value], what: &str) -> Result<Vec<u64>, ParseError> {
+    items.iter().map(|v| codec::num(v, what)).collect()
 }
 
-#[derive(Debug, Deserialize)]
-struct ExtractBody {
-    width: usize,
-    height: usize,
-    pixels: Vec<u8>,
+fn decode_fov_body(v: &Value, gps: GeoPoint) -> Result<Fov, ParseError> {
+    Ok(Fov::new(
+        gps,
+        codec::num_field(v, "heading_deg")?,
+        codec::num_field(v, "angle_deg")?,
+        codec::num_field(v, "radius_m")?,
+    ))
 }
 
-#[derive(Debug, Deserialize)]
-struct ApplyModelBody {
-    model: u64,
-    images: Vec<u64>,
+fn decode_visual_mode(v: &Value) -> Result<VisualMode, ParseError> {
+    if let Some(k) = v.get("TopK") {
+        Ok(VisualMode::TopK(codec::num(k, "TopK")?))
+    } else if let Some(t) = v.get("Threshold") {
+        Ok(VisualMode::Threshold(codec::num(t, "Threshold")?))
+    } else {
+        Err("visual mode: expected `TopK` or `Threshold`".into())
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct DownloadModelBody {
-    model: u64,
-    /// Include the serialized weights (edge deployment); metadata-only
-    /// responses stay small.
-    #[serde(default)]
-    include_weights: bool,
+fn decode_textual_mode(v: &Value) -> Result<TextualMode, ParseError> {
+    match v {
+        Value::Str(s) if s == "All" => Ok(TextualMode::All),
+        Value::Str(s) if s == "Any" => Ok(TextualMode::Any),
+        _ => {
+            if let Some(k) = v.get("Ranked") {
+                Ok(TextualMode::Ranked(codec::num(k, "Ranked")?))
+            } else {
+                Err("textual mode: expected `All`, `Any`, or `Ranked`".into())
+            }
+        }
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct UploadModelBody {
-    name: String,
-    scheme: u64,
-    feature_kind: FeatureKind,
-    input_dim: usize,
-    /// A serialized [`SerializableModel`].
-    weights: Value,
+fn decode_temporal_field(v: &Value) -> Result<TemporalField, ParseError> {
+    match v {
+        Value::Str(s) if s == "Captured" => Ok(TemporalField::Captured),
+        Value::Str(s) if s == "Uploaded" => Ok(TemporalField::Uploaded),
+        _ => Err("temporal field: expected `Captured` or `Uploaded`".into()),
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct DeviseModelBody {
-    name: String,
-    scheme: u64,
-    feature_kind: FeatureKind,
-    algorithm: Algorithm,
+fn decode_spatial(v: &Value) -> Result<SpatialQuery, ParseError> {
+    if let Some(b) = v.get("Range") {
+        Ok(SpatialQuery::Range(codec::decode_bbox(b)?))
+    } else if let Some(n) = v.get("Nearest") {
+        Ok(SpatialQuery::Nearest {
+            point: codec::decode_point(codec::field(n, "point")?)?,
+            k: codec::num_field(n, "k")?,
+        })
+    } else if let Some(p) = v.get("Covering") {
+        Ok(SpatialQuery::Covering(codec::decode_point(p)?))
+    } else if let Some(w) = v.get("Within") {
+        let vertices = codec::arr_field(w, "vertices")?
+            .iter()
+            .map(codec::decode_point)
+            .collect::<Result<Vec<_>, _>>()?;
+        if vertices.len() < 3 {
+            return Err("Within: a polygon needs at least three vertices".into());
+        }
+        Ok(SpatialQuery::Within(GeoPolygon::new(vertices)))
+    } else if let Some(d) = v.get("Directed") {
+        let dirs = codec::field(d, "directions")?;
+        Ok(SpatialQuery::Directed {
+            region: codec::decode_bbox(codec::field(d, "region")?)?,
+            directions: AngularRange::new(
+                codec::num_field(dirs, "start")?,
+                codec::num_field(dirs, "width")?,
+            ),
+        })
+    } else {
+        Err(
+            "spatial query: expected `Range`, `Nearest`, `Covering`, `Within`, or `Directed`"
+                .into(),
+        )
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct RegisterSchemeBody {
-    name: String,
-    labels: Vec<String>,
+fn decode_query(v: &Value) -> Result<Query, ParseError> {
+    if let Some(s) = v.get("Spatial") {
+        Ok(Query::Spatial(decode_spatial(s)?))
+    } else if let Some(o) = v.get("Visual") {
+        Ok(Query::Visual {
+            example: codec::decode_vector(codec::field(o, "example")?)?,
+            kind: codec::decode_kind(codec::field(o, "kind")?)?,
+            mode: decode_visual_mode(codec::field(o, "mode")?)?,
+        })
+    } else if let Some(o) = v.get("Categorical") {
+        Ok(Query::Categorical {
+            scheme: ClassificationId(codec::num_field(o, "scheme")?),
+            label: codec::num_field(o, "label")?,
+            min_confidence: codec::num_field(o, "min_confidence")?,
+        })
+    } else if let Some(o) = v.get("Textual") {
+        Ok(Query::Textual {
+            text: codec::str_field(o, "text")?.to_string(),
+            mode: decode_textual_mode(codec::field(o, "mode")?)?,
+        })
+    } else if let Some(o) = v.get("Temporal") {
+        Ok(Query::Temporal {
+            field: decode_temporal_field(codec::field(o, "field")?)?,
+            from: codec::num_field(o, "from")?,
+            to: codec::num_field(o, "to")?,
+        })
+    } else if let Some(subs) = v.get("And") {
+        Ok(Query::And(decode_queries(subs)?))
+    } else if let Some(subs) = v.get("Or") {
+        Ok(Query::Or(decode_queries(subs)?))
+    } else {
+        Err(
+            "query: expected one of `Spatial`, `Visual`, `Categorical`, `Textual`, `Temporal`, \
+             `And`, `Or`"
+                .into(),
+        )
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct AnnotateBody {
-    image: u64,
-    scheme: u64,
-    label: usize,
+fn decode_queries(v: &Value) -> Result<Vec<Query>, ParseError> {
+    match v {
+        Value::Arr(items) => items.iter().map(decode_query).collect(),
+        _ => Err("And/Or: expected an array of sub-queries".into()),
+    }
 }
 
-#[derive(Debug, Deserialize)]
-struct DispatchBody {
-    device: String,
-    max_latency_ms: f64,
-    min_accuracy: Option<f64>,
-    #[serde(default)]
-    min_inferences_per_charge: Option<u64>,
+fn decode_algorithm(v: &Value) -> Result<Algorithm, ParseError> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "DecisionTree" => Ok(Algorithm::DecisionTree),
+            "NaiveBayes" => Ok(Algorithm::NaiveBayes),
+            "Svm" => Ok(Algorithm::Svm),
+            "LogisticRegression" => Ok(Algorithm::LogisticRegression),
+            "Mlp" => Ok(Algorithm::Mlp),
+            other => Err(format!("unknown algorithm `{other}`")),
+        },
+        _ => {
+            if let Some(k) = v.get("Knn") {
+                Ok(Algorithm::Knn(codec::num(k, "Knn")?))
+            } else if let Some(n) = v.get("RandomForest") {
+                Ok(Algorithm::RandomForest(codec::num(n, "RandomForest")?))
+            } else {
+                Err("algorithm: expected a name or `Knn`/`RandomForest`".into())
+            }
+        }
+    }
 }
 
 /// The TVDP API server: routes authenticated, rate-limited requests to
@@ -201,183 +337,283 @@ impl ApiServer {
     }
 
     /// Handles one request at wall-clock `now_ms`.
+    ///
+    /// Throttled requests are answered with status 429 and a body that
+    /// carries `retry_after_ms`, computed from the caller's token
+    /// bucket: retrying after exactly that long succeeds (absent
+    /// competing traffic on the same key). The edge transport honours
+    /// the hint instead of blind exponential backoff.
     pub fn handle(&self, request: &ApiRequest, now_ms: i64) -> ApiResponse {
         let Some(user) = self.keys.validate(&request.key) else {
             return ApiResponse::err(401, "invalid API key");
         };
-        if !self.limiter.allow(&request.key, now_ms) {
-            return ApiResponse::err(429, "rate limit exceeded");
+        if let Err(retry_after_ms) = self.limiter.check(&request.key, now_ms) {
+            return ApiResponse {
+                status: 429,
+                body: obj(vec![
+                    ("error", Value::str("rate limit exceeded")),
+                    ("retry_after_ms", Value::num(retry_after_ms)),
+                ]),
+            };
         }
+        let body = if request.body.trim().is_empty() {
+            Value::Obj(Vec::new())
+        } else {
+            match codec::parse(&request.body) {
+                Ok(v) => v,
+                Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
+            }
+        };
         match request.endpoint.as_str() {
-            "data/add" => self.add_data(user, &request.body),
-            "data/search" => self.search(&request.body),
-            "data/download" => self.download(&request.body),
-            "features/extract" => self.extract(&request.body),
-            "models/apply" => self.apply_model(&request.body),
-            "models/download" => self.download_model(&request.body),
-            "models/devise" => self.devise_model(user, &request.body),
-            "models/upload" => self.upload_model(user, &request.body),
-            "schemes/register" => self.register_scheme(&request.body),
-            "annotations/add" => self.annotate(user, &request.body),
-            "edge/dispatch" => self.dispatch(&request.body),
+            "data/add" => self.add_data(user, &body, request.idempotency_key.as_deref()),
+            "data/search" => self.search(&body),
+            "data/download" => self.download(&body),
+            "features/extract" => self.extract(&body),
+            "models/apply" => self.apply_model(&body),
+            "models/download" => self.download_model(&body),
+            "models/devise" => self.devise_model(user, &body),
+            "models/upload" => self.upload_model(user, &body),
+            "schemes/register" => self.register_scheme(&body),
+            "annotations/add" => self.annotate(user, &body),
+            "edge/dispatch" => self.dispatch(&body),
             "stats" => {
                 let s = self.platform.stats();
-                ApiResponse::ok(json!({
-                    "images": s.images,
-                    "annotations": s.annotations,
-                    "models": s.models,
-                    "users": s.users,
-                }))
+                ApiResponse::ok(obj(vec![
+                    ("images", Value::num(s.images)),
+                    ("annotations", Value::num(s.annotations)),
+                    ("models", Value::num(s.models)),
+                    ("users", Value::num(s.users)),
+                ]))
             }
             other => ApiResponse::err(404, format!("unknown endpoint {other}")),
         }
     }
 
-    fn parse<T: serde::de::DeserializeOwned>(body: &Value) -> Result<T, ApiResponse> {
-        serde_json::from_value(body.clone())
-            .map_err(|e| ApiResponse::err(400, format!("bad request body: {e}")))
-    }
-
-    fn add_data(&self, user: UserId, body: &Value) -> ApiResponse {
-        let b: AddDataBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+    fn add_data(&self, user: UserId, body: &Value, idempotency_key: Option<&str>) -> ApiResponse {
+        let parsed = (|| -> Result<_, ParseError> {
+            let width: usize = codec::num_field(body, "width")?;
+            let height: usize = codec::num_field(body, "height")?;
+            let pixels = decode_pixels(codec::field(body, "pixels")?)?;
+            let lat: f64 = codec::num_field(body, "lat")?;
+            let lon: f64 = codec::num_field(body, "lon")?;
+            let captured_at: i64 = codec::num_field(body, "captured_at")?;
+            let uploaded_at: i64 = codec::num_field(body, "uploaded_at")?;
+            let keywords = match opt_field(body, "keywords") {
+                Some(Value::Arr(items)) => decode_strings(items, "keywords")?,
+                Some(_) => return Err("keywords: expected an array".into()),
+                None => Vec::new(),
+            };
+            Ok((
+                width,
+                height,
+                pixels,
+                lat,
+                lon,
+                captured_at,
+                uploaded_at,
+                keywords,
+            ))
+        })();
+        let (width, height, pixels, lat, lon, captured_at, uploaded_at, keywords) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        if b.pixels.len() != b.width * b.height * 3 {
+        if pixels.len() != width * height * 3 {
             return ApiResponse::err(400, "pixel buffer size mismatch");
         }
-        let Some(gps) = GeoPoint::try_new(b.lat, b.lon) else {
+        let Some(gps) = GeoPoint::try_new(lat, lon) else {
             return ApiResponse::err(400, "invalid coordinates");
         };
-        let fov = b
-            .fov
-            .map(|f| Fov::new(gps, f.heading_deg, f.angle_deg, f.radius_m));
-        let image = Image::from_raw(b.width, b.height, b.pixels);
-        match self.platform.ingest(
-            user,
-            image,
-            tvdp_core::IngestRequest {
-                gps,
-                fov,
-                captured_at: b.captured_at,
-                uploaded_at: b.uploaded_at,
-                keywords: b.keywords,
+        let fov = match opt_field(body, "fov") {
+            Some(f) => match decode_fov_body(f, gps) {
+                Ok(f) => Some(f),
+                Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
             },
-        ) {
-            Ok(id) => ApiResponse::ok(json!({ "image": id.raw() })),
+            None => None,
+        };
+        let image = Image::from_raw(width, height, pixels);
+        let request = IngestRequest {
+            gps,
+            fov,
+            captured_at,
+            uploaded_at,
+            keywords,
+        };
+        let outcome = match idempotency_key {
+            Some(key) => self
+                .platform
+                .ingest_idempotent(user, image, request, key)
+                .map(|(id, _replayed)| id),
+            None => self.platform.ingest(user, image, request),
+        };
+        match outcome {
+            Ok(id) => ApiResponse::ok(obj(vec![("image", Value::num(id.raw()))])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn search(&self, body: &Value) -> ApiResponse {
-        let b: SearchBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let query = match codec::field(body, "query").and_then(decode_query) {
+            Ok(q) => q,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let results = self.platform.search(&b.query);
+        let results = self.platform.search(&query);
         let rows: Vec<Value> = results
             .iter()
-            .map(|r| json!({ "image": r.image.raw(), "score": r.score }))
+            .map(|r| {
+                obj(vec![
+                    ("image", Value::num(r.image.raw())),
+                    ("score", Value::num(r.score)),
+                ])
+            })
             .collect();
-        ApiResponse::ok(json!({ "count": rows.len(), "results": rows }))
+        ApiResponse::ok(obj(vec![
+            ("count", Value::num(rows.len())),
+            ("results", Value::Arr(rows)),
+        ]))
     }
 
     fn download(&self, body: &Value) -> ApiResponse {
-        let b: DownloadBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let ids = match codec::arr_field(body, "ids").and_then(|items| decode_ids(items, "ids")) {
+            Ok(ids) => ids,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
+        let include_pixels = opt_field(body, "include_pixels")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
         let mut rows = Vec::new();
-        for raw in b.ids {
+        for raw in ids {
             let id = ImageId(raw);
             let Some(record) = self.platform.store().image(id) else {
                 return ApiResponse::err(404, format!("unknown image img-{raw}"));
             };
-            let mut row = json!({
-                "image": raw,
-                "lat": record.meta.gps.lat,
-                "lon": record.meta.gps.lon,
-                "captured_at": record.meta.captured_at,
-                "uploaded_at": record.meta.uploaded_at,
-                "keywords": record.meta.keywords,
-                "augmented": record.is_augmented(),
-                "width": record.width,
-                "height": record.height,
-            });
-            if b.include_pixels {
+            let mut fields = vec![
+                ("image", Value::num(raw)),
+                ("lat", Value::num(record.meta.gps.lat)),
+                ("lon", Value::num(record.meta.gps.lon)),
+                ("captured_at", Value::num(record.meta.captured_at)),
+                ("uploaded_at", Value::num(record.meta.uploaded_at)),
+                (
+                    "keywords",
+                    Value::Arr(
+                        record
+                            .meta
+                            .keywords
+                            .iter()
+                            .map(|k| Value::str(k.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("augmented", Value::Bool(record.is_augmented())),
+                ("width", Value::num(record.width)),
+                ("height", Value::num(record.height)),
+            ];
+            if include_pixels {
                 if let Some(img) = self.platform.store().pixels(id) {
-                    row["pixels"] = json!(img.raw().to_vec());
+                    fields.push(("pixels", Value::str(codec::hex_encode(img.raw()))));
                 }
             }
-            rows.push(row);
+            rows.push(obj(fields));
         }
-        ApiResponse::ok(json!({ "items": rows }))
+        ApiResponse::ok(obj(vec![("items", Value::Arr(rows))]))
     }
 
     fn extract(&self, body: &Value) -> ApiResponse {
-        let b: ExtractBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let width: usize = codec::num_field(body, "width")?;
+            let height: usize = codec::num_field(body, "height")?;
+            let pixels = decode_pixels(codec::field(body, "pixels")?)?;
+            Ok((width, height, pixels))
+        })();
+        let (width, height, pixels) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        if b.pixels.len() != b.width * b.height * 3 {
+        if pixels.len() != width * height * 3 {
             return ApiResponse::err(400, "pixel buffer size mismatch");
         }
-        let image = Image::from_raw(b.width, b.height, b.pixels);
+        let image = Image::from_raw(width, height, pixels);
         let features = self.platform.extract_features(&image);
         let rows: Vec<Value> = features
             .into_iter()
-            .map(|(kind, v)| json!({ "kind": kind, "dim": v.len(), "vector": v }))
+            .map(|(kind, v)| {
+                obj(vec![
+                    ("kind", codec::encode_kind(kind)),
+                    ("dim", Value::num(v.len())),
+                    ("vector", codec::encode_vector(&v)),
+                ])
+            })
             .collect();
-        ApiResponse::ok(json!({ "features": rows }))
+        ApiResponse::ok(obj(vec![("features", Value::Arr(rows))]))
     }
 
     fn apply_model(&self, body: &Value) -> ApiResponse {
-        let b: ApplyModelBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let model: u64 = codec::num_field(body, "model")?;
+            let images = decode_ids(codec::arr_field(body, "images")?, "images")?;
+            Ok((model, images))
+        })();
+        let (model, images) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let images: Vec<ImageId> = b.images.into_iter().map(ImageId).collect();
-        match self.platform.apply_model(ModelId(b.model), &images) {
+        let images: Vec<ImageId> = images.into_iter().map(ImageId).collect();
+        match self.platform.apply_model(ModelId(model), &images) {
             Ok(results) => {
                 let rows: Vec<Value> = results
                     .into_iter()
                     .map(|(img, label, conf)| {
-                        json!({ "image": img.raw(), "label": label, "confidence": conf })
+                        obj(vec![
+                            ("image", Value::num(img.raw())),
+                            ("label", Value::num(label)),
+                            ("confidence", Value::num(conf)),
+                        ])
                     })
                     .collect();
-                ApiResponse::ok(json!({ "predictions": rows }))
+                ApiResponse::ok(obj(vec![("predictions", Value::Arr(rows))]))
             }
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn download_model(&self, body: &Value) -> ApiResponse {
-        let b: DownloadModelBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let model: u64 = match codec::num_field(body, "model") {
+            Ok(m) => m,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let id = ModelId(b.model);
+        let include_weights = opt_field(body, "include_weights")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let id = ModelId(model);
         let Some(interface) = self.platform.models().interface(id) else {
-            return ApiResponse::err(404, format!("unknown model model-{}", b.model));
+            return ApiResponse::err(404, format!("unknown model model-{model}"));
         };
         let Some((name, owner, algorithm)) = self.platform.models().describe(id) else {
-            return ApiResponse::err(404, format!("unknown model model-{}", b.model));
+            return ApiResponse::err(404, format!("unknown model model-{model}"));
         };
-        let mut body = json!({
-            "model": b.model,
-            "name": name,
-            "owner": owner.raw(),
-            "algorithm": algorithm,
-            "interface": {
-                "feature_kind": interface.feature_kind,
-                "input_dim": interface.input_dim,
-                "scheme": interface.scheme.raw(),
-            },
-        });
-        if b.include_weights {
+        let mut fields = vec![
+            ("model", Value::num(model)),
+            ("name", Value::str(name)),
+            ("owner", Value::num(owner.raw())),
+            ("algorithm", Value::str(algorithm)),
+            (
+                "interface",
+                obj(vec![
+                    ("feature_kind", codec::encode_kind(interface.feature_kind)),
+                    ("input_dim", Value::num(interface.input_dim)),
+                    ("scheme", Value::num(interface.scheme.raw())),
+                ]),
+            ),
+        ];
+        if include_weights {
             match self.platform.models().export(id) {
-                Some(model) => match serde_json::to_value(&model) {
-                    Ok(weights) => body["weights"] = weights,
+                // Weights still ride the serde exchange format; the
+                // rendered text is re-parsed into the response tree.
+                Some(model) => match serde_json::to_string(&model) {
+                    Ok(text) => match codec::parse(&text) {
+                        Ok(weights) => fields.push(("weights", weights)),
+                        Err(e) => return ApiResponse::err(500, format!("serialization: {e}")),
+                    },
                     Err(e) => return ApiResponse::err(500, format!("serialization: {e}")),
                 },
                 None => {
@@ -388,99 +624,141 @@ impl ApiServer {
                 }
             }
         }
-        ApiResponse::ok(body)
+        ApiResponse::ok(obj(fields))
     }
 
     fn upload_model(&self, user: UserId, body: &Value) -> ApiResponse {
-        let b: UploadModelBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let name = codec::str_field(body, "name")?.to_string();
+            let scheme: u64 = codec::num_field(body, "scheme")?;
+            let feature_kind = codec::decode_kind(codec::field(body, "feature_kind")?)?;
+            let input_dim: usize = codec::num_field(body, "input_dim")?;
+            let weights = codec::field(body, "weights")?.render();
+            Ok((name, scheme, feature_kind, input_dim, weights))
+        })();
+        let (name, scheme, feature_kind, input_dim, weights) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let model: SerializableModel = match serde_json::from_value(b.weights) {
+        let model: SerializableModel = match serde_json::from_str(&weights) {
             Ok(m) => m,
             Err(e) => return ApiResponse::err(400, format!("bad model weights: {e}")),
         };
         let interface = ModelInterface {
-            feature_kind: b.feature_kind,
-            input_dim: b.input_dim,
-            scheme: ClassificationId(b.scheme),
+            feature_kind,
+            input_dim,
+            scheme: ClassificationId(scheme),
         };
-        match self.platform.upload_model(user, b.name, interface, model) {
-            Ok(id) => ApiResponse::ok(json!({ "model": id.raw() })),
+        match self.platform.upload_model(user, name, interface, model) {
+            Ok(id) => ApiResponse::ok(obj(vec![("model", Value::num(id.raw()))])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn devise_model(&self, user: UserId, body: &Value) -> ApiResponse {
-        let b: DeviseModelBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let name = codec::str_field(body, "name")?.to_string();
+            let scheme: u64 = codec::num_field(body, "scheme")?;
+            let feature_kind = codec::decode_kind(codec::field(body, "feature_kind")?)?;
+            let algorithm = decode_algorithm(codec::field(body, "algorithm")?)?;
+            Ok((name, scheme, feature_kind, algorithm))
+        })();
+        let (name, scheme, feature_kind, algorithm) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
         match self.platform.train_model(
             user,
-            b.name,
-            ClassificationId(b.scheme),
-            b.feature_kind,
-            b.algorithm,
+            name,
+            ClassificationId(scheme),
+            feature_kind,
+            algorithm,
         ) {
-            Ok(id) => ApiResponse::ok(json!({ "model": id.raw() })),
+            Ok(id) => ApiResponse::ok(obj(vec![("model", Value::num(id.raw()))])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn register_scheme(&self, body: &Value) -> ApiResponse {
-        let b: RegisterSchemeBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let name = codec::str_field(body, "name")?.to_string();
+            let labels = decode_strings(codec::arr_field(body, "labels")?, "labels")?;
+            Ok((name, labels))
+        })();
+        let (name, labels) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        match self.platform.register_scheme(b.name, b.labels) {
-            Ok(id) => ApiResponse::ok(json!({ "scheme": id.raw() })),
+        match self.platform.register_scheme(name, labels) {
+            Ok(id) => ApiResponse::ok(obj(vec![("scheme", Value::num(id.raw()))])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn annotate(&self, user: UserId, body: &Value) -> ApiResponse {
-        let b: AnnotateBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let image: u64 = codec::num_field(body, "image")?;
+            let scheme: u64 = codec::num_field(body, "scheme")?;
+            let label: usize = codec::num_field(body, "label")?;
+            Ok((image, scheme, label))
+        })();
+        let (image, scheme, label) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        match self.platform.annotate_human(
-            user,
-            ImageId(b.image),
-            ClassificationId(b.scheme),
-            b.label,
-        ) {
-            Ok(id) => ApiResponse::ok(json!({ "annotation": id.raw() })),
+        match self
+            .platform
+            .annotate_human(user, ImageId(image), ClassificationId(scheme), label)
+        {
+            Ok(id) => ApiResponse::ok(obj(vec![("annotation", Value::num(id.raw()))])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }
 
     fn dispatch(&self, body: &Value) -> ApiResponse {
-        let b: DispatchBody = match Self::parse(body) {
-            Ok(b) => b,
-            Err(r) => return r,
+        let parsed = (|| -> Result<_, ParseError> {
+            let device = codec::str_field(body, "device")?.to_string();
+            let max_latency_ms: f64 = codec::num_field(body, "max_latency_ms")?;
+            let min_accuracy = match opt_field(body, "min_accuracy") {
+                Some(v) => Some(codec::num(v, "min_accuracy")?),
+                None => None,
+            };
+            let min_inferences_per_charge = match opt_field(body, "min_inferences_per_charge") {
+                Some(v) => Some(codec::num(v, "min_inferences_per_charge")?),
+                None => None,
+            };
+            Ok((
+                device,
+                max_latency_ms,
+                min_accuracy,
+                min_inferences_per_charge,
+            ))
+        })();
+        let (device, max_latency_ms, min_accuracy, min_inferences_per_charge) = match parsed {
+            Ok(p) => p,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let device = match b.device.to_lowercase().as_str() {
+        let device = match device.to_lowercase().as_str() {
             "desktop" => DeviceClass::Desktop,
             "smartphone" | "phone" => DeviceClass::Smartphone,
             "rpi" | "raspberrypi" | "raspberry_pi" => DeviceClass::RaspberryPi,
             other => return ApiResponse::err(400, format!("unknown device {other}")),
         };
         let constraints = DispatchConstraints {
-            max_latency_ms: b.max_latency_ms,
-            min_accuracy: b.min_accuracy,
-            min_inferences_per_charge: b.min_inferences_per_charge,
+            max_latency_ms,
+            min_accuracy,
+            min_inferences_per_charge,
         };
         match self
             .platform
             .dispatch_to_device(&device.profile(), &constraints)
         {
-            Some(model) => ApiResponse::ok(json!({
-                "model": model.name,
-                "mflops": model.mflops,
-                "download_bytes": model.download_bytes(),
-                "accuracy": model.accuracy,
-            })),
+            Some(model) => ApiResponse::ok(obj(vec![
+                ("model", Value::str(model.name)),
+                ("mflops", Value::num(model.mflops)),
+                ("download_bytes", Value::num(model.download_bytes())),
+                ("accuracy", Value::num(model.accuracy)),
+            ])),
             None => ApiResponse::err(409, "no model satisfies the constraints"),
         }
     }

@@ -1,12 +1,11 @@
 //! End-to-end API-layer tests: the paper's seven endpoint families over
-//! a live platform.
+//! a live platform, with JSON-text request bodies.
 
 use std::sync::Arc;
 
-use serde_json::json;
-
 use tvdp_api::{ApiRequest, ApiServer, RateLimitConfig};
 use tvdp_core::{PlatformConfig, Role, Tvdp};
+use tvdp_storage::codec;
 use tvdp_vision::{CnnConfig, Image};
 
 fn fast_platform() -> Arc<Tvdp> {
@@ -33,35 +32,26 @@ fn scene(class: usize, seed: usize) -> Image {
     })
 }
 
-fn add_body(class: usize, seed: usize, lat: f64) -> serde_json::Value {
+fn add_body(class: usize, seed: usize, lat: f64) -> String {
     let img = scene(class, seed);
-    json!({
-        "width": img.width(),
-        "height": img.height(),
-        "pixels": img.raw().to_vec(),
-        "lat": lat,
-        "lon": -118.25,
-        "fov": { "heading_deg": 90.0, "angle_deg": 60.0, "radius_m": 80.0 },
-        "captured_at": 1000 + seed,
-        "uploaded_at": 1100 + seed,
-        "keywords": ["street", if class == 0 { "red" } else { "blue" }],
-    })
+    format!(
+        concat!(
+            r#"{{"width":{},"height":{},"pixels":"{}","lat":{},"lon":-118.25,"#,
+            r#""fov":{{"heading_deg":90.0,"angle_deg":60.0,"radius_m":80.0}},"#,
+            r#""captured_at":{},"uploaded_at":{},"keywords":["street","{}"]}}"#
+        ),
+        img.width(),
+        img.height(),
+        codec::hex_encode(img.raw()),
+        lat,
+        1000 + seed,
+        1100 + seed,
+        if class == 0 { "red" } else { "blue" },
+    )
 }
 
-fn call(
-    server: &ApiServer,
-    key: &str,
-    endpoint: &str,
-    body: serde_json::Value,
-) -> tvdp_api::ApiResponse {
-    server.handle(
-        &ApiRequest {
-            key: key.into(),
-            endpoint: endpoint.into(),
-            body,
-        },
-        0,
-    )
+fn call(server: &ApiServer, key: &str, endpoint: &str, body: &str) -> tvdp_api::ApiResponse {
+    server.handle(&ApiRequest::new(key, endpoint, body), 0)
 }
 
 #[test]
@@ -84,7 +74,7 @@ fn full_workflow_through_the_api() {
             &server,
             &key,
             "schemes/register",
-            json!({ "name": "binary", "labels": ["red", "blue"] }),
+            r#"{"name":"binary","labels":["red","blue"]}"#,
         );
         assert!(r.is_ok(), "{r:?}");
         r.body["scheme"].as_u64().unwrap()
@@ -96,7 +86,7 @@ fn full_workflow_through_the_api() {
             &server,
             &key,
             "data/add",
-            add_body(class, i, 34.0 + i as f64 * 1e-4),
+            &add_body(class, i, 34.0 + i as f64 * 1e-4),
         );
         assert!(r.is_ok(), "{r:?}");
         let id = r.body["image"].as_u64().unwrap();
@@ -104,7 +94,7 @@ fn full_workflow_through_the_api() {
             &server,
             &key,
             "annotations/add",
-            json!({ "image": id, "scheme": scheme, "label": class }),
+            &format!(r#"{{"image":{id},"scheme":{scheme},"label":{class}}}"#),
         );
         assert!(a.is_ok(), "{a:?}");
         ids.push(id);
@@ -115,23 +105,38 @@ fn full_workflow_through_the_api() {
         &server,
         &key,
         "data/search",
-        json!({ "query": { "Textual": { "text": "red", "mode": "All" } } }),
+        r#"{"query":{"Textual":{"text":"red","mode":"All"}}}"#,
     );
     assert!(r.is_ok(), "{r:?}");
     assert_eq!(r.body["count"].as_u64().unwrap(), 6);
 
-    // (3) Download: metadata plus pixels round-trip.
+    // A compound query exercises the hand-written decoder's recursion.
+    let r = call(
+        &server,
+        &key,
+        "data/search",
+        concat!(
+            r#"{"query":{"And":[{"Textual":{"text":"red","mode":"All"}},"#,
+            r#"{"Spatial":{"Range":{"min_lat":33.9,"min_lon":-119.0,"#,
+            r#""max_lat":34.1,"max_lon":-118.0}}}]}}"#
+        ),
+    );
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.body["count"].as_u64().unwrap(), 6);
+
+    // (3) Download: metadata plus pixels round-trip (pixels as hex).
     let r = call(
         &server,
         &key,
         "data/download",
-        json!({ "ids": [ids[0]], "include_pixels": true }),
+        &format!(r#"{{"ids":[{}],"include_pixels":true}}"#, ids[0]),
     );
     assert!(r.is_ok());
     let item = &r.body["items"][0];
     assert_eq!(item["width"].as_u64().unwrap(), 24);
-    assert_eq!(item["pixels"].as_array().unwrap().len(), 24 * 24 * 3);
-    assert_eq!(item["keywords"][0], "street");
+    let pixels = codec::hex_decode(item["pixels"].as_str().unwrap()).unwrap();
+    assert_eq!(pixels.len(), 24 * 24 * 3);
+    assert_eq!(item["keywords"][0].as_str().unwrap(), "street");
 
     // (4) Get visual features for a new image without storing it.
     let img = scene(0, 99);
@@ -139,12 +144,17 @@ fn full_workflow_through_the_api() {
         &server,
         &key,
         "features/extract",
-        json!({ "width": img.width(), "height": img.height(), "pixels": img.raw().to_vec() }),
+        &format!(
+            r#"{{"width":{},"height":{},"pixels":"{}"}}"#,
+            img.width(),
+            img.height(),
+            codec::hex_encode(img.raw())
+        ),
     );
     assert!(r.is_ok());
     let feats = r.body["features"].as_array().unwrap();
     assert_eq!(feats.len(), 2, "color histogram + CNN");
-    let stats_before = call(&server, &key, "stats", json!({}));
+    let stats_before = call(&server, &key, "stats", "{}");
     assert_eq!(
         stats_before.body["images"].as_u64().unwrap(),
         12,
@@ -156,16 +166,23 @@ fn full_workflow_through_the_api() {
         &server,
         &key,
         "models/devise",
-        json!({ "name": "red-vs-blue", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "Svm" }),
+        &format!(
+            r#"{{"name":"red-vs-blue","scheme":{scheme},"feature_kind":"Cnn","algorithm":"Svm"}}"#
+        ),
     );
     assert!(r.is_ok(), "{r:?}");
     let model = r.body["model"].as_u64().unwrap();
 
     // (6) Download the model's interface.
-    let r = call(&server, &key, "models/download", json!({ "model": model }));
+    let r = call(
+        &server,
+        &key,
+        "models/download",
+        &format!(r#"{{"model":{model}}}"#),
+    );
     assert!(r.is_ok());
-    assert_eq!(r.body["algorithm"], "SVM");
-    assert_eq!(r.body["interface"]["feature_kind"], "Cnn");
+    assert_eq!(r.body["algorithm"].as_str().unwrap(), "SVM");
+    assert_eq!(r.body["interface"]["feature_kind"].as_str().unwrap(), "Cnn");
 
     // (5) Use the model: upload two fresh images and classify them.
     let fresh: Vec<u64> = (0..2)
@@ -174,7 +191,7 @@ fn full_workflow_through_the_api() {
                 &server,
                 &key,
                 "data/add",
-                add_body(class, 50 + class, 34.01),
+                &add_body(class, 50 + class, 34.01),
             );
             r.body["image"].as_u64().unwrap()
         })
@@ -183,7 +200,10 @@ fn full_workflow_through_the_api() {
         &server,
         &key,
         "models/apply",
-        json!({ "model": model, "images": fresh }),
+        &format!(
+            r#"{{"model":{model},"images":[{},{}]}}"#,
+            fresh[0], fresh[1]
+        ),
     );
     assert!(r.is_ok(), "{r:?}");
     let preds = r.body["predictions"].as_array().unwrap();
@@ -196,16 +216,60 @@ fn full_workflow_through_the_api() {
         &server,
         &key,
         "edge/dispatch",
-        json!({ "device": "rpi", "max_latency_ms": 700.0 }),
+        r#"{"device":"rpi","max_latency_ms":700.0}"#,
     );
     assert!(r.is_ok());
     assert!(r.body["model"].as_str().unwrap().starts_with("MobileNet"));
 
     // Final stats reflect everything.
-    let r = call(&server, &key, "stats", json!({}));
+    let r = call(&server, &key, "stats", "{}");
     assert_eq!(r.body["images"].as_u64().unwrap(), 14);
     assert_eq!(r.body["models"].as_u64().unwrap(), 1);
     assert!(r.body["annotations"].as_u64().unwrap() >= 14);
+}
+
+#[test]
+fn idempotent_ingest_replays_the_original_response() {
+    let platform = fast_platform();
+    let user = platform.register_user("edge-7", Role::CommunityPartner);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig {
+            burst: 1000,
+            per_second: 1000.0,
+            ..Default::default()
+        },
+    );
+    let key = server.issue_key(user);
+
+    // An edge client uploads with an idempotency key; the ack is lost
+    // in transit (simulated: the client never observes `first`), so it
+    // retransmits the identical request.
+    let request = ApiRequest {
+        key: key.clone(),
+        endpoint: "data/add".into(),
+        body: add_body(0, 3, 34.02),
+        idempotency_key: Some("edge7-s3".into()),
+    };
+    let first = server.handle(&request, 0);
+    assert!(first.is_ok(), "{first:?}");
+    let retry = server.handle(&request, 40);
+    assert!(retry.is_ok(), "{retry:?}");
+
+    // The replayed response is byte-identical to the original...
+    assert_eq!(retry.render_body(), first.render_body());
+    // ...and exactly one image was stored.
+    let stats = call(&server, &key, "stats", "{}");
+    assert_eq!(stats.body["images"].as_u64().unwrap(), 1);
+
+    // A different idempotency key with the same payload is a new upload.
+    let mut second = request.clone();
+    second.idempotency_key = Some("edge7-s4".into());
+    let r = server.handle(&second, 80);
+    assert!(r.is_ok());
+    assert_ne!(r.render_body(), first.render_body());
+    let stats = call(&server, &key, "stats", "{}");
+    assert_eq!(stats.body["images"].as_u64().unwrap(), 2);
 }
 
 #[test]
@@ -221,34 +285,22 @@ fn auth_and_rate_limits_enforced() {
         },
     );
     // Bad key.
-    let r = call(&server, "tvdp_nope", "stats", json!({}));
+    let r = call(&server, "tvdp_nope", "stats", "{}");
     assert_eq!(r.status, 401);
-    // Rate limit after the burst.
+    // Rate limit after the burst, with a refill hint in the body.
     let key = server.issue_key(user);
-    assert!(call(&server, &key, "stats", json!({})).is_ok());
-    assert!(call(&server, &key, "stats", json!({})).is_ok());
-    let r = call(&server, &key, "stats", json!({}));
+    assert!(call(&server, &key, "stats", "{}").is_ok());
+    assert!(call(&server, &key, "stats", "{}").is_ok());
+    let r = call(&server, &key, "stats", "{}");
     assert_eq!(r.status, 429);
-    // Refill after a second.
-    let r = server.handle(
-        &ApiRequest {
-            key: key.clone(),
-            endpoint: "stats".into(),
-            body: json!({}),
-        },
-        1_500,
-    );
-    assert!(r.is_ok());
+    let hint = r.body["retry_after_ms"].as_u64().unwrap();
+    assert_eq!(hint, 1000, "empty bucket at 1 rps refills in one second");
+    // Waiting exactly the hinted time succeeds.
+    let r = server.handle(&ApiRequest::new(key.clone(), "stats", "{}"), hint as i64);
+    assert!(r.is_ok(), "{r:?}");
     // Revoked key stops working.
     assert!(server.revoke_key(&key));
-    let r = server.handle(
-        &ApiRequest {
-            key,
-            endpoint: "stats".into(),
-            body: json!({}),
-        },
-        10_000,
-    );
+    let r = server.handle(&ApiRequest::new(key, "stats", "{}"), 10_000);
     assert_eq!(r.status, 401);
 }
 
@@ -260,10 +312,12 @@ fn error_paths_return_proper_statuses() {
     let key = server.issue_key(user);
 
     // Unknown endpoint.
-    assert_eq!(call(&server, &key, "nope/nope", json!({})).status, 404);
+    assert_eq!(call(&server, &key, "nope/nope", "{}").status, 404);
+    // Unparseable body.
+    assert_eq!(call(&server, &key, "data/add", "{not json").status, 400);
     // Malformed body.
     assert_eq!(
-        call(&server, &key, "data/add", json!({ "width": 4 })).status,
+        call(&server, &key, "data/add", r#"{"width":4}"#).status,
         400
     );
     // Pixel size mismatch.
@@ -271,8 +325,10 @@ fn error_paths_return_proper_statuses() {
         &server,
         &key,
         "data/add",
-        json!({ "width": 4, "height": 4, "pixels": [0, 0], "lat": 34.0, "lon": -118.0,
-                 "captured_at": 0, "uploaded_at": 1 }),
+        concat!(
+            r#"{"width":4,"height":4,"pixels":[0,0],"lat":34.0,"lon":-118.0,"#,
+            r#""captured_at":0,"uploaded_at":1}"#
+        ),
     );
     assert_eq!(r.status, 400);
     // Bad coordinates.
@@ -281,26 +337,38 @@ fn error_paths_return_proper_statuses() {
         &server,
         &key,
         "data/add",
-        json!({ "width": img.width(), "height": img.height(), "pixels": img.raw().to_vec(),
-                 "lat": 99.0, "lon": 0.0, "captured_at": 0, "uploaded_at": 1 }),
+        &format!(
+            concat!(
+                r#"{{"width":{},"height":{},"pixels":"{}","lat":99.0,"lon":0.0,"#,
+                r#""captured_at":0,"uploaded_at":1}}"#
+            ),
+            img.width(),
+            img.height(),
+            codec::hex_encode(img.raw())
+        ),
     );
     assert_eq!(r.status, 400);
     // Unknown model.
     assert_eq!(
-        call(&server, &key, "models/download", json!({ "model": 77 })).status,
+        call(&server, &key, "models/download", r#"{"model":77}"#).status,
         404
     );
     // Unknown image download.
     assert_eq!(
-        call(&server, &key, "data/download", json!({ "ids": [123] })).status,
+        call(&server, &key, "data/download", r#"{"ids":[123]}"#).status,
         404
+    );
+    // Bad query shape.
+    assert_eq!(
+        call(&server, &key, "data/search", r#"{"query":{"Bogus":1}}"#).status,
+        400
     );
     // Devise with no data.
     let scheme = call(
         &server,
         &key,
         "schemes/register",
-        json!({ "name": "s", "labels": ["a", "b"] }),
+        r#"{"name":"s","labels":["a","b"]}"#,
     )
     .body["scheme"]
         .as_u64()
@@ -309,7 +377,9 @@ fn error_paths_return_proper_statuses() {
         &server,
         &key,
         "models/devise",
-        json!({ "name": "m", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "NaiveBayes" }),
+        &format!(
+            r#"{{"name":"m","scheme":{scheme},"feature_kind":"Cnn","algorithm":"NaiveBayes"}}"#
+        ),
     );
     assert_eq!(r.status, 400);
     // Impossible dispatch.
@@ -317,7 +387,7 @@ fn error_paths_return_proper_statuses() {
         &server,
         &key,
         "edge/dispatch",
-        json!({ "device": "rpi", "max_latency_ms": 0.01 }),
+        r#"{"device":"rpi","max_latency_ms":0.01}"#,
     );
     assert_eq!(r.status, 409);
     // Unknown device.
@@ -325,7 +395,7 @@ fn error_paths_return_proper_statuses() {
         &server,
         &key,
         "edge/dispatch",
-        json!({ "device": "toaster", "max_latency_ms": 100.0 }),
+        r#"{"device":"toaster","max_latency_ms":100.0}"#,
     );
     assert_eq!(r.status, 400);
 }
@@ -351,7 +421,7 @@ fn model_weights_download_and_upload_roundtrip() {
         &server,
         &key,
         "schemes/register",
-        json!({ "name": "binary", "labels": ["red", "blue"] }),
+        r#"{"name":"binary","labels":["red","blue"]}"#,
     )
     .body["scheme"]
         .as_u64()
@@ -362,21 +432,21 @@ fn model_weights_download_and_upload_roundtrip() {
             &server,
             &key,
             "data/add",
-            add_body(class, i, 34.0 + i as f64 * 1e-4),
+            &add_body(class, i, 34.0 + i as f64 * 1e-4),
         );
         let id = r.body["image"].as_u64().unwrap();
         call(
             &server,
             &key,
             "annotations/add",
-            json!({ "image": id, "scheme": scheme, "label": class }),
+            &format!(r#"{{"image":{id},"scheme":{scheme},"label":{class}}}"#),
         );
     }
     let model = call(
         &server,
         &key,
         "models/devise",
-        json!({ "name": "m", "scheme": scheme, "feature_kind": "Cnn", "algorithm": "Svm" }),
+        &format!(r#"{{"name":"m","scheme":{scheme},"feature_kind":"Cnn","algorithm":"Svm"}}"#),
     )
     .body["model"]
         .as_u64()
@@ -387,7 +457,7 @@ fn model_weights_download_and_upload_roundtrip() {
         &server,
         &key,
         "models/download",
-        json!({ "model": model, "include_weights": true }),
+        &format!(r#"{{"model":{model},"include_weights":true}}"#),
     );
     assert!(r.is_ok(), "{r:?}");
     let weights = r.body["weights"].clone();
@@ -395,18 +465,25 @@ fn model_weights_download_and_upload_roundtrip() {
     let input_dim = r.body["interface"]["input_dim"].as_u64().unwrap() as usize;
 
     // ...and runs it locally, off-platform.
-    let local: SerializableModel = serde_json::from_value(weights.clone()).unwrap();
+    let local: SerializableModel = serde_json::from_str(&weights.render()).unwrap();
     let probe_features = {
         let img = scene(0, 77);
         let r = call(
             &server,
             &key,
             "features/extract",
-            json!({ "width": img.width(), "height": img.height(),
-                     "pixels": img.raw().to_vec() }),
+            &format!(
+                r#"{{"width":{},"height":{},"pixels":"{}"}}"#,
+                img.width(),
+                img.height(),
+                codec::hex_encode(img.raw())
+            ),
         );
         let feats = r.body["features"].as_array().unwrap();
-        let cnn = feats.iter().find(|f| f["kind"] == "Cnn").unwrap();
+        let cnn = feats
+            .iter()
+            .find(|f| f["kind"].as_str() == Some("Cnn"))
+            .unwrap();
         cnn["vector"]
             .as_array()
             .unwrap()
@@ -426,28 +503,35 @@ fn model_weights_download_and_upload_roundtrip() {
         &server,
         &key,
         "models/upload",
-        json!({ "name": "uploaded-copy", "scheme": scheme, "feature_kind": "Cnn",
-                 "input_dim": input_dim, "weights": weights }),
+        &format!(
+            concat!(
+                r#"{{"name":"uploaded-copy","scheme":{},"feature_kind":"Cnn","#,
+                r#""input_dim":{},"weights":{}}}"#
+            ),
+            scheme,
+            input_dim,
+            weights.render()
+        ),
     );
     assert!(r.is_ok(), "{r:?}");
     let uploaded = r.body["model"].as_u64().unwrap();
     assert_ne!(uploaded, model);
 
     // The uploaded copy predicts identically through the API.
-    let img_id = call(&server, &key, "data/add", add_body(1, 88, 34.01)).body["image"]
+    let img_id = call(&server, &key, "data/add", &add_body(1, 88, 34.01)).body["image"]
         .as_u64()
         .unwrap();
     let p1 = call(
         &server,
         &key,
         "models/apply",
-        json!({ "model": model, "images": [img_id] }),
+        &format!(r#"{{"model":{model},"images":[{img_id}]}}"#),
     );
     let p2 = call(
         &server,
         &key,
         "models/apply",
-        json!({ "model": uploaded, "images": [img_id] }),
+        &format!(r#"{{"model":{uploaded},"images":[{img_id}]}}"#),
     );
     assert_eq!(
         p1.body["predictions"][0]["label"],
@@ -455,14 +539,17 @@ fn model_weights_download_and_upload_roundtrip() {
     );
 
     // Garbage weights are rejected cleanly.
-    let r = server.handle(
-        &ApiRequest {
-            key: key.clone(),
-            endpoint: "models/upload".into(),
-            body: json!({ "name": "x", "scheme": scheme, "feature_kind": "Cnn",
-                           "input_dim": 4, "weights": {"Bogus": 1} }),
-        },
-        0,
+    let r = call(
+        &server,
+        &key,
+        "models/upload",
+        &format!(
+            concat!(
+                r#"{{"name":"x","scheme":{},"feature_kind":"Cnn","#,
+                r#""input_dim":4,"weights":{{"Bogus":1}}}}"#
+            ),
+            scheme
+        ),
     );
     assert_eq!(r.status, 400);
 }

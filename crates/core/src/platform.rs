@@ -7,7 +7,10 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use tvdp_crowd::{simulate_campaign, Campaign, SimulationConfig};
-use tvdp_edge::{DeviceProfile, DispatchConstraints, ModelDispatcher, ModelSpec, MODEL_ZOO};
+use tvdp_edge::{
+    DeviceProfile, DispatchConstraints, DispatchDecision, LinkConditions, ModelDispatcher,
+    ModelSpec, MODEL_ZOO,
+};
 use tvdp_geo::Fov;
 use tvdp_kernel::Pool;
 use tvdp_ml::mlp::MlpParams;
@@ -334,6 +337,60 @@ impl Tvdp {
         self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
         self.engine.write().index_image(id);
         Ok(id)
+    }
+
+    /// **Acquisition**: idempotent upload for at-least-once transports.
+    /// `key` is the client's idempotency key for this upload attempt; a
+    /// retry carrying the same key (e.g. after a lost acknowledgement)
+    /// returns the originally stored image with `replayed = true`
+    /// instead of storing a duplicate. The image row, both feature
+    /// vectors, and the dedup marker are recorded atomically — on
+    /// durable platforms as one composite WAL record, so an upload that
+    /// was acked once is ingested exactly once even across crashes.
+    pub fn ingest_idempotent(
+        &self,
+        user: UserId,
+        image: Image,
+        request: IngestRequest,
+        key: &str,
+    ) -> Result<(ImageId, bool), PlatformError> {
+        self.require_user(user)?;
+        // Scope the marker per uploader so two clients' self-chosen
+        // keys can never collide.
+        let marker = format!("u{}:{key}", user.0);
+        // Cheap pre-check skips feature extraction on an obvious
+        // replay; the store re-checks under its write lock.
+        if let Some(existing) = self.store.upload_marker(&marker) {
+            return Ok((existing, true));
+        }
+        let meta = ImageMeta {
+            uploader: user,
+            gps: request.gps,
+            fov: request.fov,
+            captured_at: request.captured_at,
+            uploaded_at: request.uploaded_at,
+            keywords: request.keywords,
+        };
+        let features = vec![
+            (FeatureKind::ColorHistogram, self.color.extract(&image)),
+            (FeatureKind::Cnn, self.cnn.extract(&image)),
+        ];
+        let (id, replayed) = match &self.durable {
+            Some(d) => {
+                d.ingest_upload(&marker, meta, ImageOrigin::Original, Some(image), features)?
+            }
+            None => self.store.ingest_upload(
+                &marker,
+                meta,
+                ImageOrigin::Original,
+                Some(image),
+                &features,
+            )?,
+        };
+        if !replayed {
+            self.engine.write().index_image(id);
+        }
+        Ok((id, replayed))
     }
 
     /// **Acquisition**: bulk upload with parallel feature extraction.
@@ -712,7 +769,30 @@ impl Tvdp {
         device: &DeviceProfile,
         constraints: &DispatchConstraints,
     ) -> Option<ModelSpec> {
-        ModelDispatcher::new(MODEL_ZOO.to_vec()).dispatch(device, constraints)
+        // MODEL_ZOO is non-empty, so construction cannot fail; an empty
+        // zoo simply yields no dispatch rather than an error here.
+        ModelDispatcher::new(MODEL_ZOO.to_vec())
+            .ok()?
+            .dispatch(device, constraints)
+    }
+
+    /// **Action**: chooses what to deploy given observed link health —
+    /// the graceful-degradation path. Falls back to a smaller zoo model
+    /// when the preferred one cannot download within the link budget,
+    /// and to server-side inference when the device's breaker is open
+    /// or its bandwidth has collapsed.
+    pub fn dispatch_to_device_degraded(
+        &self,
+        device: &DeviceProfile,
+        constraints: &DispatchConstraints,
+        link: &LinkConditions,
+    ) -> DispatchDecision {
+        match ModelDispatcher::new(MODEL_ZOO.to_vec()) {
+            Ok(d) => d.dispatch_degraded(device, constraints, link),
+            Err(_) => DispatchDecision::ServerSide {
+                reason: tvdp_edge::DegradeReason::NoQualifyingModel,
+            },
+        }
     }
 
     /// Aggregate statistics.
@@ -1004,6 +1084,62 @@ mod tests {
             .unwrap();
         assert_eq!(pick.name, "InceptionV3");
     }
+
+    #[test]
+    fn degraded_dispatch_reaches_the_platform_facade() {
+        let tvdp = Tvdp::new(fast_config());
+        let device = tvdp_edge::DeviceClass::Desktop.profile();
+        let healthy = tvdp.dispatch_to_device_degraded(
+            &device,
+            &DispatchConstraints::default(),
+            &LinkConditions::nominal(),
+        );
+        assert_eq!(
+            healthy.deployed().map(|m| m.name),
+            Some("InceptionV3"),
+            "nominal link deploys the preferred model"
+        );
+        let broken = tvdp.dispatch_to_device_degraded(
+            &device,
+            &DispatchConstraints::default(),
+            &LinkConditions {
+                breaker_open: true,
+                ..LinkConditions::nominal()
+            },
+        );
+        assert!(matches!(broken, DispatchDecision::ServerSide { .. }));
+    }
+
+    #[test]
+    fn ingest_idempotent_dedups_retries() {
+        let tvdp = Tvdp::new(fast_config());
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let (id, replayed) = tvdp
+            .ingest_idempotent(user, scene(0, 0), request(0), "cam7-frame3")
+            .unwrap();
+        assert!(!replayed);
+        assert!(tvdp.store().feature(id, FeatureKind::Cnn).is_some());
+        // The lost-ack retry is acknowledged without a second row.
+        let (again, replayed) = tvdp
+            .ingest_idempotent(user, scene(0, 0), request(0), "cam7-frame3")
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(again, id);
+        assert_eq!(tvdp.stats().images, 1);
+        // The same key from a different user is a different upload.
+        let other = tvdp.register_user("USC", Role::Researcher);
+        let (theirs, replayed) = tvdp
+            .ingest_idempotent(other, scene(1, 1), request(1), "cam7-frame3")
+            .unwrap();
+        assert!(!replayed);
+        assert_ne!(theirs, id);
+        // The first ingest was indexed exactly once.
+        let hits = tvdp.search(&Query::Textual {
+            text: "street".into(),
+            mode: tvdp_query::TextualMode::All,
+        });
+        assert_eq!(hits.len(), 2);
+    }
 }
 
 #[cfg(test)]
@@ -1281,5 +1417,36 @@ mod durability_tests {
         let tvdp = Tvdp::new(fast_config());
         assert!(!tvdp.is_durable());
         assert!(matches!(tvdp.flush(), Err(PlatformError::NotDurable)));
+    }
+
+    #[test]
+    fn ingest_idempotent_dedups_across_crash_recovery() {
+        let dir = temp_dir("idem");
+        let id;
+        {
+            let (tvdp, _) = Tvdp::open(&dir, fast_config()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            let (stored, replayed) = tvdp
+                .ingest_idempotent(user, scene(0, 0), request(0), "edge4-s9")
+                .unwrap();
+            assert!(!replayed);
+            id = stored;
+            // No flush: the upload must come back from the composite
+            // WAL record alone.
+        }
+        let (tvdp, report) = Tvdp::open(&dir, fast_config()).unwrap();
+        // One composite record covers image + features + marker.
+        assert_eq!(report.replayed_ops, 1);
+        assert_eq!(tvdp.stats().images, 1);
+        assert!(tvdp.store().feature(id, FeatureKind::Cnn).is_some());
+        // The client's retry after the crash still deduplicates.
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let (again, replayed) = tvdp
+            .ingest_idempotent(user, scene(0, 0), request(0), "edge4-s9")
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(again, id);
+        assert_eq!(tvdp.stats().images, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

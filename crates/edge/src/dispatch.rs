@@ -14,6 +14,23 @@ use crate::energy::{inferences_per_charge, PowerProfile};
 use crate::latency::nominal_latency_ms;
 use crate::model::ModelSpec;
 
+/// Why a dispatcher could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The model zoo was empty; there is nothing to dispatch.
+    EmptyZoo,
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::EmptyZoo => write!(f, "empty model zoo"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 /// Requirements a dispatched model must satisfy.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DispatchConstraints {
@@ -36,12 +53,87 @@ impl Default for DispatchConstraints {
     }
 }
 
+/// Observed uplink conditions a degraded-mode dispatch accounts for,
+/// typically fed from the transport's send reports and the device's
+/// circuit breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConditions {
+    /// Measured goodput toward the device, Mbit/s; `None` means assume
+    /// the device profile's nominal bandwidth.
+    pub effective_bandwidth_mbps: Option<f64>,
+    /// How long the round can wait for the model weights, seconds.
+    pub download_budget_s: f64,
+    /// Whether the device's circuit breaker is currently open.
+    pub breaker_open: bool,
+}
+
+impl LinkConditions {
+    /// Below this measured bandwidth the link is considered collapsed
+    /// and no model download is attempted at all.
+    pub const MIN_USABLE_MBPS: f64 = 0.1;
+
+    /// Nominal conditions: profile bandwidth, generous budget, breaker
+    /// closed.
+    pub fn nominal() -> Self {
+        LinkConditions {
+            effective_bandwidth_mbps: None,
+            download_budget_s: f64::INFINITY,
+            breaker_open: false,
+        }
+    }
+}
+
+/// Why a dispatch decision fell short of the preferred model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// No zoo model satisfies the device + constraint combination.
+    NoQualifyingModel,
+    /// The device's circuit breaker is open; don't push bytes at it.
+    BreakerOpen,
+    /// Measured bandwidth is below the usable floor.
+    BandwidthCollapsed,
+    /// The preferred model's weights cannot download within the budget.
+    DownloadBudgetExceeded,
+}
+
+/// Outcome of a link-aware dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchDecision {
+    /// Deploy the preferred model; the link can carry it.
+    Deploy(ModelSpec),
+    /// Deploy a smaller model than capability alone would pick.
+    Degraded {
+        /// The model actually deployed.
+        chosen: ModelSpec,
+        /// What capability-only dispatch would have picked.
+        preferred: ModelSpec,
+        /// Why the fallback happened.
+        reason: DegradeReason,
+    },
+    /// Keep inference on the server; ship nothing to the device.
+    ServerSide {
+        /// Why no on-device model is viable right now.
+        reason: DegradeReason,
+    },
+}
+
+impl DispatchDecision {
+    /// The model placed on the device, if any.
+    pub fn deployed(&self) -> Option<ModelSpec> {
+        match self {
+            DispatchDecision::Deploy(m) => Some(*m),
+            DispatchDecision::Degraded { chosen, .. } => Some(*chosen),
+            DispatchDecision::ServerSide { .. } => None,
+        }
+    }
+}
+
 /// Chooses models from a zoo for heterogeneous devices.
 ///
 /// ```
 /// use tvdp_edge::{DeviceClass, DispatchConstraints, ModelDispatcher, MODEL_ZOO};
 ///
-/// let dispatcher = ModelDispatcher::new(MODEL_ZOO.to_vec());
+/// let dispatcher = ModelDispatcher::new(MODEL_ZOO.to_vec()).unwrap();
 /// let constraints = DispatchConstraints { max_latency_ms: 700.0, ..Default::default() };
 /// // A desktop affords InceptionV3 within 700 ms; a Raspberry Pi cannot.
 /// let desktop = dispatcher.dispatch(&DeviceClass::Desktop.profile(), &constraints).unwrap();
@@ -55,22 +147,25 @@ pub struct ModelDispatcher {
 }
 
 impl ModelDispatcher {
-    /// A dispatcher over the given model variants.
-    pub fn new(zoo: Vec<ModelSpec>) -> Self {
-        assert!(!zoo.is_empty(), "empty model zoo");
-        Self { zoo }
+    /// A dispatcher over the given model variants; rejects an empty zoo
+    /// with a typed error instead of panicking.
+    pub fn new(zoo: Vec<ModelSpec>) -> Result<Self, DispatchError> {
+        if zoo.is_empty() {
+            return Err(DispatchError::EmptyZoo);
+        }
+        Ok(Self { zoo })
     }
 
-    /// The most accurate model that fits `device` under `constraints`;
-    /// `None` when nothing qualifies (caller should fall back to server-
-    /// side inference).
-    pub fn dispatch(
+    /// All zoo models qualifying for `device` under `constraints`, most
+    /// accurate first (ties broken toward the cheaper model).
+    fn qualifying(
         &self,
         device: &DeviceProfile,
         constraints: &DispatchConstraints,
-    ) -> Option<ModelSpec> {
+    ) -> Vec<ModelSpec> {
         let power = PowerProfile::for_device(device);
-        self.zoo
+        let mut out: Vec<ModelSpec> = self
+            .zoo
             .iter()
             .filter(|m| m.memory_mb() <= device.memory_mb)
             .filter(|m| nominal_latency_ms(m, device) <= constraints.max_latency_ms)
@@ -84,13 +179,74 @@ impl ModelDispatcher {
                     _ => true, // mains power or no energy constraint
                 }
             })
-            .max_by(|a, b| {
-                a.accuracy
-                    .total_cmp(&b.accuracy)
-                    // Ties: prefer the cheaper model.
-                    .then(b.mflops.total_cmp(&a.mflops))
-            })
             .copied()
+            .collect();
+        out.sort_by(|a, b| {
+            b.accuracy
+                .total_cmp(&a.accuracy)
+                // Ties: prefer the cheaper model.
+                .then(a.mflops.total_cmp(&b.mflops))
+        });
+        out
+    }
+
+    /// The most accurate model that fits `device` under `constraints`;
+    /// `None` when nothing qualifies (caller should fall back to server-
+    /// side inference).
+    pub fn dispatch(
+        &self,
+        device: &DeviceProfile,
+        constraints: &DispatchConstraints,
+    ) -> Option<ModelSpec> {
+        self.qualifying(device, constraints).first().copied()
+    }
+
+    /// Capability dispatch under observed link conditions: prefers the
+    /// [`ModelDispatcher::dispatch`] pick, degrades to the next-smaller
+    /// qualifying model when the preferred weights cannot be downloaded
+    /// within the budget, and falls back to server-side inference when
+    /// the breaker is open, bandwidth has collapsed, or nothing fits.
+    pub fn dispatch_degraded(
+        &self,
+        device: &DeviceProfile,
+        constraints: &DispatchConstraints,
+        link: &LinkConditions,
+    ) -> DispatchDecision {
+        let candidates = self.qualifying(device, constraints);
+        let Some(preferred) = candidates.first().copied() else {
+            return DispatchDecision::ServerSide {
+                reason: DegradeReason::NoQualifyingModel,
+            };
+        };
+        if link.breaker_open {
+            return DispatchDecision::ServerSide {
+                reason: DegradeReason::BreakerOpen,
+            };
+        }
+        let bandwidth = link
+            .effective_bandwidth_mbps
+            .unwrap_or(device.bandwidth_mbps);
+        if bandwidth < LinkConditions::MIN_USABLE_MBPS {
+            return DispatchDecision::ServerSide {
+                reason: DegradeReason::BandwidthCollapsed,
+            };
+        }
+        let download_s = |m: &ModelSpec| (m.download_bytes() as f64 * 8.0) / (bandwidth * 1e6);
+        let fitting = candidates
+            .iter()
+            .find(|m| download_s(m) <= link.download_budget_s)
+            .copied();
+        match fitting {
+            Some(chosen) if chosen == preferred => DispatchDecision::Deploy(chosen),
+            Some(chosen) => DispatchDecision::Degraded {
+                chosen,
+                preferred,
+                reason: DegradeReason::DownloadBudgetExceeded,
+            },
+            None => DispatchDecision::ServerSide {
+                reason: DegradeReason::DownloadBudgetExceeded,
+            },
+        }
     }
 
     /// Dispatch decisions for a whole fleet, in input order.
@@ -118,7 +274,15 @@ mod tests {
     use crate::model::MODEL_ZOO;
 
     fn dispatcher() -> ModelDispatcher {
-        ModelDispatcher::new(MODEL_ZOO.to_vec())
+        ModelDispatcher::new(MODEL_ZOO.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn empty_zoo_is_a_typed_error() {
+        assert_eq!(
+            ModelDispatcher::new(Vec::new()).unwrap_err(),
+            DispatchError::EmptyZoo
+        );
     }
 
     #[test]
@@ -194,6 +358,81 @@ mod tests {
     }
 
     #[test]
+    fn degraded_dispatch_falls_back_to_smaller_model() {
+        let desktop = DeviceClass::Desktop.profile();
+        let constraints = DispatchConstraints::default();
+        // Nominal link: the preferred (biggest) model deploys.
+        assert_eq!(
+            dispatcher().dispatch_degraded(&desktop, &constraints, &LinkConditions::nominal()),
+            DispatchDecision::Deploy(MODEL_ZOO[2])
+        );
+        // Budget only a MobileNet download fits: Inception is 95.2 MB,
+        // MobileNetV2 13.6 MB; at 10 Mbit/s they need ~76 s and ~11 s.
+        let tight = LinkConditions {
+            effective_bandwidth_mbps: Some(10.0),
+            download_budget_s: 20.0,
+            breaker_open: false,
+        };
+        match dispatcher().dispatch_degraded(&desktop, &constraints, &tight) {
+            DispatchDecision::Degraded {
+                chosen,
+                preferred,
+                reason,
+            } => {
+                assert!(chosen.name.starts_with("MobileNet"), "got {}", chosen.name);
+                assert_eq!(preferred.name, "InceptionV3");
+                assert_eq!(reason, DegradeReason::DownloadBudgetExceeded);
+            }
+            other => panic!("expected a degraded pick, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_dispatch_goes_server_side_when_link_is_dead() {
+        let phone = DeviceClass::Smartphone.profile();
+        let constraints = DispatchConstraints::default();
+        let open = LinkConditions {
+            breaker_open: true,
+            ..LinkConditions::nominal()
+        };
+        assert_eq!(
+            dispatcher().dispatch_degraded(&phone, &constraints, &open),
+            DispatchDecision::ServerSide {
+                reason: DegradeReason::BreakerOpen
+            }
+        );
+        let collapsed = LinkConditions {
+            effective_bandwidth_mbps: Some(0.01),
+            download_budget_s: 1e9,
+            breaker_open: false,
+        };
+        assert_eq!(
+            dispatcher().dispatch_degraded(&phone, &constraints, &collapsed),
+            DispatchDecision::ServerSide {
+                reason: DegradeReason::BandwidthCollapsed
+            }
+        );
+        // Budget nothing fits: even the smallest model is too slow.
+        let hopeless = LinkConditions {
+            effective_bandwidth_mbps: Some(1.0),
+            download_budget_s: 0.5,
+            breaker_open: false,
+        };
+        assert_eq!(
+            dispatcher().dispatch_degraded(&phone, &constraints, &hopeless),
+            DispatchDecision::ServerSide {
+                reason: DegradeReason::DownloadBudgetExceeded
+            }
+        );
+        assert_eq!(
+            dispatcher()
+                .dispatch_degraded(&phone, &constraints, &hopeless)
+                .deployed(),
+            None
+        );
+    }
+
+    #[test]
     fn download_time_positive_and_ordered() {
         let d = DeviceClass::Smartphone.profile();
         let small = ModelDispatcher::download_seconds(&d, &MODEL_ZOO[0]);
@@ -222,6 +461,7 @@ mod energy_dispatch_tests {
             min_inferences_per_charge: Some(inception + 1),
         };
         let pick = ModelDispatcher::new(MODEL_ZOO.to_vec())
+            .unwrap()
             .dispatch(&phone, &constraints)
             .expect("a mobile net qualifies");
         assert!(pick.name.starts_with("MobileNet"), "got {}", pick.name);
@@ -236,6 +476,7 @@ mod energy_dispatch_tests {
             min_inferences_per_charge: Some(u64::MAX),
         };
         let pick = ModelDispatcher::new(MODEL_ZOO.to_vec())
+            .unwrap()
             .dispatch(&desktop, &constraints)
             .expect("desktop unconstrained by battery");
         assert_eq!(pick.name, "InceptionV3");

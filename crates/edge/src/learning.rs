@@ -93,6 +93,40 @@ impl CrowdLearningReport {
     }
 }
 
+/// Orders a pool's indices by the edge's local selection policy:
+/// smallest prediction margin first for [`SelectionStrategy::Margin`],
+/// a seeded shuffle for [`SelectionStrategy::Random`].
+pub(crate) fn selection_order<C: Classifier>(
+    model: &C,
+    pool: &[(Vec<f32>, usize)],
+    strategy: SelectionStrategy,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    match strategy {
+        SelectionStrategy::Random => order.shuffle(rng),
+        SelectionStrategy::Margin => {
+            let mut scored: Vec<(f32, usize)> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, (x, _))| {
+                    let mut scores = model.decision_scores(x);
+                    scores.sort_by(|a, b| b.total_cmp(a));
+                    let margin = if scores.len() >= 2 {
+                        scores[0] - scores[1]
+                    } else {
+                        f32::INFINITY
+                    };
+                    (margin, i)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            order = scored.into_iter().map(|(_, i)| i).collect();
+        }
+    }
+    order
+}
+
 /// Runs the crowd-based learning loop.
 ///
 /// `make_model` builds a fresh classifier per retraining; `train` seeds
@@ -145,29 +179,7 @@ where
                 continue;
             }
             // Order the pool by the edge's local selection policy.
-            let mut order: Vec<usize> = (0..edge.pool.len()).collect();
-            match config.strategy {
-                SelectionStrategy::Random => order.shuffle(&mut rng),
-                SelectionStrategy::Margin => {
-                    let mut scored: Vec<(f32, usize)> = edge
-                        .pool
-                        .iter()
-                        .enumerate()
-                        .map(|(i, (x, _))| {
-                            let mut scores = model.decision_scores(x);
-                            scores.sort_by(|a, b| b.total_cmp(a));
-                            let margin = if scores.len() >= 2 {
-                                scores[0] - scores[1]
-                            } else {
-                                f32::INFINITY
-                            };
-                            (margin, i)
-                        })
-                        .collect();
-                    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                    order = scored.into_iter().map(|(_, i)| i).collect();
-                }
-            }
+            let order = selection_order(&model, &edge.pool, config.strategy, &mut rng);
             let take = per_round_samples.min(order.len());
             // Remove selected samples from the pool (descending indices so
             // removal doesn't shift later ones).

@@ -19,17 +19,38 @@
 //! Physical devices are not available in this environment, so latency is
 //! an analytical cost model (FLOPs / effective throughput + overhead,
 //! with seeded jitter); see DESIGN.md for the substitution argument.
+//!
+//! The acquisition path is resilient by construction: uploads travel
+//! through a deterministic fault-injected [`transport`] (drops,
+//! corruption, stalls, partitions on a virtual clock) with seeded-jitter
+//! exponential backoff, per-device circuit [`breaker`]s feed a fleet
+//! health view, and [`uplink::run_crowd_learning_resilient`] replays the
+//! learning loop over that lossy link with idempotency-keyed,
+//! exactly-once sample ingest.
 
+pub mod breaker;
 pub mod device;
 pub mod dispatch;
 pub mod energy;
+pub mod fault;
 pub mod latency;
 pub mod learning;
 pub mod model;
+pub mod transport;
+pub mod uplink;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, DeviceHealth, FleetHealth};
 pub use device::{DeviceClass, DeviceProfile};
-pub use dispatch::{DispatchConstraints, ModelDispatcher};
+pub use dispatch::{
+    DegradeReason, DispatchConstraints, DispatchDecision, DispatchError, LinkConditions,
+    ModelDispatcher,
+};
 pub use energy::{energy_per_inference_j, inferences_per_charge, PowerProfile};
+pub use fault::{Fault, FaultPlan, FaultRates, Partition};
 pub use latency::{nominal_latency_ms, simulate_inference, LatencyStats};
 pub use learning::{CrowdLearningConfig, CrowdLearningReport, EdgeNode, SelectionStrategy};
 pub use model::{ModelSpec, MODEL_ZOO};
+pub use transport::{
+    ChannelReply, EdgeTransport, RetryPolicy, SendOutcome, SendReport, UploadPacket, VirtualClock,
+};
+pub use uplink::{run_crowd_learning_resilient, ResilientLearningReport, UplinkConfig};

@@ -65,6 +65,89 @@ impl Value {
         }
     }
 
+    /// The value as a `u64`, when it is a number token that parses as one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is a number token that parses as one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, when it is a number token.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Shared sentinel so missing-field indexing can return a reference.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Panic-free object indexing: a missing field (or a non-object
+    /// receiver) yields [`Value::Null`], so chained lookups like
+    /// `body["items"][0]["width"]` degrade to `Null` instead of
+    /// panicking.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Panic-free array indexing; out-of-range (or a non-array
+    /// receiver) yields [`Value::Null`].
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Arr(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Value {
     /// Renders to compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -445,18 +528,21 @@ pub fn decode_kind(v: &Value) -> Result<FeatureKind, DecodeError> {
     }
 }
 
-fn encode_point(p: &GeoPoint) -> Value {
+/// Encodes a geographic point.
+pub fn encode_point(p: &GeoPoint) -> Value {
     obj(vec![("lat", Value::num(p.lat)), ("lon", Value::num(p.lon))])
 }
 
-fn decode_point(v: &Value) -> Result<GeoPoint, DecodeError> {
+/// Decodes a geographic point.
+pub fn decode_point(v: &Value) -> Result<GeoPoint, DecodeError> {
     Ok(GeoPoint {
         lat: num_field(v, "lat")?,
         lon: num_field(v, "lon")?,
     })
 }
 
-fn encode_fov(f: &Fov) -> Value {
+/// Encodes a field-of-view descriptor.
+pub fn encode_fov(f: &Fov) -> Value {
     obj(vec![
         ("camera", encode_point(&f.camera)),
         ("heading_deg", Value::num(f.heading_deg)),
@@ -465,7 +551,8 @@ fn encode_fov(f: &Fov) -> Value {
     ])
 }
 
-fn decode_fov(v: &Value) -> Result<Fov, DecodeError> {
+/// Decodes a field-of-view descriptor.
+pub fn decode_fov(v: &Value) -> Result<Fov, DecodeError> {
     Ok(Fov {
         camera: decode_point(field(v, "camera")?)?,
         heading_deg: num_field(v, "heading_deg")?,
@@ -474,7 +561,8 @@ fn decode_fov(v: &Value) -> Result<Fov, DecodeError> {
     })
 }
 
-fn encode_bbox(b: &BBox) -> Value {
+/// Encodes a bounding box.
+pub fn encode_bbox(b: &BBox) -> Value {
     obj(vec![
         ("min_lat", Value::num(b.min_lat)),
         ("min_lon", Value::num(b.min_lon)),
@@ -483,7 +571,8 @@ fn encode_bbox(b: &BBox) -> Value {
     ])
 }
 
-fn decode_bbox(v: &Value) -> Result<BBox, DecodeError> {
+/// Decodes a bounding box.
+pub fn decode_bbox(v: &Value) -> Result<BBox, DecodeError> {
     Ok(BBox {
         min_lat: num_field(v, "min_lat")?,
         min_lon: num_field(v, "min_lon")?,

@@ -34,5 +34,7 @@ pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
 pub use persist::{PersistError, FORMAT_VERSION};
 pub use record::{ImageMeta, ImageOrigin, ImageRecord};
 pub use recovery::{CompactionReport, DurableError, DurableStore, RecoveryReport};
-pub use store::{FeatureHandle, Snapshot, SnapshotError, StorageError, VisualStore};
+pub use store::{
+    FeatureHandle, Snapshot, SnapshotError, StorageError, VisualStore, UPLOAD_MARKER_CAPACITY,
+};
 pub use wal::WalOp;

@@ -127,6 +127,16 @@ pub fn render_snapshot(snap: &Snapshot, wal_epoch: u64) -> String {
     for a in &snap.annotations {
         emit(tag("Annotation", codec::encode_annotation(a)));
     }
+    for (key, image, seq) in &snap.markers {
+        emit(tag(
+            "Marker",
+            Value::Obj(vec![
+                ("key".into(), Value::str(key.clone())),
+                ("image".into(), Value::num(image.raw())),
+                ("seq".into(), Value::num(*seq)),
+            ]),
+        ));
+    }
     out
 }
 
@@ -264,6 +274,15 @@ pub fn load_snapshot(path: &Path) -> Result<(Snapshot, u64), PersistError> {
             "Annotation" => snap
                 .annotations
                 .push(codec::decode_annotation(payload).map_err(|e| corrupt(lineno, e))?),
+            "Marker" => {
+                let key = codec::str_field(payload, "key")
+                    .map_err(|e| corrupt(lineno, e))?
+                    .to_string();
+                let image =
+                    ImageId(codec::num_field(payload, "image").map_err(|e| corrupt(lineno, e))?);
+                let seq: u64 = codec::num_field(payload, "seq").map_err(|e| corrupt(lineno, e))?;
+                snap.markers.push((key, image, seq));
+            }
             other => return Err(corrupt(lineno, format!("unknown row tag `{other}`"))),
         }
     }
@@ -475,6 +494,33 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let path = temp_path("missing-file-never-created");
         assert!(matches!(load(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn upload_markers_roundtrip_through_snapshot_file() {
+        let store = populated_store();
+        let (id, _) = store
+            .ingest_upload(
+                "edge2-s9",
+                ImageMeta {
+                    uploader: UserId(3),
+                    gps: GeoPoint::new(34.1, -118.2),
+                    fov: None,
+                    captured_at: 300,
+                    uploaded_at: 310,
+                    keywords: vec![],
+                },
+                ImageOrigin::Original,
+                None,
+                &[(FeatureKind::Cnn, vec![0.9])],
+            )
+            .unwrap();
+        let path = temp_path("markers");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.upload_marker("edge2-s9"), Some(id));
+        assert_eq!(loaded.snapshot(), store.snapshot());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

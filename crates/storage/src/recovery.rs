@@ -248,6 +248,39 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
                 return Err(format!("journaled {} but store assigned {assigned}", a.id));
             }
         }
+        WalOp::IngestUpload {
+            marker,
+            id,
+            meta,
+            origin,
+            pixels,
+            features,
+        } => {
+            let img = match pixels {
+                None => None,
+                Some((w, h, raw)) => {
+                    if *w == 0 || *h == 0 || raw.len() != w.saturating_mul(*h).saturating_mul(3) {
+                        return Err(format!(
+                            "blob for {id}: {} bytes does not match {w}x{h}x3",
+                            raw.len()
+                        ));
+                    }
+                    Some(Image::from_raw(*w, *h, raw.clone()))
+                }
+            };
+            let (assigned, replayed) = store
+                .ingest_upload(marker, meta.clone(), origin.clone(), img, features)
+                .map_err(|e| e.to_string())?;
+            if replayed {
+                // The live WAL holds only ops journaled after the
+                // snapshot epoch, so a marker that already exists
+                // means the journal disagrees with itself.
+                return Err(format!("upload marker `{marker}` journaled twice"));
+            }
+            if assigned != *id {
+                return Err(format!("journaled {id} but store assigned {assigned}"));
+            }
+        }
     }
     Ok(())
 }
@@ -392,6 +425,48 @@ impl DurableStore {
         journal.wal.append(&op)?;
         journal.wal_ops += 1;
         Ok(self.store.add_image(meta, origin, pixels)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::ingest_upload`]: the image
+    /// row, its feature vectors, and the upload's idempotency marker
+    /// travel as one composite WAL record, so a crash at any byte
+    /// preserves either the whole acknowledged upload or none of it —
+    /// an acked-once upload is ingested exactly once across crashes.
+    /// Replays (marker already present) return the original id with
+    /// `replayed = true` without touching the journal.
+    pub fn ingest_upload(
+        &self,
+        marker: &str,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+        features: Vec<(FeatureKind, Vec<f32>)>,
+    ) -> Result<(ImageId, bool), DurableError> {
+        let mut journal = self.journal.lock();
+        if let Some(existing) = self.store.upload_marker(marker) {
+            return Ok((existing, true));
+        }
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if self.store.image(*parent).is_none() {
+                return Err(StorageError::UnknownImage(*parent).into());
+            }
+        }
+        let id = self.store.peek_next_image_id();
+        let op = WalOp::IngestUpload {
+            marker: marker.to_string(),
+            id,
+            meta: meta.clone(),
+            origin: origin.clone(),
+            pixels: pixels
+                .as_ref()
+                .map(|p| (p.width(), p.height(), p.raw().to_vec())),
+            features: features.clone(),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self
+            .store
+            .ingest_upload(marker, meta, origin, pixels, &features)?)
     }
 
     /// Journaled-then-applied [`VisualStore::put_feature`].
@@ -646,6 +721,98 @@ mod tests {
             Err(DurableError::Rejected(_))
         ));
         assert_eq!(ds.wal_bytes().unwrap(), wal0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_upload_dedups_across_restart_and_compaction() {
+        let dir = temp_dir("idem-upload");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let features = vec![(FeatureKind::Cnn, vec![1.0, -2.0])];
+        let (id, replayed) = ds
+            .ingest_upload("edge0-s7", meta(), ImageOrigin::Original, None, features)
+            .unwrap();
+        assert!(!replayed);
+        // A same-process retry dedups without growing the journal.
+        let wal_after_first = ds.wal_bytes().unwrap();
+        let (again, replayed) = ds
+            .ingest_upload("edge0-s7", meta(), ImageOrigin::Original, None, vec![])
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(again, id);
+        assert_eq!(ds.wal_bytes().unwrap(), wal_after_first);
+        drop(ds);
+
+        // The ack was lost and the server restarted: the retry still
+        // finds the marker after WAL replay.
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 1);
+        let (after, replayed) = ds2
+            .ingest_upload("edge0-s7", meta(), ImageOrigin::Original, None, vec![])
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(after, id);
+        assert_eq!(ds2.store().len(), 1);
+        assert_eq!(
+            ds2.store().feature(id, FeatureKind::Cnn).unwrap(),
+            vec![1.0, -2.0]
+        );
+
+        // Compaction folds the marker into the snapshot.
+        ds2.compact().unwrap();
+        drop(ds2);
+        let (ds3, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 0);
+        let (after, replayed) = ds3
+            .ingest_upload("edge0-s7", meta(), ImageOrigin::Original, None, vec![])
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(after, id);
+        assert_eq!(ds3.store().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_composite_upload_record_is_all_or_nothing() {
+        use crate::wal::frame;
+        let dir = temp_dir("torn-upload");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let id = ds.store().peek_next_image_id();
+        drop(ds);
+        let op = WalOp::IngestUpload {
+            marker: "edge1-s42".into(),
+            id,
+            meta: meta(),
+            origin: ImageOrigin::Original,
+            pixels: Some((2, 2, vec![9u8; 12])),
+            features: vec![(FeatureKind::Cnn, vec![0.5, 0.25])],
+        };
+        let record = frame(&op.encode());
+        let wal_file = dir.join("wal-0.log");
+        // Crash the append at every byte offset: recovery must see
+        // either the whole upload (rows + marker) or none of it —
+        // never an image without its features or marker.
+        for cut in 0..=record.len() {
+            std::fs::write(&wal_file, &record.as_bytes()[..cut]).unwrap();
+            let (ds, report) = DurableStore::open(&dir).unwrap();
+            if cut == record.len() {
+                assert_eq!(report.replayed_ops, 1);
+                assert_eq!(ds.store().len(), 1);
+                assert_eq!(ds.store().upload_marker("edge1-s42"), Some(id));
+                assert_eq!(
+                    ds.store().feature(id, FeatureKind::Cnn).unwrap(),
+                    vec![0.5, 0.25]
+                );
+            } else {
+                assert_eq!(report.replayed_ops, 0, "cut at byte {cut}");
+                assert_eq!(ds.store().len(), 0, "cut at byte {cut}");
+                assert!(
+                    ds.store().upload_marker("edge1-s42").is_none(),
+                    "cut at byte {cut}"
+                );
+            }
+            drop(ds);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

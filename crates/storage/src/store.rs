@@ -11,6 +11,14 @@ use crate::annotation::{Annotation, AnnotationSource, ClassificationScheme, Regi
 use crate::ids::{AnnotationId, ClassificationId, ImageId};
 use crate::record::{ImageMeta, ImageOrigin, ImageRecord};
 
+/// Capacity of the upload idempotency table
+/// ([`VisualStore::ingest_upload`]): at most this many marker keys are
+/// remembered, and inserting past the bound evicts the oldest marker
+/// (smallest sequence number). The table bounds memory; the window
+/// bounds how stale a client retry can be and still deduplicate —
+/// replays older than the window are ingested as fresh uploads.
+pub const UPLOAD_MARKER_CAPACITY: usize = 4096;
+
 /// Errors surfaced by store operations on bad references.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
@@ -114,6 +122,15 @@ pub enum SnapshotError {
         /// The out-of-range value.
         confidence: f32,
     },
+    /// Two upload-marker rows carry the same idempotency key.
+    DuplicateMarker(String),
+    /// An upload marker names an image id with no image row.
+    DanglingMarker {
+        /// The offending idempotency key.
+        key: String,
+        /// The missing image.
+        image: ImageId,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -166,6 +183,12 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "annotation {annotation}: confidence {confidence} outside [0, 1]"
             ),
+            SnapshotError::DuplicateMarker(key) => {
+                write!(f, "duplicate upload marker `{key}`")
+            }
+            SnapshotError::DanglingMarker { key, image } => {
+                write!(f, "upload marker `{key}` references missing image {image}")
+            }
         }
     }
 }
@@ -184,6 +207,8 @@ pub struct Snapshot {
     pub(crate) features: Vec<(ImageId, FeatureKind, Vec<f32>)>,
     pub(crate) schemes: Vec<ClassificationScheme>,
     pub(crate) annotations: Vec<Annotation>,
+    /// Upload idempotency markers as `(key, image, sequence)`.
+    pub(crate) markers: Vec<(String, ImageId, u64)>,
 }
 
 /// Stable address of one feature row in the store's arena: the slab is
@@ -221,6 +246,11 @@ struct Tables {
     /// Incremental count of annotations per (scheme, label), serving
     /// the planner's selectivity estimates in O(log n).
     label_counts: BTreeMap<(ClassificationId, usize), usize>,
+    /// Bounded upload idempotency table: marker key → (image the upload
+    /// produced, insertion sequence for oldest-first eviction).
+    upload_markers: BTreeMap<String, (ImageId, u64)>,
+    /// Sequence counter stamping marker insertion order.
+    next_marker_seq: u64,
 }
 
 impl Tables {
@@ -332,6 +362,72 @@ impl VisualStore {
             t.blobs.insert(id, img);
         }
         Ok(id)
+    }
+
+    /// Atomically ingests one upload — image row, optional pixels, and
+    /// feature vectors — deduplicated by idempotency `marker`. Returns
+    /// `(id, replayed)`: when the marker is already present the stored
+    /// image's id comes back with `replayed = true` and nothing is
+    /// written, so a client retrying a partially acknowledged upload
+    /// can never duplicate rows. All writes happen under a single
+    /// write-lock acquisition, so readers never observe the image
+    /// without its features. Markers beyond
+    /// [`UPLOAD_MARKER_CAPACITY`] evict oldest-first.
+    pub fn ingest_upload(
+        &self,
+        marker: &str,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+        features: &[(FeatureKind, Vec<f32>)],
+    ) -> Result<(ImageId, bool), StorageError> {
+        let mut t = self.inner.write();
+        if let Some((id, _)) = t.upload_markers.get(marker) {
+            return Ok((*id, true));
+        }
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if !t.images.contains_key(parent) {
+                return Err(StorageError::UnknownImage(*parent));
+            }
+        }
+        let id = ImageId(t.next_image);
+        t.next_image += 1;
+        let (width, height) = pixels
+            .as_ref()
+            .map_or((0, 0), |img| (img.width(), img.height()));
+        t.images
+            .insert(id, ImageRecord::new(id, meta, origin, width, height));
+        if let Some(img) = pixels {
+            t.blobs.insert(id, img);
+        }
+        for (kind, vector) in features {
+            t.put_feature_row(id, *kind, vector);
+        }
+        let seq = t.next_marker_seq;
+        t.next_marker_seq += 1;
+        t.upload_markers.insert(marker.to_string(), (id, seq));
+        if t.upload_markers.len() > UPLOAD_MARKER_CAPACITY {
+            let oldest = t
+                .upload_markers
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone());
+            if let Some(key) = oldest {
+                t.upload_markers.remove(&key);
+            }
+        }
+        Ok((id, false))
+    }
+
+    /// The image a previously acknowledged upload with this idempotency
+    /// key produced, if the marker is still within the bounded window.
+    pub fn upload_marker(&self, key: &str) -> Option<ImageId> {
+        self.inner.read().upload_markers.get(key).map(|(id, _)| *id)
+    }
+
+    /// Number of live upload markers (≤ [`UPLOAD_MARKER_CAPACITY`]).
+    pub fn upload_marker_count(&self) -> usize {
+        self.inner.read().upload_markers.len()
     }
 
     /// The image row, if present.
@@ -620,6 +716,11 @@ impl VisualStore {
                 .collect(),
             schemes: t.schemes.values().cloned().collect(),
             annotations: t.annotations.values().cloned().collect(),
+            markers: t
+                .upload_markers
+                .iter()
+                .map(|(key, (id, seq))| (key.clone(), *id, *seq))
+                .collect(),
         }
     }
 
@@ -708,6 +809,15 @@ impl VisualStore {
             let id = a.id;
             if t.annotations.insert(id, a).is_some() {
                 return Err(SnapshotError::DuplicateAnnotation(id));
+            }
+        }
+        for (key, image, seq) in snap.markers {
+            if !t.images.contains_key(&image) {
+                return Err(SnapshotError::DanglingMarker { key, image });
+            }
+            t.next_marker_seq = t.next_marker_seq.max(seq.saturating_add(1));
+            if t.upload_markers.insert(key.clone(), (image, seq)).is_some() {
+                return Err(SnapshotError::DuplicateMarker(key));
             }
         }
         Ok(Self {
@@ -1117,6 +1227,119 @@ mod tests {
         assert_eq!(peek_ann, ann);
         // Peeks advance with the store.
         assert_eq!(store.peek_next_image_id(), ImageId(img.raw() + 1));
+    }
+
+    #[test]
+    fn ingest_upload_dedups_by_marker() {
+        let store = VisualStore::new();
+        let features = vec![(FeatureKind::Cnn, vec![1.0, 2.0])];
+        let (id, replayed) = store
+            .ingest_upload(
+                "edge3-s41",
+                meta(),
+                ImageOrigin::Original,
+                Some(tiny_image()),
+                &features,
+            )
+            .unwrap();
+        assert!(!replayed);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.upload_marker("edge3-s41"), Some(id));
+        assert_eq!(store.feature(id, FeatureKind::Cnn).unwrap(), vec![1.0, 2.0]);
+
+        // A retry of the same upload is acknowledged without writing.
+        let (again, replayed) = store
+            .ingest_upload(
+                "edge3-s41",
+                meta(),
+                ImageOrigin::Original,
+                Some(tiny_image()),
+                &features,
+            )
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(again, id);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.upload_marker_count(), 1);
+
+        // A different marker is a fresh upload.
+        let (other, replayed) = store
+            .ingest_upload("edge3-s42", meta(), ImageOrigin::Original, None, &[])
+            .unwrap();
+        assert!(!replayed);
+        assert_ne!(other, id);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn ingest_upload_validates_augmented_parent() {
+        let store = VisualStore::new();
+        let bad = store.ingest_upload(
+            "k",
+            meta(),
+            ImageOrigin::Augmented {
+                parent: ImageId(9),
+                op: "flip_h".into(),
+            },
+            None,
+            &[],
+        );
+        assert_eq!(bad.unwrap_err(), StorageError::UnknownImage(ImageId(9)));
+        assert!(store.upload_marker("k").is_none(), "no marker on failure");
+    }
+
+    #[test]
+    fn upload_marker_table_is_bounded_with_oldest_first_eviction() {
+        let store = VisualStore::new();
+        for i in 0..=UPLOAD_MARKER_CAPACITY {
+            store
+                .ingest_upload(&format!("m{i}"), meta(), ImageOrigin::Original, None, &[])
+                .unwrap();
+        }
+        assert_eq!(store.upload_marker_count(), UPLOAD_MARKER_CAPACITY);
+        assert!(
+            store.upload_marker("m0").is_none(),
+            "oldest marker evicted first"
+        );
+        assert!(store.upload_marker("m1").is_some());
+        assert!(store
+            .upload_marker(&format!("m{UPLOAD_MARKER_CAPACITY}"))
+            .is_some());
+        // Images themselves are never evicted, only dedup markers.
+        assert_eq!(store.len(), UPLOAD_MARKER_CAPACITY + 1);
+    }
+
+    #[test]
+    fn markers_roundtrip_through_snapshots_and_bad_ones_are_rejected() {
+        let store = VisualStore::new();
+        let (id, _) = store
+            .ingest_upload("edge0-s1", meta(), ImageOrigin::Original, None, &[])
+            .unwrap();
+        let good = store.snapshot();
+        assert_eq!(good.markers, vec![("edge0-s1".to_string(), id, 0)]);
+
+        let restored = VisualStore::from_snapshot(good.clone()).unwrap();
+        assert_eq!(restored.upload_marker("edge0-s1"), Some(id));
+        // The sequence counter resumes past restored markers, so new
+        // markers still evict in insertion order.
+        let (_, replayed) = restored
+            .ingest_upload("edge0-s1", meta(), ImageOrigin::Original, None, &[])
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(restored.snapshot(), good);
+
+        let mut bad = good.clone();
+        bad.markers[0].1 = ImageId(77);
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DanglingMarker { .. })
+        ));
+        let mut bad = good.clone();
+        bad.markers.push(bad.markers[0].clone());
+        assert!(matches!(
+            VisualStore::from_snapshot(bad),
+            Err(SnapshotError::DuplicateMarker(_))
+        ));
     }
 
     #[test]

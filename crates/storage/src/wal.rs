@@ -102,6 +102,28 @@ pub enum WalOp {
     /// [`crate::store::VisualStore::annotate`]; the annotation carries
     /// its assigned id.
     Annotate(Annotation),
+    /// [`crate::store::VisualStore::ingest_upload`] — one atomic
+    /// composite record: the image row, its feature vectors, and the
+    /// upload's idempotency marker land together or not at all. The
+    /// WAL's all-or-nothing framing of this record is what makes an
+    /// acked-once upload ingested-exactly-once across crashes: a torn
+    /// append leaves neither the rows nor the marker, so the client's
+    /// retry re-ingests cleanly; an intact record replays both, so the
+    /// retry deduplicates.
+    IngestUpload {
+        /// Idempotency key the uploading client attached.
+        marker: String,
+        /// Id the store assigned.
+        id: ImageId,
+        /// Upload-time metadata.
+        meta: ImageMeta,
+        /// Provenance.
+        origin: ImageOrigin,
+        /// Pixel payload as `(width, height, raw RGB bytes)`, if any.
+        pixels: Option<(usize, usize, Vec<u8>)>,
+        /// Feature vectors uploaded alongside the image.
+        features: Vec<(FeatureKind, Vec<f32>)>,
+    },
 }
 
 impl WalOp {
@@ -156,6 +178,45 @@ impl WalOp {
                 ]),
             ),
             WalOp::Annotate(a) => tag("Annotate", codec::encode_annotation(a)),
+            WalOp::IngestUpload {
+                marker,
+                id,
+                meta,
+                origin,
+                pixels,
+                features,
+            } => {
+                let pixels = match pixels {
+                    None => Value::Null,
+                    Some((w, h, raw)) => Value::Obj(vec![
+                        ("width".into(), Value::num(*w)),
+                        ("height".into(), Value::num(*h)),
+                        ("raw".into(), Value::str(codec::hex_encode(raw))),
+                    ]),
+                };
+                let features = Value::Arr(
+                    features
+                        .iter()
+                        .map(|(kind, vector)| {
+                            Value::Obj(vec![
+                                ("kind".into(), codec::encode_kind(*kind)),
+                                ("vector".into(), codec::encode_vector(vector)),
+                            ])
+                        })
+                        .collect(),
+                );
+                tag(
+                    "IngestUpload",
+                    Value::Obj(vec![
+                        ("marker".into(), Value::str(marker.clone())),
+                        ("id".into(), Value::num(id.raw())),
+                        ("meta".into(), codec::encode_meta(meta)),
+                        ("origin".into(), codec::encode_origin(origin)),
+                        ("pixels".into(), pixels),
+                        ("features".into(), features),
+                    ]),
+                )
+            }
         };
         v.render()
     }
@@ -207,6 +268,36 @@ impl WalOp {
                 })
             }
             "Annotate" => Ok(WalOp::Annotate(codec::decode_annotation(body)?)),
+            "IngestUpload" => {
+                let pixels = match codec::field(body, "pixels")? {
+                    Value::Null => None,
+                    p => {
+                        let raw = codec::hex_decode(codec::str_field(p, "raw")?)?;
+                        Some((
+                            codec::num_field(p, "width")?,
+                            codec::num_field(p, "height")?,
+                            raw,
+                        ))
+                    }
+                };
+                let features = codec::arr_field(body, "features")?
+                    .iter()
+                    .map(|entry| {
+                        Ok((
+                            codec::decode_kind(codec::field(entry, "kind")?)?,
+                            codec::decode_vector(codec::field(entry, "vector")?)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(WalOp::IngestUpload {
+                    marker: codec::str_field(body, "marker")?.to_string(),
+                    id: ImageId(codec::num_field(body, "id")?),
+                    meta: codec::decode_meta(codec::field(body, "meta")?)?,
+                    origin: codec::decode_origin(codec::field(body, "origin")?)?,
+                    pixels,
+                    features,
+                })
+            }
             other => Err(format!("unknown op tag `{other}`")),
         }
     }
@@ -447,6 +538,24 @@ mod tests {
                 source: AnnotationSource::Human(UserId(1)),
                 region: None,
             }),
+            WalOp::IngestUpload {
+                marker: "edge7-s13".into(),
+                id: ImageId(1),
+                meta: ImageMeta {
+                    uploader: UserId(2),
+                    gps: GeoPoint::new(34.1, -118.2),
+                    fov: None,
+                    captured_at: 200,
+                    uploaded_at: 210,
+                    keywords: vec![],
+                },
+                origin: ImageOrigin::Original,
+                pixels: Some((1, 2, vec![1, 2, 3, 4, 5, 6])),
+                features: vec![
+                    (FeatureKind::Cnn, vec![0.5, -1.5]),
+                    (FeatureKind::ColorHistogram, vec![]),
+                ],
+            },
         ]
     }
 

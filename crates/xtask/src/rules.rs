@@ -156,7 +156,7 @@ pub fn check(model: &SourceModel, policy: Policy) -> Vec<Finding> {
             message: format!("malformed tvdp-lint comment: {}", bad.problem),
         });
     }
-    findings.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
 

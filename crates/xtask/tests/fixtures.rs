@@ -60,6 +60,33 @@ fn l4_fixture_rejected() {
 }
 
 #[test]
+fn l4_transport_fixture_rejected() {
+    assert_fires("l4_transport_wall_clock.rs", "[L4/no_wall_clock]");
+}
+
+#[test]
+fn l4_transport_fixture_flags_each_violation_once() {
+    let out = run_lint_on("l4_transport_wall_clock.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Instant::now + SystemTime::now + thread_rng.
+    assert_eq!(
+        stdout.matches("[L4/no_wall_clock]").count(),
+        3,
+        "wrong violation count:\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_virtual_transport_fixture_passes() {
+    let out = run_lint_on("clean_virtual_transport.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "virtual-clock transport fixture must pass; stdout:\n{stdout}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes() {
     let out = run_lint_on("clean_with_allows.rs");
     let stdout = String::from_utf8_lossy(&out.stdout);

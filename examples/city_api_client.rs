@@ -2,18 +2,18 @@
 //! (paper Section V: "API users without deep programming experience
 //! easily have access to APIs").
 //!
-//! Everything below goes through `ApiServer::handle` with JSON bodies —
-//! no direct platform calls.
+//! Everything below goes through `ApiServer::handle` with JSON text
+//! bodies — no direct platform calls. Pixel buffers travel as hex
+//! strings, the compact wire form the edge transport uses too.
 //!
 //! Run with: `cargo run --release --example city_api_client`
 
 use std::sync::Arc;
 
-use serde_json::json;
-
 use tvdp::api::{ApiRequest, ApiServer, RateLimitConfig};
 use tvdp::datagen::{generate, DatasetConfig};
 use tvdp::platform::{PlatformConfig, Role, Tvdp};
+use tvdp::storage::codec;
 
 fn main() {
     // Platform side: stand up the service and issue a key.
@@ -31,26 +31,25 @@ fn main() {
     println!("issued API key {key}\n");
 
     let mut now_ms = 0i64;
-    let mut call = |endpoint: &str, body: serde_json::Value| {
+    let mut call = |endpoint: &str, body: String| {
         now_ms += 7;
-        let response = server.handle(
-            &ApiRequest {
-                key: key.clone(),
-                endpoint: endpoint.into(),
-                body,
-            },
-            now_ms,
+        let response = server.handle(&ApiRequest::new(key.clone(), endpoint, body), now_ms);
+        assert!(
+            response.is_ok(),
+            "{endpoint} failed: {}",
+            response.render_body()
         );
-        assert!(response.is_ok(), "{endpoint} failed: {:?}", response.body);
         response.body
     };
 
     // Register the labelling task.
     let scheme = call(
         "schemes/register",
-        json!({ "name": "street-cleanliness",
-                 "labels": ["Bulky Item", "Illegal Dumping", "Encampment",
-                            "Overgrown Vegetation", "Clean"] }),
+        concat!(
+            r#"{"name":"street-cleanliness","labels":["Bulky Item","Illegal Dumping","#,
+            r#""Encampment","Overgrown Vegetation","Clean"]}"#
+        )
+        .to_string(),
     )["scheme"]
         .as_u64()
         .unwrap();
@@ -64,23 +63,33 @@ fn main() {
     });
     let mut image_ids = Vec::new();
     for (i, d) in data.iter().enumerate() {
-        let body = json!({
-            "width": d.image.width(),
-            "height": d.image.height(),
-            "pixels": d.image.raw().to_vec(),
-            "lat": d.fov.camera.lat,
-            "lon": d.fov.camera.lon,
-            "fov": { "heading_deg": d.fov.heading_deg, "angle_deg": d.fov.angle_deg,
-                      "radius_m": d.fov.radius_m },
-            "captured_at": d.captured_at,
-            "uploaded_at": d.uploaded_at,
-            "keywords": d.keywords,
-        });
+        let keywords: Vec<String> = d.keywords.iter().map(|k| format!("\"{k}\"")).collect();
+        let body = format!(
+            concat!(
+                r#"{{"width":{},"height":{},"pixels":"{}","lat":{},"lon":{},"#,
+                r#""fov":{{"heading_deg":{},"angle_deg":{},"radius_m":{}}},"#,
+                r#""captured_at":{},"uploaded_at":{},"keywords":[{}]}}"#
+            ),
+            d.image.width(),
+            d.image.height(),
+            codec::hex_encode(d.image.raw()),
+            d.fov.camera.lat,
+            d.fov.camera.lon,
+            d.fov.heading_deg,
+            d.fov.angle_deg,
+            d.fov.radius_m,
+            d.captured_at,
+            d.uploaded_at,
+            keywords.join(","),
+        );
         let id = call("data/add", body)["image"].as_u64().unwrap();
         if i < 100 {
             call(
                 "annotations/add",
-                json!({ "image": id, "scheme": scheme, "label": d.cleanliness.index() }),
+                format!(
+                    r#"{{"image":{id},"scheme":{scheme},"label":{}}}"#,
+                    d.cleanliness.index()
+                ),
             );
         }
         image_ids.push(id);
@@ -90,16 +99,20 @@ fn main() {
     // Devise a model over the uploads (paper API 7).
     let model = call(
         "models/devise",
-        json!({ "name": "cleanliness", "scheme": scheme,
-                 "feature_kind": "Cnn", "algorithm": "Mlp" }),
+        format!(
+            r#"{{"name":"cleanliness","scheme":{scheme},"feature_kind":"Cnn","algorithm":"Mlp"}}"#
+        ),
     )["model"]
         .as_u64()
         .unwrap();
     println!("devised model model-{model}");
 
     // Apply it to the unlabelled tail (paper API 5).
-    let tail: Vec<u64> = image_ids[100..].to_vec();
-    let preds = call("models/apply", json!({ "model": model, "images": tail }));
+    let tail: Vec<String> = image_ids[100..].iter().map(u64::to_string).collect();
+    let preds = call(
+        "models/apply",
+        format!(r#"{{"model":{model},"images":[{}]}}"#, tail.join(",")),
+    );
     println!(
         "applied model to {} images",
         preds["predictions"].as_array().unwrap().len()
@@ -108,33 +121,42 @@ fn main() {
     // Search by keyword and by region (paper API 2).
     let by_word = call(
         "data/search",
-        json!({ "query": { "Textual": { "text": "tent", "mode": "Any" } } }),
+        r#"{"query":{"Textual":{"text":"tent","mode":"Any"}}}"#.to_string(),
     );
-    println!("keyword 'tent' matches    : {}", by_word["count"]);
+    println!(
+        "keyword 'tent' matches    : {}",
+        by_word["count"].as_u64().unwrap()
+    );
     let by_region = call(
         "data/search",
-        json!({ "query": { "Spatial": { "Range": {
-            "min_lat": 34.04, "min_lon": -118.26, "max_lat": 34.053, "max_lon": -118.238
-        } } } }),
+        concat!(
+            r#"{"query":{"Spatial":{"Range":{"min_lat":34.04,"min_lon":-118.26,"#,
+            r#""max_lat":34.053,"max_lon":-118.238}}}}"#
+        )
+        .to_string(),
     );
-    println!("north-half region matches : {}", by_region["count"]);
+    println!(
+        "north-half region matches : {}",
+        by_region["count"].as_u64().unwrap()
+    );
 
     // Download a record with pixels (paper API 3).
     let item = call(
         "data/download",
-        json!({ "ids": [image_ids[0]], "include_pixels": true }),
+        format!(r#"{{"ids":[{}],"include_pixels":true}}"#, image_ids[0]),
     );
+    let pixels = codec::hex_decode(item["items"][0]["pixels"].as_str().unwrap()).unwrap();
     println!(
         "downloaded image {} ({} keyword(s), {} pixel bytes)",
         image_ids[0],
         item["items"][0]["keywords"].as_array().unwrap().len(),
-        item["items"][0]["pixels"].as_array().unwrap().len(),
+        pixels.len(),
     );
 
     // Which model should a Raspberry Pi in the field run? (edge dispatch)
     let pick = call(
         "edge/dispatch",
-        json!({ "device": "rpi", "max_latency_ms": 800.0 }),
+        r#"{"device":"rpi","max_latency_ms":800.0}"#.to_string(),
     );
     println!(
         "edge dispatch for an RPi  : {} ({} MB download)",
@@ -142,9 +164,11 @@ fn main() {
         pick["download_bytes"].as_u64().unwrap() / 1_000_000
     );
 
-    let stats = call("stats", json!({}));
+    let stats = call("stats", "{}".to_string());
     println!(
         "\nfinal stats over the API  : {} images, {} annotations, {} models",
-        stats["images"], stats["annotations"], stats["models"]
+        stats["images"].as_u64().unwrap(),
+        stats["annotations"].as_u64().unwrap(),
+        stats["models"].as_u64().unwrap()
     );
 }

@@ -12,7 +12,7 @@ use tvdp::ml::{Dataset, LinearSvm};
 
 #[test]
 fn fleet_dispatch_energy_and_latency_are_consistent() {
-    let dispatcher = ModelDispatcher::new(MODEL_ZOO.to_vec());
+    let dispatcher = ModelDispatcher::new(MODEL_ZOO.to_vec()).expect("zoo is non-empty");
     for class in DeviceClass::ALL {
         let device = class.profile();
         let power = PowerProfile::for_device(&device);
