@@ -457,7 +457,10 @@ impl ApiServer {
             Ok(q) => q,
             Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let results = self.platform.search(&query);
+        let results = match self.platform.search(&query) {
+            Ok(r) => r,
+            Err(e) => return ApiResponse::err(status_for(&e), e),
+        };
         let rows: Vec<Value> = results
             .iter()
             .map(|r| {

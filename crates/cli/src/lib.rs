@@ -375,7 +375,9 @@ fn search(path: &str, rest: &[String]) -> Result<String, CliError> {
         }
         None => return Err(err("search needs at least one filter; see `tvdp help`")),
     };
-    let results = platform.search(&query);
+    let results = platform
+        .search(&query)
+        .map_err(|e| err(format!("invalid query: {e}")))?;
     let mut out = format!("{} hits\n", results.len());
     for r in results.iter().take(20) {
         let Some(record) = store.image(r.image) else {

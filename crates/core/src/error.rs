@@ -1,5 +1,6 @@
 //! Platform-level errors.
 
+use tvdp_query::QueryError;
 use tvdp_storage::{ClassificationId, DurableError, ImageId, ModelId, StorageError, UserId};
 use tvdp_vision::FeatureKind;
 
@@ -29,6 +30,9 @@ pub enum PlatformError {
     MissingFeature(ImageId, FeatureKind),
     /// No pixels stored for an image that needs processing.
     MissingPixels(ImageId),
+    /// A query was malformed (e.g. a visual example whose dimension
+    /// does not match the stored feature kind).
+    Query(QueryError),
     /// Journaling or recovery failure in the durable persistence layer.
     Durable(DurableError),
     /// A durability-only operation was invoked on an in-memory platform.
@@ -55,6 +59,7 @@ impl std::fmt::Display for PlatformError {
                 write!(f, "image {id} lacks a stored {kind:?} feature")
             }
             PlatformError::MissingPixels(id) => write!(f, "image {id} has no stored pixels"),
+            PlatformError::Query(e) => write!(f, "query: {e}"),
             PlatformError::Durable(e) => write!(f, "durability: {e}"),
             PlatformError::NotDurable => {
                 write!(
@@ -71,6 +76,12 @@ impl std::error::Error for PlatformError {}
 impl From<StorageError> for PlatformError {
     fn from(e: StorageError) -> Self {
         PlatformError::Storage(e)
+    }
+}
+
+impl From<QueryError> for PlatformError {
+    fn from(e: QueryError) -> Self {
+        PlatformError::Query(e)
     }
 }
 

@@ -22,6 +22,7 @@
 pub mod error;
 pub mod models;
 pub mod platform;
+pub mod router;
 pub mod translational;
 pub mod users;
 pub mod video;
@@ -29,6 +30,7 @@ pub mod video;
 pub use error::PlatformError;
 pub use models::{ModelEntry, ModelInterface, ModelRegistry};
 pub use platform::{IngestRequest, PlatformConfig, Tvdp};
+pub use router::GeoShardRouter;
 pub use translational::{count_by_cell, hotspots, CellCount};
 pub use users::{Role, User, UserRegistry};
 pub use video::{select_keyframes, KeyframePolicy, VideoFrame, VideoIngestReport};

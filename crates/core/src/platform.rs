@@ -3,7 +3,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use tvdp_crowd::{simulate_campaign, Campaign, SimulationConfig};
@@ -19,7 +19,7 @@ use tvdp_ml::{
     RandomForest, ScaledClassifier, SerializableModel,
 };
 use tvdp_query::engine::EngineConfig;
-use tvdp_query::{Query, QueryEngine, QueryResult};
+use tvdp_query::{Query, QueryResult, ShardedEngine};
 use tvdp_storage::{
     AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, ImageId,
     ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore,
@@ -31,6 +31,7 @@ use tvdp_vision::{
 
 use crate::error::PlatformError;
 use crate::models::{ModelInterface, ModelRegistry};
+use crate::router::GeoShardRouter;
 use crate::users::{Role, UserRegistry};
 
 /// Training algorithms a participant can pick when devising a model.
@@ -93,6 +94,15 @@ pub struct PlatformConfig {
     pub min_training_samples: usize,
     /// Seed for stochastic training algorithms.
     pub seed: u64,
+    /// Spatial shards the platform core is partitioned into. Each
+    /// shard owns its own store, indexes, and (for durable platforms)
+    /// WAL epoch; queries scatter across all of them. `1` (the
+    /// default) reproduces the unsharded platform exactly.
+    pub shards: usize,
+    /// Geo-grid pitch, in degrees, of the shard router
+    /// ([`GeoShardRouter`]). Must stay stable across reopens of a
+    /// durable directory.
+    pub shard_cell_deg: f64,
 }
 
 impl Default for PlatformConfig {
@@ -102,6 +112,8 @@ impl Default for PlatformConfig {
             cnn: CnnConfig::default(),
             min_training_samples: 10,
             seed: 0x7D_1D,
+            shards: 1,
+            shard_cell_deg: GeoShardRouter::DEFAULT_CELL_DEG,
         }
     }
 }
@@ -148,12 +160,32 @@ pub struct PlatformStats {
     pub users: usize,
 }
 
+/// Platform-wide id counters. Ids are allocated here, ahead of the
+/// shard-local insert, so every image/annotation/scheme id is unique
+/// across shards and dense in allocation order.
+struct NextIds {
+    image: u64,
+    annotation: u64,
+    classification: u64,
+}
+
 /// The Translational Visual Data Platform.
+///
+/// The core is partitioned by capture location into
+/// [`PlatformConfig::shards`] independent shards: a deterministic
+/// geo-grid router ([`GeoShardRouter`]) assigns every upload to one
+/// shard, and each shard owns its own store, indexes, and (for durable
+/// platforms) write-ahead-log epoch. Queries never block on ingest:
+/// each shard publishes immutable index generations that readers pick
+/// up atomically, and a query scatters across the shards' latest
+/// generations and gathers a deterministic merge.
 pub struct Tvdp {
     config: PlatformConfig,
-    store: Arc<VisualStore>,
-    durable: Option<DurableStore>,
-    engine: RwLock<QueryEngine>,
+    stores: Vec<Arc<VisualStore>>,
+    durables: Vec<DurableStore>,
+    engine: ShardedEngine,
+    router: GeoShardRouter,
+    ids: Mutex<NextIds>,
     users: UserRegistry,
     models: ModelRegistry,
     color: ColorHistogramExtractor,
@@ -161,22 +193,51 @@ pub struct Tvdp {
 }
 
 impl Tvdp {
-    /// Creates an empty in-memory platform (no persistence).
+    /// Creates an empty in-memory platform (no persistence) with
+    /// [`PlatformConfig::shards`] spatial shards.
     pub fn new(config: PlatformConfig) -> Self {
-        Self::with_store(Arc::new(VisualStore::new()), config)
+        let shards = config.shards.max(1);
+        let stores = (0..shards).map(|_| Arc::new(VisualStore::new())).collect();
+        Self::from_stores(stores, config)
     }
 
-    /// Wraps an existing store (e.g. one reloaded from disk), rebuilding
-    /// every index over its current contents. Users and models are
-    /// runtime state and start empty.
+    /// Wraps an existing store (e.g. one reloaded from disk) as a
+    /// single-shard platform, rebuilding every index over its current
+    /// contents ([`PlatformConfig::shards`] is ignored: the rows are
+    /// already in one store). Users and models are runtime state and
+    /// start empty.
     pub fn with_store(store: Arc<VisualStore>, config: PlatformConfig) -> Self {
-        let engine = QueryEngine::build(Arc::clone(&store), config.engine.clone());
+        Self::from_stores(vec![store], config)
+    }
+
+    fn from_stores(stores: Vec<Arc<VisualStore>>, config: PlatformConfig) -> Self {
+        let router = GeoShardRouter::new(stores.len() as u32, config.shard_cell_deg);
+        let engine = ShardedEngine::build(stores.clone(), config.engine.clone());
+        let ids = NextIds {
+            image: stores
+                .iter()
+                .map(|s| s.peek_next_image_id().0)
+                .max()
+                .unwrap_or(0),
+            annotation: stores
+                .iter()
+                .map(|s| s.peek_next_annotation_id().0)
+                .max()
+                .unwrap_or(0),
+            classification: stores
+                .iter()
+                .map(|s| s.peek_next_classification_id().0)
+                .max()
+                .unwrap_or(0),
+        };
         let cnn = CnnExtractor::with_config(config.cnn.clone());
         Self {
             config,
-            store,
-            durable: None,
-            engine: RwLock::new(engine),
+            stores,
+            durables: Vec::new(),
+            engine,
+            router,
+            ids: Mutex::new(ids),
             users: UserRegistry::new(),
             models: ModelRegistry::new(),
             color: ColorHistogramExtractor::paper_default(),
@@ -191,58 +252,165 @@ impl Tvdp {
     /// returned [`RecoveryReport`] says what was replayed or repaired.
     /// All subsequent mutations are journaled to disk before they are
     /// applied. Users and models are runtime state and start empty.
+    ///
+    /// A single-shard platform persists directly under `dir`
+    /// (compatible with directories written before sharding); a
+    /// platform with N > 1 shards keeps one durable store — snapshot
+    /// plus WAL epoch — per shard under `dir/shard-<i>/`, and recovery
+    /// replays each shard's log independently. The shard count and
+    /// grid pitch of a durable directory must not change across
+    /// reopens.
     pub fn open(
         dir: &Path,
         config: PlatformConfig,
     ) -> Result<(Self, RecoveryReport), PlatformError> {
-        let (durable, report) = DurableStore::open(dir)?;
-        let store = durable.store_arc();
-        let mut platform = Self::with_store(store, config);
-        platform.durable = Some(durable);
+        let shards = config.shards.max(1);
+        let mut durables = Vec::with_capacity(shards);
+        let mut merged: Option<RecoveryReport> = None;
+        for i in 0..shards {
+            let shard_dir = if shards == 1 {
+                dir.to_path_buf()
+            } else {
+                dir.join(format!("shard-{i}"))
+            };
+            let (d, r) = DurableStore::open(&shard_dir)?;
+            durables.push(d);
+            merged = Some(match merged {
+                None => r,
+                Some(m) => RecoveryReport {
+                    epoch: m.epoch.max(r.epoch),
+                    snapshot_found: m.snapshot_found || r.snapshot_found,
+                    replayed_ops: m.replayed_ops + r.replayed_ops,
+                    torn_bytes: m.torn_bytes + r.torn_bytes,
+                    debris_removed: m.debris_removed + r.debris_removed,
+                },
+            });
+        }
+        let report = merged.unwrap_or(RecoveryReport {
+            epoch: 0,
+            snapshot_found: false,
+            replayed_ops: 0,
+            torn_bytes: 0,
+            debris_removed: 0,
+        });
+        let stores = durables.iter().map(|d| d.store_arc()).collect();
+        let mut platform = Self::from_stores(stores, config);
+        platform.durables = durables;
         Ok((platform, report))
     }
 
     /// Whether mutations are journaled to disk ([`Tvdp::open`]) rather
     /// than held only in memory ([`Tvdp::new`]).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        !self.durables.is_empty()
     }
 
-    /// Folds the journal into a fresh snapshot and rotates the
-    /// write-ahead log (durable platforms only). Call periodically to
-    /// bound the log and keep reopen cost proportional to store size,
-    /// not mutation history.
+    /// Folds every shard's journal into a fresh snapshot and rotates
+    /// its write-ahead log (durable platforms only). Call periodically
+    /// to bound the logs and keep reopen cost proportional to store
+    /// size, not mutation history. The report aggregates all shards
+    /// (max epoch, summed byte/op counts).
     pub fn flush(&self) -> Result<CompactionReport, PlatformError> {
-        match &self.durable {
-            Some(d) => Ok(d.compact()?),
-            None => Err(PlatformError::NotDurable),
+        if self.durables.is_empty() {
+            return Err(PlatformError::NotDurable);
         }
+        let mut merged: Option<CompactionReport> = None;
+        for d in &self.durables {
+            let r = d.compact()?;
+            merged = Some(match merged {
+                None => r,
+                Some(m) => CompactionReport {
+                    epoch: m.epoch.max(r.epoch),
+                    ops_compacted: m.ops_compacted + r.ops_compacted,
+                    wal_bytes_before: m.wal_bytes_before + r.wal_bytes_before,
+                    snapshot_bytes: m.snapshot_bytes + r.snapshot_bytes,
+                },
+            });
+        }
+        Ok(merged.unwrap_or(CompactionReport {
+            epoch: 0,
+            ops_compacted: 0,
+            wal_bytes_before: 0,
+            snapshot_bytes: 0,
+        }))
+    }
+
+    // Platform-wide id allocation. A shard insert happens *at* the
+    // allocated id, so ids are unique across shards and the allocation
+    // order (= upload order) is recoverable from ids alone.
+
+    fn alloc_image_id(&self) -> ImageId {
+        let mut ids = self.ids.lock();
+        let id = ImageId(ids.image);
+        ids.image += 1;
+        id
+    }
+
+    fn alloc_annotation_id(&self) -> AnnotationId {
+        let mut ids = self.ids.lock();
+        let id = AnnotationId(ids.annotation);
+        ids.annotation += 1;
+        id
+    }
+
+    fn alloc_classification_id(&self) -> ClassificationId {
+        let mut ids = self.ids.lock();
+        let id = ClassificationId(ids.classification);
+        ids.classification += 1;
+        id
+    }
+
+    /// The shard whose store holds `image`, if any.
+    pub fn shard_of(&self, image: ImageId) -> Option<usize> {
+        self.stores.iter().position(|s| s.image(image).is_some())
+    }
+
+    fn image_record(&self, image: ImageId) -> Option<tvdp_storage::ImageRecord> {
+        self.stores.iter().find_map(|s| s.image(image))
+    }
+
+    fn find_marker(&self, marker: &str) -> Option<ImageId> {
+        self.stores.iter().find_map(|s| s.upload_marker(marker))
     }
 
     // Mutation dispatch: a durable platform journals each write before
-    // applying it; an in-memory platform hits the store directly.
+    // applying it; an in-memory platform hits the shard store directly.
 
-    fn store_add_image(
+    fn store_add_image_at(
         &self,
+        shard: usize,
+        id: ImageId,
         meta: ImageMeta,
         origin: ImageOrigin,
         pixels: Option<Image>,
     ) -> Result<ImageId, PlatformError> {
-        match &self.durable {
-            Some(d) => Ok(d.add_image(meta, origin, pixels)?),
-            None => Ok(self.store.add_image(meta, origin, pixels)?),
+        match self.durables.get(shard) {
+            Some(d) => Ok(d.add_image_at(id, meta, origin, pixels)?),
+            None => Ok(self.stores[shard].add_image_at(id, meta, origin, pixels)?),
         }
+    }
+
+    fn store_add_image(
+        &self,
+        shard: usize,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, PlatformError> {
+        let id = self.alloc_image_id();
+        self.store_add_image_at(shard, id, meta, origin, pixels)
     }
 
     fn store_put_feature(
         &self,
+        shard: usize,
         image: ImageId,
         kind: FeatureKind,
         vector: Vec<f32>,
     ) -> Result<(), PlatformError> {
-        match &self.durable {
+        match self.durables.get(shard) {
             Some(d) => Ok(d.put_feature(image, kind, vector)?),
-            None => Ok(self.store.put_feature(image, kind, vector)?),
+            None => Ok(self.stores[shard].put_feature(image, kind, vector)?),
         }
     }
 
@@ -251,10 +419,20 @@ impl Tvdp {
         name: String,
         labels: Vec<String>,
     ) -> Result<ClassificationId, PlatformError> {
-        match &self.durable {
-            Some(d) => Ok(d.register_scheme(name, labels)?),
-            None => Ok(self.store.register_scheme(name, labels)?),
+        // A scheme is platform-wide: broadcast it to every shard under
+        // one global id so any shard can validate and serve
+        // annotations against it.
+        let id = self.alloc_classification_id();
+        if self.durables.is_empty() {
+            for s in &self.stores {
+                s.register_scheme_at(id, name.clone(), labels.clone())?;
+            }
+        } else {
+            for d in &self.durables {
+                d.register_scheme_at(id, name.clone(), labels.clone())?;
+            }
         }
+        Ok(id)
     }
 
     fn store_annotate(
@@ -266,19 +444,42 @@ impl Tvdp {
         source: AnnotationSource,
         region: Option<RegionOfInterest>,
     ) -> Result<AnnotationId, PlatformError> {
-        match &self.durable {
-            Some(d) => Ok(d.annotate(image, classification, label, confidence, source, region)?),
-            None => {
-                Ok(self
-                    .store
-                    .annotate(image, classification, label, confidence, source, region)?)
+        let shard = self
+            .shard_of(image)
+            .ok_or(PlatformError::UnknownImage(image))?;
+        let id = self.alloc_annotation_id();
+        match self.durables.get(shard) {
+            Some(d) => {
+                Ok(d.annotate_at(id, image, classification, label, confidence, source, region)?)
             }
+            None => Ok(self.stores[shard].annotate_at(
+                id,
+                image,
+                classification,
+                label,
+                confidence,
+                source,
+                region,
+            )?),
         }
     }
 
-    /// The underlying store (read access for analysis pipelines).
+    /// Shard 0's store (read access for analysis pipelines). On a
+    /// single-shard platform — the default — this is *the* store; on a
+    /// sharded platform use [`Tvdp::stores`] or [`Tvdp::shard_of`] to
+    /// reach the others.
     pub fn store(&self) -> &Arc<VisualStore> {
-        &self.store
+        &self.stores[0]
+    }
+
+    /// Every shard's store, indexed by shard number.
+    pub fn stores(&self) -> &[Arc<VisualStore>] {
+        &self.stores
+    }
+
+    /// Number of spatial shards the platform is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.stores.len()
     }
 
     /// The user registry.
@@ -330,12 +531,13 @@ impl Tvdp {
             uploaded_at: request.uploaded_at,
             keywords: request.keywords,
         };
+        let shard = self.router.shard(&meta.gps);
         let color = self.color.extract(&image);
         let cnn = self.cnn.extract(&image);
-        let id = self.store_add_image(meta, ImageOrigin::Original, Some(image))?;
-        self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
-        self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
-        self.engine.write().index_image(id);
+        let id = self.store_add_image(shard, meta, ImageOrigin::Original, Some(image))?;
+        self.store_put_feature(shard, id, FeatureKind::ColorHistogram, color)?;
+        self.store_put_feature(shard, id, FeatureKind::Cnn, cnn)?;
+        self.engine.index_image(shard, id);
         Ok(id)
     }
 
@@ -359,8 +561,10 @@ impl Tvdp {
         // keys can never collide.
         let marker = format!("u{}:{key}", user.0);
         // Cheap pre-check skips feature extraction on an obvious
-        // replay; the store re-checks under its write lock.
-        if let Some(existing) = self.store.upload_marker(&marker) {
+        // replay; the owning shard re-checks under its write lock. A
+        // retry carries the same GPS, so the router sends it to the
+        // shard that already holds the marker.
+        if let Some(existing) = self.find_marker(&marker) {
             return Ok((existing, true));
         }
         let meta = ImageMeta {
@@ -371,16 +575,24 @@ impl Tvdp {
             uploaded_at: request.uploaded_at,
             keywords: request.keywords,
         };
+        let shard = self.router.shard(&meta.gps);
         let features = vec![
             (FeatureKind::ColorHistogram, self.color.extract(&image)),
             (FeatureKind::Cnn, self.cnn.extract(&image)),
         ];
-        let (id, replayed) = match &self.durable {
-            Some(d) => {
-                d.ingest_upload(&marker, meta, ImageOrigin::Original, Some(image), features)?
-            }
-            None => self.store.ingest_upload(
+        let fresh = self.alloc_image_id();
+        let (id, replayed) = match self.durables.get(shard) {
+            Some(d) => d.ingest_upload_at(
                 &marker,
+                fresh,
+                meta,
+                ImageOrigin::Original,
+                Some(image),
+                features,
+            )?,
+            None => self.stores[shard].ingest_upload_at(
+                &marker,
+                fresh,
                 meta,
                 ImageOrigin::Original,
                 Some(image),
@@ -388,18 +600,22 @@ impl Tvdp {
             )?,
         };
         if !replayed {
-            self.engine.write().index_image(id);
+            self.engine.index_image(shard, id);
         }
         Ok((id, replayed))
     }
 
-    /// **Acquisition**: bulk upload with parallel feature extraction.
+    /// **Acquisition**: bulk upload with parallel feature extraction
+    /// and per-shard fan-out.
     ///
     /// Feature extraction dominates ingest cost; this path fans the
     /// extraction of a batch out over `threads` workers on a
-    /// [`tvdp_kernel::Pool`], then applies storage and index updates
-    /// serially in input order. Ids are returned in input order, and the
-    /// extracted features are bit-identical to sequential ingest.
+    /// [`tvdp_kernel::Pool`], allocates ids serially in input order,
+    /// then groups the rows by owning shard and applies each shard's
+    /// group on its own worker — shards share no locks, so storage and
+    /// index updates proceed concurrently across shards. Ids are
+    /// returned in input order, and both the extracted features and
+    /// the stored rows are bit-identical to sequential ingest.
     pub fn ingest_batch(
         &self,
         user: UserId,
@@ -407,14 +623,15 @@ impl Tvdp {
         threads: usize,
     ) -> Result<Vec<ImageId>, PlatformError> {
         self.require_user(user)?;
+        let pool = Pool::new(threads);
         // Phase 1: parallel extraction.
-        let extracted: Vec<(Vec<f32>, Vec<f32>)> = Pool::new(threads)
-            .map(&batch, |_, (image, _)| {
-                (self.color.extract(image), self.cnn.extract(image))
-            });
-        // Phase 2: serial storage + indexing.
+        let extracted: Vec<(Vec<f32>, Vec<f32>)> = pool.map(&batch, |_, (image, _)| {
+            (self.color.extract(image), self.cnn.extract(image))
+        });
+        // Phase 2: serial id allocation + shard routing, in input order.
+        type Row = (ImageId, ImageMeta, Image, Vec<f32>, Vec<f32>);
+        let mut groups: Vec<Vec<Row>> = (0..self.stores.len()).map(|_| Vec::new()).collect();
         let mut ids = Vec::with_capacity(batch.len());
-        let mut engine = self.engine.write();
         for ((image, request), (color, cnn)) in batch.into_iter().zip(extracted) {
             let meta = ImageMeta {
                 uploader: user,
@@ -424,11 +641,27 @@ impl Tvdp {
                 uploaded_at: request.uploaded_at,
                 keywords: request.keywords,
             };
-            let id = self.store_add_image(meta, ImageOrigin::Original, Some(image))?;
-            self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
-            self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
-            engine.index_image(id);
+            let shard = self.router.shard(&meta.gps);
+            let id = self.alloc_image_id();
+            groups[shard].push((id, meta, image, color, cnn));
             ids.push(id);
+        }
+        // Phase 3: per-shard apply. Workers own disjoint shards, so
+        // the rows are moved out through a mutex each worker locks
+        // exactly once.
+        let groups: Vec<Mutex<Vec<Row>>> = groups.into_iter().map(Mutex::new).collect();
+        let outcomes: Vec<Result<(), PlatformError>> = pool.map(&groups, |shard, group| {
+            let rows = std::mem::take(&mut *group.lock());
+            for (id, meta, image, color, cnn) in rows {
+                self.store_add_image_at(shard, id, meta, ImageOrigin::Original, Some(image))?;
+                self.store_put_feature(shard, id, FeatureKind::ColorHistogram, color)?;
+                self.store_put_feature(shard, id, FeatureKind::Cnn, cnn)?;
+                self.engine.index_image(shard, id);
+            }
+            Ok(())
+        });
+        for outcome in outcomes {
+            outcome?;
         }
         Ok(ids)
     }
@@ -454,10 +687,9 @@ impl Tvdp {
         // distance of an actual duplicate does.
         let candidates = self
             .engine
-            .read()
             .visual_within_sq(&cnn, max_feature_dist * max_feature_dist);
         for &(d_sq, image_id) in &candidates {
-            let Some(existing) = self.store.image(image_id) else {
+            let Some(existing) = self.image_record(image_id) else {
                 continue;
             };
             if existing.meta.gps.fast_distance_m(&request.gps) <= max_camera_distance_m {
@@ -515,18 +747,23 @@ impl Tvdp {
         op: Augmentation,
     ) -> Result<ImageId, PlatformError> {
         self.require_user(user)?;
-        let record = self
-            .store
+        // The child inherits the parent's metadata (same GPS), so it
+        // lands on the parent's shard, where the lineage check can see
+        // the parent row.
+        let shard = self
+            .shard_of(parent)
+            .ok_or(PlatformError::UnknownImage(parent))?;
+        let record = self.stores[shard]
             .image(parent)
             .ok_or(PlatformError::UnknownImage(parent))?;
-        let pixels = self
-            .store
+        let pixels = self.stores[shard]
             .pixels(parent)
             .ok_or(PlatformError::MissingPixels(parent))?;
         let augmented = op.apply(&pixels);
         let color = self.color.extract(&augmented);
         let cnn = self.cnn.extract(&augmented);
         let id = self.store_add_image(
+            shard,
             record.meta.clone(),
             ImageOrigin::Augmented {
                 parent,
@@ -534,9 +771,9 @@ impl Tvdp {
             },
             Some(augmented),
         )?;
-        self.store_put_feature(id, FeatureKind::ColorHistogram, color)?;
-        self.store_put_feature(id, FeatureKind::Cnn, cnn)?;
-        self.engine.write().index_image(id);
+        self.store_put_feature(shard, id, FeatureKind::ColorHistogram, color)?;
+        self.store_put_feature(shard, id, FeatureKind::Cnn, cnn)?;
+        self.engine.index_image(shard, id);
         Ok(id)
     }
 
@@ -572,16 +809,22 @@ impl Tvdp {
         Ok((report, ids))
     }
 
-    /// **Access**: executes a query against the indexes.
-    pub fn search(&self, query: &Query) -> Vec<QueryResult> {
-        self.engine.read().execute(query)
+    /// **Access**: executes a query, scattering it across the shards'
+    /// published index generations and gathering a deterministic
+    /// merge. Reads never block on ingest. Malformed queries (e.g. a
+    /// visual example of the wrong dimension) surface as
+    /// [`PlatformError::Query`] instead of panicking.
+    pub fn search(&self, query: &Query) -> Result<Vec<QueryResult>, PlatformError> {
+        Ok(self.engine.try_execute(query)?)
     }
 
     /// **Access**: executes independent queries concurrently on the global
     /// worker pool. Results are in query order and identical to calling
     /// [`Tvdp::search`] per query.
-    pub fn search_batch(&self, queries: &[Query]) -> Vec<Vec<QueryResult>> {
-        self.engine.read().execute_batch(queries)
+    pub fn search_batch(&self, queries: &[Query]) -> Result<Vec<Vec<QueryResult>>, PlatformError> {
+        Ok(self
+            .engine
+            .try_execute_batch_with_pool(queries, Pool::global())?)
     }
 
     /// Extracts the platform's feature families from an image *without*
@@ -627,8 +870,7 @@ impl Tvdp {
     ) -> Result<AnnotationId, PlatformError> {
         self.require_user(user)?;
         let record = self
-            .store
-            .image(image)
+            .image_record(image)
             .ok_or(PlatformError::UnknownImage(image))?;
         if record.width > 0
             && (region.x + region.width > record.width || region.y + region.height > record.height)
@@ -659,15 +901,25 @@ impl Tvdp {
         algorithm: Algorithm,
     ) -> Result<ModelId, PlatformError> {
         self.require_user(user)?;
-        let scheme_row = self
-            .store
+        let scheme_row = self.stores[0]
             .scheme(scheme)
             .ok_or(PlatformError::UnknownScheme(scheme))?;
         let n_classes = scheme_row.labels.len();
+        // Gather candidates from every shard, then sort by global id so
+        // the training set order — and with it every seeded algorithm's
+        // output — is independent of the shard count.
+        let mut candidates: Vec<(ImageId, usize)> = Vec::new();
+        for (shard, store) in self.stores.iter().enumerate() {
+            for image in store.images_with_feature(feature_kind) {
+                candidates.push((image, shard));
+            }
+        }
+        candidates.sort_unstable_by_key(|&(image, _)| image);
         let mut features = Vec::new();
         let mut labels = Vec::new();
-        for image in self.store.images_with_feature(feature_kind) {
-            let anns = self.store.annotations_of(image);
+        for (image, shard) in candidates {
+            let store = &self.stores[shard];
+            let anns = store.annotations_of(image);
             // Prefer human labels; fall back to the most confident
             // machine label for the scheme.
             let best = anns
@@ -679,7 +931,7 @@ impl Tvdp {
                         .then(a.confidence.total_cmp(&b.confidence))
                 });
             if let Some(ann) = best {
-                let Some(feature) = self.store.feature(image, feature_kind) else {
+                let Some(feature) = store.feature(image, feature_kind) else {
                     continue;
                 };
                 features.push(feature);
@@ -720,7 +972,7 @@ impl Tvdp {
         model: SerializableModel,
     ) -> Result<ModelId, PlatformError> {
         self.require_user(user)?;
-        if self.store.scheme(interface.scheme).is_none() {
+        if self.stores[0].scheme(interface.scheme).is_none() {
             return Err(PlatformError::UnknownScheme(interface.scheme));
         }
         Ok(self.models.register_portable(name, user, interface, model))
@@ -741,10 +993,12 @@ impl Tvdp {
             .ok_or(PlatformError::UnknownModel(model))?;
         let mut out = Vec::with_capacity(images.len());
         for &image in images {
-            // Borrow the feature row from the arena; no per-image clone.
+            // Borrow the feature row from the owning shard's arena; no
+            // per-image clone.
             let feature = self
-                .store
-                .feature_ref(image, interface.feature_kind)
+                .stores
+                .iter()
+                .find_map(|s| s.feature_ref(image, interface.feature_kind))
                 .ok_or(PlatformError::MissingFeature(image, interface.feature_kind))?;
             let (label, confidence) = self
                 .models
@@ -795,11 +1049,11 @@ impl Tvdp {
         }
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics, summed across shards.
     pub fn stats(&self) -> PlatformStats {
         PlatformStats {
-            images: self.store.len(),
-            annotations: self.store.annotation_count(),
+            images: self.stores.iter().map(|s| s.len()).sum(),
+            annotations: self.stores.iter().map(|s| s.annotation_count()).sum(),
             models: self.models.ids().len(),
             users: self.users.all().len(),
         }
@@ -858,10 +1112,12 @@ mod tests {
             .store()
             .feature(id, FeatureKind::ColorHistogram)
             .is_some());
-        let hits = tvdp.search(&Query::Textual {
-            text: "street".into(),
-            mode: tvdp_query::TextualMode::All,
-        });
+        let hits = tvdp
+            .search(&Query::Textual {
+                text: "street".into(),
+                mode: tvdp_query::TextualMode::All,
+            })
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(tvdp.stats().images, 1);
     }
@@ -1066,10 +1322,12 @@ mod tests {
         for &id in &report.keyframes {
             assert!(tvdp.store().image(id).unwrap().meta.fov.is_some());
         }
-        let hits = tvdp.search(&Query::Textual {
-            text: "route 7".into(),
-            mode: tvdp_query::TextualMode::All,
-        });
+        let hits = tvdp
+            .search(&Query::Textual {
+                text: "route 7".into(),
+                mode: tvdp_query::TextualMode::All,
+            })
+            .unwrap();
         assert_eq!(hits.len(), 5);
     }
 
@@ -1134,10 +1392,12 @@ mod tests {
         assert!(!replayed);
         assert_ne!(theirs, id);
         // The first ingest was indexed exactly once.
-        let hits = tvdp.search(&Query::Textual {
-            text: "street".into(),
-            mode: tvdp_query::TextualMode::All,
-        });
+        let hits = tvdp
+            .search(&Query::Textual {
+                text: "street".into(),
+                mode: tvdp_query::TextualMode::All,
+            })
+            .unwrap();
         assert_eq!(hits.len(), 2);
     }
 }
@@ -1195,10 +1455,12 @@ mod batch_tests {
             assert_eq!(seq.store().image(a), par.store().image(b));
         }
         // Index sees everything.
-        let hits = par.search(&Query::Textual {
-            text: "kw3".into(),
-            mode: tvdp_query::TextualMode::All,
-        });
+        let hits = par
+            .search(&Query::Textual {
+                text: "kw3".into(),
+                mode: tvdp_query::TextualMode::All,
+            })
+            .unwrap();
         assert_eq!(hits.len(), 1);
     }
 
@@ -1214,10 +1476,10 @@ mod batch_tests {
                 mode: tvdp_query::TextualMode::All,
             })
             .collect();
-        let batched = tvdp.search_batch(&queries);
+        let batched = tvdp.search_batch(&queries).unwrap();
         assert_eq!(batched.len(), queries.len());
         for (q, results) in queries.iter().zip(&batched) {
-            assert_eq!(&tvdp.search(q), results, "diverged on {q:?}");
+            assert_eq!(&tvdp.search(q).unwrap(), results, "diverged on {q:?}");
         }
     }
 
@@ -1381,10 +1643,12 @@ mod durability_tests {
         assert_eq!(tvdp.store().annotations_of(id)[0].id, ann);
         assert_eq!(tvdp.store().scheme(scheme).unwrap().labels.len(), 2);
         // The query engine was rebuilt over the recovered rows.
-        let hits = tvdp.search(&Query::Textual {
-            text: "street".into(),
-            mode: TextualMode::All,
-        });
+        let hits = tvdp
+            .search(&Query::Textual {
+                text: "street".into(),
+                mode: TextualMode::All,
+            })
+            .unwrap();
         assert_eq!(hits.len(), 1);
         // Ids keep advancing from where the journal left off.
         let user = tvdp.register_user("LASAN", Role::Government);
@@ -1420,6 +1684,52 @@ mod durability_tests {
     }
 
     #[test]
+    fn sharded_durable_platform_survives_reopen() {
+        let dir = temp_dir("sharded-reopen");
+        let config = PlatformConfig {
+            shards: 3,
+            ..fast_config()
+        };
+        let mut ids = Vec::new();
+        {
+            let (tvdp, _) = Tvdp::open(&dir, config.clone()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            let scheme = tvdp
+                .register_scheme("binary", vec!["red".into(), "blue".into()])
+                .unwrap();
+            // Spread uploads across the city so several shards own rows.
+            for i in 0..9 {
+                let mut rq = request(i);
+                rq.gps = GeoPoint::new(34.0 + 0.03 * i as f64, -118.25 - 0.02 * i as f64);
+                let id = tvdp.ingest(user, scene(0, i as usize), rq).unwrap();
+                tvdp.annotate_human(user, id, scheme, 0).unwrap();
+                ids.push(id);
+            }
+            assert!(dir.join("shard-0").exists());
+            // No flush: everything must come back from per-shard WALs.
+        }
+        let (tvdp, report) = Tvdp::open(&dir, config).unwrap();
+        // 3x scheme broadcast + 9 x (image + 2 features + annotation).
+        assert_eq!(report.replayed_ops, 3 + 9 * 4);
+        assert_eq!(tvdp.stats().images, 9);
+        for &id in &ids {
+            assert!(tvdp.shard_of(id).is_some());
+        }
+        let hits = tvdp
+            .search(&Query::Textual {
+                text: "street".into(),
+                mode: TextualMode::All,
+            })
+            .unwrap();
+        assert_eq!(hits.len(), 9);
+        // Ids keep advancing past everything in any shard's journal.
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let next = tvdp.ingest(user, scene(1, 1), request(1)).unwrap();
+        assert!(next.0 > ids.iter().map(|i| i.0).max().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn ingest_idempotent_dedups_across_crash_recovery() {
         let dir = temp_dir("idem");
         let id;
@@ -1448,5 +1758,185 @@ mod durability_tests {
         assert_eq!(again, id);
         assert_eq!(tvdp.stats().images, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+    use tvdp_query::{SpatialQuery, TemporalField, TextualMode, VisualMode};
+
+    fn cfg(shards: usize) -> PlatformConfig {
+        PlatformConfig {
+            cnn: CnnConfig {
+                input_size: 16,
+                stage_channels: vec![4, 8],
+                pool_grid: 2,
+                seed: 1,
+            },
+            shards,
+            ..Default::default()
+        }
+    }
+
+    fn img(i: usize) -> Image {
+        Image::from_fn(20, 20, |x, y| [(x * i) as u8, (y + 2 * i) as u8, 31])
+    }
+
+    fn req(i: i64) -> IngestRequest {
+        IngestRequest {
+            // Spread far enough that uploads land in many grid cells.
+            gps: GeoPoint::new(34.0 + 0.025 * i as f64, -118.25 - 0.015 * i as f64),
+            fov: None,
+            captured_at: 1000 + i,
+            uploaded_at: 1100 + i,
+            keywords: vec!["street".into(), format!("kw{i}")],
+        }
+    }
+
+    /// One platform per shard count, identically populated.
+    fn populated(shards: usize) -> Tvdp {
+        let tvdp = Tvdp::new(cfg(shards));
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let scheme = tvdp
+            .register_scheme("binary", vec!["red".into(), "blue".into()])
+            .unwrap();
+        for i in 0..24 {
+            let id = tvdp.ingest(user, img(i), req(i as i64)).unwrap();
+            tvdp.annotate_human(user, id, scheme, i % 2).unwrap();
+        }
+        tvdp
+    }
+
+    #[test]
+    fn shard_counts_agree_on_every_query_family() {
+        let single = populated(1);
+        let sharded = populated(4);
+        assert_eq!(single.stats().images, 24);
+        assert_eq!(sharded.stats().images, 24);
+        assert!(sharded.shard_count() == 4);
+        // Rows actually spread over shards.
+        let occupied = sharded.stores().iter().filter(|s| s.len() > 0).count();
+        assert!(occupied > 1, "routing sent everything to one shard");
+
+        let example = single
+            .store()
+            .feature(ImageId(0), FeatureKind::Cnn)
+            .unwrap();
+        let queries = vec![
+            Query::Textual {
+                text: "street".into(),
+                mode: TextualMode::All,
+            },
+            Query::Textual {
+                text: "street kw3 kw17".into(),
+                mode: TextualMode::Ranked(7),
+            },
+            Query::Temporal {
+                field: TemporalField::Captured,
+                from: 1003,
+                to: 1015,
+            },
+            Query::Spatial(SpatialQuery::Nearest {
+                point: GeoPoint::new(34.2, -118.4),
+                k: 5,
+            }),
+            Query::Visual {
+                example: example.clone(),
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(6),
+            },
+            Query::Categorical {
+                scheme: ClassificationId(0),
+                label: 1,
+                min_confidence: 0.5,
+            },
+            Query::And(vec![
+                Query::Spatial(SpatialQuery::Range(tvdp_geo::BBox::new(
+                    33.9, -118.6, 34.4, -118.2,
+                ))),
+                Query::Visual {
+                    example,
+                    kind: FeatureKind::Cnn,
+                    mode: VisualMode::TopK(4),
+                },
+            ]),
+        ];
+        for q in &queries {
+            let a = single.search(q).unwrap();
+            let b = sharded.search(q).unwrap();
+            assert_eq!(a, b, "shard counts diverged on {q:?}");
+        }
+        let a = single.search_batch(&queries).unwrap();
+        let b = sharded.search_batch(&queries).unwrap();
+        assert_eq!(a, b, "batched execution diverged across shard counts");
+    }
+
+    #[test]
+    fn sharded_batch_ingest_matches_sequential() {
+        let seq = populated(4);
+        let par = Tvdp::new(cfg(4));
+        let user = par.register_user("LASAN", Role::Government);
+        let scheme = par
+            .register_scheme("binary", vec!["red".into(), "blue".into()])
+            .unwrap();
+        let batch: Vec<(Image, IngestRequest)> = (0..24).map(|i| (img(i), req(i as i64))).collect();
+        let ids = par.ingest_batch(user, batch, 4).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            par.annotate_human(user, id, scheme, i % 2).unwrap();
+        }
+        // Same ids in input order, same rows on the same shards.
+        assert_eq!(ids, (0..24).map(ImageId).collect::<Vec<_>>());
+        for &id in &ids {
+            assert_eq!(seq.shard_of(id), par.shard_of(id));
+            let shard = par.shard_of(id).unwrap();
+            assert_eq!(
+                seq.stores()[shard].feature(id, FeatureKind::Cnn),
+                par.stores()[shard].feature(id, FeatureKind::Cnn),
+            );
+        }
+        let q = Query::Textual {
+            text: "street".into(),
+            mode: TextualMode::Ranked(10),
+        };
+        assert_eq!(seq.search(&q).unwrap(), par.search(&q).unwrap());
+    }
+
+    #[test]
+    fn search_surfaces_kind_mismatch_instead_of_panicking() {
+        let tvdp = populated(2);
+        let err = tvdp
+            .search(&Query::Visual {
+                example: vec![0.5; 4],
+                kind: FeatureKind::ColorHistogram,
+                mode: VisualMode::TopK(3),
+            })
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::Query(_)), "got {err:?}");
+        let err = tvdp
+            .search_batch(&[Query::And(vec![Query::Visual {
+                example: vec![0.5; 4],
+                kind: FeatureKind::ColorHistogram,
+                mode: VisualMode::Threshold(0.1),
+            }])])
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::Query(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn idempotent_uploads_route_to_the_marker_owner() {
+        let tvdp = Tvdp::new(cfg(4));
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let (id, replayed) = tvdp
+            .ingest_idempotent(user, img(3), req(3), "cam1-f1")
+            .unwrap();
+        assert!(!replayed);
+        let (again, replayed) = tvdp
+            .ingest_idempotent(user, img(3), req(3), "cam1-f1")
+            .unwrap();
+        assert!(replayed);
+        assert_eq!(again, id);
+        assert_eq!(tvdp.stats().images, 1);
     }
 }

@@ -40,6 +40,20 @@ pub fn tokenize(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// One query term's tf-idf contribution to a document's ranked score.
+///
+/// This is *the* scoring formula of [`InvertedIndex::search_ranked`],
+/// factored out so distributed executors can score a document that
+/// lives in one partition against **corpus-global** statistics
+/// (`n_docs`, `df`) and still produce bit-identical floats: the
+/// contribution is a pure function of `(tf, doc_len, n_docs, df)`, so
+/// any executor holding the same four numbers reproduces the exact
+/// same `f64`.
+pub fn ranked_term_contribution(tf: u32, doc_len: u32, n_docs: usize, df: usize) -> f64 {
+    let idf = ((n_docs as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0;
+    (f64::from(tf) / f64::from(doc_len).max(1.0)) * idf
+}
+
 impl InvertedIndex {
     /// An empty index.
     pub fn new() -> Self {
@@ -128,16 +142,36 @@ impl InvertedIndex {
     /// least one term. Selection runs through a bounded top-k heap
     /// (`O(n log k)`) instead of sorting every scored document.
     pub fn search_ranked(&self, query: &str, k: usize) -> Vec<(f64, usize)> {
+        self.search_ranked_with_stats(query, k, self.n_docs, |_, list_len| list_len)
+    }
+
+    /// [`InvertedIndex::search_ranked`] scored against externally
+    /// supplied corpus statistics: `n_docs` is the corpus-wide document
+    /// count, and `df(term, local_df)` maps a term (with its document
+    /// frequency in *this* index) to its corpus-wide document
+    /// frequency. A partitioned corpus uses this for two-phase ranked
+    /// retrieval — gather per-partition frequencies first, then score
+    /// each partition's documents with the global numbers — and the
+    /// per-document scores come out bit-identical to one big index (see
+    /// [`ranked_term_contribution`]). With `self.n_docs` and the
+    /// identity closure this *is* `search_ranked`.
+    pub fn search_ranked_with_stats(
+        &self,
+        query: &str,
+        k: usize,
+        n_docs: usize,
+        df: impl Fn(&str, usize) -> usize,
+    ) -> Vec<(f64, usize)> {
         let terms = tokenize(query);
         let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
         for term in &terms {
             let Some(list) = self.postings.get(term) else {
                 continue;
             };
-            let idf = ((self.n_docs as f64 + 1.0) / (list.len() as f64 + 1.0)).ln() + 1.0;
+            let term_df = df(term, list.len());
             for &(doc, tf) in list {
-                let len = f64::from(self.doc_lengths[&doc]).max(1.0);
-                *scores.entry(doc).or_insert(0.0) += (f64::from(tf) / len) * idf;
+                *scores.entry(doc).or_insert(0.0) +=
+                    ranked_term_contribution(tf, self.doc_lengths[&doc], n_docs, term_df);
             }
         }
         // "Smallest k" under (Reverse(score), doc) = highest score first,

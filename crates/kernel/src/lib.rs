@@ -20,15 +20,21 @@
 //!   owning `Vec<f32>` clones.
 //! * [`TopK`] / [`TotalF32`] — bounded top-k selection over float
 //!   scores, replacing collect-then-sort on every top-k query path.
+//! * [`GenCell`] — generation publication: writers `Arc`-swap frozen
+//!   snapshots in, readers take them out without ever blocking on a
+//!   writer. The sanctioned primitive behind every lock-free read path
+//!   (shard snapshots, slab views).
 //!
 //! The determinism contract all pieces uphold: **thread count and pool
 //! choice never change any computed value** — only wall-clock time.
 
 pub mod arena;
+pub mod gencell;
 pub mod pool;
 pub mod topk;
 
 pub use arena::{FeatureSlab, RowRef, RowSource, SlabView, ROWS_PER_CHUNK};
+pub use gencell::GenCell;
 pub use pool::Pool;
 pub use topk::{TopK, TotalF32, TotalF64};
 

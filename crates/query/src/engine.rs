@@ -16,13 +16,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use tvdp_geo::{BBox, GeoPolygon};
 use tvdp_index::{
     inverted::tokenize, InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex,
     VisualRTree,
 };
-use tvdp_kernel::{l2_sq, Pool, RowSource, SlabView};
+use tvdp_kernel::{l2_sq, GenCell, Pool, RowSource, SlabView};
 use tvdp_storage::{ClassificationId, ImageId, VisualStore};
 use tvdp_vision::FeatureKind;
 
@@ -119,8 +118,10 @@ pub struct QueryEngine {
     /// One past the highest arena row the visual indexes reference;
     /// the cached view must cover at least this many rows.
     rows_hi: u32,
-    /// Lazily refreshed arena snapshot shared by every visual query.
-    view_cache: RwLock<Arc<SlabView>>,
+    /// Lazily refreshed arena snapshot shared by every visual query,
+    /// published as an immutable generation: readers never block on a
+    /// refresh and a refresh never blocks readers.
+    view_cache: GenCell<SlabView>,
     /// Union of all indexed scene boxes (spatial selectivity model).
     extent: Option<BBox>,
     /// Ordered set (lint rule L2): never leaks hash order into results.
@@ -130,8 +131,28 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Builds the engine, indexing every image currently in `store`.
     pub fn build(store: Arc<VisualStore>, config: EngineConfig) -> Self {
-        let mut engine = Self {
-            store: Arc::clone(&store),
+        let mut engine = Self::build_empty(Arc::clone(&store), config);
+        for id in store.image_ids() {
+            engine.index_image(id);
+        }
+        engine
+    }
+
+    /// Builds an engine indexing only the given image ids (ids absent
+    /// from the store are ignored). This is how a shard seals a segment:
+    /// a small immutable engine over exactly the rows the segment owns,
+    /// sharing the store's feature arena zero-copy like [`QueryEngine::build`].
+    pub fn build_over(store: Arc<VisualStore>, config: EngineConfig, ids: &[ImageId]) -> Self {
+        let mut engine = Self::build_empty(store, config);
+        for &id in ids {
+            engine.index_image(id);
+        }
+        engine
+    }
+
+    fn build_empty(store: Arc<VisualStore>, config: EngineConfig) -> Self {
+        Self {
+            store,
             config,
             scene_tree: RTree::new(),
             fov_tree: OrientedRTree::new(),
@@ -149,14 +170,10 @@ impl QueryEngine {
             rows_by_id: BTreeMap::new(),
             visual_dim: None,
             rows_hi: 0,
-            view_cache: RwLock::new(Arc::new(SlabView::empty(1))),
+            view_cache: GenCell::new(Arc::new(SlabView::empty(1))),
             extent: None,
             indexed: BTreeSet::new(),
-        };
-        for id in store.image_ids() {
-            engine.index_image(id);
         }
-        engine
     }
 
     /// The underlying store.
@@ -233,23 +250,17 @@ impl QueryEngine {
     /// steady-state queries share one `Arc` and allocate nothing.
     fn visual_view(&self) -> Arc<SlabView> {
         let needed = self.rows_hi as usize;
-        {
-            let view = self.view_cache.read();
-            if view.rows() >= needed {
-                return Arc::clone(&view);
-            }
+        let view = self.view_cache.load();
+        if view.rows() >= needed {
+            return view;
         }
         let dim = self.visual_dim.unwrap_or(1);
         let fresh = Arc::new(self.store.slab_view(self.config.visual_kind, dim));
-        let mut slot = self.view_cache.write();
-        // A racing refresh may already have installed a newer snapshot;
-        // keep whichever covers more rows. Snapshots only ever grow and
-        // indexes never reference uncovered rows, so which one wins
-        // cannot change any query result.
-        if fresh.rows() > slot.rows() {
-            *slot = Arc::clone(&fresh);
-        }
-        Arc::clone(&slot)
+        // Racing refreshes may publish in either order; snapshots only
+        // ever grow and indexes never reference uncovered rows, so
+        // whichever generation wins cannot change any query result.
+        self.view_cache.store(Arc::clone(&fresh));
+        fresh
     }
 
     /// Validates a query tree against the engine's configuration
@@ -294,9 +305,10 @@ impl QueryEngine {
         }
     }
 
-    /// Dispatch after validation. Recursive planner paths call this
-    /// directly so a tree is only validated once.
-    fn run(&self, query: &Query) -> Vec<QueryResult> {
+    /// Dispatch after validation. Recursive planner paths (and the
+    /// sharded scatter executor) call this directly so a tree is only
+    /// validated once.
+    pub(crate) fn run(&self, query: &Query) -> Vec<QueryResult> {
         match query {
             Query::Spatial(sq) => self.execute_spatial(sq),
             Query::Visual { example, mode, .. } => self.execute_visual(example, *mode, None),
@@ -346,6 +358,46 @@ impl QueryEngine {
     /// (one-worker-per-CPU) pool.
     pub fn execute_batch(&self, queries: &[Query]) -> Vec<Vec<QueryResult>> {
         self.execute_batch_with_pool(queries, Pool::global())
+    }
+
+    /// Document frequency of a (lowercased) term in this engine's text
+    /// index — one addend of a partitioned corpus's global df.
+    pub(crate) fn term_df(&self, term: &str) -> usize {
+        self.text.doc_frequency(term)
+    }
+
+    /// Ranked textual retrieval scored against corpus-global statistics
+    /// (`n_docs` documents, per-term document frequencies `df`), mapped
+    /// to image ids. The sharded executor's phase-2 scoring: identical
+    /// floats to one big index holding the whole corpus (see
+    /// [`tvdp_index::InvertedIndex::search_ranked_with_stats`]).
+    pub(crate) fn ranked_with_stats(
+        &self,
+        text: &str,
+        k: usize,
+        n_docs: usize,
+        df: &BTreeMap<String, usize>,
+    ) -> Vec<(f64, ImageId)> {
+        self.text
+            .search_ranked_with_stats(text, k, n_docs, |term, local| {
+                df.get(term).copied().unwrap_or(local)
+            })
+            .into_iter()
+            .map(|(score, doc)| (score, self.docs[doc]))
+            .collect()
+    }
+
+    /// Visual search optionally restricted to a region — the engine's
+    /// hybrid fast path, exposed to the sharded executor so a
+    /// spatial+visual conjunction scatters as one index traversal per
+    /// segment.
+    pub(crate) fn run_visual(
+        &self,
+        example: &[f32],
+        mode: VisualMode,
+        region: Option<&BBox>,
+    ) -> Vec<QueryResult> {
+        self.execute_visual(example, mode, region)
     }
 
     /// All images whose indexed feature lies within squared distance

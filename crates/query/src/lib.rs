@@ -22,11 +22,13 @@ pub mod engine;
 pub mod linear;
 pub mod localize;
 mod plan;
+pub mod sharded;
 pub mod types;
 
 pub use engine::{EngineConfig, QueryEngine};
 pub use linear::LinearExecutor;
 pub use localize::{localize, LocalizationEstimate};
+pub use sharded::ShardedEngine;
 pub use types::{
     Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
 };

@@ -1,0 +1,776 @@
+//! Sharded scatter/gather execution with lock-free snapshot reads.
+//!
+//! A [`ShardedEngine`] partitions the corpus across N *shards*, each
+//! backed by its own [`VisualStore`] (and therefore its own feature
+//! arena). Inside a shard, indexed images live in two places:
+//!
+//! * **sealed segments** — immutable [`QueryEngine`]s built over a
+//!   fixed id set ([`QueryEngine::build_over`]), and
+//! * * a **tail** — the ids ingested since the last seal, evaluated by
+//!   a small linear executor with bit-identical scoring.
+//!
+//! Every mutation republishes the shard's `(segments, tail)` pair as an
+//! immutable *generation* through a [`GenCell`], so queries never block
+//! on ingest: a query loads each shard's current generation exactly
+//! once up front (one consistent snapshot for the whole tree) and runs
+//! against frozen state while writers keep appending behind it.
+//!
+//! Queries **scatter** over every segment and tail — fanned out on a
+//! [`tvdp_kernel::Pool`] — and **gather** with deterministic merges:
+//!
+//! * score-0 filter leaves concatenate and sort by image id (shards
+//!   partition the id space, so no dedup is needed),
+//! * top-k leaves (visual top-k, spatial nearest) take per-partition
+//!   top-k lists and re-rank globally by `(score, id)`,
+//! * ranked text runs in two phases: gather corpus-global document
+//!   frequencies first, then score each partition against the global
+//!   statistics ([`tvdp_index::ranked_term_contribution`] is a pure
+//!   function of those numbers, so the floats are bit-identical to one
+//!   big index),
+//! * conjunctions keep the planner's hybrid fast path — one spatial
+//!   range plus one visual leaf scatters as a single restricted index
+//!   traversal per segment.
+//!
+//! Merge order never depends on shard count or worker count: the same
+//! corpus sharded 1 way or N ways, queried on 1 thread or M, yields
+//! byte-identical results (the approximate LSH path is the documented
+//! exception — it is thread-invariant but not shard-count-invariant,
+//! since each segment hashes its own candidate set).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tvdp_geo::BBox;
+use tvdp_index::inverted::{ranked_term_contribution, tokenize};
+use tvdp_kernel::{l2_sq, GenCell, Pool, TopK, TotalF64};
+use tvdp_storage::{ImageId, ImageRecord, VisualStore};
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::types::{
+    Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
+};
+
+/// Default number of pending images a shard accumulates before sealing
+/// them into an immutable segment. The cap trades the two read costs
+/// against each other: tail rows are scanned linearly by every query,
+/// sealed segments answer through log-scale indexes — so a smaller cap
+/// bounds the linear part tighter at the price of more segments per
+/// scatter. 128 sits at the measured knee for mixed workloads.
+pub const DEFAULT_SEAL_CAP: usize = 128;
+
+/// One shard's published generation: sealed segments plus the pending
+/// tail. Immutable from the moment it is stored in the shard's
+/// [`GenCell`].
+#[derive(Default)]
+struct ShardGen {
+    segments: Vec<Arc<QueryEngine>>,
+    tail: Arc<Vec<ImageId>>,
+}
+
+/// Writer-side state, guarded by the shard's ingest mutex. Only
+/// same-shard writers contend on it; readers go through the published
+/// generation and never touch this lock.
+#[derive(Default)]
+struct WriterState {
+    segments: Vec<Arc<QueryEngine>>,
+    /// Pending ids, kept sorted ascending so segment document order
+    /// (and therefore ranked-text tie-breaking) is id order regardless
+    /// of ingest interleaving.
+    pending: Vec<ImageId>,
+    /// Everything ever indexed into this shard (idempotency guard).
+    indexed: BTreeSet<ImageId>,
+}
+
+struct Shard {
+    store: Arc<VisualStore>,
+    writer: Mutex<WriterState>,
+    published: GenCell<ShardGen>,
+}
+
+/// A per-query snapshot: every shard's store and generation, loaded
+/// once so the whole query tree sees one consistent corpus.
+struct Snapshot {
+    shards: Vec<ShardView>,
+}
+
+struct ShardView {
+    store: Arc<VisualStore>,
+    gen: Arc<ShardGen>,
+}
+
+/// A unit of scatter work: one sealed segment, or one shard's tail.
+enum Unit<'a> {
+    Seg(&'a QueryEngine),
+    Tail(&'a ShardView),
+}
+
+/// Scatter/gather query executor over spatially sharded stores.
+///
+/// Readers are lock-free: [`ShardedEngine::try_execute`] loads each
+/// shard's published generation (an `Arc` clone) and never blocks on
+/// concurrent [`ShardedEngine::index_image`] calls. Writers contend
+/// only with writers of the same shard.
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    config: EngineConfig,
+    seal_cap: usize,
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine over the given stores (one shard per
+    /// store), indexing every image currently present, with the
+    /// default segment seal threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stores` is empty.
+    pub fn build(stores: Vec<Arc<VisualStore>>, config: EngineConfig) -> Self {
+        Self::with_seal_cap(stores, config, DEFAULT_SEAL_CAP)
+    }
+
+    /// [`ShardedEngine::build`] with an explicit seal threshold
+    /// (clamped to at least 1). Small caps seal aggressively — useful
+    /// in tests to force multi-segment shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stores` is empty.
+    pub fn with_seal_cap(
+        stores: Vec<Arc<VisualStore>>,
+        config: EngineConfig,
+        seal_cap: usize,
+    ) -> Self {
+        assert!(
+            !stores.is_empty(),
+            "a sharded engine needs at least one shard"
+        );
+        let shards = stores
+            .into_iter()
+            .map(|store| Shard {
+                store,
+                writer: Mutex::new(WriterState::default()),
+                published: GenCell::new(Arc::new(ShardGen::default())),
+            })
+            .collect();
+        let engine = Self {
+            shards,
+            config,
+            seal_cap: seal_cap.max(1),
+        };
+        for shard in 0..engine.shards.len() {
+            for id in engine.shards[shard].store.image_ids() {
+                engine.index_image(shard, id);
+            }
+        }
+        engine
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total indexed images across all published generations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.published.load();
+                g.segments.iter().map(|e| e.len()).sum::<usize>() + g.tail.len()
+            })
+            .sum()
+    }
+
+    /// Whether nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indexes one image of `shard`'s store, publishing a new
+    /// generation. Idempotent per id; ids absent from the shard's store
+    /// are ignored. When the pending tail reaches the seal threshold it
+    /// is frozen into an immutable segment first.
+    ///
+    /// Concurrent callers targeting *different* shards do not contend;
+    /// in-flight queries keep the generation they loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn index_image(&self, shard: usize, id: ImageId) {
+        let s = &self.shards[shard];
+        if s.store.image(id).is_none() {
+            return;
+        }
+        let mut w = s.writer.lock();
+        if !w.indexed.insert(id) {
+            return;
+        }
+        let pos = w.pending.partition_point(|&p| p < id);
+        w.pending.insert(pos, id);
+        if w.pending.len() >= self.seal_cap {
+            let segment = Arc::new(QueryEngine::build_over(
+                Arc::clone(&s.store),
+                self.config.clone(),
+                &w.pending,
+            ));
+            w.segments.push(segment);
+            w.pending.clear();
+        }
+        s.published.store(Arc::new(ShardGen {
+            segments: w.segments.clone(),
+            tail: Arc::new(w.pending.clone()),
+        }));
+    }
+
+    /// Validates a query tree against the sharded configuration
+    /// (mirrors [`QueryEngine::try_execute`]'s checks).
+    fn validate(&self, query: &Query) -> Result<(), QueryError> {
+        match query {
+            Query::Visual { kind, .. } if *kind != self.config.visual_kind => {
+                Err(QueryError::KindMismatch {
+                    indexed: self.config.visual_kind,
+                    queried: *kind,
+                })
+            }
+            Query::And(subs) | Query::Or(subs) => subs.iter().try_for_each(|q| self.validate(q)),
+            _ => Ok(()),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardView {
+                    store: Arc::clone(&s.store),
+                    gen: s.published.load(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes a query: scatter across every shard's published
+    /// generation on the global pool, gather deterministically. A
+    /// visual leaf naming a feature family other than the indexed one
+    /// is rejected with [`QueryError::KindMismatch`].
+    pub fn try_execute(&self, query: &Query) -> Result<Vec<QueryResult>, QueryError> {
+        self.try_execute_with_pool(query, Pool::global())
+    }
+
+    /// [`ShardedEngine::try_execute`] scattering on the given pool.
+    pub fn try_execute_with_pool(
+        &self,
+        query: &Query,
+        pool: &Pool,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        self.validate(query)?;
+        let snap = self.snapshot();
+        Ok(self.run_on(&snap, query, pool))
+    }
+
+    /// Executes a batch of independent queries, fanning the *queries*
+    /// out across the pool (each query then scatters serially, bounding
+    /// total thread count). All queries see one snapshot; results are
+    /// in input order and identical to per-query execution.
+    pub fn try_execute_batch_with_pool(
+        &self,
+        queries: &[Query],
+        pool: &Pool,
+    ) -> Result<Vec<Vec<QueryResult>>, QueryError> {
+        for q in queries {
+            self.validate(q)?;
+        }
+        let snap = self.snapshot();
+        Ok(pool.map(queries, |_, q| {
+            let serial = Pool::serial();
+            self.run_on(&snap, q, &serial)
+        }))
+    }
+
+    /// All images within squared feature distance `max_dist_sq` of
+    /// `example`, as `(squared_distance, id)` sorted ascending — the
+    /// sharded counterpart of [`QueryEngine::visual_within_sq`].
+    pub fn visual_within_sq(&self, example: &[f32], max_dist_sq: f32) -> Vec<(f32, ImageId)> {
+        let snap = self.snapshot();
+        let kind = self.config.visual_kind;
+        let mut out: Vec<(f32, ImageId)> = Vec::new();
+        for sv in &snap.shards {
+            for seg in &sv.gen.segments {
+                out.extend(seg.visual_within_sq(example, max_dist_sq));
+            }
+            for &id in sv.gen.tail.iter() {
+                if let Some(feature) = sv.store.feature_ref(id, kind) {
+                    let d_sq = l2_sq(&feature, example);
+                    if d_sq <= max_dist_sq {
+                        out.push((d_sq, id));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Post-validation dispatch over one snapshot.
+    fn run_on(&self, snap: &Snapshot, query: &Query, pool: &Pool) -> Vec<QueryResult> {
+        match query {
+            Query::And(subs) => self.and_on(snap, subs, pool),
+            Query::Or(subs) => self.or_on(snap, subs, pool),
+            Query::Categorical {
+                scheme,
+                label,
+                min_confidence,
+            } => {
+                // Annotations are store-level state, not index state:
+                // scan each shard's store directly (segments must never
+                // see a categorical leaf — each would report the whole
+                // shard).
+                let mut ids: Vec<ImageId> = snap
+                    .shards
+                    .iter()
+                    .flat_map(|sv| {
+                        sv.store
+                            .annotations_with_label(*scheme, *label)
+                            .into_iter()
+                            .filter(|a| a.confidence >= *min_confidence)
+                            .map(|a| a.image)
+                    })
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids.into_iter()
+                    .map(|id| QueryResult::new(id, 0.0))
+                    .collect()
+            }
+            Query::Textual {
+                text,
+                mode: TextualMode::Ranked(k),
+            } => self.ranked_on(snap, text, *k, pool),
+            leaf => self.scatter_leaf(snap, leaf, pool),
+        }
+    }
+
+    /// Scatters a single-modal leaf over every segment and tail, then
+    /// merges with the leaf's deterministic gather rule.
+    fn scatter_leaf(&self, snap: &Snapshot, leaf: &Query, pool: &Pool) -> Vec<QueryResult> {
+        let units = units_of(snap);
+        let partials = pool.map(&units, |_, unit| match unit {
+            Unit::Seg(engine) => engine.run(leaf),
+            Unit::Tail(sv) => self.tail_leaf(sv, leaf),
+        });
+        let mut all: Vec<QueryResult> = partials.into_iter().flatten().collect();
+        match leaf {
+            Query::Spatial(SpatialQuery::Nearest { k, .. }) => {
+                sort_ranked(&mut all);
+                all.truncate(*k);
+            }
+            Query::Visual {
+                mode: VisualMode::TopK(k),
+                ..
+            } => {
+                sort_ranked(&mut all);
+                all.truncate(*k);
+            }
+            Query::Visual {
+                mode: VisualMode::Threshold(_),
+                ..
+            } => sort_ranked(&mut all),
+            // Score-0 filters: partitions are disjoint, so the union is
+            // just a sort by id.
+            _ => all.sort_by_key(|r| r.image),
+        }
+        all
+    }
+
+    /// Evaluates a single-modal leaf over one shard's pending tail with
+    /// the reference (linear-scan) semantics — bit-identical scores to
+    /// the indexed paths. Each arm is a single pass over the tail under
+    /// one store read-lock acquisition; records are visited by
+    /// reference, never cloned (queries hit every pending row, so this
+    /// is the hot loop that keeps tail reads O(rows) instead of
+    /// O(rows × record size)).
+    fn tail_leaf(&self, sv: &ShardView, leaf: &Query) -> Vec<QueryResult> {
+        let mut out = Vec::new();
+        match leaf {
+            Query::Temporal { field, from, to } => with_tail(sv, |r| {
+                let t = match field {
+                    TemporalField::Captured => r.meta.captured_at,
+                    TemporalField::Uploaded => r.meta.uploaded_at,
+                };
+                if t >= *from && t <= *to {
+                    out.push(QueryResult::new(r.id, 0.0));
+                }
+            }),
+            Query::Textual { text, mode } => {
+                let terms = tokenize(text);
+                if terms.is_empty() {
+                    return out;
+                }
+                with_tail(sv, |r| {
+                    let has = |term: &String| {
+                        r.meta
+                            .keywords
+                            .iter()
+                            .any(|k| tokens_of(k).any(|t| token_eq(t, term)))
+                    };
+                    let hit = match mode {
+                        TextualMode::All => terms.iter().all(has),
+                        _ => terms.iter().any(has),
+                    };
+                    if hit {
+                        out.push(QueryResult::new(r.id, 0.0));
+                    }
+                });
+            }
+            Query::Spatial(sq) => match sq {
+                SpatialQuery::Range(bbox) => with_tail(sv, |r| {
+                    if r.scene_location.intersects(bbox) {
+                        out.push(QueryResult::new(r.id, 0.0));
+                    }
+                }),
+                SpatialQuery::Nearest { point, k } => {
+                    let mut scored: Vec<(f64, ImageId)> = Vec::new();
+                    with_tail(sv, |r| {
+                        scored.push((r.scene_location.min_distance_m(point), r.id));
+                    });
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    scored.truncate(*k);
+                    out.extend(scored.into_iter().map(|(d, id)| QueryResult::new(id, d)));
+                }
+                SpatialQuery::Within(polygon) => with_tail(sv, |r| {
+                    if polygon.intersects_bbox(&r.scene_location) {
+                        out.push(QueryResult::new(r.id, 0.0));
+                    }
+                }),
+                SpatialQuery::Covering(p) => with_tail(sv, |r| {
+                    let hit = match &r.meta.fov {
+                        Some(fov) => fov.contains(p),
+                        None => r.scene_location.contains(p),
+                    };
+                    if hit {
+                        out.push(QueryResult::new(r.id, 0.0));
+                    }
+                }),
+                SpatialQuery::Directed { region, directions } => with_tail(sv, |r| {
+                    let hit = match &r.meta.fov {
+                        Some(fov) => {
+                            fov.scene_location().intersects(region)
+                                && fov.direction_range().overlaps(directions)
+                        }
+                        None => false,
+                    };
+                    if hit {
+                        out.push(QueryResult::new(r.id, 0.0));
+                    }
+                }),
+            },
+            Query::Visual { example, mode, .. } => {
+                out = self.tail_visual(sv, example, *mode, None);
+            }
+            // And/Or/Categorical/Ranked are handled before scatter.
+            _ => {}
+        }
+        out
+    }
+
+    /// Visual scan of a tail, optionally region-restricted: one pass
+    /// over `(record, feature)` pairs under a single store read-lock
+    /// acquisition, features read in place from the arena. Squared
+    /// distances for ranking and thresholding, square roots only for
+    /// reported scores — exactly the reference executor's arithmetic.
+    fn tail_visual(
+        &self,
+        sv: &ShardView,
+        example: &[f32],
+        mode: VisualMode,
+        region: Option<&BBox>,
+    ) -> Vec<QueryResult> {
+        let kind = self.config.visual_kind;
+        let scored: Vec<(f32, ImageId)> = match mode {
+            VisualMode::TopK(k) => {
+                let mut top = TopK::new(k);
+                sv.store.with_image_features(&sv.gen.tail, kind, |r, f| {
+                    if region.is_none_or(|b| r.scene_location.intersects(b)) {
+                        top.push((tvdp_kernel::TotalF32(l2_sq(f, example)), r.id));
+                    }
+                });
+                top.into_sorted_vec()
+                    .into_iter()
+                    .map(|(tvdp_kernel::TotalF32(d_sq), id)| (d_sq, id))
+                    .collect()
+            }
+            VisualMode::Threshold(t) => {
+                let mut hits: Vec<(f32, ImageId)> = Vec::new();
+                sv.store.with_image_features(&sv.gen.tail, kind, |r, f| {
+                    if region.is_none_or(|b| r.scene_location.intersects(b)) {
+                        let d_sq = l2_sq(f, example);
+                        if d_sq <= t * t {
+                            hits.push((d_sq, r.id));
+                        }
+                    }
+                });
+                hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                hits
+            }
+        };
+        scored
+            .into_iter()
+            .map(|(d_sq, id)| QueryResult::new(id, f64::from(d_sq.sqrt())))
+            .collect()
+    }
+
+    /// Two-phase distributed tf-idf. Phase 1 gathers corpus-global
+    /// statistics (total document count, per-term document
+    /// frequencies); phase 2 scores every partition against those
+    /// numbers, so each document's score is bit-identical to a single
+    /// index over the whole corpus. Gather re-ranks by
+    /// `(descending score, ascending id)` and truncates to `k`.
+    fn ranked_on(&self, snap: &Snapshot, text: &str, k: usize, pool: &Pool) -> Vec<QueryResult> {
+        let terms = tokenize(text);
+        /// One tail row's ranked-text statistics: `tf[i]` is the term
+        /// frequency of `terms[i]` (duplicate query terms get duplicate
+        /// slots, same as the reference scorer's term loop).
+        struct TailDoc {
+            id: ImageId,
+            tf: Vec<u32>,
+            len: u32,
+        }
+        let mut tail_docs: Vec<TailDoc> = Vec::new();
+        for sv in &snap.shards {
+            with_tail(sv, |r| {
+                let mut len = 0u32;
+                let mut tf = vec![0u32; terms.len()];
+                for k in &r.meta.keywords {
+                    for tok in tokens_of(k) {
+                        len += 1;
+                        for (i, term) in terms.iter().enumerate() {
+                            if token_eq(tok, term) {
+                                tf[i] += 1;
+                            }
+                        }
+                    }
+                }
+                tail_docs.push(TailDoc { id: r.id, tf, len });
+            });
+        }
+        let n_total: usize = snap
+            .shards
+            .iter()
+            .map(|sv| sv.gen.segments.iter().map(|e| e.len()).sum::<usize>())
+            .sum::<usize>()
+            + tail_docs.len();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, term) in terms.iter().enumerate() {
+            if df.contains_key(term) {
+                continue;
+            }
+            let mut n = 0usize;
+            for sv in &snap.shards {
+                for seg in &sv.gen.segments {
+                    n += seg.term_df(term);
+                }
+            }
+            n += tail_docs.iter().filter(|d| d.tf[i] > 0).count();
+            df.insert(term.clone(), n);
+        }
+
+        let segments: Vec<&QueryEngine> = snap
+            .shards
+            .iter()
+            .flat_map(|sv| sv.gen.segments.iter().map(|a| &**a))
+            .collect();
+        let mut candidates: Vec<(f64, ImageId)> = pool
+            .map(&segments, |_, seg| {
+                seg.ranked_with_stats(text, k, n_total, &df)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        for doc in &tail_docs {
+            let mut score = 0.0f64;
+            let mut matched = false;
+            // Accumulate in query-term order (duplicates included),
+            // matching the reference index's float summation order.
+            for (i, term) in terms.iter().enumerate() {
+                let tf = doc.tf[i];
+                if tf == 0 {
+                    continue;
+                }
+                matched = true;
+                score += ranked_term_contribution(tf, doc.len, n_total, df[term]);
+            }
+            if matched {
+                candidates.push((score, doc.id));
+            }
+        }
+
+        let mut top = TopK::new(k);
+        top.extend(
+            candidates
+                .into_iter()
+                .map(|(s, id)| (Reverse(TotalF64(s)), id)),
+        );
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(Reverse(TotalF64(s)), id)| QueryResult::new(id, s))
+            .collect()
+    }
+
+    /// Disjunction: union keeping each image's best (lowest) score,
+    /// ordered by `(score, id)` — the engine's documented semantics.
+    fn or_on(&self, snap: &Snapshot, subs: &[Query], pool: &Pool) -> Vec<QueryResult> {
+        let mut pairs: Vec<(ImageId, f64)> = Vec::new();
+        for q in subs {
+            pairs.extend(
+                self.run_on(snap, q, pool)
+                    .into_iter()
+                    .map(|r| (r.image, r.score)),
+            );
+        }
+        pairs.sort_by_key(|&(id, _)| id);
+        let mut out: Vec<QueryResult> = Vec::new();
+        for (id, s) in pairs {
+            match out.last_mut() {
+                Some(last) if last.image == id => last.score = last.score.min(s),
+                _ => out.push(QueryResult::new(id, s)),
+            }
+        }
+        sort_ranked(&mut out);
+        out
+    }
+
+    /// Conjunction. The hybrid fast path — exactly one spatial range
+    /// plus one visual leaf — scatters as a single region-restricted
+    /// visual traversal per segment (with any extra legs intersected
+    /// afterwards); everything else materializes each leg globally and
+    /// intersects, scoring survivors from the first leg.
+    fn and_on(&self, snap: &Snapshot, subs: &[Query], pool: &Pool) -> Vec<QueryResult> {
+        if subs.is_empty() {
+            return Vec::new();
+        }
+        let ranges: Vec<&BBox> = subs
+            .iter()
+            .filter_map(|q| match q {
+                Query::Spatial(SpatialQuery::Range(b)) => Some(b),
+                _ => None,
+            })
+            .collect();
+        let visuals: Vec<(&Vec<f32>, VisualMode)> = subs
+            .iter()
+            .filter_map(|q| match q {
+                Query::Visual { example, mode, .. } => Some((example, *mode)),
+                _ => None,
+            })
+            .collect();
+        if ranges.len() == 1 && visuals.len() == 1 {
+            let (example, mode) = visuals[0];
+            let region = ranges[0];
+            let units = units_of(snap);
+            let partials = pool.map(&units, |_, unit| match unit {
+                Unit::Seg(engine) => engine.run_visual(example, mode, Some(region)),
+                Unit::Tail(sv) => self.tail_visual(sv, example, mode, Some(region)),
+            });
+            let mut results: Vec<QueryResult> = partials.into_iter().flatten().collect();
+            sort_ranked(&mut results);
+            if let VisualMode::TopK(k) = mode {
+                results.truncate(k);
+            }
+            let rest = subs.iter().filter(|q| {
+                !matches!(
+                    q,
+                    Query::Spatial(SpatialQuery::Range(_)) | Query::Visual { .. }
+                )
+            });
+            for q in rest {
+                if results.is_empty() {
+                    return results;
+                }
+                let ids: BTreeSet<ImageId> = self
+                    .run_on(snap, q, pool)
+                    .into_iter()
+                    .map(|r| r.image)
+                    .collect();
+                results.retain(|r| ids.contains(&r.image));
+            }
+            return results;
+        }
+
+        let mut first_scores: Vec<(ImageId, f64)> = Vec::new();
+        let mut allowed: Option<BTreeSet<ImageId>> = None;
+        for (i, q) in subs.iter().enumerate() {
+            let results = self.run_on(snap, q, pool);
+            if i == 0 {
+                first_scores = results.iter().map(|r| (r.image, r.score)).collect();
+                first_scores.sort_by_key(|&(id, _)| id);
+            }
+            let ids: BTreeSet<ImageId> = results.into_iter().map(|r| r.image).collect();
+            allowed = Some(match allowed {
+                None => ids,
+                Some(prev) => prev.intersection(&ids).copied().collect(),
+            });
+        }
+        let mut out: Vec<QueryResult> = allowed
+            .unwrap_or_default()
+            .into_iter()
+            .map(|id| {
+                let score = first_scores
+                    .binary_search_by_key(&id, |&(i, _)| i)
+                    .map_or(0.0, |pos| first_scores[pos].1);
+                QueryResult::new(id, score)
+            })
+            .collect();
+        sort_ranked(&mut out);
+        out
+    }
+}
+
+/// Flattens a snapshot into scatter units in deterministic order:
+/// shard 0's segments then tail, shard 1's, … Empty tails are skipped.
+fn units_of(snap: &Snapshot) -> Vec<Unit<'_>> {
+    let mut units = Vec::new();
+    for sv in &snap.shards {
+        for seg in &sv.gen.segments {
+            units.push(Unit::Seg(seg));
+        }
+        if !sv.gen.tail.is_empty() {
+            units.push(Unit::Tail(sv));
+        }
+    }
+    units
+}
+
+/// Runs `f` over one shard's tail records (ascending id order) under a
+/// single store read-lock acquisition. `f` must not call back into the
+/// store.
+fn with_tail(sv: &ShardView, f: impl FnMut(&ImageRecord)) {
+    sv.store.with_images(&sv.gen.tail, f);
+}
+
+/// Splits `text` at the same boundaries as
+/// [`tvdp_index::inverted::tokenize`], but borrows instead of
+/// allocating — tail scans run this per record per query.
+fn tokens_of(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+}
+
+/// Whether `token` lowercases to the (already lowercased) query `term`
+/// — allocation-free equivalent of `tokenize(token).contains(term)`
+/// for a single token. Non-ASCII tokens fall back to the exact
+/// `str::to_lowercase` the index tokenizer uses.
+fn token_eq(token: &str, term: &str) -> bool {
+    if token.is_ascii() && term.is_ascii() {
+        token.eq_ignore_ascii_case(term)
+    } else {
+        token.to_lowercase() == *term
+    }
+}
+
+/// Orders results by `(score, id)` — the scored-merge gather rule.
+fn sort_ranked(results: &mut [QueryResult]) {
+    results.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.image.cmp(&b.image)));
+}

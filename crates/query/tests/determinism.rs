@@ -16,8 +16,8 @@ use rand::SeedableRng;
 use tvdp_geo::{BBox, Fov, GeoPoint};
 use tvdp_kernel::Pool;
 use tvdp_query::{
-    EngineConfig, Query, QueryEngine, QueryResult, SpatialQuery, TemporalField, TextualMode,
-    VisualMode,
+    EngineConfig, Query, QueryEngine, QueryResult, ShardedEngine, SpatialQuery, TemporalField,
+    TextualMode, VisualMode,
 };
 use tvdp_storage::{AnnotationSource, ImageMeta, ImageOrigin, UserId, VisualStore};
 use tvdp_vision::FeatureKind;
@@ -186,4 +186,84 @@ fn rebuilt_engine_reproduces_identical_bytes() {
     let a = run_with_threads(&config, 4);
     let b = run_with_threads(&config, 4);
     assert_eq!(a, b, "identical builds produced different bytes");
+}
+
+// ---------------------------------------------------------------------
+// Shard axis: partitioning the corpus must not change a single byte.
+// ---------------------------------------------------------------------
+
+/// Test-local geo-grid router (FNV-1a over 0.01°-pitch cells) — the
+/// query crate cannot depend on the platform's `GeoShardRouter`.
+fn shard_for(gps: &GeoPoint, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let cx = (gps.lat / 0.01).floor() as i64;
+    let cy = (gps.lon / 0.01).floor() as i64;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cx.to_le_bytes().into_iter().chain(cy.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Splits `source` across `shards` fresh stores, preserving global ids
+/// so the sharded corpus is the same logical corpus.
+fn shard_stores(source: &VisualStore, shards: usize) -> Vec<Arc<VisualStore>> {
+    let stores: Vec<VisualStore> = (0..shards).map(|_| VisualStore::new()).collect();
+    let scheme = source
+        .scheme_by_name("cleanliness")
+        .expect("reference scheme");
+    for s in &stores {
+        s.register_scheme_at(scheme.id, scheme.name.clone(), scheme.labels.clone())
+            .unwrap();
+    }
+    for id in source.image_ids() {
+        let rec = source.image(id).expect("listed id");
+        let s = &stores[shard_for(&rec.meta.gps, shards)];
+        s.add_image_at(id, rec.meta.clone(), rec.origin.clone(), None)
+            .unwrap();
+        let feature = source.feature(id, FeatureKind::Cnn).expect("cnn feature");
+        s.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+        for a in source.annotations_of(id) {
+            s.annotate_at(
+                a.id,
+                a.image,
+                a.classification,
+                a.label,
+                a.confidence,
+                a.source,
+                a.region,
+            )
+            .unwrap();
+        }
+    }
+    stores.into_iter().map(Arc::new).collect()
+}
+
+fn run_sharded(shards: usize, threads: usize) -> Vec<u8> {
+    let store = build_store(300, 42);
+    // A small seal cap forces multiple sealed segments plus a live tail
+    // in every shard, exercising both scatter paths.
+    let engine =
+        ShardedEngine::with_seal_cap(shard_stores(&store, shards), EngineConfig::default(), 32);
+    let pool = Pool::new(threads);
+    let results = engine
+        .try_execute_batch_with_pool(&workload(), &pool)
+        .expect("cnn-only workload");
+    serialize(&results)
+}
+
+#[test]
+fn sharded_engine_is_shard_and_thread_count_invariant() {
+    let reference = run_sharded(1, 1);
+    assert!(!reference.is_empty());
+    for (shards, threads) in [(1, 8), (3, 1), (3, 8), (8, 1), (8, 8)] {
+        assert_eq!(
+            run_sharded(shards, threads),
+            reference,
+            "{shards} shards x {threads} threads diverged from 1 shard x 1 thread"
+        );
+    }
 }

@@ -10,6 +10,11 @@
 //!    the same ids.
 //! 2. **Pool-width determinism.** Batch execution must produce
 //!    byte-identical output under a 1-thread and an 8-thread pool.
+//! 3. **Shard-count invariance.** The same corpus split across 1, 3,
+//!    or 8 [`ShardedEngine`] shards by geo-grid routing must match the
+//!    single-store linear reference score-for-score, and batch output
+//!    must be byte-identical across every (shard count, pool width)
+//!    combination.
 //!
 //! Plus regression tests for the conjunction fast path that used to
 //! silently drop a second visual leaf of a different [`FeatureKind`].
@@ -23,8 +28,8 @@ use rand::SeedableRng;
 use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint, GeoPolygon};
 use tvdp_kernel::Pool;
 use tvdp_query::{
-    LinearExecutor, Query, QueryEngine, QueryError, QueryResult, SpatialQuery, TemporalField,
-    TextualMode, VisualMode,
+    EngineConfig, LinearExecutor, Query, QueryEngine, QueryError, QueryResult, ShardedEngine,
+    SpatialQuery, TemporalField, TextualMode, VisualMode,
 };
 use tvdp_storage::{
     AnnotationSource, ClassificationId, ImageMeta, ImageOrigin, UserId, VisualStore,
@@ -335,4 +340,144 @@ fn two_same_kind_visual_leaves_take_general_plan_and_agree() {
     let l = linear.execute(&q);
     assert!(!e.is_empty());
     assert_eq!(canonical(&e), canonical(&l));
+}
+
+// ---------------------------------------------------------------------
+// Shard axis: the same corpus partitioned 1 / 3 / 8 ways must be
+// indistinguishable from the single-store reference.
+// ---------------------------------------------------------------------
+
+/// Deterministic geo-grid shard routing for the shard-axis tests — a
+/// test-local stand-in for the platform's router (this crate cannot
+/// depend on `tvdp-core`): FNV-1a over the 0.01°-pitch cell coordinates.
+fn shard_for(gps: &GeoPoint, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let cx = (gps.lat / 0.01).floor() as i64;
+    let cy = (gps.lon / 0.01).floor() as i64;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cx.to_le_bytes().into_iter().chain(cy.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Splits `source` into `shards` fresh stores by geo-grid routing,
+/// preserving every global id (`add_image_at` / `annotate_at` /
+/// `register_scheme_at`), so the sharded stores hold exactly the same
+/// logical corpus as the single reference store.
+fn shard_stores(
+    source: &VisualStore,
+    cls: ClassificationId,
+    shards: usize,
+) -> Vec<Arc<VisualStore>> {
+    let stores: Vec<VisualStore> = (0..shards).map(|_| VisualStore::new()).collect();
+    let scheme = source.scheme(cls).expect("reference scheme");
+    for s in &stores {
+        s.register_scheme_at(scheme.id, scheme.name.clone(), scheme.labels.clone())
+            .unwrap();
+    }
+    for id in source.image_ids() {
+        let rec = source.image(id).expect("listed id");
+        let s = &stores[shard_for(&rec.meta.gps, shards)];
+        s.add_image_at(id, rec.meta.clone(), rec.origin.clone(), None)
+            .unwrap();
+        let feature = source.feature(id, FeatureKind::Cnn).expect("cnn feature");
+        s.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+        for a in source.annotations_of(id) {
+            s.annotate_at(
+                a.id,
+                a.image,
+                a.classification,
+                a.label,
+                a.confidence,
+                a.source,
+                a.region,
+            )
+            .unwrap();
+        }
+    }
+    stores.into_iter().map(Arc::new).collect()
+}
+
+/// Seal cap small enough that every shard carries several sealed
+/// segments *and* a live tail, so both scatter paths are exercised.
+const TEST_SEAL_CAP: usize = 16;
+
+#[test]
+fn sharded_engine_matches_linear_scan_across_shard_counts() {
+    for store_seed in 0..6u64 {
+        let (store, cls) = build_store(140, 3_000 + store_seed);
+        let linear = LinearExecutor::new(Arc::clone(&store));
+        for shards in [1usize, 3, 8] {
+            let engine = ShardedEngine::with_seal_cap(
+                shard_stores(&store, cls, shards),
+                EngineConfig::default(),
+                TEST_SEAL_CAP,
+            );
+            let mut rng = StdRng::seed_from_u64(store_seed * 11 + 5);
+            for _ in 0..6 {
+                let q = random_query(&mut rng, 2, cls);
+                let sharded = engine.try_execute(&q).expect("cnn-only tree");
+                let reference = linear.execute(&q);
+                assert_eq!(
+                    canonical(&sharded),
+                    canonical(&reference),
+                    "{shards}-shard engine diverged from linear scan on {q:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_batch_bytes_identical_across_shard_counts_and_pool_widths() {
+    let (store, cls) = build_store(160, 4_242);
+    let mut rng = StdRng::seed_from_u64(4_243);
+    let queries: Vec<Query> = (0..24).map(|_| random_query(&mut rng, 2, cls)).collect();
+    let mut reference: Option<String> = None;
+    for shards in [1usize, 3, 8] {
+        let engine = ShardedEngine::with_seal_cap(
+            shard_stores(&store, cls, shards),
+            EngineConfig::default(),
+            TEST_SEAL_CAP,
+        );
+        for threads in [1usize, 8] {
+            let out = engine
+                .try_execute_batch_with_pool(&queries, &Pool::new(threads))
+                .expect("cnn-only trees");
+            let bytes = format!("{out:?}");
+            match &reference {
+                None => reference = Some(bytes),
+                Some(want) => assert_eq!(
+                    &bytes, want,
+                    "{shards} shards x {threads} threads diverged from 1 shard x 1 thread"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_rejects_wrong_kind_visual() {
+    let (store, cls) = build_store(40, 5_050);
+    let engine = ShardedEngine::with_seal_cap(
+        shard_stores(&store, cls, 3),
+        EngineConfig::default(),
+        TEST_SEAL_CAP,
+    );
+    let q = Query::Visual {
+        example: vec![0.0; DIM],
+        kind: FeatureKind::ColorHistogram,
+        mode: VisualMode::TopK(3),
+    };
+    assert_eq!(
+        engine.try_execute(&q),
+        Err(QueryError::KindMismatch {
+            indexed: FeatureKind::Cnn,
+            queried: FeatureKind::ColorHistogram,
+        })
+    );
 }

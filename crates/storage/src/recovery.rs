@@ -185,8 +185,12 @@ fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("wal-{epoch}.log"))
 }
 
-/// Applies one journaled op to the store, verifying the store assigns
-/// exactly the journaled ids.
+/// Applies one journaled op to the store at exactly the journaled ids.
+///
+/// Replay uses the explicit-id insert paths so a journal written by a
+/// sharded platform (ids allocated by a global counter, rows landing on
+/// whichever shard owns the image's region) reproduces the same rows on
+/// reopen even though the ids are not contiguous per store.
 fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
     match op {
         WalOp::AddImage {
@@ -207,12 +211,9 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
                     Some(Image::from_raw(*w, *h, raw.clone()))
                 }
             };
-            let assigned = store
-                .add_image(meta.clone(), origin.clone(), img)
+            store
+                .add_image_at(*id, meta.clone(), origin.clone(), img)
                 .map_err(|e| e.to_string())?;
-            if assigned != *id {
-                return Err(format!("journaled {id} but store assigned {assigned}"));
-            }
         }
         WalOp::PutFeature {
             image,
@@ -225,17 +226,15 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
         }
         WalOp::RegisterScheme { id, name, labels } => {
             check_labels(labels)?;
-            let assigned = store
-                .register_scheme(name.clone(), labels.clone())
+            store
+                .register_scheme_at(*id, name.clone(), labels.clone())
                 .map_err(|e| e.to_string())?;
-            if assigned != *id {
-                return Err(format!("journaled {id} but store assigned {assigned}"));
-            }
         }
         WalOp::Annotate(a) => {
             check_confidence(a.confidence)?;
-            let assigned = store
-                .annotate(
+            store
+                .annotate_at(
+                    a.id,
                     a.image,
                     a.classification,
                     a.label,
@@ -244,9 +243,6 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
                     a.region,
                 )
                 .map_err(|e| e.to_string())?;
-            if assigned != a.id {
-                return Err(format!("journaled {} but store assigned {assigned}", a.id));
-            }
         }
         WalOp::IngestUpload {
             marker,
@@ -268,17 +264,14 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
                     Some(Image::from_raw(*w, *h, raw.clone()))
                 }
             };
-            let (assigned, replayed) = store
-                .ingest_upload(marker, meta.clone(), origin.clone(), img, features)
+            let (_, replayed) = store
+                .ingest_upload_at(marker, *id, meta.clone(), origin.clone(), img, features)
                 .map_err(|e| e.to_string())?;
             if replayed {
                 // The live WAL holds only ops journaled after the
                 // snapshot epoch, so a marker that already exists
                 // means the journal disagrees with itself.
                 return Err(format!("upload marker `{marker}` journaled twice"));
-            }
-            if assigned != *id {
-                return Err(format!("journaled {id} but store assigned {assigned}"));
             }
         }
     }
@@ -556,6 +549,175 @@ impl DurableStore {
         Ok(self
             .store
             .annotate(image, classification, label, confidence, source, region)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::add_image_at`]: inserts the
+    /// image under a caller-chosen id (e.g. one drawn from a platform-
+    /// wide allocator shared across shards).
+    pub fn add_image_at(
+        &self,
+        id: ImageId,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, DurableError> {
+        let mut journal = self.journal.lock();
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if self.store.image(*parent).is_none() {
+                return Err(StorageError::UnknownImage(*parent).into());
+            }
+        }
+        if self.store.image(id).is_some() {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "image",
+            }
+            .into());
+        }
+        let op = WalOp::AddImage {
+            id,
+            meta: meta.clone(),
+            origin: origin.clone(),
+            pixels: pixels
+                .as_ref()
+                .map(|p| (p.width(), p.height(), p.raw().to_vec())),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self.store.add_image_at(id, meta, origin, pixels)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::ingest_upload_at`]: the
+    /// composite upload record carries the caller-chosen id, so replay
+    /// on a shard's WAL reproduces the platform-wide id exactly.
+    /// Replays (marker already present) return the original id with
+    /// `replayed = true` without touching the journal.
+    pub fn ingest_upload_at(
+        &self,
+        marker: &str,
+        id: ImageId,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+        features: Vec<(FeatureKind, Vec<f32>)>,
+    ) -> Result<(ImageId, bool), DurableError> {
+        let mut journal = self.journal.lock();
+        if let Some(existing) = self.store.upload_marker(marker) {
+            return Ok((existing, true));
+        }
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if self.store.image(*parent).is_none() {
+                return Err(StorageError::UnknownImage(*parent).into());
+            }
+        }
+        if self.store.image(id).is_some() {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "image",
+            }
+            .into());
+        }
+        let op = WalOp::IngestUpload {
+            marker: marker.to_string(),
+            id,
+            meta: meta.clone(),
+            origin: origin.clone(),
+            pixels: pixels
+                .as_ref()
+                .map(|p| (p.width(), p.height(), p.raw().to_vec())),
+            features: features.clone(),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self
+            .store
+            .ingest_upload_at(marker, id, meta, origin, pixels, &features)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::register_scheme_at`]:
+    /// registers a scheme under a caller-chosen id so every shard of a
+    /// partitioned platform shares one classification-id space.
+    pub fn register_scheme_at(
+        &self,
+        id: ClassificationId,
+        name: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, DurableError> {
+        let name = name.into();
+        let mut journal = self.journal.lock();
+        check_labels(&labels).map_err(DurableError::Rejected)?;
+        if self.store.scheme_by_name(&name).is_some() {
+            return Err(StorageError::DuplicateScheme(name).into());
+        }
+        if self.store.scheme(id).is_some() {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "classification",
+            }
+            .into());
+        }
+        let op = WalOp::RegisterScheme {
+            id,
+            name: name.clone(),
+            labels: labels.clone(),
+        };
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self.store.register_scheme_at(id, name, labels)?)
+    }
+
+    /// Journaled-then-applied [`VisualStore::annotate_at`]: records an
+    /// annotation under a caller-chosen id from a platform-wide
+    /// allocator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn annotate_at(
+        &self,
+        id: AnnotationId,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        confidence: f32,
+        source: AnnotationSource,
+        region: Option<RegionOfInterest>,
+    ) -> Result<AnnotationId, DurableError> {
+        let mut journal = self.journal.lock();
+        check_confidence(confidence).map_err(DurableError::Rejected)?;
+        if self.store.image(image).is_none() {
+            return Err(StorageError::UnknownImage(image).into());
+        }
+        let vocabulary = match self.store.scheme(classification) {
+            None => return Err(StorageError::UnknownClassification(classification).into()),
+            Some(s) => s.labels.len(),
+        };
+        if label >= vocabulary {
+            return Err(StorageError::LabelOutOfRange {
+                classification,
+                label,
+                vocabulary,
+            }
+            .into());
+        }
+        if self.store.annotation(id).is_some() {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "annotation",
+            }
+            .into());
+        }
+        let op = WalOp::Annotate(Annotation {
+            id,
+            image,
+            classification,
+            label,
+            confidence,
+            source,
+            region,
+        });
+        journal.wal.append(&op)?;
+        journal.wal_ops += 1;
+        Ok(self
+            .store
+            .annotate_at(id, image, classification, label, confidence, source, region)?)
     }
 
     /// Folds the journal into a fresh snapshot and rotates the WAL to

@@ -37,6 +37,14 @@ pub enum StorageError {
     },
     /// A scheme with this name already exists.
     DuplicateScheme(String),
+    /// An explicit-id insert targeted an id that is already occupied.
+    DuplicateId {
+        /// The occupied id (raw value).
+        id: u64,
+        /// The table involved (`"image"`, `"annotation"`, or
+        /// `"classification"`).
+        table: &'static str,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -53,6 +61,9 @@ impl std::fmt::Display for StorageError {
                 "label {label} out of range for {classification} (vocabulary size {vocabulary})"
             ),
             StorageError::DuplicateScheme(name) => write!(f, "duplicate scheme name {name}"),
+            StorageError::DuplicateId { id, table } => {
+                write!(f, "{table} id {id} is already occupied")
+            }
         }
     }
 }
@@ -364,6 +375,43 @@ impl VisualStore {
         Ok(id)
     }
 
+    /// [`VisualStore::add_image`] at a caller-chosen id. A sharded
+    /// platform allocates ids globally and routes rows to per-shard
+    /// stores, and WAL replay re-inserts rows at their journaled ids —
+    /// both need the id to be an input, not an output. Fails when the
+    /// id is already occupied; the auto-assign counter advances past
+    /// `id` so mixed explicit/auto inserts never collide.
+    pub fn add_image_at(
+        &self,
+        id: ImageId,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+    ) -> Result<ImageId, StorageError> {
+        let mut t = self.inner.write();
+        if t.images.contains_key(&id) {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "image",
+            });
+        }
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if !t.images.contains_key(parent) {
+                return Err(StorageError::UnknownImage(*parent));
+            }
+        }
+        t.next_image = t.next_image.max(id.0.saturating_add(1));
+        let (width, height) = pixels
+            .as_ref()
+            .map_or((0, 0), |img| (img.width(), img.height()));
+        let record = ImageRecord::new(id, meta, origin, width, height);
+        t.images.insert(id, record);
+        if let Some(img) = pixels {
+            t.blobs.insert(id, img);
+        }
+        Ok(id)
+    }
+
     /// Atomically ingests one upload — image row, optional pixels, and
     /// feature vectors — deduplicated by idempotency `marker`. Returns
     /// `(id, replayed)`: when the marker is already present the stored
@@ -392,6 +440,61 @@ impl VisualStore {
         }
         let id = ImageId(t.next_image);
         t.next_image += 1;
+        let (width, height) = pixels
+            .as_ref()
+            .map_or((0, 0), |img| (img.width(), img.height()));
+        t.images
+            .insert(id, ImageRecord::new(id, meta, origin, width, height));
+        if let Some(img) = pixels {
+            t.blobs.insert(id, img);
+        }
+        for (kind, vector) in features {
+            t.put_feature_row(id, *kind, vector);
+        }
+        let seq = t.next_marker_seq;
+        t.next_marker_seq += 1;
+        t.upload_markers.insert(marker.to_string(), (id, seq));
+        if t.upload_markers.len() > UPLOAD_MARKER_CAPACITY {
+            let oldest = t
+                .upload_markers
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone());
+            if let Some(key) = oldest {
+                t.upload_markers.remove(&key);
+            }
+        }
+        Ok((id, false))
+    }
+
+    /// [`VisualStore::ingest_upload`] at a caller-chosen id (see
+    /// [`VisualStore::add_image_at`]). A replayed marker returns the
+    /// originally stored image and leaves `id` unused.
+    pub fn ingest_upload_at(
+        &self,
+        marker: &str,
+        id: ImageId,
+        meta: ImageMeta,
+        origin: ImageOrigin,
+        pixels: Option<Image>,
+        features: &[(FeatureKind, Vec<f32>)],
+    ) -> Result<(ImageId, bool), StorageError> {
+        let mut t = self.inner.write();
+        if let Some((existing, _)) = t.upload_markers.get(marker) {
+            return Ok((*existing, true));
+        }
+        if t.images.contains_key(&id) {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "image",
+            });
+        }
+        if let ImageOrigin::Augmented { parent, .. } = &origin {
+            if !t.images.contains_key(parent) {
+                return Err(StorageError::UnknownImage(*parent));
+            }
+        }
+        t.next_image = t.next_image.max(id.0.saturating_add(1));
         let (width, height) = pixels
             .as_ref()
             .map_or((0, 0), |img| (img.width(), img.height()));
@@ -450,6 +553,38 @@ impl VisualStore {
     pub fn for_each_image(&self, mut f: impl FnMut(&ImageRecord)) {
         for record in self.inner.read().images.values() {
             f(record);
+        }
+    }
+
+    /// Runs `f` over the records of `ids` (in the given order, skipping
+    /// absent ids) under a single read-lock acquisition — the
+    /// zero-clone analogue of calling [`VisualStore::image`] in a loop.
+    /// `f` must not call back into the store (the read lock is held and
+    /// is not recursively acquirable).
+    pub fn with_images(&self, ids: &[ImageId], mut f: impl FnMut(&ImageRecord)) {
+        let t = self.inner.read();
+        for id in ids {
+            if let Some(record) = t.images.get(id) {
+                f(record);
+            }
+        }
+    }
+
+    /// Runs `f` over `(record, feature)` for each id in `ids` that has a
+    /// stored feature of `kind`, under a single read-lock acquisition.
+    /// Ids without a stored feature of `kind` are skipped. The same
+    /// no-reentrancy rule as [`VisualStore::with_images`] applies.
+    pub fn with_image_features(
+        &self,
+        ids: &[ImageId],
+        kind: FeatureKind,
+        mut f: impl FnMut(&ImageRecord, &[f32]),
+    ) {
+        let t = self.inner.read();
+        for id in ids {
+            if let (Some(record), Some(handle)) = (t.images.get(id), t.features.get(&(*id, kind))) {
+                f(record, t.feature_slice(handle));
+            }
         }
     }
 
@@ -578,6 +713,32 @@ impl VisualStore {
         Ok(id)
     }
 
+    /// [`VisualStore::register_scheme`] at a caller-chosen id (see
+    /// [`VisualStore::add_image_at`]). A sharded platform broadcasts
+    /// each scheme to every shard store under one global id.
+    pub fn register_scheme_at(
+        &self,
+        id: ClassificationId,
+        name: impl Into<String>,
+        labels: Vec<String>,
+    ) -> Result<ClassificationId, StorageError> {
+        let name = name.into();
+        let mut t = self.inner.write();
+        if t.schemes.values().any(|s| s.name == name) {
+            return Err(StorageError::DuplicateScheme(name));
+        }
+        if t.schemes.contains_key(&id) {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "classification",
+            });
+        }
+        t.next_classification = t.next_classification.max(id.0.saturating_add(1));
+        t.schemes
+            .insert(id, ClassificationScheme::new(id, name, labels));
+        Ok(id)
+    }
+
     /// The scheme row, if present.
     pub fn scheme(&self, id: ClassificationId) -> Option<ClassificationScheme> {
         self.inner.read().schemes.get(&id).cloned()
@@ -632,6 +793,48 @@ impl VisualStore {
         Ok(id)
     }
 
+    /// [`VisualStore::annotate`] at a caller-chosen annotation id (see
+    /// [`VisualStore::add_image_at`]): a sharded platform keeps
+    /// annotation ids globally unique across per-shard stores.
+    pub fn annotate_at(
+        &self,
+        id: AnnotationId,
+        image: ImageId,
+        classification: ClassificationId,
+        label: usize,
+        confidence: f32,
+        source: AnnotationSource,
+        region: Option<RegionOfInterest>,
+    ) -> Result<AnnotationId, StorageError> {
+        let mut t = self.inner.write();
+        if t.annotations.contains_key(&id) {
+            return Err(StorageError::DuplicateId {
+                id: id.0,
+                table: "annotation",
+            });
+        }
+        if !t.images.contains_key(&image) {
+            return Err(StorageError::UnknownImage(image));
+        }
+        let vocabulary = match t.schemes.get(&classification) {
+            None => return Err(StorageError::UnknownClassification(classification)),
+            Some(s) => s.labels.len(),
+        };
+        if label >= vocabulary {
+            return Err(StorageError::LabelOutOfRange {
+                classification,
+                label,
+                vocabulary,
+            });
+        }
+        t.next_annotation = t.next_annotation.max(id.0.saturating_add(1));
+        let ann = Annotation::new(id, image, classification, label, confidence, source, region);
+        t.annotations.insert(id, ann);
+        t.annotations_by_image.entry(image).or_default().push(id);
+        *t.label_counts.entry((classification, label)).or_default() += 1;
+        Ok(id)
+    }
+
     /// Number of annotations carrying a given (scheme, label) pair —
     /// maintained incrementally so the query planner can estimate
     /// categorical selectivity without scanning the annotation table.
@@ -642,6 +845,11 @@ impl VisualStore {
             .get(&(classification, label))
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Looks up a single annotation by id.
+    pub fn annotation(&self, id: AnnotationId) -> Option<Annotation> {
+        self.inner.read().annotations.get(&id).cloned()
     }
 
     /// All annotations on one image.

@@ -4,7 +4,7 @@
 //! |-----|-----------------------|--------------------------------------------------|
 //! | L1  | `no_panic`            | `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | L2  | `determinism`         | iterating a `HashMap`/`HashSet` (order leaks)    |
-//! | L3  | `pool_only_threading` | `std::thread::{spawn,scope,Builder}` outside `tvdp-kernel` |
+//! | L3  | `pool_only_threading` | `std::thread::{spawn,scope,Builder}` and ad-hoc `std::sync` locks outside `tvdp-kernel` |
 //! | L4  | `no_wall_clock`       | `Instant::now` / `SystemTime` / `thread_rng` / entropy RNGs outside allowlisted modules |
 //!
 //! Every rule is suppressible per line with
@@ -295,6 +295,14 @@ fn determinism(model: &SourceModel, out: &mut Vec<Finding>) {
 }
 
 /// L3: ad-hoc threads. Everything must go through `tvdp_kernel::Pool`.
+///
+/// Also covers ad-hoc `std::sync` locks: shared snapshots are published
+/// through `tvdp_kernel::GenCell` (writers Arc-swap a frozen generation,
+/// readers clone an `Arc` and never block — the sharded engine's read
+/// path), and writer-side mutexes use the workspace's `parking_lot`.
+/// A bare `std::sync::RwLock`/`Mutex` is how a blocking single-lock
+/// engine creeps back in, so it is flagged outside `tvdp-kernel` (the
+/// one crate allowed to build the publication primitive itself).
 fn pool_only_threading(model: &SourceModel, out: &mut Vec<Finding>) {
     let hay = &model.masked;
     for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
@@ -313,6 +321,31 @@ fn pool_only_threading(model: &SourceModel, out: &mut Vec<Finding>) {
             });
             at = s + needle.len();
         }
+    }
+    // `std::sync::RwLock` / `std::sync::Mutex`, whether named inline or
+    // pulled in through a (possibly grouped) `use std::sync::{..}` —
+    // either way the path and the lock name share a line.
+    let mut at = 0;
+    while let Some(rel) = hay[at..].find("std::sync::") {
+        let s = at + rel;
+        let line_end = hay[s..].find('\n').map_or(hay.len(), |p| s + p);
+        let rest = &hay[s..line_end];
+        for lock in ["RwLock", "Mutex"] {
+            if !word_occurrences(rest, lock).is_empty() {
+                let (line, col) = model.line_col(s);
+                out.push(Finding {
+                    rule: Rule::PoolOnlyThreading,
+                    line,
+                    col,
+                    message: format!(
+                        "`std::sync::{lock}` outside tvdp-kernel: publish read-path \
+                         snapshots through `tvdp_kernel::GenCell` generations (lock-free \
+                         Arc-swap reads) and guard writer state with `parking_lot`"
+                    ),
+                });
+            }
+        }
+        at = line_end.min(s + "std::sync::".len().max(1));
     }
 }
 
@@ -487,6 +520,35 @@ mod tests {
             ..Policy::strict()
         };
         assert!(check(&SourceModel::parse(src), kernel).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_std_sync_locks_outside_kernel() {
+        // Inline path.
+        let f = findings("fn f() { let l = std::sync::RwLock::new(0); }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PoolOnlyThreading);
+        // Grouped import.
+        let f = findings("use std::sync::{Arc, Mutex};\nfn f() {}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PoolOnlyThreading);
+        // The kernel crate may build the primitive itself.
+        let kernel = Policy {
+            check_threading: false,
+            ..Policy::strict()
+        };
+        let src = "use std::sync::{Arc, RwLock};\nfn f() { let l = RwLock::new(0); }\n";
+        assert!(check(&SourceModel::parse(src), kernel).is_empty());
+    }
+
+    #[test]
+    fn l3_allows_gencell_publication_and_parking_lot() {
+        // The blessed pattern: GenCell generation publication plus a
+        // parking_lot writer mutex. `std::sync::Arc` alone is fine.
+        let src = "use std::sync::Arc;\nuse parking_lot::Mutex;\nuse tvdp_kernel::GenCell;\n\
+                   fn publish(cell: &GenCell<u8>, w: &Mutex<u8>) {\n\
+                    let v = *w.lock();\n cell.store(Arc::new(v));\n let _ = cell.load();\n}\n";
+        assert!(findings(src).is_empty());
     }
 
     #[test]

@@ -89,27 +89,33 @@ fn main() {
 
     // 3. Situation awareness queries.
     // Which frames look north toward the ridge?
-    let north = tvdp.search(&Query::Spatial(SpatialQuery::Directed {
-        region: area,
-        directions: AngularRange::centered(0.0, 45.0),
-    }));
+    let north = tvdp
+        .search(&Query::Spatial(SpatialQuery::Directed {
+            region: area,
+            directions: AngularRange::centered(0.0, 45.0),
+        }))
+        .expect("valid query");
     println!(
         "\nframes looking north over the fire area : {}",
         north.len()
     );
 
     // What arrived in the last simulated ten minutes?
-    let fresh = tvdp.search(&Query::Temporal {
-        field: TemporalField::Captured,
-        from: t - 600,
-        to: t,
-    });
+    let fresh = tvdp
+        .search(&Query::Temporal {
+            field: TemporalField::Captured,
+            from: t - 600,
+            to: t,
+        })
+        .expect("valid query");
     println!("frames from the last 10 minutes          : {}", fresh.len());
 
     // Who can see the fire origin right now?
-    let eyes = tvdp.search(&Query::Spatial(SpatialQuery::Covering(
-        fire_origin.destination(45.0, 300.0),
-    )));
+    let eyes = tvdp
+        .search(&Query::Spatial(SpatialQuery::Covering(
+            fire_origin.destination(45.0, 300.0),
+        )))
+        .expect("valid query");
     println!("frames with eyes on the hotspot          : {}", eyes.len());
 
     println!(

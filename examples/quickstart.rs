@@ -57,40 +57,50 @@ fn main() {
 
     // 3. Query the platform five ways.
     let region = BBox::new(34.04, -118.255, 34.05, -118.245);
-    let spatial = tvdp.search(&Query::Spatial(SpatialQuery::Range(region)));
+    let spatial = tvdp
+        .search(&Query::Spatial(SpatialQuery::Range(region)))
+        .expect("valid query");
     println!("spatial range query      : {} hits", spatial.len());
 
-    let directed = tvdp.search(&Query::Spatial(SpatialQuery::Directed {
-        region: BBox::new(34.035, -118.26, 34.053, -118.238),
-        directions: AngularRange::centered(0.0, 60.0),
-    }));
+    let directed = tvdp
+        .search(&Query::Spatial(SpatialQuery::Directed {
+            region: BBox::new(34.035, -118.26, 34.053, -118.238),
+            directions: AngularRange::centered(0.0, 60.0),
+        }))
+        .expect("valid query");
     println!("north-facing FOV query   : {} hits", directed.len());
 
     let example = tvdp
         .store()
         .feature(ids[0], FeatureKind::Cnn)
         .expect("stored feature");
-    let similar = tvdp.search(&Query::Visual {
-        example,
-        kind: FeatureKind::Cnn,
-        mode: VisualMode::TopK(5),
-    });
+    let similar = tvdp
+        .search(&Query::Visual {
+            example,
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(5),
+        })
+        .expect("valid query");
     println!(
         "visual top-5 (like img 0): {:?}",
         similar.iter().map(|r| r.image.raw()).collect::<Vec<_>>()
     );
 
-    let textual = tvdp.search(&Query::Textual {
-        text: "tent".into(),
-        mode: TextualMode::All,
-    });
+    let textual = tvdp
+        .search(&Query::Textual {
+            text: "tent".into(),
+            mode: TextualMode::All,
+        })
+        .expect("valid query");
     println!("keyword query 'tent'     : {} hits", textual.len());
 
-    let temporal = tvdp.search(&Query::Temporal {
-        field: TemporalField::Captured,
-        from: data[0].captured_at - 86_400,
-        to: data[0].captured_at + 86_400,
-    });
+    let temporal = tvdp
+        .search(&Query::Temporal {
+            field: TemporalField::Captured,
+            from: data[0].captured_at - 86_400,
+            to: data[0].captured_at + 86_400,
+        })
+        .expect("valid query");
     println!("±1 day around capture #0 : {} hits", temporal.len());
 
     // 4. Label some uploads, train an MLP (the fine-tuned-CNN analogue),
@@ -124,16 +134,18 @@ fn main() {
 
     // 5. Hybrid query: encampment-labelled images in a region.
     let enc = tvdp::datagen::CleanlinessClass::Encampment.index();
-    let hybrid = tvdp.search(&Query::And(vec![
-        Query::Spatial(SpatialQuery::Range(BBox::new(
-            34.035, -118.26, 34.053, -118.238,
-        ))),
-        Query::Categorical {
-            scheme,
-            label: enc,
-            min_confidence: 0.0,
-        },
-    ]));
+    let hybrid = tvdp
+        .search(&Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(
+                34.035, -118.26, 34.053, -118.238,
+            ))),
+            Query::Categorical {
+                scheme,
+                label: enc,
+                min_confidence: 0.0,
+            },
+        ]))
+        .expect("valid query");
     println!("encampments in region    : {} images", hybrid.len());
 
     let stats = tvdp.stats();

@@ -144,6 +144,7 @@ fn persistence_roundtrip_preserves_queryability() {
     let region = *StreetGrid::downtown_la().region();
     let before = tvdp
         .search(&Query::Spatial(SpatialQuery::Range(region)))
+        .unwrap()
         .len();
     let after = engine
         .execute(&Query::Spatial(SpatialQuery::Range(region)))
@@ -187,15 +188,19 @@ fn campaign_acquisition_feeds_directed_queries() {
     assert_eq!(report.tasks_completed, ids.len());
 
     // All captures are findable, and direction filters prune.
-    let all = tvdp.search(&Query::Spatial(SpatialQuery::Directed {
-        region: area,
-        directions: AngularRange::FULL,
-    }));
+    let all = tvdp
+        .search(&Query::Spatial(SpatialQuery::Directed {
+            region: area,
+            directions: AngularRange::FULL,
+        }))
+        .unwrap();
     assert_eq!(all.len(), ids.len());
-    let north_only = tvdp.search(&Query::Spatial(SpatialQuery::Directed {
-        region: area,
-        directions: AngularRange::centered(0.0, 30.0),
-    }));
+    let north_only = tvdp
+        .search(&Query::Spatial(SpatialQuery::Directed {
+            region: area,
+            directions: AngularRange::centered(0.0, 30.0),
+        }))
+        .unwrap();
     assert!(north_only.len() < all.len());
 }
 
