@@ -1,0 +1,116 @@
+//! Circuit-breaker state machine: no lost transitions under
+//! concurrent probes.
+//!
+//! Unlike the other models, this one checks the *real* production type
+//! — `tvdp_edge::CircuitBreaker` — by placing it behind a model mutex
+//! and letting the checker drive concurrent probe outcomes against it.
+//! The invariant: every recorded failure reaches the state machine, so
+//! once `failure_threshold` failures have been recorded the breaker is
+//! open (the dispatcher's shedding decision depends on it).
+//!
+//! The mutant performs the update the way a careless caller would:
+//! clone the breaker out of the lock, mutate the clone, write it back.
+//! Two concurrent probes then both start from the same snapshot and
+//! one failure is lost — the breaker stays closed past its threshold.
+
+use tvdp_edge::{BreakerConfig, BreakerState, CircuitBreaker};
+
+use crate::shim;
+use crate::{finally, spawn};
+
+/// Two concurrent failing probes against a threshold of two: every
+/// schedule must leave the breaker open.
+const CONFIG: BreakerConfig = BreakerConfig {
+    failure_threshold: 2,
+    cooldown_ms: 1_000,
+    probe_successes: 1,
+};
+
+/// Correct protocol: each probe records its outcome *inside* the
+/// breaker's critical section (as `FleetHealth::breaker` callers do,
+/// holding `&mut` access for the whole read-modify-write).
+pub fn correct() {
+    let breaker = shim::Mutex::new("breaker", CircuitBreaker::new(CONFIG));
+    for t in 0..2i64 {
+        let breaker = breaker.clone();
+        spawn(move || {
+            let mut b = breaker.lock();
+            b.record_failure(t);
+        });
+    }
+    let breaker = breaker.clone();
+    finally(move || {
+        let b = breaker.lock();
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "two failures at threshold two must open the breaker \
+             (a transition was lost)"
+        );
+    });
+}
+
+/// Mutant: clone-mutate-writeback outside a single critical section.
+/// Two probes race, one failure is lost, the breaker never opens.
+pub fn mutant_racy_read_modify_write() {
+    let breaker = shim::Mutex::new("breaker", CircuitBreaker::new(CONFIG));
+    for t in 0..2i64 {
+        let breaker = breaker.clone();
+        spawn(move || {
+            let snapshot = breaker.lock().clone(); // BUG: lock dropped here
+            let mut local = snapshot;
+            local.record_failure(t);
+            *breaker.lock() = local; // last write wins, races lose counts
+        });
+    }
+    let breaker = breaker.clone();
+    finally(move || {
+        let b = breaker.lock();
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "two failures at threshold two must open the breaker \
+             (a transition was lost)"
+        );
+    });
+}
+
+/// Half-open probing under the correct protocol: an open breaker whose
+/// cooldown elapsed admits one probe; a concurrent success and failure
+/// must leave it in a legal state (open again or closed), never a
+/// corrupted in-between — and with lock-held updates the half-open
+/// transition itself is never lost.
+pub fn correct_half_open_probe() {
+    let mut start = CircuitBreaker::new(CONFIG);
+    start.record_failure(0);
+    start.record_failure(1); // open until 1_001 virtual ms
+    let breaker = shim::Mutex::new("breaker", start);
+    {
+        let breaker = breaker.clone();
+        spawn(move || {
+            let mut b = breaker.lock();
+            if b.allow(2_000) {
+                b.record_success(2_000);
+            }
+        });
+    }
+    {
+        let breaker = breaker.clone();
+        spawn(move || {
+            let mut b = breaker.lock();
+            if b.allow(2_000) {
+                b.record_failure(2_000);
+            }
+        });
+    }
+    let breaker = breaker.clone();
+    finally(move || {
+        let b = breaker.lock();
+        assert!(
+            matches!(b.state(), BreakerState::Open | BreakerState::Closed),
+            "after a success probe and a failure probe the breaker must \
+             have resolved to open or closed, got {:?}",
+            b.state()
+        );
+    });
+}

@@ -1,0 +1,87 @@
+//! GenCell publish/read: readers must never observe a torn
+//! generation.
+//!
+//! The production `tvdp_kernel::GenCell<T>` publishes a whole
+//! generation — for the sharded engine, the pair `{segments, tail}` —
+//! by swapping one `Arc<T>` under an `RwLock`. The invariant is that
+//! the two halves of a generation are always observed *together*:
+//! a reader sees generation N's segments with generation N's tail,
+//! never a mix.
+//!
+//! The model publishes a `(segments_gen, tail_gen)` pair. The correct
+//! variant swaps the pair as one unit through a [`crate::shim::RwLock`]
+//! (as `GenCell` does); the mutant publishes the two halves through
+//! two independent atomics — the exact bug `GenCell` exists to
+//! prevent — and the checker finds the torn read.
+
+use crate::shim;
+use crate::{finally, spawn};
+
+/// Generations the writer publishes (generation 0 is the initial
+/// state).
+const GENERATIONS: u32 = 2;
+
+/// Correct protocol: the `{segments, tail}` pair is swapped as one
+/// value under a reader-writer lock. Readers additionally check
+/// monotonicity: generations never appear to go backwards within one
+/// reader.
+pub fn correct() {
+    let cell = shim::RwLock::new("gencell", (0u32, 0u32));
+    {
+        let cell = cell.clone();
+        spawn(move || {
+            for g in 1..=GENERATIONS {
+                let mut w = cell.write();
+                w.0 = g;
+                w.1 = g;
+            }
+        });
+    }
+    {
+        let cell = cell.clone();
+        spawn(move || {
+            let mut last = 0u32;
+            for _ in 0..2 {
+                let r = cell.read();
+                let (seg, tail) = *r;
+                drop(r);
+                assert_eq!(seg, tail, "torn generation: segments {seg} vs tail {tail}");
+                assert!(seg >= last, "generation went backwards: {seg} after {last}");
+                last = seg;
+            }
+        });
+    }
+    let cell = cell.clone();
+    finally(move || {
+        let r = cell.read();
+        assert_eq!(
+            *r,
+            (GENERATIONS, GENERATIONS),
+            "final generation incomplete"
+        );
+    });
+}
+
+/// Mutant: segments and tail are published through two separate
+/// atomics (no common lock, no single swap). A reader scheduled
+/// between the two stores observes a torn generation.
+pub fn mutant_torn_publish() {
+    let segments = shim::Atomic::new("segments", 0u32);
+    let tail = shim::Atomic::new("tail", 0u32);
+    {
+        let (segments, tail) = (segments.clone(), tail.clone());
+        spawn(move || {
+            for g in 1..=GENERATIONS {
+                segments.store(g);
+                tail.store(g);
+            }
+        });
+    }
+    spawn(move || {
+        for _ in 0..2 {
+            let seg = segments.load();
+            let t = tail.load();
+            assert_eq!(seg, t, "torn generation: segments {seg} vs tail {t}");
+        }
+    });
+}

@@ -1,0 +1,90 @@
+//! WAL journal-before-apply: an acked record is recoverable at every
+//! commit point.
+//!
+//! The production storage engine (`tvdp-storage`) journals a record to
+//! the WAL, then applies it to the in-memory store, and only then acks
+//! the client. Recovery replays the journal; therefore the protocol
+//! invariant is `acked ⊆ journaled` at *every* instant — a crash
+//! between any two operations must still find every acked record in
+//! the journal.
+//!
+//! The model runs one writer committing two records next to an
+//! observer that snapshots `acked` and *then* `journal` (that read
+//! order is sound: the journal only grows, so a record acked at the
+//! first read that is missing from the later journal read was really
+//! unjournaled when acked). The mutant acks before journaling — the
+//! crash-window bug recovery cannot paper over.
+
+use crate::shim;
+use crate::{finally, spawn};
+
+/// Records the writer commits.
+const RECORDS: [u32; 2] = [7, 8];
+
+fn observer_body(acked: shim::Atomic<Vec<u32>>, journal: shim::Mutex<Vec<u32>>) {
+    let acked_snapshot = acked.load();
+    let journal_snapshot = journal.lock().clone();
+    for r in &acked_snapshot {
+        assert!(
+            journal_snapshot.contains(r),
+            "record {r} acked but not journaled: acked {acked_snapshot:?}, \
+             journal {journal_snapshot:?}"
+        );
+    }
+}
+
+fn build(journal_first: bool) {
+    let journal = shim::Mutex::new("journal", Vec::<u32>::new());
+    let store = shim::Mutex::new("store", Vec::<u32>::new());
+    let acked = shim::Atomic::new("acked", Vec::<u32>::new());
+    {
+        let (journal, store, acked) = (journal.clone(), store.clone(), acked.clone());
+        spawn(move || {
+            for r in RECORDS {
+                if journal_first {
+                    journal.lock().push(r);
+                    store.lock().push(r);
+                } else {
+                    // BUG: apply + ack reach the client before the
+                    // journal write lands.
+                    store.lock().push(r);
+                }
+                acked.rmw(|a| {
+                    let mut a = a.clone();
+                    a.push(r);
+                    a
+                });
+                if !journal_first {
+                    journal.lock().push(r);
+                }
+            }
+        });
+    }
+    {
+        let (acked, journal) = (acked.clone(), journal.clone());
+        spawn(move || observer_body(acked, journal));
+    }
+    let (journal, store, acked) = (journal.clone(), store.clone(), acked.clone());
+    finally(move || {
+        let j = journal.lock().clone();
+        let s = store.lock().clone();
+        let a = acked.load();
+        assert_eq!(a, RECORDS.to_vec(), "both commits must be acked");
+        for r in &a {
+            assert!(j.contains(r), "acked record {r} missing from journal {j:?}");
+            assert!(s.contains(r), "acked record {r} missing from store {s:?}");
+        }
+    });
+}
+
+/// Correct protocol: journal, apply, ack — in that order.
+pub fn correct() {
+    build(true);
+}
+
+/// Mutant: apply and ack land before the journal write, opening a
+/// crash window where an acked record is unrecoverable. The observer
+/// thread catches the window in some interleaving.
+pub fn mutant_apply_before_journal() {
+    build(false);
+}

@@ -207,6 +207,7 @@ impl ModelRegistry {
         let best = tvdp_ml::argmax(&scores);
         // Softmax confidence of the winner.
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let exps: f32 = scores.iter().map(|s| (s - max).exp()).sum();
         let confidence = ((scores[best] - max).exp() / exps).clamp(0.0, 1.0);
         Some((best, confidence))

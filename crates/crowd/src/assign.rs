@@ -53,6 +53,7 @@ pub fn assign_greedy(workers: &[Worker], tasks: &[SpatialTask]) -> Assignment {
                 if let Some(slots) = remaining.get_mut(&w.id) {
                     *slots -= 1;
                 }
+                // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                 total_travel += w.location.fast_distance_m(&task.location);
                 pairs.push((w.id, task.id));
             }
@@ -130,6 +131,7 @@ pub fn assign_matching(workers: &[Worker], tasks: &[SpatialTask]) -> Assignment 
         match task_match[t] {
             Some(s) => {
                 let w = &workers[slot_owner[s]];
+                // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                 total_travel += w.location.fast_distance_m(&task.location);
                 pairs.push((w.id, task.id));
             }

@@ -84,6 +84,7 @@ pub struct SyntheticImage {
 /// Generates a deterministic dataset per `config`.
 pub fn generate(config: &DatasetConfig) -> Vec<SyntheticImage> {
     assert!(config.n_images > 0, "empty dataset requested");
+    // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
     let total_weight: f64 = config.class_weights.iter().sum();
     assert!(total_weight > 0.0, "class weights sum to zero");
 

@@ -179,6 +179,7 @@ pub fn render_styled(
     let mut y = 0.06f32;
     while y < wall_h {
         canvas.fill_rect(0.0, y, 1.0, y + 0.012, seam);
+        // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
         y += rng.gen_range(0.07..0.1);
     }
     let sidewalk = [168.0 + rng.gen_range(-12.0f32..12.0); 3];

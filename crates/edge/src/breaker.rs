@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 /// Breaker tuning, in virtual milliseconds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BreakerConfig {
     /// Consecutive send failures that open the breaker.
     pub failure_threshold: u32,
@@ -47,7 +47,7 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum State {
     Closed { consecutive_failures: u32 },
     Open { until_ms: i64 },
@@ -55,7 +55,10 @@ enum State {
 }
 
 /// One device's breaker.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq`/`Eq`/`Hash` so model checkers (`tvdp-check`)
+/// can treat a breaker as a hashable state value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CircuitBreaker {
     config: BreakerConfig,
     state: State,

@@ -63,6 +63,7 @@ pub fn simulate_inference(
             1.0
         };
         let t = nominal * base * stall;
+        // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
         sum += t;
         min = min.min(t);
         max = max.max(t);

@@ -107,6 +107,7 @@ impl GeoPolygon {
         for i in 0..poly.len() {
             let a = poly[i];
             let b = poly[(i + 1) % poly.len()];
+            // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
             acc += a.x * b.y - b.x * a.y;
         }
         (acc / 2.0).abs()

@@ -93,6 +93,7 @@ impl HashFamily {
                     .iter()
                     .zip(v)
                     .map(|(a, b)| a * b)
+                    // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
                     .sum();
                 ((proj + self.offsets[h]) / self.width).floor() as i32
             })

@@ -49,6 +49,7 @@ impl Classifier for GaussianNb {
             let v: f32 = x
                 .iter()
                 .map(|r| (r[d] - global_mean[d]).powi(2))
+                // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
                 .sum::<f32>()
                 / n;
             global_var_max = global_var_max.max(v);

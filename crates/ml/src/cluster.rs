@@ -73,6 +73,7 @@ impl KMeans {
             let mut new_inertia = 0.0f64;
             for (i, &(best, d)) in nearest.iter().enumerate() {
                 assignment[i] = best;
+                // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                 new_inertia += d as f64;
             }
             // Update.
@@ -112,6 +113,7 @@ impl KMeans {
         centroids.push(data[rng.gen_range(0..data.len())].clone());
         let mut dists: Vec<f32> = data.iter().map(|r| sq_l2(r, &centroids[0])).collect();
         while centroids.len() < k {
+            // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
             let total: f64 = dists.iter().map(|&d| d as f64).sum();
             let next = if total <= 0.0 {
                 rng.gen_range(0..data.len())

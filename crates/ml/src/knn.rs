@@ -71,6 +71,7 @@ impl Classifier for KnnClassifier {
             votes[label] += w;
         }
         // Normalize to a vote fraction so scores are in [0, 1].
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let total: f32 = votes.iter().sum();
         if total > 0.0 {
             for v in &mut votes {

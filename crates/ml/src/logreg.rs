@@ -61,6 +61,7 @@ impl LogisticRegression {
     fn softmax(logits: &[f32]) -> Vec<f32> {
         let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let sum: f32 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
     }

@@ -102,6 +102,7 @@ impl ConfusionMatrix {
 
     /// Unweighted mean of per-class F1 — the measure in the paper's Fig. 6.
     pub fn macro_f1(&self) -> f64 {
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         (0..self.n_classes).map(|c| self.f1(c)).sum::<f64>() / self.n_classes as f64
     }
 

@@ -122,6 +122,7 @@ impl Mlp {
         let mut sum = 0.0;
         for l in logits.iter_mut() {
             *l = (*l - max).exp();
+            // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
             sum += *l;
         }
         for l in logits.iter_mut() {

@@ -92,6 +92,7 @@ impl DecisionTree {
             return 0.0;
         }
         let t = total as f64;
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
     }
 
@@ -100,6 +101,7 @@ impl DecisionTree {
         for &i in indices {
             dist[y[i]] += 1.0;
         }
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let total: f32 = dist.iter().sum();
         if total > 0.0 {
             for d in &mut dist {

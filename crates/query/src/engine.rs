@@ -746,6 +746,7 @@ impl QueryEngine {
             } => (*k as f64).min(n),
             Query::Visual { .. } => n,
             Query::And(subs) => subs.iter().map(|s| self.estimate(s)).fold(n, f64::min),
+            // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
             Query::Or(subs) => subs.iter().map(|s| self.estimate(s)).sum::<f64>().min(n),
         }
     }

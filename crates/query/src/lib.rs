@@ -28,7 +28,7 @@ pub mod types;
 pub use engine::{EngineConfig, QueryEngine};
 pub use linear::LinearExecutor;
 pub use localize::{localize, LocalizationEstimate};
-pub use sharded::ShardedEngine;
+pub use sharded::{ShardedEngine, DEFAULT_SEAL_CAP};
 pub use types::{
     Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
 };

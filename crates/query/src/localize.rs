@@ -74,6 +74,7 @@ pub fn localize(
             .iter()
             .zip(&weights)
             .map(|(q, w)| w * p.fast_distance_m(q))
+            // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
             .sum();
         if cost < best_cost {
             best_cost = cost;
@@ -86,6 +87,7 @@ pub fn localize(
     let spread_m: f64 = points
         .iter()
         .map(|p| center.fast_distance_m(p))
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         .sum::<f64>()
         / points.len() as f64;
     let confidence = 1.0 / (1.0 + spread_m / 150.0);

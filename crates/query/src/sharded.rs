@@ -6,7 +6,7 @@
 //!
 //! * **sealed segments** — immutable [`QueryEngine`]s built over a
 //!   fixed id set ([`QueryEngine::build_over`]), and
-//! * * a **tail** — the ids ingested since the last seal, evaluated by
+//! * a **tail** — the ids ingested since the last seal, evaluated by
 //!   a small linear executor with bit-identical scoring.
 //!
 //! Every mutation republishes the shard's `(segments, tail)` pair as an
@@ -601,6 +601,7 @@ impl ShardedEngine {
                     continue;
                 }
                 matched = true;
+                // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                 score += ranked_term_contribution(tf, doc.len, n_total, df[term]);
             }
             if matched {

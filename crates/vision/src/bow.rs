@@ -87,6 +87,7 @@ impl FeatureExtractor for BowEncoder {
             hist[self.dictionary.assign(d)] += 1.0;
         }
         // L1-normalize so images with different keypoint counts compare.
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let total: f32 = hist.iter().sum();
         if total > 0.0 {
             for h in &mut hist {

@@ -92,6 +92,7 @@ impl ConvStage {
                             for kx in 0..3usize {
                                 let sy = (y + ky).saturating_sub(1).min(h - 1);
                                 let sx = (x + kx).saturating_sub(1).min(w - 1);
+                                // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                                 acc += self.w(o, i, ky, kx) * input.get(i, sx, sy);
                             }
                         }
@@ -242,6 +243,7 @@ impl FeatureExtractor for CnnExtractor {
                     for y in y0..y1 {
                         for x in x0..x1 {
                             let v = map.get(c, x, y);
+                            // tvdp-lint: allow(float_reduction, reason = "in-order loop accumulation over a fixed traversal; single-threaded, bit-stable across runs and thread counts")
                             acc += v;
                             global_max = global_max.max(v);
                             count += 1;

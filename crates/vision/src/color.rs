@@ -80,6 +80,7 @@ impl FeatureExtractor for ColorHistogramExtractor {
         }
         // Each marginal sums to the pixel count; L1-normalize the whole
         // vector so images of different sizes are comparable.
+        // tvdp-lint: allow(float_reduction, reason = "sequential iterator reduction in fixed index order; single-threaded, bit-stable across runs and thread counts")
         let total: f32 = hist.iter().sum();
         if total > 0.0 {
             for h in &mut hist {

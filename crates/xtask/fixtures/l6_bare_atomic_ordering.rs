@@ -1,0 +1,22 @@
+//! Fixture: L6 violation — explicit atomic orderings without the
+//! mandatory reviewed `allow(atomic_ordering)` annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bare `SeqCst` load: which fence semantics this site actually
+/// needs was never reviewed.
+pub fn unreviewed_load(x: &AtomicU64) -> u64 {
+    x.load(Ordering::SeqCst)
+}
+
+/// A bare `Relaxed` store — cheap, but is relaxed actually sufficient
+/// here? The annotation would have to say.
+pub fn unreviewed_store(x: &AtomicU64, v: u64) {
+    x.store(v, Ordering::Relaxed);
+}
+
+/// The reviewed form passes: ordering choice plus its justification.
+pub fn reviewed_increment(x: &AtomicU64) -> u64 {
+    // tvdp-lint: allow(atomic_ordering, reason = "counter is monotonic and read only after join; Relaxed suffices")
+    x.fetch_add(1, Ordering::Relaxed)
+}

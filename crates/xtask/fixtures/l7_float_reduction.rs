@@ -1,0 +1,32 @@
+//! Fixture: L7 violations — ad-hoc floating-point reductions whose
+//! result bits depend on traversal order.
+
+/// Bare float sum.
+pub fn mean(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().sum();
+    total / xs.len() as f64
+}
+
+/// Fold with a float accumulator.
+pub fn weighted(xs: &[f32], ws: &[f32]) -> f32 {
+    xs.iter().zip(ws).fold(0.0, |acc, (x, w)| acc + x * w)
+}
+
+/// `+=` accumulation loop.
+pub fn energy(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in xs {
+        acc += x * x;
+    }
+    acc
+}
+
+/// Integer sums stay legal even when cast to float afterwards.
+pub fn ratio(counts: &[usize]) -> f64 {
+    (counts.iter().sum::<usize>() as f64) / counts.len() as f64
+}
+
+/// Order-insensitive min/max folds stay legal.
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

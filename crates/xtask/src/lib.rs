@@ -1,13 +1,16 @@
 //! `cargo xtask` — workspace automation for TVDP.
 //!
 //! The only subcommand today is `lint`, a dependency-free static
-//! analysis pass enforcing the platform's four reproducibility
-//! invariants (see [`rules`]): city-scale query serving needs answers
-//! that are crash-free (L1), bit-reproducible across runs and thread
-//! counts (L2, L3), and independent of ambient time/randomness (L4).
+//! analysis pass enforcing the platform's reproducibility invariants
+//! (see [`rules`]): city-scale query serving needs answers that are
+//! crash-free (L1), bit-reproducible across runs and thread counts
+//! (L2, L3, L5, L7), and independent of ambient time/randomness (L4),
+//! with every explicit atomic ordering carrying a reviewed
+//! justification (L6).
 //!
 //! Run as `cargo xtask lint` (whole workspace) or
-//! `cargo xtask lint <file>...` (specific files, strict policy).
+//! `cargo xtask lint <file>...` (specific files, strict policy). Add
+//! `--format json` for machine-readable output (CI annotations).
 
 pub mod rules;
 pub mod source;
@@ -20,10 +23,31 @@ pub use rules::{Finding, Policy, Rule};
 pub use source::SourceModel;
 pub use walk::{lint_file, lint_workspace, policy_for, workspace_sources, FileFinding};
 
+/// Report format for [`run_lint_with_format`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable `path:line:col: [Lx/rule] message` lines.
+    #[default]
+    Text,
+    /// One JSON object with a `findings` array (CI annotations). The
+    /// encoder is hand-rolled: the linter stays dependency-free.
+    Json,
+}
+
 /// Runs the lint over the workspace (no file args) or the given files
-/// (strict policy), printing findings to `out`. Returns the number of
-/// findings.
+/// (strict policy), printing findings to `out` as text. Returns the
+/// number of findings.
 pub fn run_lint<W: io::Write>(root: &Path, files: &[String], out: &mut W) -> io::Result<usize> {
+    run_lint_with_format(root, files, OutputFormat::Text, out)
+}
+
+/// [`run_lint`] with an explicit report format.
+pub fn run_lint_with_format<W: io::Write>(
+    root: &Path,
+    files: &[String],
+    format: OutputFormat,
+    out: &mut W,
+) -> io::Result<usize> {
     let findings = if files.is_empty() {
         lint_workspace(root)?
     } else {
@@ -33,28 +57,125 @@ pub fn run_lint<W: io::Write>(root: &Path, files: &[String], out: &mut W) -> io:
         }
         all
     };
-    for f in &findings {
-        writeln!(
-            out,
-            "{}:{}:{}: [{}/{}] {}\n    {}",
-            f.path,
-            f.finding.line,
-            f.finding.col,
-            f.finding.rule.id(),
-            f.finding.rule.name(),
-            f.finding.message,
-            f.snippet,
-        )?;
-    }
-    if findings.is_empty() {
-        writeln!(out, "tvdp-lint: clean")?;
-    } else {
-        writeln!(
-            out,
-            "tvdp-lint: {} violation(s); suppress a true positive with \
-             `// tvdp-lint: allow(<rule>, reason = \"...\")`",
-            findings.len()
-        )?;
+    match format {
+        OutputFormat::Text => {
+            for f in &findings {
+                writeln!(
+                    out,
+                    "{}:{}:{}: [{}/{}] {}\n    {}",
+                    f.path,
+                    f.finding.line,
+                    f.finding.col,
+                    f.finding.rule.id(),
+                    f.finding.rule.name(),
+                    f.finding.message,
+                    f.snippet,
+                )?;
+            }
+            if findings.is_empty() {
+                writeln!(out, "tvdp-lint: clean")?;
+            } else {
+                writeln!(
+                    out,
+                    "tvdp-lint: {} violation(s); suppress a true positive with \
+                     `// tvdp-lint: allow(<rule>, reason = \"...\")`",
+                    findings.len()
+                )?;
+            }
+        }
+        OutputFormat::Json => {
+            writeln!(out, "{}", findings_to_json(&findings))?;
+        }
     }
     Ok(findings.len())
+}
+
+/// Serializes findings as one JSON document:
+/// `{"findings":[{"file":..,"line":..,"col":..,"rule":..,"name":..,
+/// "message":..,"snippet":..},..],"count":N}`.
+pub fn findings_to_json(findings: &[FileFinding]) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"file\":");
+        json_string(&mut s, &f.path);
+        s.push_str(",\"line\":");
+        s.push_str(&f.finding.line.to_string());
+        s.push_str(",\"col\":");
+        s.push_str(&f.finding.col.to_string());
+        s.push_str(",\"rule\":");
+        json_string(&mut s, f.finding.rule.id());
+        s.push_str(",\"name\":");
+        json_string(&mut s, f.finding.rule.name());
+        s.push_str(",\"message\":");
+        json_string(&mut s, &f.finding.message);
+        s.push_str(",\"snippet\":");
+        json_string(&mut s, &f.snippet);
+        s.push('}');
+    }
+    s.push_str("],\"count\":");
+    s.push_str(&findings.len().to_string());
+    s.push('}');
+    s
+}
+
+/// Appends `value` to `out` as a JSON string literal (RFC 8259
+/// escaping: quote, backslash, and control characters).
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::{Finding, Rule};
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let mut s = String::new();
+        json_string(&mut s, "say \"hi\"\n\tdone\u{1}");
+        assert_eq!(s, "\"say \\\"hi\\\"\\n\\tdone\\u0001\"");
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let findings = vec![FileFinding {
+            path: "crates/x/src/lib.rs".into(),
+            snippet: "let t = x.unwrap();".into(),
+            finding: Finding {
+                rule: Rule::NoPanic,
+                line: 3,
+                col: 11,
+                message: "`.unwrap()` can panic".into(),
+            },
+        }];
+        let json = findings_to_json(&findings);
+        assert_eq!(
+            json,
+            "{\"findings\":[{\"file\":\"crates/x/src/lib.rs\",\"line\":3,\"col\":11,\
+             \"rule\":\"L1\",\"name\":\"no_panic\",\"message\":\"`.unwrap()` can panic\",\
+             \"snippet\":\"let t = x.unwrap();\"}],\"count\":1}"
+        );
+    }
+
+    #[test]
+    fn empty_json_report() {
+        assert_eq!(findings_to_json(&[]), "{\"findings\":[],\"count\":0}");
+    }
 }

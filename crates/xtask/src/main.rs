@@ -1,17 +1,20 @@
-//! CLI entry point: `cargo xtask lint [FILE...]`.
+//! CLI entry point: `cargo xtask lint [--format text|json] [FILE...]`.
 
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::OutputFormat;
+
 fn usage() -> ExitCode {
     let _ = writeln!(
         io::stderr(),
-        "usage: cargo xtask lint [FILE...]\n\
+        "usage: cargo xtask lint [--format text|json] [FILE...]\n\
          \n\
          Enforces the TVDP invariants over crates/*/src (no args) or the\n\
          given files: L1 no-panic, L2 determinism, L3 pool-only\n\
-         threading, L4 no ambient time/randomness."
+         threading, L4 no ambient time/randomness, L5 lock discipline,\n\
+         L6 reviewed atomic orderings, L7 canonical float reductions."
     );
     ExitCode::from(2)
 }
@@ -28,10 +31,32 @@ fn workspace_root() -> PathBuf {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, files)) if cmd == "lint" => {
+        Some((cmd, rest)) if cmd == "lint" => {
+            let mut format = OutputFormat::Text;
+            let mut files: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                if arg == "--format" {
+                    match it.next().map(String::as_str) {
+                        Some("text") => format = OutputFormat::Text,
+                        Some("json") => format = OutputFormat::Json,
+                        _ => return usage(),
+                    }
+                } else if let Some(v) = arg.strip_prefix("--format=") {
+                    match v {
+                        "text" => format = OutputFormat::Text,
+                        "json" => format = OutputFormat::Json,
+                        _ => return usage(),
+                    }
+                } else if arg.starts_with('-') {
+                    return usage();
+                } else {
+                    files.push(arg.clone());
+                }
+            }
             let root = workspace_root();
             let mut stdout = io::stdout().lock();
-            match xtask::run_lint(&root, files, &mut stdout) {
+            match xtask::run_lint_with_format(&root, &files, format, &mut stdout) {
                 Ok(0) => ExitCode::SUCCESS,
                 Ok(_) => ExitCode::FAILURE,
                 Err(e) => {

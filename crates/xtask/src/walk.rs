@@ -4,8 +4,14 @@
 //! `src/`, in sorted order (the linter obeys its own determinism rule).
 //! Policy is derived from the path:
 //!
-//! * `crates/kernel` — owns the thread pool, so L3 is off there;
-//! * `crates/bench` — exists to measure wall-clock time, so L4 is off;
+//! * `crates/kernel` — owns the thread pool, so L3 is off there; it is
+//!   also the home of the canonical fixed-order reductions (L7 off) and
+//!   implements the dispatch primitives L5 polices (L5 off);
+//! * `crates/check` — the model checker schedules real OS threads and
+//!   its shims are the reviewed home of explicit atomic orderings, so
+//!   L3/L5/L6 are off there (it deliberately models broken locking);
+//! * `crates/bench` — exists to measure wall-clock time and report
+//!   float means, so L4 and L7 are off;
 //! * `crates/api/src/limit.rs` — the rate limiter is the designated
 //!   place where wall-clock time would be fed in, so L4 is off.
 
@@ -22,8 +28,22 @@ const WALL_CLOCK_ALLOWLIST: [&str; 1] = ["crates/api/src/limit.rs"];
 /// Crates whose whole `src/` is exempt from L4 (benchmark drivers).
 const WALL_CLOCK_ALLOWLIST_CRATES: [&str; 1] = ["bench"];
 
-/// The one crate allowed to create threads.
-const THREADING_OWNER: &str = "kernel";
+/// Crates allowed to create threads: the pool owner and the model
+/// checker (whose controlled scheduler *is* its subject matter).
+const THREADING_OWNERS: [&str; 2] = ["kernel", "check"];
+
+/// Crates exempt from lock-discipline L5: the kernel implements the
+/// dispatch primitives, and the checker deliberately models broken
+/// locking (its mutants are the rule's counterexamples).
+const LOCK_DISCIPLINE_EXEMPT: [&str; 2] = ["kernel", "check"];
+
+/// Crates exempt from atomic-ordering L6: the checker's scheduler shims
+/// are the one reviewed home of explicit orderings.
+const ATOMIC_ORDERING_EXEMPT: [&str; 1] = ["check"];
+
+/// Crates exempt from float-reduction L7: the kernel owns the canonical
+/// fixed-order reduce paths, and bench reports are diagnostics.
+const FLOAT_REDUCTION_EXEMPT: [&str; 2] = ["kernel", "bench"];
 
 /// The lint policy for one file, derived from its workspace-relative
 /// path (separators normalized to `/`).
@@ -34,9 +54,12 @@ pub fn policy_for(rel_path: &str) -> Policy {
         .and_then(|r| r.split('/').next())
         .unwrap_or("");
     Policy {
-        check_threading: crate_name != THREADING_OWNER,
+        check_threading: !THREADING_OWNERS.contains(&crate_name),
         check_wall_clock: !WALL_CLOCK_ALLOWLIST_CRATES.contains(&crate_name)
             && !WALL_CLOCK_ALLOWLIST.iter().any(|m| rel.ends_with(m)),
+        check_lock_discipline: !LOCK_DISCIPLINE_EXEMPT.contains(&crate_name),
+        check_atomic_ordering: !ATOMIC_ORDERING_EXEMPT.contains(&crate_name),
+        check_float_reduction: !FLOAT_REDUCTION_EXEMPT.contains(&crate_name),
     }
 }
 
@@ -128,6 +151,36 @@ mod tests {
     fn kernel_exempt_from_threading_rule() {
         assert!(!policy_for("crates/kernel/src/pool.rs").check_threading);
         assert!(policy_for("crates/storage/src/store.rs").check_threading);
+    }
+
+    #[test]
+    fn checker_owns_its_scheduler_and_orderings() {
+        let p = policy_for("crates/check/src/exec.rs");
+        assert!(!p.check_threading);
+        assert!(!p.check_lock_discipline);
+        assert!(!p.check_atomic_ordering);
+        assert!(p.check_float_reduction, "no float math in the checker");
+    }
+
+    #[test]
+    fn kernel_owns_canonical_reductions_and_dispatch() {
+        let p = policy_for("crates/kernel/src/pool.rs");
+        assert!(!p.check_lock_discipline);
+        assert!(!p.check_float_reduction);
+        assert!(
+            p.check_atomic_ordering,
+            "kernel orderings still need review"
+        );
+        let q = policy_for("crates/query/src/sharded.rs");
+        assert!(q.check_lock_discipline);
+        assert!(q.check_atomic_ordering);
+        assert!(q.check_float_reduction);
+    }
+
+    #[test]
+    fn bench_reports_may_sum_floats() {
+        assert!(!policy_for("crates/bench/src/lib.rs").check_float_reduction);
+        assert!(policy_for("crates/ml/src/eval.rs").check_float_reduction);
     }
 
     #[test]

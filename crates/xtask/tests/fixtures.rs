@@ -77,6 +77,109 @@ fn l4_transport_fixture_flags_each_violation_once() {
 }
 
 #[test]
+fn l5_fixture_rejected() {
+    assert_fires("l5_lock_across_dispatch.rs", "[L5/lock_discipline]");
+}
+
+#[test]
+fn l5_fixture_flags_dispatch_and_nested_acquisition() {
+    let out = run_lint_on("l5_lock_across_dispatch.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pool dispatch"), "{stdout}");
+    assert!(stdout.contains("nested lock"), "{stdout}");
+}
+
+#[test]
+fn l6_fixture_rejected() {
+    assert_fires("l6_bare_atomic_ordering.rs", "[L6/atomic_ordering]");
+}
+
+#[test]
+fn l6_fixture_flags_only_the_unreviewed_sites() {
+    let out = run_lint_on("l6_bare_atomic_ordering.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // SeqCst load + Relaxed store fire; the annotated fetch_add does not.
+    assert_eq!(
+        stdout.matches("[L6/atomic_ordering]").count(),
+        2,
+        "wrong violation count:\n{stdout}"
+    );
+}
+
+#[test]
+fn l7_fixture_rejected() {
+    assert_fires("l7_float_reduction.rs", "[L7/float_reduction]");
+}
+
+#[test]
+fn l7_fixture_flags_each_float_reduction_once() {
+    let out = run_lint_on("l7_float_reduction.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Bare sum + float fold + `acc +=`; the integer-turbofish sum and
+    // the min/max fold stay legal.
+    assert_eq!(
+        stdout.matches("[L7/float_reduction]").count(),
+        3,
+        "wrong violation count:\n{stdout}"
+    );
+}
+
+#[test]
+fn l0_unused_allow_fixture_rejected() {
+    assert_fires("l0_unused_allow.rs", "[L0/bad_allow]");
+    let out = run_lint_on("l0_unused_allow.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unused allow(no_panic)"), "{stdout}");
+}
+
+#[test]
+fn json_format_reports_findings_machine_readably() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--format")
+        .arg("json")
+        .arg("crates/xtask/fixtures/l6_bare_atomic_ordering.rs")
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .current_dir(workspace_root())
+        .output();
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => panic!("failed to run xtask binary: {e}"),
+    };
+    assert!(!out.status.success(), "violations must still exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"findings\":["), "{line}");
+    assert!(line.ends_with(",\"count\":2}"), "{line}");
+    assert!(
+        line.contains("\"file\":\"crates/xtask/fixtures/l6_bare_atomic_ordering.rs\""),
+        "{line}"
+    );
+    assert!(line.contains("\"rule\":\"L6\""), "{line}");
+    assert!(line.contains("\"name\":\"atomic_ordering\""), "{line}");
+    assert!(line.contains("\"line\":"), "{line}");
+    assert!(line.contains("\"snippet\":"), "{line}");
+}
+
+#[test]
+fn json_format_clean_file_reports_empty_findings() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--format=json")
+        .arg("crates/xtask/fixtures/clean_with_allows.rs")
+        .env("CARGO_MANIFEST_DIR", workspace_root().join("crates/xtask"))
+        .current_dir(workspace_root())
+        .output();
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => panic!("failed to run xtask binary: {e}"),
+    };
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert_eq!(stdout.trim(), "{\"findings\":[],\"count\":0}");
+}
+
+#[test]
 fn clean_virtual_transport_fixture_passes() {
     let out = run_lint_on("clean_virtual_transport.rs");
     let stdout = String::from_utf8_lossy(&out.stdout);
