@@ -162,6 +162,56 @@ fn decode_fov_body(v: &Value, gps: GeoPoint) -> Result<Fov, ParseError> {
     ))
 }
 
+/// Decodes one upload object (the `data/add` body shape) into the
+/// image and ingest request it describes. Shared by `data/add` and
+/// every element of `data/add_batch`.
+fn decode_upload(body: &Value) -> Result<(Image, IngestRequest), String> {
+    let parsed = (|| -> Result<_, ParseError> {
+        let width: usize = codec::num_field(body, "width")?;
+        let height: usize = codec::num_field(body, "height")?;
+        let pixels = decode_pixels(codec::field(body, "pixels")?)?;
+        let lat: f64 = codec::num_field(body, "lat")?;
+        let lon: f64 = codec::num_field(body, "lon")?;
+        let captured_at: i64 = codec::num_field(body, "captured_at")?;
+        let uploaded_at: i64 = codec::num_field(body, "uploaded_at")?;
+        let keywords = match opt_field(body, "keywords") {
+            Some(Value::Arr(items)) => decode_strings(items, "keywords")?,
+            Some(_) => return Err("keywords: expected an array".into()),
+            None => Vec::new(),
+        };
+        Ok((
+            width,
+            height,
+            pixels,
+            lat,
+            lon,
+            captured_at,
+            uploaded_at,
+            keywords,
+        ))
+    })();
+    let (width, height, pixels, lat, lon, captured_at, uploaded_at, keywords) =
+        parsed.map_err(|e| format!("bad request body: {e}"))?;
+    if pixels.len() != width * height * 3 {
+        return Err("pixel buffer size mismatch".into());
+    }
+    let gps = GeoPoint::try_new(lat, lon).ok_or_else(|| "invalid coordinates".to_string())?;
+    let fov = match opt_field(body, "fov") {
+        Some(f) => Some(decode_fov_body(f, gps).map_err(|e| format!("bad request body: {e}"))?),
+        None => None,
+    };
+    Ok((
+        Image::from_raw(width, height, pixels),
+        IngestRequest {
+            gps,
+            fov,
+            captured_at,
+            uploaded_at,
+            keywords,
+        },
+    ))
+}
+
 fn decode_visual_mode(v: &Value) -> Result<VisualMode, ParseError> {
     if let Some(k) = v.get("TopK") {
         Ok(VisualMode::TopK(codec::num(k, "TopK")?))
@@ -366,6 +416,7 @@ impl ApiServer {
         };
         match request.endpoint.as_str() {
             "data/add" => self.add_data(user, &body, request.idempotency_key.as_deref()),
+            "data/add_batch" => self.add_data_batch(user, &body),
             "data/search" => self.search(&body),
             "data/download" => self.download(&body),
             "features/extract" => self.extract(&body),
@@ -390,54 +441,9 @@ impl ApiServer {
     }
 
     fn add_data(&self, user: UserId, body: &Value, idempotency_key: Option<&str>) -> ApiResponse {
-        let parsed = (|| -> Result<_, ParseError> {
-            let width: usize = codec::num_field(body, "width")?;
-            let height: usize = codec::num_field(body, "height")?;
-            let pixels = decode_pixels(codec::field(body, "pixels")?)?;
-            let lat: f64 = codec::num_field(body, "lat")?;
-            let lon: f64 = codec::num_field(body, "lon")?;
-            let captured_at: i64 = codec::num_field(body, "captured_at")?;
-            let uploaded_at: i64 = codec::num_field(body, "uploaded_at")?;
-            let keywords = match opt_field(body, "keywords") {
-                Some(Value::Arr(items)) => decode_strings(items, "keywords")?,
-                Some(_) => return Err("keywords: expected an array".into()),
-                None => Vec::new(),
-            };
-            Ok((
-                width,
-                height,
-                pixels,
-                lat,
-                lon,
-                captured_at,
-                uploaded_at,
-                keywords,
-            ))
-        })();
-        let (width, height, pixels, lat, lon, captured_at, uploaded_at, keywords) = match parsed {
-            Ok(p) => p,
-            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
-        };
-        if pixels.len() != width * height * 3 {
-            return ApiResponse::err(400, "pixel buffer size mismatch");
-        }
-        let Some(gps) = GeoPoint::try_new(lat, lon) else {
-            return ApiResponse::err(400, "invalid coordinates");
-        };
-        let fov = match opt_field(body, "fov") {
-            Some(f) => match decode_fov_body(f, gps) {
-                Ok(f) => Some(f),
-                Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
-            },
-            None => None,
-        };
-        let image = Image::from_raw(width, height, pixels);
-        let request = IngestRequest {
-            gps,
-            fov,
-            captured_at,
-            uploaded_at,
-            keywords,
+        let (image, request) = match decode_upload(body) {
+            Ok(u) => u,
+            Err(e) => return ApiResponse::err(400, e),
         };
         let outcome = match idempotency_key {
             Some(key) => self
@@ -448,6 +454,80 @@ impl ApiServer {
         };
         match outcome {
             Ok(id) => ApiResponse::ok(obj(vec![("image", Value::num(id.raw()))])),
+            Err(e) => ApiResponse::err(status_for(&e), e),
+        }
+    }
+
+    /// `data/add_batch`: bulk upload, the API face of the platform's
+    /// group-commit ingest. Body: `{"uploads": [<data/add body>...]}`,
+    /// where each element may carry its own `"idempotency_key"` —
+    /// either every element has one (the batch is journaled as
+    /// composite idempotent records) or none does. A shard's whole
+    /// group rides one WAL fsync instead of one per op.
+    fn add_data_batch(&self, user: UserId, body: &Value) -> ApiResponse {
+        let uploads = match codec::arr_field(body, "uploads") {
+            Ok(items) => items,
+            Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
+        };
+        let mut keyed = Vec::with_capacity(uploads.len());
+        let mut keys_seen = 0usize;
+        for (i, item) in uploads.iter().enumerate() {
+            let (image, request) = match decode_upload(item) {
+                Ok(u) => u,
+                Err(e) => return ApiResponse::err(400, format!("uploads[{i}]: {e}")),
+            };
+            let key = match opt_field(item, "idempotency_key") {
+                Some(Value::Str(k)) => {
+                    keys_seen += 1;
+                    Some(k.clone())
+                }
+                Some(_) => {
+                    return ApiResponse::err(
+                        400,
+                        format!("uploads[{i}]: idempotency_key: expected a string"),
+                    )
+                }
+                None => None,
+            };
+            keyed.push((image, request, key));
+        }
+        if keys_seen != 0 && keys_seen != keyed.len() {
+            return ApiResponse::err(
+                400,
+                "either every upload carries an idempotency_key or none does",
+            );
+        }
+        let threads = keyed.len().clamp(1, 8);
+        let outcome = if keys_seen == 0 {
+            self.platform
+                .ingest_batch(
+                    user,
+                    keyed.into_iter().map(|(im, rq, _)| (im, rq)).collect(),
+                    threads,
+                )
+                .map(|ids| ids.into_iter().map(|id| (id, false)).collect::<Vec<_>>())
+        } else {
+            self.platform.ingest_idempotent_batch(
+                user,
+                keyed
+                    .into_iter()
+                    .map(|(im, rq, k)| (im, rq, k.unwrap_or_default()))
+                    .collect(),
+                threads,
+            )
+        };
+        match outcome {
+            Ok(rows) => ApiResponse::ok(obj(vec![
+                ("count", Value::num(rows.len())),
+                (
+                    "images",
+                    Value::Arr(rows.iter().map(|(id, _)| Value::num(id.raw())).collect()),
+                ),
+                (
+                    "replayed",
+                    Value::Arr(rows.iter().map(|&(_, r)| Value::Bool(r)).collect()),
+                ),
+            ])),
             Err(e) => ApiResponse::err(status_for(&e), e),
         }
     }

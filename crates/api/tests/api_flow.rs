@@ -553,3 +553,94 @@ fn model_weights_download_and_upload_roundtrip() {
     );
     assert_eq!(r.status, 400);
 }
+
+#[test]
+fn batched_uploads_through_the_api() {
+    let platform = fast_platform();
+    let gov = platform.register_user("LASAN", Role::Government);
+    let server = ApiServer::with_rate_limit(
+        Arc::clone(&platform),
+        RateLimitConfig {
+            burst: 1000,
+            per_second: 1000.0,
+            ..Default::default()
+        },
+    );
+    let key = server.issue_key(gov);
+
+    // A keyless batch lands every upload and replays none.
+    let body = format!(
+        r#"{{"uploads":[{},{},{}]}}"#,
+        add_body(0, 1, 34.01),
+        add_body(1, 2, 34.04),
+        add_body(0, 3, 34.07),
+    );
+    let r = call(&server, &key, "data/add_batch", &body);
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.body["count"].as_u64(), Some(3));
+    let first = r.body["images"][0].as_u64().unwrap();
+    assert_eq!(r.body["replayed"][0].as_bool(), Some(false));
+    assert_eq!(r.body["replayed"][2].as_bool(), Some(false));
+    assert_eq!(platform.stats().images, 3);
+
+    // A keyed batch with a duplicate key replays instead of re-ingesting,
+    // both within the batch and across a retry of the whole batch.
+    let keyed = |seed: usize, k: &str| {
+        let b = add_body(1, seed, 34.10);
+        format!(r#"{},"idempotency_key":"{k}"}}"#, &b[..b.len() - 1])
+    };
+    let body = format!(
+        r#"{{"uploads":[{},{},{}]}}"#,
+        keyed(10, "cam-a"),
+        keyed(11, "cam-b"),
+        keyed(10, "cam-a"),
+    );
+    let r = call(&server, &key, "data/add_batch", &body);
+    assert!(r.is_ok(), "{r:?}");
+    assert_eq!(r.body["replayed"][0].as_bool(), Some(false));
+    assert_eq!(r.body["replayed"][2].as_bool(), Some(true));
+    assert_eq!(r.body["images"][0].as_u64(), r.body["images"][2].as_u64());
+    assert_eq!(platform.stats().images, 5);
+
+    let retry = call(&server, &key, "data/add_batch", &body);
+    assert!(retry.is_ok(), "{retry:?}");
+    assert_eq!(retry.body["replayed"][0].as_bool(), Some(true));
+    assert_eq!(retry.body["replayed"][1].as_bool(), Some(true));
+    assert_eq!(
+        retry.body["images"][0].as_u64(),
+        r.body["images"][0].as_u64()
+    );
+    assert_eq!(platform.stats().images, 5);
+
+    // Mixed keyed/keyless batches are rejected whole.
+    let body = format!(
+        r#"{{"uploads":[{},{}]}}"#,
+        add_body(0, 20, 34.01),
+        keyed(21, "cam-c"),
+    );
+    let r = call(&server, &key, "data/add_batch", &body);
+    assert_eq!(r.status, 400);
+    assert_eq!(platform.stats().images, 5);
+
+    // A malformed element pinpoints its index.
+    let r = call(
+        &server,
+        &key,
+        "data/add_batch",
+        r#"{"uploads":[{"width":1}]}"#,
+    );
+    assert_eq!(r.status, 400);
+
+    // The batch ids are real: batched uploads are searchable by keyword.
+    let g = call(
+        &server,
+        &key,
+        "data/search",
+        r#"{"query":{"Textual":{"text":"street","mode":"Any"}}}"#,
+    );
+    assert!(g.is_ok(), "{g:?}");
+    let hits: Vec<u64> = (0..5)
+        .filter_map(|i| g.body["results"][i]["image"].as_u64())
+        .collect();
+    assert!(hits.contains(&first), "batched upload missing from search");
+}

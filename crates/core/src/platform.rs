@@ -22,7 +22,7 @@ use tvdp_query::engine::EngineConfig;
 use tvdp_query::{Query, QueryResult, ShardedEngine, DEFAULT_SEAL_CAP};
 use tvdp_storage::{
     AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, ImageId,
-    ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore,
+    ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore, WalOp,
 };
 use tvdp_vision::{
     Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind,
@@ -321,13 +321,31 @@ impl Tvdp {
     /// to bound the logs and keep reopen cost proportional to store
     /// size, not mutation history. The report aggregates all shards
     /// (max epoch, summed byte/op counts).
+    ///
+    /// **Wait-for-quiesce semantics:** per shard, `flush` waits only
+    /// for in-flight writers to quiesce at the shard's journal lock —
+    /// the snapshot cut and segment rotation happen atomically inside
+    /// that critical section, so an op either lands wholly before the
+    /// cut (folded into the snapshot) or wholly after (journaled in the
+    /// new live segment). Writers are *not* blocked for the fold
+    /// itself: the merge runs as bounded increments
+    /// ([`tvdp_storage::CompactionTask`]) concurrent with new writes,
+    /// and `flush` returns once every shard's fold has published. Ops
+    /// acknowledged after `flush` was called may therefore be in the
+    /// new live segment rather than the snapshot — durable either way.
     pub fn flush(&self) -> Result<CompactionReport, PlatformError> {
+        self.flush_with_pool(&Pool::serial())
+    }
+
+    /// [`Tvdp::flush`] with the fold's rendering increments fanned out
+    /// over `pool`. Snapshot bytes are pool-width independent.
+    pub fn flush_with_pool(&self, pool: &Pool) -> Result<CompactionReport, PlatformError> {
         if self.durables.is_empty() {
             return Err(PlatformError::NotDurable);
         }
         let mut merged: Option<CompactionReport> = None;
         for d in &self.durables {
-            let r = d.compact()?;
+            let r = d.compact_with_pool(pool)?;
             merged = Some(match merged {
                 None => r,
                 Some(m) => CompactionReport {
@@ -335,6 +353,10 @@ impl Tvdp {
                     ops_compacted: m.ops_compacted + r.ops_compacted,
                     wal_bytes_before: m.wal_bytes_before + r.wal_bytes_before,
                     snapshot_bytes: m.snapshot_bytes + r.snapshot_bytes,
+                    tiers_merged: m.tiers_merged + r.tiers_merged,
+                    increments_run: m.increments_run + r.increments_run,
+                    bytes_spilled: m.bytes_spilled + r.bytes_spilled,
+                    bytes_reloaded: m.bytes_reloaded + r.bytes_reloaded,
                 },
             });
         }
@@ -343,6 +365,10 @@ impl Tvdp {
             ops_compacted: 0,
             wal_bytes_before: 0,
             snapshot_bytes: 0,
+            tiers_merged: 0,
+            increments_run: 0,
+            bytes_spilled: 0,
+            bytes_reloaded: 0,
         }))
     }
 
@@ -664,15 +690,56 @@ impl Tvdp {
         }
         // Phase 3: per-shard apply. Workers own disjoint shards, so
         // the rows are moved out through a mutex each worker locks
-        // exactly once.
+        // exactly once. On a durable platform each shard's rows are
+        // group-committed: the whole group journals as one framed
+        // write + one fsync ([`tvdp_storage::DurableStore::apply_batch`])
+        // instead of one fsync per op, which is what makes bulk ingest
+        // sustain city-scale rates with durability on.
         let groups: Vec<Mutex<Vec<Row>>> = groups.into_iter().map(Mutex::new).collect();
         let outcomes: Vec<Result<(), PlatformError>> = pool.map(&groups, |shard, group| {
             let rows = std::mem::take(&mut *group.lock());
-            for (id, meta, image, color, cnn) in rows {
-                self.store_add_image_at(shard, id, meta, ImageOrigin::Original, Some(image))?;
-                self.store_put_feature(shard, id, FeatureKind::ColorHistogram, color)?;
-                self.store_put_feature(shard, id, FeatureKind::Cnn, cnn)?;
-                self.engine.index_image(shard, id);
+            match self.durables.get(shard) {
+                Some(d) => {
+                    let mut ops = Vec::with_capacity(rows.len() * 3);
+                    let mut indexed = Vec::with_capacity(rows.len());
+                    for (id, meta, image, color, cnn) in rows {
+                        ops.push(WalOp::AddImage {
+                            id,
+                            meta,
+                            origin: ImageOrigin::Original,
+                            pixels: Some((image.width(), image.height(), image.raw().to_vec())),
+                        });
+                        ops.push(WalOp::PutFeature {
+                            image: id,
+                            kind: FeatureKind::ColorHistogram,
+                            vector: color,
+                        });
+                        ops.push(WalOp::PutFeature {
+                            image: id,
+                            kind: FeatureKind::Cnn,
+                            vector: cnn,
+                        });
+                        indexed.push(id);
+                    }
+                    d.apply_batch(ops)?;
+                    for id in indexed {
+                        self.engine.index_image(shard, id);
+                    }
+                }
+                None => {
+                    for (id, meta, image, color, cnn) in rows {
+                        self.store_add_image_at(
+                            shard,
+                            id,
+                            meta,
+                            ImageOrigin::Original,
+                            Some(image),
+                        )?;
+                        self.store_put_feature(shard, id, FeatureKind::ColorHistogram, color)?;
+                        self.store_put_feature(shard, id, FeatureKind::Cnn, cnn)?;
+                        self.engine.index_image(shard, id);
+                    }
+                }
             }
             Ok(())
         });
@@ -680,6 +747,113 @@ impl Tvdp {
             outcome?;
         }
         Ok(ids)
+    }
+
+    /// **Acquisition**: bulk idempotent upload — [`Tvdp::ingest_batch`]
+    /// for at-least-once transports. Every element carries its own
+    /// idempotency key (see [`Tvdp::ingest_idempotent`]); replays are
+    /// answered from the existing rows, fresh uploads are extracted in
+    /// parallel and group-committed per shard, with each upload's row,
+    /// features, and dedup marker journaled as one composite record —
+    /// a whole shard group rides a single fsync. Outcomes are returned
+    /// in input order as `(id, replayed)`.
+    pub fn ingest_idempotent_batch(
+        &self,
+        user: UserId,
+        batch: Vec<(Image, IngestRequest, String)>,
+        threads: usize,
+    ) -> Result<Vec<(ImageId, bool)>, PlatformError> {
+        self.require_user(user)?;
+        let pool = Pool::new(threads);
+        // Phase 1: parallel extraction. Replays still extract here —
+        // wasted work on the rare retry, but the common path stays
+        // branch-free and the outcome is unaffected.
+        let extracted: Vec<(Vec<f32>, Vec<f32>)> = pool.map(&batch, |_, (image, _, _)| {
+            (self.color.extract(image), self.cnn.extract(image))
+        });
+        // Phase 2: serial dedup + id allocation + shard routing, in
+        // input order. A key seen earlier in this same batch dedups
+        // against the earlier element, exactly as two sequential
+        // ingest_idempotent calls would.
+        type Row = (String, ImageId, ImageMeta, Image, Vec<f32>, Vec<f32>);
+        let mut groups: Vec<Vec<Row>> = (0..self.stores.len()).map(|_| Vec::new()).collect();
+        let mut outcomes: Vec<(ImageId, bool)> = Vec::with_capacity(batch.len());
+        let mut batch_markers: std::collections::BTreeMap<String, ImageId> =
+            std::collections::BTreeMap::new();
+        for ((image, request, key), (color, cnn)) in batch.into_iter().zip(extracted) {
+            let marker = format!("u{}:{key}", user.0);
+            if let Some(&prior) = batch_markers.get(&marker) {
+                outcomes.push((prior, true));
+                continue;
+            }
+            if let Some(existing) = self.find_marker(&marker) {
+                outcomes.push((existing, true));
+                continue;
+            }
+            let meta = ImageMeta {
+                uploader: user,
+                gps: request.gps,
+                fov: request.fov,
+                captured_at: request.captured_at,
+                uploaded_at: request.uploaded_at,
+                keywords: request.keywords,
+            };
+            let shard = self.router.shard(&meta.gps);
+            let id = self.alloc_image_id();
+            batch_markers.insert(marker.clone(), id);
+            groups[shard].push((marker, id, meta, image, color, cnn));
+            outcomes.push((id, false));
+        }
+        // Phase 3: per-shard group commit of composite upload records.
+        let groups: Vec<Mutex<Vec<Row>>> = groups.into_iter().map(Mutex::new).collect();
+        let applied: Vec<Result<(), PlatformError>> = pool.map(&groups, |shard, group| {
+            let rows = std::mem::take(&mut *group.lock());
+            match self.durables.get(shard) {
+                Some(d) => {
+                    let mut ops = Vec::with_capacity(rows.len());
+                    let mut indexed = Vec::with_capacity(rows.len());
+                    for (marker, id, meta, image, color, cnn) in rows {
+                        ops.push(WalOp::IngestUpload {
+                            marker,
+                            id,
+                            meta,
+                            origin: ImageOrigin::Original,
+                            pixels: Some((image.width(), image.height(), image.raw().to_vec())),
+                            features: vec![
+                                (FeatureKind::ColorHistogram, color),
+                                (FeatureKind::Cnn, cnn),
+                            ],
+                        });
+                        indexed.push(id);
+                    }
+                    d.apply_batch(ops)?;
+                    for id in indexed {
+                        self.engine.index_image(shard, id);
+                    }
+                }
+                None => {
+                    for (marker, id, meta, image, color, cnn) in rows {
+                        self.stores[shard].ingest_upload_at(
+                            &marker,
+                            id,
+                            meta,
+                            ImageOrigin::Original,
+                            Some(image),
+                            &[
+                                (FeatureKind::ColorHistogram, color),
+                                (FeatureKind::Cnn, cnn),
+                            ],
+                        )?;
+                        self.engine.index_image(shard, id);
+                    }
+                }
+            }
+            Ok(())
+        });
+        for outcome in applied {
+            outcome?;
+        }
+        Ok(outcomes)
     }
 
     /// **Acquisition**: uploads an image with near-duplicate detection
@@ -1773,6 +1947,151 @@ mod durability_tests {
         assert!(replayed);
         assert_eq!(again, id);
         assert_eq!(tvdp.stats().images, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_ingest_group_commits_and_survives_reopen() {
+        let dir = temp_dir("batch-reopen");
+        let config = PlatformConfig {
+            shards: 3,
+            ..fast_config()
+        };
+        let ids;
+        let live;
+        {
+            let (tvdp, _) = Tvdp::open(&dir, config.clone()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            let batch: Vec<(Image, IngestRequest)> = (0..9)
+                .map(|i| {
+                    let mut rq = request(i);
+                    rq.gps = GeoPoint::new(34.0 + 0.03 * i as f64, -118.25 - 0.02 * i as f64);
+                    (scene(0, i as usize), rq)
+                })
+                .collect();
+            ids = tvdp.ingest_batch(user, batch, 4).unwrap();
+            live = tvdp
+                .stores()
+                .iter()
+                .map(|s| s.snapshot())
+                .collect::<Vec<_>>();
+            // No flush: the batch must come back from the group-committed
+            // WAL frames alone.
+        }
+        let (tvdp, report) = Tvdp::open(&dir, config).unwrap();
+        // 9 x (image + 2 features), journaled as one frame run per shard.
+        assert_eq!(report.replayed_ops, 27);
+        assert_eq!(tvdp.stats().images, 9);
+        for (shard, snap) in live.iter().enumerate() {
+            assert_eq!(tvdp.stores()[shard].snapshot(), *snap, "shard {shard}");
+        }
+        for &id in &ids {
+            assert!(tvdp.shard_of(id).is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_ingest_journals_identical_bytes_at_any_thread_count() {
+        let batch = |n: i64| -> Vec<(Image, IngestRequest)> {
+            (0..n)
+                .map(|i| {
+                    let mut rq = request(i);
+                    rq.gps = GeoPoint::new(34.0 + 0.03 * i as f64, -118.25 - 0.02 * i as f64);
+                    (scene(0, i as usize), rq)
+                })
+                .collect()
+        };
+        let config = PlatformConfig {
+            shards: 3,
+            ..fast_config()
+        };
+        let dir1 = temp_dir("batch-threads-1");
+        let dir4 = temp_dir("batch-threads-4");
+        for (dir, threads) in [(&dir1, 1usize), (&dir4, 4usize)] {
+            let (tvdp, _) = Tvdp::open(dir, config.clone()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            tvdp.ingest_batch(user, batch(9), threads).unwrap();
+        }
+        for shard in 0..3 {
+            let wal = format!("shard-{shard}/wal-0.log");
+            assert_eq!(
+                std::fs::read(dir1.join(&wal)).unwrap(),
+                std::fs::read(dir4.join(&wal)).unwrap(),
+                "{wal} diverged across thread counts"
+            );
+        }
+        std::fs::remove_dir_all(&dir1).ok();
+        std::fs::remove_dir_all(&dir4).ok();
+    }
+
+    #[test]
+    fn flush_snapshot_bytes_are_pool_width_invariant() {
+        let config = PlatformConfig {
+            shards: 2,
+            ..fast_config()
+        };
+        let dir_s = temp_dir("flush-serial");
+        let dir_p = temp_dir("flush-pool");
+        for (dir, threads) in [(&dir_s, 1usize), (&dir_p, 4usize)] {
+            let (tvdp, _) = Tvdp::open(dir, config.clone()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            for i in 0..6 {
+                let mut rq = request(i);
+                rq.gps = GeoPoint::new(34.0 + 0.05 * i as f64, -118.25);
+                tvdp.ingest(user, scene(0, i as usize), rq).unwrap();
+            }
+            let report = tvdp.flush_with_pool(&Pool::new(threads)).unwrap();
+            assert_eq!(report.tiers_merged, 2, "one L0 tier per shard");
+        }
+        for shard in 0..2 {
+            let snap = format!("shard-{shard}/snapshot.json");
+            assert_eq!(
+                std::fs::read(dir_s.join(&snap)).unwrap(),
+                std::fs::read(dir_p.join(&snap)).unwrap(),
+                "{snap} diverged across pool widths"
+            );
+        }
+        std::fs::remove_dir_all(&dir_s).ok();
+        std::fs::remove_dir_all(&dir_p).ok();
+    }
+
+    #[test]
+    fn idempotent_batch_dedups_in_batch_and_across_reopen() {
+        let dir = temp_dir("idem-batch");
+        let first;
+        {
+            let (tvdp, _) = Tvdp::open(&dir, fast_config()).unwrap();
+            let user = tvdp.register_user("LASAN", Role::Government);
+            let batch = vec![
+                (scene(0, 0), request(0), "s0".to_string()),
+                (scene(0, 1), request(1), "s1".to_string()),
+                // A retry of s0 inside the same batch dedups against
+                // the first element, not a new row.
+                (scene(0, 0), request(0), "s0".to_string()),
+            ];
+            let outcomes = tvdp.ingest_idempotent_batch(user, batch, 2).unwrap();
+            assert_eq!(outcomes.len(), 3);
+            assert!(!outcomes[0].1 && !outcomes[1].1);
+            assert!(outcomes[2].1, "in-batch duplicate key must replay");
+            assert_eq!(outcomes[2].0, outcomes[0].0);
+            assert_eq!(tvdp.stats().images, 2);
+            first = outcomes[0].0;
+        }
+        let (tvdp, report) = Tvdp::open(&dir, fast_config()).unwrap();
+        // Two composite records, each carrying row + features + marker.
+        assert_eq!(report.replayed_ops, 2);
+        assert_eq!(tvdp.stats().images, 2);
+        // A whole-batch retry after the crash replays everything.
+        let user = tvdp.register_user("LASAN", Role::Government);
+        let retry = vec![
+            (scene(0, 0), request(0), "s0".to_string()),
+            (scene(0, 1), request(1), "s1".to_string()),
+        ];
+        let outcomes = tvdp.ingest_idempotent_batch(user, retry, 2).unwrap();
+        assert!(outcomes.iter().all(|&(_, replayed)| replayed));
+        assert_eq!(outcomes[0].0, first);
+        assert_eq!(tvdp.stats().images, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,233 @@
+//! Deterministic upload coalescing for the edge acquisition path.
+//!
+//! An edge node that journals every captured sample as its own server
+//! round-trip pays one durable-commit fsync per sample on the platform
+//! side. [`UploadBatcher`] accumulates [`UploadPacket`]s and releases
+//! them in groups sized by an explicit [`BatchPolicy`] — packet count,
+//! payload bytes, or a maximum virtual-clock wait, whichever trips
+//! first — so the server can journal a whole group through its
+//! group-commit WAL path (`data/add_batch`) with a single fsync.
+//!
+//! The policy is deterministic by construction: every threshold is
+//! evaluated against explicit state and the caller's [`VirtualClock`],
+//! never the host's wall clock, so identical packet/tick streams cut
+//! identical batches on every run and at every concurrency level.
+
+use crate::transport::{UploadPacket, VirtualClock};
+
+/// When an accumulated group of uploads is released.
+///
+/// Mirrors the storage layer's group-commit policy: a batch becomes due
+/// when it reaches `max_packets` packets, `max_bytes` of payload, or
+/// when its oldest packet has waited `max_wait_ms` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Packet-count threshold (>= 1; a value of 1 degenerates to
+    /// per-packet sends).
+    pub max_packets: usize,
+    /// Total payload-byte threshold.
+    pub max_bytes: usize,
+    /// Longest a packet may wait before the batch is due anyway, in
+    /// virtual milliseconds. `0` makes every non-empty batch due
+    /// immediately.
+    pub max_wait_ms: u64,
+}
+
+impl BatchPolicy {
+    /// Per-packet sends: every enqueued packet is immediately due.
+    pub fn per_packet() -> Self {
+        BatchPolicy {
+            max_packets: 1,
+            max_bytes: usize::MAX,
+            max_wait_ms: 0,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_packets: 32,
+            max_bytes: 1 << 20,
+            max_wait_ms: 250,
+        }
+    }
+}
+
+/// Accumulates upload packets until the [`BatchPolicy`] trips, then
+/// releases them in enqueue order. See the module docs.
+#[derive(Debug)]
+pub struct UploadBatcher {
+    policy: BatchPolicy,
+    pending: Vec<UploadPacket>,
+    pending_bytes: usize,
+    oldest_ms: i64,
+}
+
+impl UploadBatcher {
+    /// An empty batcher under `policy` (`max_packets` is clamped to at
+    /// least 1).
+    pub fn new(policy: BatchPolicy) -> Self {
+        UploadBatcher {
+            policy: BatchPolicy {
+                max_packets: policy.max_packets.max(1),
+                ..policy
+            },
+            pending: Vec::new(),
+            pending_bytes: 0,
+            oldest_ms: 0,
+        }
+    }
+
+    /// Adds a packet to the pending batch, stamping the wait-clock on
+    /// the first packet. Returns whether the batch is now due.
+    pub fn enqueue(&mut self, packet: UploadPacket, clock: &VirtualClock) -> bool {
+        if self.pending.is_empty() {
+            self.oldest_ms = clock.now_ms();
+        }
+        self.pending_bytes += packet.payload.len();
+        self.pending.push(packet);
+        self.is_due(clock)
+    }
+
+    /// Whether the pending batch should be released now. An empty
+    /// batch is never due.
+    pub fn is_due(&self, clock: &VirtualClock) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let max_wait = i64::try_from(self.policy.max_wait_ms).unwrap_or(i64::MAX);
+        self.pending.len() >= self.policy.max_packets
+            || self.pending_bytes >= self.policy.max_bytes
+            || clock.now_ms().saturating_sub(self.oldest_ms) >= max_wait
+    }
+
+    /// Takes the pending packets, in enqueue order, resetting the
+    /// batcher. Call when [`UploadBatcher::is_due`] (or a shutdown
+    /// drain) says so.
+    pub fn take_batch(&mut self) -> Vec<UploadPacket> {
+        self.pending_bytes = 0;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Packets currently pending.
+    pub fn pending_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Payload bytes currently pending.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// The policy this batcher cuts batches under.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(i: usize, bytes: usize) -> UploadPacket {
+        UploadPacket::new(format!("k{i}"), vec![b'x'; bytes])
+    }
+
+    #[test]
+    fn count_threshold_trips_in_enqueue_order() {
+        let clock = VirtualClock::new(0);
+        let mut b = UploadBatcher::new(BatchPolicy {
+            max_packets: 3,
+            max_bytes: usize::MAX,
+            max_wait_ms: u64::MAX,
+        });
+        assert!(!b.enqueue(packet(0, 4), &clock));
+        assert!(!b.enqueue(packet(1, 4), &clock));
+        assert!(b.enqueue(packet(2, 4), &clock));
+        let batch = b.take_batch();
+        assert_eq!(
+            batch
+                .iter()
+                .map(|p| p.idempotency_key.as_str())
+                .collect::<Vec<_>>(),
+            vec!["k0", "k1", "k2"]
+        );
+        assert_eq!(b.pending_packets(), 0);
+        assert_eq!(b.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_threshold_trips() {
+        let clock = VirtualClock::new(0);
+        let mut b = UploadBatcher::new(BatchPolicy {
+            max_packets: usize::MAX,
+            max_bytes: 100,
+            max_wait_ms: u64::MAX,
+        });
+        assert!(!b.enqueue(packet(0, 60), &clock));
+        assert!(b.enqueue(packet(1, 60), &clock));
+        assert_eq!(b.pending_bytes(), 120);
+    }
+
+    #[test]
+    fn wait_threshold_trips_on_virtual_time_only() {
+        let mut clock = VirtualClock::new(1_000);
+        let mut b = UploadBatcher::new(BatchPolicy {
+            max_packets: usize::MAX,
+            max_bytes: usize::MAX,
+            max_wait_ms: 50,
+        });
+        assert!(!b.enqueue(packet(0, 4), &clock));
+        clock.advance(49);
+        assert!(!b.is_due(&clock));
+        clock.advance(1);
+        assert!(b.is_due(&clock));
+        // The wait clock re-arms from the next first packet.
+        b.take_batch();
+        assert!(!b.is_due(&clock));
+        assert!(!b.enqueue(packet(1, 4), &clock));
+        clock.advance(49);
+        assert!(!b.is_due(&clock));
+    }
+
+    #[test]
+    fn per_packet_policy_degenerates_to_immediate_sends() {
+        let clock = VirtualClock::new(0);
+        let mut b = UploadBatcher::new(BatchPolicy::per_packet());
+        assert!(b.enqueue(packet(0, 4), &clock));
+        assert_eq!(b.take_batch().len(), 1);
+    }
+
+    #[test]
+    fn identical_streams_cut_identical_batches() {
+        let cuts = || {
+            let mut clock = VirtualClock::new(0);
+            let mut b = UploadBatcher::new(BatchPolicy {
+                max_packets: 4,
+                max_bytes: 300,
+                max_wait_ms: 40,
+            });
+            let mut out = Vec::new();
+            for i in 0..20 {
+                clock.advance(7 * (i as u64 % 5));
+                if b.enqueue(packet(i, 20 + 13 * i), &clock) {
+                    out.push(
+                        b.take_batch()
+                            .iter()
+                            .map(|p| p.idempotency_key.clone())
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+            out.push(
+                b.take_batch()
+                    .iter()
+                    .map(|p| p.idempotency_key.clone())
+                    .collect::<Vec<_>>(),
+            );
+            out
+        };
+        assert_eq!(cuts(), cuts(), "batch cuts must be deterministic");
+    }
+}

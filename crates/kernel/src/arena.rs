@@ -22,14 +22,120 @@
 //! Rows are write-once: replacing a feature appends a new row and
 //! repoints the handle, which is what makes lock-free snapshot reads
 //! safe without any `unsafe` code.
+//!
+//! Frozen chunks can additionally be **spilled**: the owner trades the
+//! resident `Arc<[f32]>` for a [`ChunkLoader`] handle
+//! ([`FeatureSlab::spill_frozen`]), and the first row access through
+//! any holder transparently reloads the chunk exactly once
+//! ([`Chunk::data`]). Because chunks are write-once, a spilled copy on
+//! disk never goes stale, so re-spilling a reloaded chunk is a pure
+//! in-memory swap. Everything still flows through [`RowSource`] — index
+//! structures and query execution cannot tell a reloaded chunk from one
+//! that never left memory.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Rows per storage chunk. Chunks except the last are always exactly
 /// this full, so `row -> (chunk, offset)` is pure arithmetic. 1024 rows
 /// keeps a dim-512 chunk at 2 MiB (hugepage-friendly) and bounds the
 /// tail copy a snapshot refresh may perform.
 pub const ROWS_PER_CHUNK: usize = 1024;
+
+/// Reloads a spilled chunk's floats from backing storage.
+///
+/// Implementations live with whatever owns the spilled bytes (the
+/// storage layer's snapshot tier); the arena only needs the exact
+/// float sequence back. `load` must be pure for a given chunk index —
+/// chunks are write-once, so the loader is called at most once per
+/// [`Chunk`] handle and every call for the same index must return the
+/// same data.
+pub trait ChunkLoader: Send + Sync + std::fmt::Debug {
+    /// Returns the full float contents of chunk `index`.
+    fn load(&self, index: usize) -> Arc<[f32]>;
+}
+
+#[derive(Debug)]
+enum ChunkState {
+    /// The floats are in memory.
+    Resident(Arc<[f32]>),
+    /// The floats were spilled; the first access reloads them through
+    /// the loader and caches the result for every later access.
+    Spilled {
+        index: usize,
+        loader: Arc<dyn ChunkLoader>,
+        cache: OnceLock<Arc<[f32]>>,
+    },
+}
+
+/// One frozen slab chunk: either resident floats or a lazy handle to a
+/// spilled copy. Clones share state (`Arc`), so a reload performed
+/// through one holder is visible to every clone taken from the same
+/// spill.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    state: Arc<ChunkState>,
+}
+
+impl Chunk {
+    /// A chunk whose floats are in memory.
+    pub fn resident(data: Arc<[f32]>) -> Chunk {
+        Chunk {
+            state: Arc::new(ChunkState::Resident(data)),
+        }
+    }
+
+    /// A chunk whose floats live with `loader` until first access.
+    pub fn spilled(index: usize, loader: Arc<dyn ChunkLoader>) -> Chunk {
+        Chunk {
+            state: Arc::new(ChunkState::Spilled {
+                index,
+                loader,
+                cache: OnceLock::new(),
+            }),
+        }
+    }
+
+    fn arc(&self) -> &Arc<[f32]> {
+        match &*self.state {
+            ChunkState::Resident(data) => data,
+            ChunkState::Spilled {
+                index,
+                loader,
+                cache,
+            } => cache.get_or_init(|| loader.load(*index)),
+        }
+    }
+
+    /// The chunk's floats, reloading from the spill on first access.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        self.arc()
+    }
+
+    /// An owning handle to the chunk's floats (reloading if spilled).
+    pub fn data_arc(&self) -> Arc<[f32]> {
+        Arc::clone(self.arc())
+    }
+
+    /// Whether the floats are currently in memory (resident, or a
+    /// spilled chunk that has already been reloaded).
+    pub fn is_in_memory(&self) -> bool {
+        match &*self.state {
+            ChunkState::Resident(_) => true,
+            ChunkState::Spilled { cache, .. } => cache.get().is_some(),
+        }
+    }
+
+    /// Whether this handle points at a spilled copy (reloaded or not).
+    pub fn is_spilled(&self) -> bool {
+        matches!(&*self.state, ChunkState::Spilled { .. })
+    }
+
+    /// Whether two handles share the same state allocation.
+    pub fn ptr_eq(&self, other: &Chunk) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
 
 /// Anything that can resolve a row handle to its `f32` slice: both
 /// [`FeatureSlab`] (direct, under the owner's borrow) and [`SlabView`]
@@ -50,7 +156,8 @@ pub struct FeatureSlab {
     dim: usize,
     /// Full chunks, each exactly `ROWS_PER_CHUNK * dim` floats, frozen
     /// (never written again) and shared with snapshots by `Arc`.
-    frozen: Vec<Arc<[f32]>>,
+    /// Individual chunks may be spilled ([`FeatureSlab::spill_frozen`]).
+    frozen: Vec<Chunk>,
     /// The chunk currently being filled (< `ROWS_PER_CHUNK` rows).
     tail: Vec<f32>,
     len: usize,
@@ -89,9 +196,37 @@ impl FeatureSlab {
         self.len += 1;
         if self.tail.len() == ROWS_PER_CHUNK * self.dim {
             let full = std::mem::take(&mut self.tail);
-            self.frozen.push(Arc::from(full));
+            self.frozen.push(Chunk::resident(Arc::from(full)));
         }
         row
+    }
+
+    /// Number of frozen (full, write-once) chunks.
+    pub fn frozen_chunks(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Whether frozen chunk `chunk` is currently held in memory.
+    pub fn chunk_in_memory(&self, chunk: usize) -> bool {
+        self.frozen[chunk].is_in_memory()
+    }
+
+    /// The floats of frozen chunk `chunk` (reloading if spilled).
+    pub fn chunk_data(&self, chunk: usize) -> &[f32] {
+        self.frozen[chunk].data()
+    }
+
+    /// Replaces frozen chunk `chunk`'s resident floats with a lazy
+    /// spill handle. The caller is responsible for having written the
+    /// chunk's exact contents wherever `loader` reads from *before*
+    /// calling this — afterwards the arena drops its reference and the
+    /// next access reloads through the loader. Views taken earlier keep
+    /// their own handles (and their memory) until they are dropped;
+    /// views taken after see the spill. Re-spilling a reloaded chunk is
+    /// a pure in-memory swap: chunks are write-once, so the copy behind
+    /// `loader` never goes stale.
+    pub fn spill_frozen(&mut self, chunk: usize, loader: Arc<dyn ChunkLoader>) {
+        self.frozen[chunk] = Chunk::spilled(chunk, loader);
     }
 
     /// An `Arc`-sharing snapshot of every row pushed so far. Frozen
@@ -101,7 +236,7 @@ impl FeatureSlab {
     pub fn view(&self) -> SlabView {
         let mut chunks = self.frozen.clone();
         if !self.tail.is_empty() {
-            chunks.push(Arc::from(self.tail.clone()));
+            chunks.push(Chunk::resident(Arc::from(self.tail.clone())));
         }
         SlabView {
             dim: self.dim,
@@ -120,7 +255,7 @@ impl FeatureSlab {
         if chunk < self.frozen.len() {
             let start = (r % ROWS_PER_CHUNK) * self.dim;
             RowRef {
-                chunk: Arc::clone(&self.frozen[chunk]),
+                chunk: self.frozen[chunk].data_arc(),
                 start,
                 len: self.dim,
             }
@@ -154,7 +289,7 @@ impl RowSource for FeatureSlab {
         let chunk = r / ROWS_PER_CHUNK;
         if chunk < self.frozen.len() {
             let start = (r % ROWS_PER_CHUNK) * self.dim;
-            &self.frozen[chunk][start..start + self.dim]
+            &self.frozen[chunk].data()[start..start + self.dim]
         } else {
             let start = (r - self.frozen.len() * ROWS_PER_CHUNK) * self.dim;
             &self.tail[start..start + self.dim]
@@ -170,7 +305,7 @@ pub struct SlabView {
     dim: usize,
     len: usize,
     /// Every chunk except the last holds exactly `ROWS_PER_CHUNK` rows.
-    chunks: Vec<Arc<[f32]>>,
+    chunks: Vec<Chunk>,
 }
 
 impl SlabView {
@@ -202,7 +337,7 @@ impl RowSource for SlabView {
     fn row(&self, row: u32) -> &[f32] {
         let r = row as usize;
         let start = (r % ROWS_PER_CHUNK) * self.dim;
-        &self.chunks[r / ROWS_PER_CHUNK][start..start + self.dim]
+        &self.chunks[r / ROWS_PER_CHUNK].data()[start..start + self.dim]
     }
 }
 
@@ -295,7 +430,79 @@ mod tests {
         }
         // Frozen chunks are shared, not copied: same allocation.
         let view2 = slab.view();
-        assert!(Arc::ptr_eq(&view.chunks[0], &view2.chunks[0]));
+        assert!(view.chunks[0].ptr_eq(&view2.chunks[0]));
+    }
+
+    /// A loader that serves chunks from a captured copy, counting loads.
+    #[derive(Debug)]
+    struct MapLoader {
+        chunks: std::sync::Mutex<std::collections::BTreeMap<usize, Vec<f32>>>,
+        loads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl MapLoader {
+        fn capture(slab: &FeatureSlab, chunk: usize) -> (Arc<MapLoader>, Arc<dyn ChunkLoader>) {
+            let mut chunks = std::collections::BTreeMap::new();
+            chunks.insert(chunk, slab.chunk_data(chunk).to_vec());
+            let l = Arc::new(MapLoader {
+                chunks: std::sync::Mutex::new(chunks),
+                loads: std::sync::atomic::AtomicUsize::new(0),
+            });
+            (Arc::clone(&l), l)
+        }
+    }
+
+    impl ChunkLoader for MapLoader {
+        fn load(&self, index: usize) -> Arc<[f32]> {
+            self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Arc::from(self.chunks.lock().unwrap()[&index].clone())
+        }
+    }
+
+    #[test]
+    fn spilled_chunk_reloads_once_and_rows_are_identical() {
+        let dim = 3;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..ROWS_PER_CHUNK * 2 + 9 {
+            slab.push(&row_of(i, dim));
+        }
+        let before: Vec<Vec<f32>> = (0..slab.rows() as u32)
+            .map(|r| slab.row(r).to_vec())
+            .collect();
+        let (counter, loader) = MapLoader::capture(&slab, 0);
+        slab.spill_frozen(0, loader);
+        assert!(!slab.chunk_in_memory(0));
+        assert!(slab.chunk_in_memory(1));
+        // Rows resolve identically through slab, view, and row_ref, and
+        // the loader fires exactly once for all of them combined.
+        let view = slab.view();
+        for r in 0..slab.rows() as u32 {
+            assert_eq!(slab.row(r), &before[r as usize][..]);
+            assert_eq!(view.row(r), &before[r as usize][..]);
+        }
+        assert_eq!(&*slab.row_ref(5), &before[5][..]);
+        assert_eq!(counter.loads.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(slab.chunk_in_memory(0), "reload caches the chunk");
+    }
+
+    #[test]
+    fn respill_of_reloaded_chunk_drops_cache_without_new_handle_loads() {
+        let dim = 2;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..ROWS_PER_CHUNK + 1 {
+            slab.push(&row_of(i, dim));
+        }
+        let (counter, loader) = MapLoader::capture(&slab, 0);
+        slab.spill_frozen(0, Arc::clone(&loader) as Arc<dyn ChunkLoader>);
+        // Views taken before the spill keep their resident memory and
+        // never hit the loader.
+        let _ = slab.row(0);
+        assert_eq!(counter.loads.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Re-spill: fresh handle, cache dropped, next access reloads.
+        slab.spill_frozen(0, loader);
+        assert!(!slab.chunk_in_memory(0));
+        assert_eq!(slab.row(0), &row_of(0, dim)[..]);
+        assert_eq!(counter.loads.load(std::sync::atomic::Ordering::SeqCst), 2);
     }
 
     #[test]

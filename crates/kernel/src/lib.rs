@@ -33,7 +33,7 @@ pub mod gencell;
 pub mod pool;
 pub mod topk;
 
-pub use arena::{FeatureSlab, RowRef, RowSource, SlabView, ROWS_PER_CHUNK};
+pub use arena::{Chunk, ChunkLoader, FeatureSlab, RowRef, RowSource, SlabView, ROWS_PER_CHUNK};
 pub use gencell::GenCell;
 pub use pool::Pool;
 pub use topk::{TopK, TotalF32, TotalF64};

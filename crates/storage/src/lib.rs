@@ -21,19 +21,22 @@
 
 pub mod annotation;
 pub mod codec;
+pub mod commit;
 pub mod fault;
 pub mod ids;
 pub mod persist;
 pub mod record;
 pub mod recovery;
+pub mod spill;
 pub mod store;
 pub mod wal;
 
 pub use annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
+pub use commit::{CommitQueue, GroupCommitPolicy};
 pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
 pub use persist::{PersistError, FORMAT_VERSION};
 pub use record::{ImageMeta, ImageOrigin, ImageRecord};
-pub use recovery::{CompactionReport, DurableError, DurableStore, RecoveryReport};
+pub use recovery::{CompactionReport, CompactionTask, DurableError, DurableStore, RecoveryReport};
 pub use store::{
     FeatureHandle, Snapshot, SnapshotError, StorageError, VisualStore, UPLOAD_MARKER_CAPACITY,
 };

@@ -80,62 +80,103 @@ fn tag(name: &str, payload: Value) -> Value {
     Value::Obj(vec![(name.to_string(), payload)])
 }
 
-/// Renders a snapshot to the full on-disk file contents (header line
-/// plus one row per line, each `\n`-terminated). Exposed so
-/// fault-injection tests can materialize arbitrary crash prefixes of a
-/// save.
-pub fn render_snapshot(snap: &Snapshot, wal_epoch: u64) -> String {
-    let mut out = String::new();
-    let mut emit = |v: Value| {
-        out.push_str(&v.render());
-        out.push('\n');
-    };
-    emit(tag(
+/// Renders the header line (trailing `\n` included).
+pub fn render_header_line(wal_epoch: u64) -> String {
+    let mut line = tag(
         "Header",
         Value::Obj(vec![
             ("version".into(), Value::num(FORMAT_VERSION)),
             ("wal_epoch".into(), Value::num(wal_epoch)),
         ]),
-    ));
-    for rec in &snap.images {
-        emit(tag("Image", codec::encode_record(rec)));
-    }
-    for (id, width, height, raw) in &snap.blobs {
-        emit(tag(
-            "Blob",
-            Value::Obj(vec![
-                ("id".into(), Value::num(id.raw())),
-                ("width".into(), Value::num(*width)),
-                ("height".into(), Value::num(*height)),
-                ("raw".into(), Value::str(codec::hex_encode(raw))),
-            ]),
-        ));
-    }
-    for (id, kind, vector) in &snap.features {
-        emit(tag(
-            "Feature",
-            Value::Obj(vec![
-                ("id".into(), Value::num(id.raw())),
-                ("kind".into(), codec::encode_kind(*kind)),
-                ("vector".into(), codec::encode_vector(vector)),
-            ]),
-        ));
-    }
-    for s in &snap.schemes {
-        emit(tag("Scheme", codec::encode_scheme(s)));
-    }
-    for a in &snap.annotations {
-        emit(tag("Annotation", codec::encode_annotation(a)));
-    }
-    for (key, image, seq) in &snap.markers {
-        emit(tag(
+    )
+    .render();
+    line.push('\n');
+    line
+}
+
+/// Number of data rows (lines after the header) a snapshot renders to.
+pub fn snapshot_row_count(snap: &Snapshot) -> usize {
+    snap.images.len()
+        + snap.blobs.len()
+        + snap.features.len()
+        + snap.schemes.len()
+        + snap.annotations.len()
+        + snap.markers.len()
+}
+
+/// Renders data row `row` (0-based, sections concatenated in file
+/// order: images, blobs, features, schemes, annotations, markers) with
+/// its trailing `\n`. Pure per-row rendering is what lets incremental
+/// compaction fan rows out over a work pool and still write
+/// byte-identical files regardless of thread count.
+///
+/// # Panics
+///
+/// Panics when `row >= snapshot_row_count(snap)`.
+pub fn render_snapshot_row(snap: &Snapshot, row: usize) -> String {
+    let mut i = row;
+    let v = 'section: {
+        if i < snap.images.len() {
+            break 'section tag("Image", codec::encode_record(&snap.images[i]));
+        }
+        i -= snap.images.len();
+        if i < snap.blobs.len() {
+            let (id, width, height, raw) = &snap.blobs[i];
+            break 'section tag(
+                "Blob",
+                Value::Obj(vec![
+                    ("id".into(), Value::num(id.raw())),
+                    ("width".into(), Value::num(*width)),
+                    ("height".into(), Value::num(*height)),
+                    ("raw".into(), Value::str(codec::hex_encode(raw))),
+                ]),
+            );
+        }
+        i -= snap.blobs.len();
+        if i < snap.features.len() {
+            let (id, kind, vector) = &snap.features[i];
+            break 'section tag(
+                "Feature",
+                Value::Obj(vec![
+                    ("id".into(), Value::num(id.raw())),
+                    ("kind".into(), codec::encode_kind(*kind)),
+                    ("vector".into(), codec::encode_vector(vector)),
+                ]),
+            );
+        }
+        i -= snap.features.len();
+        if i < snap.schemes.len() {
+            break 'section tag("Scheme", codec::encode_scheme(&snap.schemes[i]));
+        }
+        i -= snap.schemes.len();
+        if i < snap.annotations.len() {
+            break 'section tag("Annotation", codec::encode_annotation(&snap.annotations[i]));
+        }
+        i -= snap.annotations.len();
+        let (key, image, seq) = &snap.markers[i];
+        tag(
             "Marker",
             Value::Obj(vec![
                 ("key".into(), Value::str(key.clone())),
                 ("image".into(), Value::num(image.raw())),
                 ("seq".into(), Value::num(*seq)),
             ]),
-        ));
+        )
+    };
+    let mut line = v.render();
+    line.push('\n');
+    line
+}
+
+/// Renders a snapshot to the full on-disk file contents (header line
+/// plus one row per line, each `\n`-terminated). Exposed so
+/// fault-injection tests can materialize arbitrary crash prefixes of a
+/// save. Byte-for-byte identical to the incremental
+/// [`render_snapshot_row`] path.
+pub fn render_snapshot(snap: &Snapshot, wal_epoch: u64) -> String {
+    let mut out = render_header_line(wal_epoch);
+    for row in 0..snapshot_row_count(snap) {
+        out.push_str(&render_snapshot_row(snap, row));
     }
     out
 }
@@ -156,7 +197,12 @@ pub fn staging_path(path: &Path) -> Result<PathBuf, PersistError> {
     Ok(path.with_file_name(tmp))
 }
 
-fn fsync_parent(path: &Path) -> std::io::Result<()> {
+/// Fsyncs the directory containing `path`, making a rename, create, or
+/// unlink of that path itself durable. Every staged-rename site in the
+/// crate (snapshot publish, WAL create/rotate, spill files, segment
+/// removal) must call this after the metadata operation — the PR 4
+/// protocol.
+pub(crate) fn fsync_parent(path: &Path) -> std::io::Result<()> {
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),

@@ -1,36 +1,57 @@
 //! Crash recovery and the durable store wrapper.
 //!
-//! A durable store directory holds two things:
+//! A durable store directory holds three kinds of files:
 //!
 //! * `snapshot.json` — an atomic snapshot ([`crate::persist`]) whose
-//!   header records the WAL epoch it was cut against, and
-//! * `wal-<epoch>.log` — the append-only op journal
-//!   ([`crate::wal`]) for mutations since that snapshot.
+//!   header records the *base* WAL epoch it was cut against,
+//! * `wal-<epoch>.log` — append-only op journal segments
+//!   ([`crate::wal`]): every segment with epoch >= the snapshot's base
+//!   holds mutations since that snapshot (the L0 tier), and
+//! * `spill-*.bin` — cold feature-arena chunks spilled out of memory
+//!   ([`crate::spill`]).
 //!
 //! [`DurableStore::open`] is open-or-recover: load the snapshot (if
-//! any), truncate the WAL's torn tail, replay the surviving ops, and
-//! sweep crash debris (a stale `snapshot.json.tmp`, WAL files from
-//! other epochs). [`DurableStore::compact`] folds the journal into a
-//! fresh snapshot and rotates the WAL.
+//! any), replay every live segment in ascending epoch order (sealed
+//! segments must be intact; only the highest — the one a crash could
+//! have torn mid-append — gets its torn tail truncated), and sweep
+//! crash debris (a stale `snapshot.json.tmp`, segments older than the
+//! snapshot's base, spill files — the store reopens fully resident).
 //!
-//! Epochs make compaction crash-safe. The snapshot names the one WAL
-//! that may be replayed on top of it; rotation creates the next epoch's
-//! empty WAL *before* atomically publishing the snapshot that points at
-//! it. A crash on either side of the publish leaves a snapshot whose
-//! epoch matches an intact WAL — ops are never replayed twice and never
-//! lost.
+//! Compaction is **incremental and tiered**. [`DurableStore::seal`]
+//! rotates the live segment, growing the L0 tier without folding
+//! anything. [`DurableStore::begin_compaction`] atomically (under the
+//! journal lock) cuts a snapshot of the store *and* seals the live
+//! segment, so the cut covers exactly the ops in the sealed tier;
+//! writers then proceed into the new live segment while
+//! [`CompactionTask::step`] renders the snapshot in bounded increments
+//! on a [`tvdp_kernel::Pool`] — the full fold never blocks writers. The
+//! final increment publishes with the PR 4 staged-rename protocol
+//! (stage, fsync, rename, parent fsync), retires the folded segments,
+//! and spills cold arena chunks. [`DurableStore::compact`] wraps the
+//! whole schedule for callers that want the old stop-the-world
+//! behavior.
+//!
+//! Epochs make all of this crash-safe. The snapshot's base epoch `B`
+//! means "replay every `wal-<e>.log` with `e >= B`, ascending"; the
+//! next epoch's empty segment is always created *before* the snapshot
+//! naming it is published. A crash on either side of the publish leaves
+//! a snapshot whose surviving segments replay to exactly the
+//! acknowledged state — ops are never replayed twice and never lost.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use tvdp_kernel::Pool;
 use tvdp_vision::{FeatureKind, Image};
 
 use crate::annotation::{Annotation, AnnotationSource, RegionOfInterest};
 use crate::ids::{AnnotationId, ClassificationId, ImageId};
 use crate::persist::{self, PersistError};
 use crate::record::{ImageMeta, ImageOrigin};
-use crate::store::{SnapshotError, StorageError, VisualStore};
+use crate::spill::{self, SpillStats};
+use crate::store::{Snapshot, SnapshotError, StorageError, VisualStore};
 use crate::wal::{Wal, WalError, WalOp};
 
 /// File name of the snapshot inside a durable store directory.
@@ -130,32 +151,54 @@ impl std::fmt::Display for RecoveryReport {
     }
 }
 
-/// What [`DurableStore::compact`] accomplished.
+/// What a compaction ([`DurableStore::compact`] /
+/// [`CompactionTask`]) accomplished.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactionReport {
-    /// WAL epoch after rotation.
+    /// WAL epoch after rotation (the new snapshot's base).
     pub epoch: u64,
     /// Journaled ops folded into the snapshot.
     pub ops_compacted: usize,
-    /// WAL size before rotation, in bytes.
+    /// Total bytes across the folded L0 segments.
     pub wal_bytes_before: u64,
     /// Snapshot size after the write, in bytes.
     pub snapshot_bytes: u64,
+    /// L0 WAL segments merged into the snapshot tier.
+    pub tiers_merged: usize,
+    /// Bounded merge increments the fold ran as.
+    pub increments_run: usize,
+    /// Feature-arena float bytes released from memory to spill files.
+    pub bytes_spilled: u64,
+    /// Spilled float bytes reloaded from disk during the fold.
+    pub bytes_reloaded: u64,
 }
 
 impl std::fmt::Display for CompactionReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "epoch {}: {} op(s) folded into a {} byte snapshot, wal shrunk {} -> 0 bytes",
-            self.epoch, self.ops_compacted, self.snapshot_bytes, self.wal_bytes_before,
+            "epoch {}: {} op(s) folded into a {} byte snapshot, wal shrunk {} -> 0 bytes; \
+             {} tier(s) merged in {} increment(s), {} byte(s) spilled, {} byte(s) reloaded",
+            self.epoch,
+            self.ops_compacted,
+            self.snapshot_bytes,
+            self.wal_bytes_before,
+            self.tiers_merged,
+            self.increments_run,
+            self.bytes_spilled,
+            self.bytes_reloaded,
         )
     }
 }
 
 struct Journal {
     wal: Wal,
+    /// Epoch of the live (highest) segment.
     epoch: u64,
+    /// Epoch the current snapshot was cut against; segments in
+    /// `base_epoch..=epoch` are the unfolded L0 tier.
+    base_epoch: u64,
+    /// Unfolded ops across every live segment.
     wal_ops: usize,
 }
 
@@ -171,6 +214,11 @@ pub struct DurableStore {
     dir: PathBuf,
     store: Arc<VisualStore>,
     journal: Mutex<Journal>,
+    /// Spill/reload counters shared with every loader handed to the
+    /// arena.
+    spill_stats: Arc<SpillStats>,
+    /// Guards against two concurrent [`CompactionTask`]s.
+    fold_active: Mutex<bool>,
 }
 
 impl std::fmt::Debug for DurableStore {
@@ -278,6 +326,128 @@ fn apply_op(store: &VisualStore, op: &WalOp) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a batch of explicit-id ops against the current store state
+/// *plus* the effects of earlier ops in the same batch (an `AddImage`
+/// makes a later `PutFeature` for that image legal, a scheme registered
+/// earlier in the batch can be annotated against later, and so on).
+/// Nothing is journaled unless every op passes — group commit must not
+/// ack a batch it would refuse to replay.
+fn validate_batch(store: &VisualStore, ops: &[WalOp]) -> Result<(), DurableError> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut new_images: BTreeSet<ImageId> = BTreeSet::new();
+    let mut new_schemes: BTreeMap<ClassificationId, usize> = BTreeMap::new();
+    let mut new_scheme_names: BTreeSet<&str> = BTreeSet::new();
+    let mut new_annotations: BTreeSet<AnnotationId> = BTreeSet::new();
+    let mut new_markers: BTreeSet<&str> = BTreeSet::new();
+    let reject = |i: usize, m: String| Err(DurableError::Rejected(format!("batch op {i}: {m}")));
+    let image_known =
+        |new: &BTreeSet<ImageId>, id: ImageId| new.contains(&id) || store.image(id).is_some();
+    let check_pixels = |pixels: &Option<(usize, usize, Vec<u8>)>| -> Result<(), String> {
+        match pixels {
+            None => Ok(()),
+            Some((w, h, raw)) => {
+                if *w == 0 || *h == 0 || raw.len() != w.saturating_mul(*h).saturating_mul(3) {
+                    Err(format!("{} blob bytes do not match {w}x{h}x3", raw.len()))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            WalOp::AddImage {
+                id, origin, pixels, ..
+            } => {
+                if let ImageOrigin::Augmented { parent, .. } = origin {
+                    if !image_known(&new_images, *parent) {
+                        return reject(i, format!("unknown parent {parent}"));
+                    }
+                }
+                if image_known(&new_images, *id) {
+                    return reject(i, format!("duplicate image id {id}"));
+                }
+                if let Err(m) = check_pixels(pixels) {
+                    return reject(i, m);
+                }
+                new_images.insert(*id);
+            }
+            WalOp::PutFeature { image, .. } => {
+                if !image_known(&new_images, *image) {
+                    return reject(i, format!("unknown image {image}"));
+                }
+            }
+            WalOp::RegisterScheme { id, name, labels } => {
+                if let Err(m) = check_labels(labels) {
+                    return reject(i, m);
+                }
+                if new_scheme_names.contains(name.as_str()) || store.scheme_by_name(name).is_some()
+                {
+                    return reject(i, format!("duplicate scheme `{name}`"));
+                }
+                if new_schemes.contains_key(id) || store.scheme(*id).is_some() {
+                    return reject(i, format!("duplicate classification id {id}"));
+                }
+                new_schemes.insert(*id, labels.len());
+                new_scheme_names.insert(name.as_str());
+            }
+            WalOp::Annotate(a) => {
+                if let Err(m) = check_confidence(a.confidence) {
+                    return reject(i, m);
+                }
+                if !image_known(&new_images, a.image) {
+                    return reject(i, format!("unknown image {}", a.image));
+                }
+                let vocabulary = match new_schemes
+                    .get(&a.classification)
+                    .copied()
+                    .or_else(|| store.scheme(a.classification).map(|s| s.labels.len()))
+                {
+                    Some(v) => v,
+                    None => {
+                        return reject(i, format!("unknown classification {}", a.classification))
+                    }
+                };
+                if a.label >= vocabulary {
+                    return reject(
+                        i,
+                        format!("label {} outside vocabulary of {vocabulary}", a.label),
+                    );
+                }
+                if new_annotations.contains(&a.id) || store.annotation(a.id).is_some() {
+                    return reject(i, format!("duplicate annotation id {}", a.id));
+                }
+                new_annotations.insert(a.id);
+            }
+            WalOp::IngestUpload {
+                marker,
+                id,
+                origin,
+                pixels,
+                ..
+            } => {
+                if new_markers.contains(marker.as_str()) || store.upload_marker(marker).is_some() {
+                    return reject(i, format!("duplicate upload marker `{marker}`"));
+                }
+                if let ImageOrigin::Augmented { parent, .. } = origin {
+                    if !image_known(&new_images, *parent) {
+                        return reject(i, format!("unknown parent {parent}"));
+                    }
+                }
+                if image_known(&new_images, *id) {
+                    return reject(i, format!("duplicate image id {id}"));
+                }
+                if let Err(m) = check_pixels(pixels) {
+                    return reject(i, m);
+                }
+                new_images.insert(*id);
+                new_markers.insert(marker.as_str());
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check_labels(labels: &[String]) -> Result<(), String> {
     let mut seen = std::collections::BTreeSet::new();
     if labels.is_empty() || !labels.iter().all(|l| seen.insert(l.as_str())) {
@@ -295,9 +465,12 @@ fn check_confidence(confidence: f32) -> Result<(), String> {
 
 impl DurableStore {
     /// Opens (or creates) the durable store at `dir`, recovering from
-    /// any crash: loads the newest intact snapshot, truncates the
-    /// WAL's torn tail, replays the surviving ops, and sweeps stale
-    /// staging/WAL files from interrupted saves and compactions.
+    /// any crash: loads the newest intact snapshot, replays every live
+    /// WAL segment (epoch >= the snapshot's base) in ascending order —
+    /// truncating a torn tail only on the highest segment, the one a
+    /// crash could have torn mid-append — and sweeps crash debris
+    /// (stale staging files, segments older than the base, spill
+    /// files: the store reopens fully resident).
     pub fn open(dir: &Path) -> Result<(DurableStore, RecoveryReport), DurableError> {
         std::fs::create_dir_all(dir)?;
         let mut debris_removed = 0usize;
@@ -311,41 +484,85 @@ impl DurableStore {
             debris_removed += 1;
         }
 
-        let (store, epoch, snapshot_found) = if snapshot_path.exists() {
+        let (store, base_epoch, snapshot_found) = if snapshot_path.exists() {
             let (snap, epoch) = persist::load_snapshot(&snapshot_path)?;
             (VisualStore::from_snapshot(snap)?, epoch, true)
         } else {
             (VisualStore::new(), 0, false)
         };
 
-        let (wal, ops, torn_bytes) = Wal::open_recover(&wal_path(dir, epoch))?;
-        let replayed_ops = ops.len();
-        for (i, op) in ops.iter().enumerate() {
-            apply_op(&store, op).map_err(|m| DurableError::Replay(format!("record {i}: {m}")))?;
-        }
-
-        // WAL files from other epochs are debris from a compaction that
-        // crashed before (next epoch's file) or after (previous
-        // epoch's) the snapshot publish; the snapshot header is the
-        // authority on which one is live.
-        let live_name = format!("wal-{epoch}.log");
-        let mut stale = Vec::new();
+        // Inventory the directory: live segments (epoch >= base,
+        // replayed ascending), stale segments (epoch < base — folded
+        // into the snapshot before a crash interrupted their removal),
+        // and spill artifacts (the rebuilt store is fully resident, so
+        // every spill file is stale).
+        let mut live_segments: Vec<u64> = Vec::new();
+        let mut debris: Vec<PathBuf> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
-            if let Some(name) = entry.file_name().to_str() {
-                if name.starts_with("wal-") && name.ends_with(".log") && name != live_name {
-                    stale.push(entry.path());
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            if spill::is_spill_debris(&name) {
+                debris.push(entry.path());
+            } else if let Some(epoch) = name
+                .strip_prefix("wal-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                if epoch >= base_epoch {
+                    live_segments.push(epoch);
+                } else {
+                    debris.push(entry.path());
                 }
+            } else if name.starts_with("wal-") && name.ends_with(".log") {
+                // Unparseable epoch: not ours, treat as debris.
+                debris.push(entry.path());
             }
         }
-        stale.sort();
-        for path in stale {
-            std::fs::remove_file(&path)?;
+        live_segments.sort_unstable();
+        debris.sort();
+        for path in &debris {
+            std::fs::remove_file(path)?;
             debris_removed += 1;
         }
+        if !debris.is_empty() {
+            persist::fsync_parent(&snapshot_path)?;
+        }
+
+        // Replay sealed segments strictly: they were rotated away while
+        // every record in them was already fsynced, so a torn tail
+        // there is corruption, not an interrupted append.
+        let mut replayed_ops = 0usize;
+        let mut torn_bytes = 0u64;
+        let mut replay = |ops: &[WalOp], epoch: u64| -> Result<(), DurableError> {
+            for (i, op) in ops.iter().enumerate() {
+                apply_op(&store, op).map_err(|m| {
+                    DurableError::Replay(format!("segment {epoch} record {i}: {m}"))
+                })?;
+            }
+            replayed_ops += ops.len();
+            Ok(())
+        };
+        let (live_epoch, sealed) = match live_segments.split_last() {
+            Some((&highest, sealed)) => (highest, sealed),
+            None => (base_epoch, &[][..]),
+        };
+        for &epoch in sealed {
+            let (ops, torn) = Wal::read_all(&wal_path(dir, epoch))?;
+            if torn > 0 {
+                return Err(DurableError::Replay(format!(
+                    "sealed wal segment {epoch} has {torn} torn byte(s)"
+                )));
+            }
+            replay(&ops, epoch)?;
+        }
+        let (wal, ops, torn) = Wal::open_recover(&wal_path(dir, live_epoch))?;
+        torn_bytes += torn;
+        replay(&ops, live_epoch)?;
 
         let report = RecoveryReport {
-            epoch,
+            epoch: live_epoch,
             snapshot_found,
             replayed_ops,
             torn_bytes,
@@ -357,9 +574,12 @@ impl DurableStore {
                 store: Arc::new(store),
                 journal: Mutex::new(Journal {
                     wal,
-                    epoch,
+                    epoch: live_epoch,
+                    base_epoch,
                     wal_ops: replayed_ops,
                 }),
+                spill_stats: Arc::new(SpillStats::default()),
+                fold_active: Mutex::new(false),
             },
             report,
         ))
@@ -720,35 +940,320 @@ impl DurableStore {
             .annotate_at(id, image, classification, label, confidence, source, region)?)
     }
 
-    /// Folds the journal into a fresh snapshot and rotates the WAL to
-    /// the next epoch. Safe against a crash at any point: the next
-    /// epoch's empty WAL is created *before* the snapshot naming it is
-    /// atomically published, and the superseded WAL is only removed
-    /// after — whichever side of the publish a crash lands on, the
-    /// surviving snapshot pairs with an intact WAL.
-    pub fn compact(&self) -> Result<CompactionReport, DurableError> {
+    /// Group commit: journals every op in `ops` as one framed write +
+    /// one fsync ([`Wal::append_batch`]), then applies them in order.
+    /// The whole batch is validated against the store *and* its own
+    /// earlier ops before a single byte is journaled, so an `Ok` means
+    /// every op is durable and applied; a crash mid-append recovers an
+    /// in-order prefix of the batch, none of which was acknowledged.
+    ///
+    /// Ops carry explicit ids (the `_at` discipline): callers allocate
+    /// ids up front — e.g. from a platform-wide allocator — and replay
+    /// reproduces them exactly.
+    pub fn apply_batch(&self, ops: Vec<WalOp>) -> Result<(), DurableError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
         let mut journal = self.journal.lock();
-        let wal_bytes_before = journal.wal.len_bytes()?;
-        let ops_compacted = journal.wal_ops;
+        validate_batch(&self.store, &ops)?;
+        journal.wal.append_batch(&ops)?;
+        journal.wal_ops += ops.len();
+        for (i, op) in ops.iter().enumerate() {
+            // Validation above guarantees application succeeds; a
+            // failure here means journal and store disagree, which is
+            // exactly what Replay signals.
+            apply_op(&self.store, op)
+                .map_err(|m| DurableError::Replay(format!("batch op {i}: {m}")))?;
+        }
+        Ok(())
+    }
+
+    /// Seals the live WAL segment and starts a fresh one at the next
+    /// epoch, growing the L0 tier without folding anything. Sealed
+    /// segments are immutable, replayed in epoch order on open, and
+    /// retired by the next compaction. Returns the new live epoch.
+    pub fn seal(&self) -> Result<u64, DurableError> {
+        let mut journal = self.journal.lock();
+        let next = journal.epoch + 1;
+        journal.wal = Wal::create(&wal_path(&self.dir, next))?;
+        journal.epoch = next;
+        Ok(next)
+    }
+
+    /// Begins an incremental tiered compaction. Under the journal lock
+    /// — atomically with respect to every mutator — this cuts a
+    /// snapshot of the store and seals the live segment, so the cut
+    /// covers exactly the ops journaled so far and nothing that lands
+    /// afterwards. Writers proceed into the new live segment
+    /// immediately; drive the returned task with
+    /// [`CompactionTask::step`] to fold the sealed tier without ever
+    /// blocking them. Dropping the task without finishing abandons the
+    /// fold harmlessly (the staging file is debris; nothing was
+    /// published).
+    pub fn begin_compaction(&self) -> Result<CompactionTask<'_>, DurableError> {
+        {
+            let mut active = self.fold_active.lock();
+            if *active {
+                return Err(DurableError::Rejected(
+                    "a compaction is already in progress".into(),
+                ));
+            }
+            *active = true;
+        }
+        match self.begin_compaction_inner() {
+            Ok(task) => Ok(task),
+            Err(e) => {
+                *self.fold_active.lock() = false;
+                Err(e)
+            }
+        }
+    }
+
+    fn begin_compaction_inner(&self) -> Result<CompactionTask<'_>, DurableError> {
+        let mut journal = self.journal.lock();
+        let mut folded = Vec::new();
+        let mut wal_bytes_before = 0u64;
+        for epoch in journal.base_epoch..=journal.epoch {
+            let path = wal_path(&self.dir, epoch);
+            if path.exists() {
+                wal_bytes_before += std::fs::metadata(&path)?.len();
+                folded.push(path);
+            }
+        }
         let next_epoch = journal.epoch + 1;
         let next_wal = Wal::create(&wal_path(&self.dir, next_epoch))?;
-        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
-        persist::save_snapshot(&self.store.snapshot(), &snapshot_path, next_epoch)?;
-        // Commit point passed: the snapshot now names the new epoch.
-        let old_path = journal.wal.path().to_path_buf();
+        // The cut happens while the journal lock still excludes every
+        // mutator: ops journaled up to here are in the cut and in the
+        // sealed tier; ops journaled after go to the new live segment
+        // only. Either way nothing can replay twice.
+        let cut = self.store.snapshot();
+        let ops_compacted = journal.wal_ops;
         journal.wal = next_wal;
         journal.epoch = next_epoch;
         journal.wal_ops = 0;
-        // Best-effort: if this removal doesn't happen, open() sweeps
-        // the stale file.
-        std::fs::remove_file(old_path).ok();
-        let snapshot_bytes = std::fs::metadata(&snapshot_path)?.len();
-        Ok(CompactionReport {
-            epoch: next_epoch,
+        drop(journal);
+
+        let staging = persist::staging_path(&self.dir.join(SNAPSHOT_FILE))?;
+        let rows = persist::snapshot_row_count(&cut);
+        Ok(CompactionTask {
+            ds: self,
+            cut,
+            new_base: next_epoch,
+            folded,
             ops_compacted,
             wal_bytes_before,
-            snapshot_bytes,
+            staging,
+            file: None,
+            next_row: 0,
+            rows,
+            increments_run: 0,
+            reloaded_at_begin: self.spill_stats.bytes_reloaded(),
+            published: false,
         })
+    }
+
+    /// Stop-the-world wrapper around the incremental schedule: begins a
+    /// compaction and drives every increment to completion on `pool`
+    /// before returning. State and on-disk bytes are identical for
+    /// every pool width (increments render rows in deterministic
+    /// order).
+    pub fn compact_with_pool(&self, pool: &Pool) -> Result<CompactionReport, DurableError> {
+        let mut task = self.begin_compaction()?;
+        loop {
+            if let Some(report) = task.step(pool)? {
+                return Ok(report);
+            }
+        }
+    }
+
+    /// Folds the journal into a fresh snapshot and rotates the WAL to
+    /// the next epoch (serial [`DurableStore::compact_with_pool`]).
+    /// Safe against a crash at any point: the next epoch's empty WAL is
+    /// created *before* the snapshot naming it is atomically published,
+    /// and the superseded segments are only removed after — whichever
+    /// side of the publish a crash lands on, the surviving snapshot
+    /// pairs with intact segments that replay to the acknowledged
+    /// state.
+    pub fn compact(&self) -> Result<CompactionReport, DurableError> {
+        self.compact_with_pool(&Pool::serial())
+    }
+
+    /// Spills every cold feature-arena chunk (all frozen chunks except
+    /// the newest `keep_hot` per slab) to `spill-*.bin` files in the
+    /// store directory, releasing their resident memory. Returns
+    /// `(chunks, float_bytes)` released. Reads through
+    /// [`DurableStore::store`] transparently reload spilled chunks on
+    /// first touch.
+    pub fn spill_cold_features(&self, keep_hot: usize) -> Result<(usize, u64), DurableError> {
+        let dir = self.dir.clone();
+        let stats = Arc::clone(&self.spill_stats);
+        self.store
+            .spill_cold_chunks(keep_hot, |kind, dim, chunk, data| {
+                spill::write_spill(&dir, kind, dim, chunk, data, &stats)?;
+                Ok::<_, DurableError>(Arc::new(spill::DiskChunkLoader::new(
+                    dir.clone(),
+                    kind,
+                    dim,
+                    data.len(),
+                    Arc::clone(&stats),
+                )) as Arc<dyn tvdp_kernel::ChunkLoader>)
+            })
+    }
+
+    /// Spill/reload counters for this store's feature arena.
+    pub fn spill_stats(&self) -> &SpillStats {
+        &self.spill_stats
+    }
+}
+
+/// Rows rendered per compaction increment. Small enough that one
+/// increment is a bounded slice of work on the pool; large enough that
+/// a city-scale snapshot folds in few thousand increments.
+const COMPACTION_INCREMENT_ROWS: usize = 2048;
+
+/// An in-progress incremental compaction (see
+/// [`DurableStore::begin_compaction`]). Each [`CompactionTask::step`]
+/// renders a bounded slice of the snapshot cut into the staging file,
+/// fanning row rendering out over the given pool; the final step
+/// publishes atomically (PR 4 staged-rename protocol), retires the
+/// folded L0 segments, and spills cold arena chunks.
+pub struct CompactionTask<'a> {
+    ds: &'a DurableStore,
+    cut: Snapshot,
+    new_base: u64,
+    folded: Vec<PathBuf>,
+    ops_compacted: usize,
+    wal_bytes_before: u64,
+    staging: PathBuf,
+    file: Option<std::fs::File>,
+    next_row: usize,
+    rows: usize,
+    increments_run: usize,
+    reloaded_at_begin: u64,
+    published: bool,
+}
+
+impl std::fmt::Debug for CompactionTask<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactionTask")
+            .field("new_base", &self.new_base)
+            .field("next_row", &self.next_row)
+            .field("rows", &self.rows)
+            .field("published", &self.published)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompactionTask<'_> {
+    /// Runs one bounded increment. Rendering increments write up to
+    /// [`COMPACTION_INCREMENT_ROWS`] rows (rendered in parallel on
+    /// `pool`, concatenated in row order — bytes are pool-width
+    /// independent); the final increment fsyncs, atomically publishes
+    /// the snapshot, fsyncs the parent directory, retires the folded
+    /// segments, and spills cold arena chunks. Returns `Some(report)`
+    /// once published, `None` while work remains.
+    pub fn step(&mut self, pool: &Pool) -> Result<Option<CompactionReport>, DurableError> {
+        if self.published {
+            return Err(DurableError::Rejected(
+                "compaction already published".into(),
+            ));
+        }
+        self.increments_run += 1;
+        if self.file.is_none() {
+            let mut file = std::fs::File::create(&self.staging)?;
+            file.write_all(persist::render_header_line(self.new_base).as_bytes())?;
+            self.file = Some(file);
+            return Ok(None);
+        }
+        if self.next_row < self.rows {
+            let start = self.next_row;
+            let end = (start + COMPACTION_INCREMENT_ROWS).min(self.rows);
+            let cut = &self.cut;
+            let lines = pool.map_index(end - start, |i| {
+                persist::render_snapshot_row(cut, start + i)
+            });
+            let file = match self.file.as_mut() {
+                Some(f) => f,
+                // The branch above created it; unreachable by construction.
+                None => return Err(DurableError::Rejected("staging file vanished".into())),
+            };
+            for line in &lines {
+                file.write_all(line.as_bytes())?;
+            }
+            self.next_row = end;
+            return Ok(None);
+        }
+
+        // Publish: flush + fsync the staging file, atomically rename it
+        // over the snapshot, fsync the parent so the rename is durable,
+        // then retire the folded segments (their removal is fsynced
+        // too; if a crash interleaves, open() sweeps them as debris).
+        let snapshot_path = self.ds.dir.join(SNAPSHOT_FILE);
+        if let Some(mut file) = self.file.take() {
+            file.flush()?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&self.staging, &snapshot_path)?;
+        persist::fsync_parent(&snapshot_path)?;
+        self.published = true;
+        {
+            let mut journal = self.ds.journal.lock();
+            journal.base_epoch = self.new_base;
+        }
+        *self.ds.fold_active.lock() = false;
+        for path in &self.folded {
+            // Best-effort: if a removal doesn't happen, open() sweeps
+            // the stale segment.
+            std::fs::remove_file(path).ok();
+        }
+        persist::fsync_parent(&snapshot_path)?;
+
+        let (_, bytes_spilled) = self.ds.spill_cold_features(1)?;
+        let snapshot_bytes = std::fs::metadata(&snapshot_path)?.len();
+        Ok(Some(CompactionReport {
+            epoch: self.new_base,
+            ops_compacted: self.ops_compacted,
+            wal_bytes_before: self.wal_bytes_before,
+            snapshot_bytes,
+            tiers_merged: self.folded.len(),
+            increments_run: self.increments_run,
+            bytes_spilled,
+            bytes_reloaded: self
+                .ds
+                .spill_stats
+                .bytes_reloaded()
+                .saturating_sub(self.reloaded_at_begin),
+        }))
+    }
+
+    /// Rows of the snapshot cut still waiting to be rendered.
+    pub fn remaining_rows(&self) -> usize {
+        self.rows - self.next_row
+    }
+
+    /// Increments run so far.
+    pub fn increments_run(&self) -> usize {
+        self.increments_run
+    }
+
+    /// Whether the snapshot has been published (the task is finished).
+    pub fn is_published(&self) -> bool {
+        self.published
+    }
+}
+
+impl Drop for CompactionTask<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Abandoned fold: nothing was published, the sealed
+            // segments still replay on open. Put the op count back so
+            // the next compaction reports it, drop the staging debris,
+            // and release the fold gate.
+            self.ds.journal.lock().wal_ops += self.ops_compacted;
+            self.file.take();
+            std::fs::remove_file(&self.staging).ok();
+            *self.ds.fold_active.lock() = false;
+        }
     }
 }
 
@@ -983,15 +1488,278 @@ mod tests {
         let dir = temp_dir("debris");
         let (ds, _) = DurableStore::open(&dir).unwrap();
         populate(&ds);
+        ds.compact().unwrap(); // base epoch is now 1
         drop(ds);
-        // Plant an interrupted save and an interrupted compaction.
+        // Plant an interrupted save, a folded segment whose removal was
+        // interrupted, an interrupted spill, and a stale spill file.
         std::fs::write(dir.join("snapshot.json.tmp"), b"partial").unwrap();
-        std::fs::write(dir.join("wal-7.log"), b"stale").unwrap();
+        std::fs::write(dir.join("wal-0.log"), b"stale").unwrap();
+        std::fs::write(dir.join("spill-cnn-2-0.bin.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("spill-cnn-2-0.bin"), b"stale").unwrap();
         let (ds2, report) = DurableStore::open(&dir).unwrap();
-        assert_eq!(report.debris_removed, 2);
+        assert_eq!(report.debris_removed, 4);
         assert!(!dir.join("snapshot.json.tmp").exists());
-        assert!(!dir.join("wal-7.log").exists());
+        assert!(!dir.join("wal-0.log").exists());
+        assert!(!dir.join("spill-cnn-2-0.bin").exists());
         assert_eq!(ds2.store().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_segments_replay_in_epoch_order_on_open() {
+        let dir = temp_dir("sealed");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let (img, cls) = populate(&ds); // 4 ops in segment 0
+        assert_eq!(ds.seal().unwrap(), 1);
+        ds.annotate(img, cls, 0, 0.5, AnnotationSource::Human(UserId(2)), None)
+            .unwrap(); // 1 op in segment 1
+        assert_eq!(ds.seal().unwrap(), 2);
+        ds.put_feature(img, FeatureKind::ColorHistogram, vec![0.1, 0.2])
+            .unwrap(); // 1 op in segment 2
+        let live = ds.store().snapshot();
+        drop(ds);
+
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.replayed_ops, 6);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_sealed_segment_is_a_hard_error() {
+        let dir = temp_dir("torn-sealed");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        populate(&ds);
+        ds.seal().unwrap();
+        drop(ds);
+        // Tear the sealed segment's tail: every record in it was
+        // fsynced before the rotation, so this is corruption.
+        let sealed = dir.join("wal-0.log");
+        let bytes = std::fs::read(&sealed).unwrap();
+        std::fs::write(&sealed, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            DurableStore::open(&dir),
+            Err(DurableError::Replay(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_batch_is_atomic_durable_and_validated() {
+        let dir = temp_dir("batch");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let img = ds.store().peek_next_image_id();
+        let cls = ds.store().peek_next_classification_id();
+        let ann = ds.store().peek_next_annotation_id();
+        let ops = vec![
+            WalOp::AddImage {
+                id: img,
+                meta: meta(),
+                origin: ImageOrigin::Original,
+                pixels: None,
+            },
+            WalOp::RegisterScheme {
+                id: cls,
+                name: "cleanliness".into(),
+                labels: vec!["clean".into(), "dirty".into()],
+            },
+            WalOp::PutFeature {
+                image: img,
+                kind: FeatureKind::Cnn,
+                vector: vec![0.5, 0.25],
+            },
+            WalOp::Annotate(Annotation {
+                id: ann,
+                image: img,
+                classification: cls,
+                label: 1,
+                confidence: 0.9,
+                source: AnnotationSource::Human(UserId(1)),
+                region: None,
+            }),
+        ];
+        ds.apply_batch(ops).unwrap();
+        assert_eq!(ds.store().len(), 1);
+        assert_eq!(ds.store().annotations_of(img).len(), 1);
+        let live = ds.store().snapshot();
+
+        // A batch with a bad op anywhere journals and applies nothing.
+        let wal_before = ds.wal_bytes().unwrap();
+        let bad = vec![
+            WalOp::AddImage {
+                id: ds.store().peek_next_image_id(),
+                meta: meta(),
+                origin: ImageOrigin::Original,
+                pixels: None,
+            },
+            WalOp::Annotate(Annotation {
+                id: ds.store().peek_next_annotation_id(),
+                image: ImageId(999),
+                classification: cls,
+                label: 0,
+                confidence: 0.5,
+                source: AnnotationSource::Human(UserId(1)),
+                region: None,
+            }),
+        ];
+        assert!(matches!(
+            ds.apply_batch(bad),
+            Err(DurableError::Rejected(_))
+        ));
+        assert_eq!(ds.wal_bytes().unwrap(), wal_before);
+        assert_eq!(ds.store().snapshot(), live);
+        drop(ds);
+
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 4);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_validation_sees_earlier_ops_in_the_same_batch() {
+        let dir = temp_dir("batch-intra");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let img = ds.store().peek_next_image_id();
+        // PutFeature for an image added earlier in the same batch.
+        ds.apply_batch(vec![
+            WalOp::AddImage {
+                id: img,
+                meta: meta(),
+                origin: ImageOrigin::Original,
+                pixels: None,
+            },
+            WalOp::PutFeature {
+                image: img,
+                kind: FeatureKind::Cnn,
+                vector: vec![1.0],
+            },
+        ])
+        .unwrap();
+        // A duplicate id *within* one batch is rejected.
+        let next = ds.store().peek_next_image_id();
+        let dup = |id| WalOp::AddImage {
+            id,
+            meta: meta(),
+            origin: ImageOrigin::Original,
+            pixels: None,
+        };
+        assert!(matches!(
+            ds.apply_batch(vec![dup(next), dup(next)]),
+            Err(DurableError::Rejected(_))
+        ));
+        assert_eq!(ds.store().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_compaction_allows_writes_between_increments() {
+        let dir = temp_dir("incremental");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let (img, cls) = populate(&ds);
+        let before = ds.wal_bytes().unwrap();
+
+        let mut task = ds.begin_compaction().unwrap();
+        // The live segment was rotated: writers land in the new epoch
+        // while the fold is still rendering.
+        ds.annotate(img, cls, 0, 0.3, AnnotationSource::Human(UserId(3)), None)
+            .unwrap();
+        let pool = Pool::serial();
+        let report = loop {
+            if let Some(r) = task.step(&pool).unwrap() {
+                break r;
+            }
+        };
+        drop(task);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.ops_compacted, 4);
+        assert_eq!(report.wal_bytes_before, before);
+        assert_eq!(report.tiers_merged, 1);
+        assert!(report.increments_run >= 2);
+        // The post-cut annotation is in the live WAL, not the snapshot.
+        assert!(ds.wal_bytes().unwrap() > 0);
+        let live = ds.store().snapshot();
+        drop(ds);
+
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert!(report.snapshot_found);
+        assert_eq!(report.replayed_ops, 1);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abandoned_compaction_folds_fully_on_retry() {
+        let dir = temp_dir("abandoned");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        populate(&ds);
+        {
+            let mut task = ds.begin_compaction().unwrap();
+            task.step(&Pool::serial()).unwrap();
+            // Dropped before publish: nothing folded, staging removed.
+        }
+        assert!(!dir.join("snapshot.json.tmp").exists());
+        let report = ds.compact().unwrap();
+        // The abandoned fold's ops are still accounted for.
+        assert_eq!(report.ops_compacted, 4);
+        assert_eq!(report.tiers_merged, 2); // wal-0 and the abandoned wal-1
+        let live = ds.store().snapshot();
+        drop(ds);
+        let (ds2, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(report.replayed_ops, 0);
+        assert_eq!(ds2.store().snapshot(), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn only_one_compaction_runs_at_a_time() {
+        let dir = temp_dir("fold-gate");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        populate(&ds);
+        let task = ds.begin_compaction().unwrap();
+        assert!(matches!(
+            ds.begin_compaction(),
+            Err(DurableError::Rejected(_))
+        ));
+        drop(task);
+        // Dropping the first releases the gate.
+        let task2 = ds.begin_compaction().unwrap();
+        drop(task2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_spills_cold_chunks_that_reload_transparently() {
+        use tvdp_kernel::ROWS_PER_CHUNK;
+        let dir = temp_dir("spill-fold");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        // Two full chunks of 2-d CNN features; keep_hot = 1 spills the
+        // first.
+        let n = 2 * ROWS_PER_CHUNK;
+        let mut imgs = Vec::new();
+        for i in 0..n {
+            let img = ds.add_image(meta(), ImageOrigin::Original, None).unwrap();
+            ds.put_feature(img, FeatureKind::Cnn, vec![i as f32, -(i as f32)])
+                .unwrap();
+            imgs.push(img);
+        }
+        let report = ds.compact().unwrap();
+        assert_eq!(
+            report.bytes_spilled,
+            (ROWS_PER_CHUNK * 2 * 4) as u64,
+            "one cold chunk of 2-d f32 rows"
+        );
+        assert_eq!(ds.spill_stats().chunks_spilled(), 1);
+        // Reads still see every row, bit-exact, via transparent reload.
+        for (i, img) in imgs.iter().enumerate() {
+            assert_eq!(
+                ds.store().feature(*img, FeatureKind::Cnn).unwrap(),
+                vec![i as f32, -(i as f32)],
+                "row {i}"
+            );
+        }
+        assert_eq!(ds.spill_stats().chunks_reloaded(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,300 @@
+//! Cold-chunk spill files: the on-disk side of the feature arena's
+//! bounded-memory story.
+//!
+//! Compaction writes cold (frozen, non-tail) [`tvdp_kernel::FeatureSlab`]
+//! chunks into per-chunk `spill-<kind>-<dim>-<chunk>.bin` files inside
+//! the durable store directory, then swaps the resident floats for a
+//! [`DiskChunkLoader`] handle. Reads stay behind the arena's
+//! `RowSource` abstraction: the first access to a spilled row reloads
+//! its whole chunk exactly once.
+//!
+//! Spill files follow the same crash-safety rules as every other
+//! durable artifact (PR 4 protocol): staged `.tmp` write, flush,
+//! `sync_all`, atomic rename, parent-directory fsync. Because arena
+//! chunks are write-once, a spill file's contents never go stale —
+//! re-spilling a reloaded chunk reuses the existing file. On open the
+//! store rebuilds fully resident from the snapshot + WAL, so leftover
+//! `spill-*` files (including `.tmp` stragglers) are crash debris and
+//! are swept.
+//!
+//! Format: one ASCII header line `tvdp-spill <floats> <crc32>\n`
+//! followed by the floats as little-endian `f32` bytes. The CRC covers
+//! the raw float bytes, so a torn or bit-flipped spill is detected on
+//! reload rather than silently corrupting query results.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tvdp_kernel::ChunkLoader;
+use tvdp_vision::FeatureKind;
+
+use crate::wal::crc32;
+
+/// Filename-safe tag for a feature kind, stable across releases (it is
+/// part of the on-disk spill naming scheme).
+pub fn kind_tag(kind: FeatureKind) -> &'static str {
+    match kind {
+        FeatureKind::ColorHistogram => "colorhist",
+        FeatureKind::SiftBow => "siftbow",
+        FeatureKind::Cnn => "cnn",
+    }
+}
+
+/// Path of the spill file for one frozen chunk of one feature slab.
+pub fn spill_path(dir: &Path, kind: FeatureKind, dim: u32, chunk: usize) -> PathBuf {
+    dir.join(format!("spill-{}-{dim}-{chunk}.bin", kind_tag(kind)))
+}
+
+/// Whether `name` is a spill artifact (including a staged `.tmp`) that
+/// recovery should sweep on open.
+pub fn is_spill_debris(name: &str) -> bool {
+    name.starts_with("spill-") && (name.ends_with(".bin") || name.ends_with(".bin.tmp"))
+}
+
+/// Shared spill/reload counters, updated by the writer and by every
+/// [`DiskChunkLoader`] handed out against it. Reads are diagnostic
+/// (compaction reports), so plain monotonic counters suffice.
+#[derive(Debug, Default)]
+pub struct SpillStats {
+    chunks_spilled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    chunks_reloaded: AtomicU64,
+    bytes_reloaded: AtomicU64,
+}
+
+impl SpillStats {
+    /// Total chunks written to spill files so far.
+    pub fn chunks_spilled(&self) -> u64 {
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counter; no ordering dependency with any other memory access")
+        self.chunks_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Total float bytes written to spill files so far.
+    pub fn bytes_spilled(&self) -> u64 {
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counter; no ordering dependency with any other memory access")
+        self.bytes_spilled.load(Ordering::Relaxed)
+    }
+
+    /// Total chunks reloaded from spill files so far.
+    pub fn chunks_reloaded(&self) -> u64 {
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counter; no ordering dependency with any other memory access")
+        self.chunks_reloaded.load(Ordering::Relaxed)
+    }
+
+    /// Total float bytes reloaded from spill files so far.
+    pub fn bytes_reloaded(&self) -> u64 {
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counter; no ordering dependency with any other memory access")
+        self.bytes_reloaded.load(Ordering::Relaxed)
+    }
+}
+
+fn float_bytes(data: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Writes one chunk's floats to its spill file with the staged-rename
+/// protocol and returns the float bytes written. If the file already
+/// exists (a re-spill of a previously reloaded chunk) nothing is
+/// written — chunks are write-once, so the existing copy is current —
+/// and `Ok(0)` is returned.
+pub fn write_spill(
+    dir: &Path,
+    kind: FeatureKind,
+    dim: u32,
+    chunk: usize,
+    data: &[f32],
+    stats: &SpillStats,
+) -> std::io::Result<u64> {
+    let path = spill_path(dir, kind, dim, chunk);
+    if path.exists() {
+        return Ok(0);
+    }
+    let bytes = float_bytes(data);
+    let mut contents = format!("tvdp-spill {} {:08x}\n", data.len(), crc32(&bytes)).into_bytes();
+    contents.extend_from_slice(&bytes);
+    let tmp = path.with_file_name(format!("spill-{}-{dim}-{chunk}.bin.tmp", kind_tag(kind)));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&contents)?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    crate::persist::fsync_parent(&path)?;
+    // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counters; no ordering dependency with any other memory access")
+    stats.chunks_spilled.fetch_add(1, Ordering::Relaxed);
+    stats
+        .bytes_spilled
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counters; no ordering dependency with any other memory access")
+        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    Ok(bytes.len() as u64)
+}
+
+/// Reads a spill file back into floats, verifying the header and CRC.
+pub fn read_spill(path: &Path, expect_floats: usize) -> Result<Vec<f32>, String> {
+    let contents = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let nl = contents
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| format!("{}: missing spill header", path.display()))?;
+    let header = std::str::from_utf8(&contents[..nl])
+        .map_err(|_| format!("{}: non-utf8 spill header", path.display()))?;
+    let mut parts = header.split(' ');
+    let (magic, floats, crc) = (parts.next(), parts.next(), parts.next());
+    if magic != Some("tvdp-spill") || parts.next().is_some() {
+        return Err(format!("{}: malformed spill header", path.display()));
+    }
+    let floats: usize = floats
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{}: bad float count", path.display()))?;
+    let crc_claimed = crc
+        .and_then(|s| u32::from_str_radix(s, 16).ok())
+        .ok_or_else(|| format!("{}: bad checksum field", path.display()))?;
+    let body = &contents[nl + 1..];
+    if floats != expect_floats || body.len() != floats * 4 {
+        return Err(format!(
+            "{}: expected {expect_floats} floats, file declares {floats} with {} body bytes",
+            path.display(),
+            body.len()
+        ));
+    }
+    if crc32(body) != crc_claimed {
+        return Err(format!("{}: spill checksum mismatch", path.display()));
+    }
+    let mut out = Vec::with_capacity(floats);
+    for quad in body.chunks_exact(4) {
+        out.push(f32::from_le_bytes([quad[0], quad[1], quad[2], quad[3]]));
+    }
+    Ok(out)
+}
+
+/// [`ChunkLoader`] that reloads spilled chunks from a durable store
+/// directory, counting reloads into shared [`SpillStats`].
+#[derive(Debug)]
+pub struct DiskChunkLoader {
+    dir: PathBuf,
+    kind: FeatureKind,
+    dim: u32,
+    floats_per_chunk: usize,
+    stats: Arc<SpillStats>,
+}
+
+impl DiskChunkLoader {
+    /// A loader for the `(kind, dim)` slab spilled under `dir`.
+    pub fn new(
+        dir: PathBuf,
+        kind: FeatureKind,
+        dim: u32,
+        floats_per_chunk: usize,
+        stats: Arc<SpillStats>,
+    ) -> DiskChunkLoader {
+        DiskChunkLoader {
+            dir,
+            kind,
+            dim,
+            floats_per_chunk,
+            stats,
+        }
+    }
+}
+
+impl ChunkLoader for DiskChunkLoader {
+    fn load(&self, index: usize) -> Arc<[f32]> {
+        let path = spill_path(&self.dir, self.kind, self.dim, index);
+        let data = match read_spill(&path, self.floats_per_chunk) {
+            Ok(data) => data,
+            Err(m) => {
+                // tvdp-lint: allow(no_panic, reason = "a spilled chunk that cannot be reloaded is unrecoverable data corruption under the arena's infallible RowSource contract; aborting beats serving wrong feature vectors")
+                panic!("spill reload failed: {m}");
+            }
+        };
+        // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counters; no ordering dependency with any other memory access")
+        self.stats.chunks_reloaded.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_reloaded
+            // tvdp-lint: allow(atomic_ordering, reason = "monotonic diagnostic counters; no ordering dependency with any other memory access")
+            .fetch_add((data.len() * 4) as u64, Ordering::Relaxed);
+        Arc::from(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tvdp-spill-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn spill_roundtrips_bit_exactly() {
+        let dir = temp_dir("roundtrip");
+        let stats = SpillStats::default();
+        let data: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+        let written = write_spill(&dir, FeatureKind::Cnn, 8, 3, &data, &stats).unwrap();
+        assert_eq!(written, 512 * 4);
+        assert_eq!(stats.chunks_spilled(), 1);
+        let back = read_spill(&spill_path(&dir, FeatureKind::Cnn, 8, 3), 512).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Re-spill of an existing file is a no-op.
+        assert_eq!(
+            write_spill(&dir, FeatureKind::Cnn, 8, 3, &data, &stats).unwrap(),
+            0
+        );
+        assert_eq!(stats.chunks_spilled(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loader_reloads_and_counts() {
+        let dir = temp_dir("loader");
+        let stats = Arc::new(SpillStats::default());
+        let data: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        write_spill(&dir, FeatureKind::SiftBow, 4, 0, &data, &stats).unwrap();
+        let loader = DiskChunkLoader::new(dir.clone(), FeatureKind::SiftBow, 4, 64, stats.clone());
+        let back = loader.load(0);
+        assert_eq!(&back[..], &data[..]);
+        assert_eq!(stats.chunks_reloaded(), 1);
+        assert_eq!(stats.bytes_reloaded(), 64 * 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_spill_detected() {
+        let dir = temp_dir("corrupt");
+        let stats = SpillStats::default();
+        let data = vec![1.0f32; 16];
+        write_spill(&dir, FeatureKind::ColorHistogram, 16, 1, &data, &stats).unwrap();
+        let path = spill_path(&dir, FeatureKind::ColorHistogram, 16, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_spill(&path, 16).unwrap_err().contains("checksum"));
+        // Wrong expected length is also refused.
+        assert!(read_spill(&path, 15).unwrap_err().contains("expected"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn debris_naming() {
+        assert!(is_spill_debris("spill-cnn-8-0.bin"));
+        assert!(is_spill_debris("spill-cnn-8-0.bin.tmp"));
+        assert!(!is_spill_debris("snapshot.json"));
+        assert!(!is_spill_debris("wal-3.log"));
+    }
+}

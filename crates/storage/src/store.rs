@@ -683,6 +683,43 @@ impl VisualStore {
         t.slabs.get(&(kind, dim as u32)).map(f)
     }
 
+    /// Spills cold feature-arena chunks: every frozen chunk except the
+    /// newest `keep_hot` per slab is handed to `spill`, which must
+    /// durably persist the floats and return the
+    /// [`ChunkLoader`](tvdp_kernel::ChunkLoader) that reloads them; the
+    /// resident memory is then released. Chunks already spilled and not
+    /// since reloaded are skipped. Returns `(chunks, float_bytes)`
+    /// released from memory. Deterministic: slabs iterate in
+    /// `(kind, dim)` order, chunks oldest-first.
+    pub fn spill_cold_chunks<E>(
+        &self,
+        keep_hot: usize,
+        mut spill: impl FnMut(
+            FeatureKind,
+            u32,
+            usize,
+            &[f32],
+        ) -> Result<std::sync::Arc<dyn tvdp_kernel::ChunkLoader>, E>,
+    ) -> Result<(usize, u64), E> {
+        let mut t = self.inner.write();
+        let mut chunks = 0usize;
+        let mut bytes = 0u64;
+        for (&(kind, dim), slab) in t.slabs.iter_mut() {
+            let cold = slab.frozen_chunks().saturating_sub(keep_hot);
+            for c in 0..cold {
+                if !slab.chunk_in_memory(c) {
+                    continue;
+                }
+                let loader = spill(kind, dim, c, slab.chunk_data(c))?;
+                let floats = slab.chunk_data(c).len() as u64;
+                slab.spill_frozen(c, loader);
+                chunks += 1;
+                bytes += floats * 4;
+            }
+        }
+        Ok((chunks, bytes))
+    }
+
     /// Images that have a stored feature of `kind`.
     pub fn images_with_feature(&self, kind: FeatureKind) -> Vec<ImageId> {
         let t = self.inner.read();

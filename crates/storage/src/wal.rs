@@ -434,7 +434,7 @@ impl Wal {
     pub fn create(path: &Path) -> Result<Wal, WalError> {
         let file = File::create(path)?;
         file.sync_all()?;
-        sync_parent(path)?;
+        crate::persist::fsync_parent(path)?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
@@ -478,6 +478,38 @@ impl Wal {
         Ok(())
     }
 
+    /// Group commit: appends every op as its own framed record but pays
+    /// a *single* `write_all` + `sync_data` for the whole batch. On-disk
+    /// bytes are identical to `ops.iter().map(append)` — recovery sees
+    /// per-op records either way — so a crash mid-batch recovers an
+    /// in-order prefix of the batch (all-or-prefix), and an `Ok` return
+    /// means every op in the batch survives. An empty batch is a no-op
+    /// (no write, no fsync).
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<(), WalError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::new();
+        for op in ops {
+            buf.push_str(&frame(&op.encode()));
+        }
+        self.file.write_all(buf.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Scans every record of the WAL at `path` without opening it for
+    /// appending and without truncating anything: returns the intact
+    /// ops plus the torn trailing byte count. Used for *sealed* WAL
+    /// segments, which are never written again — a torn tail there is
+    /// the caller's decision to reject, not silently repair.
+    pub fn read_all(path: &Path) -> Result<(Vec<WalOp>, u64), WalError> {
+        let bytes = std::fs::read(path)?;
+        let scanned = scan(&bytes)?;
+        let torn = (bytes.len() - scanned.valid_len) as u64;
+        Ok((scanned.ops, torn))
+    }
+
     /// Current size of the log in bytes.
     pub fn len_bytes(&self) -> Result<u64, WalError> {
         Ok(self.file.metadata()?.len())
@@ -487,14 +519,6 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
-}
-
-fn sync_parent(path: &Path) -> std::io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
-    File::open(parent)?.sync_all()
 }
 
 #[cfg(test)]
@@ -623,6 +647,54 @@ mod tests {
             // After recovery the file holds exactly the intact
             // records.
             assert_eq!(std::fs::metadata(&path).unwrap().len(), consumed as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_batch_matches_per_op_bytes_and_recovers() {
+        let ops = sample_ops();
+        let per_op = temp_path("batch-perop");
+        let batched = temp_path("batch-grouped");
+        std::fs::remove_file(&per_op).ok();
+        std::fs::remove_file(&batched).ok();
+        let mut a = Wal::create(&per_op).unwrap();
+        for op in &ops {
+            a.append(op).unwrap();
+        }
+        let mut b = Wal::create(&batched).unwrap();
+        b.append_batch(&ops).unwrap();
+        b.append_batch(&[]).unwrap(); // no-op, no bytes
+        drop((a, b));
+        assert_eq!(
+            std::fs::read(&per_op).unwrap(),
+            std::fs::read(&batched).unwrap(),
+            "group commit must be byte-identical to per-op appends"
+        );
+        let (_, recovered, torn) = Wal::open_recover(&batched).unwrap();
+        assert_eq!(recovered, ops);
+        assert_eq!(torn, 0);
+        std::fs::remove_file(&per_op).ok();
+        std::fs::remove_file(&batched).ok();
+    }
+
+    #[test]
+    fn crash_mid_batch_recovers_all_or_prefix() {
+        // A torn group-committed batch must recover as an in-order
+        // prefix of the batch at every possible crash offset.
+        let ops = sample_ops();
+        let mut full = String::new();
+        let mut boundaries = vec![0usize];
+        for op in &ops {
+            full.push_str(&frame(&op.encode()));
+            boundaries.push(full.len());
+        }
+        let path = temp_path("batch-torn");
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+            let (_, recovered, _) = Wal::open_recover(&path).unwrap();
+            let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(recovered, ops[..intact].to_vec(), "cut at byte {cut}");
         }
         std::fs::remove_file(&path).ok();
     }

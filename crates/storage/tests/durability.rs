@@ -15,7 +15,9 @@ use tvdp_geo::GeoPoint;
 use tvdp_storage::fault::FailingWriter;
 use tvdp_storage::persist::{self, render_snapshot};
 use tvdp_storage::store::Snapshot;
-use tvdp_storage::{AnnotationSource, DurableStore, ImageMeta, ImageOrigin, UserId, VisualStore};
+use tvdp_storage::{
+    Annotation, AnnotationSource, DurableStore, ImageMeta, ImageOrigin, UserId, VisualStore, WalOp,
+};
 use tvdp_vision::{FeatureKind, Image};
 
 fn meta(keyword: &str) -> ImageMeta {
@@ -302,8 +304,10 @@ fn compaction_preserves_state_and_shrinks_the_log() {
 
 #[test]
 fn compaction_crash_windows_never_lose_or_double_apply() {
-    // Reconstruct the three crash windows of compact() by hand and
-    // check each recovers to exactly the live pre-crash state.
+    // Reconstruct the three crash windows of an incremental compaction
+    // by hand and check each recovers to exactly the live pre-crash
+    // state under the epoch protocol (snapshot base B => replay every
+    // segment with epoch >= B, ascending).
     let scratch = temp_dir("compact-crash-scratch");
     let (wal_bytes, states) = scripted_mutations(&scratch);
     std::fs::remove_dir_all(&scratch).ok();
@@ -314,17 +318,21 @@ fn compaction_crash_windows_never_lose_or_double_apply() {
 
     let dir = temp_dir("compact-crash");
 
-    // Window 1: next epoch's WAL created, snapshot not yet published.
+    // Window 1: live segment sealed and the next epoch's WAL created,
+    // snapshot not yet published. Both segments are >= the old base, so
+    // the sealed tier replays and nothing is lost.
     write_dir(&dir, Some(base_bytes.as_bytes()), 0, &wal_bytes);
     std::fs::write(dir.join("wal-1.log"), b"").unwrap();
     let (ds, report) = DurableStore::open(&dir).unwrap();
     assert_eq!(ds.store().snapshot(), *live);
-    assert_eq!(report.epoch, 0);
-    assert_eq!(report.debris_removed, 1); // the premature wal-1.log
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.replayed_ops, states.len() - 1);
+    assert_eq!(report.debris_removed, 0);
     drop(ds);
 
-    // Window 2: snapshot published at epoch 1, old WAL not yet
-    // removed. Replaying the old WAL here would double-apply.
+    // Window 2: snapshot published at base 1, folded segment not yet
+    // removed. Replaying the folded segment here would double-apply —
+    // its epoch is below the base, so it is swept instead.
     write_dir(&dir, Some(live_bytes_epoch1.as_bytes()), 1, b"");
     std::fs::write(dir.join("wal-0.log"), &wal_bytes).unwrap();
     let (ds, report) = DurableStore::open(&dir).unwrap();
@@ -335,7 +343,7 @@ fn compaction_crash_windows_never_lose_or_double_apply() {
     drop(ds);
 
     // Window 3: crash mid-publish — staging file partially written,
-    // both old WAL and old snapshot intact.
+    // both the sealed segment and the old snapshot intact.
     write_dir(&dir, Some(base_bytes.as_bytes()), 0, &wal_bytes);
     std::fs::write(
         persist::staging_path(&dir.join("snapshot.json")).unwrap(),
@@ -345,9 +353,188 @@ fn compaction_crash_windows_never_lose_or_double_apply() {
     std::fs::write(dir.join("wal-1.log"), b"").unwrap();
     let (ds, report) = DurableStore::open(&dir).unwrap();
     assert_eq!(ds.store().snapshot(), *live);
-    assert_eq!(report.epoch, 0);
-    assert_eq!(report.debris_removed, 2);
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.replayed_ops, states.len() - 1);
+    assert_eq!(report.debris_removed, 1); // the torn staging file
     drop(ds);
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The scripted ops of [`scripted_mutations`] as explicit-id
+/// [`WalOp`]s, for journaling through the group-commit path.
+fn scripted_batch(ds: &DurableStore) -> Vec<WalOp> {
+    let img = ds.store().peek_next_image_id();
+    let cls = ds.store().peek_next_classification_id();
+    let ann = ds.store().peek_next_annotation_id();
+    vec![
+        WalOp::AddImage {
+            id: img,
+            meta: meta("wal-born"),
+            origin: ImageOrigin::Original,
+            pixels: Some((1, 1, vec![1, 2, 3])),
+        },
+        WalOp::PutFeature {
+            image: img,
+            kind: FeatureKind::Cnn,
+            vector: vec![0.1, -2.5],
+        },
+        WalOp::RegisterScheme {
+            id: cls,
+            name: "graffiti".into(),
+            labels: vec!["none".into(), "tagged".into()],
+        },
+        WalOp::Annotate(Annotation {
+            id: ann,
+            image: img,
+            classification: cls,
+            label: 1,
+            confidence: 0.7,
+            source: AnnotationSource::Human(UserId(2)),
+            region: None,
+        }),
+    ]
+}
+
+#[test]
+fn group_commit_batch_killed_at_every_offset_is_all_or_prefix() {
+    // Per-op appends and one append_batch of the same ops must lay down
+    // byte-identical WAL bytes, so a crash mid-batch recovers an exact
+    // record prefix of the batch — never a torn or reordered state.
+    let scratch = temp_dir("batch-torture-scratch");
+    let (per_op_bytes, states) = scripted_mutations(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Journal the same ops through the group-commit path.
+    let scratch2 = temp_dir("batch-torture-scratch2");
+    let base_bytes = render_snapshot(&states[0], 0);
+    write_dir(&scratch2, Some(base_bytes.as_bytes()), 0, b"");
+    let (ds, _) = DurableStore::open(&scratch2).unwrap();
+    ds.apply_batch(scripted_batch(&ds)).unwrap();
+    assert_eq!(ds.store().snapshot(), *states.last().unwrap());
+    drop(ds);
+    let batch_bytes = std::fs::read(scratch2.join("wal-0.log")).unwrap();
+    std::fs::remove_dir_all(&scratch2).ok();
+    assert_eq!(
+        batch_bytes, per_op_bytes,
+        "group commit must journal byte-identical frames"
+    );
+
+    let bounds = record_boundaries(&batch_bytes);
+    let dir = temp_dir("batch-torture");
+    for cut in 0..=batch_bytes.len() {
+        write_dir(
+            &dir,
+            Some(base_bytes.as_bytes()),
+            0,
+            &crash_prefix(&batch_bytes, cut),
+        );
+        let (ds, report) = DurableStore::open(&dir).unwrap();
+        let intact = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(
+            ds.store().snapshot(),
+            states[intact],
+            "batch cut at byte {cut}: expected the first {intact} op(s)"
+        );
+        assert_eq!(report.replayed_ops, intact);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn acked_group_commit_batch_survives_reopen() {
+    let dir = temp_dir("batch-acked");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    ds.apply_batch(scripted_batch(&ds)).unwrap();
+    let live = ds.store().snapshot();
+    drop(ds); // crash without flush or compaction
+    let (ds, report) = DurableStore::open(&dir).unwrap();
+    assert_eq!(report.replayed_ops, 4);
+    assert_eq!(ds.store().snapshot(), live);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Copies a durable-store directory byte-for-byte, freezing the state a
+/// crash at that instant would leave on disk.
+fn freeze_dir(src: &Path, dst: &Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+#[test]
+fn crash_at_every_incremental_compaction_boundary_preserves_state() {
+    let dir = temp_dir("fold-crash");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    ds.apply_batch(scripted_batch(&ds)).unwrap();
+    ds.seal().unwrap(); // two L0 tiers for the fold to merge
+    let img2 = ds
+        .add_image(meta("tier-two"), ImageOrigin::Original, None)
+        .unwrap();
+    ds.put_feature(img2, FeatureKind::SiftBow, vec![2.0; 4])
+        .unwrap();
+    let live = ds.store().snapshot();
+
+    // Crash between every pair of increments: freeze the directory,
+    // reopen the frozen copy, and require the exact live state.
+    let frozen = temp_dir("fold-crash-frozen");
+    let pool = tvdp_kernel::Pool::serial();
+    let mut task = ds.begin_compaction().unwrap();
+    let mut boundary = 0usize;
+    let report = loop {
+        freeze_dir(&dir, &frozen);
+        let (frozen_ds, _) = DurableStore::open(&frozen).unwrap();
+        assert_eq!(
+            frozen_ds.store().snapshot(),
+            live,
+            "crash before increment {boundary} lost or doubled ops"
+        );
+        drop(frozen_ds);
+        boundary += 1;
+        if let Some(r) = task.step(&pool).unwrap() {
+            break r;
+        }
+    };
+    drop(task);
+    assert_eq!(report.tiers_merged, 2);
+    assert!(boundary >= 2, "fold ran as at least two increments");
+
+    // And after the publish itself.
+    freeze_dir(&dir, &frozen);
+    let (frozen_ds, report) = DurableStore::open(&frozen).unwrap();
+    assert_eq!(frozen_ds.store().snapshot(), live);
+    assert_eq!(report.replayed_ops, 0);
+    drop(frozen_ds);
+
+    std::fs::remove_dir_all(&frozen).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spill_file_killed_at_every_offset_never_reads_back_wrong() {
+    use tvdp_storage::spill::{read_spill, spill_path, write_spill, SpillStats};
+    // A complete spill file reads back bit-exact; any FailingWriter
+    // prefix of it must be rejected by the header/CRC checks, never
+    // silently served as feature data.
+    let dir = temp_dir("spill-torture");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data: Vec<f32> = (0..64).map(|i| (i as f32) * 0.5 - 7.0).collect();
+    let stats = SpillStats::default();
+    write_spill(&dir, FeatureKind::Cnn, 2, 0, &data, &stats).unwrap();
+    let path = spill_path(&dir, FeatureKind::Cnn, 2, 0);
+    let full = std::fs::read(&path).unwrap();
+    assert_eq!(read_spill(&path, data.len()).unwrap(), data);
+
+    let torn = dir.join("torn.bin");
+    for cut in 0..full.len() {
+        std::fs::write(&torn, crash_prefix(&full, cut)).unwrap();
+        assert!(
+            read_spill(&torn, data.len()).is_err(),
+            "prefix of {cut} byte(s) must not pass validation"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
