@@ -165,6 +165,10 @@ pub struct PlatformStats {
     pub models: usize,
     /// Registered users.
     pub users: usize,
+    /// Resident bytes of quantized feature codes across all shards —
+    /// the compressed working set the quantized candidate scan reads
+    /// (the mirrored `f32` rows cost 4x as much and may be spilled).
+    pub quant_code_bytes: usize,
 }
 
 /// Platform-wide id counters. Ids are allocated here, ahead of the
@@ -1246,6 +1250,7 @@ impl Tvdp {
             annotations: self.stores.iter().map(|s| s.annotation_count()).sum(),
             models: self.models.ids().len(),
             users: self.users.all().len(),
+            quant_code_bytes: self.stores.iter().map(|s| s.quant_code_bytes()).sum(),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::GeoError;
 use crate::point::GeoPoint;
 
 /// An axis-aligned lat/lon rectangle.
@@ -44,6 +45,62 @@ impl BBox {
             max_lat,
             max_lon,
         }
+    }
+
+    /// Creates a box from edges, rejecting wrapped or out-of-range input
+    /// with a typed error instead of panicking.
+    ///
+    /// This is the constructor for externally supplied rectangles (API
+    /// queries, deserialized payloads): a rect spanning the antimeridian
+    /// arrives either as `min_lon > max_lon` (wrapped) or with an edge
+    /// beyond ±180° (unwrapped), and both decode to a near-empty box under
+    /// [`BBox::intersects`]/[`BBox::contains`] if accepted. Returns
+    /// [`GeoError::AntimeridianSpan`] so callers can split at ±180° and
+    /// retry rather than silently dropping matches.
+    pub fn try_new(
+        min_lat: f64,
+        min_lon: f64,
+        max_lat: f64,
+        max_lon: f64,
+    ) -> Result<Self, GeoError> {
+        let b = Self {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        };
+        b.validate()?;
+        Ok(b)
+    }
+
+    /// Checks the invariants documented on [`BBox`]: finite edges,
+    /// `min <= max` per axis, latitudes within ±90°, longitudes within
+    /// ±180° (no antimeridian wrap).
+    ///
+    /// `BBox` has public fields and a serde `Deserialize` impl, both of
+    /// which bypass [`BBox::new`]; any box that crosses a trust boundary
+    /// must be re-validated with this before it reaches an index.
+    pub fn validate(&self) -> Result<(), GeoError> {
+        if !(self.min_lat.is_finite()
+            && self.min_lon.is_finite()
+            && self.max_lat.is_finite()
+            && self.max_lon.is_finite())
+        {
+            return Err(GeoError::NonFinite);
+        }
+        if self.min_lat > self.max_lat || self.min_lat < -90.0 || self.max_lat > 90.0 {
+            return Err(GeoError::LatitudeRange {
+                min_lat: self.min_lat,
+                max_lat: self.max_lat,
+            });
+        }
+        if self.min_lon > self.max_lon || self.min_lon < -180.0 || self.max_lon > 180.0 {
+            return Err(GeoError::AntimeridianSpan {
+                min_lon: self.min_lon,
+                max_lon: self.max_lon,
+            });
+        }
+        Ok(())
     }
 
     /// The degenerate box covering a single point.
@@ -237,5 +294,72 @@ mod tests {
     #[should_panic(expected = "min_lat")]
     fn inverted_box_panics() {
         let _ = BBox::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn corner_boxes_at_world_edges_validate() {
+        // The full ±180/±90 extremes are legal as long as nothing wraps.
+        for b in [
+            BBox::try_new(-90.0, -180.0, 90.0, 180.0).unwrap(),
+            BBox::try_new(89.0, 179.0, 90.0, 180.0).unwrap(),
+            BBox::try_new(-90.0, -180.0, -89.0, -179.0).unwrap(),
+            BBox::try_new(0.0, 180.0, 0.0, 180.0).unwrap(),
+        ] {
+            assert!(b.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn antimeridian_wrap_is_rejected() {
+        // Wrapped encoding: min_lon > max_lon. Built via struct literal to
+        // model a deserialized query that bypassed the constructor.
+        let wrapped = BBox {
+            min_lat: -1.0,
+            min_lon: 170.0,
+            max_lat: 1.0,
+            max_lon: -170.0,
+        };
+        assert_eq!(
+            wrapped.validate(),
+            Err(GeoError::AntimeridianSpan {
+                min_lon: 170.0,
+                max_lon: -170.0,
+            })
+        );
+        // Unwrapped encoding: an edge beyond ±180°.
+        assert!(matches!(
+            BBox::try_new(-1.0, 170.0, 1.0, 190.0),
+            Err(GeoError::AntimeridianSpan { .. })
+        ));
+        assert!(matches!(
+            BBox::try_new(-1.0, -190.0, 1.0, -170.0),
+            Err(GeoError::AntimeridianSpan { .. })
+        ));
+    }
+
+    #[test]
+    fn latitude_overflow_and_non_finite_are_rejected() {
+        assert!(matches!(
+            BBox::try_new(-91.0, 0.0, 0.0, 1.0),
+            Err(GeoError::LatitudeRange { .. })
+        ));
+        assert!(matches!(
+            BBox::try_new(0.0, 0.0, 90.5, 1.0),
+            Err(GeoError::LatitudeRange { .. })
+        ));
+        let inverted_lat = BBox {
+            min_lat: 1.0,
+            min_lon: 0.0,
+            max_lat: 0.0,
+            max_lon: 1.0,
+        };
+        assert!(matches!(
+            inverted_lat.validate(),
+            Err(GeoError::LatitudeRange { .. })
+        ));
+        assert_eq!(
+            BBox::try_new(f64::NAN, 0.0, 1.0, 1.0),
+            Err(GeoError::NonFinite)
+        );
     }
 }

@@ -20,6 +20,7 @@
 pub mod angle;
 pub mod bbox;
 pub mod coverage;
+pub mod error;
 pub mod fov;
 pub mod point;
 pub mod polygon;
@@ -28,6 +29,7 @@ pub mod projection;
 pub use angle::{angular_diff_deg, normalize_deg, AngularRange};
 pub use bbox::BBox;
 pub use coverage::{CoverageGrid, CoverageReport, CoverageSpec};
+pub use error::GeoError;
 pub use fov::Fov;
 pub use point::GeoPoint;
 pub use polygon::GeoPolygon;

@@ -19,7 +19,10 @@
 //! * [`hybrid::VisualRTree`] — the hybrid spatial-visual index of
 //!   Alfarrarjeh et al. (ACM MM Workshops 2017, ref \[28\]): an R-tree whose
 //!   nodes carry feature-space summaries so one traversal prunes in both
-//!   spaces at once.
+//!   spaces at once,
+//! * [`vfirst::VisualFirstIndex`] — the opposite hybrid ordering
+//!   (visual-first IVF cells with spatial MBR pruning), for workloads
+//!   whose spatial predicate is broad and visual predicate sharp.
 
 pub mod hybrid;
 pub mod inverted;
@@ -27,6 +30,7 @@ pub mod lsh;
 pub mod oriented;
 pub mod rtree;
 pub mod temporal;
+pub mod vfirst;
 
 pub use hybrid::VisualRTree;
 pub use inverted::InvertedIndex;
@@ -34,3 +38,4 @@ pub use lsh::{LshConfig, LshIndex};
 pub use oriented::OrientedRTree;
 pub use rtree::RTree;
 pub use temporal::TemporalIndex;
+pub use vfirst::VisualFirstIndex;

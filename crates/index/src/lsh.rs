@@ -42,6 +42,16 @@ pub struct LshConfig {
     /// filtering down to `k`. Higher values trade re-rank work for
     /// recall.
     pub candidate_multiple: usize,
+    /// Absolute floor on the oversampled fetch: approximate serving
+    /// fetches `max(k * candidate_multiple, min_candidates)` neighbours
+    /// (see [`LshConfig::oversampled_fetch`]). A pure multiple cliffs at
+    /// small `k` — `k = 1` with the default multiple fetches only 4
+    /// candidates, and any post-filter (spatial region, quantized
+    /// pre-scan) that eats most of them collapses recall on small
+    /// indexes. The floor keeps the post-filter fed; 32 costs at most a
+    /// few thousand extra FLOPs per query, which is noise next to one
+    /// hash probe.
+    pub min_candidates: usize,
 }
 
 impl Default for LshConfig {
@@ -52,7 +62,18 @@ impl Default for LshConfig {
             bucket_width: 1.0,
             seed: 0x154,
             candidate_multiple: 4,
+            min_candidates: 32,
         }
+    }
+}
+
+impl LshConfig {
+    /// How many neighbours approximate serving should fetch before
+    /// post-filtering down to `k`: `max(k * candidate_multiple,
+    /// min_candidates)`. Every call site that oversamples must go
+    /// through this so the documented floor is applied uniformly.
+    pub fn oversampled_fetch(&self, k: usize) -> usize {
+        (k * self.candidate_multiple).max(self.min_candidates)
     }
 }
 
@@ -358,9 +379,9 @@ mod tests {
             .take(k)
             .map(|(_, id)| id)
             .collect();
-        let recall_at = |multiple: usize| {
+        let recall_at = |fetch: usize| {
             let approx: Vec<usize> = idx
-                .knn(&slab, &vectors[0], k * multiple)
+                .knn(&slab, &vectors[0], fetch)
                 .into_iter()
                 .filter(|&(_, id)| keep(id))
                 .take(k)
@@ -368,11 +389,48 @@ mod tests {
                 .collect();
             exact.iter().filter(|id| approx.contains(id)).count() as f64 / exact.len() as f64
         };
-        let low = recall_at(1);
-        let default = recall_at(LshConfig::default().candidate_multiple);
+        let low = recall_at(k);
+        let default = recall_at(LshConfig::default().oversampled_fetch(k));
         assert_eq!(LshConfig::default().candidate_multiple, 4);
         assert!(default >= low, "recall fell from {low} to {default}");
         assert!(default >= 0.8, "oversampled recall {default}");
+    }
+
+    #[test]
+    fn min_candidates_floor_prevents_small_k_recall_cliff() {
+        // k = 1 with multiple 1 fetches a single neighbour; a post-filter
+        // that rejects it (here: odd handles) zeroes recall. The floor
+        // keeps the filter fed regardless of k — this is the regression
+        // pin for the quantized pre-scan, whose candidate filter is
+        // strictly tighter than the plain spatial one.
+        let dim = 8;
+        let vectors = clustered_vectors(6, 25, dim);
+        let config = LshConfig {
+            candidate_multiple: 1,
+            ..Default::default()
+        };
+        let (idx, slab) = indexed(&vectors, dim, config);
+        assert_eq!(config.oversampled_fetch(1), config.min_candidates);
+        assert_eq!(config.oversampled_fetch(100), 100);
+        assert_eq!(LshConfig::default().oversampled_fetch(4), 32);
+        assert_eq!(LshConfig::default().oversampled_fetch(10), 40);
+        let keep = |id: usize| id % 2 == 0;
+        let truth = idx
+            .knn_exact(&slab, &vectors[1], vectors.len())
+            .into_iter()
+            .find(|&(_, id)| keep(id))
+            .map(|(_, id)| id)
+            .unwrap();
+        let top_with = |fetch: usize| {
+            idx.knn(&slab, &vectors[1], fetch)
+                .into_iter()
+                .find(|&(_, id)| keep(id))
+                .map(|(_, id)| id)
+        };
+        // Unclamped fetch of k = 1 candidates cannot survive the filter
+        // (handle 1 is odd); the floored fetch recovers the true hit.
+        assert_ne!(top_with(1), Some(truth));
+        assert_eq!(top_with(config.oversampled_fetch(1)), Some(truth));
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Visual-first hybrid index: IVF-style feature-space cells with
+//! spatial MBR pruning.
+//!
+//! The Visual R*-tree ([`crate::hybrid`]) orders its hierarchy
+//! *spatially first*: nodes group by location, and feature balls are a
+//! secondary pruning channel. "Hybrid Indexes to Expedite Spatial-Visual
+//! Search" (the follow-up study to the TVDP paper) shows the opposite
+//! ordering wins when the spatial predicate is broad and the visual one
+//! is sharp — the common shape for "anywhere downtown, looking like this
+//! example". This module is that alternative: a flat inverted file of
+//! feature-space cells (IVF-flat), each cell carrying
+//!
+//! * a feature centroid and covering radius (primary, visual ordering),
+//! * the spatial MBR of its members (secondary, spatial pruning).
+//!
+//! A query walks cells in ascending order of the visual lower bound
+//! `max(‖q − centroid‖ − radius, 0)`, skips cells whose MBR misses the
+//! region, and stops as soon as the next cell's lower bound cannot beat
+//! the current k-th distance. Results are **exact** — cells partition
+//! the corpus, the bound is sound, and every surviving member is scored
+//! with the true distance — so callers may swap this for the R*-tree
+//! without any recall change.
+//!
+//! Like the R*-tree, the index owns no feature bytes: entries carry
+//! `u32` row handles into the shared feature arena, and centroids are
+//! derived aggregates. Construction is deterministic: entries go to the
+//! strictly-nearest centroid (first wins ties), and an over-full cell
+//! splits on its farthest member pair — no RNG, no wall clock.
+
+use tvdp_geo::BBox;
+use tvdp_kernel::{l2, l2_sq, RowSource, TopK, TotalF32};
+
+/// Maximum members per cell before it splits. Chosen so a cell scan
+/// (CELL_MAX exact distances) costs about as much as one level of
+/// R*-tree fan-out, keeping the two hybrid orderings comparable in
+/// per-node work.
+pub const CELL_MAX: usize = 128;
+
+#[derive(Debug, Clone)]
+struct Member<T> {
+    bbox: BBox,
+    /// Arena row handle of this member's feature vector.
+    row: u32,
+    value: T,
+}
+
+#[derive(Debug, Clone)]
+struct Cell<T> {
+    /// Mean feature of the members (recomputed from arena rows on every
+    /// mutation; fixed member order makes the sum bit-stable).
+    centroid: Vec<f32>,
+    /// Covering radius: every member feature is within `radius` of
+    /// `centroid`.
+    radius: f32,
+    /// Spatial MBR of the members (secondary pruning channel).
+    mbr: BBox,
+    members: Vec<Member<T>>,
+}
+
+impl<T> Cell<T> {
+    /// Recomputes centroid, radius and MBR from the members.
+    fn refresh(&mut self, rows: &impl RowSource, dim: usize) {
+        let mut centroid = vec![0.0f32; dim];
+        // tvdp-lint: allow(no_panic, reason = "cells are created non-empty and splits never empty one; refresh is only called on live cells")
+        let mut mbr = self.members.first().expect("cell non-empty").bbox;
+        for m in &self.members {
+            mbr = mbr.union(&m.bbox);
+            for (c, &f) in centroid.iter_mut().zip(rows.row(m.row)) {
+                *c += f;
+            }
+        }
+        let n = self.members.len() as f32;
+        for c in &mut centroid {
+            *c /= n;
+        }
+        let radius = self
+            .members
+            .iter()
+            .map(|m| l2(&centroid, rows.row(m.row)))
+            .fold(0.0f32, f32::max);
+        self.centroid = centroid;
+        self.radius = radius;
+        self.mbr = mbr;
+    }
+}
+
+/// The visual-first hybrid index over arena row handles.
+#[derive(Debug, Clone)]
+pub struct VisualFirstIndex<T> {
+    cells: Vec<Cell<T>>,
+    dim: usize,
+    len: usize,
+}
+
+impl<T: Clone> VisualFirstIndex<T> {
+    /// An empty index over `dim`-dimensional feature vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "zero-dimensional features");
+        Self {
+            cells: Vec::new(),
+            dim,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of feature-space cells (diagnostics/planning).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Inserts an object with spatial extent `bbox` whose feature
+    /// vector is arena row `row` of `rows`. The source must resolve
+    /// every previously inserted row too (centroid maintenance re-reads
+    /// member features).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature dimensionality mismatch.
+    pub fn insert(&mut self, rows: &impl RowSource, bbox: BBox, row: u32, value: T) {
+        assert_eq!(rows.dim(), self.dim, "feature dimension mismatch");
+        self.len += 1;
+        let member = Member { bbox, row, value };
+        if self.cells.is_empty() {
+            let mut cell = Cell {
+                centroid: Vec::new(),
+                radius: 0.0,
+                mbr: bbox,
+                members: vec![member],
+            };
+            cell.refresh(rows, self.dim);
+            self.cells.push(cell);
+            return;
+        }
+        // Strictly-nearest centroid; the first minimum wins ties, so
+        // assignment is independent of anything but insertion order.
+        let feat = rows.row(member.row);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (i, cell) in self.cells.iter().enumerate() {
+            let d = l2_sq(&cell.centroid, feat);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        self.cells[best].members.push(member);
+        if self.cells[best].members.len() > CELL_MAX {
+            let spawned = self.split(rows, best);
+            self.cells.push(spawned);
+        } else {
+            self.cells[best].refresh(rows, self.dim);
+        }
+    }
+
+    /// Splits over-full cell `at` on its farthest member pair: seed A is
+    /// the member farthest from the centroid, seed B the member farthest
+    /// from A, and each member joins its strictly-nearer seed (A on
+    /// ties). Returns the new cell; `at` keeps A's half.
+    fn split(&mut self, rows: &impl RowSource, at: usize) -> Cell<T> {
+        let members = std::mem::take(&mut self.cells[at].members);
+        let centroid = &self.cells[at].centroid;
+        let far = |from: &[f32], members: &[Member<T>]| {
+            let mut best = 0usize;
+            let mut best_d = -1.0f32;
+            for (i, m) in members.iter().enumerate() {
+                let d = l2_sq(from, rows.row(m.row));
+                if d > best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            best
+        };
+        let seed_a = rows.row(members[far(centroid, &members)].row).to_vec();
+        let seed_b = rows.row(members[far(&seed_a, &members)].row).to_vec();
+        let mut keep = Vec::new();
+        let mut spawn = Vec::new();
+        for m in members {
+            let feat = rows.row(m.row);
+            if l2_sq(&seed_a, feat) <= l2_sq(&seed_b, feat) {
+                keep.push(m);
+            } else {
+                spawn.push(m);
+            }
+        }
+        // Seed B is strictly nearer to itself than to A (they differ or
+        // the corpus is degenerate); both halves are non-empty whenever
+        // the seeds differ. A fully degenerate cell (all features equal)
+        // keeps everything in `keep`; fall back to an even split so the
+        // cap still holds.
+        if spawn.is_empty() {
+            let half = keep.len() / 2;
+            spawn = keep.split_off(half);
+        }
+        let mut spawned = Cell {
+            centroid: Vec::new(),
+            radius: 0.0,
+            mbr: spawn[0].bbox,
+            members: spawn,
+        };
+        spawned.refresh(rows, self.dim);
+        self.cells[at].members = keep;
+        self.cells[at].refresh(rows, self.dim);
+        spawned
+    }
+
+    /// Spatial-visual top-k, visual-first: the `k` entries intersecting
+    /// `region` most similar to `query`. Exact — identical result set to
+    /// [`crate::VisualRTree::knn_visual`] up to tie order.
+    pub fn knn_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<(f32, &T)> {
+        assert_eq!(query.len(), self.dim, "feature dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        // Cells in ascending visual-lower-bound order; the bound is on
+        // the *distance*, compare in squared space to skip roots.
+        let mut order: Vec<(f32, usize)> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.mbr.intersects(region))
+            .map(|(i, c)| ((l2(&c.centroid, query) - c.radius).max(0.0), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Top-k on (squared distance, cell, member): the index pair makes
+        // tie order deterministic and lets us return borrowed payloads.
+        let mut top: TopK<(TotalF32, usize, usize)> = TopK::new(k);
+        for &(lb, ci) in &order {
+            if let Some(&(TotalF32(worst), _, _)) = top.threshold() {
+                if top.len() == k && lb * lb > worst {
+                    break;
+                }
+            }
+            let cell = &self.cells[ci];
+            for (mi, m) in cell.members.iter().enumerate() {
+                if m.bbox.intersects(region) {
+                    let d_sq = l2_sq(rows.row(m.row), query);
+                    top.push((TotalF32(d_sq), ci, mi));
+                }
+            }
+        }
+        top.into_sorted_vec()
+            .into_iter()
+            .map(|(TotalF32(d_sq), ci, mi)| (d_sq.sqrt(), &self.cells[ci].members[mi].value))
+            .collect()
+    }
+
+    /// Spatial-visual range query in squared-distance space: members
+    /// intersecting `region` with `l2_sq(feature, query) <= max_dist_sq`,
+    /// as `(squared_distance, payload)` sorted ascending.
+    pub fn range_visual_sq(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        max_dist_sq: f32,
+    ) -> Vec<(f32, &T)> {
+        assert_eq!(query.len(), self.dim, "feature dimension mismatch");
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            if !cell.mbr.intersects(region) {
+                continue;
+            }
+            let lb = (l2(&cell.centroid, query) - cell.radius).max(0.0);
+            if lb * lb > max_dist_sq {
+                continue;
+            }
+            for m in &cell.members {
+                if m.bbox.intersects(region) {
+                    let d_sq = l2_sq(rows.row(m.row), query);
+                    if d_sq <= max_dist_sq {
+                        out.push((d_sq, &m.value));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// [`VisualFirstIndex::range_visual_sq`] with rooted distances.
+    pub fn range_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        max_dist: f32,
+    ) -> Vec<(f32, &T)> {
+        self.range_visual_sq(rows, region, query, max_dist * max_dist)
+            .into_iter()
+            .map(|(d_sq, v)| (d_sq.sqrt(), v))
+            .collect()
+    }
+
+    /// Verifies the cell invariants: members within the covering radius
+    /// and MBR, counts adding up, no cell over the cap (test helper).
+    pub fn check_invariants(&self, rows: &impl RowSource) {
+        let mut total = 0usize;
+        for cell in &self.cells {
+            assert!(!cell.members.is_empty(), "empty cell");
+            assert!(cell.members.len() <= CELL_MAX, "cell over cap");
+            total += cell.members.len();
+            for m in &cell.members {
+                let d = l2(rows.row(m.row), &cell.centroid);
+                assert!(
+                    d <= cell.radius + 1e-4,
+                    "feature escapes radius: {d} > {}",
+                    cell.radius
+                );
+                assert!(cell.mbr.contains_bbox(&m.bbox), "member escapes MBR");
+            }
+        }
+        assert_eq!(total, self.len, "member count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvdp_geo::GeoPoint;
+    use tvdp_kernel::FeatureSlab;
+
+    type RawEntry = (BBox, Vec<f32>, usize);
+
+    /// Same corpus shape as the hybrid R*-tree tests: spatial grid,
+    /// group-structured features.
+    fn build(n: usize) -> (VisualFirstIndex<usize>, FeatureSlab, Vec<RawEntry>) {
+        let mut index = VisualFirstIndex::new(4);
+        let mut slab = FeatureSlab::new(4);
+        let mut raw = Vec::new();
+        for i in 0..n {
+            let lat = 34.0 + (i / 12) as f64 * 0.001;
+            let lon = -118.3 + (i % 12) as f64 * 0.001;
+            let b = BBox::from_point(GeoPoint::new(lat, lon));
+            let group = i % 4;
+            let mut f = vec![0.1f32; 4];
+            f[group] = 1.0 + (i as f32 * 0.001);
+            let row = slab.push(&f);
+            index.insert(&slab, b, row, i);
+            raw.push((b, f, i));
+        }
+        (index, slab, raw)
+    }
+
+    #[test]
+    fn knn_visual_matches_linear_scan_exactly() {
+        let (index, slab, raw) = build(400);
+        index.check_invariants(&slab);
+        assert!(index.cell_count() > 1, "corpus should split cells");
+        let region = BBox::new(33.99, -118.31, 34.05, -118.27);
+        let query = {
+            let mut f = vec![0.1f32; 4];
+            f[1] = 1.05;
+            f
+        };
+        let got: Vec<(f32, usize)> = index
+            .knn_visual(&slab, &region, &query, 10)
+            .into_iter()
+            .map(|(d, id)| (d, *id))
+            .collect();
+        let mut lin: Vec<(f32, usize)> = raw
+            .iter()
+            .filter(|(b, _, _)| b.intersects(&region))
+            .map(|(_, f, id)| (l2(f, &query), *id))
+            .collect();
+        lin.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(got.len(), 10);
+        for ((gd, gid), (ed, eid)) in got.iter().zip(&lin[..10]) {
+            assert_eq!(gd.to_bits(), ed.to_bits(), "distance for {gid} vs {eid}");
+        }
+    }
+
+    #[test]
+    fn range_visual_matches_linear_scan() {
+        let (index, slab, raw) = build(200);
+        let region = BBox::new(34.0, -118.3, 34.01, -118.292);
+        let query = {
+            let mut f = vec![0.1f32; 4];
+            f[2] = 1.0;
+            f
+        };
+        let got: Vec<usize> = index
+            .range_visual(&slab, &region, &query, 0.3)
+            .into_iter()
+            .map(|(_, id)| *id)
+            .collect();
+        let mut expected: Vec<(f32, usize)> = raw
+            .iter()
+            .filter(|(b, f, _)| b.intersects(&region) && l2(f, &query) <= 0.3)
+            .map(|(_, f, id)| (l2(f, &query), *id))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let expected_ids: Vec<usize> = expected.into_iter().map(|(_, id)| id).collect();
+        assert_eq!(got, expected_ids);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_spatial_first_ordering() {
+        // Both hybrid orderings are exact; on tie-free data they must
+        // return identical (distance, id) lists.
+        let (index, slab, raw) = build(300);
+        let mut tree = crate::VisualRTree::new(4);
+        for (b, _, id) in &raw {
+            tree.insert(&slab, *b, *id as u32, *id);
+        }
+        let region = BBox::new(33.9, -118.4, 34.1, -118.2);
+        let query = vec![0.1f32, 0.1, 1.0, 0.1];
+        let vf: Vec<(u32, usize)> = index
+            .knn_visual(&slab, &region, &query, 15)
+            .into_iter()
+            .map(|(d, id)| (d.to_bits(), *id))
+            .collect();
+        let sf: Vec<(u32, usize)> = tree
+            .knn_visual(&slab, &region, &query, 15)
+            .into_iter()
+            .map(|(d, id)| (d.to_bits(), *id))
+            .collect();
+        assert_eq!(vf, sf);
+    }
+
+    #[test]
+    fn spatial_constraint_respected() {
+        let (index, slab, _) = build(100);
+        let empty_region = BBox::new(35.0, -117.0, 35.1, -116.9);
+        let query = vec![1.0, 0.1, 0.1, 0.1];
+        assert!(index
+            .range_visual(&slab, &empty_region, &query, 100.0)
+            .is_empty());
+        assert!(index.knn_visual(&slab, &empty_region, &query, 5).is_empty());
+    }
+
+    #[test]
+    fn works_through_a_detached_view() {
+        let (index, slab, _) = build(150);
+        let view = slab.view();
+        let region = BBox::new(33.9, -118.4, 34.1, -118.2);
+        let query = vec![0.1f32, 0.1, 1.0, 0.1];
+        let direct = index.knn_visual(&slab, &region, &query, 7);
+        let snapped = index.knn_visual(&view, &region, &query, 7);
+        assert_eq!(direct.len(), snapped.len());
+        for ((da, ia), (db, ib)) in direct.iter().zip(&snapped) {
+            assert_eq!(da.to_bits(), db.to_bits());
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_features_still_split() {
+        // All-equal features defeat farthest-pair seeding; the fallback
+        // even split must keep every cell under the cap.
+        let mut index = VisualFirstIndex::new(3);
+        let mut slab = FeatureSlab::new(3);
+        for i in 0..(CELL_MAX * 2 + 10) {
+            let row = slab.push(&[1.0, 2.0, 3.0]);
+            let b = BBox::from_point(GeoPoint::new(34.0, -118.0 + i as f64 * 1e-5));
+            index.insert(&slab, b, row, i);
+        }
+        index.check_invariants(&slab);
+    }
+
+    #[test]
+    fn empty_index_and_dim_checks() {
+        let index: VisualFirstIndex<u8> = VisualFirstIndex::new(3);
+        assert!(index.is_empty());
+        assert_eq!(index.dim(), 3);
+        let slab = FeatureSlab::new(3);
+        let region = BBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(index.range_visual(&slab, &region, &[0.0; 3], 1.0).is_empty());
+        assert!(index.knn_visual(&slab, &region, &[0.0; 3], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dim_rejected() {
+        let mut index: VisualFirstIndex<u8> = VisualFirstIndex::new(3);
+        let mut slab = FeatureSlab::new(4);
+        let row = slab.push(&[0.0; 4]);
+        index.insert(&slab, BBox::new(0.0, 0.0, 1.0, 1.0), row, 1);
+    }
+}

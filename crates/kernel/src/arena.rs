@@ -35,6 +35,8 @@
 
 use std::sync::{Arc, OnceLock};
 
+use crate::quant::{QuantChunk, QuantParams};
+
 /// Rows per storage chunk. Chunks except the last are always exactly
 /// this full, so `row -> (chunk, offset)` is pure arithmetic. 1024 rows
 /// keeps a dim-512 chunk at 2 MiB (hugepage-friendly) and bounds the
@@ -158,6 +160,12 @@ pub struct FeatureSlab {
     /// (never written again) and shared with snapshots by `Arc`.
     /// Individual chunks may be spilled ([`FeatureSlab::spill_frozen`]).
     frozen: Vec<Chunk>,
+    /// Scalar-quantized mirror of `frozen`, one [`QuantChunk`] per
+    /// frozen chunk, trained at freeze time ([`crate::quant`]). Codes
+    /// stay resident even when the `f32` chunk is spilled: they *are*
+    /// the compressed in-memory representation the quantized candidate
+    /// scan reads, at a quarter of the float footprint.
+    quant: Vec<Arc<QuantChunk>>,
     /// The chunk currently being filled (< `ROWS_PER_CHUNK` rows).
     tail: Vec<f32>,
     len: usize,
@@ -174,6 +182,7 @@ impl FeatureSlab {
         Self {
             dim,
             frozen: Vec::new(),
+            quant: Vec::new(),
             tail: Vec::new(),
             len: 0,
         }
@@ -196,6 +205,11 @@ impl FeatureSlab {
         self.len += 1;
         if self.tail.len() == ROWS_PER_CHUNK * self.dim {
             let full = std::mem::take(&mut self.tail);
+            // Freeze time is when the chunk's value ranges are final:
+            // train the scalar-quantized mirror before the floats are
+            // shared out. Deterministic, so replayed ingests rebuild
+            // byte-identical codes.
+            self.quant.push(Arc::new(QuantChunk::encode(&full, self.dim)));
             self.frozen.push(Chunk::resident(Arc::from(full)));
         }
         row
@@ -214,6 +228,19 @@ impl FeatureSlab {
     /// The floats of frozen chunk `chunk` (reloading if spilled).
     pub fn chunk_data(&self, chunk: usize) -> &[f32] {
         self.frozen[chunk].data()
+    }
+
+    /// The quantized mirror of frozen chunk `chunk` (always resident —
+    /// codes are never spilled, only the floats are).
+    pub fn chunk_quant(&self, chunk: usize) -> &Arc<QuantChunk> {
+        &self.quant[chunk]
+    }
+
+    /// Total resident bytes of the quantized mirrors (codes plus
+    /// decode-parameter sidecars) across every frozen chunk — the
+    /// compressed footprint the quantized candidate scan works from.
+    pub fn quant_code_bytes(&self) -> usize {
+        self.quant.iter().map(|q| q.resident_bytes()).sum()
     }
 
     /// Replaces frozen chunk `chunk`'s resident floats with a lazy
@@ -242,6 +269,7 @@ impl FeatureSlab {
             dim: self.dim,
             len: self.len,
             chunks,
+            quant: self.quant.clone(),
         }
     }
 
@@ -306,6 +334,9 @@ pub struct SlabView {
     len: usize,
     /// Every chunk except the last holds exactly `ROWS_PER_CHUNK` rows.
     chunks: Vec<Chunk>,
+    /// Quantized mirrors of the frozen chunks (never the partial tail),
+    /// shared by `Arc` with the slab. `quant.len() <= chunks.len()`.
+    quant: Vec<Arc<QuantChunk>>,
 }
 
 impl SlabView {
@@ -315,12 +346,41 @@ impl SlabView {
             dim,
             len: 0,
             chunks: Vec::new(),
+            quant: Vec::new(),
         }
     }
 
     /// Whether the view holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of rows covered by quantized chunks (a prefix of the
+    /// view: frozen chunks are quantized, the mutable tail is not).
+    pub fn quant_rows(&self) -> usize {
+        (self.quant.len() * ROWS_PER_CHUNK).min(self.len)
+    }
+
+    /// The quantized codes and decode parameters of `row`, or `None`
+    /// when the row lives in the unquantized tail. Resolving a row here
+    /// never touches the `f32` chunk, so a spilled chunk stays on disk
+    /// through the whole approximate scan.
+    #[inline]
+    pub fn quant_row(&self, row: u32) -> Option<(&[u8], &QuantParams)> {
+        let r = row as usize;
+        let chunk = self.quant.get(r / ROWS_PER_CHUNK)?;
+        Some((chunk.row_codes(r % ROWS_PER_CHUNK), chunk.params()))
+    }
+
+    /// The largest decode-error radius across the view's quantized
+    /// chunks — the `eps` the exactness margin of a quantized scan +
+    /// re-rank must use ([`QuantParams::eps`]). `0.0` when nothing is
+    /// quantized.
+    pub fn max_quant_eps(&self) -> f32 {
+        self.quant
+            .iter()
+            .map(|q| q.params().eps())
+            .fold(0.0, f32::max)
     }
 }
 
@@ -517,6 +577,34 @@ mod tests {
         drop(slab);
         assert_eq!(&*frozen, &row_of(7, dim)[..]);
         assert_eq!(&*tail, &row_of(ROWS_PER_CHUNK, dim)[..]);
+    }
+
+    #[test]
+    fn frozen_chunks_carry_quantized_mirrors() {
+        let dim = 5;
+        let mut slab = FeatureSlab::new(dim);
+        for i in 0..ROWS_PER_CHUNK + 3 {
+            slab.push(&row_of(i, dim));
+        }
+        let view = slab.view();
+        assert_eq!(view.quant_rows(), ROWS_PER_CHUNK);
+        assert!(view.max_quant_eps() > 0.0);
+        // Quantized rows decode to within eps of the exact floats.
+        let (codes, params) = view.quant_row(17).unwrap();
+        assert_eq!(codes.len(), dim);
+        let d = crate::quant::l2_sq_asym(view.row(17), codes, params).sqrt();
+        assert!(d <= params.eps(), "self-distance {d} > eps {}", params.eps());
+        // Tail rows are not quantized.
+        assert!(view.quant_row(ROWS_PER_CHUNK as u32).is_none());
+        // Spilling the floats keeps the codes resident: the quantized
+        // path needs no reload.
+        let (counter, loader) = MapLoader::capture(&slab, 0);
+        slab.spill_frozen(0, loader);
+        let spilled_view = slab.view();
+        assert!(spilled_view.quant_row(17).is_some());
+        assert_eq!(counter.loads.load(std::sync::atomic::Ordering::SeqCst), 0);
+        // Quantized mirrors are shared, not copied, across views.
+        assert!(Arc::ptr_eq(&view.quant[0], &spilled_view.quant[0]));
     }
 
     #[test]

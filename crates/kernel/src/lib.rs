@@ -18,6 +18,10 @@
 //!   append-only chunked row storage with `Arc`-shared snapshots, so
 //!   stores and indexes reference rows by `u32` handle instead of
 //!   owning `Vec<f32>` clones.
+//! * [`quant`] — scalar quantization for the arena: `u8` codes with
+//!   per-dimension affine decode trained per frozen chunk, and
+//!   [`l2_sq_asym`], the asymmetric f32-query-vs-u8-codes distance
+//!   kernel behind the compressed candidate scan.
 //! * [`TopK`] / [`TotalF32`] — bounded top-k selection over float
 //!   scores, replacing collect-then-sort on every top-k query path.
 //! * [`GenCell`] — generation publication: writers `Arc`-swap frozen
@@ -31,21 +35,23 @@
 pub mod arena;
 pub mod gencell;
 pub mod pool;
+pub mod quant;
 pub mod topk;
 
 pub use arena::{Chunk, ChunkLoader, FeatureSlab, RowRef, RowSource, SlabView, ROWS_PER_CHUNK};
 pub use gencell::GenCell;
 pub use pool::Pool;
+pub use quant::{l2_sq_asym, QuantChunk, QuantParams};
 pub use topk::{TopK, TotalF32, TotalF64};
 
 /// Accumulator lanes for the chunked kernels. Sixteen `f32` lanes give
 /// the vectorizer two full AVX2 registers (or four SSE registers) of
 /// independent accumulators; measured ~3x over the scalar loop at
 /// dim >= 512 on baseline x86-64.
-const LANES: usize = 16;
+pub(crate) const LANES: usize = 16;
 
 #[inline(always)]
-fn reduce(acc: [f32; LANES], tail: f32) -> f32 {
+pub(crate) fn reduce(acc: [f32; LANES], tail: f32) -> f32 {
     // Fixed pairwise tree: deterministic and instruction-level parallel.
     let mut s = [0.0f32; 4];
     for (i, &a) in acc.iter().enumerate() {

@@ -19,9 +19,9 @@ use std::sync::Arc;
 use tvdp_geo::{BBox, GeoPolygon};
 use tvdp_index::{
     inverted::tokenize, InvertedIndex, LshConfig, LshIndex, OrientedRTree, RTree, TemporalIndex,
-    VisualRTree,
+    VisualFirstIndex, VisualRTree,
 };
-use tvdp_kernel::{l2_sq, GenCell, Pool, RowSource, SlabView};
+use tvdp_kernel::{l2_sq, l2_sq_asym, GenCell, Pool, RowSource, SlabView, TopK, TotalF32};
 use tvdp_storage::{ClassificationId, ImageId, VisualStore};
 use tvdp_vision::FeatureKind;
 
@@ -29,6 +29,58 @@ use crate::plan;
 use crate::types::{
     Query, QueryError, QueryResult, SpatialQuery, TemporalField, TextualMode, VisualMode,
 };
+
+/// Which scan the exact top-k visual path uses for quantizable work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// The planner picks quantized-scan vs tree per leaf from index
+    /// stats (the default; see [`crate::plan::quantized_scan_wins`]).
+    Auto,
+    /// Always use the quantized scan when any codes exist.
+    Always,
+    /// Never use the quantized scan.
+    Never,
+}
+
+/// Quantized-scan tuning.
+///
+/// The quantized path scans `u8` codes with the asymmetric kernel, then
+/// re-ranks survivors on the exact `f32` rows. The re-rank set always
+/// includes every candidate within the decode-error margin of the k-th
+/// approximate distance, so the final top-k is **exact** — bit-identical
+/// to the full-precision scan — at any `rerank_depth >= k`; the depth
+/// only widens the re-rank set beyond the provable minimum.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantConfig {
+    /// Scan selection policy.
+    pub mode: QuantMode,
+    /// Minimum number of approximate candidates re-ranked exactly
+    /// (clamped up to `k` at query time).
+    pub rerank_depth: usize,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self {
+            mode: QuantMode::Auto,
+            rerank_depth: 64,
+        }
+    }
+}
+
+/// Which hybrid-index ordering backs exact spatial-visual queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridOrdering {
+    /// Spatial-first Visual R*-tree (the default): nodes group by
+    /// location, feature balls prune second. Best when the spatial
+    /// predicate is sharp.
+    SpatialFirst,
+    /// Visual-first IVF cells with spatial MBR pruning
+    /// ([`tvdp_index::VisualFirstIndex`]): cells group by feature,
+    /// MBRs prune second. Best when the spatial predicate is broad and
+    /// the visual one sharp. Both orderings are exact.
+    VisualFirst,
+}
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -38,9 +90,13 @@ pub struct EngineConfig {
     /// LSH tuning for the approximate visual path.
     pub lsh: LshConfig,
     /// When `true` (default), visual queries run exactly on the hybrid
-    /// Visual R*-tree; when `false`, top-k visual queries use the LSH
-    /// candidate path (approximate, faster at scale).
+    /// index; when `false`, top-k visual queries use the LSH candidate
+    /// path (approximate, faster at scale).
     pub exact_visual: bool,
+    /// Quantized-scan policy for the exact top-k path.
+    pub quant: QuantConfig,
+    /// Hybrid-index ordering for exact spatial-visual queries.
+    pub ordering: HybridOrdering,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +105,102 @@ impl Default for EngineConfig {
             visual_kind: FeatureKind::Cnn,
             lsh: LshConfig::default(),
             exact_visual: true,
+            quant: QuantConfig::default(),
+            ordering: HybridOrdering::SpatialFirst,
+        }
+    }
+}
+
+/// Either hybrid-index ordering behind one exact query surface. Both
+/// variants return identical result sets (up to distance ties); the
+/// ordering only changes which pruning channel leads.
+enum HybridIndex {
+    SpatialFirst(VisualRTree<ImageId>),
+    VisualFirst(VisualFirstIndex<ImageId>),
+}
+
+impl HybridIndex {
+    fn new(ordering: HybridOrdering, dim: usize) -> Self {
+        match ordering {
+            HybridOrdering::SpatialFirst => HybridIndex::SpatialFirst(VisualRTree::new(dim)),
+            HybridOrdering::VisualFirst => HybridIndex::VisualFirst(VisualFirstIndex::new(dim)),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            HybridIndex::SpatialFirst(t) => t.dim(),
+            HybridIndex::VisualFirst(v) => v.dim(),
+        }
+    }
+
+    fn insert(&mut self, rows: &impl RowSource, bbox: BBox, row: u32, id: ImageId) {
+        match self {
+            HybridIndex::SpatialFirst(t) => t.insert(rows, bbox, row, id),
+            HybridIndex::VisualFirst(v) => v.insert(rows, bbox, row, id),
+        }
+    }
+
+    fn knn_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<(f32, ImageId)> {
+        match self {
+            HybridIndex::SpatialFirst(t) => t
+                .knn_visual(rows, region, query, k)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
+            HybridIndex::VisualFirst(v) => v
+                .knn_visual(rows, region, query, k)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
+        }
+    }
+
+    fn range_visual(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        max_dist: f32,
+    ) -> Vec<(f32, ImageId)> {
+        match self {
+            HybridIndex::SpatialFirst(t) => t
+                .range_visual(rows, region, query, max_dist)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
+            HybridIndex::VisualFirst(v) => v
+                .range_visual(rows, region, query, max_dist)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
+        }
+    }
+
+    fn range_visual_sq(
+        &self,
+        rows: &impl RowSource,
+        region: &BBox,
+        query: &[f32],
+        max_dist_sq: f32,
+    ) -> Vec<(f32, ImageId)> {
+        match self {
+            HybridIndex::SpatialFirst(t) => t
+                .range_visual_sq(rows, region, query, max_dist_sq)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
+            HybridIndex::VisualFirst(v) => v
+                .range_visual_sq(rows, region, query, max_dist_sq)
+                .into_iter()
+                .map(|(d, id)| (d, *id))
+                .collect(),
         }
     }
 }
@@ -95,7 +247,10 @@ pub struct QueryEngine {
     config: EngineConfig,
     scene_tree: RTree<ImageId>,
     fov_tree: OrientedRTree<ImageId>,
-    hybrid: Option<VisualRTree<ImageId>>,
+    hybrid: Option<HybridIndex>,
+    /// Flat list of every visually indexed entry `(row, id, doc)` in
+    /// insertion order — the quantized scan's candidate stream.
+    visual_entries: Vec<(u32, ImageId, usize)>,
     lsh: Option<LshIndex>,
     lsh_ids: Vec<ImageId>,
     text: InvertedIndex,
@@ -157,6 +312,7 @@ impl QueryEngine {
             scene_tree: RTree::new(),
             fov_tree: OrientedRTree::new(),
             hybrid: None,
+            visual_entries: Vec::new(),
             lsh: None,
             lsh_ids: Vec::new(),
             text: InvertedIndex::new(),
@@ -225,7 +381,10 @@ impl QueryEngine {
                 let dim = handle.dim as usize;
                 let store = Arc::clone(&self.store);
                 let config_lsh = self.config.lsh;
-                let hybrid = self.hybrid.get_or_insert_with(|| VisualRTree::new(dim));
+                let ordering = self.config.ordering;
+                let hybrid = self
+                    .hybrid
+                    .get_or_insert_with(|| HybridIndex::new(ordering, dim));
                 let lsh = self
                     .lsh
                     .get_or_insert_with(|| LshIndex::new(dim, config_lsh));
@@ -238,6 +397,7 @@ impl QueryEngine {
                     lsh.insert(slab.row(handle.row), handle.row);
                 });
                 self.lsh_ids.push(id);
+                self.visual_entries.push((handle.row, id, doc));
                 self.rows_by_id.insert(id, handle.row);
                 self.visual_dim = Some(dim);
                 self.rows_hi = self.rows_hi.max(handle.row.saturating_add(1));
@@ -272,6 +432,10 @@ impl QueryEngine {
                     indexed: self.config.visual_kind,
                     queried: *kind,
                 })
+            }
+            Query::Spatial(SpatialQuery::Range(region))
+            | Query::Spatial(SpatialQuery::Directed { region, .. }) => {
+                region.validate().map_err(QueryError::Geo)
             }
             Query::And(subs) | Query::Or(subs) => subs.iter().try_for_each(|q| self.validate(q)),
             _ => Ok(()),
@@ -409,11 +573,7 @@ impl QueryEngine {
             return Vec::new();
         };
         let view = self.visual_view();
-        hybrid
-            .range_visual_sq(&*view, &world(), example, max_dist_sq)
-            .into_iter()
-            .map(|(d_sq, id)| (d_sq, *id))
-            .collect()
+        hybrid.range_visual_sq(&*view, &world(), example, max_dist_sq)
     }
 
     /// Disjunction: union of the branches, keeping each image's best
@@ -513,15 +673,19 @@ impl QueryEngine {
             VisualMode::Threshold(max_dist) => hybrid
                 .range_visual(&*view, &region, example, max_dist)
                 .into_iter()
-                .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
+                .map(|(d, id)| QueryResult::new(id, f64::from(d)))
                 .collect(),
             VisualMode::TopK(k) => {
                 if self.config.exact_visual {
-                    hybrid
-                        .knn_visual(&*view, &region, example, k)
-                        .into_iter()
-                        .map(|(d, id)| QueryResult::new(*id, f64::from(d)))
-                        .collect()
+                    if self.use_quantized_scan(&view, &region, example, k) {
+                        self.quantized_topk(&view, &region, example, k)
+                    } else {
+                        hybrid
+                            .knn_visual(&*view, &region, example, k)
+                            .into_iter()
+                            .map(|(d, id)| QueryResult::new(id, f64::from(d)))
+                            .collect()
+                    }
                 } else {
                     // Approximate: LSH candidates, exact re-rank on the
                     // arena rows, then spatial post-filter. Oversampling
@@ -529,7 +693,7 @@ impl QueryEngine {
                     let Some(lsh) = self.lsh.as_ref() else {
                         return Vec::new();
                     };
-                    lsh.knn(&*view, example, k * self.config.lsh.candidate_multiple)
+                    lsh.knn(&*view, example, self.config.lsh.oversampled_fetch(k))
                         .into_iter()
                         .map(|(d, handle)| (d, self.lsh_ids[handle]))
                         .filter(|(_, id)| {
@@ -543,6 +707,107 @@ impl QueryEngine {
                 }
             }
         }
+    }
+
+    /// Whether the exact top-k leaf should run as a quantized flat scan
+    /// instead of the hybrid-index traversal. Both paths return the same
+    /// results; this is purely a cost decision (except `Always`/`Never`,
+    /// which pin the choice for tests and benchmarks).
+    fn use_quantized_scan(&self, view: &SlabView, region: &BBox, example: &[f32], k: usize) -> bool {
+        if self.visual_dim != Some(example.len()) || self.visual_entries.is_empty() {
+            return false;
+        }
+        match self.config.quant.mode {
+            QuantMode::Never => false,
+            QuantMode::Always => view.quant_rows() > 0,
+            QuantMode::Auto => {
+                let quant_rows = view.quant_rows() as u32;
+                if quant_rows == 0 {
+                    return false;
+                }
+                // Chunks freeze in row order, so exactly the rows below
+                // `quant_rows` carry codes.
+                let covered = self
+                    .visual_entries
+                    .iter()
+                    .filter(|&&(row, _, _)| row < quant_rows)
+                    .count();
+                let entries = self.visual_entries.len();
+                plan::quantized_scan_wins(&plan::VisualLeafStats {
+                    entries,
+                    est_candidates: self.spatial_fraction(region) * entries as f64,
+                    dim: example.len(),
+                    quant_coverage: covered as f64 / entries as f64,
+                    rerank_depth: self.config.quant.rerank_depth.max(k),
+                })
+            }
+        }
+    }
+
+    /// Exact top-k via the quantized flat scan: pass 1 ranks every
+    /// region-intersecting entry by asymmetric (f32-query vs u8-code)
+    /// distance, pass 2 re-ranks the survivors on the full `f32` rows.
+    ///
+    /// Exactness: let `t̂` be the k-th smallest approximate distance and
+    /// `eps` the worst decode error any trained chunk certified at
+    /// freeze. For every row, `|d̂ - d| <= eps` in the triangle-inequality
+    /// sense, so any entry whose true distance makes top-k satisfies
+    /// `d̂ <= t̂ + 2·eps`. Re-ranking everything under
+    /// `max(t̂ + 2·eps, d̂_depth)` therefore reproduces the full-precision
+    /// top-k bit-identically at any `rerank_depth >= k` — the configured
+    /// depth only widens the re-rank set beyond the provable minimum.
+    /// Rows not yet quantized (live tail chunk) contribute their exact
+    /// distance in pass 1, which the margin trivially covers.
+    fn quantized_topk(
+        &self,
+        view: &SlabView,
+        region: &BBox,
+        example: &[f32],
+        k: usize,
+    ) -> Vec<QueryResult> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Pass 1: approximate squared distances over the candidate set
+        // (same `scene.intersects(region)` predicate the tree applies).
+        let mut approx: Vec<(f32, u32, ImageId)> = Vec::new();
+        for &(row, id, doc) in &self.visual_entries {
+            if !self.scenes[doc].intersects(region) {
+                continue;
+            }
+            let d_sq = match view.quant_row(row) {
+                Some((codes, params)) => l2_sq_asym(example, codes, params),
+                None => l2_sq(view.row(row), example),
+            };
+            approx.push((d_sq, row, id));
+        }
+        let depth = self.config.quant.rerank_depth.max(k).min(approx.len());
+        // Approximate ranking; id tiebreak keeps the cutoff deterministic.
+        let mut sel = TopK::new(depth);
+        for &(d_sq, _, id) in &approx {
+            sel.push((TotalF32(d_sq), id));
+        }
+        let ranked = sel.into_sorted_vec();
+        let cutoff_sq = match ranked.get(k - 1) {
+            None => f32::INFINITY, // fewer candidates than k: re-rank all
+            Some(&(TotalF32(t_hat_sq), _)) => {
+                let d_depth = ranked.last().map_or(0.0, |&(TotalF32(d), _)| d).sqrt();
+                let cutoff = (t_hat_sq.sqrt() + 2.0 * view.max_quant_eps()).max(d_depth);
+                cutoff * cutoff
+            }
+        };
+        // Pass 2: exact re-rank of every entry inside the error margin.
+        let mut exact = TopK::new(k);
+        for &(d_sq, row, id) in &approx {
+            if d_sq <= cutoff_sq {
+                exact.push((TotalF32(l2_sq(view.row(row), example)), id));
+            }
+        }
+        exact
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(TotalF32(d_sq), id)| QueryResult::new(id, f64::from(d_sq.sqrt())))
+            .collect()
     }
 
     fn execute_textual(&self, text: &str, mode: TextualMode) -> Vec<QueryResult> {

@@ -235,6 +235,10 @@ impl ShardedEngine {
                     queried: *kind,
                 })
             }
+            Query::Spatial(SpatialQuery::Range(region))
+            | Query::Spatial(SpatialQuery::Directed { region, .. }) => {
+                region.validate().map_err(QueryError::Geo)
+            }
             Query::And(subs) | Query::Or(subs) => subs.iter().try_for_each(|q| self.validate(q)),
             _ => Ok(()),
         }

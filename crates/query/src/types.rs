@@ -107,7 +107,7 @@ pub enum Query {
 }
 
 /// Errors a query can be rejected with before execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryError {
     /// A visual leaf asked for a feature family the engine does not
     /// index: the engine builds its visual indexes over exactly one
@@ -119,6 +119,11 @@ pub enum QueryError {
         /// The feature family the query asked for.
         queried: FeatureKind,
     },
+    /// A spatial leaf carried a malformed region — most importantly a
+    /// rectangle wrapping the antimeridian, which the planner would
+    /// otherwise treat as a near-empty box and silently drop matches
+    /// (see [`tvdp_geo::GeoError::AntimeridianSpan`]).
+    Geo(tvdp_geo::GeoError),
 }
 
 impl std::fmt::Display for QueryError {
@@ -128,11 +133,18 @@ impl std::fmt::Display for QueryError {
                 f,
                 "visual kind mismatch: engine indexes {indexed:?}, query uses {queried:?}"
             ),
+            QueryError::Geo(e) => write!(f, "invalid spatial region: {e}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<tvdp_geo::GeoError> for QueryError {
+    fn from(e: tvdp_geo::GeoError) -> Self {
+        QueryError::Geo(e)
+    }
+}
 
 /// A scored result row. Score semantics depend on the query: feature
 /// distance for visual queries (lower = better), metres for nearest

@@ -25,11 +25,11 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use tvdp_geo::{AngularRange, BBox, Fov, GeoPoint, GeoPolygon};
+use tvdp_geo::{AngularRange, BBox, Fov, GeoError, GeoPoint, GeoPolygon};
 use tvdp_kernel::Pool;
 use tvdp_query::{
-    EngineConfig, LinearExecutor, Query, QueryEngine, QueryError, QueryResult, ShardedEngine,
-    SpatialQuery, TemporalField, TextualMode, VisualMode,
+    EngineConfig, LinearExecutor, QuantConfig, QuantMode, Query, QueryEngine, QueryError,
+    QueryResult, ShardedEngine, SpatialQuery, TemporalField, TextualMode, VisualMode,
 };
 use tvdp_storage::{
     AnnotationSource, ClassificationId, ImageMeta, ImageOrigin, UserId, VisualStore,
@@ -458,6 +458,165 @@ fn sharded_batch_bytes_identical_across_shard_counts_and_pool_widths() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Quantized-scan axis: the u8-code scan plus exact re-rank must be
+// indistinguishable — byte for byte — from the pure-f32 tree traversal
+// whenever the re-rank depth is at least k (it is always clamped up to
+// k, so every configuration qualifies).
+// ---------------------------------------------------------------------
+
+/// Engine config pinning the exact top-k path to one scan.
+fn quant_config(mode: QuantMode, rerank_depth: usize) -> EngineConfig {
+    EngineConfig {
+        quant: QuantConfig { mode, rerank_depth },
+        ..EngineConfig::default()
+    }
+}
+
+/// A corpus large enough that the feature arena freezes multiple chunks
+/// (1024 rows each), so real trained codes back the quantized scan.
+const QUANT_CORPUS: usize = 2_600;
+
+/// Visual and spatial+visual top-k trees over the clustered corpus.
+/// Features are continuous random draws, so distances are tie-free and
+/// result order — not just the result set — must agree.
+fn quant_workload(rng: &mut StdRng) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for k in [1usize, 10, 40] {
+        queries.push(Query::Visual {
+            example: random_example(rng),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(k),
+        });
+        let lat = 34.0 + rng.gen_range(0.0..0.03);
+        let lon = -118.3 + rng.gen_range(0.0..0.03);
+        queries.push(Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(
+                lat,
+                lon,
+                lat + rng.gen_range(0.01..0.03),
+                lon + rng.gen_range(0.01..0.03),
+            ))),
+            Query::Visual {
+                example: random_example(rng),
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(k),
+            },
+        ]));
+    }
+    queries
+}
+
+#[test]
+fn quantized_scan_is_bit_identical_to_exact_tree() {
+    let (store, _) = build_store(QUANT_CORPUS, 77);
+    let exact = QueryEngine::build(Arc::clone(&store), quant_config(QuantMode::Never, 64));
+    let mut rng = StdRng::seed_from_u64(909);
+    let queries = quant_workload(&mut rng);
+    // Depth 1 exercises the provable minimum (clamped up to k); depth
+    // 160 exercises a re-rank set far wider than any queried k.
+    for rerank_depth in [1usize, 160] {
+        let quantized = QueryEngine::build(
+            Arc::clone(&store),
+            quant_config(QuantMode::Always, rerank_depth),
+        );
+        for q in &queries {
+            let reference = exact.execute(q);
+            let scanned = quantized.execute(q);
+            assert!(!reference.is_empty());
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{scanned:?}"),
+                "quantized scan (depth {rerank_depth}) diverged on {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_parity_holds_across_pool_widths_and_shard_counts() {
+    let (store, cls) = build_store(QUANT_CORPUS, 78);
+    let mut rng = StdRng::seed_from_u64(910);
+    let queries = quant_workload(&mut rng);
+    // Seal cap large enough that shard stores still freeze arena chunks
+    // per segment batch yet every shard carries several sealed segments.
+    let mut reference: Option<String> = None;
+    for shards in [1usize, 2] {
+        for mode in [QuantMode::Never, QuantMode::Always] {
+            let engine = ShardedEngine::with_seal_cap(
+                shard_stores(&store, cls, shards),
+                quant_config(mode, 64),
+                512,
+            );
+            for threads in [1usize, 8] {
+                let out = engine
+                    .try_execute_batch_with_pool(&queries, &Pool::new(threads))
+                    .expect("cnn-only trees");
+                let bytes = format!("{out:?}");
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(want) => assert_eq!(
+                        &bytes, want,
+                        "{shards} shards x {threads} threads x {mode:?} diverged"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spatial-region validation: boxes that wrap the antimeridian (or carry
+// out-of-range latitudes) must be rejected with a typed error, not
+// silently matched against nothing.
+// ---------------------------------------------------------------------
+
+/// Struct-literal construction bypasses the `BBox::new` assertions the
+/// same way an untrusted deserialized query would.
+fn wrapped_bbox() -> BBox {
+    BBox {
+        min_lat: 10.0,
+        min_lon: 170.0,
+        max_lat: 20.0,
+        max_lon: -170.0,
+    }
+}
+
+#[test]
+fn engine_rejects_antimeridian_wrapping_region() {
+    let (store, _) = build_store(40, 6_060);
+    let engine = QueryEngine::build(store, Default::default());
+    let q = Query::Spatial(SpatialQuery::Range(wrapped_bbox()));
+    assert_eq!(
+        engine.try_execute(&q),
+        Err(QueryError::Geo(GeoError::AntimeridianSpan {
+            min_lon: 170.0,
+            max_lon: -170.0,
+        }))
+    );
+}
+
+#[test]
+fn sharded_engine_rejects_antimeridian_wrapping_region() {
+    let (store, cls) = build_store(40, 6_061);
+    let engine = ShardedEngine::with_seal_cap(
+        shard_stores(&store, cls, 2),
+        EngineConfig::default(),
+        TEST_SEAL_CAP,
+    );
+    let q = Query::Spatial(SpatialQuery::Directed {
+        region: wrapped_bbox(),
+        directions: AngularRange::centered(90.0, 45.0),
+    });
+    assert_eq!(
+        engine.try_execute(&q),
+        Err(QueryError::Geo(GeoError::AntimeridianSpan {
+            min_lon: 170.0,
+            max_lon: -170.0,
+        }))
+    );
 }
 
 #[test]

@@ -74,6 +74,9 @@ pub enum DurableError {
     Rejected(String),
     /// WAL replay could not reproduce the journaled state.
     Replay(String),
+    /// A cold-chunk spill file failed to write or read back; carries
+    /// the offending path and CRC context.
+    Spill(crate::spill::SpillError),
 }
 
 impl std::fmt::Display for DurableError {
@@ -85,6 +88,7 @@ impl std::fmt::Display for DurableError {
             DurableError::Storage(e) => write!(f, "{e}"),
             DurableError::Rejected(m) => write!(f, "rejected: {m}"),
             DurableError::Replay(m) => write!(f, "wal replay failed: {m}"),
+            DurableError::Spill(e) => write!(f, "spill failed: {e}"),
         }
     }
 }
@@ -118,6 +122,12 @@ impl From<WalError> for DurableError {
 impl From<StorageError> for DurableError {
     fn from(e: StorageError) -> Self {
         DurableError::Storage(e)
+    }
+}
+
+impl From<crate::spill::SpillError> for DurableError {
+    fn from(e: crate::spill::SpillError) -> Self {
+        DurableError::Spill(e)
     }
 }
 
@@ -1088,8 +1098,8 @@ impl DurableStore {
         let dir = self.dir.clone();
         let stats = Arc::clone(&self.spill_stats);
         self.store
-            .spill_cold_chunks(keep_hot, |kind, dim, chunk, data| {
-                spill::write_spill(&dir, kind, dim, chunk, data, &stats)?;
+            .spill_cold_chunks(keep_hot, |kind, dim, chunk, data, quant| {
+                spill::write_spill(&dir, kind, dim, chunk, data, Some(quant), &stats)?;
                 Ok::<_, DurableError>(Arc::new(spill::DiskChunkLoader::new(
                     dir.clone(),
                     kind,

@@ -523,10 +523,15 @@ fn spill_file_killed_at_every_offset_never_reads_back_wrong() {
     std::fs::create_dir_all(&dir).unwrap();
     let data: Vec<f32> = (0..64).map(|i| (i as f32) * 0.5 - 7.0).collect();
     let stats = SpillStats::default();
-    write_spill(&dir, FeatureKind::Cnn, 2, 0, &data, &stats).unwrap();
+    // Quantized (v2) layout: codes ride in the same CRC frame, so the
+    // torture covers the larger format.
+    let quant = tvdp_kernel::quant::QuantChunk::encode(&data, 2);
+    write_spill(&dir, FeatureKind::Cnn, 2, 0, &data, Some(&quant), &stats).unwrap();
     let path = spill_path(&dir, FeatureKind::Cnn, 2, 0);
     let full = std::fs::read(&path).unwrap();
-    assert_eq!(read_spill(&path, data.len()).unwrap(), data);
+    let payload = read_spill(&path, data.len()).unwrap();
+    assert_eq!(payload.floats, data);
+    assert_eq!(payload.quant.unwrap().codes(), quant.codes());
 
     let torn = dir.join("torn.bin");
     for cut in 0..full.len() {
