@@ -17,11 +17,13 @@ use std::sync::Arc;
 
 use tvdp_core::models::ModelInterface;
 use tvdp_core::platform::Algorithm;
-use tvdp_core::{IngestRequest, PlatformError, Tvdp};
+use tvdp_core::{
+    AdmissionConfig, AdmissionController, IngestRequest, PlatformError, RequestClass, Tvdp,
+};
 use tvdp_edge::{DeviceClass, DispatchConstraints};
 use tvdp_geo::{AngularRange, Fov, GeoPoint, GeoPolygon};
 use tvdp_ml::SerializableModel;
-use tvdp_query::{Query, SpatialQuery, TemporalField, TextualMode, VisualMode};
+use tvdp_query::{Query, QueryError, SpatialQuery, TemporalField, TextualMode, VisualMode};
 use tvdp_storage::codec::{self, Value};
 use tvdp_storage::{ClassificationId, ImageId, ModelId, UserId};
 use tvdp_vision::Image;
@@ -44,11 +46,17 @@ pub struct ApiRequest {
     /// are deduplicated server-side and answered with the original
     /// response, byte for byte.
     pub idempotency_key: Option<String>,
+    /// Optional absolute virtual-clock deadline. When set on
+    /// `data/search`, the sharded engine charges a modeled cost clock
+    /// as it walks scatter units and abandons the query with status 504
+    /// the moment the clock passes the deadline — same decision on
+    /// every pool width.
+    pub deadline_ms: Option<i64>,
 }
 
 impl ApiRequest {
     /// Convenience constructor for a request without an idempotency
-    /// key.
+    /// key or deadline.
     pub fn new(
         key: impl Into<String>,
         endpoint: impl Into<String>,
@@ -59,7 +67,14 @@ impl ApiRequest {
             endpoint: endpoint.into(),
             body: body.into(),
             idempotency_key: None,
+            deadline_ms: None,
         }
+    }
+
+    /// Attaches an absolute virtual-clock deadline.
+    pub fn with_deadline(mut self, deadline_ms: i64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 }
 
@@ -111,7 +126,30 @@ fn status_for(e: &PlatformError) -> u16 {
         | PlatformError::UnknownModel(_)
         | PlatformError::UnknownScheme(_)
         | PlatformError::UnknownImage(_) => 404,
+        // Shed by admission control: the server is fine, just full.
+        PlatformError::Overloaded { .. } => 503,
+        // The durable layer is degraded (e.g. read-only after a write
+        // fault); the request was well-formed but the service cannot
+        // take it right now.
+        PlatformError::Durable(_) => 503,
+        // The modeled cost clock passed the caller's deadline.
+        PlatformError::Query(QueryError::DeadlineExceeded { .. }) => 504,
         _ => 400,
+    }
+}
+
+/// Renders a platform error as the response body, attaching the
+/// machine-readable retry hint for shed requests so clients back off by
+/// exactly the modeled backlog instead of guessing.
+fn error_response(e: &PlatformError) -> ApiResponse {
+    let status = status_for(e);
+    let mut fields = vec![("error", Value::str(e.to_string()))];
+    if let PlatformError::Overloaded { retry_after_ms } = e {
+        fields.push(("retry_after_ms", Value::num(*retry_after_ms)));
+    }
+    ApiResponse {
+        status,
+        body: obj(fields),
     }
 }
 
@@ -354,20 +392,58 @@ pub struct ApiServer {
     platform: Arc<Tvdp>,
     keys: ApiKeyRegistry,
     limiter: RateLimiter,
+    admission: Option<AdmissionController>,
 }
 
 impl ApiServer {
-    /// Wraps a platform with the default rate limit.
+    /// Wraps a platform with the default rate limit and no admission
+    /// control.
     pub fn new(platform: Arc<Tvdp>) -> Self {
         Self::with_rate_limit(platform, RateLimitConfig::default())
     }
 
-    /// Wraps a platform with an explicit rate limit.
+    /// Wraps a platform with an explicit rate limit and no admission
+    /// control.
     pub fn with_rate_limit(platform: Arc<Tvdp>, limit: RateLimitConfig) -> Self {
         Self {
             platform,
             keys: ApiKeyRegistry::new(),
             limiter: RateLimiter::new(limit),
+            admission: None,
+        }
+    }
+
+    /// Wraps a platform with admission control: every priced endpoint
+    /// (ingest, search, dispatch) asks the controller before doing
+    /// work, and shed requests are answered 503 with `retry_after_ms`.
+    pub fn with_admission(
+        platform: Arc<Tvdp>,
+        limit: RateLimitConfig,
+        admission: AdmissionConfig,
+    ) -> Self {
+        Self {
+            platform,
+            keys: ApiKeyRegistry::new(),
+            limiter: RateLimiter::new(limit),
+            admission: Some(AdmissionController::new(admission)),
+        }
+    }
+
+    /// The admission controller, when configured.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// Asks the admission controller (when configured) to price and
+    /// admit `cost_units` of `class` work. `Err` carries the finished
+    /// 503 response.
+    fn admit(&self, class: RequestClass, cost_units: u64, now_ms: i64) -> Result<(), ApiResponse> {
+        let Some(ctl) = &self.admission else {
+            return Ok(());
+        };
+        match ctl.admit(class, cost_units, now_ms) {
+            Ok(_ticket) => Ok(()),
+            Err(e) => Err(error_response(&e)),
         }
     }
 
@@ -415,9 +491,9 @@ impl ApiServer {
             }
         };
         match request.endpoint.as_str() {
-            "data/add" => self.add_data(user, &body, request.idempotency_key.as_deref()),
-            "data/add_batch" => self.add_data_batch(user, &body),
-            "data/search" => self.search(&body),
+            "data/add" => self.add_data(user, &body, request.idempotency_key.as_deref(), now_ms),
+            "data/add_batch" => self.add_data_batch(user, &body, now_ms),
+            "data/search" => self.search(&body, now_ms, request.deadline_ms),
             "data/download" => self.download(&body),
             "features/extract" => self.extract(&body),
             "models/apply" => self.apply_model(&body),
@@ -426,7 +502,8 @@ impl ApiServer {
             "models/upload" => self.upload_model(user, &body),
             "schemes/register" => self.register_scheme(&body),
             "annotations/add" => self.annotate(user, &body),
-            "edge/dispatch" => self.dispatch(&body),
+            "edge/dispatch" => self.dispatch(&body, now_ms),
+            "health" => self.health(now_ms),
             "stats" => {
                 let s = self.platform.stats();
                 ApiResponse::ok(obj(vec![
@@ -441,11 +518,25 @@ impl ApiServer {
         }
     }
 
-    fn add_data(&self, user: UserId, body: &Value, idempotency_key: Option<&str>) -> ApiResponse {
+    /// Modeled admission cost of one upload, in work units. Roughly
+    /// the feature-extraction plus index-insert work relative to one
+    /// scanned query row.
+    const INGEST_UNITS_PER_IMAGE: u64 = 8;
+
+    fn add_data(
+        &self,
+        user: UserId,
+        body: &Value,
+        idempotency_key: Option<&str>,
+        now_ms: i64,
+    ) -> ApiResponse {
         let (image, request) = match decode_upload(body) {
             Ok(u) => u,
             Err(e) => return ApiResponse::err(400, e),
         };
+        if let Err(shed) = self.admit(RequestClass::Ingest, Self::INGEST_UNITS_PER_IMAGE, now_ms) {
+            return shed;
+        }
         let outcome = match idempotency_key {
             Some(key) => self
                 .platform
@@ -455,7 +546,7 @@ impl ApiServer {
         };
         match outcome {
             Ok(id) => ApiResponse::ok(obj(vec![("image", Value::num(id.raw()))])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -465,7 +556,7 @@ impl ApiServer {
     /// either every element has one (the batch is journaled as
     /// composite idempotent records) or none does. A shard's whole
     /// group rides one WAL fsync instead of one per op.
-    fn add_data_batch(&self, user: UserId, body: &Value) -> ApiResponse {
+    fn add_data_batch(&self, user: UserId, body: &Value, now_ms: i64) -> ApiResponse {
         let uploads = match codec::arr_field(body, "uploads") {
             Ok(items) => items,
             Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
@@ -498,6 +589,10 @@ impl ApiServer {
                 "either every upload carries an idempotency_key or none does",
             );
         }
+        let batch_units = Self::INGEST_UNITS_PER_IMAGE * keyed.len().max(1) as u64;
+        if let Err(shed) = self.admit(RequestClass::Ingest, batch_units, now_ms) {
+            return shed;
+        }
         let threads = keyed.len().clamp(1, 8);
         let outcome = if keys_seen == 0 {
             self.platform
@@ -529,18 +624,28 @@ impl ApiServer {
                     Value::Arr(rows.iter().map(|&(_, r)| Value::Bool(r)).collect()),
                 ),
             ])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
-    fn search(&self, body: &Value) -> ApiResponse {
+    fn search(&self, body: &Value, now_ms: i64, deadline_ms: Option<i64>) -> ApiResponse {
         let query = match codec::field(body, "query").and_then(decode_query) {
             Ok(q) => q,
             Err(e) => return ApiResponse::err(400, format!("bad request body: {e}")),
         };
-        let results = match self.platform.search(&query) {
+        // Priced from the planner's cardinality estimates: an expensive
+        // query costs more admission budget than a point lookup.
+        let cost = self.platform.estimate_query_cost(&query);
+        if let Err(shed) = self.admit(RequestClass::Query, cost, now_ms) {
+            return shed;
+        }
+        let outcome = match deadline_ms {
+            Some(dl) => self.platform.search_with_deadline(&query, now_ms, dl),
+            None => self.platform.search(&query),
+        };
+        let results = match outcome {
             Ok(r) => r,
-            Err(e) => return ApiResponse::err(status_for(&e), e),
+            Err(e) => return error_response(&e),
         };
         let rows: Vec<Value> = results
             .iter()
@@ -656,7 +761,7 @@ impl ApiServer {
                     .collect();
                 ApiResponse::ok(obj(vec![("predictions", Value::Arr(rows))]))
             }
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -735,7 +840,7 @@ impl ApiServer {
         };
         match self.platform.upload_model(user, name, interface, model) {
             Ok(id) => ApiResponse::ok(obj(vec![("model", Value::num(id.raw()))])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -759,7 +864,7 @@ impl ApiServer {
             algorithm,
         ) {
             Ok(id) => ApiResponse::ok(obj(vec![("model", Value::num(id.raw()))])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -775,7 +880,7 @@ impl ApiServer {
         };
         match self.platform.register_scheme(name, labels) {
             Ok(id) => ApiResponse::ok(obj(vec![("scheme", Value::num(id.raw()))])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
@@ -795,11 +900,14 @@ impl ApiServer {
             .annotate_human(user, ImageId(image), ClassificationId(scheme), label)
         {
             Ok(id) => ApiResponse::ok(obj(vec![("annotation", Value::num(id.raw()))])),
-            Err(e) => ApiResponse::err(status_for(&e), e),
+            Err(e) => error_response(&e),
         }
     }
 
-    fn dispatch(&self, body: &Value) -> ApiResponse {
+    fn dispatch(&self, body: &Value, now_ms: i64) -> ApiResponse {
+        if let Err(shed) = self.admit(RequestClass::Dispatch, 1, now_ms) {
+            return shed;
+        }
         let parsed = (|| -> Result<_, ParseError> {
             let device = codec::str_field(body, "device")?.to_string();
             let max_latency_ms: f64 = codec::num_field(body, "max_latency_ms")?;
@@ -845,5 +953,51 @@ impl ApiServer {
             ])),
             None => ApiResponse::err(409, "no model satisfies the constraints"),
         }
+    }
+
+    /// `health`: the platform's durability state machine plus (when
+    /// admission control is configured) the shed counters and modeled
+    /// backlog. Always status 200 — a degraded platform still answers
+    /// health probes; the body says how bad it is.
+    fn health(&self, now_ms: i64) -> ApiResponse {
+        let h = self.platform.health();
+        let mut fields = vec![
+            ("state", Value::str(h.state.as_str())),
+            ("durable", Value::Bool(h.durable)),
+            ("shards", Value::num(h.shards)),
+            ("write_faults", Value::num(h.write_faults)),
+            (
+                "last_error",
+                match h.last_error {
+                    Some(e) => Value::str(e),
+                    None => Value::Null,
+                },
+            ),
+        ];
+        if let Some(ctl) = &self.admission {
+            let stats = ctl.stats();
+            let per_class: Vec<Value> = tvdp_core::AdmissionStats::classes()
+                .iter()
+                .map(|&c| {
+                    let s = stats.class(c);
+                    obj(vec![
+                        ("class", Value::str(c.as_str())),
+                        ("admitted", Value::num(s.admitted)),
+                        ("shed", Value::num(s.shed)),
+                        ("admitted_units", Value::num(s.admitted_units)),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "admission",
+                obj(vec![
+                    ("backlog_ms", Value::num(ctl.backlog_ms(now_ms))),
+                    ("admitted", Value::num(stats.total.admitted)),
+                    ("shed", Value::num(stats.total.shed)),
+                    ("per_class", Value::Arr(per_class)),
+                ]),
+            ));
+        }
+        ApiResponse::ok(obj(fields))
     }
 }

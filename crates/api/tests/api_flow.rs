@@ -250,6 +250,7 @@ fn idempotent_ingest_replays_the_original_response() {
         endpoint: "data/add".into(),
         body: add_body(0, 3, 34.02),
         idempotency_key: Some("edge7-s3".into()),
+        deadline_ms: None,
     };
     let first = server.handle(&request, 0);
     assert!(first.is_ok(), "{first:?}");

@@ -1,0 +1,357 @@
+//! Overload and degraded-mode behavior of the API surface.
+//!
+//! Three serving properties under stress, all deterministic on the
+//! virtual clock:
+//!
+//! * malformed queries — including hybrid `And` trees with a bad leg —
+//!   come back as structured 400 bodies, never panics;
+//! * an admission-controlled server sheds with 503 + `retry_after_ms`
+//!   once the modeled backlog passes a class's delay bound, and the
+//!   hint is honest: retrying after exactly that long is admitted;
+//! * a WAL write fault during live traffic flips the platform
+//!   read-only (mutations 503, reads still 200), the `health` endpoint
+//!   narrates ReadOnly → Degraded → Ok, and clearing the fault heals
+//!   the platform without a restart.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tvdp_api::{ApiRequest, ApiServer, RateLimitConfig};
+use tvdp_core::{AdmissionConfig, PlatformConfig, Role, Tvdp};
+use tvdp_storage::{codec, WriteFaultPlan};
+use tvdp_vision::{CnnConfig, Image};
+
+fn fast_config() -> PlatformConfig {
+    PlatformConfig {
+        cnn: CnnConfig {
+            input_size: 16,
+            stage_channels: vec![4, 8],
+            pool_grid: 2,
+            seed: 1,
+        },
+        min_training_samples: 6,
+        ..Default::default()
+    }
+}
+
+fn open_limit() -> RateLimitConfig {
+    RateLimitConfig {
+        burst: 100_000,
+        per_second: 100_000.0,
+        ..Default::default()
+    }
+}
+
+fn scene(seed: usize) -> Image {
+    Image::from_fn(24, 24, |x, y| {
+        let v = ((x * 3 + y * 5 + seed) % 17) as u8 * 3;
+        [200, v, v]
+    })
+}
+
+fn add_body(seed: usize) -> String {
+    let img = scene(seed);
+    format!(
+        concat!(
+            r#"{{"width":{},"height":{},"pixels":"{}","lat":34.05,"lon":-118.25,"#,
+            r#""captured_at":{},"uploaded_at":{},"keywords":["street"]}}"#
+        ),
+        img.width(),
+        img.height(),
+        codec::hex_encode(img.raw()),
+        1000 + seed,
+        1100 + seed,
+    )
+}
+
+fn call_at(
+    server: &ApiServer,
+    key: &str,
+    endpoint: &str,
+    body: &str,
+    now_ms: i64,
+) -> tvdp_api::ApiResponse {
+    server.handle(&ApiRequest::new(key, endpoint, body), now_ms)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tvdp-api-resilience-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+// ---------------------------------------------------------------------
+// Malformed queries: structured 400s, never panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_hybrid_query_is_a_structured_400_not_a_panic() {
+    let platform = Arc::new(Tvdp::new(fast_config()));
+    let user = platform.register_user("analyst", Role::Researcher);
+    let server = ApiServer::with_rate_limit(Arc::clone(&platform), open_limit());
+    let key = server.issue_key(user);
+
+    // Seed one image so the visual index has a feature family to
+    // mismatch against.
+    let r = call_at(&server, &key, "data/add", &add_body(0), 0);
+    assert!(r.is_ok(), "{r:?}");
+
+    // A hybrid query whose visual leg carries a wrong-dimension
+    // example: the structured try_execute path reports it as a 400
+    // (regression: the panicking execute path would abort the server).
+    let bad_hybrid = concat!(
+        r#"{"query":{"And":["#,
+        r#"{"Spatial":{"Range":{"min_lat":33.0,"min_lon":-119.0,"max_lat":35.0,"max_lon":-118.0}}},"#,
+        r#"{"Visual":{"example":[0.25,0.5],"kind":"ColorHistogram","mode":{"TopK":3}}}"#,
+        r#"]}}"#,
+    );
+    let r = call_at(&server, &key, "data/search", bad_hybrid, 0);
+    assert_eq!(r.status, 400, "{r:?}");
+    let msg = r.body["error"].as_str().unwrap();
+    assert!(msg.contains("dimension") || msg.contains("query"), "{msg}");
+
+    // Structurally broken bodies and unknown query heads also land on
+    // 400 with an explanatory error.
+    for body in [
+        r#"{"query":{"And":"not-an-array"}}"#,
+        r#"{"query":{"Mystery":{}}}"#,
+        r#"{"query"#,
+    ] {
+        let r = call_at(&server, &key, "data/search", body, 0);
+        assert_eq!(r.status, 400, "{body} -> {r:?}");
+        assert!(!r.body["error"].is_null(), "{body} -> {r:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control: 503 + honest retry_after_ms, dispatch sheds first.
+// ---------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_503_with_honest_retry_hint() {
+    let platform = Arc::new(Tvdp::new(fast_config()));
+    let user = platform.register_user("city", Role::Government);
+    // 1k units/s == 1 unit/virtual-ms: a handful of uploads saturates.
+    let server = ApiServer::with_admission(
+        Arc::clone(&platform),
+        open_limit(),
+        AdmissionConfig {
+            capacity_units_per_sec: 1_000,
+            dispatch_max_delay_ms: 4,
+            query_max_delay_ms: 20,
+            ingest_max_delay_ms: 40,
+        },
+    );
+    let key = server.issue_key(user);
+
+    // Uploads cost 8 units == 8 ms of backlog each; the ingest bound
+    // (40 ms) admits the first six and sheds the seventh at delay 48.
+    let mut shed_response = None;
+    for i in 0..7 {
+        let r = call_at(&server, &key, "data/add", &add_body(i), 0);
+        if i < 6 {
+            assert!(r.is_ok(), "upload {i}: {r:?}");
+        } else {
+            shed_response = Some(r);
+        }
+    }
+    let shed = shed_response.unwrap();
+    assert_eq!(shed.status, 503, "{shed:?}");
+    assert!(shed.body["error"].as_str().unwrap().contains("overloaded"));
+    let retry_after = shed.body["retry_after_ms"].as_i64().unwrap();
+    assert!(retry_after > 0);
+
+    let stats = server.admission().unwrap().stats();
+    assert_eq!(stats.total.admitted, 6);
+    assert_eq!(stats.total.shed, 1);
+    assert_eq!(stats.class(tvdp_core::RequestClass::Ingest).shed, 1);
+
+    // The retry hint is honest: replaying the shed upload exactly
+    // retry_after_ms later is admitted.
+    let r = call_at(&server, &key, "data/add", &add_body(6), retry_after);
+    assert!(r.is_ok(), "{r:?}");
+
+    // Priority shedding: pick a probe time where the remaining backlog
+    // is inside the query bound (20 ms) but past the dispatch bound
+    // (4 ms) — the interactive query is served while the cheap-to-retry
+    // dispatch is shed.
+    let backlog = server.admission().unwrap().backlog_ms(0);
+    let probe_at = backlog - 10;
+    let q = call_at(
+        &server,
+        &key,
+        "data/search",
+        r#"{"query":{"Textual":{"text":"street","mode":"All"}}}"#,
+        probe_at,
+    );
+    assert!(q.is_ok(), "{q:?}");
+    let d = call_at(
+        &server,
+        &key,
+        "edge/dispatch",
+        r#"{"device":"desktop","max_latency_ms":1000.0}"#,
+        probe_at,
+    );
+    assert_eq!(d.status, 503, "{d:?}");
+}
+
+#[test]
+fn health_endpoint_reports_state_and_admission_counters() {
+    let platform = Arc::new(Tvdp::new(fast_config()));
+    let user = platform.register_user("ops", Role::Government);
+    let server = ApiServer::with_admission(
+        Arc::clone(&platform),
+        open_limit(),
+        AdmissionConfig::default(),
+    );
+    let key = server.issue_key(user);
+
+    let r = call_at(&server, &key, "data/add", &add_body(0), 0);
+    assert!(r.is_ok(), "{r:?}");
+
+    let h = call_at(&server, &key, "health", "", 0);
+    assert!(h.is_ok(), "{h:?}");
+    assert_eq!(h.body["state"].as_str().unwrap(), "ok");
+    assert!(!h.body["durable"].as_bool().unwrap());
+    assert!(h.body["last_error"].is_null());
+    assert_eq!(h.body["write_faults"].as_u64().unwrap(), 0);
+    let adm = &h.body["admission"];
+    assert_eq!(adm["admitted"].as_u64().unwrap(), 1);
+    assert_eq!(adm["shed"].as_u64().unwrap(), 0);
+    // Per-class rows render in shed-first order with stable names.
+    let classes: Vec<&str> = (0..3)
+        .map(|i| adm["per_class"][i]["class"].as_str().unwrap())
+        .collect();
+    assert_eq!(classes, ["dispatch", "query", "ingest"]);
+}
+
+// ---------------------------------------------------------------------
+// Degraded mode: WAL fault under live traffic, observed via the API.
+// ---------------------------------------------------------------------
+
+#[test]
+fn write_fault_flips_read_only_and_heals_through_the_api() {
+    let dir = temp_dir("degrade");
+    let (platform, _report) = Tvdp::open(&dir, fast_config()).unwrap();
+    let platform = Arc::new(platform);
+    let user = platform.register_user("field", Role::Researcher);
+    let server = ApiServer::with_rate_limit(Arc::clone(&platform), open_limit());
+    let key = server.issue_key(user);
+
+    // Nominal traffic: uploads land, health is Ok.
+    for i in 0..3 {
+        let r = call_at(&server, &key, "data/add", &add_body(i), i as i64);
+        assert!(r.is_ok(), "{r:?}");
+    }
+    let h = call_at(&server, &key, "health", "", 10);
+    assert_eq!(h.body["state"].as_str().unwrap(), "ok");
+    assert!(h.body["durable"].as_bool().unwrap());
+
+    // The volume fills mid-append: the next WAL write takes a 3-byte
+    // torn prefix and fails with ENOSPC, then stays full.
+    let plan = Arc::new(WriteFaultPlan::new());
+    platform
+        .set_write_fault_plan(Some(Arc::clone(&plan)))
+        .unwrap();
+    plan.arm_enospc(3);
+
+    // The faulted upload is refused with 503 — not a panic, not a
+    // silent drop.
+    let refused = call_at(&server, &key, "data/add", &add_body(10), 20);
+    assert_eq!(refused.status, 503, "{refused:?}");
+
+    // The store is now read-only: mutations 503, queries still 200.
+    let still_refused = call_at(&server, &key, "data/add", &add_body(11), 21);
+    assert_eq!(still_refused.status, 503, "{still_refused:?}");
+    assert!(still_refused.body["error"]
+        .as_str()
+        .unwrap()
+        .contains("read-only"));
+    let q = call_at(
+        &server,
+        &key,
+        "data/search",
+        r#"{"query":{"Textual":{"text":"street","mode":"All"}}}"#,
+        22,
+    );
+    assert!(q.is_ok(), "{q:?}");
+    assert_eq!(q.body["count"].as_u64().unwrap(), 3);
+    let h = call_at(&server, &key, "health", "", 23);
+    assert_eq!(h.body["state"].as_str().unwrap(), "read_only");
+    assert!(h.body["write_faults"].as_u64().unwrap() >= 1);
+    assert!(!h.body["last_error"].is_null());
+
+    // The disk frees up: the next mutation repairs the torn tail and
+    // succeeds. A scheme registration journals exactly one commit, so
+    // the intermediate Degraded state (healing but not yet proven) is
+    // observable through the health endpoint before the next write
+    // returns the platform to Ok. No restart involved.
+    plan.clear();
+    let healed = call_at(
+        &server,
+        &key,
+        "schemes/register",
+        r#"{"name":"binary","labels":["clean","dirty"]}"#,
+        30,
+    );
+    assert!(healed.is_ok(), "{healed:?}");
+    let h = call_at(&server, &key, "health", "", 31);
+    assert_eq!(h.body["state"].as_str().unwrap(), "degraded");
+    // An upload journals several commits; the first one proves the
+    // write path and the platform is Ok again by the time it returns.
+    let confirmed = call_at(&server, &key, "data/add", &add_body(13), 32);
+    assert!(confirmed.is_ok(), "{confirmed:?}");
+    let h = call_at(&server, &key, "health", "", 33);
+    assert_eq!(h.body["state"].as_str().unwrap(), "ok");
+    assert!(h.body["last_error"].is_null());
+
+    // Everything acked survived; nothing shed was resurrected. A
+    // reopen replays to exactly the four acked images.
+    let q = call_at(
+        &server,
+        &key,
+        "data/search",
+        r#"{"query":{"Textual":{"text":"street","mode":"All"}}}"#,
+        40,
+    );
+    assert_eq!(q.body["count"].as_u64().unwrap(), 4);
+    drop(server);
+    drop(platform);
+    let (reopened, _r) = Tvdp::open(&dir, fast_config()).unwrap();
+    assert_eq!(reopened.stats().images, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Deadlines: a tight virtual-clock budget surfaces as 504.
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_surfaces_as_504() {
+    let platform = Arc::new(Tvdp::new(fast_config()));
+    let user = platform.register_user("analyst", Role::Researcher);
+    let server = ApiServer::with_rate_limit(Arc::clone(&platform), open_limit());
+    let key = server.issue_key(user);
+    let r = call_at(&server, &key, "data/add", &add_body(0), 0);
+    assert!(r.is_ok(), "{r:?}");
+
+    let request = ApiRequest::new(
+        &key,
+        "data/search",
+        r#"{"query":{"Textual":{"text":"street","mode":"All"}}}"#,
+    )
+    .with_deadline(5);
+    // Plenty of budget: identical results to an undeadlined search.
+    let ok = server.handle(&request, 0);
+    assert!(ok.is_ok(), "{ok:?}");
+    assert_eq!(ok.body["count"].as_u64().unwrap(), 1);
+    // Already expired on arrival: 504 with the modeled clock in the
+    // error, and the decision does not depend on pool width.
+    let expired = server.handle(&request, 10);
+    assert_eq!(expired.status, 504, "{expired:?}");
+    assert!(expired.body["error"]
+        .as_str()
+        .unwrap()
+        .contains("deadline exceeded"));
+}

@@ -215,7 +215,11 @@ fn hybrid_topk(rng: &mut StdRng) -> Query {
 }
 
 /// An engine whose exact top-k path is pinned to one scan.
-fn engine_with_quant(store: &Arc<VisualStore>, mode: QuantMode, rerank_depth: usize) -> QueryEngine {
+fn engine_with_quant(
+    store: &Arc<VisualStore>,
+    mode: QuantMode,
+    rerank_depth: usize,
+) -> QueryEngine {
     QueryEngine::build(
         Arc::clone(store),
         EngineConfig {
@@ -538,10 +542,7 @@ fn main() {
         if topk >= 2.0 { "met" } else { "NOT met" }
     );
     // Default-depth point of the curve (rerank_depth 64).
-    let default_point = curve
-        .iter()
-        .find(|p| p.depth == 64)
-        .unwrap_or(&curve[0]);
+    let default_point = curve.iter().find(|p| p.depth == 64).unwrap_or(&curve[0]);
     println!(
         "    \"recall_floor_at_default_depth\": \"{}: recall@10 = {:.3} at rerank depth {} (floor 0.95; the margin re-rank makes the scan exact)\",",
         if default_point.recall >= 0.95 {

@@ -1,0 +1,159 @@
+//! Admission control: a shed request is never acked.
+//!
+//! The production controller (`tvdp-core`'s `AdmissionController`)
+//! prices a request, compares the modeled queueing delay against the
+//! class bound, and either admits (advancing the virtual-time backlog)
+//! or sheds with `Overloaded` — all inside one critical section, and
+//! the caller does the work *only* on an admitted ticket. The protocol
+//! invariant is `acked ⊆ admitted` at every instant: no side effect of
+//! a request the controller refused may ever become observable.
+//!
+//! The model is a down-scaled transcription: a one-unit-per-ms server
+//! whose bound admits exactly one of two concurrent 30-unit requests
+//! (the second would queue 30 ms against a 20 ms bound). Two workers
+//! race their requests past the gate while an observer snapshots
+//! `acked` and then `admitted` (sound: `admitted` only grows, so a
+//! request acked at the first read but missing from the later admitted
+//! read was really acked without admission).
+//!
+//! The mutant acks optimistically *before* consulting the controller
+//! and rolls the ack back when the verdict is shed — the
+//! ack-after-shed window a bounded exploration catches within two
+//! preemptions.
+
+use crate::shim;
+use crate::{finally, spawn};
+
+/// Request ids the two workers submit.
+const REQS: [u32; 2] = [7, 8];
+/// Work units per request; the capacity is 1 unit == 1 virtual ms.
+const COST_MS: i64 = 30;
+/// Class queueing-delay bound: admits an empty backlog (delay 0),
+/// sheds behind one admitted request (delay 30).
+const BOUND_MS: i64 = 20;
+
+/// The controller's mutable core, guarded by one model mutex exactly
+/// as the production `Mutex<AdmState>` guards decision + backlog.
+#[derive(Clone, Debug, Hash)]
+struct Gate {
+    backlog_ms: i64,
+    admitted: Vec<u32>,
+    shed: Vec<u32>,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            backlog_ms: 0,
+            admitted: Vec::new(),
+            shed: Vec::new(),
+        }
+    }
+
+    /// One admission decision at virtual time 0: pure function of the
+    /// backlog, mutating it only on admit.
+    fn admit(&mut self, id: u32) -> bool {
+        let delay = self.backlog_ms;
+        if delay > BOUND_MS {
+            self.shed.push(id);
+            false
+        } else {
+            self.backlog_ms += COST_MS;
+            self.admitted.push(id);
+            true
+        }
+    }
+}
+
+fn observer_body(acked: shim::Atomic<Vec<u32>>, gate: shim::Mutex<Gate>) {
+    let acked_snapshot = acked.load();
+    let admitted_snapshot = gate.lock().admitted.clone();
+    for id in &acked_snapshot {
+        assert!(
+            admitted_snapshot.contains(id),
+            "request {id} acked without admission: acked {acked_snapshot:?}, \
+             admitted {admitted_snapshot:?}"
+        );
+    }
+}
+
+fn build(ack_after_decision: bool) {
+    let gate = shim::Mutex::new("gate", Gate::new());
+    let acked = shim::Atomic::new("acked", Vec::<u32>::new());
+    for id in REQS {
+        let (gate, acked) = (gate.clone(), acked.clone());
+        spawn(move || {
+            if ack_after_decision {
+                // Correct protocol: decision first, side effects only
+                // on an admitted ticket.
+                let ok = gate.lock().admit(id);
+                if ok {
+                    acked.rmw(|v| {
+                        let mut v = v.clone();
+                        v.push(id);
+                        v
+                    });
+                }
+            } else {
+                // BUG: the handler acks optimistically, then asks the
+                // controller and rolls back on shed. Between ack and
+                // rollback the shed request is observably acked.
+                acked.rmw(|v| {
+                    let mut v = v.clone();
+                    v.push(id);
+                    v
+                });
+                let ok = gate.lock().admit(id);
+                if !ok {
+                    acked.rmw(|v| v.iter().copied().filter(|&x| x != id).collect());
+                }
+            }
+        });
+    }
+    {
+        let (acked, gate) = (acked.clone(), gate.clone());
+        spawn(move || observer_body(acked, gate));
+    }
+    let (gate, acked) = (gate.clone(), acked.clone());
+    finally(move || {
+        let g = gate.lock().clone();
+        let a = acked.load();
+        // The 20 ms bound admits exactly one 30-unit request; the other
+        // sheds — in every schedule.
+        assert_eq!(
+            g.admitted.len(),
+            1,
+            "exactly one request fits the delay bound, admitted {:?}",
+            g.admitted
+        );
+        assert_eq!(
+            g.shed.len(),
+            1,
+            "the queued request must shed, shed {:?}",
+            g.shed
+        );
+        assert_eq!(
+            a, g.admitted,
+            "once quiescent, acked and admitted must agree"
+        );
+        for id in &g.shed {
+            assert!(
+                !a.contains(id),
+                "shed request {id} left an ack behind: {a:?}"
+            );
+        }
+    });
+}
+
+/// Correct protocol: admission decision inside one critical section,
+/// acks only on admitted tickets.
+pub fn correct() {
+    build(true);
+}
+
+/// Mutant: ack first, consult the controller second, roll back on
+/// shed. An observer between the ack and the rollback sees a shed
+/// request acked — caught within a preemption bound of 2.
+pub fn mutant_ack_after_shed() {
+    build(false);
+}

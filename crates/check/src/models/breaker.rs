@@ -24,6 +24,7 @@ const CONFIG: BreakerConfig = BreakerConfig {
     failure_threshold: 2,
     cooldown_ms: 1_000,
     probe_successes: 1,
+    probe_interval_ms: 0,
 };
 
 /// Correct protocol: each probe records its outcome *inside* the

@@ -1,4 +1,4 @@
-//! Model-checked specifications of TVDP's five load-bearing
+//! Model-checked specifications of TVDP's six load-bearing
 //! concurrency protocols.
 //!
 //! Each submodule exposes a `correct()` model — a faithful,
@@ -14,6 +14,7 @@
 //! containing every ordering the protocol's correctness argument has
 //! to survive.
 
+pub mod admission;
 pub mod breaker;
 pub mod gencell;
 pub mod group_commit;

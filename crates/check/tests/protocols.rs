@@ -1,4 +1,4 @@
-//! Model-check TVDP's five load-bearing concurrency protocols, and
+//! Model-check TVDP's six load-bearing concurrency protocols, and
 //! prove the checker has teeth by asserting it catches a deliberately
 //! broken mutant of each.
 //!
@@ -152,6 +152,24 @@ fn breaker_mutant_racy_read_modify_write_is_caught() {
     assert_mutant_caught(&report, "breaker racy-rmw mutant", "a transition was lost");
 }
 
+// --- Protocol 6: admission control (no ack after shed) --------------
+
+#[test]
+fn admission_never_acks_a_shed_request() {
+    let report = explore(models::admission::correct, None);
+    assert_exhaustively_correct(&report, "admission correct (unbounded)");
+}
+
+#[test]
+fn admission_mutant_ack_after_shed_is_caught() {
+    let report = explore(models::admission::mutant_ack_after_shed, None);
+    assert_mutant_caught(
+        &report,
+        "admission ack-after-shed mutant",
+        "acked without admission",
+    );
+}
+
 // --- Bounded-preemption sanity --------------------------------------
 
 #[test]
@@ -184,5 +202,10 @@ fn bounded_preemption_still_catches_every_mutant() {
         &explore(models::group_commit::mutant_ack_before_fsync, bound),
         "group-commit mutant at bound 2",
         "acked before its group fsync",
+    );
+    assert_mutant_caught(
+        &explore(models::admission::mutant_ack_after_shed, bound),
+        "admission mutant at bound 2",
+        "acked without admission",
     );
 }

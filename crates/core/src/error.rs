@@ -37,6 +37,14 @@ pub enum PlatformError {
     Durable(DurableError),
     /// A durability-only operation was invoked on an in-memory platform.
     NotDurable,
+    /// The admission controller shed the request: accepting it would
+    /// push its class's modeled queueing delay past the configured
+    /// bound. Cheap to retry — the payload says when.
+    Overloaded {
+        /// Virtual-clock milliseconds after which a retry would have
+        /// been admitted against the backlog seen at shed time.
+        retry_after_ms: i64,
+    },
 }
 
 impl std::fmt::Display for PlatformError {
@@ -66,6 +74,9 @@ impl std::fmt::Display for PlatformError {
                     f,
                     "platform is in-memory; open it with Tvdp::open for durability"
                 )
+            }
+            PlatformError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: shed, retry after {retry_after_ms} ms")
             }
         }
     }

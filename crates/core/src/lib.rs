@@ -19,6 +19,7 @@
 //! cleanliness) becomes queryable data for the next (homeless counting,
 //! graffiti studies) — see [`translational`].
 
+pub mod admission;
 pub mod error;
 pub mod models;
 pub mod platform;
@@ -27,9 +28,12 @@ pub mod translational;
 pub mod users;
 pub mod video;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, AdmissionTicket, ClassStats, RequestClass,
+};
 pub use error::PlatformError;
 pub use models::{ModelEntry, ModelInterface, ModelRegistry};
-pub use platform::{IngestRequest, PlatformConfig, Tvdp};
+pub use platform::{HealthReport, IngestRequest, PlatformConfig, Tvdp};
 pub use router::GeoShardRouter;
 pub use translational::{count_by_cell, hotspots, CellCount};
 pub use users::{Role, User, UserRegistry};

@@ -21,8 +21,9 @@ use tvdp_ml::{
 use tvdp_query::engine::EngineConfig;
 use tvdp_query::{Query, QueryResult, ShardedEngine, DEFAULT_SEAL_CAP};
 use tvdp_storage::{
-    AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, ImageId,
-    ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId, VisualStore, WalOp,
+    AnnotationId, AnnotationSource, ClassificationId, CompactionReport, DurableStore, HealthState,
+    ImageId, ImageMeta, ImageOrigin, ModelId, RecoveryReport, RegionOfInterest, UserId,
+    VisualStore, WalOp,
 };
 use tvdp_vision::{
     Augmentation, CnnConfig, CnnExtractor, ColorHistogramExtractor, FeatureExtractor, FeatureKind,
@@ -169,6 +170,27 @@ pub struct PlatformStats {
     /// the compressed working set the quantized candidate scan reads
     /// (the mirrored `f32` rows cost 4x as much and may be spilled).
     pub quant_code_bytes: usize,
+}
+
+/// Aggregated serving-health report ([`Tvdp::health`]): the worst
+/// [`HealthState`] across durable shards plus fault accounting. The
+/// state machine is the storage layer's — `Ok` → `ReadOnly` on a
+/// journal write fault, `ReadOnly` → `Degraded` on the first repaired
+/// write, `Degraded` → `Ok` on the next — and the platform reports the
+/// most degraded shard so one wedged volume is never masked by healthy
+/// neighbors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Worst shard state; `Ok` for an in-memory platform.
+    pub state: HealthState,
+    /// Total journal write faults observed across shards.
+    pub write_faults: u64,
+    /// First shard error message still standing, if any.
+    pub last_error: Option<String>,
+    /// Whether the platform journals to disk at all.
+    pub durable: bool,
+    /// Shard count (reported so operators can size the blast radius).
+    pub shards: usize,
 }
 
 /// Platform-wide id counters. Ids are allocated here, ahead of the
@@ -1019,6 +1041,73 @@ impl Tvdp {
         Ok(self
             .engine
             .try_execute_batch_with_pool(queries, Pool::global())?)
+    }
+
+    /// **Access**: [`Tvdp::search`] under a virtual-clock deadline. The
+    /// engine charges a modeled clock at scatter/gather and
+    /// segment-scan boundaries and aborts with
+    /// [`tvdp_query::QueryError::DeadlineExceeded`] (surfaced as
+    /// [`PlatformError::Query`]) instead of burning pool time once the
+    /// clock passes `deadline_ms`. The trip decision is deterministic
+    /// across pool widths.
+    pub fn search_with_deadline(
+        &self,
+        query: &Query,
+        now_ms: i64,
+        deadline_ms: i64,
+    ) -> Result<Vec<QueryResult>, PlatformError> {
+        Ok(self
+            .engine
+            .try_execute_with_deadline(query, Pool::global(), now_ms, deadline_ms)?)
+    }
+
+    /// Prices `query` in admission work units from the planner's
+    /// cardinality statistics over the current published index
+    /// generations. Read-only and deterministic; the admission
+    /// controller charges this against its capacity budget before the
+    /// query runs.
+    pub fn estimate_query_cost(&self, query: &Query) -> u64 {
+        self.engine.estimate_query_units(query)
+    }
+
+    /// Aggregated platform health: the worst durable shard state (an
+    /// in-memory platform is always `Ok`), total injected/observed
+    /// write faults, and the first recorded error. Drives the API
+    /// health endpoint and the degraded-mode behavior of callers.
+    pub fn health(&self) -> HealthReport {
+        let mut report = HealthReport {
+            state: HealthState::Ok,
+            write_faults: 0,
+            last_error: None,
+            durable: self.is_durable(),
+            shards: self.shard_count(),
+        };
+        for durable in &self.durables {
+            let h = durable.health();
+            report.state = report.state.max(h.state);
+            report.write_faults += h.write_faults;
+            if report.last_error.is_none() {
+                report.last_error = h.last_error;
+            }
+        }
+        report
+    }
+
+    /// Installs (or, with `None`, removes) a shared write-fault plan on
+    /// every durable shard's WAL — chaos instrumentation for exercising
+    /// the degraded-mode state machine against live traffic. Durable
+    /// platforms only.
+    pub fn set_write_fault_plan(
+        &self,
+        plan: Option<std::sync::Arc<tvdp_storage::WriteFaultPlan>>,
+    ) -> Result<(), PlatformError> {
+        if self.durables.is_empty() {
+            return Err(PlatformError::NotDurable);
+        }
+        for durable in &self.durables {
+            durable.set_write_fault_plan(plan.clone());
+        }
+        Ok(())
     }
 
     /// Extracts the platform's feature families from an image *without*

@@ -24,6 +24,13 @@ pub struct BreakerConfig {
     pub cooldown_ms: u64,
     /// Consecutive half-open probe successes that close it again.
     pub probe_successes: u32,
+    /// Minimum virtual time between half-open probes. Half-open admits
+    /// at most **one in-flight probe** at a time regardless; this adds
+    /// a deterministic pacing floor on top, so a recovering server sees
+    /// one probe per interval per device instead of a thundering herd
+    /// the instant the cooldown elapses. `0` paces only by the
+    /// one-in-flight bound.
+    pub probe_interval_ms: u64,
 }
 
 impl Default for BreakerConfig {
@@ -32,6 +39,7 @@ impl Default for BreakerConfig {
             failure_threshold: 3,
             cooldown_ms: 5_000,
             probe_successes: 2,
+            probe_interval_ms: 0,
         }
     }
 }
@@ -49,9 +57,20 @@ pub enum BreakerState {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum State {
-    Closed { consecutive_failures: u32 },
-    Open { until_ms: i64 },
-    HalfOpen { probe_streak: u32 },
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        until_ms: i64,
+    },
+    HalfOpen {
+        probe_streak: u32,
+        /// A probe was admitted and its outcome has not been recorded
+        /// yet; further sends are shed until it resolves.
+        inflight: bool,
+        /// Earliest virtual time the next probe may be admitted.
+        next_probe_at_ms: i64,
+    },
 }
 
 /// One device's breaker.
@@ -77,13 +96,35 @@ impl CircuitBreaker {
 
     /// Whether a send may proceed at virtual time `now_ms`. An open
     /// breaker whose cooldown has elapsed transitions to half-open and
-    /// admits the call as a probe.
+    /// admits the call as a probe. Half-open admits at most one
+    /// in-flight probe, no sooner than `probe_interval_ms` after the
+    /// previous probe resolved.
     pub fn allow(&mut self, now_ms: i64) -> bool {
         match self.state {
-            State::Closed { .. } | State::HalfOpen { .. } => true,
+            State::Closed { .. } => true,
+            State::HalfOpen {
+                probe_streak,
+                inflight,
+                next_probe_at_ms,
+            } => {
+                if inflight || now_ms < next_probe_at_ms {
+                    return false;
+                }
+                self.state = State::HalfOpen {
+                    probe_streak,
+                    inflight: true,
+                    next_probe_at_ms,
+                };
+                true
+            }
             State::Open { until_ms } => {
                 if now_ms >= until_ms {
-                    self.state = State::HalfOpen { probe_streak: 0 };
+                    // This call is the first probe.
+                    self.state = State::HalfOpen {
+                        probe_streak: 0,
+                        inflight: true,
+                        next_probe_at_ms: now_ms,
+                    };
                     true
                 } else {
                     false
@@ -92,15 +133,16 @@ impl CircuitBreaker {
         }
     }
 
-    /// Records an acknowledged send.
-    pub fn record_success(&mut self, _now_ms: i64) {
+    /// Records an acknowledged send. In half-open this resolves the
+    /// in-flight probe and starts the pacing interval for the next one.
+    pub fn record_success(&mut self, now_ms: i64) {
         match self.state {
             State::Closed { .. } => {
                 self.state = State::Closed {
                     consecutive_failures: 0,
                 };
             }
-            State::HalfOpen { probe_streak } => {
+            State::HalfOpen { probe_streak, .. } => {
                 let streak = probe_streak + 1;
                 if streak >= self.config.probe_successes {
                     self.state = State::Closed {
@@ -109,6 +151,9 @@ impl CircuitBreaker {
                 } else {
                     self.state = State::HalfOpen {
                         probe_streak: streak,
+                        inflight: false,
+                        next_probe_at_ms: now_ms
+                            .saturating_add(self.config.probe_interval_ms as i64),
                     };
                 }
             }
@@ -247,6 +292,7 @@ mod tests {
             failure_threshold: 3,
             cooldown_ms: 1_000,
             probe_successes: 2,
+            probe_interval_ms: 0,
         }
     }
 
@@ -300,6 +346,62 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         assert!(!b.allow(2_000));
         assert!(b.allow(2_200));
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_at_a_time() {
+        let mut b = CircuitBreaker::new(config());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(1_100), "cooldown elapsed, first probe admitted");
+        // The probe has not resolved: every further send is shed, no
+        // matter how often the transport asks.
+        for t in 1_101..1_110 {
+            assert!(!b.allow(t), "second concurrent probe must be shed");
+        }
+        b.record_success(1_110);
+        assert!(b.allow(1_110), "resolved probe frees the slot");
+        b.record_success(1_111);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_interval_paces_half_open_deterministically() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            probe_interval_ms: 200,
+            probe_successes: 3,
+            ..config()
+        });
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(1_100));
+        b.record_success(1_150);
+        // Next probe no earlier than 1_150 + 200.
+        assert!(!b.allow(1_200));
+        assert!(!b.allow(1_349));
+        assert!(b.allow(1_350));
+        b.record_success(1_360);
+        assert!(!b.allow(1_400), "interval restarts from each resolution");
+        assert!(b.allow(1_560));
+        b.record_success(1_560);
+        assert_eq!(b.state(), BreakerState::Closed, "third success closes");
+    }
+
+    #[test]
+    fn failed_probe_reopens_even_with_pacing() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            probe_interval_ms: 200,
+            ..config()
+        });
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(1_100));
+        b.record_failure(1_150);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_until_ms(), Some(2_150));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use tvdp_api::{ApiRequest, ApiResponse, ApiServer, RateLimitConfig};
 use tvdp_core::{PlatformConfig, Role, Tvdp};
-use tvdp_edge::breaker::{BreakerConfig, CircuitBreaker};
+use tvdp_edge::breaker::{BreakerConfig, BreakerState, CircuitBreaker, FleetHealth};
 use tvdp_edge::fault::{Fault, FaultPlan, FaultRates, Partition};
 use tvdp_edge::learning::{CrowdLearningConfig, EdgeNode, SelectionStrategy};
 use tvdp_edge::transport::{
@@ -104,6 +104,7 @@ fn serve(server: &ApiServer, key: &str, packet: &UploadPacket, now_ms: i64) -> C
         endpoint: "data/add".to_string(),
         body,
         idempotency_key: Some(packet.idempotency_key.clone()),
+        deadline_ms: None,
     };
     let response = server.handle(&request, now_ms);
     reply_of(&response)
@@ -282,6 +283,7 @@ fn partition_opens_the_breaker_and_healing_closes_it() {
         failure_threshold: 3,
         cooldown_ms: 1_000,
         probe_successes: 2,
+        probe_interval_ms: 0,
     });
 
     const UPLOADS: usize = 8;
@@ -332,6 +334,64 @@ fn partition_opens_the_breaker_and_healing_closes_it() {
         UPLOADS,
         "every upload eventually landed exactly once"
     );
+}
+
+#[test]
+fn fleet_heal_probe_rate_is_bounded_per_device() {
+    // A whole fleet trips during an outage. When the server heals, every
+    // device retries aggressively — but half-open admits one unresolved
+    // probe per device, paced `probe_interval_ms` apart, so the
+    // recovering server sees a bounded, deterministic probe trickle
+    // instead of a thundering herd.
+    const DEVICES: u64 = 6;
+    let mut fleet = FleetHealth::new(BreakerConfig {
+        failure_threshold: 1,
+        cooldown_ms: 1_000,
+        probe_successes: 2,
+        probe_interval_ms: 250,
+    });
+    for d in 0..DEVICES {
+        fleet.breaker(d).record_failure(0);
+    }
+    assert_eq!(fleet.open_count(), DEVICES as usize, "all tripped");
+
+    // Healed at t=1_000: tick every 100 ms; each device hammers
+    // device_allowed ten times per tick (an impatient retry loop).
+    let mut probe_log: Vec<(i64, u64)> = Vec::new();
+    let mut t = 1_000i64;
+    while fleet.view().iter().any(|h| h.state != BreakerState::Closed) {
+        for d in 0..DEVICES {
+            let mut admitted = 0u32;
+            for _ in 0..10 {
+                if fleet.device_allowed(d, t) {
+                    admitted += 1;
+                }
+            }
+            assert!(
+                admitted <= 1,
+                "device {d} fired {admitted} concurrent probes at t={t}"
+            );
+            if admitted == 1 {
+                fleet.breaker(d).record_success(t);
+                probe_log.push((t, d));
+            }
+        }
+        t += 100;
+        assert!(t < 10_000, "fleet failed to converge: {:?}", fleet.view());
+    }
+
+    // Two successful probes close each breaker; with the 250 ms pacing
+    // and 100 ms ticks they land at exactly t=1_000 and t=1_300.
+    assert_eq!(probe_log.len(), (DEVICES * 2) as usize);
+    for d in 0..DEVICES {
+        let times: Vec<i64> = probe_log
+            .iter()
+            .filter(|&&(_, dev)| dev == d)
+            .map(|&(at, _)| at)
+            .collect();
+        assert_eq!(times, vec![1_000, 1_300], "device {d} probe schedule");
+    }
+    assert_eq!(fleet.open_count(), 0);
 }
 
 // --- resilient crowd learning under seeded chaos -----------------------

@@ -487,7 +487,9 @@ mod tests {
         assert_eq!(index.dim(), 3);
         let slab = FeatureSlab::new(3);
         let region = BBox::new(0.0, 0.0, 1.0, 1.0);
-        assert!(index.range_visual(&slab, &region, &[0.0; 3], 1.0).is_empty());
+        assert!(index
+            .range_visual(&slab, &region, &[0.0; 3], 1.0)
+            .is_empty());
         assert!(index.knn_visual(&slab, &region, &[0.0; 3], 4).is_empty());
     }
 

@@ -209,7 +209,8 @@ impl FeatureSlab {
             // train the scalar-quantized mirror before the floats are
             // shared out. Deterministic, so replayed ingests rebuild
             // byte-identical codes.
-            self.quant.push(Arc::new(QuantChunk::encode(&full, self.dim)));
+            self.quant
+                .push(Arc::new(QuantChunk::encode(&full, self.dim)));
             self.frozen.push(Chunk::resident(Arc::from(full)));
         }
         row
@@ -593,7 +594,11 @@ mod tests {
         let (codes, params) = view.quant_row(17).unwrap();
         assert_eq!(codes.len(), dim);
         let d = crate::quant::l2_sq_asym(view.row(17), codes, params).sqrt();
-        assert!(d <= params.eps(), "self-distance {d} > eps {}", params.eps());
+        assert!(
+            d <= params.eps(),
+            "self-distance {d} > eps {}",
+            params.eps()
+        );
         // Tail rows are not quantized.
         assert!(view.quant_row(ROWS_PER_CHUNK as u32).is_none());
         // Spilling the floats keeps the codes resident: the quantized

@@ -713,7 +713,13 @@ impl QueryEngine {
     /// instead of the hybrid-index traversal. Both paths return the same
     /// results; this is purely a cost decision (except `Always`/`Never`,
     /// which pin the choice for tests and benchmarks).
-    fn use_quantized_scan(&self, view: &SlabView, region: &BBox, example: &[f32], k: usize) -> bool {
+    fn use_quantized_scan(
+        &self,
+        view: &SlabView,
+        region: &BBox,
+        example: &[f32],
+        k: usize,
+    ) -> bool {
         if self.visual_dim != Some(example.len()) || self.visual_entries.is_empty() {
             return false;
         }
@@ -956,6 +962,16 @@ impl QueryEngine {
             }
             _ => 0.0,
         }
+    }
+
+    /// Planner cardinality estimate for `q` over this segment — the
+    /// same summary statistics the conjunction planner orders work by,
+    /// exposed so the admission controller can price a query in work
+    /// units before running it. A pure function of the segment's
+    /// indexes: deterministic across runs, pool widths, and shard
+    /// counts.
+    pub fn estimated_cardinality(&self, q: &Query) -> f64 {
+        self.estimate(q)
     }
 
     /// Estimated result cardinality of a leaf, from per-index summary

@@ -37,6 +37,7 @@
 //! exception — it is thread-invariant but not shard-count-invariant,
 //! since each segment hashes its own candidate set).
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -104,6 +105,67 @@ struct ShardView {
 enum Unit<'a> {
     Seg(&'a QueryEngine),
     Tail(&'a ShardView),
+}
+
+impl Unit<'_> {
+    /// Rows a scan of this unit touches — the input to the modeled
+    /// per-unit cost.
+    fn rows(&self) -> usize {
+        match self {
+            Unit::Seg(engine) => engine.len(),
+            Unit::Tail(sv) => sv.gen.tail.len(),
+        }
+    }
+}
+
+/// Modeled virtual cost of scanning one scatter unit, in
+/// virtual-clock milliseconds: a fixed dispatch charge plus a
+/// per-row term. The constants only shape *when* a deadline trips,
+/// never result bytes, but they must stay a pure function of the
+/// unit so expiry decisions are identical across pool widths.
+fn unit_cost_ms(rows: usize) -> i64 {
+    1 + (rows as i64) / 4096
+}
+
+/// Virtual-clock deadline accounting for one query execution.
+///
+/// All charging happens on the coordinating thread, in the
+/// deterministic unit order of [`units_of`], *before* any real pool
+/// work is dispatched — so whether a query trips its deadline is a
+/// pure function of `(snapshot, query, now, deadline)`, byte-identical
+/// across pool widths.
+struct DeadlineCtx {
+    deadline_ms: i64,
+    clock_ms: Cell<i64>,
+}
+
+impl DeadlineCtx {
+    fn charge(&self, cost_ms: i64) {
+        self.clock_ms.set(self.clock_ms.get() + cost_ms);
+    }
+
+    /// Errors once the modeled clock has passed the deadline.
+    fn check(&self) -> Result<(), QueryError> {
+        if self.clock_ms.get() > self.deadline_ms {
+            Err(QueryError::DeadlineExceeded {
+                deadline_ms: self.deadline_ms,
+                now_ms: self.clock_ms.get(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges every unit of an upcoming scatter, checking at each
+    /// segment-scan boundary, so an over-deadline scatter aborts
+    /// before any pool time is burned.
+    fn walk_units(&self, units: &[Unit<'_>]) -> Result<(), QueryError> {
+        for unit in units {
+            self.charge(unit_cost_ms(unit.rows()));
+            self.check()?;
+        }
+        Ok(())
+    }
 }
 
 /// Scatter/gather query executor over spatially sharded stores.
@@ -273,7 +335,49 @@ impl ShardedEngine {
     ) -> Result<Vec<QueryResult>, QueryError> {
         self.validate(query)?;
         let snap = self.snapshot();
-        Ok(self.run_on(&snap, query, pool))
+        self.run_on(&snap, query, pool, None)
+    }
+
+    /// [`ShardedEngine::try_execute_with_pool`] under a virtual-clock
+    /// deadline: execution is charged against a modeled clock starting
+    /// at `now_ms`, checked at scatter/gather and segment-scan
+    /// boundaries, and aborted with [`QueryError::DeadlineExceeded`]
+    /// once the clock passes `deadline_ms`. The trip decision is a pure
+    /// function of the snapshot and the query — identical across pool
+    /// widths — and a query that completes returns exactly the bytes
+    /// the undeadlined path would.
+    pub fn try_execute_with_deadline(
+        &self,
+        query: &Query,
+        pool: &Pool,
+        now_ms: i64,
+        deadline_ms: i64,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        self.validate(query)?;
+        let snap = self.snapshot();
+        let dl = DeadlineCtx {
+            deadline_ms,
+            clock_ms: Cell::new(now_ms),
+        };
+        self.run_on(&snap, query, pool, Some(&dl))
+    }
+
+    /// Prices `query` in admission work units against the current
+    /// published generations: one unit per scatter unit dispatched,
+    /// plus the planner's estimated per-segment result cardinality and
+    /// the tail rows a linear scan must touch. Deterministic — a pure
+    /// function of the published snapshot — and read-only.
+    pub fn estimate_query_units(&self, query: &Query) -> u64 {
+        let snap = self.snapshot();
+        let mut units = 1u64;
+        for sv in &snap.shards {
+            for seg in &sv.gen.segments {
+                let est = seg.estimated_cardinality(query);
+                units += 1 + est.max(0.0).min(seg.len() as f64) as u64;
+            }
+            units += sv.gen.tail.len() as u64;
+        }
+        units
     }
 
     /// Executes a batch of independent queries, fanning the *queries*
@@ -289,10 +393,12 @@ impl ShardedEngine {
             self.validate(q)?;
         }
         let snap = self.snapshot();
-        Ok(pool.map(queries, |_, q| {
+        pool.map(queries, |_, q| {
             let serial = Pool::serial();
-            self.run_on(&snap, q, &serial)
-        }))
+            self.run_on(&snap, q, &serial, None)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// All images within squared feature distance `max_dist_sq` of
@@ -319,16 +425,31 @@ impl ShardedEngine {
         out
     }
 
-    /// Post-validation dispatch over one snapshot.
-    fn run_on(&self, snap: &Snapshot, query: &Query, pool: &Pool) -> Vec<QueryResult> {
+    /// Post-validation dispatch over one snapshot. `dl` carries the
+    /// optional deadline accounting; `None` never errors.
+    fn run_on(
+        &self,
+        snap: &Snapshot,
+        query: &Query,
+        pool: &Pool,
+        dl: Option<&DeadlineCtx>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        if let Some(dl) = dl {
+            dl.check()?;
+        }
         match query {
-            Query::And(subs) => self.and_on(snap, subs, pool),
-            Query::Or(subs) => self.or_on(snap, subs, pool),
+            Query::And(subs) => self.and_on(snap, subs, pool, dl),
+            Query::Or(subs) => self.or_on(snap, subs, pool, dl),
             Query::Categorical {
                 scheme,
                 label,
                 min_confidence,
             } => {
+                if let Some(dl) = dl {
+                    // One dispatch charge per shard-store scan.
+                    dl.charge(snap.shards.len() as i64);
+                    dl.check()?;
+                }
                 // Annotations are store-level state, not index state:
                 // scan each shard's store directly (segments must never
                 // see a categorical leaf — each would report the whole
@@ -346,22 +467,32 @@ impl ShardedEngine {
                     .collect();
                 ids.sort_unstable();
                 ids.dedup();
-                ids.into_iter()
+                Ok(ids
+                    .into_iter()
                     .map(|id| QueryResult::new(id, 0.0))
-                    .collect()
+                    .collect())
             }
             Query::Textual {
                 text,
                 mode: TextualMode::Ranked(k),
-            } => self.ranked_on(snap, text, *k, pool),
-            leaf => self.scatter_leaf(snap, leaf, pool),
+            } => self.ranked_on(snap, text, *k, pool, dl),
+            leaf => self.scatter_leaf(snap, leaf, pool, dl),
         }
     }
 
     /// Scatters a single-modal leaf over every segment and tail, then
     /// merges with the leaf's deterministic gather rule.
-    fn scatter_leaf(&self, snap: &Snapshot, leaf: &Query, pool: &Pool) -> Vec<QueryResult> {
+    fn scatter_leaf(
+        &self,
+        snap: &Snapshot,
+        leaf: &Query,
+        pool: &Pool,
+        dl: Option<&DeadlineCtx>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
         let units = units_of(snap);
+        if let Some(dl) = dl {
+            dl.walk_units(&units)?;
+        }
         let partials = pool.map(&units, |_, unit| match unit {
             Unit::Seg(engine) => engine.run(leaf),
             Unit::Tail(sv) => self.tail_leaf(sv, leaf),
@@ -387,7 +518,7 @@ impl ShardedEngine {
             // just a sort by id.
             _ => all.sort_by_key(|r| r.image),
         }
-        all
+        Ok(all)
     }
 
     /// Evaluates a single-modal leaf over one shard's pending tail with
@@ -533,7 +664,20 @@ impl ShardedEngine {
     /// numbers, so each document's score is bit-identical to a single
     /// index over the whole corpus. Gather re-ranks by
     /// `(descending score, ascending id)` and truncates to `k`.
-    fn ranked_on(&self, snap: &Snapshot, text: &str, k: usize, pool: &Pool) -> Vec<QueryResult> {
+    fn ranked_on(
+        &self,
+        snap: &Snapshot,
+        text: &str,
+        k: usize,
+        pool: &Pool,
+        dl: Option<&DeadlineCtx>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
+        if let Some(dl) = dl {
+            // Both phases walk every unit; charge the full scatter up
+            // front so an over-deadline ranked query aborts before the
+            // statistics gather starts.
+            dl.walk_units(&units_of(snap))?;
+        }
         let terms = tokenize(text);
         /// One tail row's ranked-text statistics: `tf[i]` is the term
         /// frequency of `terms[i]` (duplicate query terms get duplicate
@@ -581,6 +725,10 @@ impl ShardedEngine {
             n += tail_docs.iter().filter(|d| d.tf[i] > 0).count();
             df.insert(term.clone(), n);
         }
+        if let Some(dl) = dl {
+            // Gather boundary between the statistics and scoring phases.
+            dl.check()?;
+        }
 
         let segments: Vec<&QueryEngine> = snap
             .shards
@@ -619,19 +767,26 @@ impl ShardedEngine {
                 .into_iter()
                 .map(|(s, id)| (Reverse(TotalF64(s)), id)),
         );
-        top.into_sorted_vec()
+        Ok(top
+            .into_sorted_vec()
             .into_iter()
             .map(|(Reverse(TotalF64(s)), id)| QueryResult::new(id, s))
-            .collect()
+            .collect())
     }
 
     /// Disjunction: union keeping each image's best (lowest) score,
     /// ordered by `(score, id)` — the engine's documented semantics.
-    fn or_on(&self, snap: &Snapshot, subs: &[Query], pool: &Pool) -> Vec<QueryResult> {
+    fn or_on(
+        &self,
+        snap: &Snapshot,
+        subs: &[Query],
+        pool: &Pool,
+        dl: Option<&DeadlineCtx>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
         let mut pairs: Vec<(ImageId, f64)> = Vec::new();
         for q in subs {
             pairs.extend(
-                self.run_on(snap, q, pool)
+                self.run_on(snap, q, pool, dl)?
                     .into_iter()
                     .map(|r| (r.image, r.score)),
             );
@@ -645,7 +800,7 @@ impl ShardedEngine {
             }
         }
         sort_ranked(&mut out);
-        out
+        Ok(out)
     }
 
     /// Conjunction. The hybrid fast path — exactly one spatial range
@@ -653,9 +808,15 @@ impl ShardedEngine {
     /// visual traversal per segment (with any extra legs intersected
     /// afterwards); everything else materializes each leg globally and
     /// intersects, scoring survivors from the first leg.
-    fn and_on(&self, snap: &Snapshot, subs: &[Query], pool: &Pool) -> Vec<QueryResult> {
+    fn and_on(
+        &self,
+        snap: &Snapshot,
+        subs: &[Query],
+        pool: &Pool,
+        dl: Option<&DeadlineCtx>,
+    ) -> Result<Vec<QueryResult>, QueryError> {
         if subs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let ranges: Vec<&BBox> = subs
             .iter()
@@ -675,6 +836,9 @@ impl ShardedEngine {
             let (example, mode) = visuals[0];
             let region = ranges[0];
             let units = units_of(snap);
+            if let Some(dl) = dl {
+                dl.walk_units(&units)?;
+            }
             let partials = pool.map(&units, |_, unit| match unit {
                 Unit::Seg(engine) => engine.run_visual(example, mode, Some(region)),
                 Unit::Tail(sv) => self.tail_visual(sv, example, mode, Some(region)),
@@ -692,22 +856,22 @@ impl ShardedEngine {
             });
             for q in rest {
                 if results.is_empty() {
-                    return results;
+                    return Ok(results);
                 }
                 let ids: BTreeSet<ImageId> = self
-                    .run_on(snap, q, pool)
+                    .run_on(snap, q, pool, dl)?
                     .into_iter()
                     .map(|r| r.image)
                     .collect();
                 results.retain(|r| ids.contains(&r.image));
             }
-            return results;
+            return Ok(results);
         }
 
         let mut first_scores: Vec<(ImageId, f64)> = Vec::new();
         let mut allowed: Option<BTreeSet<ImageId>> = None;
         for (i, q) in subs.iter().enumerate() {
-            let results = self.run_on(snap, q, pool);
+            let results = self.run_on(snap, q, pool, dl)?;
             if i == 0 {
                 first_scores = results.iter().map(|r| (r.image, r.score)).collect();
                 first_scores.sort_by_key(|&(id, _)| id);
@@ -729,7 +893,7 @@ impl ShardedEngine {
             })
             .collect();
         sort_ranked(&mut out);
-        out
+        Ok(out)
     }
 }
 

@@ -124,6 +124,17 @@ pub enum QueryError {
     /// otherwise treat as a near-empty box and silently drop matches
     /// (see [`tvdp_geo::GeoError::AntimeridianSpan`]).
     Geo(tvdp_geo::GeoError),
+    /// The query's virtual-clock deadline passed before execution
+    /// finished. The engine checks at scatter/gather and segment-scan
+    /// boundaries and aborts instead of burning pool time on an answer
+    /// nobody is waiting for; the caller sees how far past the deadline
+    /// the modeled clock had run.
+    DeadlineExceeded {
+        /// The deadline the request carried (virtual-clock ms).
+        deadline_ms: i64,
+        /// The modeled clock when the engine gave up (virtual-clock ms).
+        now_ms: i64,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -134,6 +145,13 @@ impl std::fmt::Display for QueryError {
                 "visual kind mismatch: engine indexes {indexed:?}, query uses {queried:?}"
             ),
             QueryError::Geo(e) => write!(f, "invalid spatial region: {e}"),
+            QueryError::DeadlineExceeded {
+                deadline_ms,
+                now_ms,
+            } => write!(
+                f,
+                "deadline exceeded: virtual clock at {now_ms} ms passed the {deadline_ms} ms deadline"
+            ),
         }
     }
 }

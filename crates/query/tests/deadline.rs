@@ -1,0 +1,174 @@
+//! Deadline propagation through the sharded engine: a query that fits
+//! its virtual-clock budget returns byte-identical results to the
+//! undeadlined path, one that does not trips a typed
+//! [`QueryError::DeadlineExceeded`] — and whether it trips is a pure
+//! function of the snapshot and query, identical across pool widths.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tvdp_geo::{BBox, GeoPoint};
+use tvdp_kernel::Pool;
+use tvdp_query::{
+    EngineConfig, Query, QueryError, ShardedEngine, SpatialQuery, TemporalField, TextualMode,
+    VisualMode,
+};
+use tvdp_storage::{ImageMeta, ImageOrigin, UserId, VisualStore};
+use tvdp_vision::FeatureKind;
+
+const DIM: usize = 8;
+
+fn build_store(n: usize, seed: u64) -> Arc<VisualStore> {
+    let store = VisualStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    const WORDS: [&str; 4] = ["street", "tent", "trash", "corner"];
+    for i in 0..n {
+        let gps = GeoPoint::new(
+            34.0 + rng.gen_range(0.0..0.05),
+            -118.3 + rng.gen_range(0.0..0.05),
+        );
+        let captured = 1_000 + rng.gen_range(0..10_000);
+        let meta = ImageMeta {
+            uploader: UserId(0),
+            gps,
+            fov: None,
+            captured_at: captured,
+            uploaded_at: captured + 10,
+            keywords: vec![WORDS[i % WORDS.len()].to_string()],
+        };
+        let id = store.add_image(meta, ImageOrigin::Original, None).unwrap();
+        let feature: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.put_feature(id, FeatureKind::Cnn, feature).unwrap();
+    }
+    Arc::new(store)
+}
+
+fn engine(shards: usize, per_shard: usize) -> ShardedEngine {
+    let stores = (0..shards)
+        .map(|s| build_store(per_shard, 42 + s as u64))
+        .collect();
+    // A small seal cap forces multiple segments per shard, so the
+    // deadline walk crosses real segment-scan boundaries.
+    ShardedEngine::with_seal_cap(stores, EngineConfig::default(), 32)
+}
+
+fn workload() -> Vec<Query> {
+    let example: Vec<f32> = (0..DIM).map(|d| d as f32 * 0.1).collect();
+    vec![
+        Query::Visual {
+            example: example.clone(),
+            kind: FeatureKind::Cnn,
+            mode: VisualMode::TopK(10),
+        },
+        Query::Textual {
+            text: "street trash".into(),
+            mode: TextualMode::Ranked(15),
+        },
+        Query::Temporal {
+            field: TemporalField::Captured,
+            from: 2_000,
+            to: 9_000,
+        },
+        Query::And(vec![
+            Query::Spatial(SpatialQuery::Range(BBox::new(34.0, -118.3, 34.05, -118.25))),
+            Query::Visual {
+                example,
+                kind: FeatureKind::Cnn,
+                mode: VisualMode::TopK(5),
+            },
+        ]),
+    ]
+}
+
+#[test]
+fn generous_deadline_matches_undeadlined_results_exactly() {
+    let eng = engine(3, 100);
+    let pool = Pool::new(4);
+    for q in workload() {
+        let plain = eng.try_execute_with_pool(&q, &pool).unwrap();
+        let deadlined = eng
+            .try_execute_with_deadline(&q, &pool, 1_000, i64::MAX)
+            .unwrap();
+        assert_eq!(plain, deadlined, "query {q:?}");
+    }
+}
+
+#[test]
+fn already_expired_deadline_fails_before_any_scatter() {
+    let eng = engine(2, 50);
+    let pool = Pool::serial();
+    for q in workload() {
+        let err = eng
+            .try_execute_with_deadline(&q, &pool, 5_000, 4_999)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::DeadlineExceeded {
+                    deadline_ms: 4_999,
+                    ..
+                }
+            ),
+            "query {q:?} returned {err:?}"
+        );
+    }
+}
+
+#[test]
+fn deadline_trip_is_identical_across_pool_widths() {
+    let eng = engine(3, 200);
+    let serial = Pool::serial();
+    let wide = Pool::new(8);
+    // Sweep budgets from "nothing fits" to "everything fits"; at every
+    // budget the serial and 8-wide pools must agree exactly — same
+    // trip/no-trip decision, same error payload, same result bytes.
+    for budget in 0..40 {
+        let deadline = 1_000 + budget;
+        for q in workload() {
+            let a = eng.try_execute_with_deadline(&q, &serial, 1_000, deadline);
+            let b = eng.try_execute_with_deadline(&q, &wide, 1_000, deadline);
+            assert_eq!(a, b, "budget {budget} ms, query {q:?}");
+        }
+    }
+}
+
+#[test]
+fn tight_budget_trips_and_reports_the_modeled_clock() {
+    let eng = engine(4, 150);
+    let pool = Pool::serial();
+    // Each scatter unit charges at least 1 virtual ms; 4 shards of 150
+    // rows sealed at 32 give ~20 units, so a 2 ms budget cannot fit a
+    // full scatter.
+    let err = eng
+        .try_execute_with_deadline(&workload()[0], &pool, 0, 2)
+        .unwrap_err();
+    match err {
+        QueryError::DeadlineExceeded {
+            deadline_ms,
+            now_ms,
+        } => {
+            assert_eq!(deadline_ms, 2);
+            assert!(now_ms > deadline_ms, "clock must have passed the deadline");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn estimate_units_is_deterministic_and_scales_with_corpus() {
+    let small = engine(1, 40);
+    let big = engine(4, 200);
+    for q in workload() {
+        let a = small.estimate_query_units(&q);
+        let b = small.estimate_query_units(&q);
+        assert_eq!(a, b, "estimate must be a pure function of the snapshot");
+        assert!(a >= 1, "every query costs at least one unit");
+        assert!(
+            big.estimate_query_units(&q) > a,
+            "a 20x corpus must price higher: {q:?}"
+        );
+    }
+}

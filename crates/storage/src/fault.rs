@@ -6,8 +6,42 @@
 //! subsequent call — so a torture test can "kill" a snapshot save or a
 //! WAL append at every byte offset and check that reopening the store
 //! lands on the pre- or post-write state, never a torn third one.
+//!
+//! [`WriteFaultPlan`] is the *live* counterpart: a shareable, armable
+//! fault script a running [`crate::Wal`] consults before each physical
+//! write. Arming it makes the next append accept a chosen byte prefix
+//! (the torn tail a real disk-full leaves behind) and then fail with a
+//! typed error; the plan keeps failing until [`WriteFaultPlan::clear`]
+//! simulates the operator freeing disk space. Chaos tests use it to
+//! drive a [`crate::DurableStore`] through its
+//! Ok → ReadOnly → Degraded → Ok health cycle without touching the
+//! real filesystem's capacity.
 
 use std::io::{Error, Write};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which error an injected write fault reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Generic I/O failure (a dying disk, a yanked mount).
+    Io,
+    /// `ENOSPC` — the filesystem is full. Raw OS error 28, so
+    /// `Error::kind()` reports it exactly as a real disk-full would.
+    Enospc,
+}
+
+impl FaultKind {
+    fn to_error(self) -> Error {
+        match self {
+            FaultKind::Io => Error::other("injected write fault"),
+            // 28 == ENOSPC on every unix the workspace targets; going
+            // through the raw OS error keeps `kind()` faithful.
+            FaultKind::Enospc => Error::from_raw_os_error(28),
+        }
+    }
+}
 
 /// A [`Write`] sink that dies after `budget` bytes.
 ///
@@ -28,14 +62,30 @@ use std::io::{Error, Write};
 pub struct FailingWriter {
     written: Vec<u8>,
     budget: usize,
+    kind: FaultKind,
 }
 
 impl FailingWriter {
-    /// A writer that accepts exactly `budget` bytes before failing.
+    /// A writer that accepts exactly `budget` bytes before failing
+    /// with a generic I/O error.
     pub fn new(budget: usize) -> Self {
+        Self::with_kind(budget, FaultKind::Io)
+    }
+
+    /// A writer that accepts exactly `budget` bytes and then reports
+    /// the disk full (`ENOSPC`) — the partial-frame-then-no-space
+    /// shape a batched group commit sees when the volume fills
+    /// mid-write.
+    pub fn enospc(budget: usize) -> Self {
+        Self::with_kind(budget, FaultKind::Enospc)
+    }
+
+    /// A writer with an explicit failure kind.
+    pub fn with_kind(budget: usize, kind: FaultKind) -> Self {
         FailingWriter {
             written: Vec::new(),
             budget,
+            kind,
         }
     }
 
@@ -56,7 +106,7 @@ impl Write for FailingWriter {
             return Ok(0);
         }
         if self.budget == 0 {
-            return Err(Error::other("injected write fault"));
+            return Err(self.kind.to_error());
         }
         let n = buf.len().min(self.budget);
         self.written.extend_from_slice(&buf[..n]);
@@ -66,6 +116,95 @@ impl Write for FailingWriter {
 
     fn flush(&mut self) -> std::io::Result<()> {
         Ok(())
+    }
+}
+
+/// One armed fault: accept `budget` more bytes, then fail with `kind`.
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    budget: usize,
+    kind: FaultKind,
+}
+
+/// State behind the shared plan handle.
+#[derive(Debug, Default)]
+struct PlanState {
+    armed: Option<Armed>,
+    /// Once a fault has fired the disk "stays full": every later write
+    /// fails outright (zero-byte prefix) until [`WriteFaultPlan::clear`].
+    tripped: Option<FaultKind>,
+    faults_injected: u64,
+}
+
+/// A deterministic, shareable write-fault script for a live WAL.
+///
+/// Install a handle with `DurableStore::set_write_fault_plan`, then:
+///
+/// * [`WriteFaultPlan::arm`] — the next physical WAL write accepts at
+///   most `budget` bytes (the torn prefix) and fails with `kind`;
+///   every subsequent write fails with the same kind and a zero-byte
+///   prefix, exactly like a volume that filled up and stayed full.
+/// * [`WriteFaultPlan::clear`] — the fault lifts; writes succeed again.
+///
+/// The plan is consulted *before* bytes reach the file, under the
+/// journal lock, so the sequence of injected failures is a pure
+/// function of the mutation sequence — deterministic across runs and
+/// pool widths.
+#[derive(Debug, Default)]
+pub struct WriteFaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl WriteFaultPlan {
+    /// A cleared plan behind a shareable handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arms the plan: the next write accepts at most `budget` bytes,
+    /// then this and every following write fail with `kind` until
+    /// [`WriteFaultPlan::clear`].
+    pub fn arm(&self, budget: usize, kind: FaultKind) {
+        let mut s = self.state.lock();
+        s.armed = Some(Armed { budget, kind });
+        s.tripped = None;
+    }
+
+    /// [`WriteFaultPlan::arm`] with [`FaultKind::Enospc`].
+    pub fn arm_enospc(&self, budget: usize) {
+        self.arm(budget, FaultKind::Enospc);
+    }
+
+    /// Lifts the fault: writes succeed again (disk space freed).
+    pub fn clear(&self) {
+        *self.state.lock() = PlanState::default();
+    }
+
+    /// Whether a fault is currently armed or tripped.
+    pub fn is_active(&self) -> bool {
+        let s = self.state.lock();
+        s.armed.is_some() || s.tripped.is_some()
+    }
+
+    /// How many writes have been failed so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().faults_injected
+    }
+
+    /// Consulted by the WAL before a physical write of `len` bytes.
+    /// `None` means the write proceeds normally; `Some((prefix, e))`
+    /// means at most `prefix` bytes may reach the file and the append
+    /// must fail with `e`.
+    pub(crate) fn intercept(&self, len: usize) -> Option<(usize, Error)> {
+        let mut s = self.state.lock();
+        if let Some(kind) = s.tripped {
+            s.faults_injected += 1;
+            return Some((0, kind.to_error()));
+        }
+        let armed = s.armed.take()?;
+        s.tripped = Some(armed.kind);
+        s.faults_injected += 1;
+        Some((armed.budget.min(len), armed.kind.to_error()))
     }
 }
 
@@ -94,5 +233,40 @@ mod tests {
         assert_eq!(w.write(b"abcde").unwrap(), 3);
         assert!(w.write(b"de").is_err());
         assert_eq!(w.into_written(), b"abc");
+    }
+
+    #[test]
+    fn enospc_reports_storage_full() {
+        let mut w = FailingWriter::enospc(0);
+        let e = w.write(b"x").unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(28), "must surface ENOSPC: {e}");
+    }
+
+    #[test]
+    fn plan_arms_trips_and_clears() {
+        let plan = WriteFaultPlan::new();
+        assert!(plan.intercept(100).is_none(), "cleared plan lets writes by");
+
+        plan.arm_enospc(7);
+        let (prefix, e) = plan.intercept(100).unwrap();
+        assert_eq!(prefix, 7, "first failed write keeps the torn prefix");
+        assert_eq!(e.raw_os_error(), Some(28));
+
+        // The disk stays full: later writes fail with no prefix.
+        let (prefix, _) = plan.intercept(50).unwrap();
+        assert_eq!(prefix, 0);
+        assert_eq!(plan.faults_injected(), 2);
+
+        plan.clear();
+        assert!(plan.intercept(10).is_none(), "cleared fault lifts");
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn plan_prefix_is_capped_by_write_length() {
+        let plan = WriteFaultPlan::new();
+        plan.arm(1_000, FaultKind::Io);
+        let (prefix, _) = plan.intercept(12).unwrap();
+        assert_eq!(prefix, 12, "prefix cannot exceed the write itself");
     }
 }

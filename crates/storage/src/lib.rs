@@ -33,10 +33,14 @@ pub mod wal;
 
 pub use annotation::{Annotation, AnnotationSource, ClassificationScheme, RegionOfInterest};
 pub use commit::{CommitQueue, GroupCommitPolicy};
+pub use fault::{FailingWriter, FaultKind, WriteFaultPlan};
 pub use ids::{AnnotationId, ClassificationId, ImageId, ModelId, UserId};
 pub use persist::{PersistError, FORMAT_VERSION};
 pub use record::{ImageMeta, ImageOrigin, ImageRecord};
-pub use recovery::{CompactionReport, CompactionTask, DurableError, DurableStore, RecoveryReport};
+pub use recovery::{
+    CompactionReport, CompactionTask, DurableError, DurableStore, HealthState, RecoveryReport,
+    StoreHealth,
+};
 pub use store::{
     FeatureHandle, Snapshot, SnapshotError, StorageError, VisualStore, UPLOAD_MARKER_CAPACITY,
 };

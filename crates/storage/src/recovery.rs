@@ -77,6 +77,11 @@ pub enum DurableError {
     /// A cold-chunk spill file failed to write or read back; carries
     /// the offending path and CRC context.
     Spill(crate::spill::SpillError),
+    /// The store is in the read-only degraded state: a journal write
+    /// fault (disk full, dying device) tripped it, mutations are being
+    /// shed, and reads continue from the applied state. Clears
+    /// automatically once a mutation's write probe succeeds again.
+    ReadOnly(String),
 }
 
 impl std::fmt::Display for DurableError {
@@ -89,6 +94,9 @@ impl std::fmt::Display for DurableError {
             DurableError::Rejected(m) => write!(f, "rejected: {m}"),
             DurableError::Replay(m) => write!(f, "wal replay failed: {m}"),
             DurableError::Spill(e) => write!(f, "spill failed: {e}"),
+            DurableError::ReadOnly(m) => {
+                write!(f, "store is read-only (journal write fault): {m}")
+            }
         }
     }
 }
@@ -201,6 +209,55 @@ impl std::fmt::Display for CompactionReport {
     }
 }
 
+/// The store's write-path health, a three-state machine:
+///
+/// ```text
+///   Ok ──write fault──▶ ReadOnly ──probe + write succeed──▶ Degraded
+///   Degraded ──next write succeeds──▶ Ok
+///   Degraded ──write fault──▶ ReadOnly
+/// ```
+///
+/// `ReadOnly` sheds every mutation with a typed
+/// [`DurableError::ReadOnly`] (after one cheap recovery probe per
+/// attempt); reads are unaffected in every state. `Degraded` is the
+/// probation window between the first post-fault success and the
+/// confirming second one, so health dashboards can see a store that
+/// recovered but has not yet re-proven itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Writes and reads both healthy.
+    Ok,
+    /// Recovering: the last write succeeded after a fault; one more
+    /// success returns the store to [`HealthState::Ok`].
+    Degraded,
+    /// Mutations are shed; reads continue from the applied state.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Lowercase wire name (`"ok"` / `"degraded"` / `"read_only"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::ReadOnly => "read_only",
+        }
+    }
+}
+
+/// A point-in-time health report for one durable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Current write-path state.
+    pub state: HealthState,
+    /// Journal write faults observed since open.
+    pub write_faults: u64,
+    /// The most recent write fault's message, until fully recovered.
+    pub last_error: Option<String>,
+    /// Live WAL epoch.
+    pub epoch: u64,
+}
+
 struct Journal {
     wal: Wal,
     /// Epoch of the live (highest) segment.
@@ -210,6 +267,73 @@ struct Journal {
     base_epoch: u64,
     /// Unfolded ops across every live segment.
     wal_ops: usize,
+    /// Write-path health machine (see [`HealthState`]).
+    health: HealthState,
+    /// Journal write faults observed since open.
+    write_faults: u64,
+    /// Most recent write fault, until fully recovered.
+    last_error: Option<String>,
+    /// Injected fault script, re-installed into every WAL the store
+    /// rotates to (chaos tests only).
+    fault: Option<Arc<crate::fault::WriteFaultPlan>>,
+}
+
+impl Journal {
+    /// Runs one journal append through the health machine: while
+    /// `ReadOnly`, first probes recovery by truncating the torn tail
+    /// the failed append left; on success the append proceeds and the
+    /// state advances (`ReadOnly → Degraded → Ok`), on failure the
+    /// mutation is shed with a typed [`DurableError::ReadOnly`]. Any
+    /// append failure trips the store to `ReadOnly` — never a panic,
+    /// and never a store/journal divergence, because the op is applied
+    /// only after its frames are durable.
+    fn commit_frames(
+        &mut self,
+        n_ops: usize,
+        append: impl FnOnce(&mut Wal) -> Result<(), WalError>,
+    ) -> Result<(), DurableError> {
+        if self.health == HealthState::ReadOnly {
+            if let Err(e) = self.wal.repair_tail() {
+                self.last_error = Some(e.to_string());
+                return Err(DurableError::ReadOnly(format!(
+                    "torn journal tail could not be repaired: {e}"
+                )));
+            }
+        }
+        let entered = self.health;
+        match append(&mut self.wal) {
+            Ok(()) => {
+                self.wal_ops += n_ops;
+                self.health = match entered {
+                    HealthState::ReadOnly => HealthState::Degraded,
+                    _ => HealthState::Ok,
+                };
+                if self.health == HealthState::Ok {
+                    self.last_error = None;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.write_faults += 1;
+                let message = e.to_string();
+                self.last_error = Some(message.clone());
+                self.health = HealthState::ReadOnly;
+                if entered == HealthState::ReadOnly {
+                    Err(DurableError::ReadOnly(message))
+                } else {
+                    Err(e.into())
+                }
+            }
+        }
+    }
+
+    fn commit_one(&mut self, op: &WalOp) -> Result<(), DurableError> {
+        self.commit_frames(1, |wal| wal.append(op))
+    }
+
+    fn commit_batch(&mut self, ops: &[WalOp]) -> Result<(), DurableError> {
+        self.commit_frames(ops.len(), |wal| wal.append_batch(ops))
+    }
 }
 
 /// A [`VisualStore`] whose every mutation is journaled to a
@@ -587,6 +711,10 @@ impl DurableStore {
                     epoch: live_epoch,
                     base_epoch,
                     wal_ops: replayed_ops,
+                    health: HealthState::Ok,
+                    write_faults: 0,
+                    last_error: None,
+                    fault: None,
                 }),
                 spill_stats: Arc::new(SpillStats::default()),
                 fold_active: Mutex::new(false),
@@ -645,8 +773,7 @@ impl DurableStore {
                 .as_ref()
                 .map(|p| (p.width(), p.height(), p.raw().to_vec())),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self.store.add_image(meta, origin, pixels)?)
     }
 
@@ -685,8 +812,7 @@ impl DurableStore {
                 .map(|p| (p.width(), p.height(), p.raw().to_vec())),
             features: features.clone(),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self
             .store
             .ingest_upload(marker, meta, origin, pixels, &features)?)
@@ -708,8 +834,7 @@ impl DurableStore {
             kind,
             vector: vector.clone(),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self.store.put_feature(image, kind, vector)?)
     }
 
@@ -731,8 +856,7 @@ impl DurableStore {
             name: name.clone(),
             labels: labels.clone(),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self.store.register_scheme(name, labels)?)
     }
 
@@ -774,8 +898,7 @@ impl DurableStore {
             source,
             region,
         });
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self
             .store
             .annotate(image, classification, label, confidence, source, region)?)
@@ -812,8 +935,7 @@ impl DurableStore {
                 .as_ref()
                 .map(|p| (p.width(), p.height(), p.raw().to_vec())),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self.store.add_image_at(id, meta, origin, pixels)?)
     }
 
@@ -857,8 +979,7 @@ impl DurableStore {
                 .map(|p| (p.width(), p.height(), p.raw().to_vec())),
             features: features.clone(),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self
             .store
             .ingest_upload_at(marker, id, meta, origin, pixels, &features)?)
@@ -891,8 +1012,7 @@ impl DurableStore {
             name: name.clone(),
             labels: labels.clone(),
         };
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self.store.register_scheme_at(id, name, labels)?)
     }
 
@@ -943,8 +1063,7 @@ impl DurableStore {
             source,
             region,
         });
-        journal.wal.append(&op)?;
-        journal.wal_ops += 1;
+        journal.commit_one(&op)?;
         Ok(self
             .store
             .annotate_at(id, image, classification, label, confidence, source, region)?)
@@ -966,8 +1085,7 @@ impl DurableStore {
         }
         let mut journal = self.journal.lock();
         validate_batch(&self.store, &ops)?;
-        journal.wal.append_batch(&ops)?;
-        journal.wal_ops += ops.len();
+        journal.commit_batch(&ops)?;
         for (i, op) in ops.iter().enumerate() {
             // Validation above guarantees application succeeds; a
             // failure here means journal and store disagree, which is
@@ -985,9 +1103,33 @@ impl DurableStore {
     pub fn seal(&self) -> Result<u64, DurableError> {
         let mut journal = self.journal.lock();
         let next = journal.epoch + 1;
-        journal.wal = Wal::create(&wal_path(&self.dir, next))?;
+        let mut wal = Wal::create(&wal_path(&self.dir, next))?;
+        wal.set_fault_plan(journal.fault.clone());
+        journal.wal = wal;
         journal.epoch = next;
         Ok(next)
+    }
+
+    /// Installs (or removes) an injected write-fault script on the
+    /// journal: the plan follows the live WAL across seals and
+    /// compactions, so a chaos test can fill the "disk" mid-traffic
+    /// and watch the health machine shed, probe, and recover. Chaos
+    /// tooling only; a cleared plan has no effect on the write path.
+    pub fn set_write_fault_plan(&self, plan: Option<Arc<crate::fault::WriteFaultPlan>>) {
+        let mut journal = self.journal.lock();
+        journal.wal.set_fault_plan(plan.clone());
+        journal.fault = plan;
+    }
+
+    /// The store's current write-path health (see [`HealthState`]).
+    pub fn health(&self) -> StoreHealth {
+        let journal = self.journal.lock();
+        StoreHealth {
+            state: journal.health,
+            write_faults: journal.write_faults,
+            last_error: journal.last_error.clone(),
+            epoch: journal.epoch,
+        }
     }
 
     /// Begins an incremental tiered compaction. Under the journal lock
@@ -1031,7 +1173,8 @@ impl DurableStore {
             }
         }
         let next_epoch = journal.epoch + 1;
-        let next_wal = Wal::create(&wal_path(&self.dir, next_epoch))?;
+        let mut next_wal = Wal::create(&wal_path(&self.dir, next_epoch))?;
+        next_wal.set_fault_plan(journal.fault.clone());
         // The cut happens while the journal lock still excludes every
         // mutator: ops journaled up to here are in the cut and in the
         // sealed tier; ops journaled after go to the new live segment
@@ -1097,7 +1240,8 @@ impl DurableStore {
     pub fn spill_cold_features(&self, keep_hot: usize) -> Result<(usize, u64), DurableError> {
         let dir = self.dir.clone();
         let stats = Arc::clone(&self.spill_stats);
-        self.store
+        let result = self
+            .store
             .spill_cold_chunks(keep_hot, |kind, dim, chunk, data, quant| {
                 spill::write_spill(&dir, kind, dim, chunk, data, Some(quant), &stats)?;
                 Ok::<_, DurableError>(Arc::new(spill::DiskChunkLoader::new(
@@ -1107,7 +1251,18 @@ impl DurableStore {
                     data.len(),
                     Arc::clone(&stats),
                 )) as Arc<dyn tvdp_kernel::ChunkLoader>)
-            })
+            });
+        if let Err(e) = &result {
+            // A failed spill leaves the chunks resident and the store
+            // fully serviceable — degraded, not read-only: writes are
+            // unaffected, only the memory-release goal was missed.
+            let mut journal = self.journal.lock();
+            if journal.health == HealthState::Ok {
+                journal.health = HealthState::Degraded;
+            }
+            journal.last_error = Some(format!("spill: {e}"));
+        }
+        result
     }
 
     /// Spill/reload counters for this store's feature arena.

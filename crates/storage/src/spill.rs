@@ -307,12 +307,13 @@ pub fn read_spill(path: &Path, expect_floats: usize) -> Result<SpillPayload, Spi
         path: path.to_path_buf(),
         detail,
     };
-    let nl = contents
-        .iter()
-        .position(|&b| b == b'\n')
-        .ok_or_else(|| SpillError::MissingHeader {
-            path: path.to_path_buf(),
-        })?;
+    let nl =
+        contents
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| SpillError::MissingHeader {
+                path: path.to_path_buf(),
+            })?;
     let header =
         std::str::from_utf8(&contents[..nl]).map_err(|_| err_at("non-utf8 header line"))?;
     let fields: Vec<&str> = header.split(' ').collect();
@@ -462,13 +463,23 @@ mod tests {
         let dim = 8usize;
         let data: Vec<f32> = (0..64 * dim).map(|i| (i as f32 * 0.37).cos()).collect();
         let quant = QuantChunk::encode(&data, dim);
-        let written =
-            write_spill(&dir, FeatureKind::Cnn, dim as u32, 0, &data, Some(&quant), &stats)
-                .unwrap();
+        let written = write_spill(
+            &dir,
+            FeatureKind::Cnn,
+            dim as u32,
+            0,
+            &data,
+            Some(&quant),
+            &stats,
+        )
+        .unwrap();
         // Body = floats + min + scale + eps + codes, all CRC-framed together.
         assert_eq!(written as usize, data.len() * 4 + dim * 8 + 4 + data.len());
-        let back = read_spill(&spill_path(&dir, FeatureKind::Cnn, dim as u32, 0), data.len())
-            .unwrap();
+        let back = read_spill(
+            &spill_path(&dir, FeatureKind::Cnn, dim as u32, 0),
+            data.len(),
+        )
+        .unwrap();
         assert_eq!(
             back.floats.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
@@ -518,7 +529,16 @@ mod tests {
         let dir = temp_dir("corrupt");
         let stats = SpillStats::default();
         let data = vec![1.0f32; 16];
-        write_spill(&dir, FeatureKind::ColorHistogram, 16, 1, &data, None, &stats).unwrap();
+        write_spill(
+            &dir,
+            FeatureKind::ColorHistogram,
+            16,
+            1,
+            &data,
+            None,
+            &stats,
+        )
+        .unwrap();
         let path = spill_path(&dir, FeatureKind::ColorHistogram, 16, 1);
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
@@ -555,10 +575,7 @@ mod tests {
         }
         // A missing file carries the path through the Io variant.
         let gone = dir.join("spill-cnn-4-99.bin");
-        assert!(matches!(
-            read_spill(&gone, 1),
-            Err(SpillError::Io { .. })
-        ));
+        assert!(matches!(read_spill(&gone, 1), Err(SpillError::Io { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,8 +19,9 @@
 //! ([`Wal::open_recover`]).
 
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use tvdp_vision::FeatureKind;
 
@@ -425,6 +426,12 @@ fn scan(bytes: &[u8]) -> Result<Scan, WalError> {
 pub struct Wal {
     file: File,
     path: PathBuf,
+    /// Bytes known to hold only intact, fsynced records. A failed
+    /// append may leave torn bytes past this mark;
+    /// [`Wal::repair_tail`] truncates back to it.
+    valid_len: u64,
+    /// Optional injected write-fault script (chaos tests only).
+    fault: Option<Arc<crate::fault::WriteFaultPlan>>,
 }
 
 impl Wal {
@@ -438,6 +445,8 @@ impl Wal {
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            valid_len: 0,
+            fault: None,
         })
     }
 
@@ -464,18 +473,67 @@ impl Wal {
             Wal {
                 file,
                 path: path.to_path_buf(),
+                valid_len: scanned.valid_len as u64,
+                fault: None,
             },
             scanned.ops,
             torn,
         ))
     }
 
+    /// Installs (or removes) an injected write-fault script. Every
+    /// later [`Wal::append`] / [`Wal::append_batch`] consults the plan
+    /// before touching the file; an armed plan makes the write leave
+    /// only its torn prefix on disk and fail with the plan's error.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<crate::fault::WriteFaultPlan>>) {
+        self.fault = plan;
+    }
+
+    /// One guarded physical append: fault plan first, then
+    /// `write_all` + `sync_data`, advancing the valid-byte mark only
+    /// on full success.
+    fn guarded_write(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        if let Some(plan) = &self.fault {
+            if let Some((prefix, e)) = plan.intercept(bytes.len()) {
+                // The torn prefix really lands on disk (and is synced)
+                // so recovery sees exactly what a crashed or
+                // out-of-space append would have left behind.
+                if prefix > 0 {
+                    self.file.write_all(&bytes[..prefix])?;
+                    self.file.sync_data()?;
+                }
+                return Err(WalError::Io(e));
+            }
+        }
+        self.file.write_all(bytes)?;
+        self.file.sync_data()?;
+        self.valid_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Truncates any torn bytes a failed append left past the last
+    /// intact record and syncs, returning how many bytes were dropped.
+    /// After `Ok`, the log is byte-identical to one that never saw the
+    /// failed append, and appending may resume.
+    pub fn repair_tail(&mut self) -> Result<u64, WalError> {
+        let on_disk = self.file.metadata()?.len();
+        let torn = on_disk.saturating_sub(self.valid_len);
+        if torn > 0 {
+            self.file.set_len(self.valid_len)?;
+            // A freshly created WAL writes through a plain (non-append)
+            // handle whose cursor the torn write advanced; park it back
+            // at the truncation point or the next append would leave a
+            // NUL gap that recovery reads as a torn tail.
+            self.file.seek(SeekFrom::Start(self.valid_len))?;
+            self.file.sync_all()?;
+        }
+        Ok(torn)
+    }
+
     /// Appends one op and fsyncs before returning.
     pub fn append(&mut self, op: &WalOp) -> Result<(), WalError> {
         let record = frame(&op.encode());
-        self.file.write_all(record.as_bytes())?;
-        self.file.sync_data()?;
-        Ok(())
+        self.guarded_write(record.as_bytes())
     }
 
     /// Group commit: appends every op as its own framed record but pays
@@ -493,9 +551,7 @@ impl Wal {
         for op in ops {
             buf.push_str(&frame(&op.encode()));
         }
-        self.file.write_all(buf.as_bytes())?;
-        self.file.sync_data()?;
-        Ok(())
+        self.guarded_write(buf.as_bytes())
     }
 
     /// Scans every record of the WAL at `path` without opening it for

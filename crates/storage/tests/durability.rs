@@ -16,7 +16,8 @@ use tvdp_storage::fault::FailingWriter;
 use tvdp_storage::persist::{self, render_snapshot};
 use tvdp_storage::store::Snapshot;
 use tvdp_storage::{
-    Annotation, AnnotationSource, DurableStore, ImageMeta, ImageOrigin, UserId, VisualStore, WalOp,
+    Annotation, AnnotationSource, DurableStore, HealthState, ImageMeta, ImageOrigin, UserId,
+    VisualStore, WalOp, WriteFaultPlan,
 };
 use tvdp_vision::{FeatureKind, Image};
 
@@ -451,6 +452,120 @@ fn acked_group_commit_batch_survives_reopen() {
     let (ds, report) = DurableStore::open(&dir).unwrap();
     assert_eq!(report.replayed_ops, 4);
     assert_eq!(ds.store().snapshot(), live);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_enospc_at_every_byte_sheds_batch_and_degrades() {
+    // The volume fills mid-way through a batched group-commit frame.
+    // Whatever byte the fault lands on, the live store must shed the
+    // whole batch (journal-before-apply: nothing half-applied), keep
+    // serving reads from its pre-batch state, report a degraded
+    // (read-only) health state instead of panicking, and a reopen must
+    // recover exactly the acked state plus whichever record prefix made
+    // it to disk — never a torn third state.
+    let scratch = temp_dir("enospc-scratch");
+    let (batch_bytes, states) = scripted_mutations(&scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    let base_bytes = render_snapshot(&states[0], 0);
+
+    let dir = temp_dir("enospc-torture");
+    for cut in 0..=batch_bytes.len() {
+        write_dir(&dir, Some(base_bytes.as_bytes()), 0, b"");
+        let (ds, _) = DurableStore::open(&dir).unwrap();
+        let plan = WriteFaultPlan::new();
+        ds.set_write_fault_plan(Some(plan.clone()));
+        plan.arm_enospc(cut);
+
+        let err = ds.apply_batch(scripted_batch(&ds)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("os error 28") || msg.to_lowercase().contains("no space"),
+            "fault at byte {cut} must surface ENOSPC, got: {msg}"
+        );
+        // Read-consistent: the shed batch left no partial application.
+        assert_eq!(ds.store().snapshot(), states[0], "cut at byte {cut}");
+        let health = ds.health();
+        assert_eq!(health.state, HealthState::ReadOnly, "cut at byte {cut}");
+        assert_eq!(health.write_faults, 1);
+        assert!(health.last_error.is_some());
+
+        // While the disk stays full, further mutations are shed with the
+        // typed read-only error — still no panic, still serving reads.
+        let shed = ds
+            .add_image(meta("while-full"), ImageOrigin::Original, None)
+            .unwrap_err();
+        assert!(
+            shed.to_string().contains("read-only"),
+            "expected typed read-only shed, got: {shed}"
+        );
+        assert_eq!(ds.store().snapshot(), states[0]);
+        drop(ds);
+
+        // Crash while full: the shed mutation's repair probe already
+        // truncated the unacked batch debris back to the acked prefix,
+        // so recovery lands on exactly the acked state — the journal
+        // never resurrects ops the caller was told had failed.
+        let (reopened, report) = DurableStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.store().snapshot(),
+            states[0],
+            "reopen after cut at byte {cut}"
+        );
+        assert_eq!(report.replayed_ops, 0);
+        assert_eq!(
+            reopened.health().state,
+            HealthState::Ok,
+            "a fresh open with a healthy disk starts Ok"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn write_fault_cycle_degrades_then_recovers_to_ok() {
+    // Full health cycle on a live store: Ok → (fault) → ReadOnly →
+    // (space freed, first good write) → Degraded → (second good write)
+    // → Ok, with reads served throughout and the tail repaired so the
+    // journal stays append-clean.
+    let dir = temp_dir("fault-cycle");
+    let (ds, _) = DurableStore::open(&dir).unwrap();
+    let img = ds
+        .add_image(meta("acked"), ImageOrigin::Original, None)
+        .unwrap();
+    let acked = ds.store().snapshot();
+    assert_eq!(ds.health().state, HealthState::Ok);
+
+    let plan = WriteFaultPlan::new();
+    ds.set_write_fault_plan(Some(plan.clone()));
+    plan.arm_enospc(3); // three bytes of torn debris, then no space
+
+    ds.put_feature(img, FeatureKind::Cnn, vec![1.0; 4])
+        .unwrap_err();
+    assert_eq!(ds.health().state, HealthState::ReadOnly);
+    assert_eq!(ds.store().snapshot(), acked, "reads keep working");
+
+    // Still full: mutations shed, fault counter climbs deterministically.
+    ds.register_scheme("shed", vec!["a".into()]).unwrap_err();
+    assert_eq!(ds.health().state, HealthState::ReadOnly);
+    assert_eq!(ds.health().write_faults, 2);
+
+    // Operator frees space; the next mutation repairs the torn tail,
+    // lands durably, and the store enters probation.
+    plan.clear();
+    ds.put_feature(img, FeatureKind::Cnn, vec![2.0; 4]).unwrap();
+    assert_eq!(ds.health().state, HealthState::Degraded);
+    let cls = ds.register_scheme("healed", vec!["ok".into()]).unwrap();
+    assert_eq!(ds.health().state, HealthState::Ok);
+    assert!(ds.health().last_error.is_none());
+    ds.annotate(img, cls, 0, 1.0, AnnotationSource::Human(UserId(1)), None)
+        .unwrap();
+
+    // Everything acked across the cycle survives a crash/reopen.
+    let live = ds.store().snapshot();
+    drop(ds);
+    let (reopened, _) = DurableStore::open(&dir).unwrap();
+    assert_eq!(reopened.store().snapshot(), live);
     std::fs::remove_dir_all(&dir).ok();
 }
 

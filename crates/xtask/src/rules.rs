@@ -5,7 +5,7 @@
 //! | L1  | `no_panic`            | `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | L2  | `determinism`         | iterating a `HashMap`/`HashSet` (order leaks)    |
 //! | L3  | `pool_only_threading` | `std::thread::{spawn,scope,Builder}` and ad-hoc `std::sync` locks outside `tvdp-kernel` |
-//! | L4  | `no_wall_clock`       | `Instant::now` / `SystemTime` / `thread_rng` / entropy RNGs outside allowlisted modules |
+//! | L4  | `no_wall_clock`       | `Instant::now` / `SystemTime` / raw `std::time::Instant`/`SystemTime` types / `thread_rng` / entropy RNGs outside allowlisted modules |
 //! | L5  | `lock_discipline`     | lock guards held across a pool dispatch, and nested lock acquisition while a guard is live |
 //! | L6  | `atomic_ordering`     | any explicit `Ordering::{Relaxed,..,SeqCst}` without a reviewed allow annotation |
 //! | L7  | `float_reduction`     | ad-hoc `f32`/`f64` `sum`/`fold`/`+=` reductions outside the kernel's canonical reduce paths |
@@ -450,6 +450,59 @@ fn no_wall_clock(model: &SourceModel, out: &mut Vec<Finding>) {
             });
         }
     }
+    // Raw `std::time::Instant` / `std::time::SystemTime` *types* — a
+    // stored Instant field or a SystemTime threaded through a signature
+    // smuggles host time into a deterministic path just as surely as
+    // calling the clock inline. Sites immediately followed by `::now`
+    // are skipped: the dotted-needle pass above already reported them.
+    for ty in ["Instant", "SystemTime"] {
+        let path = format!("std::time::{ty}");
+        let mut at = 0;
+        while let Some(rel) = hay[at..].find(&path) {
+            let s = at + rel;
+            at = s + path.len();
+            if hay[at..].starts_with("::now") {
+                continue;
+            }
+            let (line, col) = model.line_col(s);
+            out.push(Finding {
+                rule: Rule::NoWallClock,
+                line,
+                col,
+                message: wall_clock_type_message(ty),
+            });
+        }
+    }
+    // The same types pulled in through a grouped `use std::time::{..}`
+    // import (`Duration` alone is legal — it is a span, not a clock).
+    let mut at = 0;
+    while let Some(rel) = hay[at..].find("std::time::{") {
+        let s = at + rel;
+        let open = s + "std::time::".len();
+        let group_end = hay[open..].find('}').map_or(hay.len(), |p| open + p);
+        let group = &hay[open..group_end];
+        for ty in ["Instant", "SystemTime"] {
+            for w in word_occurrences(group, ty) {
+                let (line, col) = model.line_col(open + w);
+                out.push(Finding {
+                    rule: Rule::NoWallClock,
+                    line,
+                    col,
+                    message: wall_clock_type_message(ty),
+                });
+            }
+        }
+        at = group_end.max(s + 1);
+    }
+}
+
+/// Finding text for a raw wall-clock type (L4).
+fn wall_clock_type_message(ty: &str) -> String {
+    format!(
+        "`std::time::{ty}`: wall-clock type in a deterministic path; model \
+         time as explicit virtual-clock `i64` milliseconds (see \
+         edge::transport::VirtualClock) or allowlist the module"
+    )
 }
 
 /// Matching close for the `(` at byte `open`, if parens balance.
@@ -979,11 +1032,27 @@ mod tests {
 
     #[test]
     fn l4_flags_instant_now_and_thread_rng() {
+        // One finding for the raw return type, one for the `::now` call.
         let f = findings("fn f() -> std::time::Instant { std::time::Instant::now() }\n");
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, Rule::NoWallClock);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::NoWallClock));
         let f = findings("fn f() { let mut r = rand::thread_rng(); }\n");
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn l4_flags_wall_clock_types_without_a_now_call() {
+        // A stored Instant never calls `::now` in this file, but the
+        // host clock still leaks in through whoever constructs it.
+        let f = findings("pub struct T { pub at: std::time::Instant }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoWallClock);
+        // Grouped import: SystemTime fires, Duration is a legal span.
+        let f = findings("use std::time::{Duration, SystemTime};\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SystemTime"));
+        let f = findings("use std::time::Duration;\n");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -68,12 +68,32 @@ fn l4_transport_fixture_rejected() {
 fn l4_transport_fixture_flags_each_violation_once() {
     let out = run_lint_on("l4_transport_wall_clock.rs");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    // Instant::now + SystemTime::now + thread_rng.
+    // Instant::now + SystemTime::now + thread_rng, plus the grouped
+    // `use std::time::{Instant, SystemTime}` import (one per type).
     assert_eq!(
         stdout.matches("[L4/no_wall_clock]").count(),
-        3,
+        5,
         "wrong violation count:\n{stdout}"
     );
+}
+
+#[test]
+fn l4_admission_instant_fixture_rejected() {
+    assert_fires("l4_admission_instant.rs", "[L4/no_wall_clock]");
+}
+
+#[test]
+fn l4_admission_instant_fixture_flags_each_type_once() {
+    let out = run_lint_on("l4_admission_instant.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The stored `std::time::Instant` field and the `SystemTime` in the
+    // grouped import; `Duration` in the same group stays legal.
+    assert_eq!(
+        stdout.matches("[L4/no_wall_clock]").count(),
+        2,
+        "wrong violation count:\n{stdout}"
+    );
+    assert!(stdout.contains("wall-clock type"), "{stdout}");
 }
 
 #[test]
